@@ -1,0 +1,361 @@
+//! The hand-crafted heuristic planner of the evaluation (paper §V-A),
+//! "inspired by existing approaches" (ref. 15 of the paper: Ahmad et al.,
+//! source-placement strategies).
+//!
+//! For each new query it enumerates all abstract plans; for each abstract
+//! plan and each host `h`, it tries to implement the plan *entirely at* `h`,
+//! aggressively reusing existing streams: any sub-query result that already
+//! exists in the system is transferred instead of recomputed, and complete
+//! sub-queries are preferred over base streams. Every feasible candidate is
+//! scored with the same weighted objective as SQPR and the best one is
+//! deployed. The heuristic never revisits previous allocation decisions and
+//! never spreads a query's new operators over multiple hosts — the two
+//! deficiencies the paper attributes to it.
+
+use std::collections::BTreeSet;
+
+use sqpr_core::ObjectiveWeights;
+use sqpr_dsps::{Catalog, DeploymentState, HostId, OperatorId, QueryId, StreamId};
+
+use crate::trees::{enumerate_trees, JoinTree};
+
+/// A feasible single-host implementation of one abstract plan.
+#[derive(Debug, Clone)]
+struct Candidate {
+    host: HostId,
+    /// Operators to instantiate at `host` (topological order).
+    ops: Vec<OperatorId>,
+    /// Streams to transfer in: `(from, stream)`.
+    transfers: Vec<(HostId, StreamId)>,
+    score: f64,
+}
+
+/// The heuristic planner.
+pub struct HeuristicPlanner {
+    catalog: Catalog,
+    state: DeploymentState,
+    weights: ObjectiveWeights,
+    next_query: u32,
+}
+
+impl HeuristicPlanner {
+    pub fn new(catalog: Catalog) -> Self {
+        let weights = ObjectiveWeights::paper_defaults(&catalog);
+        HeuristicPlanner {
+            catalog,
+            state: DeploymentState::new(),
+            weights,
+            next_query: 0,
+        }
+    }
+
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    pub fn state(&self) -> &DeploymentState {
+        &self.state
+    }
+
+    pub fn num_admitted(&self) -> usize {
+        self.state.num_admitted()
+    }
+
+    /// Submits a k-way join; returns whether it was admitted.
+    pub fn submit(&mut self, bases: &[StreamId]) -> bool {
+        let q = QueryId(self.next_query);
+        self.next_query += 1;
+
+        // Intern the full plan space (same vocabulary as SQPR).
+        let trees = enumerate_trees(bases);
+        let interned: Vec<_> = trees
+            .iter()
+            .map(|t| (t.clone(), t.intern(&mut self.catalog, 0)))
+            .collect();
+        let result = interned[0].1.root;
+
+        // Result already provided: free admission (same rule as SQPR).
+        if self.state.provider_of(result).is_some() {
+            self.state.admit_query(q, result);
+            return true;
+        }
+
+        let mut best: Option<Candidate> = None;
+        for (tree, it) in &interned {
+            for h in self.catalog.hosts() {
+                if let Some(c) = self.try_implement(tree, it.root, h) {
+                    if best.as_ref().is_none_or(|b| c.score > b.score) {
+                        best = Some(c);
+                    }
+                }
+            }
+        }
+        let Some(c) = best else {
+            return false;
+        };
+
+        // Deploy.
+        for &(from, s) in &c.transfers {
+            self.state.add_flow(from, c.host, s);
+            self.state.add_available(c.host, s);
+        }
+        for &o in &c.ops {
+            self.state.add_placement(c.host, o);
+            self.state
+                .add_available(c.host, self.catalog.operator(o).output);
+        }
+        self.state.set_provided(result, c.host);
+        self.state.admit_query(q, result);
+        debug_assert!(
+            self.state.is_valid(&self.catalog),
+            "{:?}",
+            self.state.validate(&self.catalog)
+        );
+        true
+    }
+
+    /// Attempts to implement `tree` at host `h` with aggressive reuse.
+    fn try_implement(&self, tree: &JoinTree, result: StreamId, h: HostId) -> Option<Candidate> {
+        let mut ops = Vec::new();
+        let mut transfers: Vec<(HostId, StreamId)> = Vec::new();
+        let mut local: BTreeSet<StreamId> = BTreeSet::new();
+        if !self.cover(tree, h, &mut ops, &mut transfers, &mut local) {
+            return None;
+        }
+        // Deduplicate transfers (a stream may feed several operators).
+        transfers.sort();
+        transfers.dedup();
+
+        // Feasibility against residual resources.
+        let cpu = self.state.cpu_usage(&self.catalog);
+        let net = self.state.net_usage(&self.catalog);
+        let links = self.state.link_usage(&self.catalog);
+        let added_cpu: f64 = ops.iter().map(|&o| self.catalog.operator(o).cpu_cost).sum();
+        if cpu[h.index()] + added_cpu > self.catalog.host(h).cpu_capacity + 1e-9 {
+            return None;
+        }
+        let mut in_add = 0.0;
+        let mut out_add = vec![0.0; self.catalog.num_hosts()];
+        for &(from, s) in &transfers {
+            let rate = self.catalog.stream(s).rate;
+            in_add += rate;
+            out_add[from.index()] += rate;
+            let used = links.get(&(from, h)).copied().unwrap_or(0.0);
+            if used + rate > self.catalog.topology().link(from, h) + 1e-9 {
+                return None;
+            }
+        }
+        // Client delivery of the result stream leaves from h.
+        out_add[h.index()] += self.catalog.stream(result).rate;
+        if net[h.index()].1 + in_add > self.catalog.host(h).bandwidth_in + 1e-9 {
+            return None;
+        }
+        for g in self.catalog.hosts() {
+            if out_add[g.index()] > 0.0
+                && net[g.index()].0 + out_add[g.index()] > self.catalog.host(g).bandwidth_out + 1e-9
+            {
+                return None;
+            }
+        }
+
+        // Score with the SQPR weighted objective (delta form).
+        let transfer_rate: f64 = transfers
+            .iter()
+            .map(|&(_, s)| self.catalog.stream(s).rate)
+            .sum();
+        let new_max_cpu = self
+            .catalog
+            .hosts()
+            .map(|g| cpu[g.index()] + if g == h { added_cpu } else { 0.0 })
+            .fold(0.0f64, f64::max);
+        let w = self.weights;
+        let score =
+            w.lambda1 - w.lambda2 * transfer_rate - w.lambda3 * added_cpu - w.lambda4 * new_max_cpu;
+        Some(Candidate {
+            host: h,
+            ops,
+            transfers,
+            score,
+        })
+    }
+
+    /// Ensures the output of `tree` exists at `h`, preferring (in order):
+    /// already local; transfer of the complete sub-query result; local
+    /// recursive computation. Returns false when impossible.
+    fn cover(
+        &self,
+        tree: &JoinTree,
+        h: HostId,
+        ops: &mut Vec<OperatorId>,
+        transfers: &mut Vec<(HostId, StreamId)>,
+        local: &mut BTreeSet<StreamId>,
+    ) -> bool {
+        let out = self.tree_output(tree);
+        if local.contains(&out) {
+            return true;
+        }
+        // Already available at h in the current deployment?
+        if self.state.is_available(h, out) || self.catalog.is_base_at(out, h) {
+            local.insert(out);
+            return true;
+        }
+        // Aggressive reuse: transfer the complete sub-query if it exists
+        // anywhere (paper: "favouring the transfer of complete sub-queries
+        // over base streams").
+        if let Some(from) = self.pick_sender(out, h) {
+            transfers.push((from, out));
+            local.insert(out);
+            return true;
+        }
+        match tree {
+            JoinTree::Leaf(_) => false, // base stream unavailable anywhere
+            JoinTree::Node(l, r) => {
+                if !self.cover(l, h, ops, transfers, local) {
+                    return false;
+                }
+                if !self.cover(r, h, ops, transfers, local) {
+                    return false;
+                }
+                let ls = self.tree_output(l);
+                let rs = self.tree_output(r);
+                let Some(op) = self.find_operator(out, ls, rs) else {
+                    return false;
+                };
+                ops.push(op);
+                local.insert(out);
+                true
+            }
+        }
+    }
+
+    fn tree_output(&self, tree: &JoinTree) -> StreamId {
+        match tree {
+            JoinTree::Leaf(s) => *s,
+            JoinTree::Node(l, r) => {
+                let ls = self.tree_output(l);
+                let rs = self.tree_output(r);
+                let lb = self.catalog.base_set(ls);
+                let rb = self.catalog.base_set(rs);
+                let union: BTreeSet<StreamId> = lb.union(&rb).copied().collect();
+                self.catalog
+                    .find_stream(&sqpr_dsps::StreamSignature::Join {
+                        bases: union,
+                        tag: 0,
+                    })
+                    .expect("plan space interned before cover()")
+            }
+        }
+    }
+
+    fn find_operator(&self, out: StreamId, left: StreamId, right: StreamId) -> Option<OperatorId> {
+        let mut inputs = [left, right];
+        inputs.sort();
+        self.catalog
+            .producers_of(out)
+            .iter()
+            .copied()
+            .find(|&o| self.catalog.operator(o).inputs == inputs)
+    }
+
+    /// Chooses a sender for `s` to `h`: any host that has it, preferring
+    /// most spare outgoing bandwidth (base sources count as having it).
+    fn pick_sender(&self, s: StreamId, h: HostId) -> Option<HostId> {
+        let net = self.state.net_usage(&self.catalog);
+        let mut best: Option<(HostId, f64)> = None;
+        let mut consider = |g: HostId| {
+            if g == h {
+                return;
+            }
+            let spare = self.catalog.host(g).bandwidth_out - net[g.index()].0;
+            if best.is_none_or(|(_, b)| spare > b) {
+                best = Some((g, spare));
+            }
+        };
+        for g in self.state.hosts_with(s) {
+            consider(g);
+        }
+        if let Some(src) = self.catalog.source_host(s) {
+            consider(src);
+        }
+        best.map(|(g, _)| g)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqpr_dsps::{CostModel, HostSpec};
+
+    fn setup() -> (Catalog, Vec<StreamId>) {
+        let mut c = Catalog::uniform(3, HostSpec::new(50.0, 100.0), 1000.0, CostModel::default());
+        let b = (0..6)
+            .map(|i| c.add_base_stream(HostId((i % 3) as u32), 10.0, i as u64))
+            .collect();
+        (c, b)
+    }
+
+    #[test]
+    fn admits_and_validates() {
+        let (c, b) = setup();
+        let mut hp = HeuristicPlanner::new(c);
+        assert!(hp.submit(&[b[0], b[1]]));
+        assert_eq!(hp.num_admitted(), 1);
+        assert!(
+            hp.state().is_valid(hp.catalog()),
+            "{:?}",
+            hp.state().validate(hp.catalog())
+        );
+    }
+
+    #[test]
+    fn reuses_existing_subqueries() {
+        let (c, b) = setup();
+        let mut hp = HeuristicPlanner::new(c);
+        assert!(hp.submit(&[b[0], b[1]]));
+        let ops = hp.state().placements().len();
+        // The 3-way over {b0,b1,b2} should transfer the existing b0⋈b1
+        // result rather than recompute: exactly one new operator.
+        assert!(hp.submit(&[b[0], b[1], b[2]]));
+        assert_eq!(hp.state().placements().len(), ops + 1);
+        assert!(hp.state().is_valid(hp.catalog()));
+    }
+
+    #[test]
+    fn identical_query_free() {
+        let (c, b) = setup();
+        let mut hp = HeuristicPlanner::new(c);
+        assert!(hp.submit(&[b[0], b[1]]));
+        let ops = hp.state().placements().len();
+        assert!(hp.submit(&[b[1], b[0]]));
+        assert_eq!(hp.state().placements().len(), ops);
+        assert_eq!(hp.num_admitted(), 2);
+    }
+
+    #[test]
+    fn rejects_oversized_query() {
+        let mut c = Catalog::uniform(2, HostSpec::new(10.0, 100.0), 1000.0, CostModel::default());
+        let b0 = c.add_base_stream(HostId(0), 10.0, 0);
+        let b1 = c.add_base_stream(HostId(1), 10.0, 1);
+        let mut hp = HeuristicPlanner::new(c);
+        assert!(!hp.submit(&[b0, b1])); // join cost 20 > 10 per host
+        assert_eq!(hp.num_admitted(), 0);
+    }
+
+    #[test]
+    fn single_host_limitation_blocks_split_plans() {
+        // CPU per host fits one join but the 3-way needs two joins (cost
+        // 20 + ~10.3) at ONE host; 25 CPU cannot host both, so the
+        // heuristic rejects even though a distributed plan would fit.
+        let mut c = Catalog::uniform(
+            3,
+            HostSpec::new(25.0, 1000.0),
+            10_000.0,
+            CostModel::default(),
+        );
+        let b0 = c.add_base_stream(HostId(0), 10.0, 0);
+        let b1 = c.add_base_stream(HostId(1), 10.0, 1);
+        let b2 = c.add_base_stream(HostId(2), 10.0, 2);
+        let mut hp = HeuristicPlanner::new(c);
+        assert!(!hp.submit(&[b0, b1, b2]));
+    }
+}

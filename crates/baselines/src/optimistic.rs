@@ -1,0 +1,156 @@
+//! The optimistic upper bound of the evaluation (paper §V-A).
+//!
+//! All hosts are collapsed into one "aggregate host" holding every base
+//! stream, with CPU capacity `Σ ζ_h` and *no* network constraints. Queries
+//! are processed in arrival order with maximal sharing (every equivalent
+//! sub-query is computed once). A query is admitted iff its *marginal* CPU
+//! cost — the cheapest abstract plan counting only operators not already
+//! running — fits the remaining aggregate capacity.
+//!
+//! This upper-bounds any real planner processing the same arrival sequence:
+//! a real admission implies a CPU-feasible execution whose sharing can only
+//! be worse than the aggregate host's (everything co-located), and network
+//! constraints only remove options.
+
+use std::collections::BTreeSet;
+
+use sqpr_dsps::{Catalog, OperatorId, StreamId};
+
+use crate::trees::enumerate_trees;
+
+/// Arrival-order aggregate-host admission bound.
+pub struct OptimisticBound {
+    catalog: Catalog,
+    capacity: f64,
+    used: f64,
+    running: BTreeSet<OperatorId>,
+    produced: BTreeSet<StreamId>,
+    admitted: usize,
+}
+
+impl OptimisticBound {
+    pub fn new(catalog: Catalog) -> Self {
+        let capacity = catalog.total_cpu();
+        OptimisticBound {
+            catalog,
+            capacity,
+            used: 0.0,
+            running: BTreeSet::new(),
+            produced: BTreeSet::new(),
+            admitted: 0,
+        }
+    }
+
+    pub fn num_admitted(&self) -> usize {
+        self.admitted
+    }
+
+    pub fn cpu_used(&self) -> f64 {
+        self.used
+    }
+
+    pub fn cpu_capacity(&self) -> f64 {
+        self.capacity
+    }
+
+    /// Submits a query; returns whether the aggregate host admits it.
+    pub fn submit(&mut self, bases: &[StreamId]) -> bool {
+        let trees = enumerate_trees(bases);
+        // Cheapest marginal plan: operators not already running are paid.
+        let mut best: Option<(f64, Vec<OperatorId>, StreamId)> = None;
+        for t in &trees {
+            let it = t.intern(&mut self.catalog, 0);
+            if self.produced.contains(&it.root) {
+                // The whole result is already computed: zero marginal cost.
+                best = Some((0.0, Vec::new(), it.root));
+                break;
+            }
+            let mut cost = 0.0;
+            let mut fresh = Vec::new();
+            for &o in &it.operators {
+                if !self.running.contains(&o) && !self.produced_by_other(o) {
+                    cost += self.catalog.operator(o).cpu_cost;
+                    fresh.push(o);
+                }
+            }
+            if best.as_ref().is_none_or(|(c, _, _)| cost < *c) {
+                best = Some((cost, fresh, it.root));
+            }
+        }
+        let (cost, fresh, root) = best.expect("at least one tree");
+        if self.used + cost > self.capacity + 1e-9 {
+            return false;
+        }
+        self.used += cost;
+        for o in fresh {
+            self.running.insert(o);
+            self.produced.insert(self.catalog.operator(o).output);
+        }
+        self.produced.insert(root);
+        self.admitted += 1;
+        true
+    }
+
+    /// Whether some running operator already produces `o`'s output (an
+    /// equivalent operator from a different join order).
+    fn produced_by_other(&self, o: OperatorId) -> bool {
+        self.produced.contains(&self.catalog.operator(o).output)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqpr_dsps::{CostModel, HostId, HostSpec};
+
+    fn setup(cpu_per_host: f64) -> (Catalog, Vec<StreamId>) {
+        let mut c = Catalog::uniform(
+            2,
+            HostSpec::new(cpu_per_host, 1e9),
+            1e9,
+            CostModel::default(),
+        );
+        let b = (0..4)
+            .map(|i| c.add_base_stream(HostId((i % 2) as u32), 10.0, i as u64))
+            .collect();
+        (c, b)
+    }
+
+    #[test]
+    fn admits_until_cpu_exhausted() {
+        // Each 2-way join costs 20; aggregate capacity 2 * 25 = 50.
+        let (c, b) = setup(25.0);
+        let mut ob = OptimisticBound::new(c);
+        assert!(ob.submit(&[b[0], b[1]])); // 20
+        assert!(ob.submit(&[b[2], b[3]])); // 40
+        assert!(!ob.submit(&[b[0], b[2]])); // would need 60
+        assert_eq!(ob.num_admitted(), 2);
+    }
+
+    #[test]
+    fn shared_subqueries_are_free() {
+        let (c, b) = setup(25.0);
+        let mut ob = OptimisticBound::new(c);
+        assert!(ob.submit(&[b[0], b[1]]));
+        let used = ob.cpu_used();
+        // The same query again costs nothing.
+        assert!(ob.submit(&[b[1], b[0]]));
+        assert_eq!(ob.cpu_used(), used);
+        assert_eq!(ob.num_admitted(), 2);
+    }
+
+    #[test]
+    fn marginal_cost_reuses_subjoins() {
+        let (c, b) = setup(1000.0);
+        let mut ob = OptimisticBound::new(c);
+        assert!(ob.submit(&[b[0], b[1]]));
+        let after_two_way = ob.cpu_used();
+        // A 3-way join over {b0, b1, b2} should only pay the top join
+        // (inputs: the existing b0⋈b1 stream at its tiny rate, plus b2).
+        assert!(ob.submit(&[b[0], b[1], b[2]]));
+        let marginal = ob.cpu_used() - after_two_way;
+        // Full recomputation would cost >= 20 (bottom) + top; reuse pays
+        // only the top join: (rate(b0⋈b1)=0.3) + 10 -> 10.3.
+        assert!(marginal < 11.0, "marginal {marginal}");
+    }
+}

@@ -1,0 +1,166 @@
+//! Abstract query plans: binary join trees over a base-stream set.
+//!
+//! The heuristic planner enumerates *all* abstract plans (the paper notes
+//! this is exponential in query size but feasible for the 2- to 5-way joins
+//! of the evaluation); SODA uses one fixed template per query.
+
+use sqpr_dsps::{Catalog, OperatorId, StreamId};
+
+/// A binary join tree; leaves are base streams.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JoinTree {
+    Leaf(StreamId),
+    Node(Box<JoinTree>, Box<JoinTree>),
+}
+
+impl JoinTree {
+    /// Left-deep tree in the given order (SODA's user template).
+    pub fn left_deep(bases: &[StreamId]) -> JoinTree {
+        assert!(bases.len() >= 2);
+        let mut t = JoinTree::Node(
+            Box::new(JoinTree::Leaf(bases[0])),
+            Box::new(JoinTree::Leaf(bases[1])),
+        );
+        for &b in &bases[2..] {
+            t = JoinTree::Node(Box::new(t), Box::new(JoinTree::Leaf(b)));
+        }
+        t
+    }
+
+    /// Number of internal (join) nodes.
+    pub fn num_joins(&self) -> usize {
+        match self {
+            JoinTree::Leaf(_) => 0,
+            JoinTree::Node(l, r) => 1 + l.num_joins() + r.num_joins(),
+        }
+    }
+
+    /// Interns this tree's operators bottom-up; returns `(operators in
+    /// topological order, output stream per operator, root stream)`.
+    pub fn intern(&self, catalog: &mut Catalog, tag: u64) -> InternedTree {
+        fn rec(
+            t: &JoinTree,
+            catalog: &mut Catalog,
+            tag: u64,
+            ops: &mut Vec<OperatorId>,
+        ) -> StreamId {
+            match t {
+                JoinTree::Leaf(s) => *s,
+                JoinTree::Node(l, r) => {
+                    let ls = rec(l, catalog, tag, ops);
+                    let rs = rec(r, catalog, tag, ops);
+                    let op = catalog.intern_join_operator_tagged(ls, rs, tag);
+                    ops.push(op);
+                    catalog.operator(op).output
+                }
+            }
+        }
+        let mut ops = Vec::new();
+        let root = rec(self, catalog, tag, &mut ops);
+        InternedTree {
+            operators: ops,
+            root,
+        }
+    }
+}
+
+/// An interned abstract plan: operators in bottom-up (topological) order.
+#[derive(Debug, Clone)]
+pub struct InternedTree {
+    pub operators: Vec<OperatorId>,
+    pub root: StreamId,
+}
+
+/// Enumerates every distinct binary join tree over `bases` (unordered
+/// children are not deduplicated — commutations intern to the same
+/// operators, so duplicates cost only enumeration time).
+///
+/// Count grows as (2k-3)!! — 1, 3, 15, 105 for k = 2..5 ordered pairs
+/// halved by the canonical split; fine for the paper's 2- to 5-way joins.
+pub fn enumerate_trees(bases: &[StreamId]) -> Vec<JoinTree> {
+    assert!(bases.len() >= 2, "need at least two streams to join");
+    let k = bases.len();
+    assert!(
+        k <= 8,
+        "tree enumeration is exponential; {k}-way is too large"
+    );
+    fn rec(mask: u32, bases: &[StreamId]) -> Vec<JoinTree> {
+        if mask.count_ones() == 1 {
+            let i = mask.trailing_zeros() as usize;
+            return vec![JoinTree::Leaf(bases[i])];
+        }
+        let mut out = Vec::new();
+        // Canonical split: the submask containing the lowest set bit.
+        let low = mask & mask.wrapping_neg();
+        let mut sub = (mask - 1) & mask;
+        while sub != 0 {
+            if sub & low != 0 && sub != mask {
+                let left = rec(sub, bases);
+                let right = rec(mask ^ sub, bases);
+                for l in &left {
+                    for r in &right {
+                        out.push(JoinTree::Node(Box::new(l.clone()), Box::new(r.clone())));
+                    }
+                }
+            }
+            sub = (sub - 1) & mask;
+        }
+        out
+    }
+    rec((1u32 << k) - 1, bases)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqpr_dsps::{CostModel, HostId, HostSpec};
+
+    fn bases(n: usize) -> (Catalog, Vec<StreamId>) {
+        let mut c = Catalog::uniform(2, HostSpec::new(1e6, 1e6), 1e6, CostModel::default());
+        let b = (0..n)
+            .map(|i| c.add_base_stream(HostId((i % 2) as u32), 10.0, i as u64))
+            .collect();
+        (c, b)
+    }
+
+    #[test]
+    fn tree_counts_match_double_factorial() {
+        for (k, expect) in [(2usize, 1usize), (3, 3), (4, 15), (5, 105)] {
+            let (_, b) = bases(k);
+            assert_eq!(enumerate_trees(&b[..k]).len(), expect, "k={k}");
+        }
+    }
+
+    #[test]
+    fn all_trees_intern_to_same_root() {
+        let (mut c, b) = bases(4);
+        let roots: Vec<StreamId> = enumerate_trees(&b)
+            .iter()
+            .map(|t| t.intern(&mut c, 0).root)
+            .collect();
+        assert!(roots.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn left_deep_shape() {
+        let (_, b) = bases(4);
+        let t = JoinTree::left_deep(&b);
+        assert_eq!(t.num_joins(), 3);
+        match &t {
+            JoinTree::Node(_, r) => assert_eq!(**r, JoinTree::Leaf(b[3])),
+            _ => panic!("expected node"),
+        }
+    }
+
+    #[test]
+    fn interned_tree_topological_order() {
+        let (mut c, b) = bases(3);
+        let t = JoinTree::left_deep(&b);
+        let it = t.intern(&mut c, 0);
+        assert_eq!(it.operators.len(), 2);
+        // The first operator's output feeds the second.
+        let first_out = c.operator(it.operators[0]).output;
+        assert!(c.operator(it.operators[1]).inputs.contains(&first_out));
+        assert_eq!(c.operator(it.operators[1]).output, it.root);
+    }
+}

@@ -1,0 +1,47 @@
+//! Micro-benchmarks for the LP solver: dense-ish and sparse problems of the
+//! shapes the planner produces.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use sqpr_lp::{solve, ProblemBuilder, SimplexOptions, INF};
+
+/// Transportation-style LP: `n` sources, `n` sinks.
+fn transport_lp(n: usize) -> sqpr_lp::Problem {
+    let mut b = ProblemBuilder::new();
+    let mut vars = vec![vec![0usize; n]; n];
+    for (i, row) in vars.iter_mut().enumerate() {
+        for (j, v) in row.iter_mut().enumerate() {
+            *v = b.add_col(((i * 7 + j * 13) % 10 + 1) as f64, 0.0, INF);
+        }
+    }
+    for (i, row) in vars.iter().enumerate() {
+        let r = b.add_row(-(INF), 8.0 + (i % 3) as f64);
+        for &v in row {
+            b.set_coeff(r, v, 1.0);
+        }
+    }
+    for j in 0..n {
+        let r = b.add_row(5.0, INF);
+        for row in &vars {
+            b.set_coeff(r, row[j], 1.0);
+        }
+    }
+    b.build()
+}
+
+fn bench_lp(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lp_simplex");
+    for n in [8usize, 16] {
+        let p = transport_lp(n);
+        g.bench_function(format!("transport_{n}x{n}"), |bench| {
+            bench.iter_batched(
+                || p.clone(),
+                |p| solve(&p, &SimplexOptions::default()),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_lp);
+criterion_main!(benches);

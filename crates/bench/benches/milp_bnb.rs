@@ -1,0 +1,52 @@
+//! Micro-benchmarks for branch & bound on knapsack/assignment MILPs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sqpr_milp::{solve, MilpOptions, Model, Sense};
+
+fn knapsack(n: usize) -> Model {
+    let mut m = Model::new(Sense::Maximize);
+    let vars: Vec<_> = (0..n)
+        .map(|i| m.add_binary(((i * 17) % 23 + 3) as f64))
+        .collect();
+    m.add_le(
+        vars.iter()
+            .enumerate()
+            .map(|(i, &v)| (v, ((i * 11) % 13 + 2) as f64))
+            .collect(),
+        (3 * n) as f64 / 2.0,
+    );
+    m
+}
+
+fn assignment(n: usize) -> Model {
+    let mut m = Model::new(Sense::Minimize);
+    let mut vars = vec![vec![]; n];
+    for (i, row) in vars.iter_mut().enumerate() {
+        for j in 0..n {
+            row.push(m.add_binary(((i * 7 + j * 5) % 11 + 1) as f64));
+        }
+    }
+    for row in &vars {
+        m.add_eq(row.iter().map(|&v| (v, 1.0)).collect(), 1.0);
+    }
+    for j in 0..n {
+        m.add_eq(vars.iter().map(|row| (row[j], 1.0)).collect(), 1.0);
+    }
+    m
+}
+
+fn bench_milp(c: &mut Criterion) {
+    let mut g = c.benchmark_group("milp_bnb");
+    g.bench_function("knapsack_20", |b| {
+        let m = knapsack(20);
+        b.iter(|| solve(&m, &MilpOptions::default()))
+    });
+    g.bench_function("assignment_6x6", |b| {
+        let m = assignment(6);
+        b.iter(|| solve(&m, &MilpOptions::default()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_milp);
+criterion_main!(benches);

@@ -1,0 +1,12 @@
+//! Reproduces Fig. 4(a): planning efficiency — satisfied vs. input queries
+//! for the optimistic bound, SQPR at three solve budgets, and the
+//! heuristic planner. Usage: `fig4a [scale]` (1.0 = paper size).
+use sqpr_bench::figures::fig4a;
+use sqpr_bench::harness::{print_figure, scale_arg};
+
+fn main() {
+    let scale = scale_arg(0.15);
+    println!("Fig 4(a) @ scale {scale} (paper: 50 hosts, 500 base streams, 500 input queries)");
+    let series = fig4a(scale);
+    print_figure("Fig 4(a): planning efficiency", "input queries", &series);
+}

@@ -1,0 +1,15 @@
+//! Reproduces Fig. 4(b): efficiency with batched submission (batches of
+//! 2-5 queries planned jointly). Usage: `fig4b [scale]`.
+use sqpr_bench::figures::fig4b;
+use sqpr_bench::harness::{print_figure, scale_arg};
+
+fn main() {
+    let scale = scale_arg(0.15);
+    println!("Fig 4(b) @ scale {scale}");
+    let series = fig4b(scale);
+    print_figure(
+        "Fig 4(b): efficiency with batching",
+        "input queries",
+        &series,
+    );
+}

@@ -1,0 +1,11 @@
+//! Reproduces Fig. 4(c): efficiency vs. query overlap (Zipf factor sweep
+//! for three base-stream universe sizes). Usage: `fig4c [scale]`.
+use sqpr_bench::figures::fig4c;
+use sqpr_bench::harness::{print_figure, scale_arg};
+
+fn main() {
+    let scale = scale_arg(0.1);
+    println!("Fig 4(c) @ scale {scale} (paper: 100/500/1000 base streams, Zipf 0-2)");
+    let series = fig4c(scale);
+    print_figure("Fig 4(c): efficiency with overlap", "zipf factor", &series);
+}

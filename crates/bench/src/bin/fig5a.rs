@@ -1,0 +1,11 @@
+//! Reproduces Fig. 5(a): scalability in hosts (25/50/100/150 at paper
+//! scale). Usage: `fig5a [scale]`.
+use sqpr_bench::figures::fig5a;
+use sqpr_bench::harness::{print_figure, scale_arg};
+
+fn main() {
+    let scale = scale_arg(0.1);
+    println!("Fig 5(a) @ scale {scale} (paper hosts: 25/50/100/150)");
+    let series = fig5a(scale);
+    print_figure("Fig 5(a): scalability in hosts", "hosts", &series);
+}

@@ -1,0 +1,11 @@
+//! Reproduces Fig. 5(b): scalability in per-host resources (1/2/4/8 CPU
+//! cores, 10x network). Usage: `fig5b [scale]`.
+use sqpr_bench::figures::fig5b;
+use sqpr_bench::harness::{print_figure, scale_arg};
+
+fn main() {
+    let scale = scale_arg(0.1);
+    println!("Fig 5(b) @ scale {scale} (paper: 1/2/4/8 cores, 10 Gbps)");
+    let series = fig5b(scale);
+    print_figure("Fig 5(b): scalability in resources", "CPU cores", &series);
+}

@@ -1,0 +1,15 @@
+//! Reproduces Fig. 5(c): scalability in query complexity (2- to 5-way
+//! joins). Usage: `fig5c [scale]`.
+use sqpr_bench::figures::fig5c;
+use sqpr_bench::harness::{print_figure, scale_arg};
+
+fn main() {
+    let scale = scale_arg(0.1);
+    println!("Fig 5(c) @ scale {scale} (paper: 2-w..5-w joins)");
+    let series = fig5c(scale);
+    print_figure(
+        "Fig 5(c): scalability in query complexity",
+        "join arity",
+        &series,
+    );
+}

@@ -1,0 +1,11 @@
+//! Reproduces Fig. 6(a): average planning time vs. host count at 75-95%
+//! resource utilisation. Usage: `fig6a [scale]`.
+use sqpr_bench::figures::fig6a;
+use sqpr_bench::harness::{print_figure, scale_arg};
+
+fn main() {
+    let scale = scale_arg(0.1);
+    println!("Fig 6(a) @ scale {scale} (paper hosts: 25/50/100/150, 100 s cap)");
+    let series = fig6a(scale);
+    print_figure("Fig 6(a): planning time vs hosts", "hosts", &series);
+}

@@ -1,0 +1,15 @@
+//! Reproduces Fig. 6(b): average planning time vs. query arity.
+//! Usage: `fig6b [scale]`.
+use sqpr_bench::figures::fig6b;
+use sqpr_bench::harness::{print_figure, scale_arg};
+
+fn main() {
+    let scale = scale_arg(0.1);
+    println!("Fig 6(b) @ scale {scale} (paper: 2-w..5-w at 50 hosts)");
+    let series = fig6b(scale);
+    print_figure(
+        "Fig 6(b): planning time vs query type",
+        "join arity",
+        &series,
+    );
+}

@@ -1,0 +1,16 @@
+//! Reproduces Fig. 7(a): cluster planning efficiency, SQPR vs SODA, in
+//! waves of 50 queries on the simulated 15-host cluster.
+//! Usage: `fig7a [scale]`.
+use sqpr_bench::cluster::fig7a;
+use sqpr_bench::harness::{print_figure, scale_arg};
+
+fn main() {
+    let scale = scale_arg(0.5);
+    println!("Fig 7(a) @ scale {scale} (paper: 15 hosts, 300 base streams, waves of 50)");
+    let series = fig7a(scale);
+    print_figure(
+        "Fig 7(a): cluster planning efficiency",
+        "input queries",
+        &series,
+    );
+}

@@ -1,0 +1,17 @@
+//! Reproduces Fig. 7(b): CDF of per-host CPU utilisation measured by the
+//! execution engine after deploying 50 and 150 input queries (scaled) with
+//! SQPR and SODA. Usage: `fig7b [scale]`.
+use sqpr_bench::cluster::{cluster_distributions, print_cdfs};
+use sqpr_bench::harness::scale_arg;
+
+fn main() {
+    let scale = scale_arg(0.5);
+    println!("Fig 7(b) @ scale {scale} (paper: 50 & 150 input queries)");
+    let mut cdfs = Vec::new();
+    for n in [(50.0 * scale) as usize, (150.0 * scale) as usize] {
+        for d in cluster_distributions(scale, n.max(5)) {
+            cdfs.push((d.label.clone(), d.cpu_percent));
+        }
+    }
+    print_cdfs("Fig 7(b): CPU utilisation distribution", "CPU %", &cdfs);
+}

@@ -1,0 +1,20 @@
+//! Reproduces Fig. 7(c): CDF of per-host network usage (sent + received)
+//! measured by the execution engine. Usage: `fig7c [scale]`.
+use sqpr_bench::cluster::{cluster_distributions, print_cdfs};
+use sqpr_bench::harness::scale_arg;
+
+fn main() {
+    let scale = scale_arg(0.5);
+    println!("Fig 7(c) @ scale {scale} (paper: 50 & 150 input queries)");
+    let mut cdfs = Vec::new();
+    for n in [(50.0 * scale) as usize, (150.0 * scale) as usize] {
+        for d in cluster_distributions(scale, n.max(5)) {
+            cdfs.push((d.label.clone(), d.net_usage));
+        }
+    }
+    print_cdfs(
+        "Fig 7(c): network usage distribution",
+        "Mbps (in+out)",
+        &cdfs,
+    );
+}

@@ -1,0 +1,62 @@
+//! Runs every figure harness at a laptop-friendly scale and prints all
+//! tables (the data recorded in EXPERIMENTS.md). Usage: `run_all [scale]`.
+use sqpr_bench::cluster::{cluster_distributions, fig7a, print_cdfs};
+use sqpr_bench::figures::*;
+use sqpr_bench::harness::{print_figure, scale_arg};
+
+fn main() {
+    let scale = scale_arg(0.1);
+    println!("SQPR reproduction: all figures @ scale {scale} (1.0 = paper size)");
+    print_figure(
+        "Fig 4(a): planning efficiency",
+        "input queries",
+        &fig4a(scale),
+    );
+    print_figure(
+        "Fig 4(b): efficiency with batching",
+        "input queries",
+        &fig4b(scale),
+    );
+    print_figure(
+        "Fig 4(c): efficiency with overlap",
+        "zipf factor",
+        &fig4c(scale),
+    );
+    print_figure("Fig 5(a): scalability in hosts", "hosts", &fig5a(scale));
+    print_figure(
+        "Fig 5(b): scalability in resources",
+        "CPU cores",
+        &fig5b(scale),
+    );
+    print_figure(
+        "Fig 5(c): scalability in query complexity",
+        "join arity",
+        &fig5c(scale),
+    );
+    print_figure(
+        "Fig 6(a): planning time vs hosts (ms)",
+        "hosts",
+        &fig6a(scale),
+    );
+    print_figure(
+        "Fig 6(b): planning time vs query type (ms)",
+        "join arity",
+        &fig6b(scale),
+    );
+    let cscale = (scale * 4.0).min(1.0);
+    print_figure(
+        "Fig 7(a): cluster planning efficiency",
+        "input queries",
+        &fig7a(cscale),
+    );
+    let mut cpu_cdfs = Vec::new();
+    let mut net_cdfs = Vec::new();
+    for n in [(50.0 * cscale) as usize, (150.0 * cscale) as usize] {
+        for d in cluster_distributions(cscale, n.max(5)) {
+            cpu_cdfs.push((d.label.clone(), d.cpu_percent));
+            net_cdfs.push((d.label, d.net_usage));
+        }
+    }
+    print_cdfs("Fig 7(b): CPU utilisation distribution", "CPU %", &cpu_cdfs);
+    print_cdfs("Fig 7(c): network usage distribution", "Mbps", &net_cdfs);
+}

@@ -1,0 +1,125 @@
+//! Reproduction of the cluster-deployment experiments (paper §V-B, Fig. 7).
+//!
+//! The paper runs a DISSP prototype on 15 Emulab hosts (10 Mbps LAN) and
+//! submits waves of 50 queries to SQPR and SODA, measuring admitted counts
+//! and the distribution of per-host CPU/network usage. We substitute the
+//! `sqpr-dsps` execution engine for Emulab: plans are deployed onto the
+//! simulated cluster and the engine's resource monitors provide the
+//! measured distributions.
+
+use sqpr_baselines::SodaPlanner;
+use sqpr_core::{ObjectiveWeights, PlannerConfig, SqprPlanner};
+use sqpr_dsps::{run_engine, Cdf, EngineConfig};
+use sqpr_workload::{generate, Workload, WorkloadSpec};
+
+use crate::harness::{budget_for_timeout, Series};
+
+/// Wave size (the paper submits 50 queries per wave at full scale).
+fn wave_size(spec: &WorkloadSpec) -> usize {
+    (spec.queries / 5).max(1)
+}
+
+fn cluster_sqpr(w: &Workload) -> SqprPlanner {
+    let mut cfg = PlannerConfig::new(&w.catalog);
+    cfg.budget = budget_for_timeout(30);
+    // §V-B: "the objective function for the next experiments is set to
+    // load balancing".
+    cfg.weights = ObjectiveWeights::load_balance(&w.catalog);
+    SqprPlanner::new(w.catalog.clone(), cfg)
+}
+
+/// Figure 7(a): admitted queries per wave, SQPR vs SODA, on the cluster.
+pub fn fig7a(scale: f64) -> Vec<Series> {
+    let spec = WorkloadSpec::paper_cluster(scale);
+    let w = generate(&spec);
+    let wave = wave_size(&spec);
+
+    let mut sqpr = cluster_sqpr(&w);
+    let mut soda = SodaPlanner::new(w.catalog.clone());
+    let mut s1 = Series::new("sqpr");
+    let mut s2 = Series::new("soda");
+    let mut submitted = 0usize;
+    for chunk in w.queries.chunks(wave) {
+        for q in chunk {
+            sqpr.submit(q);
+            soda.submit(q);
+        }
+        submitted += chunk.len();
+        s1.push(submitted as f64, sqpr.num_admitted() as f64);
+        s2.push(submitted as f64, soda.num_admitted() as f64);
+    }
+    vec![s1, s2]
+}
+
+/// Measured per-host distributions after deploying `n_queries` with each
+/// planner: returns `(label, cpu%, net)` CDFs.
+pub struct ClusterDistributions {
+    pub label: String,
+    pub cpu_percent: Cdf,
+    pub net_usage: Cdf,
+}
+
+/// Figures 7(b)/(c) backend: runs both planners to the given input-query
+/// count, deploys the resulting allocations on the execution engine and
+/// samples the monitors.
+pub fn cluster_distributions(scale: f64, input_queries: usize) -> Vec<ClusterDistributions> {
+    let spec = WorkloadSpec::paper_cluster(scale);
+    let w = generate(&spec);
+    let queries: Vec<_> = w.queries.iter().take(input_queries).collect();
+
+    let engine_cfg = EngineConfig {
+        tick_seconds: 1.0,
+        warmup_ticks: 20,
+        measure_ticks: 60,
+        cpu_noise: 0.05,
+        seed: 0xD155,
+    };
+
+    let mut out = Vec::new();
+
+    let mut sqpr = cluster_sqpr(&w);
+    for q in &queries {
+        sqpr.submit(q);
+    }
+    let report = run_engine(sqpr.catalog(), sqpr.state(), &engine_cfg);
+    out.push(ClusterDistributions {
+        label: format!("SQPR-{input_queries}"),
+        cpu_percent: Cdf::from_samples(report.cpu_utilization.iter().map(|u| u * 100.0).collect()),
+        net_usage: Cdf::from_samples(report.net_usage.clone()),
+    });
+
+    let mut soda = SodaPlanner::new(w.catalog.clone());
+    for q in &queries {
+        soda.submit(q);
+    }
+    let report = run_engine(soda.catalog(), soda.state(), &engine_cfg);
+    out.push(ClusterDistributions {
+        label: format!("SODA-{input_queries}"),
+        cpu_percent: Cdf::from_samples(report.cpu_utilization.iter().map(|u| u * 100.0).collect()),
+        net_usage: Cdf::from_samples(report.net_usage.clone()),
+    });
+    out
+}
+
+/// Prints a CDF table (10 evenly spaced cumulative fractions per series).
+pub fn print_cdfs(title: &str, value_label: &str, dists: &[(String, Cdf)]) {
+    println!("\n=== {title} ===");
+    println!("{:>12} {:>30}", "quantile", value_label);
+    print!("{:>12}", "q");
+    for (label, _) in dists {
+        print!("  {label:>14}");
+    }
+    println!();
+    for i in 1..=10 {
+        let q = i as f64 / 10.0;
+        print!("{q:>12.1}");
+        for (_, cdf) in dists {
+            if cdf.is_empty() {
+                print!("  {:>14}", "-");
+            } else {
+                print!("  {:>14.3}", cdf.quantile(q));
+            }
+        }
+        println!();
+    }
+}

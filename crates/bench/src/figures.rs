@@ -1,0 +1,251 @@
+//! Reproduction of the simulation figures (paper §V-A, Figs. 4–6).
+//!
+//! Every function regenerates one figure's series on a scaled-down system
+//! (`scale = 1.0` reproduces the paper's sizes). Absolute numbers differ
+//! from the paper (different hardware, solver and scale); the *shapes* are
+//! the reproduction target: ordering of planners, saturation points,
+//! monotonicity in overlap/resources, and the host-count sensitivity of
+//! planning time.
+
+use std::time::Instant;
+
+use sqpr_baselines::{HeuristicPlanner, OptimisticBound, Planner};
+use sqpr_core::{PlannerConfig, SolveBudget, SqprPlanner};
+use sqpr_workload::{generate, Workload, WorkloadSpec};
+
+use crate::harness::{budget_for_timeout, Series};
+
+fn sqpr_with_budget(workload: &Workload, budget: SolveBudget) -> SqprPlanner {
+    let mut cfg = PlannerConfig::new(&workload.catalog);
+    cfg.budget = budget;
+    SqprPlanner::new(workload.catalog.clone(), cfg)
+}
+
+/// Runs a planner over the workload, recording admitted counts at every
+/// `every`-query checkpoint.
+fn admission_curve(
+    planner: &mut dyn Planner,
+    queries: &[Vec<sqpr_dsps::StreamId>],
+    every: usize,
+) -> Vec<(f64, f64)> {
+    let mut points = Vec::new();
+    for (i, q) in queries.iter().enumerate() {
+        planner.submit_query(q);
+        if (i + 1) % every == 0 || i + 1 == queries.len() {
+            points.push(((i + 1) as f64, planner.admitted() as f64));
+        }
+    }
+    points
+}
+
+/// Figure 4(a): satisfied vs. input queries for the optimistic bound, SQPR
+/// under three solve budgets (the paper's 60/30/5 s CPLEX timeouts), and
+/// the heuristic planner.
+pub fn fig4a(scale: f64) -> Vec<Series> {
+    let spec = WorkloadSpec::paper_sim(scale);
+    let w = generate(&spec);
+    let every = (w.queries.len() / 20).max(1);
+    let mut out = Vec::new();
+
+    let mut ob = OptimisticBound::new(w.catalog.clone());
+    let mut s = Series::new("optimistic");
+    s.points = admission_curve(&mut ob, &w.queries, every);
+    out.push(s);
+
+    for (label, secs) in [("sqpr-60s", 60u64), ("sqpr-30s", 30), ("sqpr-5s", 5)] {
+        let mut planner = sqpr_with_budget(&w, budget_for_timeout(secs));
+        let mut s = Series::new(label);
+        s.points = admission_curve(&mut planner, &w.queries, every);
+        out.push(s);
+    }
+
+    let mut hp = HeuristicPlanner::new(w.catalog.clone());
+    let mut s = Series::new("heuristic");
+    s.points = admission_curve(&mut hp, &w.queries, every);
+    out.push(s);
+    out
+}
+
+/// Figure 4(b): admission curves when queries are submitted in batches of
+/// 2–5, each batch planned as one optimisation with an `n`-scaled budget.
+pub fn fig4b(scale: f64) -> Vec<Series> {
+    let spec = WorkloadSpec::paper_sim(scale);
+    let w = generate(&spec);
+    let every = (w.queries.len() / 20).max(1);
+    let mut out = Vec::new();
+    for batch in 2..=5usize {
+        let base = budget_for_timeout(30);
+        let budget = SolveBudget {
+            max_nodes: base.max_nodes * batch,
+            // The paper uses 30n-second timeouts; cap the wall clock so the
+            // harness stays interactive at laptop scale.
+            wall_clock_ms: base
+                .wall_clock_ms
+                .map(|msec| (msec * batch as u64).min(4000)),
+        };
+        let mut planner = sqpr_with_budget(&w, budget);
+        let mut s = Series::new(format!("{batch} query batches"));
+        let mut submitted = 0usize;
+        for chunk in w.queries.chunks(batch) {
+            planner.submit_batch(chunk);
+            submitted += chunk.len();
+            if submitted % every < batch || submitted == w.queries.len() {
+                s.push(submitted as f64, planner.num_admitted() as f64);
+            }
+        }
+        out.push(s);
+    }
+    out
+}
+
+/// Figure 4(c): satisfiable queries vs. the Zipf factor controlling
+/// base-stream overlap, for three base-stream universe sizes.
+pub fn fig4c(scale: f64) -> Vec<Series> {
+    let mut out = Vec::new();
+    for bases_factor in [0.2f64, 1.0, 2.0] {
+        let base_spec = WorkloadSpec::paper_sim(scale);
+        let n_bases = ((base_spec.base_streams as f64 * bases_factor) as usize).max(6);
+        let mut s = Series::new(format!("{n_bases} base streams"));
+        for zipf in [0.0f64, 0.5, 1.0, 1.5, 2.0] {
+            let mut spec = WorkloadSpec::paper_sim(scale);
+            spec.base_streams = n_bases;
+            spec.zipf_theta = zipf;
+            let w = generate(&spec);
+            let mut planner = sqpr_with_budget(&w, budget_for_timeout(30));
+            for q in &w.queries {
+                planner.submit_query(q);
+            }
+            s.push(zipf, planner.num_admitted() as f64);
+        }
+        out.push(s);
+    }
+    out
+}
+
+/// Figure 5(a): satisfiable queries vs. host count, SQPR vs. the optimistic
+/// bound. Host counts follow the paper's 25/50/100/150 ratio at the given
+/// scale.
+pub fn fig5a(scale: f64) -> Vec<Series> {
+    let mut sqpr = Series::new("sqpr");
+    let mut opt = Series::new("optimistic");
+    for factor in [0.5f64, 1.0, 2.0, 3.0] {
+        let mut spec = WorkloadSpec::paper_sim(scale);
+        spec.hosts = ((spec.hosts as f64 * factor) as usize).max(3);
+        // More hosts host more queries; submit enough to saturate.
+        spec.queries = (spec.queries as f64 * factor.max(1.0) * 1.5) as usize;
+        let w = generate(&spec);
+        let mut planner = sqpr_with_budget(&w, budget_for_timeout(30));
+        for q in &w.queries {
+            planner.submit_query(q);
+        }
+        sqpr.push(spec.hosts as f64, planner.num_admitted() as f64);
+        let mut ob = OptimisticBound::new(w.catalog.clone());
+        for q in &w.queries {
+            ob.submit_query(q);
+        }
+        opt.push(spec.hosts as f64, ob.admitted() as f64);
+    }
+    vec![opt, sqpr]
+}
+
+/// Figure 5(b): satisfiable queries vs. per-host CPU cores (1/2/4/8), with
+/// 10x network capacity as in the paper.
+pub fn fig5b(scale: f64) -> Vec<Series> {
+    let mut sqpr = Series::new("sqpr");
+    let mut opt = Series::new("optimistic");
+    for cores in [1u32, 2, 4, 8] {
+        let mut spec = WorkloadSpec::paper_sim(scale);
+        spec.cpu_capacity *= cores as f64;
+        spec.host_bandwidth *= 10.0;
+        spec.link_capacity *= 10.0;
+        spec.queries = (spec.queries * cores as usize * 2).min(spec.queries * 8);
+        let w = generate(&spec);
+        let mut planner = sqpr_with_budget(&w, budget_for_timeout(30));
+        for q in &w.queries {
+            planner.submit_query(q);
+        }
+        sqpr.push(cores as f64, planner.num_admitted() as f64);
+        let mut ob = OptimisticBound::new(w.catalog.clone());
+        for q in &w.queries {
+            ob.submit_query(q);
+        }
+        opt.push(cores as f64, ob.admitted() as f64);
+    }
+    vec![opt, sqpr]
+}
+
+/// Figure 5(c): satisfiable queries vs. query complexity (all queries k-way
+/// for k = 2..5).
+pub fn fig5c(scale: f64) -> Vec<Series> {
+    let mut sqpr = Series::new("sqpr");
+    let mut opt = Series::new("optimistic");
+    for k in 2..=5usize {
+        let mut spec = WorkloadSpec::paper_sim(scale);
+        spec.arities = vec![(k, 1.0)];
+        let w = generate(&spec);
+        let mut planner = sqpr_with_budget(&w, budget_for_timeout(30));
+        for q in &w.queries {
+            planner.submit_query(q);
+        }
+        sqpr.push(k as f64, planner.num_admitted() as f64);
+        let mut ob = OptimisticBound::new(w.catalog.clone());
+        for q in &w.queries {
+            ob.submit_query(q);
+        }
+        opt.push(k as f64, ob.admitted() as f64);
+    }
+    vec![opt, sqpr]
+}
+
+/// Drives a planner to 75% CPU utilisation, then measures the mean planning
+/// time of subsequent queries (paper Fig. 6 methodology: planning is
+/// hardest when 75–95% of resources are consumed).
+fn planning_time_at_load(spec: &WorkloadSpec, budget: SolveBudget) -> f64 {
+    let w = generate(spec);
+    let total_cpu = w.catalog.total_cpu();
+    let mut planner = sqpr_with_budget(&w, budget);
+    let mut times = Vec::new();
+    for q in &w.queries {
+        let used: f64 = planner.state().cpu_usage(planner.catalog()).iter().sum();
+        let loaded = used / total_cpu >= 0.75;
+        let t = Instant::now();
+        planner.submit(q);
+        if loaded {
+            times.push(t.elapsed().as_secs_f64() * 1e3);
+        }
+        if times.len() >= 25 {
+            break;
+        }
+    }
+    if times.is_empty() {
+        f64::NAN
+    } else {
+        times.iter().sum::<f64>() / times.len() as f64
+    }
+}
+
+/// Figure 6(a): average planning time vs. host count at 75–95% utilisation
+/// (the paper caps CPLEX at 100 s; we use the scaled budget).
+pub fn fig6a(scale: f64) -> Vec<Series> {
+    let mut s = Series::new("avg planning ms");
+    for factor in [0.5f64, 1.0, 2.0, 3.0] {
+        let mut spec = WorkloadSpec::paper_sim(scale);
+        spec.hosts = ((spec.hosts as f64 * factor) as usize).max(3);
+        spec.queries = (spec.queries as f64 * factor.max(1.0) * 1.5) as usize;
+        let t = planning_time_at_load(&spec, budget_for_timeout(100));
+        s.push(spec.hosts as f64, t);
+    }
+    vec![s]
+}
+
+/// Figure 6(b): average planning time vs. query arity (2- to 5-way joins).
+pub fn fig6b(scale: f64) -> Vec<Series> {
+    let mut s = Series::new("avg planning ms");
+    for k in 2..=5usize {
+        let mut spec = WorkloadSpec::paper_sim(scale);
+        spec.arities = vec![(k, 1.0)];
+        let t = planning_time_at_load(&spec, budget_for_timeout(100));
+        s.push(k as f64, t);
+    }
+    vec![s]
+}

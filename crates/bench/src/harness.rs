@@ -1,0 +1,115 @@
+//! Shared harness utilities for the figure-reproduction binaries.
+//!
+//! Every harness prints a self-describing table: the paper figure it
+//! regenerates, the (scaled) experiment parameters, and one row per x-value
+//! with one column per series — the same rows/series the paper plots.
+
+use std::time::Duration;
+
+use sqpr_core::SolveBudget;
+
+/// Scale factor for experiments: 1.0 = the paper's sizes. Read from the
+/// `SQPR_SCALE` environment variable or the first CLI argument; defaults to
+/// a laptop-friendly fraction.
+pub fn scale_arg(default: f64) -> f64 {
+    if let Some(a) = std::env::args().nth(1) {
+        if let Ok(v) = a.parse::<f64>() {
+            return v.clamp(0.02, 1.0);
+        }
+    }
+    if let Ok(s) = std::env::var("SQPR_SCALE") {
+        if let Ok(v) = s.parse::<f64>() {
+            return v.clamp(0.02, 1.0);
+        }
+    }
+    default
+}
+
+/// Maps a paper-side CPLEX timeout (seconds) to our solver's budget. The
+/// deterministic component is the branch & bound node budget; the wall
+/// clock is scaled down 5x because the experiments themselves are scaled.
+pub fn budget_for_timeout(paper_seconds: u64) -> SolveBudget {
+    SolveBudget {
+        max_nodes: (paper_seconds as usize) * 8,
+        wall_clock_ms: Some(paper_seconds * 50),
+    }
+}
+
+/// One plotted series: a label and `(x, y)` points.
+#[derive(Debug, Clone)]
+pub struct Series {
+    pub label: String,
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    pub fn new(label: impl Into<String>) -> Self {
+        Series {
+            label: label.into(),
+            points: Vec::new(),
+        }
+    }
+
+    pub fn push(&mut self, x: f64, y: f64) {
+        self.points.push((x, y));
+    }
+}
+
+/// Prints a figure as an aligned table: `x` column plus one column per
+/// series, matching the paper's plotted lines.
+pub fn print_figure(title: &str, xlabel: &str, series: &[Series]) {
+    println!("\n=== {title} ===");
+    let mut xs: Vec<f64> = series
+        .iter()
+        .flat_map(|s| s.points.iter().map(|&(x, _)| x))
+        .collect();
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    xs.dedup();
+    print!("{xlabel:>16}");
+    for s in series {
+        print!("  {:>18}", s.label);
+    }
+    println!();
+    for &x in &xs {
+        print!("{x:>16.2}");
+        for s in series {
+            match s.points.iter().find(|&&(px, _)| px == x) {
+                Some(&(_, y)) => print!("  {y:>18.2}"),
+                None => print!("  {:>18}", "-"),
+            }
+        }
+        println!();
+    }
+}
+
+/// Formats a duration in milliseconds with two decimals.
+pub fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budget_mapping_monotone() {
+        let b5 = budget_for_timeout(5);
+        let b30 = budget_for_timeout(30);
+        let b60 = budget_for_timeout(60);
+        assert!(b5.max_nodes < b30.max_nodes && b30.max_nodes < b60.max_nodes);
+        assert!(b5.wall_clock_ms.unwrap() < b60.wall_clock_ms.unwrap());
+    }
+
+    #[test]
+    fn series_printing_does_not_panic() {
+        let mut s = Series::new("test");
+        s.push(1.0, 2.0);
+        s.push(2.0, 4.0);
+        print_figure("t", "x", &[s]);
+    }
+
+    #[test]
+    fn ms_converts() {
+        assert_eq!(ms(Duration::from_millis(1500)), 1500.0);
+    }
+}

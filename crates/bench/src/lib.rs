@@ -1,0 +1,11 @@
+//! # sqpr-bench
+//!
+//! Figure/table reproduction harnesses for the SQPR evaluation (one binary
+//! per figure; see `src/bin/`), shared utilities, and the ablation studies
+//! listed in DESIGN.md. Criterion micro-benchmarks for the solver stack
+//! live in `benches/`.
+
+pub mod ablations;
+pub mod cluster;
+pub mod figures;
+pub mod harness;

@@ -1,0 +1,88 @@
+//! Adaptive query planning (paper §IV-B).
+//!
+//! Initial planning is based on cost-model estimates; rates drift at
+//! runtime. SQPR "stores the resource estimates used during initial
+//! planning … and periodically constructs a list of queries (a) for which
+//! the resource consumption differs from the initial estimates by a given
+//! threshold or (b) that suffer from a shortage of resources on a host. It
+//! then re-plans these queries by considering the system without those
+//! queries and re-adding them."
+
+use std::collections::BTreeSet;
+
+use sqpr_dsps::{QueryId, StreamId};
+
+use crate::planner::SqprPlanner;
+
+/// Report of one adaptation round.
+#[derive(Debug, Clone, Default)]
+pub struct AdaptReport {
+    /// Base streams whose observed rate deviated beyond the threshold.
+    pub drifted_streams: Vec<StreamId>,
+    /// Queries selected for re-planning (criterion (a) or (b)).
+    pub replanned: Vec<QueryId>,
+    /// Queries re-admitted successfully.
+    pub readmitted: Vec<QueryId>,
+    /// Queries dropped because no feasible plan was found after the drift.
+    pub dropped: Vec<QueryId>,
+}
+
+/// Applies observed base-stream rates and re-plans affected queries.
+///
+/// `threshold` is the relative deviation that triggers re-planning
+/// (criterion (a)); after the drift pass, any remaining resource shortage
+/// triggers a full re-plan sweep (criterion (b)).
+pub fn adapt_to_observed_rates(
+    planner: &mut SqprPlanner,
+    observed: &[(StreamId, f64)],
+    threshold: f64,
+) -> AdaptReport {
+    let mut report = AdaptReport::default();
+
+    // Criterion (a): rate drift beyond the threshold.
+    let mut drifted: BTreeSet<StreamId> = BTreeSet::new();
+    for &(s, rate) in observed {
+        let old = planner.catalog().stream(s).rate;
+        if old > 0.0 && ((rate - old) / old).abs() > threshold {
+            drifted.insert(s);
+        }
+        planner.update_base_rate(s, rate);
+    }
+    report.drifted_streams = drifted.iter().copied().collect();
+
+    let affected: Vec<QueryId> = planner
+        .queries()
+        .iter()
+        .filter(|spec| {
+            planner.state().admitted().contains_key(&spec.id)
+                && spec.bases.iter().any(|b| drifted.contains(b))
+        })
+        .map(|spec| spec.id)
+        .collect();
+
+    for q in affected {
+        report.replanned.push(q);
+        match planner.replan_query(q) {
+            Some(outcome) if outcome.admitted => report.readmitted.push(q),
+            _ => report.dropped.push(q),
+        }
+    }
+
+    // Criterion (b): shortage anywhere -> sweep every admitted query once.
+    if !planner.state().is_valid(planner.catalog()) {
+        let all: Vec<QueryId> = planner.state().admitted().keys().copied().collect();
+        for q in all {
+            if planner.state().is_valid(planner.catalog()) {
+                break;
+            }
+            if !report.replanned.contains(&q) {
+                report.replanned.push(q);
+                match planner.replan_query(q) {
+                    Some(outcome) if outcome.admitted => report.readmitted.push(q),
+                    _ => report.dropped.push(q),
+                }
+            }
+        }
+    }
+    report
+}

@@ -1,0 +1,253 @@
+//! Extraction of query-plan trees (paper §III-A) from a deployment.
+//!
+//! The MILP works on flat variables; operators that merely forward streams
+//! (the relay operator `µ` of §II-C) are implicit in the flow variables.
+//! This module reconstructs the explicit tree for one demanded stream:
+//! operator nodes `⟨h, o⟩`, relay nodes `⟨h, µ⟩`, and base-stream source
+//! arcs — suitable for display and validatable against conditions C1–C4.
+
+use std::collections::{BTreeSet, HashMap};
+
+use sqpr_dsps::{Catalog, DeploymentState, HostId, PlanNode, PlanNodeKind, QueryPlan, StreamId};
+
+/// Builds the plan tree delivering `stream` from its providing host.
+/// Returns `None` when the stream is not provided or the deployment cannot
+/// derive it (invalid state).
+pub fn extract_plan(
+    catalog: &Catalog,
+    state: &DeploymentState,
+    stream: StreamId,
+) -> Option<QueryPlan> {
+    let provider = state.provider_of(stream)?;
+    // Derivation rounds: the round at which each (host, stream) first
+    // becomes available. Mechanisms must only reference strictly earlier
+    // rounds, which guarantees the recursion terminates.
+    let rounds = derivation_rounds(catalog, state);
+    let mut nodes: Vec<PlanNode> = Vec::new();
+    let root = build_node(catalog, state, &rounds, provider, stream, &mut nodes)?;
+    Some(QueryPlan::new(nodes, root))
+}
+
+/// Round number per (host, stream); base placements are round 0.
+fn derivation_rounds(
+    catalog: &Catalog,
+    state: &DeploymentState,
+) -> HashMap<(HostId, StreamId), usize> {
+    let mut round: HashMap<(HostId, StreamId), usize> = HashMap::new();
+    for h in catalog.hosts() {
+        for &s in catalog.base_streams_at(h) {
+            round.insert((h, s), 0);
+        }
+    }
+    let mut r = 0usize;
+    loop {
+        r += 1;
+        let mut changed = false;
+        for &(h, o) in state.placements() {
+            let op = catalog.operator(o);
+            if round.contains_key(&(h, op.output)) {
+                continue;
+            }
+            if op
+                .inputs
+                .iter()
+                .all(|&i| round.get(&(h, i)).is_some_and(|&ri| ri < r))
+            {
+                round.insert((h, op.output), r);
+                changed = true;
+            }
+        }
+        for &(g, m, s) in state.flows() {
+            if round.contains_key(&(m, s)) {
+                continue;
+            }
+            if round.get(&(g, s)).is_some_and(|&rg| rg < r) {
+                round.insert((m, s), r);
+                changed = true;
+            }
+        }
+        if !changed {
+            return round;
+        }
+    }
+}
+
+/// Recursively constructs the node producing `stream` at `host`.
+fn build_node(
+    catalog: &Catalog,
+    state: &DeploymentState,
+    rounds: &HashMap<(HostId, StreamId), usize>,
+    host: HostId,
+    stream: StreamId,
+    nodes: &mut Vec<PlanNode>,
+) -> Option<usize> {
+    let my_round = *rounds.get(&(host, stream))?;
+
+    // Base stream at its own source: a relay node fed directly by the
+    // source arc (C3/C4 compatible leaf).
+    if catalog.is_base_at(stream, host) {
+        nodes.push(PlanNode {
+            host,
+            kind: PlanNodeKind::Relay,
+            output: stream,
+            children: vec![],
+            source_inputs: vec![stream],
+        });
+        return Some(nodes.len() - 1);
+    }
+
+    // Prefer a local operator that produces the stream from earlier-round
+    // inputs.
+    for &o in catalog.producers_of(stream) {
+        if !state.is_placed(host, o) {
+            continue;
+        }
+        let op = catalog.operator(o);
+        let usable = op
+            .inputs
+            .iter()
+            .all(|&i| rounds.get(&(host, i)).is_some_and(|&ri| ri < my_round));
+        if !usable {
+            continue;
+        }
+        let mut children = Vec::new();
+        let mut source_inputs = Vec::new();
+        let inputs = op.inputs.clone();
+        for inp in inputs {
+            if catalog.is_base_at(inp, host) {
+                source_inputs.push(inp);
+            } else if rounds.get(&(host, inp)).is_some() {
+                // Locally derived or received: recurse at the best origin.
+                let child = origin_node(catalog, state, rounds, host, inp, nodes)?;
+                children.push(child);
+            } else {
+                return None;
+            }
+        }
+        nodes.push(PlanNode {
+            host,
+            kind: PlanNodeKind::Operator(o),
+            output: stream,
+            children,
+            source_inputs,
+        });
+        return Some(nodes.len() - 1);
+    }
+
+    // Otherwise the stream was received: relay node over the incoming flow.
+    let sender = best_sender(state, rounds, host, stream, my_round)?;
+    let child = build_node(catalog, state, rounds, sender, stream, nodes)?;
+    nodes.push(PlanNode {
+        host,
+        kind: PlanNodeKind::Relay,
+        output: stream,
+        children: vec![child],
+        source_inputs: vec![],
+    });
+    Some(nodes.len() - 1)
+}
+
+/// For an operator input available at `host`: either it is derived locally
+/// (recurse at `host`) or received from a sender (build the sender's
+/// subtree; the cross-host arc is implicit in the child/parent hosts).
+fn origin_node(
+    catalog: &Catalog,
+    state: &DeploymentState,
+    rounds: &HashMap<(HostId, StreamId), usize>,
+    host: HostId,
+    stream: StreamId,
+    nodes: &mut Vec<PlanNode>,
+) -> Option<usize> {
+    let my_round = *rounds.get(&(host, stream))?;
+    // Locally produced?
+    let locally = catalog.is_base_at(stream, host)
+        || catalog
+            .producers_of(stream)
+            .iter()
+            .any(|&o| state.is_placed(host, o));
+    if locally {
+        return build_node(catalog, state, rounds, host, stream, nodes);
+    }
+    let sender = best_sender(state, rounds, host, stream, my_round)?;
+    build_node(catalog, state, rounds, sender, stream, nodes)
+}
+
+/// The flow sender with the earliest derivation round (strictly earlier
+/// than the receiver's).
+fn best_sender(
+    state: &DeploymentState,
+    rounds: &HashMap<(HostId, StreamId), usize>,
+    host: HostId,
+    stream: StreamId,
+    before: usize,
+) -> Option<HostId> {
+    let mut senders: BTreeSet<(usize, HostId)> = BTreeSet::new();
+    for &(g, m, s) in state.flows() {
+        if m == host && s == stream {
+            if let Some(&rg) = rounds.get(&(g, s)) {
+                if rg < before {
+                    senders.insert((rg, g));
+                }
+            }
+        }
+    }
+    senders.into_iter().next().map(|(_, g)| g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PlannerConfig;
+    use crate::planner::SqprPlanner;
+    use sqpr_dsps::{CostModel, HostSpec};
+
+    fn planned_system() -> SqprPlanner {
+        let mut c = Catalog::uniform(3, HostSpec::new(100.0, 100.0), 1000.0, CostModel::default());
+        let a = c.add_base_stream(HostId(0), 10.0, 1);
+        let b = c.add_base_stream(HostId(1), 10.0, 2);
+        let d = c.add_base_stream(HostId(2), 10.0, 3);
+        let mut cfg = PlannerConfig::new(&c);
+        cfg.budget.max_nodes = 50;
+        let mut p = SqprPlanner::new(c, cfg);
+        assert!(p.submit(&[a, b]).admitted);
+        assert!(p.submit(&[a, b, d]).admitted);
+        p
+    }
+
+    #[test]
+    fn extracted_plans_validate_c1_to_c4() {
+        let p = planned_system();
+        for (&q, &s) in p.state().admitted() {
+            let plan = extract_plan(p.catalog(), p.state(), s)
+                .unwrap_or_else(|| panic!("no plan for {q}"));
+            assert_eq!(
+                plan.validate(p.catalog(), s),
+                Ok(()),
+                "query {q} plan invalid"
+            );
+            assert!(!plan.is_empty());
+        }
+    }
+
+    #[test]
+    fn plan_flows_are_subset_of_deployment_flows() {
+        let p = planned_system();
+        for &s in p.state().admitted().values() {
+            let plan = extract_plan(p.catalog(), p.state(), s).unwrap();
+            for (from, to, fs) in plan.flows() {
+                assert!(
+                    p.state().flows().contains(&(from, to, fs)),
+                    "plan flow {from}->{to} {fs} not deployed"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unprovided_stream_has_no_plan() {
+        let p = planned_system();
+        // A base stream is never provided to clients here.
+        let base = StreamId(0);
+        assert!(extract_plan(p.catalog(), p.state(), base).is_none());
+    }
+}

@@ -1,0 +1,412 @@
+//! Constructive admission: a greedy, reuse-aware plan builder used to
+//! warm-start the MILP (paper §VII lists "combine heuristics with SQPR" as
+//! future work; we implement it because our branch & bound benefits from an
+//! admitting incumbent the way CPLEX benefits from its own heuristics).
+//!
+//! A dynamic program over base-set subsets picks the cheapest join tree
+//! counting only *marginal* CPU (sub-results that already exist anywhere in
+//! the deployment are free and transferred instead of recomputed); the
+//! chosen tree is then placed greedily: each fresh operator goes to the
+//! feasible host with the most spare CPU among those that can receive its
+//! inputs, and missing inputs are shipped from the nearest holder.
+
+use std::collections::BTreeSet;
+
+use sqpr_dsps::{Catalog, DeploymentState, HostId, OperatorId, StreamId, StreamSignature};
+
+/// Attempts to extend `state` with an allocation that provides `result`.
+/// Returns the extended state on success.
+///
+/// Three construction strategies are tried in order of increasing cost:
+/// 1. the DP-cheapest join tree with greedy multi-host placement;
+/// 2. every join tree (up to an attempt cap) with greedy placement;
+/// 3. every join tree forced onto each single host (a strict superset of
+///    the evaluation's heuristic planner, so SQPR never constructs worse).
+pub fn greedy_admit(
+    catalog: &Catalog,
+    state: &DeploymentState,
+    result: StreamId,
+    reuse_tag: u64,
+) -> Option<DeploymentState> {
+    if let Some(cand) = dp_admit(catalog, state, result, reuse_tag) {
+        return Some(cand);
+    }
+    enumerate_admit(catalog, state, result, reuse_tag)
+}
+
+/// Strategy 1: DP over subsets for the cheapest marginal-CPU tree.
+fn dp_admit(
+    catalog: &Catalog,
+    state: &DeploymentState,
+    result: StreamId,
+    reuse_tag: u64,
+) -> Option<DeploymentState> {
+    let bases: Vec<StreamId> = catalog.base_set(result).into_iter().collect();
+    let k = bases.len();
+    if !(2..=16).contains(&k) {
+        return None;
+    }
+    let mut cand = state.clone();
+
+    // DP over subsets: cheapest marginal CPU to have the subset's join
+    // stream exist somewhere in the deployment.
+    let full = (1u32 << k) - 1;
+    let mut cost = vec![f64::INFINITY; (full + 1) as usize];
+    let mut split = vec![0u32; (full + 1) as usize];
+    for i in 0..k {
+        cost[1 << i] = 0.0; // base streams exist at their sources
+    }
+    for mask in 1..=full {
+        let size = mask.count_ones();
+        if size < 2 {
+            continue;
+        }
+        // Already produced anywhere? Zero marginal cost.
+        if let Some(s) = subset_stream(catalog, &bases, mask, reuse_tag) {
+            if cand.hosts_with(s).next().is_some() {
+                cost[mask as usize] = 0.0;
+                split[mask as usize] = 0;
+                continue;
+            }
+        }
+        let low = mask & mask.wrapping_neg();
+        let mut sub = (mask - 1) & mask;
+        while sub != 0 {
+            if sub & low != 0 && sub != mask {
+                let a = cost[sub as usize];
+                let b = cost[(mask ^ sub) as usize];
+                if a.is_finite() && b.is_finite() {
+                    let gamma = join_gamma(catalog, &bases, sub, mask ^ sub, reuse_tag);
+                    let total = a + b + gamma;
+                    if total < cost[mask as usize] {
+                        cost[mask as usize] = total;
+                        split[mask as usize] = sub;
+                    }
+                }
+            }
+            sub = (sub - 1) & mask;
+        }
+    }
+    if !cost[full as usize].is_finite() {
+        return None;
+    }
+
+    // Materialise the chosen tree bottom-up.
+    let root_host = build(catalog, &mut cand, &bases, full, &split, reuse_tag, None)?;
+    finish_serving(catalog, cand, result, root_host)
+}
+
+/// Checks delivery bandwidth and installs the provision.
+fn finish_serving(
+    catalog: &Catalog,
+    mut cand: DeploymentState,
+    result: StreamId,
+    root_host: HostId,
+) -> Option<DeploymentState> {
+    let rate = catalog.stream(result).rate;
+    let serving = cand
+        .hosts_with(result)
+        .chain(std::iter::once(root_host))
+        .find(|&h| {
+            let net = cand.net_usage(catalog);
+            net[h.index()].0 + rate <= catalog.host(h).bandwidth_out + 1e-9
+        })?;
+    cand.set_provided(result, serving);
+    if cand.is_valid(catalog) {
+        Some(cand)
+    } else {
+        None
+    }
+}
+
+/// Strategies 2 + 3: enumerate join trees; for each, try greedy multi-host
+/// placement, then forced single-host placement on every host.
+fn enumerate_admit(
+    catalog: &Catalog,
+    state: &DeploymentState,
+    result: StreamId,
+    reuse_tag: u64,
+) -> Option<DeploymentState> {
+    let bases: Vec<StreamId> = catalog.base_set(result).into_iter().collect();
+    let k = bases.len();
+    if !(2..=6).contains(&k) {
+        return None; // enumeration is exponential; DP already covered DPable sizes
+    }
+    let full = (1u32 << k) - 1;
+    let mut trees: Vec<Vec<u32>> = Vec::new(); // split per mask, indexed by mask
+    let mut current = vec![0u32; (full + 1) as usize];
+    collect_trees(full, &mut current, &mut trees, 0);
+
+    const MAX_ATTEMPTS: usize = 400;
+    let mut attempts = 0usize;
+    for split in &trees {
+        // Multi-host greedy with this tree.
+        attempts += 1;
+        if attempts > MAX_ATTEMPTS {
+            return None;
+        }
+        let mut cand = state.clone();
+        if let Some(root_host) = build(catalog, &mut cand, &bases, full, split, reuse_tag, None) {
+            if let Some(done) = finish_serving(catalog, cand, result, root_host) {
+                return Some(done);
+            }
+        }
+        // Forced single host.
+        for h in catalog.hosts() {
+            attempts += 1;
+            if attempts > MAX_ATTEMPTS {
+                return None;
+            }
+            let mut cand = state.clone();
+            if let Some(root_host) =
+                build(catalog, &mut cand, &bases, full, split, reuse_tag, Some(h))
+            {
+                if let Some(done) = finish_serving(catalog, cand, result, root_host) {
+                    return Some(done);
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Enumerates all binary-tree split maps over the full mask (recursive).
+fn collect_trees(mask: u32, current: &mut Vec<u32>, out: &mut Vec<Vec<u32>>, depth: usize) {
+    if depth > 32 || out.len() > 256 {
+        return;
+    }
+    // Find the first undecided composite submask reachable from the root.
+    fn first_undecided(mask: u32, current: &[u32]) -> Option<u32> {
+        if mask.count_ones() <= 1 {
+            return None;
+        }
+        if current[mask as usize] == 0 {
+            return Some(mask);
+        }
+        let sub = current[mask as usize];
+        first_undecided(sub, current).or_else(|| first_undecided(mask ^ sub, current))
+    }
+    match first_undecided(mask, current) {
+        None => out.push(current.clone()),
+        Some(m) => {
+            let low = m & m.wrapping_neg();
+            let mut sub = (m - 1) & m;
+            while sub != 0 {
+                if sub & low != 0 && sub != m {
+                    current[m as usize] = sub;
+                    collect_trees(mask, current, out, depth + 1);
+                    current[m as usize] = 0;
+                }
+                sub = (sub - 1) & m;
+            }
+        }
+    }
+}
+
+/// Stream id of the join over the masked subset, if interned.
+fn subset_stream(catalog: &Catalog, bases: &[StreamId], mask: u32, tag: u64) -> Option<StreamId> {
+    if mask.count_ones() == 1 {
+        return Some(bases[mask.trailing_zeros() as usize]);
+    }
+    let set: BTreeSet<StreamId> = (0..bases.len())
+        .filter(|i| mask & (1 << i) != 0)
+        .map(|i| bases[i])
+        .collect();
+    catalog.find_stream(&StreamSignature::Join { bases: set, tag })
+}
+
+/// CPU cost of the join combining the two masked subsets.
+fn join_gamma(catalog: &Catalog, bases: &[StreamId], a: u32, b: u32, tag: u64) -> f64 {
+    let sa = subset_stream(catalog, bases, a, tag);
+    let sb = subset_stream(catalog, bases, b, tag);
+    match (sa, sb) {
+        (Some(sa), Some(sb)) => catalog
+            .cost_model()
+            .join_cpu(&[catalog.stream(sa).rate, catalog.stream(sb).rate]),
+        _ => f64::INFINITY,
+    }
+}
+
+/// Recursively ensures the subset's stream exists somewhere; returns a host
+/// that has it.
+fn build(
+    catalog: &Catalog,
+    cand: &mut DeploymentState,
+    bases: &[StreamId],
+    mask: u32,
+    split: &[u32],
+    tag: u64,
+    forced_host: Option<HostId>,
+) -> Option<HostId> {
+    if mask.count_ones() == 1 {
+        let s = bases[mask.trailing_zeros() as usize];
+        return catalog.source_host(s);
+    }
+    let s = subset_stream(catalog, bases, mask, tag)?;
+    if let Some(h) = cand.hosts_with(s).next() {
+        return Some(h);
+    }
+    let sub = split[mask as usize];
+    debug_assert!(sub != 0, "unsolved subset reached build()");
+    let ha = build(catalog, cand, bases, sub, split, tag, forced_host)?;
+    let hb = build(catalog, cand, bases, mask ^ sub, split, tag, forced_host)?;
+    let sa = subset_stream(catalog, bases, sub, tag)?;
+    let sb = subset_stream(catalog, bases, mask ^ sub, tag)?;
+    let op = find_join_op(catalog, s, sa, sb)?;
+    let gamma = catalog.operator(op).cpu_cost;
+
+    // Candidate hosts ordered best-fit (least spare CPU that still fits):
+    // consolidation preserves contiguous capacity for later queries.
+    let cpu = cand.cpu_usage(catalog);
+    let mut hosts: Vec<HostId> = catalog.hosts().collect();
+    hosts.sort_by(|&x, &y| {
+        let sx = catalog.host(x).cpu_capacity - cpu[x.index()];
+        let sy = catalog.host(y).cpu_capacity - cpu[y.index()];
+        sx.partial_cmp(&sy).unwrap()
+    });
+    // Prefer hosts that already hold an input (zero-transfer), then fall
+    // back to the spare-CPU order. A forced host restricts the choice.
+    let prefer: Vec<HostId> = match forced_host {
+        Some(h) => vec![h],
+        None => [ha, hb].into_iter().chain(hosts.iter().copied()).collect(),
+    };
+
+    let mem = cand.memory_usage(catalog);
+    let op_mem = catalog.operator(op).memory_cost;
+    'host: for h in prefer {
+        if cpu[h.index()] + gamma > catalog.host(h).cpu_capacity + 1e-9 {
+            continue;
+        }
+        if mem[h.index()] + op_mem > catalog.host(h).memory_capacity + 1e-9 {
+            continue;
+        }
+        let mut trial = cand.clone();
+        for (inp, holder) in [(sa, ha), (sb, hb)] {
+            if trial.is_available(h, inp) || catalog.is_base_at(inp, h) {
+                continue;
+            }
+            // Ship from the known holder (or any holder with capacity).
+            let mut senders: Vec<HostId> = trial.hosts_with(inp).filter(|&g| g != h).collect();
+            if let Some(src) = catalog.source_host(inp) {
+                if src != h {
+                    senders.push(src);
+                }
+            }
+            senders.sort();
+            senders.dedup();
+            if holder != h && !senders.contains(&holder) {
+                senders.push(holder);
+            }
+            let rate = catalog.stream(inp).rate;
+            let net = trial.net_usage(catalog);
+            let links = trial.link_usage(catalog);
+            // Among feasible senders, prefer the one with the most spare
+            // outgoing bandwidth (avoids manufacturing hot spots, cf. the
+            // paper's Fig. 2 discussion).
+            let sender = senders
+                .into_iter()
+                .filter(|&g| {
+                    net[g.index()].0 + rate <= catalog.host(g).bandwidth_out + 1e-9
+                        && net[h.index()].1 + rate <= catalog.host(h).bandwidth_in + 1e-9
+                        && links.get(&(g, h)).copied().unwrap_or(0.0) + rate
+                            <= catalog.topology().link(g, h) + 1e-9
+                })
+                .max_by(|&a, &b| {
+                    let sa = catalog.host(a).bandwidth_out - net[a.index()].0;
+                    let sb = catalog.host(b).bandwidth_out - net[b.index()].0;
+                    sa.partial_cmp(&sb).unwrap()
+                });
+            let Some(g) = sender else { continue 'host };
+            trial.add_flow(g, h, inp);
+            trial.add_available(h, inp);
+        }
+        trial.add_placement(h, op);
+        trial.add_available(h, s);
+        *cand = trial;
+        return Some(h);
+    }
+    None
+}
+
+fn find_join_op(
+    catalog: &Catalog,
+    out: StreamId,
+    left: StreamId,
+    right: StreamId,
+) -> Option<OperatorId> {
+    let mut inputs = [left, right];
+    inputs.sort();
+    catalog
+        .producers_of(out)
+        .iter()
+        .copied()
+        .find(|&o| catalog.operator(o).inputs == inputs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::register_join_query;
+    use sqpr_dsps::{CostModel, HostSpec, QueryId};
+
+    fn setup(n_hosts: usize, cpu: f64) -> (Catalog, Vec<StreamId>) {
+        let mut c = Catalog::uniform(
+            n_hosts,
+            HostSpec::new(cpu, 100.0),
+            1000.0,
+            CostModel::default(),
+        );
+        let b = (0..4)
+            .map(|i| c.add_base_stream(HostId((i % n_hosts) as u32), 10.0, i as u64))
+            .collect();
+        (c, b)
+    }
+
+    #[test]
+    fn admits_two_way_join() {
+        let (mut c, b) = setup(2, 100.0);
+        let (spec, _) = register_join_query(&mut c, QueryId(0), &[b[0], b[1]], 0);
+        let state = DeploymentState::new();
+        let cand = greedy_admit(&c, &state, spec.result, 0).expect("feasible");
+        assert_eq!(
+            cand.provider_of(spec.result),
+            cand.hosts_with(spec.result).next()
+        );
+        assert!(cand.is_valid(&c));
+        assert_eq!(cand.placements().len(), 1);
+    }
+
+    #[test]
+    fn reuses_existing_subresult() {
+        let (mut c, b) = setup(2, 1000.0);
+        let (q1, _) = register_join_query(&mut c, QueryId(0), &[b[0], b[1]], 0);
+        let (q2, _) = register_join_query(&mut c, QueryId(1), &[b[0], b[1], b[2]], 0);
+        let state = DeploymentState::new();
+        let s1 = greedy_admit(&c, &state, q1.result, 0).expect("q1");
+        let ops_before = s1.placements().len();
+        let s2 = greedy_admit(&c, &s1, q2.result, 0).expect("q2");
+        // Only the top join is new.
+        assert_eq!(s2.placements().len(), ops_before + 1);
+        assert!(s2.is_valid(&c));
+    }
+
+    #[test]
+    fn spreads_over_hosts_when_one_is_tight() {
+        // Each host fits exactly one join; a 3-way query needs two.
+        let (mut c, b) = setup(3, 25.0);
+        let (spec, _) = register_join_query(&mut c, QueryId(0), &[b[0], b[1], b[2]], 0);
+        let state = DeploymentState::new();
+        let cand = greedy_admit(&c, &state, spec.result, 0).expect("feasible spread");
+        let hosts: BTreeSet<HostId> = cand.placements().iter().map(|&(h, _)| h).collect();
+        assert!(hosts.len() >= 2, "placements: {:?}", cand.placements());
+        assert!(cand.is_valid(&c));
+    }
+
+    #[test]
+    fn fails_cleanly_when_infeasible() {
+        let (mut c, b) = setup(2, 1.0); // join cost 20 >> 1
+        let (spec, _) = register_join_query(&mut c, QueryId(0), &[b[0], b[1]], 0);
+        let state = DeploymentState::new();
+        assert!(greedy_admit(&c, &state, spec.result, 0).is_none());
+    }
+}

@@ -1,0 +1,274 @@
+//! Hierarchical decomposition (paper §VII, future work): "query planning
+//! across federated data centres by first assigning queries to sites and
+//! then planning queries within sites".
+//!
+//! Hosts are partitioned into *sites*, each planned by an independent
+//! [`SqprPlanner`] over a site-local catalog. An arriving query is assigned
+//! to the site natively sourcing the most of its base streams (ties broken
+//! by lighter load); base streams the chosen site lacks are *mirrored* at
+//! the site's gateway host — modelling a cross-site feed — and the query is
+//! then planned entirely within the site. This trades global optimality for
+//! per-site model sizes, attacking exactly the host-count sensitivity the
+//! paper measures in Fig. 6(a).
+
+use std::collections::HashMap;
+
+use sqpr_dsps::{Catalog, HostId, HostSpec, NetworkTopology, StreamId};
+
+use crate::config::PlannerConfig;
+use crate::planner::{PlanningOutcome, SqprPlanner};
+
+/// One site's planner plus the id mappings back to the global system.
+struct Site {
+    planner: SqprPlanner,
+    /// Global host ids of this site (index = local host id).
+    hosts: Vec<HostId>,
+    /// Global base stream -> site-local stream id (native or mirrored).
+    local_stream: HashMap<StreamId, StreamId>,
+    /// Local gateway host receiving mirrored streams.
+    gateway: HostId,
+}
+
+/// Federated planner over a host partition.
+pub struct HierarchicalPlanner {
+    sites: Vec<Site>,
+    /// Global base stream -> site natively sourcing it.
+    native_site: HashMap<StreamId, usize>,
+    /// Global rate per base stream (for mirroring).
+    rates: HashMap<StreamId, f64>,
+    outcomes: Vec<(usize, PlanningOutcome)>,
+}
+
+impl HierarchicalPlanner {
+    /// Partitions the catalog's hosts into `sites` (a cover of all hosts;
+    /// each host in exactly one site) and builds one planner per site.
+    ///
+    /// Site-local catalogs copy the member hosts' specs and a full mesh
+    /// with the minimum pairwise link capacity observed inside the site
+    /// (conservative), plus the site's native base streams.
+    ///
+    /// # Panics
+    /// Panics if the partition is empty, covers unknown hosts, or assigns
+    /// a host twice.
+    pub fn new(
+        catalog: &Catalog,
+        partition: Vec<Vec<HostId>>,
+        config: impl Fn(&Catalog) -> PlannerConfig,
+    ) -> Self {
+        assert!(!partition.is_empty(), "at least one site required");
+        let mut seen = vec![false; catalog.num_hosts()];
+        for site in &partition {
+            assert!(!site.is_empty(), "empty site");
+            for &h in site {
+                assert!(h.index() < catalog.num_hosts(), "unknown host {h}");
+                assert!(!seen[h.index()], "host {h} in two sites");
+                seen[h.index()] = true;
+            }
+        }
+
+        let mut native_site = HashMap::new();
+        let mut rates = HashMap::new();
+        let mut sites = Vec::with_capacity(partition.len());
+        for (si, hosts) in partition.into_iter().enumerate() {
+            // Conservative uniform intra-site link capacity.
+            let mut link_cap = f64::INFINITY;
+            for &a in &hosts {
+                for &b in &hosts {
+                    if a != b {
+                        link_cap = link_cap.min(catalog.topology().link(a, b));
+                    }
+                }
+            }
+            if !link_cap.is_finite() {
+                link_cap = f64::INFINITY; // single-host site
+            }
+            let specs: Vec<HostSpec> = hosts.iter().map(|&h| catalog.host(h).clone()).collect();
+            let mut site_catalog = Catalog::new(
+                specs,
+                NetworkTopology::full_mesh(hosts.len(), link_cap),
+                catalog.cost_model().clone(),
+            );
+            let mut local_stream = HashMap::new();
+            for (li, &gh) in hosts.iter().enumerate() {
+                for &s in catalog.base_streams_at(gh) {
+                    let local = site_catalog.add_base_stream(
+                        HostId::from_index(li),
+                        catalog.stream(s).rate,
+                        stream_tag(s),
+                    );
+                    local_stream.insert(s, local);
+                    native_site.insert(s, si);
+                    rates.insert(s, catalog.stream(s).rate);
+                }
+            }
+            let cfg = config(&site_catalog);
+            sites.push(Site {
+                planner: SqprPlanner::new(site_catalog, cfg),
+                hosts,
+                local_stream,
+                gateway: HostId(0),
+            });
+        }
+        HierarchicalPlanner {
+            sites,
+            native_site,
+            rates,
+            outcomes: Vec::new(),
+        }
+    }
+
+    pub fn num_sites(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// Total queries admitted across all sites.
+    pub fn num_admitted(&self) -> usize {
+        self.sites.iter().map(|s| s.planner.num_admitted()).sum()
+    }
+
+    /// Per-site admitted counts.
+    pub fn admitted_per_site(&self) -> Vec<usize> {
+        self.sites
+            .iter()
+            .map(|s| s.planner.num_admitted())
+            .collect()
+    }
+
+    /// The site each global host belongs to (diagnostics).
+    pub fn site_of_host(&self, h: HostId) -> Option<usize> {
+        self.sites.iter().position(|s| s.hosts.contains(&h))
+    }
+
+    pub fn outcomes(&self) -> &[(usize, PlanningOutcome)] {
+        &self.outcomes
+    }
+
+    /// Submits a query (global base-stream ids): assigns a site, mirrors
+    /// missing base streams at its gateway, plans within the site. Returns
+    /// the chosen site and whether the query was admitted.
+    pub fn submit(&mut self, bases: &[StreamId]) -> (usize, bool) {
+        // Site scoring: native base count, tie-break by fewer admitted.
+        let mut best = 0usize;
+        let mut best_score = (usize::MIN, usize::MAX);
+        for (si, site) in self.sites.iter().enumerate() {
+            let native = bases
+                .iter()
+                .filter(|s| self.native_site.get(s) == Some(&si))
+                .count();
+            let load = site.planner.num_admitted();
+            let score = (native, load);
+            // Higher native wins; for equal native, lower load wins.
+            if score.0 > best_score.0 || (score.0 == best_score.0 && score.1 < best_score.1) {
+                best_score = score;
+                best = si;
+            }
+        }
+
+        // Mirror out-of-site base streams at the gateway.
+        let site = &mut self.sites[best];
+        let mut local_bases = Vec::with_capacity(bases.len());
+        for &s in bases {
+            let local = match site.local_stream.get(&s) {
+                Some(&l) => l,
+                None => {
+                    let rate = self
+                        .rates
+                        .get(&s)
+                        .copied()
+                        .unwrap_or_else(|| panic!("unknown base stream {s}"));
+                    let l = site
+                        .planner
+                        .register_mirrored_base(site.gateway, rate, stream_tag(s));
+                    site.local_stream.insert(s, l);
+                    l
+                }
+            };
+            local_bases.push(local);
+        }
+
+        let outcome = site.planner.submit(&local_bases);
+        let admitted = outcome.admitted;
+        self.outcomes.push((best, outcome));
+        (best, admitted)
+    }
+}
+
+/// Stable per-stream source tag for mirrored registration.
+fn stream_tag(s: StreamId) -> u64 {
+    0x4D49_0000_0000_0000 | u64::from(s.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SolveBudget;
+    use sqpr_dsps::CostModel;
+
+    fn global_catalog() -> (Catalog, Vec<StreamId>) {
+        let mut c = Catalog::uniform(4, HostSpec::new(100.0, 100.0), 1000.0, CostModel::default());
+        let b = (0..4)
+            .map(|i| c.add_base_stream(HostId(i as u32), 10.0, i as u64))
+            .collect();
+        (c, b)
+    }
+
+    fn hp(c: &Catalog) -> HierarchicalPlanner {
+        HierarchicalPlanner::new(
+            c,
+            vec![vec![HostId(0), HostId(1)], vec![HostId(2), HostId(3)]],
+            |site_catalog| {
+                let mut cfg = PlannerConfig::new(site_catalog);
+                cfg.budget = SolveBudget::nodes(60);
+                cfg
+            },
+        )
+    }
+
+    #[test]
+    fn queries_go_to_their_native_site() {
+        let (c, b) = global_catalog();
+        let mut h = hp(&c);
+        let (site0, ok0) = h.submit(&[b[0], b[1]]); // both native to site 0
+        let (site1, ok1) = h.submit(&[b[2], b[3]]); // both native to site 1
+        assert!(ok0 && ok1);
+        assert_eq!(site0, 0);
+        assert_eq!(site1, 1);
+        assert_eq!(h.num_admitted(), 2);
+        assert_eq!(h.admitted_per_site(), vec![1, 1]);
+    }
+
+    #[test]
+    fn cross_site_queries_mirror_bases() {
+        let (c, b) = global_catalog();
+        let mut h = hp(&c);
+        // b0, b1 native to site 0; b2 native to site 1 -> assigned to site
+        // 0 (majority), b2 mirrored at the gateway.
+        let (site, ok) = h.submit(&[b[0], b[1], b[2]]);
+        assert_eq!(site, 0);
+        assert!(ok);
+        assert_eq!(h.num_admitted(), 1);
+    }
+
+    #[test]
+    fn site_planners_stay_valid() {
+        let (c, b) = global_catalog();
+        let mut h = hp(&c);
+        h.submit(&[b[0], b[1]]);
+        h.submit(&[b[0], b[2]]);
+        h.submit(&[b[2], b[3]]);
+        for site in &h.sites {
+            assert!(site.planner.state().is_valid(site.planner.catalog()));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "two sites")]
+    fn rejects_overlapping_partition() {
+        let (c, _) = global_catalog();
+        HierarchicalPlanner::new(
+            &c,
+            vec![vec![HostId(0), HostId(1)], vec![HostId(1), HostId(2)]],
+            PlannerConfig::new,
+        );
+    }
+}

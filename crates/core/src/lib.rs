@@ -1,0 +1,32 @@
+//! # sqpr-core
+//!
+//! The SQPR query planner (Kalyvianaki et al., ICDE 2011): query admission,
+//! operator placement and cross-query reuse as a single constrained
+//! optimisation problem, solved per arriving query over a reduced plan
+//! space with a budgeted branch & bound.
+//!
+//! - [`model`] builds the MILP of paper §III (constraints III.4–III.7,
+//!   objectives O1–O4, re-planning constraint IV.9, §IV-A variable fixing);
+//! - [`planner`] implements Algorithm 1 (initial query planning) plus
+//!   batched submission and query removal with garbage collection;
+//! - [`adaptive`] implements §IV-B (re-planning on rate drift / shortage);
+//! - [`config`] exposes the λ-weights (with the paper's defaults), solve
+//!   budgets and the ablation knobs (reuse / reduction / relaying / IV.9).
+
+pub mod adaptive;
+pub mod config;
+pub mod extract;
+pub mod greedy;
+pub mod hierarchical;
+pub mod model;
+pub mod planner;
+pub mod query;
+
+pub use adaptive::{adapt_to_observed_rates, AdaptReport};
+pub use config::{AcyclicityMode, ObjectiveWeights, PlannerConfig, RelayPolicy, SolveBudget};
+pub use extract::extract_plan;
+pub use greedy::greedy_admit;
+pub use hierarchical::HierarchicalPlanner;
+pub use model::{DecodedAllocation, ModelInputs, PlanningModel};
+pub use planner::{garbage_collect, PlanningOutcome, SqprPlanner};
+pub use query::{full_space, register_join_query, PlanSpace, QuerySpec};

@@ -1,0 +1,688 @@
+//! The SQPR optimisation model (paper §III), reduced per §IV-A.
+//!
+//! Builds one MILP per planning round over the *free* plan space `S(q)`,
+//! `O(q)` of the arriving query (or batch). Decision variables outside the
+//! free space stay at their current deployment values and enter the model
+//! only as residual-capacity constants — exactly the paper's variable
+//! fixing. Constraint groups:
+//!
+//! | paper | here |
+//! |---|---|
+//! | III.4a demand        | `d_hs ≤ y_hs` |
+//! | III.4b / IV.9        | `Σ_h d_hs ≤ 1` (new) / `= 1` (admitted) |
+//! | III.5a availability  | `y_ms ≤ Σ_h x_hms + Σ_o z_mo + 1[s ∈ S0_m]` |
+//! | III.5b operator      | `z_ho ≤ y_hs` for each input `s ∈ S_o` |
+//! | III.5c flow          | `x_hms ≤ y_hs` |
+//! | III.6a link          | `Σ_s ̺_s x_hms ≤ κ_hm − fixed` |
+//! | III.6b in-bandwidth  | `Σ_{h,s} ̺_s x_hms ≤ β_m − fixed` |
+//! | III.6c out-bandwidth | `Σ_{m,s} ̺_s x_hms + Σ_s ̺_s d_hs ≤ β_h − fixed` |
+//! | III.6d CPU           | `Σ_o γ_o z_ho ≤ ζ_h − fixed` |
+//! | III.7 acyclicity     | `p_ms − p_hs + M x_hms ≤ M − 1`, `M = H + 2` |
+//! | O4 linearisation     | `t ≥ fixed_cpu_h + Σ_o γ_o z_ho` |
+//!
+//! Additionally, *fixed consumers* — operators of unrelated queries that
+//! stay in place but consume a stream in the free space — pin `y_hs = 1` so
+//! a re-plan cannot starve them.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use sqpr_milp::{Model, Sense, VarId};
+
+use sqpr_dsps::{Catalog, DeploymentState, HostId, OperatorId, StreamId};
+
+use crate::config::{AcyclicityMode, ObjectiveWeights, RelayPolicy};
+use crate::query::PlanSpace;
+
+/// A lazy availability cut: inside a "dead" host set (one that derived no
+/// real source of `stream` in a candidate solution), availability must be
+/// powered from outside the set. Valid for every causal allocation and
+/// violated by the offending cycle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AvailabilityCut {
+    pub stream: StreamId,
+    pub dead_set: BTreeSet<HostId>,
+}
+
+/// Inputs to one planning-model build.
+pub struct ModelInputs<'a> {
+    pub catalog: &'a Catalog,
+    pub state: &'a DeploymentState,
+    /// Free plan space (the reduction's S(q), O(q)).
+    pub space: &'a PlanSpace,
+    /// Newly demanded streams (one per query in the batch).
+    pub new_streams: &'a [StreamId],
+    pub weights: ObjectiveWeights,
+    pub relay_policy: RelayPolicy,
+    pub acyclicity: AcyclicityMode,
+    /// IV.9 flexibility: when false, variables currently 1 are frozen.
+    pub replan: bool,
+    /// Lazy availability cuts accumulated by previous solve rounds.
+    pub cuts: &'a [AvailabilityCut],
+}
+
+/// A built planning model plus the variable maps needed to decode results.
+pub struct PlanningModel {
+    pub milp: Model,
+    d: HashMap<(HostId, StreamId), VarId>,
+    x: HashMap<(HostId, HostId, StreamId), VarId>,
+    y: HashMap<(HostId, StreamId), VarId>,
+    z: HashMap<(HostId, OperatorId), VarId>,
+    p: HashMap<(HostId, StreamId), VarId>,
+    free_streams: BTreeSet<StreamId>,
+    free_ops: BTreeSet<OperatorId>,
+    t: Option<VarId>,
+    fixed_cpu: Vec<f64>,
+    gamma: HashMap<OperatorId, f64>,
+    big_m: f64,
+    n_hosts: usize,
+}
+
+impl PlanningModel {
+    /// Builds the reduced MILP.
+    pub fn build(inp: &ModelInputs<'_>) -> Self {
+        let catalog = inp.catalog;
+        let n = catalog.num_hosts();
+        let big_m = n as f64 + 2.0; // any value > |H| + 1 (paper III.7)
+        let free_streams: BTreeSet<StreamId> = inp.space.streams.iter().copied().collect();
+        let free_ops: BTreeSet<OperatorId> = inp.space.operators.iter().copied().collect();
+
+        // Demanded streams in the free space: already-admitted ones (IV.9
+        // equality) and the new ones (≤ 1).
+        let admitted_streams: BTreeSet<StreamId> = inp.state.admitted().values().copied().collect();
+        let mut demanded_eq: Vec<StreamId> = admitted_streams
+            .iter()
+            .copied()
+            .filter(|s| free_streams.contains(s))
+            .collect();
+        demanded_eq.sort();
+        let mut demanded_new: Vec<StreamId> = inp
+            .new_streams
+            .iter()
+            .copied()
+            .filter(|s| !admitted_streams.contains(s))
+            .collect();
+        demanded_new.sort();
+        demanded_new.dedup();
+
+        // Residual capacities: subtract contributions of *fixed* flows,
+        // deliveries and placements (anything outside the free space).
+        let mut cpu_fixed = vec![0.0; n];
+        let mut mem_fixed = vec![0.0; n];
+        let mut out_fixed = vec![0.0; n];
+        let mut in_fixed = vec![0.0; n];
+        let mut link_fixed: HashMap<(HostId, HostId), f64> = HashMap::new();
+        for &(h, o) in inp.state.placements() {
+            if !free_ops.contains(&o) {
+                cpu_fixed[h.index()] += catalog.operator(o).cpu_cost;
+                mem_fixed[h.index()] += catalog.operator(o).memory_cost;
+            }
+        }
+        for &(h, m, s) in inp.state.flows() {
+            if !free_streams.contains(&s) {
+                let r = catalog.stream(s).rate;
+                out_fixed[h.index()] += r;
+                in_fixed[m.index()] += r;
+                *link_fixed.entry((h, m)).or_default() += r;
+            }
+        }
+        for (&s, &h) in inp.state.provided() {
+            if !free_streams.contains(&s) {
+                out_fixed[h.index()] += catalog.stream(s).rate;
+            }
+        }
+
+        // Fixed producers: placements outside the free space whose output
+        // *is* a free stream (possible with private/tagged spaces); they
+        // grant availability as constants in III.5a.
+        let mut fixed_producer: BTreeSet<(HostId, StreamId)> = BTreeSet::new();
+        // Fixed consumers: placements outside the free space that consume a
+        // free stream; their host must keep the stream available.
+        let mut pinned_available: BTreeSet<(HostId, StreamId)> = BTreeSet::new();
+        for &(h, o) in inp.state.placements() {
+            if free_ops.contains(&o) {
+                continue;
+            }
+            let op = catalog.operator(o);
+            if free_streams.contains(&op.output) {
+                fixed_producer.insert((h, op.output));
+            }
+            for &s in &op.inputs {
+                if free_streams.contains(&s) {
+                    pinned_available.insert((h, s));
+                }
+            }
+        }
+
+        let mut milp = Model::new(Sense::Maximize);
+        let w = inp.weights;
+
+        // ---- variables ----
+        let mut d = HashMap::new();
+        let mut x = HashMap::new();
+        let mut y = HashMap::new();
+        let mut z = HashMap::new();
+        let mut p = HashMap::new();
+
+        let hosts: Vec<HostId> = catalog.hosts().collect();
+        let with_potentials = inp.acyclicity == AcyclicityMode::Constraints;
+        for &s in free_streams.iter() {
+            for &h in &hosts {
+                let yv = milp.add_binary(0.0);
+                y.insert((h, s), yv);
+                if with_potentials {
+                    let pv = milp.add_continuous(0.0, big_m, 0.0);
+                    p.insert((h, s), pv);
+                }
+            }
+            let rate = catalog.stream(s).rate;
+            for &h in &hosts {
+                for &m in &hosts {
+                    if h != m {
+                        let xv = milp.add_binary(-w.lambda2 * rate);
+                        x.insert((h, m, s), xv);
+                    }
+                }
+            }
+        }
+        for s in demanded_eq.iter().chain(demanded_new.iter()) {
+            for &h in &hosts {
+                let dv = milp.add_binary(w.lambda1);
+                d.insert((h, *s), dv);
+            }
+        }
+        for &o in free_ops.iter() {
+            let gamma = catalog.operator(o).cpu_cost;
+            for &h in &hosts {
+                let zv = milp.add_binary(-w.lambda3 * gamma);
+                z.insert((h, o), zv);
+            }
+        }
+        let t = if w.lambda4 != 0.0 {
+            Some(milp.add_continuous(0.0, f64::INFINITY, -w.lambda4))
+        } else {
+            None
+        };
+
+        // Pin availability required by fixed consumers.
+        for &(h, s) in &pinned_available {
+            milp.set_bounds(y[&(h, s)], 1.0, 1.0);
+        }
+
+        // Freeze current assignments when replanning is disabled.
+        if !inp.replan {
+            for &(h, o) in inp.state.placements() {
+                if let Some(&v) = z.get(&(h, o)) {
+                    milp.set_bounds(v, 1.0, 1.0);
+                }
+            }
+            for &(h, m, s) in inp.state.flows() {
+                if let Some(&v) = x.get(&(h, m, s)) {
+                    milp.set_bounds(v, 1.0, 1.0);
+                }
+            }
+            for (&s, &h) in inp.state.provided() {
+                if let Some(&v) = d.get(&(h, s)) {
+                    milp.set_bounds(v, 1.0, 1.0);
+                }
+            }
+            for &(h, s) in inp.state.available() {
+                if let Some(&v) = y.get(&(h, s)) {
+                    milp.set_bounds(v, 1.0, 1.0);
+                }
+            }
+        }
+
+        // ---- constraints ----
+        // III.4a: d_hs <= y_hs.
+        for (&(h, s), &dv) in &d {
+            milp.add_le(vec![(dv, 1.0), (y[&(h, s)], -1.0)], 0.0);
+        }
+        // IV.9 for admitted, III.4b for new.
+        for &s in &demanded_eq {
+            let terms: Vec<_> = hosts.iter().map(|&h| (d[&(h, s)], 1.0)).collect();
+            milp.add_eq(terms, 1.0);
+        }
+        for &s in &demanded_new {
+            let terms: Vec<_> = hosts.iter().map(|&h| (d[&(h, s)], 1.0)).collect();
+            milp.add_le(terms, 1.0);
+        }
+        // III.5a availability.
+        for &s in &free_streams {
+            for &m in &hosts {
+                let mut terms = vec![(y[&(m, s)], 1.0)];
+                for &h in &hosts {
+                    if h != m {
+                        terms.push((x[&(h, m, s)], -1.0));
+                    }
+                }
+                for &o in catalog.producers_of(s) {
+                    if free_ops.contains(&o) {
+                        terms.push((z[&(m, o)], -1.0));
+                    }
+                }
+                let mut rhs = 0.0;
+                if catalog.is_base_at(s, m) {
+                    rhs += 1.0;
+                }
+                if fixed_producer.contains(&(m, s)) {
+                    rhs += 1.0;
+                }
+                milp.add_le(terms, rhs);
+            }
+        }
+        // Lazy availability cuts from previous rounds: availability at any
+        // host inside a dead set requires the *set* to be fed — inflow
+        // from outside the set, or production/base/fixed-producer at some
+        // member. (Counting only direct inflow to the host itself would be
+        // invalid: members may legitimately relay for each other.)
+        for cut in inp.cuts {
+            if !free_streams.contains(&cut.stream) {
+                continue;
+            }
+            let s_ = cut.stream;
+            // Shared feed terms for the whole set.
+            let mut feed: Vec<(sqpr_milp::VarId, f64)> = Vec::new();
+            let mut rhs = 0.0;
+            for &m2 in &cut.dead_set {
+                for &h in &hosts {
+                    if h != m2 && !cut.dead_set.contains(&h) {
+                        feed.push((x[&(h, m2, s_)], -1.0));
+                    }
+                }
+                for &o in catalog.producers_of(s_) {
+                    if free_ops.contains(&o) {
+                        feed.push((z[&(m2, o)], -1.0));
+                    }
+                }
+                if catalog.is_base_at(s_, m2) {
+                    rhs += 1.0;
+                }
+                if fixed_producer.contains(&(m2, s_)) {
+                    rhs += 1.0;
+                }
+            }
+            for &m in &cut.dead_set {
+                let mut terms = vec![(y[&(m, s_)], 1.0)];
+                terms.extend(feed.iter().copied());
+                milp.add_le(terms, rhs);
+            }
+        }
+        // III.5b operator inputs.
+        for &o in &free_ops {
+            let op = catalog.operator(o);
+            for &s in &op.inputs {
+                assert!(
+                    free_streams.contains(&s),
+                    "free operator {o} consumes stream {s} outside the free space"
+                );
+                for &h in &hosts {
+                    milp.add_le(vec![(z[&(h, o)], 1.0), (y[&(h, s)], -1.0)], 0.0);
+                }
+            }
+        }
+        // III.5c flows need the sender to have the stream; III.7 acyclicity.
+        for (&(h, m, s), &xv) in &x {
+            milp.add_le(vec![(xv, 1.0), (y[&(h, s)], -1.0)], 0.0);
+            if with_potentials {
+                milp.add_le(
+                    vec![(p[&(m, s)], 1.0), (p[&(h, s)], -1.0), (xv, big_m)],
+                    big_m - 1.0,
+                );
+            }
+            if inp.relay_policy == RelayPolicy::ProducersOnly {
+                // Senders must generate the stream locally (ablation).
+                let mut terms = vec![(xv, 1.0)];
+                for &o in catalog.producers_of(s) {
+                    if free_ops.contains(&o) {
+                        terms.push((z[&(h, o)], -1.0));
+                    }
+                }
+                let mut rhs = 0.0;
+                if catalog.is_base_at(s, h) {
+                    rhs += 1.0;
+                }
+                if fixed_producer.contains(&(h, s)) {
+                    rhs += 1.0;
+                }
+                milp.add_le(terms, rhs);
+            }
+        }
+        // III.6a link capacities (only rows with at least one variable).
+        for &h in &hosts {
+            for &m in &hosts {
+                if h == m {
+                    continue;
+                }
+                let cap = catalog.topology().link(h, m);
+                if !cap.is_finite() {
+                    continue;
+                }
+                let residual = cap - link_fixed.get(&(h, m)).copied().unwrap_or(0.0);
+                let terms: Vec<_> = free_streams
+                    .iter()
+                    .map(|&s| (x[&(h, m, s)], catalog.stream(s).rate))
+                    .collect();
+                if !terms.is_empty() {
+                    milp.add_le(terms, residual.max(0.0));
+                }
+            }
+        }
+        // III.6b incoming host bandwidth.
+        for &m in &hosts {
+            let cap = catalog.host(m).bandwidth_in;
+            if !cap.is_finite() {
+                continue;
+            }
+            let mut terms = Vec::new();
+            for &s in &free_streams {
+                let rate = catalog.stream(s).rate;
+                for &h in &hosts {
+                    if h != m {
+                        terms.push((x[&(h, m, s)], rate));
+                    }
+                }
+            }
+            if !terms.is_empty() {
+                milp.add_le(terms, (cap - in_fixed[m.index()]).max(0.0));
+            }
+        }
+        // III.6c outgoing host bandwidth (flows + client deliveries).
+        for &h in &hosts {
+            let cap = catalog.host(h).bandwidth_out;
+            if !cap.is_finite() {
+                continue;
+            }
+            let mut terms = Vec::new();
+            for &s in &free_streams {
+                let rate = catalog.stream(s).rate;
+                for &m in &hosts {
+                    if h != m {
+                        terms.push((x[&(h, m, s)], rate));
+                    }
+                }
+                if let Some(&dv) = d.get(&(h, s)) {
+                    terms.push((dv, rate));
+                }
+            }
+            if !terms.is_empty() {
+                milp.add_le(terms, (cap - out_fixed[h.index()]).max(0.0));
+            }
+        }
+        // III.6d CPU, the memory analogue (§VII extension) and the O4
+        // linearisation.
+        for &h in &hosts {
+            let cap = catalog.host(h).cpu_capacity;
+            let terms: Vec<_> = free_ops
+                .iter()
+                .map(|&o| (z[&(h, o)], catalog.operator(o).cpu_cost))
+                .collect();
+            if !terms.is_empty() {
+                milp.add_le(terms.clone(), (cap - cpu_fixed[h.index()]).max(0.0));
+            }
+            let mem_cap = catalog.host(h).memory_capacity;
+            if mem_cap.is_finite() {
+                let mem_terms: Vec<_> = free_ops
+                    .iter()
+                    .map(|&o| (z[&(h, o)], catalog.operator(o).memory_cost))
+                    .filter(|&(_, m)| m != 0.0)
+                    .collect();
+                if !mem_terms.is_empty() {
+                    milp.add_le(mem_terms, (mem_cap - mem_fixed[h.index()]).max(0.0));
+                }
+            }
+            if let Some(t) = t {
+                // t >= cpu_fixed + sum gamma z  <=>  t - sum gamma z >= fixed.
+                let mut trow = vec![(t, 1.0)];
+                trow.extend(terms.iter().map(|&(v, g)| (v, -g)));
+                milp.add_ge(trow, cpu_fixed[h.index()]);
+            }
+        }
+
+        let gamma: HashMap<OperatorId, f64> = free_ops
+            .iter()
+            .map(|&o| (o, catalog.operator(o).cpu_cost))
+            .collect();
+        PlanningModel {
+            milp,
+            d,
+            x,
+            y,
+            z,
+            p,
+            free_streams,
+            free_ops,
+            t,
+            fixed_cpu: cpu_fixed,
+            gamma,
+            big_m,
+            n_hosts: n,
+        }
+    }
+
+    pub fn num_vars(&self) -> usize {
+        self.milp.num_vars()
+    }
+
+    pub fn num_cons(&self) -> usize {
+        self.milp.num_cons()
+    }
+
+    /// Builds a warm-start vector from the current deployment: free
+    /// variables take their current values, the new queries stay
+    /// unadmitted, and stream potentials are set to flow-graph heights so
+    /// the acyclicity rows hold. Returns `None` if the state claims a flow
+    /// cycle (cannot happen for validated states).
+    pub fn warm_start(&self, state: &DeploymentState, catalog: &Catalog) -> Option<Vec<f64>> {
+        let mut v = vec![0.0; self.milp.num_vars()];
+        // Use the *derived* availability fixpoint rather than the state's
+        // explicit claims: base streams are implicitly available at their
+        // sources, and hand-built states may omit entries that flows or
+        // local operators imply.
+        let derived = state.derive_availability(catalog);
+        for (&(h, s), &var) in &self.y {
+            if derived.contains(&(h, s)) {
+                v[var.index()] = 1.0;
+            }
+        }
+        for (&(h, m, s), &var) in &self.x {
+            if state.flows().contains(&(h, m, s)) {
+                v[var.index()] = 1.0;
+            }
+        }
+        for (&(h, o), &var) in &self.z {
+            if state.is_placed(h, o) {
+                v[var.index()] = 1.0;
+            }
+        }
+        for (&(h, s), &var) in &self.d {
+            if state.provider_of(s) == Some(h) {
+                v[var.index()] = 1.0;
+            }
+        }
+        // Potentials: longest path along current flow edges per stream
+        // (only present in Constraints mode).
+        if !self.p.is_empty() {
+            for &s in &self.free_streams {
+                let heights = self.flow_heights(state, s)?;
+                for (h, &var) in self
+                    .p
+                    .iter()
+                    .filter(|((_, ps), _)| *ps == s)
+                    .map(|((h, _), var)| (h, var))
+                {
+                    v[var.index()] = heights[h.index()].min(self.big_m);
+                }
+            }
+        }
+        // O4 variable: the minimal feasible value is the maximum per-host
+        // CPU under the warm-start placements plus the fixed load.
+        if let Some(t_var) = self.t {
+            let mut cpu = self.fixed_cpu.clone();
+            for (&(h, o), &var) in &self.z {
+                if v[var.index()] > 0.5 {
+                    cpu[h.index()] += self.gamma[&o];
+                }
+            }
+            v[t_var.index()] = cpu.iter().copied().fold(0.0, f64::max);
+        }
+        Some(v)
+    }
+
+    fn flow_heights(&self, state: &DeploymentState, s: StreamId) -> Option<Vec<f64>> {
+        // heights[h] = longest path from h along flow edges of stream s.
+        let n = self.n_hosts;
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for &(h, m, fs) in state.flows() {
+            if fs == s {
+                adj[h.index()].push(m.index());
+            }
+        }
+        let mut memo = vec![-1i64; n];
+        let mut visiting = vec![false; n];
+        fn dfs(
+            u: usize,
+            adj: &[Vec<usize>],
+            memo: &mut [i64],
+            visiting: &mut [bool],
+        ) -> Option<i64> {
+            if memo[u] >= 0 {
+                return Some(memo[u]);
+            }
+            if visiting[u] {
+                return None; // cycle
+            }
+            visiting[u] = true;
+            let mut best = 0i64;
+            for &w in &adj[u] {
+                best = best.max(dfs(w, adj, memo, visiting)? + 1);
+            }
+            visiting[u] = false;
+            memo[u] = best;
+            Some(best)
+        }
+        let mut out = vec![0.0; n];
+        for u in 0..n {
+            out[u] = dfs(u, &adj, &mut memo, &mut visiting)? as f64;
+        }
+        Some(out)
+    }
+
+    /// Extracts availability cuts violated by an acausal candidate: for
+    /// each free stream, the set of hosts whose claimed availability is not
+    /// derivable (a self-sustaining cycle) becomes one dead-set cut.
+    pub fn find_acausal_cuts(
+        &self,
+        xsol: &[f64],
+        prev: &DeploymentState,
+        catalog: &Catalog,
+    ) -> Vec<AvailabilityCut> {
+        let decoded = self.decode(xsol, prev);
+        let mut cand = prev.clone();
+        decoded.install(&mut cand);
+        let derived = cand.derive_availability(catalog);
+        let mut dead: HashMap<StreamId, BTreeSet<HostId>> = HashMap::new();
+        for &(h, s) in cand.available() {
+            if self.free_streams.contains(&s) && !derived.contains(&(h, s)) {
+                dead.entry(s).or_default().insert(h);
+            }
+        }
+        dead.into_iter()
+            .map(|(stream, dead_set)| AvailabilityCut { stream, dead_set })
+            .collect()
+    }
+
+    /// Whether a candidate solution is *causal*: decoded onto the previous
+    /// state, every availability/flow/placement claim must be derivable
+    /// from base streams through operators and flows (the fixpoint of
+    /// [`DeploymentState::derive_availability`]). Used as the lazy
+    /// stand-in for the paper's acyclicity constraints.
+    pub fn is_causal(&self, xsol: &[f64], prev: &DeploymentState, catalog: &Catalog) -> bool {
+        let decoded = self.decode(xsol, prev);
+        let mut cand = prev.clone();
+        decoded.install(&mut cand);
+        cand.validate(catalog).is_empty()
+    }
+
+    /// Whether a solution vector admits the given demanded stream.
+    pub fn admits(&self, x: &[f64], stream: StreamId) -> bool {
+        self.d
+            .iter()
+            .any(|(&(_, s), &v)| s == stream && x[v.index()] > 0.5)
+    }
+
+    /// Decodes a solution into a fresh deployment allocation, merging the
+    /// fixed (untouched) portion of the previous state.
+    pub fn decode(&self, xsol: &[f64], prev: &DeploymentState) -> DecodedAllocation {
+        let mut provided: BTreeMap<StreamId, HostId> = BTreeMap::new();
+        let mut flows: BTreeSet<(HostId, HostId, StreamId)> = BTreeSet::new();
+        let mut available: BTreeSet<(HostId, StreamId)> = BTreeSet::new();
+        let mut placements: BTreeSet<(HostId, OperatorId)> = BTreeSet::new();
+
+        // Fixed portion.
+        for (&s, &h) in prev.provided() {
+            if !self.free_streams.contains(&s) {
+                provided.insert(s, h);
+            }
+        }
+        for &(h, m, s) in prev.flows() {
+            if !self.free_streams.contains(&s) {
+                flows.insert((h, m, s));
+            }
+        }
+        for &(h, s) in prev.available() {
+            if !self.free_streams.contains(&s) {
+                available.insert((h, s));
+            }
+        }
+        for &(h, o) in prev.placements() {
+            if !self.free_ops.contains(&o) {
+                placements.insert((h, o));
+            }
+        }
+
+        // Free portion from the solution.
+        for (&(h, s), &v) in &self.d {
+            if xsol[v.index()] > 0.5 {
+                provided.insert(s, h);
+            }
+        }
+        for (&(h, m, s), &v) in &self.x {
+            if xsol[v.index()] > 0.5 {
+                flows.insert((h, m, s));
+            }
+        }
+        for (&(h, s), &v) in &self.y {
+            if xsol[v.index()] > 0.5 {
+                available.insert((h, s));
+            }
+        }
+        for (&(h, o), &v) in &self.z {
+            if xsol[v.index()] > 0.5 {
+                placements.insert((h, o));
+            }
+        }
+
+        DecodedAllocation {
+            provided,
+            flows,
+            available,
+            placements,
+        }
+    }
+}
+
+/// A decoded allocation ready to install into a [`DeploymentState`].
+#[derive(Debug, Clone)]
+pub struct DecodedAllocation {
+    pub provided: BTreeMap<StreamId, HostId>,
+    pub flows: BTreeSet<(HostId, HostId, StreamId)>,
+    pub available: BTreeSet<(HostId, StreamId)>,
+    pub placements: BTreeSet<(HostId, OperatorId)>,
+}
+
+impl DecodedAllocation {
+    /// Installs this allocation into the deployment state.
+    pub fn install(self, state: &mut DeploymentState) {
+        state.replace_allocation(self.provided, self.flows, self.available, self.placements);
+    }
+}

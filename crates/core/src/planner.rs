@@ -1,0 +1,491 @@
+//! The SQPR planner: Algorithm 1 (initial query planning).
+//!
+//! One `submit` call per arriving query: register the query's plan space,
+//! short-circuit if its result stream is already provided (line 3 of
+//! Algorithm 1), otherwise build the reduced MILP with constraint IV.9,
+//! warm-start from the current deployment (which guarantees admitted
+//! queries survive any timeout), solve under the configured budget, and
+//! install the best incumbent if it admits the query.
+
+use std::collections::BTreeSet;
+use std::time::{Duration, Instant};
+
+use sqpr_dsps::{Catalog, DeploymentState, QueryId, StreamId};
+use sqpr_milp::{solve_filtered, solve_with_start, MilpOptions, MilpStatus};
+
+use crate::config::{AcyclicityMode, PlannerConfig};
+use crate::greedy::greedy_admit;
+use crate::model::{AvailabilityCut, ModelInputs, PlanningModel};
+use crate::query::{full_space, register_join_query, PlanSpace, QuerySpec};
+
+/// Result of one planning round.
+#[derive(Debug, Clone)]
+pub struct PlanningOutcome {
+    pub query: QueryId,
+    pub admitted: bool,
+    /// True when the query was satisfied by an existing provision without
+    /// solving (Algorithm 1, line 3).
+    pub reused_existing: bool,
+    /// Branch & bound nodes explored.
+    pub nodes: usize,
+    /// Total LP simplex iterations.
+    pub lp_iterations: usize,
+    /// Relative MIP gap of the final incumbent (∞ if none).
+    pub gap: f64,
+    /// Wall-clock planning time.
+    pub solve_time: Duration,
+    /// Model size actually solved (0 when short-circuited).
+    pub model_vars: usize,
+    pub model_cons: usize,
+    /// The solver proved optimality (vs. stopping on the budget).
+    pub proved_optimal: bool,
+}
+
+/// The SQPR query planner (paper §IV).
+pub struct SqprPlanner {
+    catalog: Catalog,
+    state: DeploymentState,
+    config: PlannerConfig,
+    next_query: u32,
+    outcomes: Vec<PlanningOutcome>,
+    queries: Vec<QuerySpec>,
+}
+
+impl SqprPlanner {
+    pub fn new(catalog: Catalog, config: PlannerConfig) -> Self {
+        SqprPlanner {
+            catalog,
+            state: DeploymentState::new(),
+            config,
+            next_query: 0,
+            outcomes: Vec::new(),
+            queries: Vec::new(),
+        }
+    }
+
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    pub fn state(&self) -> &DeploymentState {
+        &self.state
+    }
+
+    pub fn config(&self) -> &PlannerConfig {
+        &self.config
+    }
+
+    pub fn config_mut(&mut self) -> &mut PlannerConfig {
+        &mut self.config
+    }
+
+    pub fn outcomes(&self) -> &[PlanningOutcome] {
+        &self.outcomes
+    }
+
+    pub fn queries(&self) -> &[QuerySpec] {
+        &self.queries
+    }
+
+    pub fn num_admitted(&self) -> usize {
+        self.state.num_admitted()
+    }
+
+    fn reuse_tag(&self, q: QueryId) -> u64 {
+        if self.config.reuse {
+            0
+        } else {
+            u64::from(q.0) + 1
+        }
+    }
+
+    /// Submits one k-way join query over the given base streams.
+    pub fn submit(&mut self, bases: &[StreamId]) -> PlanningOutcome {
+        let q = QueryId(self.next_query);
+        self.next_query += 1;
+        let tag = self.reuse_tag(q);
+        let (spec, space) = register_join_query(&mut self.catalog, q, bases, tag);
+
+        // Algorithm 1 line 3: the stream may already be provided.
+        if self.state.provider_of(spec.result).is_some() {
+            self.state.admit_query(q, spec.result);
+            let outcome = PlanningOutcome {
+                query: q,
+                admitted: true,
+                reused_existing: true,
+                nodes: 0,
+                lp_iterations: 0,
+                gap: 0.0,
+                solve_time: Duration::ZERO,
+                model_vars: 0,
+                model_cons: 0,
+                proved_optimal: true,
+            };
+            self.queries.push(spec);
+            self.outcomes.push(outcome.clone());
+            return outcome;
+        }
+
+        let outcome = self.plan_streams(q, std::slice::from_ref(&spec.result), &space);
+        if outcome.admitted {
+            self.state.admit_query(q, spec.result);
+        }
+        self.queries.push(spec);
+        self.outcomes.push(outcome.clone());
+        outcome
+    }
+
+    /// Submits a batch of queries planned in a single optimisation (paper
+    /// Fig. 4(b)): one model whose free space is the union of the batch's
+    /// plan spaces, with the budget scaled by the batch size by the caller.
+    pub fn submit_batch(&mut self, batch: &[Vec<StreamId>]) -> Vec<PlanningOutcome> {
+        let mut specs = Vec::new();
+        let mut merged = PlanSpace::default();
+        let mut new_streams = Vec::new();
+        let mut pre_provided = Vec::new();
+        for bases in batch {
+            let q = QueryId(self.next_query);
+            self.next_query += 1;
+            let tag = self.reuse_tag(q);
+            let (spec, space) = register_join_query(&mut self.catalog, q, bases, tag);
+            merged.merge(&space);
+            let provided = self.state.provider_of(spec.result).is_some();
+            pre_provided.push(provided);
+            if !provided {
+                new_streams.push(spec.result);
+            }
+            specs.push(spec);
+        }
+        new_streams.sort();
+        new_streams.dedup();
+
+        let shared = if new_streams.is_empty() {
+            None
+        } else {
+            Some(self.plan_streams(QueryId(u32::MAX), &new_streams, &merged))
+        };
+
+        let mut outcomes = Vec::new();
+        for (spec, was_provided) in specs.into_iter().zip(pre_provided) {
+            let admitted = self.state.provider_of(spec.result).is_some();
+            if admitted {
+                self.state.admit_query(spec.id, spec.result);
+            }
+            let mut o = shared.clone().unwrap_or(PlanningOutcome {
+                query: spec.id,
+                admitted,
+                reused_existing: true,
+                nodes: 0,
+                lp_iterations: 0,
+                gap: 0.0,
+                solve_time: Duration::ZERO,
+                model_vars: 0,
+                model_cons: 0,
+                proved_optimal: true,
+            });
+            o.query = spec.id;
+            o.admitted = admitted;
+            o.reused_existing = was_provided;
+            self.queries.push(spec);
+            self.outcomes.push(o.clone());
+            outcomes.push(o);
+        }
+        outcomes
+    }
+
+    /// Core planning round: build, warm-start, solve, decode, install.
+    fn plan_streams(
+        &mut self,
+        q: QueryId,
+        new_streams: &[StreamId],
+        space: &PlanSpace,
+    ) -> PlanningOutcome {
+        let started = Instant::now();
+        let full;
+        let space = if self.config.reduction {
+            space
+        } else {
+            full = full_space(&self.catalog);
+            &full
+        };
+        // Cutting-plane rounds: in lazy-acyclicity mode the branch & bound
+        // rejects acausal incumbents; the cuts they violate are added and
+        // the model re-solved so the true optimum is not lost to pruning.
+        let mut cuts: Vec<AvailabilityCut> = Vec::new();
+        let max_rounds = if self.config.acyclicity == AcyclicityMode::Lazy {
+            3
+        } else {
+            1
+        };
+        let mut round = 0;
+        loop {
+            round += 1;
+            let last_round = round >= max_rounds;
+            let model = PlanningModel::build(&ModelInputs {
+                catalog: &self.catalog,
+                state: &self.state,
+                space,
+                new_streams,
+                weights: self.config.weights,
+                relay_policy: self.config.relay_policy,
+                acyclicity: self.config.acyclicity,
+                replan: self.config.replan,
+                cuts: &cuts,
+            });
+
+            // Warm starts: prefer a constructively *admitting* start (greedy,
+            // reuse-aware); otherwise fall back to the current deployment
+            // (non-admitting but always feasible thanks to IV.9).
+            let mut admitting_start = false;
+            let warm = if self.config.warm_start {
+                // Note: in the reuse-off ablation batch submissions use a
+                // sentinel query id, so the tag misses the per-query private
+                // streams and construction falls back to the non-admitting
+                // start (graceful degradation; B&B still searches).
+                let tag = if self.config.reuse {
+                    0
+                } else {
+                    u64::from(q.0) + 1
+                };
+                let mut cand = self.state.clone();
+                let mut all_ok = true;
+                for &s in new_streams {
+                    match greedy_admit(&self.catalog, &cand, s, tag) {
+                        Some(next) => cand = next,
+                        None => {
+                            all_ok = false;
+                            break;
+                        }
+                    }
+                }
+                if all_ok {
+                    let w = model.warm_start(&cand, &self.catalog);
+                    if let Some(w) = &w {
+                        if model.milp.is_feasible(w, 1e-6) {
+                            admitting_start = true;
+                        }
+                    }
+                    if admitting_start {
+                        w
+                    } else {
+                        model.warm_start(&self.state, &self.catalog)
+                    }
+                } else {
+                    model.warm_start(&self.state, &self.catalog)
+                }
+            } else {
+                None
+            };
+            debug_assert!(
+                warm.as_ref()
+                    .is_none_or(|w| model.milp.is_feasible(w, 1e-6)),
+                "warm start must be feasible"
+            );
+
+            let mut lp_opts = sqpr_lp::SimplexOptions::default();
+            // Big-M acyclicity rows make the relaxations heavily degenerate;
+            // the perturbation cuts simplex iteration counts several-fold.
+            lp_opts.perturb = 1e-7;
+            let opts = MilpOptions {
+                // With an admitting incumbent, λ1-dominance means the incumbent
+                // is within the MIP gap after a handful of nodes; reserve the
+                // full budget for the hard case where construction failed
+                // (resource-tight systems — exactly the paper's Fig. 6 regime).
+                max_nodes: if admitting_start {
+                    self.config
+                        .budget
+                        .max_nodes
+                        .min(self.config.improve_nodes.max(1))
+                } else {
+                    self.config.budget.max_nodes
+                },
+                time_limit: self.config.budget.wall_clock_ms.map(Duration::from_millis),
+                gap_tol: self.config.gap_tol,
+                int_tol: 1e-6,
+                // Dives are expensive (one LP per fixing); with an admitting
+                // incumbent in hand they rarely pay off.
+                dive_every: if admitting_start { 0 } else { 16 },
+                presolve: true,
+                lp: lp_opts,
+            };
+            let new_cuts: std::cell::RefCell<Vec<AvailabilityCut>> =
+                std::cell::RefCell::new(Vec::new());
+            let result = if self.config.acyclicity == AcyclicityMode::Lazy {
+                let filter = |xsol: &[f64]| {
+                    let violated = model.find_acausal_cuts(xsol, &self.state, &self.catalog);
+                    if violated.is_empty() {
+                        true
+                    } else {
+                        new_cuts.borrow_mut().extend(violated);
+                        false
+                    }
+                };
+                solve_filtered(&model.milp, &opts, warm.as_deref(), &filter)
+            } else {
+                solve_with_start(&model.milp, &opts, warm.as_deref())
+            };
+            // If acausal candidates were pruned, the claimed optimum may be
+            // wrong: add their cuts and re-solve (unless out of rounds).
+            let mut fresh = new_cuts.into_inner();
+            fresh.retain(|c| !cuts.contains(c));
+            if !fresh.is_empty() && !last_round {
+                cuts.extend(fresh);
+                continue;
+            }
+
+            let mut admitted = false;
+            if let Some(x) = &result.x {
+                let admits_any = new_streams.iter().any(|&s| model.admits(x, s));
+                if admits_any {
+                    // Install the re-planned allocation; keep the old one if the
+                    // decoded state is somehow invalid (defensive).
+                    let decoded = model.decode(x, &self.state);
+                    let mut candidate = self.state.clone();
+                    decoded.install(&mut candidate);
+                    if candidate.is_valid(&self.catalog) {
+                        // Check every previously admitted query is still served
+                        // (IV.9 must have enforced this).
+                        let all_served = candidate_serves_admitted(&candidate);
+                        if all_served {
+                            self.state = candidate;
+                            admitted = new_streams
+                                .iter()
+                                .all(|&s| self.state.provider_of(s).is_some());
+                        }
+                    }
+                }
+            }
+
+            return PlanningOutcome {
+                query: q,
+                admitted,
+                reused_existing: false,
+                nodes: result.nodes,
+                lp_iterations: result.lp_iterations,
+                gap: result.gap,
+                solve_time: started.elapsed(),
+                model_vars: model.num_vars(),
+                model_cons: model.num_cons(),
+                proved_optimal: result.status == MilpStatus::Optimal,
+            };
+        }
+    }
+
+    /// Updates a base stream's observed rate (propagating to derived
+    /// streams and operator costs; see §IV-B).
+    pub fn update_base_rate(&mut self, s: StreamId, rate: f64) {
+        self.catalog.update_base_rate(s, rate);
+    }
+
+    /// Registers a mirrored base stream at `host` (used by the hierarchical
+    /// planner to model cross-site feeds arriving at a site gateway).
+    pub fn register_mirrored_base(
+        &mut self,
+        host: sqpr_dsps::HostId,
+        rate: f64,
+        source_tag: u64,
+    ) -> StreamId {
+        self.catalog.add_base_stream(host, rate, source_tag)
+    }
+
+    /// Removes a query; garbage-collects allocation pieces that no longer
+    /// serve anything (used by adaptive re-planning, §IV-B).
+    pub fn remove_query(&mut self, q: QueryId) -> bool {
+        let Some(stream) = self.state.remove_query(q) else {
+            return false;
+        };
+        // Other queries may demand the same stream.
+        let still_needed = self.state.admitted().values().any(|&s| s == stream);
+        if !still_needed {
+            self.state.clear_provided(stream);
+            garbage_collect(&mut self.state, &self.catalog);
+        }
+        true
+    }
+
+    /// Re-registers and re-plans an existing query (remove + re-add).
+    /// Returns the new outcome.
+    pub fn replan_query(&mut self, q: QueryId) -> Option<PlanningOutcome> {
+        let spec = self.queries.iter().find(|s| s.id == q)?.clone();
+        self.remove_query(q);
+        let bases: Vec<StreamId> = spec.bases.iter().copied().collect();
+        let tag = self.reuse_tag(q);
+        let (spec2, space) = register_join_query(&mut self.catalog, q, &bases, tag);
+        if self.state.provider_of(spec2.result).is_some() {
+            self.state.admit_query(q, spec2.result);
+            return Some(PlanningOutcome {
+                query: q,
+                admitted: true,
+                reused_existing: true,
+                nodes: 0,
+                lp_iterations: 0,
+                gap: 0.0,
+                solve_time: Duration::ZERO,
+                model_vars: 0,
+                model_cons: 0,
+                proved_optimal: true,
+            });
+        }
+        let outcome = self.plan_streams(q, &[spec2.result], &space);
+        if outcome.admitted {
+            self.state.admit_query(q, spec2.result);
+        }
+        Some(outcome)
+    }
+}
+
+fn candidate_serves_admitted(state: &DeploymentState) -> bool {
+    state
+        .admitted()
+        .values()
+        .all(|s| state.provider_of(*s).is_some())
+}
+
+/// Drops flows, placements and availability entries that no longer serve a
+/// provided stream (conservative backward reachability).
+pub fn garbage_collect(state: &mut DeploymentState, catalog: &Catalog) {
+    use sqpr_dsps::{HostId, OperatorId};
+    let mut needed_streams: BTreeSet<(HostId, StreamId)> = BTreeSet::new();
+    let mut needed_ops: BTreeSet<(HostId, OperatorId)> = BTreeSet::new();
+    let mut queue: Vec<(HostId, StreamId)> =
+        state.provided().iter().map(|(&s, &h)| (h, s)).collect();
+    while let Some((h, s)) = queue.pop() {
+        if !needed_streams.insert((h, s)) {
+            continue;
+        }
+        // Keep every mechanism currently delivering (h, s).
+        for &(g, m, fs) in state.flows() {
+            if m == h && fs == s {
+                queue.push((g, s));
+            }
+        }
+        for &(ph, o) in state.placements() {
+            if ph == h && catalog.operator(o).output == s {
+                needed_ops.insert((ph, o));
+                for &inp in &catalog.operator(o).inputs {
+                    queue.push((h, inp));
+                }
+            }
+        }
+    }
+    let flows: BTreeSet<_> = state
+        .flows()
+        .iter()
+        .copied()
+        .filter(|&(_, m, s)| needed_streams.contains(&(m, s)))
+        .collect();
+    let placements: BTreeSet<_> = state
+        .placements()
+        .iter()
+        .copied()
+        .filter(|k| needed_ops.contains(k))
+        .collect();
+    let available: BTreeSet<_> = state
+        .available()
+        .iter()
+        .copied()
+        .filter(|k| needed_streams.contains(k))
+        .collect();
+    let provided = state.provided().clone();
+    state.replace_allocation(provided, flows, available, placements);
+}

@@ -1,0 +1,182 @@
+//! End-to-end planner tests on small systems.
+
+use sqpr_core::{adapt_to_observed_rates, PlannerConfig, SqprPlanner};
+use sqpr_dsps::{Catalog, CostModel, HostId, HostSpec, StreamId};
+
+/// `n` hosts with ample CPU/network; `k` base streams spread round-robin.
+fn system(
+    n_hosts: usize,
+    n_bases: usize,
+    cpu: f64,
+    bw: f64,
+    link: f64,
+) -> (Catalog, Vec<StreamId>) {
+    let mut c = Catalog::uniform(n_hosts, HostSpec::new(cpu, bw), link, CostModel::default());
+    let bases = (0..n_bases)
+        .map(|i| c.add_base_stream(HostId((i % n_hosts) as u32), 10.0, i as u64))
+        .collect();
+    (c, bases)
+}
+
+fn planner(c: Catalog) -> SqprPlanner {
+    let mut cfg = PlannerConfig::new(&c);
+    cfg.budget.max_nodes = 200;
+    cfg.budget.wall_clock_ms = Some(10_000);
+    SqprPlanner::new(c, cfg)
+}
+
+#[test]
+fn admits_single_two_way_join() {
+    let (c, b) = system(2, 2, 100.0, 100.0, 1000.0);
+    let mut p = planner(c);
+    let o = p.submit(&[b[0], b[1]]);
+    assert!(o.admitted, "{o:?}");
+    assert!(!o.reused_existing);
+    assert_eq!(p.num_admitted(), 1);
+    assert!(
+        p.state().is_valid(p.catalog()),
+        "{:?}",
+        p.state().validate(p.catalog())
+    );
+    // Exactly one join operator placed somewhere.
+    assert_eq!(p.state().placements().len(), 1);
+}
+
+#[test]
+fn identical_query_short_circuits() {
+    let (c, b) = system(2, 2, 100.0, 100.0, 1000.0);
+    let mut p = planner(c);
+    let o1 = p.submit(&[b[0], b[1]]);
+    assert!(o1.admitted);
+    let o2 = p.submit(&[b[1], b[0]]);
+    assert!(o2.admitted);
+    assert!(o2.reused_existing, "commuted join must reuse the provision");
+    assert_eq!(o2.nodes, 0);
+    assert_eq!(p.num_admitted(), 2);
+    // No extra operators were placed.
+    assert_eq!(p.state().placements().len(), 1);
+}
+
+#[test]
+fn overlapping_queries_share_subjoins() {
+    let (c, b) = system(3, 3, 1000.0, 1000.0, 10_000.0);
+    let mut p = planner(c);
+    assert!(p.submit(&[b[0], b[1]]).admitted);
+    assert!(p.submit(&[b[0], b[1], b[2]]).admitted);
+    assert!(p.state().is_valid(p.catalog()));
+    // The three-way query should build on the existing two-way join: at
+    // most 2 operators total (ab, ab⋈c) if reuse worked; without reuse it
+    // would need 2 fresh operators (any tree) for the 3-way plus the
+    // original, i.e. 3.
+    assert!(
+        p.state().placements().len() <= 2,
+        "expected sub-join reuse, got {:?}",
+        p.state().placements()
+    );
+}
+
+#[test]
+fn rejects_when_cpu_exhausted_and_keeps_existing() {
+    // Each host fits the cheap join (cost 20) but not the expensive one
+    // (cost 120): the second query must be rejected and the first kept.
+    let mut c = Catalog::uniform(
+        2,
+        HostSpec::new(25.0, 1000.0),
+        10_000.0,
+        CostModel::default(),
+    );
+    let b0 = c.add_base_stream(HostId(0), 10.0, 0);
+    let b1 = c.add_base_stream(HostId(1), 10.0, 1);
+    let b2 = c.add_base_stream(HostId(0), 60.0, 2);
+    let b3 = c.add_base_stream(HostId(1), 60.0, 3);
+    let mut p = planner(c);
+    assert!(p.submit(&[b0, b1]).admitted);
+    let before = p.num_admitted();
+    let o = p.submit(&[b2, b3]);
+    assert!(!o.admitted, "{o:?}");
+    assert_eq!(p.num_admitted(), before, "existing queries must survive");
+    assert!(p.state().is_valid(p.catalog()));
+}
+
+#[test]
+fn remove_query_garbage_collects() {
+    let (c, b) = system(2, 2, 100.0, 100.0, 1000.0);
+    let mut p = planner(c);
+    let o = p.submit(&[b[0], b[1]]);
+    assert!(o.admitted);
+    let q = o.query;
+    assert!(p.remove_query(q));
+    assert_eq!(p.num_admitted(), 0);
+    assert!(
+        p.state().placements().is_empty(),
+        "{:?}",
+        p.state().placements()
+    );
+    assert!(p.state().flows().is_empty());
+    assert!(p.state().is_valid(p.catalog()));
+}
+
+#[test]
+fn shared_provision_survives_partial_removal() {
+    let (c, b) = system(2, 2, 100.0, 100.0, 1000.0);
+    let mut p = planner(c);
+    let o1 = p.submit(&[b[0], b[1]]);
+    let o2 = p.submit(&[b[0], b[1]]);
+    assert!(o1.admitted && o2.admitted);
+    assert!(p.remove_query(o1.query));
+    // The second query still needs the stream: nothing may be collected.
+    assert_eq!(p.num_admitted(), 1);
+    assert_eq!(p.state().placements().len(), 1);
+    assert!(p.state().is_valid(p.catalog()));
+}
+
+#[test]
+fn batch_submission_admits_multiple() {
+    let (c, b) = system(3, 4, 1000.0, 1000.0, 10_000.0);
+    let mut p = planner(c);
+    let outcomes = p.submit_batch(&[vec![b[0], b[1]], vec![b[2], b[3]]]);
+    assert_eq!(outcomes.len(), 2);
+    assert!(outcomes.iter().all(|o| o.admitted), "{outcomes:?}");
+    assert_eq!(p.num_admitted(), 2);
+    assert!(p.state().is_valid(p.catalog()));
+}
+
+#[test]
+fn adaptive_replans_on_drift() {
+    let (c, b) = system(2, 2, 100.0, 100.0, 1000.0);
+    let mut p = planner(c);
+    assert!(p.submit(&[b[0], b[1]]).admitted);
+    // Rate of b0 triples: the join costs more CPU now (30+10 -> 40 <= 100,
+    // still feasible) and must be re-planned.
+    let report = adapt_to_observed_rates(&mut p, &[(b[0], 30.0)], 0.2);
+    assert_eq!(report.drifted_streams, vec![b[0]]);
+    assert_eq!(report.replanned.len(), 1);
+    assert_eq!(report.readmitted.len(), 1);
+    assert!(report.dropped.is_empty());
+    assert!(p.state().is_valid(p.catalog()));
+    assert_eq!(p.num_admitted(), 1);
+}
+
+#[test]
+fn adaptive_drops_infeasible_after_drift() {
+    // Tight CPU: a rate increase makes the join infeasible everywhere.
+    let (c, b) = system(2, 2, 25.0, 1000.0, 10_000.0);
+    let mut p = planner(c);
+    assert!(p.submit(&[b[0], b[1]]).admitted); // cost 20 <= 25
+    let report = adapt_to_observed_rates(&mut p, &[(b[0], 100.0)], 0.2);
+    // cost now 110 > 25: the query must be dropped.
+    assert_eq!(report.dropped.len(), 1);
+    assert_eq!(p.num_admitted(), 0);
+    assert!(p.state().is_valid(p.catalog()));
+}
+
+#[test]
+fn three_way_join_with_scarce_network_uses_plan_flexibility() {
+    // Bases on three different hosts, links tight enough that plan shape
+    // matters but generous CPU: the planner must find some placement.
+    let (c, b) = system(3, 3, 1000.0, 60.0, 40.0);
+    let mut p = planner(c);
+    let o = p.submit(&[b[0], b[1], b[2]]);
+    assert!(o.admitted, "{o:?}");
+    assert!(p.state().is_valid(p.catalog()));
+}

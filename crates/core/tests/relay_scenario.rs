@@ -1,0 +1,82 @@
+//! The §II-C relay scenario: "By propagating a stream to another host with
+//! potentially more spare network resources, the planner can support more
+//! reuse with future queries" — a hot source whose outgoing bandwidth
+//! cannot feed every consumer directly, but can via a relay chain.
+
+use sqpr_core::{PlannerConfig, RelayPolicy, SolveBudget, SqprPlanner};
+use sqpr_dsps::{Catalog, CostModel, HostId, HostSpec, StreamId};
+
+/// h0 sources a hot stream but has little outgoing bandwidth; h1 and h2
+/// each source a local stream and want to join it with the hot one.
+/// Serving both consumers directly from h0 exceeds its uplink; relaying
+/// through h1 makes both queries feasible.
+fn scenario() -> (Catalog, StreamId, StreamId, StreamId) {
+    let mut hot_host = HostSpec::new(100.0, 100.0);
+    // Hot stream rate 8; two direct sends (16) exceed the uplink of 13,
+    // but one send (8) plus slack fits.
+    hot_host.bandwidth_out = 13.0;
+    let consumer = HostSpec::new(100.0, 100.0);
+    let mut c = Catalog::new(
+        vec![hot_host, consumer.clone(), consumer],
+        sqpr_dsps::NetworkTopology::full_mesh(3, 100.0),
+        CostModel::default(),
+    );
+    let hot = c.add_base_stream(HostId(0), 8.0, 0);
+    let l1 = c.add_base_stream(HostId(1), 2.0, 1);
+    let l2 = c.add_base_stream(HostId(2), 2.0, 2);
+    (c, hot, l1, l2)
+}
+
+fn planner(c: Catalog, relay: RelayPolicy) -> SqprPlanner {
+    let mut cfg = PlannerConfig::new(&c);
+    cfg.budget = SolveBudget::nodes(300);
+    cfg.relay_policy = relay;
+    SqprPlanner::new(c, cfg)
+}
+
+#[test]
+fn relaying_admits_what_direct_sends_cannot() {
+    // With relays (the paper's model) both joins are admissible: the hot
+    // stream goes h0 -> h1 once, and h1 can forward it to h2.
+    let (c, hot, l1, l2) = scenario();
+    let mut p = planner(c, RelayPolicy::All);
+    let o1 = p.submit(&[hot, l1]);
+    let o2 = p.submit(&[hot, l2]);
+    assert!(o1.admitted, "first consumer must fit: {o1:?}");
+    assert!(
+        o2.admitted,
+        "relaying must rescue the second consumer: {o2:?}"
+    );
+    assert!(p.state().is_valid(p.catalog()));
+    // The hot source must not be sending twice (its uplink cannot).
+    let direct_sends = p
+        .state()
+        .flows()
+        .iter()
+        .filter(|&&(from, _, s)| from == HostId(0) && s == hot)
+        .count();
+    assert!(direct_sends <= 1, "flows: {:?}", p.state().flows());
+}
+
+#[test]
+fn producers_only_policy_cannot_rescue_the_second_consumer() {
+    let (c, hot, l1, l2) = scenario();
+    let mut p = planner(c, RelayPolicy::ProducersOnly);
+    let o1 = p.submit(&[hot, l1]);
+    assert!(o1.admitted);
+    let o2 = p.submit(&[hot, l2]);
+    // Without relays the hot stream can only leave its source host, whose
+    // uplink is exhausted — unless the planner co-locates both joins at a
+    // single receiving host. Co-location is possible here (h1 runs both
+    // joins, receiving l2 from h2), so check the weaker, still meaningful
+    // property: whatever happens stays valid, and if the query was
+    // admitted, no host relays the hot stream.
+    assert!(p.state().is_valid(p.catalog()));
+    if o2.admitted {
+        for &(from, _, s) in p.state().flows() {
+            if s == hot {
+                assert_eq!(from, HostId(0), "non-producer relayed under ProducersOnly");
+            }
+        }
+    }
+}

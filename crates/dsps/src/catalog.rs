@@ -1,0 +1,555 @@
+//! The system catalog: hosts, streams, operators, and base-stream placement.
+//!
+//! The catalog is the shared vocabulary of the planner and the baselines. It
+//! *interns* composite streams and operators by their semantic signature
+//! (see [`crate::stream::StreamSignature`]), which is what makes cross-query
+//! reuse discoverable: when a new query joins the same base streams as an
+//! old one, interning returns the already-registered stream/operator ids and
+//! the planner sees the overlap for free (paper §II-C: equivalence discovery
+//! "by traversing their query plans").
+
+use std::collections::{BTreeSet, HashMap};
+
+use crate::cost::CostModel;
+use crate::ids::{HostId, OperatorId, StreamId};
+use crate::operator::{OperatorDef, OperatorKind};
+use crate::stream::{StreamDef, StreamSignature};
+use crate::topology::{HostSpec, NetworkTopology};
+
+/// Central registry for one DSPS instance.
+#[derive(Debug, Clone)]
+pub struct Catalog {
+    hosts: Vec<HostSpec>,
+    topology: NetworkTopology,
+    cost: CostModel,
+    streams: Vec<StreamDef>,
+    by_signature: HashMap<StreamSignature, StreamId>,
+    operators: Vec<OperatorDef>,
+    op_dedup: HashMap<(OperatorKind, Vec<StreamId>), OperatorId>,
+    /// `S0_h`: base streams available at each host.
+    base_at_host: Vec<Vec<StreamId>>,
+    /// Source host of each base stream.
+    base_host: HashMap<StreamId, HostId>,
+    /// Operators producing each stream (multiple join trees may produce the
+    /// same interned stream).
+    producers: HashMap<StreamId, Vec<OperatorId>>,
+}
+
+impl Catalog {
+    /// Creates a catalog with the given hosts, topology and cost model.
+    pub fn new(hosts: Vec<HostSpec>, topology: NetworkTopology, cost: CostModel) -> Self {
+        assert_eq!(
+            hosts.len(),
+            topology.num_hosts(),
+            "topology size must match host count"
+        );
+        let n = hosts.len();
+        Catalog {
+            hosts,
+            topology,
+            cost,
+            streams: Vec::new(),
+            by_signature: HashMap::new(),
+            operators: Vec::new(),
+            op_dedup: HashMap::new(),
+            base_at_host: vec![Vec::new(); n],
+            base_host: HashMap::new(),
+            producers: HashMap::new(),
+        }
+    }
+
+    /// Convenience constructor: `n` identical hosts, full-mesh links.
+    pub fn uniform(n: usize, host: HostSpec, link_capacity: f64, cost: CostModel) -> Self {
+        Catalog::new(
+            vec![host; n],
+            NetworkTopology::full_mesh(n, link_capacity),
+            cost,
+        )
+    }
+
+    pub fn num_hosts(&self) -> usize {
+        self.hosts.len()
+    }
+
+    pub fn hosts(&self) -> impl Iterator<Item = HostId> {
+        (0..self.hosts.len()).map(HostId::from_index)
+    }
+
+    pub fn host(&self, h: HostId) -> &HostSpec {
+        &self.hosts[h.index()]
+    }
+
+    pub fn topology(&self) -> &NetworkTopology {
+        &self.topology
+    }
+
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cost
+    }
+
+    pub fn num_streams(&self) -> usize {
+        self.streams.len()
+    }
+
+    pub fn num_operators(&self) -> usize {
+        self.operators.len()
+    }
+
+    pub fn stream(&self, s: StreamId) -> &StreamDef {
+        &self.streams[s.index()]
+    }
+
+    pub fn operator(&self, o: OperatorId) -> &OperatorDef {
+        &self.operators[o.index()]
+    }
+
+    pub fn streams(&self) -> impl Iterator<Item = &StreamDef> {
+        self.streams.iter()
+    }
+
+    pub fn operators(&self) -> impl Iterator<Item = &OperatorDef> {
+        self.operators.iter()
+    }
+
+    /// Base streams available at host `h` (paper `S0_h`).
+    pub fn base_streams_at(&self, h: HostId) -> &[StreamId] {
+        &self.base_at_host[h.index()]
+    }
+
+    /// The source host of a base stream, `None` for composites.
+    pub fn source_host(&self, s: StreamId) -> Option<HostId> {
+        self.base_host.get(&s).copied()
+    }
+
+    /// Whether base stream `s` is locally available at `h`.
+    pub fn is_base_at(&self, s: StreamId, h: HostId) -> bool {
+        self.base_host.get(&s) == Some(&h)
+    }
+
+    /// Operators whose output is `s`.
+    pub fn producers_of(&self, s: StreamId) -> &[OperatorId] {
+        self.producers.get(&s).map_or(&[], Vec::as_slice)
+    }
+
+    /// Looks up a stream by signature without creating it.
+    pub fn find_stream(&self, sig: &StreamSignature) -> Option<StreamId> {
+        self.by_signature.get(sig).copied()
+    }
+
+    /// Registers a base stream injected at `host` with the given average
+    /// rate. `source` tags the external source; re-registering the same tag
+    /// returns the existing stream.
+    ///
+    /// # Panics
+    /// Panics if re-registered with a different host or rate.
+    pub fn add_base_stream(&mut self, host: HostId, rate: f64, source: u64) -> StreamId {
+        assert!(rate > 0.0, "base stream rate must be positive");
+        let sig = StreamSignature::Base { source };
+        if let Some(&id) = self.by_signature.get(&sig) {
+            assert_eq!(self.base_host[&id], host, "source {source} re-homed");
+            assert_eq!(
+                self.streams[id.index()].rate,
+                rate,
+                "source {source} rate changed"
+            );
+            return id;
+        }
+        let id = StreamId::from_index(self.streams.len());
+        self.streams.push(StreamDef {
+            id,
+            signature: sig.clone(),
+            rate,
+            factor: 1.0,
+        });
+        self.by_signature.insert(sig, id);
+        self.base_at_host[host.index()].push(id);
+        self.base_host.insert(id, host);
+        id
+    }
+
+    /// The set of base streams underlying `s` (identity for base streams,
+    /// the join base-set for joins, the input's set for filter/project).
+    pub fn base_set(&self, s: StreamId) -> BTreeSet<StreamId> {
+        match &self.streams[s.index()].signature {
+            StreamSignature::Base { .. } => [s].into_iter().collect(),
+            StreamSignature::Join { bases, .. } => bases.clone(),
+            StreamSignature::Filter { input, .. } | StreamSignature::Project { input, .. } => {
+                self.base_set(*input)
+            }
+        }
+    }
+
+    /// Interns the join-result stream over a set of base streams, computing
+    /// its order-independent rate from the cost model.
+    ///
+    /// # Panics
+    /// Panics unless `bases` has at least two distinct *base* streams.
+    pub fn intern_join_stream(&mut self, bases: &BTreeSet<StreamId>) -> StreamId {
+        self.intern_join_stream_tagged(bases, 0)
+    }
+
+    /// Like [`Self::intern_join_stream`], but with a privacy tag: streams
+    /// with different tags never unify. Tag 0 is the shared space; the
+    /// reuse-off ablation uses per-query tags.
+    pub fn intern_join_stream_tagged(&mut self, bases: &BTreeSet<StreamId>, tag: u64) -> StreamId {
+        assert!(bases.len() >= 2, "a join needs at least two base streams");
+        for &b in bases {
+            assert!(
+                self.streams[b.index()].is_base(),
+                "join base sets contain base streams only"
+            );
+        }
+        let sig = StreamSignature::Join {
+            bases: bases.clone(),
+            tag,
+        };
+        if let Some(&id) = self.by_signature.get(&sig) {
+            return id;
+        }
+        let rate = self.cost.join_rate(bases, |b| self.streams[b.index()].rate);
+        let id = StreamId::from_index(self.streams.len());
+        self.streams.push(StreamDef {
+            id,
+            signature: sig.clone(),
+            rate,
+            factor: 1.0,
+        });
+        self.by_signature.insert(sig, id);
+        id
+    }
+
+    /// Interns the binary join operator combining streams `left` and
+    /// `right` (whose base sets must be disjoint); also interns the output
+    /// stream. Returns the operator id.
+    pub fn intern_join_operator(&mut self, left: StreamId, right: StreamId) -> OperatorId {
+        self.intern_join_operator_tagged(left, right, 0)
+    }
+
+    /// Like [`Self::intern_join_operator`] with a privacy tag (see
+    /// [`Self::intern_join_stream_tagged`]).
+    pub fn intern_join_operator_tagged(
+        &mut self,
+        left: StreamId,
+        right: StreamId,
+        tag: u64,
+    ) -> OperatorId {
+        let lb = self.base_set(left);
+        let rb = self.base_set(right);
+        assert!(
+            lb.is_disjoint(&rb),
+            "join inputs must cover disjoint base sets ({left} vs {right})"
+        );
+        let mut inputs = vec![left, right];
+        inputs.sort();
+        // The tag participates in operator identity through the output
+        // stream below; include it in the dedup key via a synthetic id.
+        let key = (OperatorKind::Join, {
+            let mut k = inputs.clone();
+            if tag != 0 {
+                k.push(StreamId(u32::MAX - (tag as u32 % 1_000_000)));
+            }
+            k
+        });
+        if let Some(&id) = self.op_dedup.get(&key) {
+            return id;
+        }
+        let union: BTreeSet<StreamId> = lb.union(&rb).copied().collect();
+        let output = self.intern_join_stream_tagged(&union, tag);
+        let rates = [
+            self.streams[left.index()].rate,
+            self.streams[right.index()].rate,
+        ];
+        let cpu = self.cost.join_cpu(&rates);
+        let memory = self.cost.join_memory(&rates);
+        let id = OperatorId::from_index(self.operators.len());
+        self.operators.push(OperatorDef {
+            id,
+            kind: OperatorKind::Join,
+            inputs,
+            output,
+            cpu_cost: cpu,
+            memory_cost: memory,
+        });
+        self.op_dedup.insert(key, id);
+        self.producers.entry(output).or_default().push(id);
+        id
+    }
+
+    /// Interns a filter over `input` with the given predicate tag and
+    /// selectivity (output rate = input rate × selectivity).
+    pub fn intern_filter(
+        &mut self,
+        input: StreamId,
+        predicate: u64,
+        selectivity: f64,
+    ) -> OperatorId {
+        assert!(
+            selectivity > 0.0 && selectivity <= 1.0,
+            "filter selectivity in (0, 1]"
+        );
+        let key = (OperatorKind::Filter { predicate }, vec![input]);
+        if let Some(&id) = self.op_dedup.get(&key) {
+            return id;
+        }
+        let sig = StreamSignature::Filter { input, predicate };
+        let output = if let Some(&s) = self.by_signature.get(&sig) {
+            s
+        } else {
+            let rate = self.streams[input.index()].rate * selectivity;
+            let s = StreamId::from_index(self.streams.len());
+            self.streams.push(StreamDef {
+                id: s,
+                signature: sig.clone(),
+                rate,
+                factor: selectivity,
+            });
+            self.by_signature.insert(sig, s);
+            s
+        };
+        let cpu = self.cost.stateless_cpu(self.streams[input.index()].rate);
+        let id = OperatorId::from_index(self.operators.len());
+        self.operators.push(OperatorDef {
+            id,
+            kind: OperatorKind::Filter { predicate },
+            inputs: vec![input],
+            output,
+            cpu_cost: cpu,
+            memory_cost: 0.0,
+        });
+        self.op_dedup.insert(key, id);
+        self.producers.entry(output).or_default().push(id);
+        id
+    }
+
+    /// Interns a projection over `input`; `keep_fraction` scales the output
+    /// rate (narrower tuples).
+    pub fn intern_project(
+        &mut self,
+        input: StreamId,
+        projection: u64,
+        keep_fraction: f64,
+    ) -> OperatorId {
+        assert!(
+            keep_fraction > 0.0 && keep_fraction <= 1.0,
+            "projection keeps a positive fraction"
+        );
+        let key = (OperatorKind::Project { projection }, vec![input]);
+        if let Some(&id) = self.op_dedup.get(&key) {
+            return id;
+        }
+        let sig = StreamSignature::Project { input, projection };
+        let output = if let Some(&s) = self.by_signature.get(&sig) {
+            s
+        } else {
+            let rate = self.streams[input.index()].rate * keep_fraction;
+            let s = StreamId::from_index(self.streams.len());
+            self.streams.push(StreamDef {
+                id: s,
+                signature: sig.clone(),
+                rate,
+                factor: keep_fraction,
+            });
+            self.by_signature.insert(sig, s);
+            s
+        };
+        let cpu = self.cost.stateless_cpu(self.streams[input.index()].rate);
+        let id = OperatorId::from_index(self.operators.len());
+        self.operators.push(OperatorDef {
+            id,
+            kind: OperatorKind::Project { projection },
+            inputs: vec![input],
+            output,
+            cpu_cost: cpu,
+            memory_cost: 0.0,
+        });
+        self.op_dedup.insert(key, id);
+        self.producers.entry(output).or_default().push(id);
+        id
+    }
+
+    /// Updates a base stream's observed average rate and refreshes every
+    /// derived stream rate and operator CPU cost (paper §IV-B: adaptive
+    /// re-planning reacts to rate drift).
+    ///
+    /// # Panics
+    /// Panics if `s` is not a base stream or the rate is non-positive.
+    pub fn update_base_rate(&mut self, s: StreamId, rate: f64) {
+        assert!(rate > 0.0, "rate must be positive");
+        assert!(
+            self.streams[s.index()].is_base(),
+            "{s} is not a base stream"
+        );
+        self.streams[s.index()].rate = rate;
+        self.refresh_derived();
+    }
+
+    /// Recomputes composite stream rates and operator CPU costs bottom-up.
+    /// Streams are interned inputs-before-outputs, so a single pass in id
+    /// order is a valid topological sweep.
+    pub fn refresh_derived(&mut self) {
+        for i in 0..self.streams.len() {
+            let (sig, new_rate) = {
+                let def = &self.streams[i];
+                match &def.signature {
+                    StreamSignature::Base { .. } => continue,
+                    StreamSignature::Join { bases, .. } => {
+                        let r = self.cost.join_rate(bases, |b| self.streams[b.index()].rate);
+                        (None, r)
+                    }
+                    StreamSignature::Filter { input, .. }
+                    | StreamSignature::Project { input, .. } => {
+                        let in_rate = self.streams[input.index()].rate;
+                        (Some(def.factor), in_rate * def.factor)
+                    }
+                }
+            };
+            let _ = sig;
+            self.streams[i].rate = new_rate;
+        }
+        for i in 0..self.operators.len() {
+            let rates: Vec<f64> = self.operators[i]
+                .inputs
+                .iter()
+                .map(|&s| self.streams[s.index()].rate)
+                .collect();
+            self.operators[i].cpu_cost = match self.operators[i].kind {
+                OperatorKind::Join => self.cost.join_cpu(&rates),
+                OperatorKind::Filter { .. } | OperatorKind::Project { .. } => {
+                    self.cost.stateless_cpu(rates.iter().sum())
+                }
+            };
+            self.operators[i].memory_cost = match self.operators[i].kind {
+                OperatorKind::Join => self.cost.join_memory(&rates),
+                _ => 0.0,
+            };
+        }
+    }
+
+    /// Total CPU capacity across hosts (for the optimistic bound and the
+    /// paper's weight normalisations).
+    pub fn total_cpu(&self) -> f64 {
+        self.hosts.iter().map(|h| h.cpu_capacity).sum()
+    }
+
+    /// Total outgoing bandwidth across hosts (`Σ β_h`, used for λ2).
+    pub fn total_bandwidth_out(&self) -> f64 {
+        self.hosts.iter().map(|h| h.bandwidth_out).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn catalog2() -> Catalog {
+        Catalog::uniform(2, HostSpec::new(10.0, 100.0), 1000.0, CostModel::default())
+    }
+
+    #[test]
+    fn base_streams_register_and_dedup() {
+        let mut c = catalog2();
+        let a = c.add_base_stream(HostId(0), 10.0, 1);
+        let a2 = c.add_base_stream(HostId(0), 10.0, 1);
+        assert_eq!(a, a2);
+        assert_eq!(c.num_streams(), 1);
+        assert_eq!(c.base_streams_at(HostId(0)), &[a]);
+        assert!(c.base_streams_at(HostId(1)).is_empty());
+        assert_eq!(c.source_host(a), Some(HostId(0)));
+    }
+
+    #[test]
+    fn join_operators_share_interned_output() {
+        let mut c = catalog2();
+        let a = c.add_base_stream(HostId(0), 10.0, 1);
+        let b = c.add_base_stream(HostId(0), 10.0, 2);
+        let d = c.add_base_stream(HostId(1), 10.0, 3);
+        // (a ⋈ b) ⋈ d  vs  (a ⋈ d) ⋈ b: final outputs must coincide.
+        let ab = c.intern_join_operator(a, b);
+        let ab_s = c.operator(ab).output;
+        let abd1 = c.intern_join_operator(ab_s, d);
+        let ad = c.intern_join_operator(a, d);
+        let ad_s = c.operator(ad).output;
+        let abd2 = c.intern_join_operator(ad_s, b);
+        assert_ne!(abd1, abd2, "different trees are different operators");
+        assert_eq!(
+            c.operator(abd1).output,
+            c.operator(abd2).output,
+            "same base set -> same interned stream"
+        );
+        let out = c.operator(abd1).output;
+        assert_eq!(c.producers_of(out).len(), 2);
+    }
+
+    #[test]
+    fn join_rate_matches_cost_model() {
+        let mut c = catalog2();
+        let a = c.add_base_stream(HostId(0), 10.0, 1);
+        let b = c.add_base_stream(HostId(1), 20.0, 2);
+        let op = c.intern_join_operator(a, b);
+        let out = c.operator(op).output;
+        let expected = 10.0 * 20.0 * c.cost_model().default_selectivity;
+        assert!((c.stream(out).rate - expected).abs() < 1e-12);
+        // CPU linear in input rates.
+        assert!((c.operator(op).cpu_cost - 30.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn join_operator_dedup() {
+        let mut c = catalog2();
+        let a = c.add_base_stream(HostId(0), 10.0, 1);
+        let b = c.add_base_stream(HostId(1), 20.0, 2);
+        let o1 = c.intern_join_operator(a, b);
+        let o2 = c.intern_join_operator(b, a); // commuted
+        assert_eq!(o1, o2);
+        assert_eq!(c.num_operators(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "disjoint")]
+    fn overlapping_join_inputs_rejected() {
+        let mut c = catalog2();
+        let a = c.add_base_stream(HostId(0), 10.0, 1);
+        let b = c.add_base_stream(HostId(1), 20.0, 2);
+        let ab = c.intern_join_operator(a, b);
+        let ab_s = c.operator(ab).output;
+        c.intern_join_operator(ab_s, a); // `a` already inside ab
+    }
+
+    #[test]
+    fn filters_and_projects_intern() {
+        let mut c = catalog2();
+        let a = c.add_base_stream(HostId(0), 10.0, 1);
+        let f1 = c.intern_filter(a, 42, 0.5);
+        let f2 = c.intern_filter(a, 42, 0.5);
+        assert_eq!(f1, f2);
+        let fs = c.operator(f1).output;
+        assert!((c.stream(fs).rate - 5.0).abs() < 1e-12);
+        let p = c.intern_project(fs, 7, 0.25);
+        let ps = c.operator(p).output;
+        assert!((c.stream(ps).rate - 1.25).abs() < 1e-12);
+        assert_eq!(c.base_set(ps), [a].into_iter().collect());
+    }
+
+    #[test]
+    fn rate_update_propagates_to_derived() {
+        let mut c = catalog2();
+        let a = c.add_base_stream(HostId(0), 10.0, 1);
+        let b = c.add_base_stream(HostId(1), 20.0, 2);
+        let op = c.intern_join_operator(a, b);
+        let out = c.operator(op).output;
+        let f = c.intern_filter(out, 9, 0.5);
+        let fs = c.operator(f).output;
+        let sel = c.cost_model().default_selectivity;
+        c.update_base_rate(a, 30.0);
+        assert!((c.stream(out).rate - 30.0 * 20.0 * sel).abs() < 1e-9);
+        assert!((c.stream(fs).rate - 30.0 * 20.0 * sel * 0.5).abs() < 1e-9);
+        assert!((c.operator(op).cpu_cost - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn totals() {
+        let c = catalog2();
+        assert_eq!(c.total_cpu(), 20.0);
+        assert_eq!(c.total_bandwidth_out(), 200.0);
+    }
+}

@@ -1,0 +1,468 @@
+//! DISSP-style execution engine: a discrete-time fluid simulator.
+//!
+//! The paper's cluster experiments (§V-B) run a prototype DSPS (DISSP) on
+//! Emulab and measure per-host CPU utilisation and network usage. We do not
+//! have Emulab; this engine substitutes a deterministic discrete-time
+//! simulation of tuple flow: stream volumes are fluid quantities produced by
+//! sources, consumed by operator instances under per-host CPU budgets, and
+//! shipped across links under bandwidth budgets. Each consumer (operator
+//! input, inter-host flow, client delivery) reads the stream independently —
+//! streams are broadcast, so consumers track private offsets against the
+//! cumulative volume that has arrived at their host.
+//!
+//! The simulator reports what the paper's resource monitors report: per-host
+//! CPU utilisation and network usage, plus backlog diagnostics that expose
+//! overload (growing queues) when a planner has oversubscribed a host.
+
+use std::collections::HashMap;
+
+use crate::catalog::Catalog;
+use crate::deployment::DeploymentState;
+use crate::ids::{HostId, OperatorId, StreamId};
+
+/// Engine configuration.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Simulated seconds per tick.
+    pub tick_seconds: f64,
+    /// Ticks discarded before measurement starts.
+    pub warmup_ticks: usize,
+    /// Ticks measured.
+    pub measure_ticks: usize,
+    /// Multiplicative CPU-cost noise amplitude (0 disables; 0.05 = ±5%).
+    pub cpu_noise: f64,
+    /// RNG seed for the noise process.
+    pub seed: u64,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            tick_seconds: 1.0,
+            warmup_ticks: 10,
+            measure_ticks: 50,
+            cpu_noise: 0.0,
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+/// Measurement output of one simulation run.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    /// Mean CPU utilisation per host, as a fraction of `ζ_h` in `[0, 1]`.
+    pub cpu_utilization: Vec<f64>,
+    /// Mean network usage per host (sent + received, rate units).
+    pub net_usage: Vec<f64>,
+    /// Mean outgoing rate per host.
+    pub net_out: Vec<f64>,
+    /// Mean incoming rate per host.
+    pub net_in: Vec<f64>,
+    /// Total volume delivered to clients over the measurement window.
+    pub delivered: f64,
+    /// Final total backlog across all consumers (should stay bounded when
+    /// the deployment is feasible).
+    pub final_backlog: f64,
+    /// Mean total backlog over the measurement window.
+    pub mean_backlog: f64,
+    /// Little's-law latency estimate in seconds: mean backlog divided by
+    /// total consumption throughput (volume drained per second across all
+    /// consumers). Grows without bound for overloaded deployments; small
+    /// and roughly constant for feasible ones. The paper's §II discussion
+    /// ties load balancing to processing latency — this is the measurable
+    /// counterpart.
+    pub latency_estimate: f64,
+    /// Ticks simulated (warmup + measurement).
+    pub ticks: usize,
+}
+
+/// Tiny xorshift64* generator so the substrate stays dependency-free.
+#[derive(Debug, Clone)]
+struct XorShift(u64);
+
+impl XorShift {
+    fn new(seed: u64) -> Self {
+        XorShift(seed.max(1))
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+
+    /// Uniform in `[-1, 1]`.
+    fn next_signed(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0
+    }
+}
+
+/// Consumer identity for offset bookkeeping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Consumer {
+    /// Operator instance input: (host, operator, input stream).
+    OpInput(HostId, OperatorId, StreamId),
+    /// Inter-host flow: (from, to, stream).
+    Flow(HostId, HostId, StreamId),
+    /// Client delivery of a provided stream from a host.
+    Client(HostId, StreamId),
+}
+
+/// Runs the engine over a deployment and reports resource measurements.
+pub fn run(catalog: &Catalog, deployment: &DeploymentState, cfg: &EngineConfig) -> SimReport {
+    let n = catalog.num_hosts();
+    let tick = cfg.tick_seconds;
+    let mut rng = XorShift::new(cfg.seed);
+
+    // Cumulative arrived volume per (host, stream).
+    let mut arrived: HashMap<(HostId, StreamId), f64> = HashMap::new();
+    // Private offsets per consumer.
+    let mut consumed: HashMap<Consumer, f64> = HashMap::new();
+
+    // Operators per host, ordered by stream derivation depth so upstream
+    // operators run first within a tick.
+    let depth = stream_depths(catalog);
+    let mut host_ops: Vec<Vec<OperatorId>> = vec![Vec::new(); n];
+    for &(h, o) in deployment.placements() {
+        host_ops[h.index()].push(o);
+    }
+    for ops in &mut host_ops {
+        ops.sort_by_key(|&o| depth[catalog.operator(o).output.index()]);
+    }
+    let flows: Vec<(HostId, HostId, StreamId)> = deployment.flows().iter().copied().collect();
+
+    let mut cpu_acc = vec![0.0; n];
+    let mut out_acc = vec![0.0; n];
+    let mut in_acc = vec![0.0; n];
+    let mut delivered = 0.0;
+    let mut backlog_acc = 0.0;
+    let mut backlog_samples = 0usize;
+    let mut consumed_acc = 0.0;
+
+    let total_ticks = cfg.warmup_ticks + cfg.measure_ticks;
+    for t in 0..total_ticks {
+        let measuring = t >= cfg.warmup_ticks;
+
+        // 1. Sources inject base streams at their hosts.
+        for h in catalog.hosts() {
+            for &s in catalog.base_streams_at(h) {
+                *arrived.entry((h, s)).or_default() += catalog.stream(s).rate * tick;
+            }
+        }
+
+        // 2. Operators process under per-host CPU budgets.
+        for h in catalog.hosts() {
+            let mut budget = catalog.host(h).cpu_capacity * tick;
+            let mut used = 0.0;
+            for &o in &host_ops[h.index()] {
+                let op = catalog.operator(o);
+                // Fraction of a full-rate tick this operator can process,
+                // limited by available input volume on every input.
+                let mut frac: f64 = 2.0; // allow catch-up processing
+                for &inp in &op.inputs {
+                    let have = arrived.get(&(h, inp)).copied().unwrap_or(0.0)
+                        - consumed
+                            .get(&Consumer::OpInput(h, o, inp))
+                            .copied()
+                            .unwrap_or(0.0);
+                    let want = catalog.stream(inp).rate * tick;
+                    frac = frac.min(if want > 0.0 { have / want } else { 0.0 });
+                }
+                frac = frac.max(0.0);
+                let noise = 1.0 + cfg.cpu_noise * rng.next_signed();
+                let cost_full = op.cpu_cost * tick * noise.max(0.1);
+                let mut need = cost_full * frac;
+                if need > budget {
+                    frac *= budget / need;
+                    need = budget;
+                }
+                budget -= need;
+                used += need;
+                if frac > 0.0 {
+                    for &inp in &op.inputs {
+                        let amount = catalog.stream(inp).rate * tick * frac;
+                        *consumed.entry(Consumer::OpInput(h, o, inp)).or_default() += amount;
+                        if measuring {
+                            consumed_acc += amount;
+                        }
+                    }
+                    *arrived.entry((h, op.output)).or_default() +=
+                        catalog.stream(op.output).rate * tick * frac;
+                }
+            }
+            if measuring {
+                cpu_acc[h.index()] += used / (catalog.host(h).cpu_capacity * tick);
+            }
+        }
+
+        // 3. Flows ship backlog under link and host bandwidth budgets.
+        let mut out_budget: Vec<f64> = catalog
+            .hosts()
+            .map(|h| catalog.host(h).bandwidth_out * tick)
+            .collect();
+        let mut in_budget: Vec<f64> = catalog
+            .hosts()
+            .map(|h| catalog.host(h).bandwidth_in * tick)
+            .collect();
+        let mut link_budget: HashMap<(HostId, HostId), f64> = HashMap::new();
+        for &(from, to, s) in &flows {
+            let backlog = arrived.get(&(from, s)).copied().unwrap_or(0.0)
+                - consumed
+                    .get(&Consumer::Flow(from, to, s))
+                    .copied()
+                    .unwrap_or(0.0);
+            let link = link_budget
+                .entry((from, to))
+                .or_insert_with(|| catalog.topology().link(from, to) * tick);
+            let v = backlog
+                .min(*link)
+                .min(out_budget[from.index()])
+                .min(in_budget[to.index()])
+                .max(0.0);
+            if v > 0.0 {
+                *consumed.entry(Consumer::Flow(from, to, s)).or_default() += v;
+                *arrived.entry((to, s)).or_default() += v;
+                if measuring {
+                    consumed_acc += v;
+                }
+                *link -= v;
+                out_budget[from.index()] -= v;
+                in_budget[to.index()] -= v;
+                if measuring {
+                    out_acc[from.index()] += v / tick;
+                    in_acc[to.index()] += v / tick;
+                }
+            }
+        }
+
+        // Sample total backlog while measuring (before deliveries drain
+        // the window's production).
+        if measuring {
+            backlog_acc += total_backlog(&arrived, &consumed);
+            backlog_samples += 1;
+        }
+
+        // 4. Client deliveries of provided (demanded) streams.
+        for (&s, &h) in deployment.provided() {
+            let backlog = arrived.get(&(h, s)).copied().unwrap_or(0.0)
+                - consumed
+                    .get(&Consumer::Client(h, s))
+                    .copied()
+                    .unwrap_or(0.0);
+            let v = backlog.min(out_budget[h.index()]).max(0.0);
+            if v > 0.0 {
+                *consumed.entry(Consumer::Client(h, s)).or_default() += v;
+                out_budget[h.index()] -= v;
+                if measuring {
+                    consumed_acc += v;
+                }
+                if measuring {
+                    out_acc[h.index()] += v / tick;
+                    delivered += v;
+                }
+            }
+        }
+    }
+
+    let backlog = total_backlog(&arrived, &consumed);
+    let mean_backlog = if backlog_samples > 0 {
+        backlog_acc / backlog_samples as f64
+    } else {
+        0.0
+    };
+    let throughput = consumed_acc / (cfg.measure_ticks.max(1) as f64 * tick);
+    let latency_estimate = if throughput > 0.0 {
+        mean_backlog / throughput.max(1e-12)
+    } else {
+        f64::INFINITY
+    };
+
+    let m = cfg.measure_ticks.max(1) as f64;
+    SimReport {
+        mean_backlog,
+        latency_estimate,
+        cpu_utilization: cpu_acc.iter().map(|v| v / m).collect(),
+        net_out: out_acc.iter().map(|v| v / m).collect(),
+        net_in: in_acc.iter().map(|v| v / m).collect(),
+        net_usage: out_acc
+            .iter()
+            .zip(&in_acc)
+            .map(|(o, i)| (o + i) / m)
+            .collect(),
+        delivered,
+        final_backlog: backlog,
+        ticks: total_ticks,
+    }
+}
+
+/// Sum over consumers of unconsumed arrived volume.
+fn total_backlog(
+    arrived: &HashMap<(HostId, StreamId), f64>,
+    consumed: &HashMap<Consumer, f64>,
+) -> f64 {
+    let mut backlog = 0.0;
+    for (c, done) in consumed {
+        let key = match *c {
+            Consumer::OpInput(h, _, s) => (h, s),
+            Consumer::Flow(from, _, s) => (from, s),
+            Consumer::Client(h, s) => (h, s),
+        };
+        backlog += (arrived.get(&key).copied().unwrap_or(0.0) - done).max(0.0);
+    }
+    backlog
+}
+
+/// Depth of each stream in the derivation DAG (bases at 0).
+fn stream_depths(catalog: &Catalog) -> Vec<usize> {
+    let mut depth = vec![0usize; catalog.num_streams()];
+    // Streams are interned bottom-up (inputs before outputs), so a single
+    // forward pass over operators in id order suffices.
+    for op in catalog.operators() {
+        let d = op
+            .inputs
+            .iter()
+            .map(|&i| depth[i.index()] + 1)
+            .max()
+            .unwrap_or(1);
+        if d > depth[op.output.index()] {
+            depth[op.output.index()] = d;
+        }
+    }
+    depth
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::CostModel;
+    use crate::topology::HostSpec;
+
+    /// a@h0, b@h1; flow b to h0; join at h0; provide result from h0.
+    fn small_deployment() -> (Catalog, DeploymentState) {
+        let mut c = Catalog::uniform(2, HostSpec::new(50.0, 100.0), 100.0, CostModel::default());
+        let a = c.add_base_stream(HostId(0), 10.0, 1);
+        let b = c.add_base_stream(HostId(1), 10.0, 2);
+        let op = c.intern_join_operator(a, b);
+        let ab = c.operator(op).output;
+        let mut d = DeploymentState::new();
+        d.add_flow(HostId(1), HostId(0), b);
+        d.add_placement(HostId(0), op);
+        d.add_available(HostId(0), ab);
+        d.set_provided(ab, HostId(0));
+        assert!(d.is_valid(&c));
+        (c, d)
+    }
+
+    #[test]
+    fn steady_state_matches_planned_usage() {
+        let (c, d) = small_deployment();
+        let report = run(&c, &d, &EngineConfig::default());
+        // Operator cpu = 20 units on a 50-unit host -> 40% utilisation.
+        assert!((report.cpu_utilization[0] - 0.4).abs() < 0.05, "{report:?}");
+        assert!(report.cpu_utilization[1] < 1e-9);
+        // Host1 sends b (rate 10); host0 receives it.
+        assert!((report.net_out[1] - 10.0).abs() < 1.0, "{report:?}");
+        assert!((report.net_in[0] - 10.0).abs() < 1.0);
+        // Result stream is delivered.
+        assert!(report.delivered > 0.0);
+        // Feasible deployment: backlog is bounded pipeline fill (a couple of
+        // ticks of input rate), not unbounded queue growth.
+        assert!(report.final_backlog < 3.0 * 20.0, "{report:?}");
+        // Doubling the simulated time must not grow the backlog (steady state).
+        let mut longer = EngineConfig::default();
+        longer.measure_ticks = 150;
+        let report2 = run(&c, &d, &longer);
+        assert!(
+            (report2.final_backlog - report.final_backlog).abs() < 1.0,
+            "backlog grew: {} -> {}",
+            report.final_backlog,
+            report2.final_backlog
+        );
+    }
+
+    #[test]
+    fn overloaded_host_saturates_and_backlogs() {
+        // Tiny CPU: the join cannot keep up; utilisation pins at ~1 and
+        // backlog grows.
+        let mut c = Catalog::uniform(2, HostSpec::new(1.0, 100.0), 100.0, CostModel::default());
+        let a = c.add_base_stream(HostId(0), 10.0, 1);
+        let b = c.add_base_stream(HostId(1), 10.0, 2);
+        let op = c.intern_join_operator(a, b); // cpu 20 >> 1
+        let ab = c.operator(op).output;
+        let mut d = DeploymentState::new();
+        d.add_flow(HostId(1), HostId(0), b);
+        d.add_placement(HostId(0), op);
+        d.add_available(HostId(0), ab);
+        d.set_provided(ab, HostId(0));
+        let report = run(&c, &d, &EngineConfig::default());
+        assert!(report.cpu_utilization[0] > 0.95, "{report:?}");
+        assert!(report.final_backlog > 100.0, "{report:?}");
+    }
+
+    #[test]
+    fn relay_chain_delivers_across_hops() {
+        let mut c = Catalog::uniform(3, HostSpec::new(10.0, 100.0), 100.0, CostModel::default());
+        let a = c.add_base_stream(HostId(0), 5.0, 1);
+        let mut d = DeploymentState::new();
+        d.add_flow(HostId(0), HostId(1), a);
+        d.add_flow(HostId(1), HostId(2), a);
+        d.set_provided(a, HostId(2));
+        let report = run(&c, &d, &EngineConfig::default());
+        assert!((report.net_out[0] - 5.0).abs() < 1.0);
+        assert!((report.net_out[1] - 5.0).abs() < 1.0);
+        assert!(report.delivered > 0.0);
+    }
+
+    #[test]
+    fn latency_estimate_separates_feasible_from_overloaded() {
+        let (c, d) = small_deployment();
+        let ok = run(&c, &d, &EngineConfig::default());
+        assert!(ok.latency_estimate.is_finite());
+        assert!(ok.latency_estimate < 5.0, "{ok:?}");
+
+        // Overloaded variant: starve the CPU.
+        let mut c2 = Catalog::uniform(2, HostSpec::new(1.0, 100.0), 100.0, CostModel::default());
+        let a = c2.add_base_stream(HostId(0), 10.0, 1);
+        let b = c2.add_base_stream(HostId(1), 10.0, 2);
+        let op = c2.intern_join_operator(a, b);
+        let ab = c2.operator(op).output;
+        let mut d2 = DeploymentState::new();
+        d2.add_flow(HostId(1), HostId(0), b);
+        d2.add_placement(HostId(0), op);
+        d2.add_available(HostId(0), ab);
+        d2.set_provided(ab, HostId(0));
+        let bad = run(&c2, &d2, &EngineConfig::default());
+        assert!(
+            bad.mean_backlog > 10.0 * ok.mean_backlog,
+            "overload must grow queues: {} vs {}",
+            bad.mean_backlog,
+            ok.mean_backlog
+        );
+    }
+
+    #[test]
+    fn noise_is_deterministic_per_seed() {
+        let (c, d) = small_deployment();
+        let mut cfg = EngineConfig::default();
+        cfg.cpu_noise = 0.1;
+        cfg.seed = 42;
+        let r1 = run(&c, &d, &cfg);
+        let r2 = run(&c, &d, &cfg);
+        assert_eq!(r1.cpu_utilization, r2.cpu_utilization);
+        cfg.seed = 43;
+        let r3 = run(&c, &d, &cfg);
+        assert_ne!(r1.cpu_utilization, r3.cpu_utilization);
+    }
+
+    #[test]
+    fn empty_deployment_reports_zero() {
+        let c = Catalog::uniform(2, HostSpec::new(10.0, 10.0), 10.0, CostModel::default());
+        let d = DeploymentState::new();
+        let report = run(&c, &d, &EngineConfig::default());
+        assert!(report.cpu_utilization.iter().all(|&v| v == 0.0));
+        assert_eq!(report.delivered, 0.0);
+    }
+}

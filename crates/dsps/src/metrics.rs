@@ -1,0 +1,149 @@
+//! Measurement utilities: empirical CDFs and summary statistics, used to
+//! reproduce the distribution plots of the paper's Figures 7(b) and 7(c).
+
+/// An empirical cumulative distribution over a finite sample.
+#[derive(Debug, Clone)]
+pub struct Cdf {
+    sorted: Vec<f64>,
+}
+
+impl Cdf {
+    pub fn from_samples(mut samples: Vec<f64>) -> Self {
+        samples.retain(|v| !v.is_nan());
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs remain"));
+        Cdf { sorted: samples }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// `P[X <= x]`.
+    pub fn fraction_at(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let idx = self.sorted.partition_point(|&v| v <= x);
+        idx as f64 / self.sorted.len() as f64
+    }
+
+    /// The `q`-quantile (`q` in `[0, 1]`), by nearest-rank.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile in [0,1]");
+        assert!(!self.sorted.is_empty(), "empty CDF has no quantiles");
+        let rank = ((q * self.sorted.len() as f64).ceil() as usize).clamp(1, self.sorted.len());
+        self.sorted[rank - 1]
+    }
+
+    /// Step points `(value, cumulative fraction)` suitable for plotting.
+    pub fn points(&self) -> Vec<(f64, f64)> {
+        let n = self.sorted.len() as f64;
+        self.sorted
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (v, (i + 1) as f64 / n))
+            .collect()
+    }
+
+    pub fn min(&self) -> Option<f64> {
+        self.sorted.first().copied()
+    }
+
+    pub fn max(&self) -> Option<f64> {
+        self.sorted.last().copied()
+    }
+
+    pub fn mean(&self) -> Option<f64> {
+        if self.sorted.is_empty() {
+            None
+        } else {
+            Some(self.sorted.iter().sum::<f64>() / self.sorted.len() as f64)
+        }
+    }
+}
+
+/// Mean of a sample (0 for empty input).
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Population standard deviation.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64).sqrt()
+}
+
+/// Jain's fairness index: 1 means perfectly balanced load, `1/n` means one
+/// host carries everything. Used to quantify load-balance objectives (O4).
+pub fn jain_fairness(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 1.0;
+    }
+    let s: f64 = xs.iter().sum();
+    let s2: f64 = xs.iter().map(|x| x * x).sum();
+    if s2 == 0.0 {
+        return 1.0;
+    }
+    s * s / (xs.len() as f64 * s2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cdf_fractions_and_quantiles() {
+        let c = Cdf::from_samples(vec![3.0, 1.0, 2.0, 4.0]);
+        assert_eq!(c.len(), 4);
+        assert_eq!(c.fraction_at(0.5), 0.0);
+        assert_eq!(c.fraction_at(2.0), 0.5);
+        assert_eq!(c.fraction_at(10.0), 1.0);
+        assert_eq!(c.quantile(0.5), 2.0);
+        assert_eq!(c.quantile(1.0), 4.0);
+        assert_eq!(c.min(), Some(1.0));
+        assert_eq!(c.max(), Some(4.0));
+        assert_eq!(c.mean(), Some(2.5));
+    }
+
+    #[test]
+    fn cdf_points_monotone() {
+        let c = Cdf::from_samples(vec![5.0, 1.0, 9.0]);
+        let pts = c.points();
+        assert_eq!(pts.len(), 3);
+        assert!(pts.windows(2).all(|w| w[0].0 <= w[1].0 && w[0].1 < w[1].1));
+        assert_eq!(pts.last().unwrap().1, 1.0);
+    }
+
+    #[test]
+    fn fairness_index_bounds() {
+        assert_eq!(jain_fairness(&[1.0, 1.0, 1.0]), 1.0);
+        let skew = jain_fairness(&[1.0, 0.0, 0.0]);
+        assert!((skew - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(jain_fairness(&[]), 1.0);
+        assert_eq!(jain_fairness(&[0.0, 0.0]), 1.0);
+    }
+
+    #[test]
+    fn stats_basic() {
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+        assert!((std_dev(&[2.0, 4.0]) - 1.0).abs() < 1e-12);
+        assert_eq!(std_dev(&[5.0]), 0.0);
+    }
+
+    #[test]
+    fn cdf_drops_nans() {
+        let c = Cdf::from_samples(vec![1.0, f64::NAN, 2.0]);
+        assert_eq!(c.len(), 2);
+    }
+}

@@ -1,0 +1,390 @@
+//! Query plan trees (paper §III-A).
+//!
+//! A query plan is a tree whose nodes are labelled `⟨h, o⟩` (host `h` runs
+//! operator `o`, or the relay operator `µ`) and whose arcs are labelled with
+//! stream ids. The root's outgoing arc carries the query's result stream to
+//! the client; leaves receive base streams from their sources.
+//!
+//! Validation enforces the paper's plan conditions:
+//! - **C1** the root's outgoing arc is the query stream;
+//! - **C2** an operator node's incoming arcs form a superset of `S_o` and
+//!   its outgoing arc is `s_o`;
+//! - **C3** a relay node has exactly one incoming arc, same label as its
+//!   outgoing arc;
+//! - **C4** base-stream arcs entering a node require the stream's source to
+//!   be that node's host (`s ∈ S0_h`).
+
+use crate::catalog::Catalog;
+use crate::ids::{HostId, OperatorId, StreamId};
+
+/// Node payload: a real operator or the relay pseudo-operator `µ`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanNodeKind {
+    Operator(OperatorId),
+    /// Relay (`µ`): forwards its single input stream unchanged.
+    Relay,
+}
+
+/// One node in the plan tree.
+#[derive(Debug, Clone)]
+pub struct PlanNode {
+    pub host: HostId,
+    pub kind: PlanNodeKind,
+    /// Stream carried on the outgoing arc.
+    pub output: StreamId,
+    /// Child node indices (their outputs are this node's incoming arcs).
+    pub children: Vec<usize>,
+    /// Base streams consumed directly from local sources (extra incoming
+    /// arcs from outside the tree; must satisfy C4).
+    pub source_inputs: Vec<StreamId>,
+}
+
+/// A complete query plan: an arena of nodes plus the root index.
+#[derive(Debug, Clone)]
+pub struct QueryPlan {
+    nodes: Vec<PlanNode>,
+    root: usize,
+}
+
+/// Violations reported by [`QueryPlan::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlanError {
+    /// C1: root output differs from the demanded stream.
+    RootMismatch { expected: StreamId, got: StreamId },
+    /// C2: node's incoming arcs do not cover the operator's inputs.
+    MissingInput { node: usize, stream: StreamId },
+    /// C2: node output is not the operator's output stream.
+    WrongOutput { node: usize },
+    /// C3: relay node must have exactly one input, same stream as output.
+    BadRelay { node: usize },
+    /// C4: a base stream is consumed at a host that is not its source.
+    BaseNotLocal { node: usize, stream: StreamId },
+    /// A `source_inputs` entry is not a base stream.
+    NotABaseStream { node: usize, stream: StreamId },
+    /// Tree structure broken (dangling child index or a cycle).
+    Malformed,
+}
+
+impl QueryPlan {
+    /// Builds a plan from an arena; `root` indexes into `nodes`.
+    pub fn new(nodes: Vec<PlanNode>, root: usize) -> Self {
+        QueryPlan { nodes, root }
+    }
+
+    pub fn root(&self) -> &PlanNode {
+        &self.nodes[self.root]
+    }
+
+    pub fn node(&self, i: usize) -> &PlanNode {
+        &self.nodes[i]
+    }
+
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    pub fn nodes(&self) -> impl Iterator<Item = (usize, &PlanNode)> {
+        self.nodes.iter().enumerate()
+    }
+
+    /// All `(host, operator)` placements in the plan (relays excluded).
+    pub fn placements(&self) -> impl Iterator<Item = (HostId, OperatorId)> + '_ {
+        self.nodes.iter().filter_map(|n| match n.kind {
+            PlanNodeKind::Operator(o) => Some((n.host, o)),
+            PlanNodeKind::Relay => None,
+        })
+    }
+
+    /// All inter-host flows `(from, to, stream)` implied by tree arcs whose
+    /// endpoints live on different hosts.
+    pub fn flows(&self) -> Vec<(HostId, HostId, StreamId)> {
+        let mut out = Vec::new();
+        for node in &self.nodes {
+            for &c in &node.children {
+                let child = &self.nodes[c];
+                if child.host != node.host {
+                    out.push((child.host, node.host, child.output));
+                }
+            }
+        }
+        out
+    }
+
+    /// Validates conditions C1–C4 against the catalog.
+    pub fn validate(&self, catalog: &Catalog, query_stream: StreamId) -> Result<(), PlanError> {
+        if self.nodes.is_empty() || self.root >= self.nodes.len() {
+            return Err(PlanError::Malformed);
+        }
+        // Structural check: every node reachable at most once (tree).
+        let mut seen = vec![false; self.nodes.len()];
+        let mut stack = vec![self.root];
+        while let Some(i) = stack.pop() {
+            if i >= self.nodes.len() || seen[i] {
+                return Err(PlanError::Malformed);
+            }
+            seen[i] = true;
+            stack.extend(self.nodes[i].children.iter().copied());
+        }
+
+        // C1.
+        let root = &self.nodes[self.root];
+        if root.output != query_stream {
+            return Err(PlanError::RootMismatch {
+                expected: query_stream,
+                got: root.output,
+            });
+        }
+
+        for (i, node) in self.nodes.iter().enumerate() {
+            if !seen[i] {
+                continue; // unreachable nodes are tolerated but ignored
+            }
+            // Incoming arcs: child outputs + local source inputs.
+            let mut incoming: Vec<StreamId> = node
+                .children
+                .iter()
+                .map(|&c| self.nodes[c].output)
+                .collect();
+            for &s in &node.source_inputs {
+                if !catalog.stream(s).is_base() {
+                    return Err(PlanError::NotABaseStream { node: i, stream: s });
+                }
+                // C4: source arcs require local availability.
+                if !catalog.is_base_at(s, node.host) {
+                    return Err(PlanError::BaseNotLocal { node: i, stream: s });
+                }
+                incoming.push(s);
+            }
+            match node.kind {
+                PlanNodeKind::Operator(o) => {
+                    let op = catalog.operator(o);
+                    // C2: incoming ⊇ S_o, output = s_o.
+                    for &inp in &op.inputs {
+                        if !incoming.contains(&inp) {
+                            return Err(PlanError::MissingInput {
+                                node: i,
+                                stream: inp,
+                            });
+                        }
+                    }
+                    if node.output != op.output {
+                        return Err(PlanError::WrongOutput { node: i });
+                    }
+                }
+                PlanNodeKind::Relay => {
+                    // C3: exactly one incoming arc, identical label.
+                    if incoming.len() != 1 || incoming[0] != node.output {
+                        return Err(PlanError::BadRelay { node: i });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::CostModel;
+    use crate::topology::HostSpec;
+
+    /// Two hosts, bases a@h0 b@h0 c@h1; interns (a⋈b) and ((a⋈b)⋈c).
+    fn setup() -> (
+        Catalog,
+        StreamId,
+        StreamId,
+        StreamId,
+        OperatorId,
+        OperatorId,
+    ) {
+        let mut c = Catalog::uniform(2, HostSpec::new(10.0, 100.0), 1000.0, CostModel::default());
+        let a = c.add_base_stream(HostId(0), 10.0, 1);
+        let b = c.add_base_stream(HostId(0), 10.0, 2);
+        let d = c.add_base_stream(HostId(1), 10.0, 3);
+        let o_ab = c.intern_join_operator(a, b);
+        let ab = c.operator(o_ab).output;
+        let o_abd = c.intern_join_operator(ab, d);
+        (c, a, b, d, o_ab, o_abd)
+    }
+
+    #[test]
+    fn valid_single_host_leaf_plan() {
+        let (c, a, b, _, o_ab, _) = setup();
+        let ab = c.operator(o_ab).output;
+        let plan = QueryPlan::new(
+            vec![PlanNode {
+                host: HostId(0),
+                kind: PlanNodeKind::Operator(o_ab),
+                output: ab,
+                children: vec![],
+                source_inputs: vec![a, b],
+            }],
+            0,
+        );
+        assert_eq!(plan.validate(&c, ab), Ok(()));
+        assert!(plan.flows().is_empty());
+        assert_eq!(plan.placements().count(), 1);
+    }
+
+    #[test]
+    fn valid_distributed_plan_with_relay() {
+        let (c, a, b, d, o_ab, o_abd) = setup();
+        let ab = c.operator(o_ab).output;
+        let abd = c.operator(o_abd).output;
+        // node0: join(a,b) at h0; node1: relay ab at h1? No -- relay carries
+        // ab from h0 to h1 conceptually; tree arcs already encode the move.
+        // Here: root joins (ab, d) at h1, child produces ab at h0.
+        let plan = QueryPlan::new(
+            vec![
+                PlanNode {
+                    host: HostId(1),
+                    kind: PlanNodeKind::Operator(o_abd),
+                    output: abd,
+                    children: vec![1],
+                    source_inputs: vec![d],
+                },
+                PlanNode {
+                    host: HostId(0),
+                    kind: PlanNodeKind::Operator(o_ab),
+                    output: ab,
+                    children: vec![],
+                    source_inputs: vec![a, b],
+                },
+            ],
+            0,
+        );
+        assert_eq!(plan.validate(&c, abd), Ok(()));
+        assert_eq!(plan.flows(), vec![(HostId(0), HostId(1), ab)]);
+    }
+
+    #[test]
+    fn relay_node_validates() {
+        let (c, a, b, _, o_ab, _) = setup();
+        let ab = c.operator(o_ab).output;
+        // h0 computes ab, relays via h1 back to... just check C3 shape:
+        // root = relay at h1 of stream ab (demanded stream = ab).
+        let plan = QueryPlan::new(
+            vec![
+                PlanNode {
+                    host: HostId(1),
+                    kind: PlanNodeKind::Relay,
+                    output: ab,
+                    children: vec![1],
+                    source_inputs: vec![],
+                },
+                PlanNode {
+                    host: HostId(0),
+                    kind: PlanNodeKind::Operator(o_ab),
+                    output: ab,
+                    children: vec![],
+                    source_inputs: vec![a, b],
+                },
+            ],
+            0,
+        );
+        assert_eq!(plan.validate(&c, ab), Ok(()));
+    }
+
+    #[test]
+    fn c1_root_mismatch() {
+        let (c, a, b, _, o_ab, _) = setup();
+        let ab = c.operator(o_ab).output;
+        let plan = QueryPlan::new(
+            vec![PlanNode {
+                host: HostId(0),
+                kind: PlanNodeKind::Operator(o_ab),
+                output: ab,
+                children: vec![],
+                source_inputs: vec![a, b],
+            }],
+            0,
+        );
+        assert!(matches!(
+            plan.validate(&c, a),
+            Err(PlanError::RootMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn c2_missing_input() {
+        let (c, a, _, _, o_ab, _) = setup();
+        let ab = c.operator(o_ab).output;
+        let plan = QueryPlan::new(
+            vec![PlanNode {
+                host: HostId(0),
+                kind: PlanNodeKind::Operator(o_ab),
+                output: ab,
+                children: vec![],
+                source_inputs: vec![a], // b missing
+            }],
+            0,
+        );
+        assert!(matches!(
+            plan.validate(&c, ab),
+            Err(PlanError::MissingInput { .. })
+        ));
+    }
+
+    #[test]
+    fn c4_base_not_local() {
+        let (c, a, b, _, o_ab, _) = setup();
+        let ab = c.operator(o_ab).output;
+        // Host 1 does not have base streams a, b.
+        let plan = QueryPlan::new(
+            vec![PlanNode {
+                host: HostId(1),
+                kind: PlanNodeKind::Operator(o_ab),
+                output: ab,
+                children: vec![],
+                source_inputs: vec![a, b],
+            }],
+            0,
+        );
+        assert!(matches!(
+            plan.validate(&c, ab),
+            Err(PlanError::BaseNotLocal { .. })
+        ));
+    }
+
+    #[test]
+    fn c3_bad_relay() {
+        let (c, a, _, _, o_ab, _) = setup();
+        let ab = c.operator(o_ab).output;
+        let plan = QueryPlan::new(
+            vec![PlanNode {
+                host: HostId(0),
+                kind: PlanNodeKind::Relay,
+                output: ab,
+                children: vec![],
+                source_inputs: vec![a], // wrong stream, and base at that
+            }],
+            0,
+        );
+        assert!(matches!(
+            plan.validate(&c, ab),
+            Err(PlanError::BadRelay { .. })
+        ));
+    }
+
+    #[test]
+    fn malformed_cycle_detected() {
+        let (c, a, b, _, o_ab, _) = setup();
+        let ab = c.operator(o_ab).output;
+        let plan = QueryPlan::new(
+            vec![PlanNode {
+                host: HostId(0),
+                kind: PlanNodeKind::Operator(o_ab),
+                output: ab,
+                children: vec![0], // self-loop
+                source_inputs: vec![a, b],
+            }],
+            0,
+        );
+        assert_eq!(plan.validate(&c, ab), Err(PlanError::Malformed));
+    }
+}

@@ -1,0 +1,111 @@
+//! Hosts and the network topology (paper §II-B resource model).
+//!
+//! Three resource classes: per-host computational capacity `ζ_h`, per-host
+//! outgoing bandwidth `β_h` (we also track incoming bandwidth for constraint
+//! III.6b), and pairwise link bandwidth `κ_hm`. Memory is wired as an
+//! optional fourth resource (listed as future work in §VII).
+
+use crate::ids::HostId;
+
+/// Static description of one host's resources.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HostSpec {
+    /// Computational capacity `ζ_h` (e.g. normalised cores).
+    pub cpu_capacity: f64,
+    /// Maximum outgoing bandwidth `β_h`.
+    pub bandwidth_out: f64,
+    /// Maximum incoming bandwidth (paper III.6b uses `β_m` for both sides).
+    pub bandwidth_in: f64,
+    /// Optional memory capacity; `f64::INFINITY` disables the constraint.
+    pub memory_capacity: f64,
+}
+
+impl HostSpec {
+    /// A host with symmetric in/out bandwidth and unbounded memory.
+    pub fn new(cpu_capacity: f64, bandwidth: f64) -> Self {
+        HostSpec {
+            cpu_capacity,
+            bandwidth_out: bandwidth,
+            bandwidth_in: bandwidth,
+            memory_capacity: f64::INFINITY,
+        }
+    }
+}
+
+/// Pairwise link capacities `κ_hm`. Self-links are infinite (local delivery
+/// is free).
+#[derive(Debug, Clone)]
+pub struct NetworkTopology {
+    n: usize,
+    link: Vec<f64>,
+}
+
+impl NetworkTopology {
+    /// Full mesh with uniform capacity on every ordered pair.
+    pub fn full_mesh(n: usize, capacity: f64) -> Self {
+        let mut link = vec![capacity; n * n];
+        for h in 0..n {
+            link[h * n + h] = f64::INFINITY;
+        }
+        NetworkTopology { n, link }
+    }
+
+    pub fn num_hosts(&self) -> usize {
+        self.n
+    }
+
+    /// Capacity of the directed link `h -> m`.
+    #[inline]
+    pub fn link(&self, h: HostId, m: HostId) -> f64 {
+        self.link[h.index() * self.n + m.index()]
+    }
+
+    /// Sets the capacity of the directed link `h -> m`.
+    pub fn set_link(&mut self, h: HostId, m: HostId, capacity: f64) {
+        assert!(h != m, "self links are always infinite");
+        self.link[h.index() * self.n + m.index()] = capacity;
+    }
+
+    /// Sum of all finite link capacities (used for the paper's λ3 weight
+    /// normalisation `1 / Σ κ_hm`).
+    pub fn total_finite_capacity(&self) -> f64 {
+        self.link.iter().filter(|c| c.is_finite()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_mesh_links() {
+        let t = NetworkTopology::full_mesh(3, 100.0);
+        assert_eq!(t.link(HostId(0), HostId(1)), 100.0);
+        assert_eq!(t.link(HostId(2), HostId(0)), 100.0);
+        assert!(t.link(HostId(1), HostId(1)).is_infinite());
+        assert_eq!(t.total_finite_capacity(), 600.0);
+    }
+
+    #[test]
+    fn set_link_is_directional() {
+        let mut t = NetworkTopology::full_mesh(2, 10.0);
+        t.set_link(HostId(0), HostId(1), 5.0);
+        assert_eq!(t.link(HostId(0), HostId(1)), 5.0);
+        assert_eq!(t.link(HostId(1), HostId(0)), 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "self links")]
+    fn rejects_self_link_updates() {
+        let mut t = NetworkTopology::full_mesh(2, 10.0);
+        t.set_link(HostId(0), HostId(0), 5.0);
+    }
+
+    #[test]
+    fn host_spec_symmetric_constructor() {
+        let h = HostSpec::new(4.0, 1000.0);
+        assert_eq!(h.bandwidth_in, 1000.0);
+        assert_eq!(h.bandwidth_out, 1000.0);
+        assert!(h.memory_capacity.is_infinite());
+    }
+}

@@ -1,0 +1,130 @@
+//! Property tests for the deployment substrate: the availability fixpoint
+//! and validation must behave sanely on arbitrary (even nonsensical)
+//! allocation states — validation reports errors, never panics, and the
+//! derivation is monotone.
+
+use proptest::prelude::*;
+use sqpr_dsps::{Catalog, CostModel, DeploymentState, HostId, HostSpec, StreamId};
+
+#[derive(Debug, Clone)]
+struct RandomAllocation {
+    hosts: usize,
+    n_bases: usize,
+    flows: Vec<(u8, u8, u8)>,    // from, to, stream index
+    placements: Vec<(u8, u8)>,   // host, operator index
+    availability: Vec<(u8, u8)>, // host, stream index
+}
+
+fn random_allocation() -> impl Strategy<Value = RandomAllocation> {
+    (2usize..=4, 3usize..=6)
+        .prop_flat_map(|(hosts, n_bases)| {
+            (
+                Just(hosts),
+                Just(n_bases),
+                proptest::collection::vec(
+                    (0u8..hosts as u8, 0u8..hosts as u8, 0u8..(n_bases as u8 + 3)),
+                    0..12,
+                ),
+                proptest::collection::vec((0u8..hosts as u8, 0u8..3), 0..6),
+                proptest::collection::vec((0u8..hosts as u8, 0u8..(n_bases as u8 + 3)), 0..8),
+            )
+        })
+        .prop_map(
+            |(hosts, n_bases, flows, placements, availability)| RandomAllocation {
+                hosts,
+                n_bases,
+                flows,
+                placements,
+                availability,
+            },
+        )
+}
+
+/// Builds a catalog with `n_bases` bases and 3 join operators (so operator
+/// and composite-stream indices in the random allocation resolve).
+fn build_catalog(hosts: usize, n_bases: usize) -> (Catalog, Vec<StreamId>) {
+    let mut c = Catalog::uniform(
+        hosts,
+        HostSpec::new(50.0, 50.0),
+        100.0,
+        CostModel::default(),
+    );
+    let bases: Vec<StreamId> = (0..n_bases)
+        .map(|i| c.add_base_stream(HostId((i % hosts) as u32), 5.0, i as u64))
+        .collect();
+    c.intern_join_operator(bases[0], bases[1]);
+    c.intern_join_operator(bases[1], bases[2]);
+    let ab = c
+        .operator(c.producers_of(c.stream(StreamId(n_bases as u32)).id)[0])
+        .output;
+    let _ = c.intern_join_operator(ab, bases[2]);
+    (c, bases)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn validation_never_panics_and_derivation_is_sound(alloc in random_allocation()) {
+        let (c, _) = build_catalog(alloc.hosts, alloc.n_bases);
+        let n_streams = c.num_streams() as u8;
+        let n_ops = c.num_operators() as u8;
+        let mut d = DeploymentState::new();
+        for (f, t, s) in &alloc.flows {
+            if f != t && *s < n_streams {
+                d.add_flow(HostId(*f as u32), HostId(*t as u32), StreamId(*s as u32));
+            }
+        }
+        for (h, o) in &alloc.placements {
+            if *o < n_ops {
+                d.add_placement(HostId(*h as u32), sqpr_dsps::OperatorId(*o as u32));
+            }
+        }
+        for (h, s) in &alloc.availability {
+            if *s < n_streams {
+                d.add_available(HostId(*h as u32), StreamId(*s as u32));
+            }
+        }
+        // Validation must not panic regardless of how bogus the state is.
+        let errs = d.validate(&c);
+        let derived = d.derive_availability(&c);
+        // Soundness: every derived (h, s) has a mechanism.
+        for &(h, s) in &derived {
+            let is_base = c.is_base_at(s, h);
+            let via_flow = d
+                .flows()
+                .iter()
+                .any(|&(g, m, fs)| m == h && fs == s && derived.contains(&(g, s)));
+            let via_op = d.placements().iter().any(|&(ph, o)| {
+                ph == h
+                    && c.operator(o).output == s
+                    && c.operator(o).inputs.iter().all(|&i| derived.contains(&(h, i)))
+            });
+            prop_assert!(
+                is_base || via_flow || via_op,
+                "derived ({h}, {s}) without mechanism; errs: {errs:?}"
+            );
+        }
+        // Claimed-but-underivable availability must be reported.
+        for &(h, s) in d.available() {
+            if !derived.contains(&(h, s)) {
+                prop_assert!(!errs.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn derivation_monotone_under_added_flows(alloc in random_allocation()) {
+        let (c, _) = build_catalog(alloc.hosts, alloc.n_bases);
+        let n_streams = c.num_streams() as u8;
+        let mut d = DeploymentState::new();
+        let before = d.derive_availability(&c);
+        for (f, t, s) in &alloc.flows {
+            if f != t && *s < n_streams {
+                d.add_flow(HostId(*f as u32), HostId(*t as u32), StreamId(*s as u32));
+            }
+        }
+        let after = d.derive_availability(&c);
+        prop_assert!(before.is_subset(&after), "adding flows removed availability");
+    }
+}

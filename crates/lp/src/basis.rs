@@ -1,0 +1,351 @@
+//! Simplex basis: factorisation lifecycle, FTRAN/BTRAN, column replacement.
+//!
+//! The basis consists of `m` variables out of the `n + m` total (structural
+//! plus one slack per row). Slack `i` is represented as global column index
+//! `n + i` with the single entry `(i, -1.0)`, matching the internal system
+//! `A x - s = 0`.
+
+use crate::eta::Eta;
+use crate::lu::{ColumnOutcome, LuFactors, LuWorkspace};
+use crate::sparse::CscMatrix;
+
+/// Maximum eta count before a refactorisation is forced.
+const MAX_ETAS: usize = 64;
+
+/// Manages the basis matrix of the revised simplex method.
+pub struct Basis<'a> {
+    /// Structural columns (m x n).
+    a: &'a CscMatrix,
+    m: usize,
+    n: usize,
+    /// `basic[p]` = global column index occupying basis position `p`.
+    basic: Vec<usize>,
+    /// Processing order used at the last factorisation:
+    /// `col_order[k]` = basis position processed k-th.
+    col_order: Vec<usize>,
+    /// `pos_to_order[p]` = k such that `col_order[k] == p`.
+    pos_to_order: Vec<usize>,
+    factors: LuFactors,
+    etas: Vec<Eta>,
+    ws: LuWorkspace,
+    scratch: Vec<f64>,
+    perm_buf: Vec<f64>,
+    refactor_count: usize,
+}
+
+impl<'a> Basis<'a> {
+    /// Creates a basis over the structural matrix with the given initial
+    /// basic set (global column indices, one per row) and factorises it.
+    pub fn new(a: &'a CscMatrix, basic: Vec<usize>) -> Self {
+        let m = a.nrows();
+        let n = a.ncols();
+        assert_eq!(basic.len(), m, "basis must have one column per row");
+        let mut b = Basis {
+            a,
+            m,
+            n,
+            basic,
+            col_order: Vec::new(),
+            pos_to_order: Vec::new(),
+            factors: LuFactors::factorize(0, |_, _| {}, &mut LuWorkspace::new()).0,
+            etas: Vec::new(),
+            ws: LuWorkspace::new(),
+            scratch: vec![0.0; m],
+            perm_buf: vec![0.0; m],
+            refactor_count: 0,
+        };
+        b.refactorize();
+        b
+    }
+
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Global column index at basis position `p`.
+    #[inline]
+    pub fn basic_at(&self, p: usize) -> usize {
+        self.basic[p]
+    }
+
+    pub fn basic_columns(&self) -> &[usize] {
+        &self.basic
+    }
+
+    /// How many times this basis has been refactorised (diagnostics).
+    pub fn refactor_count(&self) -> usize {
+        self.refactor_count
+    }
+
+    /// Scatters the global column `j` into a dense row-indexed vector.
+    #[inline]
+    pub fn scatter_column(&self, j: usize, out: &mut [f64]) {
+        if j < self.n {
+            for (r, v) in self.a.col_iter(j) {
+                out[r] += v;
+            }
+        } else {
+            out[j - self.n] -= 1.0;
+        }
+    }
+
+    fn column_entries(&self, j: usize, out: &mut Vec<(usize, f64)>) {
+        if j < self.n {
+            out.extend(self.a.col_iter(j));
+        } else {
+            out.push((j - self.n, -1.0));
+        }
+    }
+
+    /// Re-factorises from scratch, repairing singular positions by
+    /// substituting slack columns of unpivoted rows. Returns the basis
+    /// positions that were repaired (their previous variables left the
+    /// basis implicitly).
+    pub fn refactorize(&mut self) -> Vec<usize> {
+        self.refactor_count += 1;
+        self.etas.clear();
+        // Order columns by sparsity: slacks (1 nonzero) first, then by nnz.
+        let mut order: Vec<usize> = (0..self.m).collect();
+        order.sort_by_key(|&p| {
+            let j = self.basic[p];
+            if j >= self.n {
+                0
+            } else {
+                self.a.col_nnz(j)
+            }
+        });
+        let mut repaired = Vec::new();
+        loop {
+            let basic = &self.basic;
+            let n = self.n;
+            let a = self.a;
+            let (factors, outcomes) = LuFactors::factorize(
+                self.m,
+                |k, out| {
+                    let j = basic[order[k]];
+                    if j < n {
+                        out.extend(a.col_iter(j));
+                    } else {
+                        out.push((j - n, -1.0));
+                    }
+                },
+                &mut self.ws,
+            );
+            let singular: Vec<usize> = outcomes
+                .iter()
+                .enumerate()
+                .filter(|(_, o)| matches!(o, ColumnOutcome::Singular))
+                .map(|(k, _)| k)
+                .collect();
+            if singular.is_empty() {
+                self.factors = factors;
+                break;
+            }
+            // Repair: assign each singular position the slack of a row that
+            // ended up unpivoted, then refactorise again.
+            let mut unpivoted: Vec<usize> = (0..self.m)
+                .filter(|&r| factors.pinv()[r] == usize::MAX)
+                .collect();
+            assert!(unpivoted.len() >= singular.len());
+            for k in singular {
+                let p = order[k];
+                let row = unpivoted.pop().expect("row available for repair");
+                self.basic[p] = self.n + row;
+                repaired.push(p);
+            }
+        }
+        self.col_order = order;
+        self.pos_to_order = vec![0; self.m];
+        for (k, &p) in self.col_order.iter().enumerate() {
+            self.pos_to_order[p] = k;
+        }
+        repaired
+    }
+
+    /// Whether the eta file is long enough that the caller should refactorise.
+    pub fn should_refactorize(&self) -> bool {
+        self.etas.len() >= MAX_ETAS
+            || self.etas.iter().map(Eta::nnz).sum::<usize>() > 2 * self.factors.nnz() + 64
+    }
+
+    /// Solves `B w = b`. `b` is row-indexed; the result is basis-position
+    /// indexed (`w[p]` pairs with `basic[p]`).
+    pub fn ftran(&mut self, b: &mut [f64]) {
+        self.factors.ftran(b, &mut self.scratch);
+        // b now holds z in *column processing order*; permute to positions.
+        for k in 0..self.m {
+            self.perm_buf[self.col_order[k]] = b[k];
+        }
+        b.copy_from_slice(&self.perm_buf[..self.m]);
+        for eta in &self.etas {
+            eta.apply_ftran(b);
+        }
+    }
+
+    /// Solves `B^T y = c`. `c` is basis-position indexed; the result is
+    /// row-indexed (dual values).
+    pub fn btran(&mut self, c: &mut [f64]) {
+        for eta in self.etas.iter().rev() {
+            eta.apply_btran(c);
+        }
+        // Permute positions -> column processing order for the LU transpose.
+        for k in 0..self.m {
+            self.perm_buf[k] = c[self.col_order[k]];
+        }
+        c.copy_from_slice(&self.perm_buf[..self.m]);
+        self.factors.btran(c, &mut self.scratch);
+    }
+
+    /// Replaces the basic variable at position `p` with global column `j`.
+    /// `w` must be the FTRAN image of column `j` under the *current* basis
+    /// (basis-position indexed). Returns the outgoing global column.
+    pub fn replace(&mut self, p: usize, j: usize, w: &[f64]) -> usize {
+        let out = self.basic[p];
+        self.basic[p] = j;
+        self.etas.push(Eta::from_dense(p, w, 1e-13));
+        out
+    }
+
+    /// Computes the FTRAN image of an arbitrary global column into `out`
+    /// (which must be zeroed, length m). Leaves the image basis-position
+    /// indexed.
+    pub fn ftran_column(&mut self, j: usize, out: &mut [f64]) {
+        self.scatter_column(j, out);
+        self.ftran(out);
+    }
+
+    /// Verifies `B w = col_j` within `tol`, for numerical-drift checks.
+    pub fn check_ftran(&self, j: usize, w: &[f64], tol: f64) -> bool {
+        let mut lhs = vec![0.0; self.m];
+        for (p, &wv) in w.iter().enumerate() {
+            if wv != 0.0 {
+                let col = self.basic[p];
+                if col < self.n {
+                    for (r, v) in self.a.col_iter(col) {
+                        lhs[r] += v * wv;
+                    }
+                } else {
+                    lhs[col - self.n] -= wv;
+                }
+            }
+        }
+        let mut rhs = vec![0.0; self.m];
+        let mut entries = Vec::new();
+        self.column_entries(j, &mut entries);
+        for (r, v) in entries {
+            rhs[r] += v;
+        }
+        lhs.iter()
+            .zip(&rhs)
+            .all(|(a, b)| (a - b).abs() <= tol * (1.0 + b.abs()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sparse::Triplet;
+
+    fn tri(row: usize, col: usize, value: f64) -> Triplet {
+        Triplet { row, col, value }
+    }
+
+    /// 3x2 structural matrix; slack columns are globals 2, 3, 4.
+    fn small_a() -> CscMatrix {
+        CscMatrix::from_triplets(
+            3,
+            2,
+            &[
+                tri(0, 0, 1.0),
+                tri(1, 0, 2.0),
+                tri(0, 1, -1.0),
+                tri(2, 1, 4.0),
+            ],
+        )
+    }
+
+    #[test]
+    fn slack_basis_ftran_is_negation() {
+        let a = small_a();
+        let mut basis = Basis::new(&a, vec![2, 3, 4]);
+        // B = -I, so B w = b -> w = -b.
+        let mut b = vec![1.0, -2.0, 0.5];
+        basis.ftran(&mut b);
+        assert_eq!(b, vec![-1.0, 2.0, -0.5]);
+        let mut c = vec![3.0, 1.0, -1.0];
+        basis.btran(&mut c);
+        assert_eq!(c, vec![-3.0, -1.0, 1.0]);
+    }
+
+    #[test]
+    fn replace_and_solve_consistent() {
+        let a = small_a();
+        let mut basis = Basis::new(&a, vec![2, 3, 4]);
+        // Bring structural column 0 into position 0.
+        let mut w = vec![0.0; 3];
+        basis.ftran_column(0, &mut w);
+        assert_eq!(w, vec![-1.0, -2.0, 0.0]); // -(col 0)
+        basis.replace(0, 0, &w);
+        // Now B = [a0 | -e1 | -e2]. Solve B z = [1,2,0]^T => z = e0.
+        let mut b = vec![1.0, 2.0, 0.0];
+        basis.ftran(&mut b);
+        assert!((b[0] - 1.0).abs() < 1e-12);
+        assert!(b[1].abs() < 1e-12 && b[2].abs() < 1e-12);
+        // BTRAN: solve B^T y = c with c = e0 -> col0 . y = 1, -y1 = 0, -y2 = 0.
+        let mut c = vec![1.0, 0.0, 0.0];
+        basis.btran(&mut c);
+        assert!((c[0] * 1.0 + c[1] * 2.0 - 1.0).abs() < 1e-12);
+        assert!(c[1].abs() < 1e-12 && c[2].abs() < 1e-12);
+    }
+
+    #[test]
+    fn refactorize_after_replacements_matches_eta_solves() {
+        let a = small_a();
+        let mut basis = Basis::new(&a, vec![2, 3, 4]);
+        let mut w = vec![0.0; 3];
+        basis.ftran_column(0, &mut w);
+        basis.replace(0, 0, &w);
+        let mut w2 = vec![0.0; 3];
+        basis.ftran_column(1, &mut w2);
+        assert!(w2[2].abs() > 1e-12, "position 2 must be pivotable");
+        basis.replace(2, 1, &w2);
+
+        let rhs = vec![0.3, -1.2, 2.0];
+        let mut via_eta = rhs.clone();
+        basis.ftran(&mut via_eta);
+        let repaired = basis.refactorize();
+        assert!(repaired.is_empty());
+        let mut via_lu = rhs.clone();
+        basis.ftran(&mut via_lu);
+        for (x, y) in via_eta.iter().zip(&via_lu) {
+            assert!((x - y).abs() < 1e-9, "{via_eta:?} vs {via_lu:?}");
+        }
+    }
+
+    #[test]
+    fn repairs_singular_basis() {
+        // Two copies of the same structural column cannot form a basis; the
+        // repair should kick one out for a slack.
+        let a = CscMatrix::from_triplets(2, 2, &[tri(0, 0, 1.0), tri(0, 1, 1.0)]);
+        let mut basis = Basis::new(&a, vec![0, 1]);
+        // After repair the basis must be solvable.
+        let mut b = vec![1.0, 1.0];
+        basis.ftran(&mut b);
+        let cols = basis.basic_columns();
+        assert!(
+            cols.contains(&2) || cols.contains(&3),
+            "slack substituted: {cols:?}"
+        );
+    }
+
+    #[test]
+    fn check_ftran_detects_garbage() {
+        let a = small_a();
+        let mut basis = Basis::new(&a, vec![2, 3, 4]);
+        let mut w = vec![0.0; 3];
+        basis.ftran_column(0, &mut w);
+        assert!(basis.check_ftran(0, &w, 1e-9));
+        let bad = vec![9.0, 9.0, 9.0];
+        assert!(!basis.check_ftran(0, &bad, 1e-9));
+    }
+}

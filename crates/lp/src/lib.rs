@@ -1,0 +1,45 @@
+//! # sqpr-lp
+//!
+//! A self-contained sparse linear-programming solver: bounded-variable
+//! revised primal simplex with sparse LU basis factorisation and
+//! product-form-of-inverse updates.
+//!
+//! This crate exists because the SQPR reproduction needs a MILP solver (the
+//! paper uses CPLEX) and no LP/MILP engine is available in the sanctioned
+//! dependency set. It is written for the moderately sized, mostly-binary
+//! models produced by the SQPR query planner, but is a general LP solver:
+//!
+//! ```
+//! use sqpr_lp::{ProblemBuilder, SimplexOptions, LpStatus, solve, INF};
+//!
+//! // maximise 3x + 5y  subject to  x <= 4, 2y <= 12, 3x + 2y <= 18
+//! let mut b = ProblemBuilder::new();
+//! let x = b.add_col(-3.0, 0.0, INF); // minimisation form: negate
+//! let y = b.add_col(-5.0, 0.0, INF);
+//! let r0 = b.add_row(-INF, 4.0);
+//! b.set_coeff(r0, x, 1.0);
+//! let r1 = b.add_row(-INF, 12.0);
+//! b.set_coeff(r1, y, 2.0);
+//! let r2 = b.add_row(-INF, 18.0);
+//! b.set_coeff(r2, x, 3.0);
+//! b.set_coeff(r2, y, 2.0);
+//! let solution = solve(&b.build(), &SimplexOptions::default());
+//! assert_eq!(solution.status, LpStatus::Optimal);
+//! assert!((solution.objective - -36.0).abs() < 1e-6);
+//! ```
+
+// Numeric kernels index several parallel arrays at once; iterator
+// refactors would obscure the algebra.
+#![allow(clippy::needless_range_loop)]
+
+pub mod basis;
+pub mod eta;
+pub mod lu;
+pub mod oracle;
+pub mod problem;
+pub mod simplex;
+pub mod sparse;
+
+pub use problem::{LpSolution, LpStatus, Problem, ProblemBuilder, INF};
+pub use simplex::{solve, solve_with_bounds, SimplexOptions};
+pub use sparse::{CscMatrix, Triplet};

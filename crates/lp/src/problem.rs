@@ -1,0 +1,244 @@
+//! Linear-program definition shared by the revised and dense solvers.
+
+use crate::sparse::{CscMatrix, Triplet};
+
+/// Positive infinity shorthand used for absent bounds.
+pub const INF: f64 = f64::INFINITY;
+
+/// A linear program in the form
+///
+/// ```text
+/// minimise    c' x
+/// subject to  row_lb <= A x <= row_ub
+///             col_lb <=  x  <= col_ub
+/// ```
+///
+/// Equality rows set `row_lb == row_ub`; one-sided rows use `±INF`.
+#[derive(Debug, Clone)]
+pub struct Problem {
+    pub(crate) a: CscMatrix,
+    pub(crate) obj: Vec<f64>,
+    pub(crate) col_lb: Vec<f64>,
+    pub(crate) col_ub: Vec<f64>,
+    pub(crate) row_lb: Vec<f64>,
+    pub(crate) row_ub: Vec<f64>,
+}
+
+impl Problem {
+    /// Assembles and validates a problem.
+    ///
+    /// # Panics
+    /// Panics on dimension mismatches or crossed bounds (`lb > ub`).
+    pub fn new(
+        a: CscMatrix,
+        obj: Vec<f64>,
+        col_lb: Vec<f64>,
+        col_ub: Vec<f64>,
+        row_lb: Vec<f64>,
+        row_ub: Vec<f64>,
+    ) -> Self {
+        assert_eq!(obj.len(), a.ncols(), "objective length != ncols");
+        assert_eq!(col_lb.len(), a.ncols());
+        assert_eq!(col_ub.len(), a.ncols());
+        assert_eq!(row_lb.len(), a.nrows());
+        assert_eq!(row_ub.len(), a.nrows());
+        for j in 0..a.ncols() {
+            assert!(
+                col_lb[j] <= col_ub[j],
+                "column {j} has crossed bounds [{}, {}]",
+                col_lb[j],
+                col_ub[j]
+            );
+        }
+        for i in 0..a.nrows() {
+            assert!(
+                row_lb[i] <= row_ub[i],
+                "row {i} has crossed bounds [{}, {}]",
+                row_lb[i],
+                row_ub[i]
+            );
+        }
+        Problem {
+            a,
+            obj,
+            col_lb,
+            col_ub,
+            row_lb,
+            row_ub,
+        }
+    }
+
+    pub fn ncols(&self) -> usize {
+        self.a.ncols()
+    }
+
+    pub fn nrows(&self) -> usize {
+        self.a.nrows()
+    }
+
+    pub fn matrix(&self) -> &CscMatrix {
+        &self.a
+    }
+
+    pub fn objective(&self) -> &[f64] {
+        &self.obj
+    }
+
+    pub fn col_bounds(&self) -> (&[f64], &[f64]) {
+        (&self.col_lb, &self.col_ub)
+    }
+
+    pub fn row_bounds(&self) -> (&[f64], &[f64]) {
+        (&self.row_lb, &self.row_ub)
+    }
+
+    /// Evaluates `c' x`.
+    pub fn objective_value(&self, x: &[f64]) -> f64 {
+        self.obj.iter().zip(x).map(|(c, v)| c * v).sum()
+    }
+
+    /// Evaluates row activities `A x`.
+    pub fn activities(&self, x: &[f64]) -> Vec<f64> {
+        self.a.mul_dense(x)
+    }
+
+    /// Checks primal feasibility of `x` within `tol` (columns and rows).
+    pub fn is_feasible(&self, x: &[f64], tol: f64) -> bool {
+        if x.len() != self.ncols() {
+            return false;
+        }
+        for j in 0..self.ncols() {
+            if x[j] < self.col_lb[j] - tol || x[j] > self.col_ub[j] + tol {
+                return false;
+            }
+        }
+        let act = self.activities(x);
+        for i in 0..self.nrows() {
+            if act[i] < self.row_lb[i] - tol || act[i] > self.row_ub[i] + tol {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// Incremental builder used by the MILP layer and tests.
+#[derive(Debug, Default, Clone)]
+pub struct ProblemBuilder {
+    obj: Vec<f64>,
+    col_lb: Vec<f64>,
+    col_ub: Vec<f64>,
+    row_lb: Vec<f64>,
+    row_ub: Vec<f64>,
+    triplets: Vec<Triplet>,
+}
+
+impl ProblemBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a column; returns its index.
+    pub fn add_col(&mut self, obj: f64, lb: f64, ub: f64) -> usize {
+        let j = self.obj.len();
+        self.obj.push(obj);
+        self.col_lb.push(lb);
+        self.col_ub.push(ub);
+        j
+    }
+
+    /// Adds a row with the given bounds; returns its index. Coefficients are
+    /// attached with [`Self::set_coeff`].
+    pub fn add_row(&mut self, lb: f64, ub: f64) -> usize {
+        let i = self.row_lb.len();
+        self.row_lb.push(lb);
+        self.row_ub.push(ub);
+        i
+    }
+
+    pub fn set_coeff(&mut self, row: usize, col: usize, value: f64) {
+        if value != 0.0 {
+            self.triplets.push(Triplet { row, col, value });
+        }
+    }
+
+    pub fn ncols(&self) -> usize {
+        self.obj.len()
+    }
+
+    pub fn nrows(&self) -> usize {
+        self.row_lb.len()
+    }
+
+    pub fn build(self) -> Problem {
+        let a = CscMatrix::from_triplets(self.nrows(), self.ncols(), &self.triplets);
+        Problem::new(
+            a,
+            self.obj,
+            self.col_lb,
+            self.col_ub,
+            self.row_lb,
+            self.row_ub,
+        )
+    }
+}
+
+/// Solver termination status.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LpStatus {
+    /// Proven optimal within tolerances.
+    Optimal,
+    /// No feasible point exists (phase I ended with residual infeasibility).
+    Infeasible,
+    /// The objective is unbounded below over the feasible region.
+    Unbounded,
+    /// The iteration limit was hit before convergence.
+    IterationLimit,
+}
+
+/// Solution report.
+#[derive(Debug, Clone)]
+pub struct LpSolution {
+    pub status: LpStatus,
+    /// `c' x` of the returned point (meaningful for `Optimal`, best-effort
+    /// otherwise).
+    pub objective: f64,
+    /// Structural variable values.
+    pub x: Vec<f64>,
+    /// Dual values per row (sign convention: minimisation, `A x - s = 0`).
+    pub duals: Vec<f64>,
+    /// Row activities `A x`.
+    pub row_activity: Vec<f64>,
+    /// Simplex iterations used.
+    pub iterations: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_roundtrip() {
+        let mut b = ProblemBuilder::new();
+        let x = b.add_col(1.0, 0.0, 10.0);
+        let y = b.add_col(-2.0, 0.0, INF);
+        let r = b.add_row(-INF, 5.0);
+        b.set_coeff(r, x, 1.0);
+        b.set_coeff(r, y, 1.0);
+        let p = b.build();
+        assert_eq!(p.ncols(), 2);
+        assert_eq!(p.nrows(), 1);
+        assert_eq!(p.objective_value(&[1.0, 2.0]), -3.0);
+        assert_eq!(p.activities(&[1.0, 2.0]), vec![3.0]);
+        assert!(p.is_feasible(&[1.0, 2.0], 1e-9));
+        assert!(!p.is_feasible(&[4.0, 2.0], 1e-9));
+    }
+
+    #[test]
+    #[should_panic(expected = "crossed bounds")]
+    fn rejects_crossed_bounds() {
+        let mut b = ProblemBuilder::new();
+        b.add_col(0.0, 1.0, -1.0);
+        b.build();
+    }
+}

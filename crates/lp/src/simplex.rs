@@ -1,0 +1,903 @@
+//! Bounded-variable revised primal simplex with a composite phase-I.
+//!
+//! Internally the problem `row_lb <= A x <= row_ub` is rewritten as
+//! `A x - s = 0` with slack bounds `[row_lb, row_ub]`, giving the square
+//! system `[A | -I] z = 0` over `n + m` bounded variables. The initial basis
+//! is the slack identity; if slack bounds are violated at the start (e.g.
+//! equality rows), a phase-I objective that minimises the total bound
+//! violation of basic variables drives the point feasible, after which the
+//! same loop continues with the true objective.
+//!
+//! Anti-cycling: Dantzig pricing normally, falling back to Bland's rule
+//! after a stall (no objective progress) is detected.
+
+use crate::basis::Basis;
+use crate::problem::{LpSolution, LpStatus, Problem};
+
+/// Options controlling a simplex solve.
+#[derive(Debug, Clone)]
+pub struct SimplexOptions {
+    /// Hard cap on simplex iterations; 0 means `40 * (n + m) + 2000`.
+    pub max_iters: usize,
+    /// Primal feasibility tolerance (absolute, on variable bounds).
+    pub tol_feas: f64,
+    /// Dual feasibility / reduced-cost tolerance.
+    pub tol_dual: f64,
+    /// Smallest pivot magnitude accepted by the ratio test.
+    pub tol_pivot: f64,
+    /// Refactorise at least every this many pivots.
+    pub refactor_interval: usize,
+    /// Iterations without objective progress before Bland's rule engages.
+    pub stall_limit: usize,
+    /// Relative magnitude of the anti-degeneracy cost perturbation
+    /// (0 disables). The perturbation is removed before termination, so
+    /// reported optima are exact for the true objective.
+    pub perturb: f64,
+}
+
+impl Default for SimplexOptions {
+    fn default() -> Self {
+        SimplexOptions {
+            max_iters: 0,
+            tol_feas: 1e-7,
+            tol_dual: 1e-7,
+            tol_pivot: 1e-8,
+            refactor_interval: 64,
+            stall_limit: 256,
+            perturb: 0.0,
+        }
+    }
+}
+
+/// Variable status in the current basis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum VarStatus {
+    Basic,
+    AtLower,
+    AtUpper,
+    /// Nonbasic free variable parked at zero.
+    FreeNb,
+}
+
+/// Solves `problem` with its built-in column bounds.
+pub fn solve(problem: &Problem, opts: &SimplexOptions) -> LpSolution {
+    let (lb, ub) = problem.col_bounds();
+    solve_with_bounds(problem, lb, ub, opts)
+}
+
+/// Solves `problem` with the column bounds overridden (the matrix, rows and
+/// objective are shared). This is the entry point used by branch & bound.
+pub fn solve_with_bounds(
+    problem: &Problem,
+    col_lb: &[f64],
+    col_ub: &[f64],
+    opts: &SimplexOptions,
+) -> LpSolution {
+    Solver::new(problem, col_lb, col_ub, opts).run()
+}
+
+struct Solver<'a> {
+    p: &'a Problem,
+    opts: &'a SimplexOptions,
+    /// Working objective (possibly perturbed); trimmed back to the true
+    /// costs before final convergence.
+    work_obj: Vec<f64>,
+    perturbed: bool,
+    n: usize,
+    m: usize,
+    /// Effective bounds over all `n + m` variables (structural then slack).
+    lb: Vec<f64>,
+    ub: Vec<f64>,
+    status: Vec<VarStatus>,
+    /// Current value of every variable.
+    x: Vec<f64>,
+    basis: Basis<'a>,
+    /// Workspaces.
+    cb: Vec<f64>,
+    y: Vec<f64>,
+    w: Vec<f64>,
+    rhs: Vec<f64>,
+    /// Columns excluded from pricing this round (failed pivots).
+    banned: Vec<bool>,
+    iterations: usize,
+}
+
+/// Outcome of one pricing step.
+enum Pricing {
+    Optimal,
+    Enter { j: usize, dir: f64 },
+}
+
+/// Outcome of one ratio test.
+enum Ratio {
+    Unbounded,
+    BoundFlip {
+        t: f64,
+    },
+    Pivot {
+        t: f64,
+        pos: usize,
+        to_upper: bool,
+    },
+    /// All candidate pivots were numerically unusable.
+    Stuck,
+}
+
+impl<'a> Solver<'a> {
+    fn new(p: &'a Problem, col_lb: &[f64], col_ub: &[f64], opts: &'a SimplexOptions) -> Self {
+        let n = p.ncols();
+        let m = p.nrows();
+        assert_eq!(col_lb.len(), n);
+        assert_eq!(col_ub.len(), n);
+        let (row_lb, row_ub) = p.row_bounds();
+        let mut lb = Vec::with_capacity(n + m);
+        let mut ub = Vec::with_capacity(n + m);
+        lb.extend_from_slice(col_lb);
+        ub.extend_from_slice(col_ub);
+        lb.extend_from_slice(row_lb);
+        ub.extend_from_slice(row_ub);
+
+        // Nonbasic structural variables start at the finite bound closest to
+        // zero; free variables park at zero. Slacks form the initial basis.
+        let mut status = Vec::with_capacity(n + m);
+        let mut x = Vec::with_capacity(n + m);
+        for j in 0..n {
+            let (s, v) = initial_nonbasic(lb[j], ub[j]);
+            status.push(s);
+            x.push(v);
+        }
+        for i in 0..m {
+            status.push(VarStatus::Basic);
+            x.push(0.0);
+            let _ = i;
+        }
+        let basic: Vec<usize> = (n..n + m).collect();
+        let basis = Basis::new(p.matrix(), basic);
+        // Deterministic multiplicative cost perturbation: breaks the massive
+        // dual degeneracy of big-M models without changing the optimal basis
+        // meaningfully; removed before termination.
+        let mut work_obj = p.objective().to_vec();
+        let mut perturbed = false;
+        if opts.perturb > 0.0 {
+            let mut seed = 0x9E3779B97F4A7C15u64;
+            for (j, c) in work_obj.iter_mut().enumerate() {
+                seed ^= seed << 13;
+                seed ^= seed >> 7;
+                seed ^= seed << 17;
+                seed = seed.wrapping_add(j as u64);
+                let u = (seed >> 11) as f64 / (1u64 << 53) as f64; // [0,1)
+                *c += opts.perturb * (0.5 + u) * (1.0 + c.abs());
+                perturbed = true;
+            }
+        }
+        let mut s = Solver {
+            p,
+            opts,
+            work_obj,
+            perturbed,
+            n,
+            m,
+            lb,
+            ub,
+            status,
+            x,
+            basis,
+            cb: vec![0.0; m],
+            y: vec![0.0; m],
+            w: vec![0.0; m],
+            rhs: vec![0.0; m],
+            banned: vec![false; n + m],
+            iterations: 0,
+        };
+        s.recompute_basics();
+        s
+    }
+
+    /// Recomputes basic variable values from the nonbasic point:
+    /// `B x_B = -N x_N`.
+    fn recompute_basics(&mut self) {
+        self.rhs.iter_mut().for_each(|v| *v = 0.0);
+        for j in 0..self.n + self.m {
+            if self.status[j] != VarStatus::Basic && self.x[j] != 0.0 {
+                // rhs -= x_j * col_j
+                let xv = self.x[j];
+                if j < self.n {
+                    for (r, v) in self.p.matrix().col_iter(j) {
+                        self.rhs[r] -= v * xv;
+                    }
+                } else {
+                    self.rhs[j - self.n] += xv;
+                }
+            }
+        }
+        self.basis.ftran(&mut self.rhs);
+        for pos in 0..self.m {
+            let j = self.basis.basic_at(pos);
+            self.x[j] = self.rhs[pos];
+        }
+    }
+
+    fn total_infeasibility(&self) -> f64 {
+        let mut total = 0.0;
+        for pos in 0..self.m {
+            let j = self.basis.basic_at(pos);
+            let v = self.x[j];
+            if v < self.lb[j] {
+                total += self.lb[j] - v;
+            } else if v > self.ub[j] {
+                total += v - self.ub[j];
+            }
+        }
+        total
+    }
+
+    fn objective_now(&self) -> f64 {
+        self.work_obj.iter().zip(&self.x).map(|(c, v)| c * v).sum()
+    }
+
+    /// Cost of global variable `j` under the active phase.
+    #[inline]
+    fn phase_cost(&self, j: usize, phase1: bool) -> f64 {
+        if phase1 {
+            0.0 // nonbasic variables are always within bounds
+        } else if j < self.n {
+            self.work_obj[j]
+        } else {
+            0.0
+        }
+    }
+
+    /// Reduced cost of nonbasic `j`: `c_j - y' a_j`.
+    #[inline]
+    fn reduced_cost(&self, j: usize, phase1: bool) -> f64 {
+        let cy = if j < self.n {
+            self.p.matrix().dot_col(j, &self.y)
+        } else {
+            -self.y[j - self.n]
+        };
+        self.phase_cost(j, phase1) - cy
+    }
+
+    /// Computes duals for the active phase into `self.y`.
+    fn compute_duals(&mut self, phase1: bool) {
+        for pos in 0..self.m {
+            let j = self.basis.basic_at(pos);
+            self.cb[pos] = if phase1 {
+                let v = self.x[j];
+                if v < self.lb[j] - self.opts.tol_feas {
+                    -1.0
+                } else if v > self.ub[j] + self.opts.tol_feas {
+                    1.0
+                } else {
+                    0.0
+                }
+            } else {
+                self.phase_cost(j, false)
+            };
+        }
+        self.y.copy_from_slice(&self.cb);
+        self.basis.btran(&mut self.y);
+    }
+
+    /// Dantzig (or Bland) pricing over nonbasic variables.
+    fn price(&mut self, phase1: bool, bland: bool) -> Pricing {
+        let tol = self.opts.tol_dual;
+        let mut best: Option<(usize, f64, f64)> = None; // (j, dir, score)
+        for j in 0..self.n + self.m {
+            if self.banned[j] {
+                continue;
+            }
+            let (dir, score) = match self.status[j] {
+                VarStatus::Basic => continue,
+                VarStatus::AtLower => {
+                    let d = self.reduced_cost(j, phase1);
+                    if d < -tol {
+                        (1.0, -d)
+                    } else {
+                        continue;
+                    }
+                }
+                VarStatus::AtUpper => {
+                    let d = self.reduced_cost(j, phase1);
+                    if d > tol {
+                        (-1.0, d)
+                    } else {
+                        continue;
+                    }
+                }
+                VarStatus::FreeNb => {
+                    let d = self.reduced_cost(j, phase1);
+                    if d < -tol {
+                        (1.0, -d)
+                    } else if d > tol {
+                        (-1.0, d)
+                    } else {
+                        continue;
+                    }
+                }
+            };
+            if bland {
+                return Pricing::Enter { j, dir };
+            }
+            if best.is_none_or(|(_, _, s)| score > s) {
+                best = Some((j, dir, score));
+            }
+        }
+        match best {
+            Some((j, dir, _)) => Pricing::Enter { j, dir },
+            None => Pricing::Optimal,
+        }
+    }
+
+    /// Bounded-variable ratio test, phase-aware.
+    ///
+    /// Moving the entering variable by `t` in direction `dir` changes basic
+    /// `pos` by `-t * dir * w[pos]`.
+    fn ratio_test(&self, j: usize, dir: f64, phase1: bool, bland: bool) -> Ratio {
+        let tol = self.opts.tol_feas;
+        let piv_tol = self.opts.tol_pivot;
+        // Entering variable's own travel range (bound flip distance).
+        let own_range = self.ub[j] - self.lb[j];
+        let mut t_best = own_range; // may be +inf
+        let mut blocking: Option<(usize, bool)> = None; // (pos, leaves_at_upper)
+
+        for pos in 0..self.m {
+            let wv = self.w[pos];
+            if wv.abs() <= piv_tol {
+                continue;
+            }
+            let bj = self.basis.basic_at(pos);
+            let xv = self.x[bj];
+            let delta = dir * wv; // basic moves at rate -delta
+            let (limit, at_upper) = if delta > 0.0 {
+                // Basic decreases.
+                if phase1 && xv < self.lb[bj] - tol {
+                    // Already below its lower bound and moving further away:
+                    // no blocking bound in this direction (the phase-I
+                    // gradient has priced the worsening in).
+                    (f64::INFINITY, false)
+                } else if phase1 && xv > self.ub[bj] + tol {
+                    // Infeasible above and improving: stop where it becomes
+                    // feasible at the upper bound.
+                    if self.ub[bj].is_finite() {
+                        ((xv - self.ub[bj]) / delta, true)
+                    } else {
+                        (f64::INFINITY, false)
+                    }
+                } else if self.lb[bj].is_finite() {
+                    (((xv - self.lb[bj]).max(0.0)) / delta, false)
+                } else {
+                    (f64::INFINITY, false)
+                }
+            } else {
+                // Basic increases.
+                if phase1 && xv > self.ub[bj] + tol {
+                    // Above its upper bound and moving further away.
+                    (f64::INFINITY, false)
+                } else if phase1 && xv < self.lb[bj] - tol {
+                    // Infeasible below and improving: stop at the lower bound.
+                    if self.lb[bj].is_finite() {
+                        ((self.lb[bj] - xv) / -delta, false)
+                    } else {
+                        (f64::INFINITY, false)
+                    }
+                } else if self.ub[bj].is_finite() {
+                    (((self.ub[bj] - xv).max(0.0)) / -delta, true)
+                } else {
+                    (f64::INFINITY, false)
+                }
+            };
+            if !limit.is_finite() {
+                continue;
+            }
+            let better = if bland {
+                // Bland: smallest ratio, ties by smallest variable index.
+                limit < t_best - 1e-12
+                    || (limit <= t_best + 1e-12
+                        && blocking.map_or(own_range.is_finite(), |(bp, _)| {
+                            self.basis.basic_at(pos) < self.basis.basic_at(bp)
+                        })
+                        && limit <= t_best)
+            } else {
+                // Dantzig: smallest ratio, ties by largest pivot magnitude.
+                limit < t_best - 1e-12
+                    || (limit <= t_best + 1e-12
+                        && blocking.is_some_and(|(bp, _)| wv.abs() > self.w[bp].abs()))
+            };
+            if better {
+                t_best = limit;
+                blocking = Some((pos, at_upper));
+            }
+        }
+
+        match blocking {
+            None => {
+                if t_best.is_finite() {
+                    Ratio::BoundFlip { t: t_best }
+                } else {
+                    Ratio::Unbounded
+                }
+            }
+            Some((pos, to_upper)) => {
+                if self.w[pos].abs() <= self.opts.tol_pivot * 10.0 && t_best > 0.0 {
+                    // Pivot too small to trust for a real step.
+                    Ratio::Stuck
+                } else {
+                    Ratio::Pivot {
+                        t: t_best.max(0.0),
+                        pos,
+                        to_upper,
+                    }
+                }
+            }
+        }
+    }
+
+    fn run(mut self) -> LpSolution {
+        let max_iters = if self.opts.max_iters == 0 {
+            40 * (self.n + self.m) + 2000
+        } else {
+            self.opts.max_iters
+        };
+        let mut stall = 0usize;
+        let mut bland = false;
+        let mut last_infeas = f64::INFINITY;
+        let mut last_obj = f64::INFINITY;
+        let mut pivots_since_refactor = 0usize;
+
+        let status = loop {
+            if self.iterations >= max_iters {
+                break LpStatus::IterationLimit;
+            }
+            self.iterations += 1;
+
+            let infeas = self.total_infeasibility();
+            let phase1 = infeas > self.opts.tol_feas;
+
+            // Stall detection for anti-cycling.
+            let progress = if phase1 {
+                infeas < last_infeas - 1e-10
+            } else {
+                let obj = self.objective_now();
+                let p = obj < last_obj - 1e-10;
+                last_obj = obj;
+                p
+            };
+            if phase1 {
+                last_infeas = infeas;
+            }
+            if progress {
+                stall = 0;
+                bland = false;
+                self.banned.iter_mut().for_each(|b| *b = false);
+            } else {
+                stall += 1;
+                if stall > self.opts.stall_limit {
+                    bland = true;
+                }
+            }
+
+            self.compute_duals(phase1);
+            let (j, dir) = match self.price(phase1, bland) {
+                Pricing::Optimal => {
+                    if phase1 {
+                        break LpStatus::Infeasible;
+                    }
+                    if self.perturbed {
+                        // Optimal for the perturbed costs: strip the
+                        // perturbation and keep iterating on the true
+                        // objective (usually a handful of pivots).
+                        self.perturbed = false;
+                        self.work_obj.copy_from_slice(self.p.objective());
+                        last_obj = f64::INFINITY;
+                        continue;
+                    }
+                    break LpStatus::Optimal;
+                }
+                Pricing::Enter { j, dir } => (j, dir),
+            };
+
+            // FTRAN the entering column.
+            self.w.iter_mut().for_each(|v| *v = 0.0);
+            self.basis.scatter_column(j, &mut self.w);
+            self.basis.ftran(&mut self.w);
+
+            match self.ratio_test(j, dir, phase1, bland) {
+                Ratio::Unbounded => {
+                    if phase1 {
+                        // Cannot happen for a consistent model: infeasibility
+                        // is bounded below. Treat as numerical trouble.
+                        self.banned[j] = true;
+                        continue;
+                    }
+                    break LpStatus::Unbounded;
+                }
+                Ratio::Stuck => {
+                    self.banned[j] = true;
+                    continue;
+                }
+                Ratio::BoundFlip { t } => {
+                    self.apply_step(j, dir, t);
+                    self.status[j] = match self.status[j] {
+                        VarStatus::AtLower => VarStatus::AtUpper,
+                        VarStatus::AtUpper => VarStatus::AtLower,
+                        s => s,
+                    };
+                    // Snap exactly onto the bound.
+                    self.x[j] = if dir > 0.0 { self.ub[j] } else { self.lb[j] };
+                }
+                Ratio::Pivot { t, pos, to_upper } => {
+                    self.apply_step(j, dir, t);
+                    let leaving = self.basis.basic_at(pos);
+                    self.x[leaving] = if to_upper {
+                        self.ub[leaving]
+                    } else {
+                        self.lb[leaving]
+                    };
+                    self.status[leaving] = if to_upper {
+                        VarStatus::AtUpper
+                    } else {
+                        VarStatus::AtLower
+                    };
+                    self.basis.replace(pos, j, &self.w);
+                    self.status[j] = VarStatus::Basic;
+                    pivots_since_refactor += 1;
+
+                    if pivots_since_refactor >= self.opts.refactor_interval
+                        || self.basis.should_refactorize()
+                    {
+                        self.refactorize_and_repair();
+                        pivots_since_refactor = 0;
+                    }
+                }
+            }
+        };
+
+        self.finish(status)
+    }
+
+    /// Moves the entering variable by `t` along `dir`, updating basics.
+    fn apply_step(&mut self, j: usize, dir: f64, t: f64) {
+        if t > 0.0 {
+            self.x[j] += dir * t;
+            for pos in 0..self.m {
+                let wv = self.w[pos];
+                if wv != 0.0 {
+                    let bj = self.basis.basic_at(pos);
+                    self.x[bj] -= dir * t * wv;
+                }
+            }
+        }
+    }
+
+    fn refactorize_and_repair(&mut self) {
+        let repaired = self.basis.refactorize();
+        for pos in repaired {
+            // The repair kicked the previous occupant out for a slack; give
+            // the evicted variable a nonbasic status at its nearest bound.
+            // (We cannot know which variable was evicted here, so instead we
+            // fix statuses from the basis itself below.)
+            let _ = pos;
+        }
+        // Reconcile statuses with the (possibly repaired) basis.
+        let mut is_basic = vec![false; self.n + self.m];
+        for pos in 0..self.m {
+            is_basic[self.basis.basic_at(pos)] = true;
+        }
+        for j in 0..self.n + self.m {
+            match (is_basic[j], self.status[j]) {
+                (true, _) => self.status[j] = VarStatus::Basic,
+                (false, VarStatus::Basic) => {
+                    // Evicted by repair: park at the nearest finite bound.
+                    let (s, v) = nearest_bound(self.x[j], self.lb[j], self.ub[j]);
+                    self.status[j] = s;
+                    self.x[j] = v;
+                }
+                _ => {}
+            }
+        }
+        self.recompute_basics();
+    }
+
+    fn finish(mut self, status: LpStatus) -> LpSolution {
+        // Final duals under the true objective.
+        self.compute_duals(false);
+        let x: Vec<f64> = self.x[..self.n].to_vec();
+        let row_activity: Vec<f64> = (0..self.m).map(|i| self.x[self.n + i]).collect();
+        let objective = self.p.objective_value(&x);
+        LpSolution {
+            status,
+            objective,
+            x,
+            duals: self.y.clone(),
+            row_activity,
+            iterations: self.iterations,
+        }
+    }
+}
+
+fn initial_nonbasic(lb: f64, ub: f64) -> (VarStatus, f64) {
+    match (lb.is_finite(), ub.is_finite()) {
+        (true, true) => {
+            if lb.abs() <= ub.abs() {
+                (VarStatus::AtLower, lb)
+            } else {
+                (VarStatus::AtUpper, ub)
+            }
+        }
+        (true, false) => (VarStatus::AtLower, lb),
+        (false, true) => (VarStatus::AtUpper, ub),
+        (false, false) => (VarStatus::FreeNb, 0.0),
+    }
+}
+
+fn nearest_bound(x: f64, lb: f64, ub: f64) -> (VarStatus, f64) {
+    match (lb.is_finite(), ub.is_finite()) {
+        (true, true) => {
+            if (x - lb).abs() <= (ub - x).abs() {
+                (VarStatus::AtLower, lb)
+            } else {
+                (VarStatus::AtUpper, ub)
+            }
+        }
+        (true, false) => (VarStatus::AtLower, lb),
+        (false, true) => (VarStatus::AtUpper, ub),
+        (false, false) => (VarStatus::FreeNb, 0.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::{ProblemBuilder, INF};
+
+    fn approx(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-6, "{a} != {b}");
+    }
+
+    #[test]
+    fn trivially_bounded_no_rows() {
+        // min -x  s.t. 0 <= x <= 5  => x = 5.
+        let mut b = ProblemBuilder::new();
+        b.add_col(-1.0, 0.0, 5.0);
+        let p = b.build();
+        let s = solve(&p, &SimplexOptions::default());
+        assert_eq!(s.status, LpStatus::Optimal);
+        approx(s.objective, -5.0);
+        approx(s.x[0], 5.0);
+    }
+
+    #[test]
+    fn classic_two_var_lp() {
+        // max 3x + 5y  s.t. x <= 4, 2y <= 12, 3x + 2y <= 18, x,y >= 0
+        // (Dantzig's example) => x=2, y=6, obj = 36.
+        let mut b = ProblemBuilder::new();
+        let x = b.add_col(-3.0, 0.0, INF);
+        let y = b.add_col(-5.0, 0.0, INF);
+        let r0 = b.add_row(-INF, 4.0);
+        b.set_coeff(r0, x, 1.0);
+        let r1 = b.add_row(-INF, 12.0);
+        b.set_coeff(r1, y, 2.0);
+        let r2 = b.add_row(-INF, 18.0);
+        b.set_coeff(r2, x, 3.0);
+        b.set_coeff(r2, y, 2.0);
+        let p = b.build();
+        let s = solve(&p, &SimplexOptions::default());
+        assert_eq!(s.status, LpStatus::Optimal);
+        approx(s.objective, -36.0);
+        approx(s.x[0], 2.0);
+        approx(s.x[1], 6.0);
+    }
+
+    #[test]
+    fn equality_rows_need_phase1() {
+        // min x + y  s.t. x + y = 10, x - y = 2, x,y >= 0 => x=6, y=4.
+        let mut b = ProblemBuilder::new();
+        let x = b.add_col(1.0, 0.0, INF);
+        let y = b.add_col(1.0, 0.0, INF);
+        let r0 = b.add_row(10.0, 10.0);
+        b.set_coeff(r0, x, 1.0);
+        b.set_coeff(r0, y, 1.0);
+        let r1 = b.add_row(2.0, 2.0);
+        b.set_coeff(r1, x, 1.0);
+        b.set_coeff(r1, y, -1.0);
+        let p = b.build();
+        let s = solve(&p, &SimplexOptions::default());
+        assert_eq!(s.status, LpStatus::Optimal);
+        approx(s.x[0], 6.0);
+        approx(s.x[1], 4.0);
+        approx(s.objective, 10.0);
+    }
+
+    #[test]
+    fn detects_infeasibility() {
+        // x >= 5 and x <= 3 via rows.
+        let mut b = ProblemBuilder::new();
+        let x = b.add_col(0.0, 0.0, INF);
+        let r0 = b.add_row(5.0, INF);
+        b.set_coeff(r0, x, 1.0);
+        let r1 = b.add_row(-INF, 3.0);
+        b.set_coeff(r1, x, 1.0);
+        let p = b.build();
+        let s = solve(&p, &SimplexOptions::default());
+        assert_eq!(s.status, LpStatus::Infeasible);
+    }
+
+    #[test]
+    fn detects_unboundedness() {
+        // min -x, x >= 0, no upper limit.
+        let mut b = ProblemBuilder::new();
+        let x = b.add_col(-1.0, 0.0, INF);
+        let r0 = b.add_row(0.0, INF); // x >= 0, redundant
+        b.set_coeff(r0, x, 1.0);
+        let p = b.build();
+        let s = solve(&p, &SimplexOptions::default());
+        assert_eq!(s.status, LpStatus::Unbounded);
+    }
+
+    #[test]
+    fn handles_upper_bounded_structurals() {
+        // min -x - 2y s.t. x + y <= 3, 0 <= x <= 2, 0 <= y <= 2 => (1, 2).
+        let mut b = ProblemBuilder::new();
+        let x = b.add_col(-1.0, 0.0, 2.0);
+        let y = b.add_col(-2.0, 0.0, 2.0);
+        let r = b.add_row(-INF, 3.0);
+        b.set_coeff(r, x, 1.0);
+        b.set_coeff(r, y, 1.0);
+        let p = b.build();
+        let s = solve(&p, &SimplexOptions::default());
+        assert_eq!(s.status, LpStatus::Optimal);
+        approx(s.objective, -5.0);
+        approx(s.x[0], 1.0);
+        approx(s.x[1], 2.0);
+    }
+
+    #[test]
+    fn negative_lower_bounds_and_free_vars() {
+        // min x + y with y free, x in [-5, 5], x + y >= -2, y <= 4.
+        // Any point with x + y = -2 is optimal; check objective/feasibility.
+        let mut b = ProblemBuilder::new();
+        let x = b.add_col(1.0, -5.0, 5.0);
+        let y = b.add_col(1.0, -INF, INF);
+        let r0 = b.add_row(-2.0, INF);
+        b.set_coeff(r0, x, 1.0);
+        b.set_coeff(r0, y, 1.0);
+        let r1 = b.add_row(-INF, 4.0);
+        b.set_coeff(r1, y, 1.0);
+        let p = b.build();
+        let s = solve(&p, &SimplexOptions::default());
+        assert_eq!(s.status, LpStatus::Optimal);
+        approx(s.objective, -2.0);
+        assert!(p.is_feasible(&s.x, 1e-7));
+    }
+
+    #[test]
+    fn ranged_row() {
+        // min x s.t. 2 <= x + y <= 4, y <= 1, x,y >= 0 => x = 1, y = 1.
+        let mut b = ProblemBuilder::new();
+        let x = b.add_col(1.0, 0.0, INF);
+        let y = b.add_col(0.0, 0.0, 1.0);
+        let r = b.add_row(2.0, 4.0);
+        b.set_coeff(r, x, 1.0);
+        b.set_coeff(r, y, 1.0);
+        let p = b.build();
+        let s = solve(&p, &SimplexOptions::default());
+        assert_eq!(s.status, LpStatus::Optimal);
+        approx(s.objective, 1.0);
+    }
+
+    #[test]
+    fn fixed_variables_via_bounds() {
+        // Branch-and-bound style: fix x = 1 by bounds.
+        let mut b = ProblemBuilder::new();
+        let x = b.add_col(-1.0, 0.0, 1.0);
+        let y = b.add_col(-1.0, 0.0, 1.0);
+        let r = b.add_row(-INF, 1.5);
+        b.set_coeff(r, x, 1.0);
+        b.set_coeff(r, y, 1.0);
+        let p = b.build();
+        let s = solve_with_bounds(&p, &[1.0, 0.0], &[1.0, 1.0], &SimplexOptions::default());
+        assert_eq!(s.status, LpStatus::Optimal);
+        approx(s.x[0], 1.0);
+        approx(s.x[1], 0.5);
+    }
+
+    #[test]
+    fn degenerate_lp_terminates() {
+        // Multiple redundant constraints through the same vertex.
+        let mut b = ProblemBuilder::new();
+        let x = b.add_col(-1.0, 0.0, INF);
+        let y = b.add_col(-1.0, 0.0, INF);
+        for _ in 0..6 {
+            let r = b.add_row(-INF, 2.0);
+            b.set_coeff(r, x, 1.0);
+            b.set_coeff(r, y, 1.0);
+        }
+        let r = b.add_row(-INF, 2.0);
+        b.set_coeff(r, x, 2.0);
+        b.set_coeff(r, y, 2.0); // same face scaled
+        let p = b.build();
+        let s = solve(&p, &SimplexOptions::default());
+        // 2x + 2y <= 2 dominates: x + y <= 1 -> obj -1.
+        assert_eq!(s.status, LpStatus::Optimal);
+        approx(s.objective, -1.0);
+    }
+
+    #[test]
+    fn duals_satisfy_complementary_slackness_basics() {
+        // min -x - y s.t. x + 2y <= 4, 3x + y <= 6 => vertex x=1.6, y=1.2.
+        let mut b = ProblemBuilder::new();
+        let x = b.add_col(-1.0, 0.0, INF);
+        let y = b.add_col(-1.0, 0.0, INF);
+        let r0 = b.add_row(-INF, 4.0);
+        b.set_coeff(r0, x, 1.0);
+        b.set_coeff(r0, y, 2.0);
+        let r1 = b.add_row(-INF, 6.0);
+        b.set_coeff(r1, x, 3.0);
+        b.set_coeff(r1, y, 1.0);
+        let p = b.build();
+        let s = solve(&p, &SimplexOptions::default());
+        assert_eq!(s.status, LpStatus::Optimal);
+        approx(s.x[0], 1.6);
+        approx(s.x[1], 1.2);
+        // Both rows tight; duals should reconstruct the objective:
+        // y' A = c for basic structurals.
+        let d = &s.duals;
+        approx(d[0] + 3.0 * d[1], -1.0);
+        approx(2.0 * d[0] + d[1], -1.0);
+    }
+}
+
+#[cfg(test)]
+mod perturbation_tests {
+    use super::*;
+    use crate::problem::{ProblemBuilder, INF};
+
+    /// Perturbed solves must reach the same optimum as unperturbed ones
+    /// (the perturbation is stripped before termination).
+    #[test]
+    fn perturbation_preserves_optimum() {
+        let mut b = ProblemBuilder::new();
+        let x = b.add_col(-3.0, 0.0, INF);
+        let y = b.add_col(-5.0, 0.0, INF);
+        let r0 = b.add_row(-INF, 4.0);
+        b.set_coeff(r0, x, 1.0);
+        let r1 = b.add_row(-INF, 12.0);
+        b.set_coeff(r1, y, 2.0);
+        let r2 = b.add_row(-INF, 18.0);
+        b.set_coeff(r2, x, 3.0);
+        b.set_coeff(r2, y, 2.0);
+        let p = b.build();
+        let plain = solve(&p, &SimplexOptions::default());
+        let mut opts = SimplexOptions::default();
+        opts.perturb = 1e-6;
+        let pert = solve(&p, &opts);
+        assert_eq!(plain.status, LpStatus::Optimal);
+        assert_eq!(pert.status, LpStatus::Optimal);
+        assert!(
+            (plain.objective - pert.objective).abs() < 1e-6,
+            "{} vs {}",
+            plain.objective,
+            pert.objective
+        );
+    }
+
+    /// Degenerate problem: perturbation must not change feasibility status.
+    #[test]
+    fn perturbation_on_degenerate_equalities() {
+        let mut b = ProblemBuilder::new();
+        let x = b.add_col(1.0, 0.0, 10.0);
+        let y = b.add_col(1.0, 0.0, 10.0);
+        for _ in 0..4 {
+            let r = b.add_row(5.0, 5.0);
+            b.set_coeff(r, x, 1.0);
+            b.set_coeff(r, y, 1.0);
+        }
+        let p = b.build();
+        let mut opts = SimplexOptions::default();
+        opts.perturb = 1e-6;
+        let s = solve(&p, &opts);
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert!((s.objective - 5.0).abs() < 1e-6);
+    }
+}

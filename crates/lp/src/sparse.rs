@@ -1,0 +1,327 @@
+//! Compressed sparse column (CSC) matrices and triplet builders.
+//!
+//! The LP solver stores the structural constraint matrix in CSC form because
+//! the revised simplex method works column-wise: pricing iterates columns,
+//! and FTRAN needs fast access to the entering column.
+
+/// A coordinate-form matrix entry used while assembling a matrix.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Triplet {
+    pub row: usize,
+    pub col: usize,
+    pub value: f64,
+}
+
+/// An immutable sparse matrix in compressed sparse column form.
+///
+/// Invariants: `col_ptr.len() == ncols + 1`, `col_ptr` is non-decreasing,
+/// row indices within a column are strictly increasing, and no explicit
+/// zeros are stored.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CscMatrix {
+    nrows: usize,
+    ncols: usize,
+    col_ptr: Vec<usize>,
+    row_idx: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl CscMatrix {
+    /// Builds a CSC matrix from triplets. Duplicate `(row, col)` entries are
+    /// summed; entries that sum to exactly zero are dropped.
+    ///
+    /// # Panics
+    /// Panics if any triplet is out of bounds.
+    pub fn from_triplets(nrows: usize, ncols: usize, triplets: &[Triplet]) -> Self {
+        for t in triplets {
+            assert!(t.row < nrows, "triplet row {} out of bounds {nrows}", t.row);
+            assert!(t.col < ncols, "triplet col {} out of bounds {ncols}", t.col);
+        }
+        // Count entries per column, then bucket-sort triplets into columns.
+        let mut counts = vec![0usize; ncols + 1];
+        for t in triplets {
+            counts[t.col + 1] += 1;
+        }
+        for c in 0..ncols {
+            counts[c + 1] += counts[c];
+        }
+        let mut order = counts.clone();
+        let mut rows = vec![0usize; triplets.len()];
+        let mut vals = vec![0f64; triplets.len()];
+        for t in triplets {
+            let slot = order[t.col];
+            rows[slot] = t.row;
+            vals[slot] = t.value;
+            order[t.col] += 1;
+        }
+        // Sort each column by row and merge duplicates.
+        let mut col_ptr = vec![0usize; ncols + 1];
+        let mut out_rows = Vec::with_capacity(triplets.len());
+        let mut out_vals = Vec::with_capacity(triplets.len());
+        let mut scratch: Vec<(usize, f64)> = Vec::new();
+        for c in 0..ncols {
+            scratch.clear();
+            for k in counts[c]..order[c] {
+                scratch.push((rows[k], vals[k]));
+            }
+            scratch.sort_unstable_by_key(|&(r, _)| r);
+            let mut i = 0;
+            while i < scratch.len() {
+                let r = scratch[i].0;
+                let mut v = scratch[i].1;
+                let mut j = i + 1;
+                while j < scratch.len() && scratch[j].0 == r {
+                    v += scratch[j].1;
+                    j += 1;
+                }
+                if v != 0.0 {
+                    out_rows.push(r);
+                    out_vals.push(v);
+                }
+                i = j;
+            }
+            col_ptr[c + 1] = out_rows.len();
+        }
+        CscMatrix {
+            nrows,
+            ncols,
+            col_ptr,
+            row_idx: out_rows,
+            values: out_vals,
+        }
+    }
+
+    /// An `nrows x ncols` matrix with no entries.
+    pub fn zeros(nrows: usize, ncols: usize) -> Self {
+        CscMatrix {
+            nrows,
+            ncols,
+            col_ptr: vec![0; ncols + 1],
+            row_idx: Vec::new(),
+            values: Vec::new(),
+        }
+    }
+
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of stored entries.
+    pub fn nnz(&self) -> usize {
+        self.row_idx.len()
+    }
+
+    /// Iterates `(row, value)` pairs of column `c` in increasing row order.
+    #[inline]
+    pub fn col_iter(&self, c: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        let lo = self.col_ptr[c];
+        let hi = self.col_ptr[c + 1];
+        self.row_idx[lo..hi]
+            .iter()
+            .copied()
+            .zip(self.values[lo..hi].iter().copied())
+    }
+
+    /// Number of entries in column `c`.
+    #[inline]
+    pub fn col_nnz(&self, c: usize) -> usize {
+        self.col_ptr[c + 1] - self.col_ptr[c]
+    }
+
+    /// Computes `y += alpha * A[:, c]` into a dense vector.
+    #[inline]
+    pub fn axpy_col(&self, c: usize, alpha: f64, y: &mut [f64]) {
+        for (r, v) in self.col_iter(c) {
+            y[r] += alpha * v;
+        }
+    }
+
+    /// Computes the dot product `A[:, c] . y` against a dense vector.
+    #[inline]
+    pub fn dot_col(&self, c: usize, y: &[f64]) -> f64 {
+        let mut acc = 0.0;
+        for (r, v) in self.col_iter(c) {
+            acc += v * y[r];
+        }
+        acc
+    }
+
+    /// Dense `A * x` (mainly for tests and activity computation).
+    pub fn mul_dense(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.ncols);
+        let mut y = vec![0.0; self.nrows];
+        for c in 0..self.ncols {
+            if x[c] != 0.0 {
+                self.axpy_col(c, x[c], &mut y);
+            }
+        }
+        y
+    }
+
+    /// Returns the value at `(row, col)`, or 0 if not stored.
+    pub fn get(&self, row: usize, col: usize) -> f64 {
+        self.col_iter(col)
+            .find(|&(r, _)| r == row)
+            .map_or(0.0, |(_, v)| v)
+    }
+}
+
+/// A growable sparse column collection used to accumulate L and U factors.
+///
+/// Unlike [`CscMatrix`] this supports appending whole columns in order, which
+/// is exactly the access pattern of left-looking LU factorisation.
+#[derive(Debug, Clone, Default)]
+pub struct ColumnStore {
+    col_ptr: Vec<usize>,
+    row_idx: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl ColumnStore {
+    pub fn new() -> Self {
+        ColumnStore {
+            col_ptr: vec![0],
+            row_idx: Vec::new(),
+            values: Vec::new(),
+        }
+    }
+
+    pub fn with_capacity(cols: usize, nnz: usize) -> Self {
+        let mut col_ptr = Vec::with_capacity(cols + 1);
+        col_ptr.push(0);
+        ColumnStore {
+            col_ptr,
+            row_idx: Vec::with_capacity(nnz),
+            values: Vec::with_capacity(nnz),
+        }
+    }
+
+    pub fn ncols(&self) -> usize {
+        self.col_ptr.len() - 1
+    }
+
+    pub fn nnz(&self) -> usize {
+        self.row_idx.len()
+    }
+
+    /// Appends one entry to the column currently being built.
+    #[inline]
+    pub fn push(&mut self, row: usize, value: f64) {
+        self.row_idx.push(row);
+        self.values.push(value);
+    }
+
+    /// Finishes the current column.
+    #[inline]
+    pub fn seal_column(&mut self) {
+        self.col_ptr.push(self.row_idx.len());
+    }
+
+    #[inline]
+    pub fn col_iter(&self, c: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        let lo = self.col_ptr[c];
+        let hi = self.col_ptr[c + 1];
+        self.row_idx[lo..hi]
+            .iter()
+            .copied()
+            .zip(self.values[lo..hi].iter().copied())
+    }
+
+    pub fn clear(&mut self) {
+        self.col_ptr.clear();
+        self.col_ptr.push(0);
+        self.row_idx.clear();
+        self.values.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(row: usize, col: usize, value: f64) -> Triplet {
+        Triplet { row, col, value }
+    }
+
+    #[test]
+    fn builds_from_triplets_sorted_and_merged() {
+        let m = CscMatrix::from_triplets(
+            3,
+            3,
+            &[
+                t(2, 0, 3.0),
+                t(0, 0, 1.0),
+                t(0, 0, 0.5), // duplicate, should merge to 1.5
+                t(1, 2, -2.0),
+            ],
+        );
+        assert_eq!(m.nnz(), 3);
+        assert_eq!(m.get(0, 0), 1.5);
+        assert_eq!(m.get(2, 0), 3.0);
+        assert_eq!(m.get(1, 2), -2.0);
+        assert_eq!(m.get(1, 1), 0.0);
+        let col0: Vec<_> = m.col_iter(0).collect();
+        assert_eq!(col0, vec![(0, 1.5), (2, 3.0)]);
+    }
+
+    #[test]
+    fn drops_entries_that_cancel() {
+        let m = CscMatrix::from_triplets(2, 2, &[t(0, 0, 2.0), t(0, 0, -2.0), t(1, 1, 1.0)]);
+        assert_eq!(m.nnz(), 1);
+        assert_eq!(m.get(0, 0), 0.0);
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let m = CscMatrix::zeros(4, 5);
+        assert_eq!(m.nrows(), 4);
+        assert_eq!(m.ncols(), 5);
+        assert_eq!(m.nnz(), 0);
+        assert_eq!(m.col_iter(3).count(), 0);
+    }
+
+    #[test]
+    fn mul_dense_matches_manual() {
+        // [1 0 2]
+        // [0 3 0]
+        let m = CscMatrix::from_triplets(2, 3, &[t(0, 0, 1.0), t(1, 1, 3.0), t(0, 2, 2.0)]);
+        let y = m.mul_dense(&[1.0, 2.0, 3.0]);
+        assert_eq!(y, vec![7.0, 6.0]);
+    }
+
+    #[test]
+    fn dot_and_axpy_agree() {
+        let m = CscMatrix::from_triplets(3, 1, &[t(0, 0, 1.0), t(2, 0, -4.0)]);
+        let y = [2.0, 5.0, 0.5];
+        assert_eq!(m.dot_col(0, &y), 2.0 - 2.0);
+        let mut acc = vec![0.0; 3];
+        m.axpy_col(0, 2.0, &mut acc);
+        assert_eq!(acc, vec![2.0, 0.0, -8.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn rejects_out_of_bounds() {
+        CscMatrix::from_triplets(1, 1, &[t(1, 0, 1.0)]);
+    }
+
+    #[test]
+    fn column_store_roundtrip() {
+        let mut s = ColumnStore::new();
+        s.push(3, 1.0);
+        s.push(1, 2.0);
+        s.seal_column();
+        s.seal_column(); // empty column
+        s.push(0, -1.0);
+        s.seal_column();
+        assert_eq!(s.ncols(), 3);
+        assert_eq!(s.col_iter(0).collect::<Vec<_>>(), vec![(3, 1.0), (1, 2.0)]);
+        assert_eq!(s.col_iter(1).count(), 0);
+        assert_eq!(s.col_iter(2).collect::<Vec<_>>(), vec![(0, -1.0)]);
+        assert_eq!(s.nnz(), 3);
+    }
+}

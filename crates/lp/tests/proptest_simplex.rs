@@ -1,0 +1,110 @@
+//! Property tests: the revised simplex must agree with the brute-force
+//! vertex-enumeration oracle on random small LPs.
+
+use proptest::prelude::*;
+use sqpr_lp::oracle::brute_force_optimum;
+use sqpr_lp::{solve, LpStatus, ProblemBuilder, SimplexOptions, INF};
+
+#[derive(Debug, Clone)]
+struct RandomLp {
+    ncols: usize,
+    obj: Vec<i32>,
+    col_lb: Vec<i32>,
+    col_width: Vec<u8>,
+    rows: Vec<(Vec<i32>, i32, u8, u8)>, // coeffs, lb, width, kind(0:<=,1:>=,2:range,3:eq)
+}
+
+fn random_lp() -> impl Strategy<Value = RandomLp> {
+    (1usize..=4, 1usize..=3)
+        .prop_flat_map(|(n, m)| {
+            (
+                Just(n),
+                proptest::collection::vec(-4i32..=4, n),
+                proptest::collection::vec(-3i32..=2, n),
+                proptest::collection::vec(0u8..=5, n),
+                proptest::collection::vec(
+                    (
+                        proptest::collection::vec(-3i32..=3, n),
+                        -4i32..=4,
+                        0u8..=6,
+                        0u8..=3,
+                    ),
+                    m,
+                ),
+            )
+        })
+        .prop_map(|(ncols, obj, col_lb, col_width, rows)| RandomLp {
+            ncols,
+            obj,
+            col_lb,
+            col_width,
+            rows,
+        })
+}
+
+fn build(lp: &RandomLp) -> sqpr_lp::Problem {
+    let mut b = ProblemBuilder::new();
+    for j in 0..lp.ncols {
+        b.add_col(
+            lp.obj[j] as f64,
+            lp.col_lb[j] as f64,
+            (lp.col_lb[j] as f64) + lp.col_width[j] as f64,
+        );
+    }
+    for (coeffs, lb, width, kind) in &lp.rows {
+        let (rlb, rub) = match kind {
+            0 => (-INF, *lb as f64 + *width as f64),
+            1 => (*lb as f64, INF),
+            2 => (*lb as f64, *lb as f64 + *width as f64),
+            _ => (*lb as f64, *lb as f64),
+        };
+        let r = b.add_row(rlb, rub);
+        for (j, &c) in coeffs.iter().enumerate() {
+            b.set_coeff(r, j, c as f64);
+        }
+    }
+    b.build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn simplex_matches_oracle(lp in random_lp()) {
+        let p = build(&lp);
+        let oracle = brute_force_optimum(&p, 1e-9);
+        let s = solve(&p, &SimplexOptions::default());
+        match (oracle, s.status) {
+            (Some((obj, _)), LpStatus::Optimal) => {
+                prop_assert!((obj - s.objective).abs() < 1e-5 * (1.0 + obj.abs()),
+                    "oracle {obj} vs simplex {}", s.objective);
+                prop_assert!(p.is_feasible(&s.x, 1e-6));
+            }
+            (None, LpStatus::Infeasible) => {}
+            (o, st) => {
+                prop_assert!(false, "oracle {o:?} vs simplex status {st:?} obj {}", s.objective);
+            }
+        }
+    }
+
+    #[test]
+    fn bound_overrides_respected(lp in random_lp()) {
+        // Fixing every variable to its lower bound must give either an
+        // infeasible verdict or exactly that point.
+        let p = build(&lp);
+        let lbs: Vec<f64> = lp.col_lb.iter().map(|&v| v as f64).collect();
+        let s = sqpr_lp::solve_with_bounds(&p, &lbs, &lbs, &SimplexOptions::default());
+        match s.status {
+            LpStatus::Optimal => {
+                for (a, b) in s.x.iter().zip(&lbs) {
+                    prop_assert!((a - b).abs() < 1e-6);
+                }
+                prop_assert!(p.is_feasible(&s.x, 1e-6));
+            }
+            LpStatus::Infeasible => {
+                prop_assert!(!p.is_feasible(&lbs, 1e-7));
+            }
+            other => prop_assert!(false, "unexpected status {other:?}"),
+        }
+    }
+}

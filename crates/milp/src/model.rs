@@ -1,0 +1,296 @@
+//! Mixed-integer linear programming model API.
+//!
+//! A thin, allocation-friendly modelling layer over [`sqpr_lp::Problem`]:
+//! variables (continuous or integer) with bounds and objective coefficients,
+//! ranged linear constraints, and an objective sense. The SQPR planner builds
+//! one of these per arriving query.
+
+use sqpr_lp::{Problem, ProblemBuilder, INF};
+
+/// Identifies a variable within one [`Model`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VarId(pub(crate) usize);
+
+impl VarId {
+    /// Builds a `VarId` from a raw index (bounds are checked at use sites).
+    pub(crate) fn from_raw(i: usize) -> Self {
+        VarId(i)
+    }
+}
+
+impl VarId {
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Identifies a constraint within one [`Model`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ConsId(pub(crate) usize);
+
+/// Variable integrality class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VarType {
+    Continuous,
+    /// Integer-valued within its bounds (binaries are integers in `[0, 1]`).
+    Integer,
+}
+
+/// Objective sense.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Sense {
+    Minimize,
+    Maximize,
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct VarDef {
+    pub ty: VarType,
+    pub lb: f64,
+    pub ub: f64,
+    pub obj: f64,
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct ConsDef {
+    pub terms: Vec<(VarId, f64)>,
+    pub lb: f64,
+    pub ub: f64,
+}
+
+/// A mixed-integer linear program.
+#[derive(Debug, Clone)]
+pub struct Model {
+    pub(crate) sense: Sense,
+    pub(crate) vars: Vec<VarDef>,
+    pub(crate) cons: Vec<ConsDef>,
+}
+
+impl Model {
+    pub fn new(sense: Sense) -> Self {
+        Model {
+            sense,
+            vars: Vec::new(),
+            cons: Vec::new(),
+        }
+    }
+
+    pub fn sense(&self) -> Sense {
+        self.sense
+    }
+
+    pub fn num_vars(&self) -> usize {
+        self.vars.len()
+    }
+
+    pub fn num_cons(&self) -> usize {
+        self.cons.len()
+    }
+
+    /// Adds a variable; returns its id.
+    ///
+    /// # Panics
+    /// Panics if `lb > ub` or either bound is NaN.
+    pub fn add_var(&mut self, ty: VarType, lb: f64, ub: f64, obj: f64) -> VarId {
+        assert!(!lb.is_nan() && !ub.is_nan(), "NaN bound");
+        assert!(lb <= ub, "crossed bounds [{lb}, {ub}]");
+        let id = VarId(self.vars.len());
+        self.vars.push(VarDef { ty, lb, ub, obj });
+        id
+    }
+
+    /// Adds a binary (0/1) variable.
+    pub fn add_binary(&mut self, obj: f64) -> VarId {
+        self.add_var(VarType::Integer, 0.0, 1.0, obj)
+    }
+
+    /// Adds a continuous variable.
+    pub fn add_continuous(&mut self, lb: f64, ub: f64, obj: f64) -> VarId {
+        self.add_var(VarType::Continuous, lb, ub, obj)
+    }
+
+    /// Adds the ranged constraint `lb <= sum terms <= ub`; returns its id.
+    /// Duplicate variables in `terms` are summed.
+    pub fn add_range(&mut self, lb: f64, ub: f64, terms: Vec<(VarId, f64)>) -> ConsId {
+        assert!(lb <= ub, "crossed row bounds [{lb}, {ub}]");
+        for &(v, _) in &terms {
+            assert!(v.0 < self.vars.len(), "unknown variable {v:?}");
+        }
+        let id = ConsId(self.cons.len());
+        self.cons.push(ConsDef { terms, lb, ub });
+        id
+    }
+
+    /// Adds `sum terms <= rhs`.
+    pub fn add_le(&mut self, terms: Vec<(VarId, f64)>, rhs: f64) -> ConsId {
+        self.add_range(-INF, rhs, terms)
+    }
+
+    /// Adds `sum terms >= rhs`.
+    pub fn add_ge(&mut self, terms: Vec<(VarId, f64)>, rhs: f64) -> ConsId {
+        self.add_range(rhs, INF, terms)
+    }
+
+    /// Adds `sum terms == rhs`.
+    pub fn add_eq(&mut self, terms: Vec<(VarId, f64)>, rhs: f64) -> ConsId {
+        self.add_range(rhs, rhs, terms)
+    }
+
+    /// Fixes a variable to `value` by collapsing its bounds.
+    ///
+    /// # Panics
+    /// Panics if `value` lies outside the current bounds by more than 1e-9.
+    pub fn fix_var(&mut self, v: VarId, value: f64) {
+        let def = &mut self.vars[v.0];
+        assert!(
+            value >= def.lb - 1e-9 && value <= def.ub + 1e-9,
+            "fixing {v:?} to {value} outside [{}, {}]",
+            def.lb,
+            def.ub
+        );
+        let clamped = value.clamp(def.lb, def.ub);
+        def.lb = clamped;
+        def.ub = clamped;
+    }
+
+    /// Tightens a variable's bounds (no-op directions use `-INF`/`INF`).
+    pub fn set_bounds(&mut self, v: VarId, lb: f64, ub: f64) {
+        let def = &mut self.vars[v.0];
+        def.lb = lb;
+        def.ub = ub;
+        assert!(def.lb <= def.ub, "crossed bounds for {v:?}");
+    }
+
+    pub fn var_bounds(&self, v: VarId) -> (f64, f64) {
+        let d = &self.vars[v.0];
+        (d.lb, d.ub)
+    }
+
+    pub fn var_type(&self, v: VarId) -> VarType {
+        self.vars[v.0].ty
+    }
+
+    pub fn objective_coeff(&self, v: VarId) -> f64 {
+        self.vars[v.0].obj
+    }
+
+    /// Sets (replaces) a variable's objective coefficient.
+    pub fn set_objective_coeff(&mut self, v: VarId, obj: f64) {
+        self.vars[v.0].obj = obj;
+    }
+
+    /// Returns constraint `c` as `(terms, lb, ub)`.
+    pub fn constraint(&self, c: usize) -> (&[(VarId, f64)], f64, f64) {
+        let def = &self.cons[c];
+        (&def.terms, def.lb, def.ub)
+    }
+
+    /// Evaluates the objective in the model's own sense.
+    pub fn objective_value(&self, x: &[f64]) -> f64 {
+        self.vars.iter().zip(x).map(|(v, xv)| v.obj * xv).sum()
+    }
+
+    /// Checks whether `x` satisfies bounds, constraints and integrality.
+    pub fn is_feasible(&self, x: &[f64], tol: f64) -> bool {
+        if x.len() != self.vars.len() {
+            return false;
+        }
+        for (def, &xv) in self.vars.iter().zip(x) {
+            if xv < def.lb - tol || xv > def.ub + tol {
+                return false;
+            }
+            if def.ty == VarType::Integer && (xv - xv.round()).abs() > tol {
+                return false;
+            }
+        }
+        for c in &self.cons {
+            let act: f64 = c.terms.iter().map(|&(v, a)| a * x[v.0]).sum();
+            if act < c.lb - tol * (1.0 + c.lb.abs()) || act > c.ub + tol * (1.0 + c.ub.abs()) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Lowers the model to an LP [`Problem`] in *minimisation* form
+    /// (objective negated if this model maximises), plus the list of
+    /// integer variable indices.
+    pub(crate) fn to_lp(&self) -> (Problem, Vec<usize>) {
+        let flip = if self.sense == Sense::Maximize {
+            -1.0
+        } else {
+            1.0
+        };
+        let mut b = ProblemBuilder::new();
+        let mut integers = Vec::new();
+        for (j, v) in self.vars.iter().enumerate() {
+            b.add_col(flip * v.obj, v.lb, v.ub);
+            if v.ty == VarType::Integer {
+                integers.push(j);
+            }
+        }
+        for c in &self.cons {
+            let r = b.add_row(c.lb, c.ub);
+            // Merge duplicate terms (CSC builder also merges, but make the
+            // intent explicit for logically duplicated entries).
+            for &(v, a) in &c.terms {
+                b.set_coeff(r, v.0, a);
+            }
+        }
+        (b.build(), integers)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_construction_and_feasibility() {
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_binary(3.0);
+        let y = m.add_continuous(0.0, 2.0, 1.0);
+        m.add_le(vec![(x, 1.0), (y, 1.0)], 2.5);
+        assert_eq!(m.num_vars(), 2);
+        assert_eq!(m.num_cons(), 1);
+        assert!(m.is_feasible(&[1.0, 1.5], 1e-9));
+        assert!(!m.is_feasible(&[0.5, 1.0], 1e-9)); // fractional binary
+        assert!(!m.is_feasible(&[1.0, 2.0], 1e-9)); // row violated
+        assert_eq!(m.objective_value(&[1.0, 1.5]), 4.5);
+    }
+
+    #[test]
+    fn fix_var_collapses_bounds() {
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_binary(1.0);
+        m.fix_var(x, 1.0);
+        assert_eq!(m.var_bounds(x), (1.0, 1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn fix_var_rejects_out_of_bounds() {
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_binary(1.0);
+        m.fix_var(x, 2.0);
+    }
+
+    #[test]
+    fn to_lp_flips_objective_for_max() {
+        let mut m = Model::new(Sense::Maximize);
+        m.add_binary(3.0);
+        let (lp, ints) = m.to_lp();
+        assert_eq!(lp.objective(), &[-3.0]);
+        assert_eq!(ints, vec![0]);
+    }
+
+    #[test]
+    fn duplicate_terms_are_summed() {
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_continuous(0.0, 10.0, 1.0);
+        m.add_eq(vec![(x, 1.0), (x, 2.0)], 6.0);
+        // 3x = 6 -> x = 2 feasible
+        assert!(m.is_feasible(&[2.0], 1e-9));
+        assert!(!m.is_feasible(&[6.0], 1e-9));
+    }
+}

@@ -1,0 +1,692 @@
+//! Branch & bound over LP relaxations.
+//!
+//! Best-bound node selection, most-fractional branching with objective
+//! tie-breaks, rounding and diving primal heuristics, and deterministic
+//! budgets (node counts) with optional wall-clock limits — mirroring how the
+//! paper drives CPLEX with a per-query timeout and takes the incumbent.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::rc::Rc;
+use std::time::{Duration, Instant};
+
+use sqpr_lp::{solve_with_bounds, LpStatus, Problem, SimplexOptions};
+
+use crate::heuristics;
+use crate::model::{Model, Sense};
+use crate::presolve::{presolve_bounds, Presolved};
+
+/// Options for one branch & bound run.
+#[derive(Debug, Clone)]
+pub struct MilpOptions {
+    /// Maximum number of branch & bound nodes (deterministic budget).
+    /// 0 means a large default (1 million).
+    pub max_nodes: usize,
+    /// Optional wall-clock limit; checked between nodes.
+    pub time_limit: Option<Duration>,
+    /// Relative optimality gap at which the search stops early.
+    pub gap_tol: f64,
+    /// Integrality tolerance.
+    pub int_tol: f64,
+    /// Run the diving heuristic every this many nodes (0 disables).
+    pub dive_every: usize,
+    /// Run presolve bound propagation before the search (default on).
+    pub presolve: bool,
+    /// LP subproblem options.
+    pub lp: SimplexOptions,
+}
+
+impl Default for MilpOptions {
+    fn default() -> Self {
+        MilpOptions {
+            max_nodes: 0,
+            time_limit: None,
+            gap_tol: 1e-6,
+            int_tol: 1e-6,
+            dive_every: 64,
+            presolve: true,
+            lp: SimplexOptions::default(),
+        }
+    }
+}
+
+/// Termination status of a MILP solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MilpStatus {
+    /// Incumbent proven optimal (tree exhausted or gap below tolerance).
+    Optimal,
+    /// Budget exhausted with a feasible incumbent in hand.
+    Feasible,
+    /// Proven infeasible.
+    Infeasible,
+    /// LP relaxation unbounded.
+    Unbounded,
+    /// Budget exhausted before any feasible point was found.
+    Unknown,
+}
+
+/// Result of a MILP solve. `objective`/`best_bound` are reported in the
+/// model's own sense (for maximisation, `best_bound >= objective`).
+#[derive(Debug, Clone)]
+pub struct MilpResult {
+    pub status: MilpStatus,
+    pub objective: f64,
+    pub best_bound: f64,
+    pub x: Option<Vec<f64>>,
+    pub nodes: usize,
+    pub lp_iterations: usize,
+    /// Relative gap `|objective - best_bound| / max(1, |objective|)`.
+    pub gap: f64,
+}
+
+impl MilpResult {
+    pub fn has_solution(&self) -> bool {
+        self.x.is_some()
+    }
+}
+
+/// One chained bound tightening (child nodes point at their parents).
+struct BoundChange {
+    var: usize,
+    lb: f64,
+    ub: f64,
+    parent: Option<Rc<BoundChange>>,
+}
+
+struct Node {
+    /// Valid lower bound (minimisation space) inherited from the parent LP.
+    est: f64,
+    depth: usize,
+    chain: Option<Rc<BoundChange>>,
+}
+
+/// Max-heap wrapper turning `BinaryHeap` into best-first (smallest bound).
+struct OrdNode(Node);
+
+impl PartialEq for OrdNode {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.est == other.0.est
+    }
+}
+impl Eq for OrdNode {}
+impl PartialOrd for OrdNode {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for OrdNode {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: smaller est = higher priority. Tie-break on depth
+        // (prefer deeper nodes: closer to integral).
+        other
+            .0
+            .est
+            .partial_cmp(&self.0.est)
+            .unwrap_or(Ordering::Equal)
+            .then(self.0.depth.cmp(&other.0.depth))
+    }
+}
+
+/// Solves the model by branch & bound.
+pub fn solve(model: &Model, opts: &MilpOptions) -> MilpResult {
+    solve_with_start(model, opts, None)
+}
+
+/// Solves the model, optionally seeded with a known-feasible starting point
+/// (used by SQPR to warm-start from the heuristic planner's plan).
+pub fn solve_with_start(model: &Model, opts: &MilpOptions, start: Option<&[f64]>) -> MilpResult {
+    Bnb::new(model, opts, start, None).run()
+}
+
+/// Like [`solve_with_start`], with an *incumbent filter*: integral solutions
+/// the filter rejects are discarded instead of becoming incumbents. This is
+/// the lazy-constraint hook — side conditions that are expensive to encode
+/// as rows (e.g. SQPR's acyclicity) can be enforced on candidates only.
+/// The start point, if given, bypasses the filter (the caller vouches).
+pub fn solve_filtered(
+    model: &Model,
+    opts: &MilpOptions,
+    start: Option<&[f64]>,
+    filter: &dyn Fn(&[f64]) -> bool,
+) -> MilpResult {
+    Bnb::new(model, opts, start, Some(filter)).run()
+}
+
+struct Bnb<'a> {
+    model: &'a Model,
+    opts: &'a MilpOptions,
+    filter: Option<&'a dyn Fn(&[f64]) -> bool>,
+    lp: Problem,
+    integers: Vec<usize>,
+    /// Incumbent in minimisation space.
+    incumbent: Option<(f64, Vec<f64>)>,
+    nodes_done: usize,
+    lp_iterations: usize,
+    heap: BinaryHeap<OrdNode>,
+    root_lb: Vec<f64>,
+    root_ub: Vec<f64>,
+    presolve_infeasible: bool,
+    deadline: Option<Instant>,
+}
+
+impl<'a> Bnb<'a> {
+    fn new(
+        model: &'a Model,
+        opts: &'a MilpOptions,
+        start: Option<&[f64]>,
+        filter: Option<&'a dyn Fn(&[f64]) -> bool>,
+    ) -> Self {
+        let (lp, integers) = model.to_lp();
+        let (lb, ub) = lp.col_bounds();
+        let mut root_lb = lb.to_vec();
+        let mut root_ub = ub.to_vec();
+        let mut presolve_infeasible = false;
+        if opts.presolve {
+            match presolve_bounds(model, 6) {
+                Presolved::Bounds(plb, pub_) => {
+                    root_lb = plb;
+                    root_ub = pub_;
+                }
+                Presolved::Infeasible => presolve_infeasible = true,
+            }
+        }
+        let flip = if model.sense == Sense::Maximize {
+            -1.0
+        } else {
+            1.0
+        };
+        let incumbent = start.and_then(|x| {
+            if model.is_feasible(x, opts.int_tol.max(1e-7)) {
+                Some((flip * model.objective_value(x), x.to_vec()))
+            } else {
+                None
+            }
+        });
+        Bnb {
+            model,
+            opts,
+            filter,
+            lp,
+            integers,
+            incumbent,
+            nodes_done: 0,
+            lp_iterations: 0,
+            heap: BinaryHeap::new(),
+            root_lb,
+            root_ub,
+            presolve_infeasible,
+            deadline: opts.time_limit.map(|d| Instant::now() + d),
+        }
+    }
+
+    fn flip(&self) -> f64 {
+        if self.model.sense == Sense::Maximize {
+            -1.0
+        } else {
+            1.0
+        }
+    }
+
+    fn materialize(&self, chain: &Option<Rc<BoundChange>>, lb: &mut [f64], ub: &mut [f64]) {
+        lb.copy_from_slice(&self.root_lb);
+        ub.copy_from_slice(&self.root_ub);
+        let mut cur = chain.as_ref();
+        while let Some(c) = cur {
+            // Intersection keeps correctness regardless of chain order.
+            if c.lb > lb[c.var] {
+                lb[c.var] = c.lb;
+            }
+            if c.ub < ub[c.var] {
+                ub[c.var] = c.ub;
+            }
+            cur = c.parent.as_ref();
+        }
+    }
+
+    /// Picks the integer variable to branch on: most fractional value,
+    /// ties broken by larger |objective| then smaller index.
+    fn pick_branching(&self, x: &[f64], lb: &[f64], ub: &[f64]) -> Option<(usize, f64)> {
+        let mut best: Option<(usize, f64, f64)> = None;
+        for &j in &self.integers {
+            if lb[j] >= ub[j] {
+                continue; // fixed
+            }
+            let frac = x[j] - x[j].floor();
+            let dist = frac.min(1.0 - frac);
+            if dist <= self.opts.int_tol {
+                continue;
+            }
+            let score = dist * (1.0 + self.lp.objective()[j].abs());
+            if best.is_none_or(|(_, _, s)| score > s) {
+                best = Some((j, x[j], score));
+            }
+        }
+        best.map(|(j, v, _)| (j, v))
+    }
+
+    fn is_integral(&self, x: &[f64]) -> bool {
+        self.integers
+            .iter()
+            .all(|&j| (x[j] - x[j].round()).abs() <= self.opts.int_tol)
+    }
+
+    /// Considers a candidate incumbent (minimisation objective).
+    fn offer_incumbent(&mut self, obj: f64, x: Vec<f64>) {
+        // Snap integers exactly before validating against the model.
+        let mut snapped = x;
+        for &j in &self.integers {
+            snapped[j] = snapped[j].round();
+        }
+        let model_x_ok = self.model.is_feasible(&snapped, 1e-5);
+        if !model_x_ok {
+            return;
+        }
+        if let Some(filter) = self.filter {
+            if !filter(&snapped) {
+                return;
+            }
+        }
+        let true_obj = self.flip() * self.model.objective_value(&snapped);
+        if self
+            .incumbent
+            .as_ref()
+            .is_none_or(|(best, _)| true_obj < *best - 1e-12)
+        {
+            let _ = obj;
+            self.incumbent = Some((true_obj, snapped));
+        }
+    }
+
+    fn out_of_budget(&self) -> bool {
+        let max_nodes = if self.opts.max_nodes == 0 {
+            1_000_000
+        } else {
+            self.opts.max_nodes
+        };
+        if self.nodes_done >= max_nodes {
+            return true;
+        }
+        if let Some(d) = self.deadline {
+            if Instant::now() >= d {
+                return true;
+            }
+        }
+        false
+    }
+
+    fn run(mut self) -> MilpResult {
+        if self.presolve_infeasible {
+            // A warm start contradicting presolve would indicate a bug in
+            // propagation; the model validator already vetted it, so treat
+            // presolve as authoritative only when no start exists.
+            if self.incumbent.is_none() {
+                return self.report(MilpStatus::Infeasible, f64::INFINITY);
+            }
+        }
+        let n = self.lp.ncols();
+        let mut lb = vec![0.0; n];
+        let mut ub = vec![0.0; n];
+
+        // Root node.
+        self.heap.push(OrdNode(Node {
+            est: f64::NEG_INFINITY,
+            depth: 0,
+            chain: None,
+        }));
+
+        let mut proven_infeasible_tree = true; // until a node survives
+        let mut best_open_bound = f64::NEG_INFINITY;
+        let mut budget_hit = false;
+
+        while let Some(OrdNode(node)) = self.heap.pop() {
+            // Global pruning: with best-first search, once the best open
+            // node cannot beat the incumbent, the incumbent is optimal.
+            if let Some((inc, _)) = &self.incumbent {
+                if node.est >= inc - 1e-9 {
+                    proven_infeasible_tree = false;
+                    best_open_bound = *inc;
+                    // All other open nodes are at least as bad.
+                    self.heap.clear();
+                    break;
+                }
+                let gap = (inc - node.est).abs() / inc.abs().max(1.0);
+                if gap <= self.opts.gap_tol {
+                    proven_infeasible_tree = false;
+                    best_open_bound = node.est;
+                    self.heap.clear();
+                    break;
+                }
+            }
+            if self.out_of_budget() {
+                budget_hit = true;
+                best_open_bound = node.est;
+                proven_infeasible_tree = false;
+                break;
+            }
+            self.nodes_done += 1;
+
+            self.materialize(&node.chain, &mut lb, &mut ub);
+            let sol = solve_with_bounds(&self.lp, &lb, &ub, &self.opts.lp);
+            self.lp_iterations += sol.iterations;
+
+            match sol.status {
+                LpStatus::Infeasible => continue,
+                LpStatus::Unbounded => {
+                    if node.depth == 0 {
+                        return self.report(MilpStatus::Unbounded, f64::NEG_INFINITY);
+                    }
+                    continue; // child unbounded implies root unbounded; defensive
+                }
+                LpStatus::Optimal | LpStatus::IterationLimit => {}
+            }
+            proven_infeasible_tree = false;
+
+            // A non-optimal LP termination gives no trustworthy bound;
+            // inherit the parent's.
+            let node_bound = if sol.status == LpStatus::Optimal {
+                sol.objective
+            } else {
+                node.est
+            };
+            if let Some((inc, _)) = &self.incumbent {
+                if node_bound >= inc - 1e-9 {
+                    continue;
+                }
+            }
+
+            if sol.status == LpStatus::Optimal && self.is_integral(&sol.x) {
+                self.offer_incumbent(sol.objective, sol.x);
+                continue;
+            }
+
+            // Primal heuristics from this relaxation point.
+            if self.nodes_done == 1
+                || (self.opts.dive_every > 0
+                    && self.nodes_done.is_multiple_of(self.opts.dive_every))
+            {
+                if let Some((obj, x)) = heuristics::dive(
+                    &self.lp,
+                    &self.integers,
+                    &lb,
+                    &ub,
+                    &sol.x,
+                    &self.opts.lp,
+                    self.opts.int_tol,
+                    &mut self.lp_iterations,
+                ) {
+                    self.offer_incumbent(obj, x);
+                }
+            }
+
+            // Branch.
+            let Some((var, value)) = self.pick_branching(&sol.x, &lb, &ub) else {
+                // Numerically integral but is_integral said no (tolerance
+                // edge): offer as incumbent and move on.
+                if sol.status == LpStatus::Optimal {
+                    self.offer_incumbent(sol.objective, sol.x);
+                }
+                continue;
+            };
+            let floor = value.floor();
+            let down = Rc::new(BoundChange {
+                var,
+                lb: lb[var],
+                ub: floor,
+                parent: node.chain.clone(),
+            });
+            let up = Rc::new(BoundChange {
+                var,
+                lb: floor + 1.0,
+                ub: ub[var],
+                parent: node.chain.clone(),
+            });
+            if floor >= lb[var] - 1e-9 {
+                self.heap.push(OrdNode(Node {
+                    est: node_bound,
+                    depth: node.depth + 1,
+                    chain: Some(down),
+                }));
+            }
+            if floor + 1.0 <= ub[var] + 1e-9 {
+                self.heap.push(OrdNode(Node {
+                    est: node_bound,
+                    depth: node.depth + 1,
+                    chain: Some(up),
+                }));
+            }
+        }
+
+        // Determine final status.
+        let status = if budget_hit {
+            if self.incumbent.is_some() {
+                MilpStatus::Feasible
+            } else {
+                MilpStatus::Unknown
+            }
+        } else if self.incumbent.is_some() {
+            MilpStatus::Optimal
+        } else if proven_infeasible_tree || self.heap.is_empty() {
+            MilpStatus::Infeasible
+        } else {
+            MilpStatus::Unknown
+        };
+        let bound = if status == MilpStatus::Optimal {
+            self.incumbent.as_ref().map(|(o, _)| *o).unwrap_or(0.0)
+        } else {
+            // Best open bound seen when we stopped.
+            best_open_bound
+        };
+        self.report(status, bound)
+    }
+
+    fn report(self, status: MilpStatus, bound_min: f64) -> MilpResult {
+        let flip = self.flip();
+        let (objective, x) = match &self.incumbent {
+            Some((obj, x)) => (flip * obj, Some(x.clone())),
+            None => (f64::NAN, None),
+        };
+        let best_bound = flip * bound_min;
+        let gap = match &self.incumbent {
+            Some((obj, _)) if bound_min.is_finite() => (obj - bound_min).abs() / obj.abs().max(1.0),
+            _ => f64::INFINITY,
+        };
+        MilpResult {
+            status,
+            objective,
+            best_bound,
+            x,
+            nodes: self.nodes_done,
+            lp_iterations: self.lp_iterations,
+            gap,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::VarType;
+
+    fn default_opts() -> MilpOptions {
+        MilpOptions::default()
+    }
+
+    #[test]
+    fn pure_lp_passthrough() {
+        // No integer variables: one LP solve.
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_continuous(0.0, 4.0, 1.0);
+        let y = m.add_continuous(0.0, 4.0, 1.0);
+        m.add_le(vec![(x, 1.0), (y, 1.0)], 5.0);
+        let r = solve(&m, &default_opts());
+        assert_eq!(r.status, MilpStatus::Optimal);
+        assert!((r.objective - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn knapsack_small() {
+        // max 10a + 13b + 7c st 3a + 4b + 2c <= 5, binary. Best: a+c = 17.
+        let mut m = Model::new(Sense::Maximize);
+        let a = m.add_binary(10.0);
+        let b = m.add_binary(13.0);
+        let c = m.add_binary(7.0);
+        m.add_le(vec![(a, 3.0), (b, 4.0), (c, 2.0)], 5.0);
+        let r = solve(&m, &default_opts());
+        assert_eq!(r.status, MilpStatus::Optimal);
+        assert!((r.objective - 17.0).abs() < 1e-6, "{}", r.objective);
+        let x = r.x.unwrap();
+        assert_eq!(
+            x.iter().map(|v| v.round() as i32).collect::<Vec<_>>(),
+            vec![1, 0, 1]
+        );
+    }
+
+    #[test]
+    fn integer_rounding_not_optimal() {
+        // Classic example where LP rounding fails:
+        // max x + y st 2x + 2y <= 3, x,y binary => optimum 1 (not 1.5 rounded).
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_binary(1.0);
+        let y = m.add_binary(1.0);
+        m.add_le(vec![(x, 2.0), (y, 2.0)], 3.0);
+        let r = solve(&m, &default_opts());
+        assert_eq!(r.status, MilpStatus::Optimal);
+        assert!((r.objective - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn infeasible_milp() {
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_binary(1.0);
+        let y = m.add_binary(1.0);
+        m.add_ge(vec![(x, 1.0), (y, 1.0)], 3.0);
+        let r = solve(&m, &default_opts());
+        assert_eq!(r.status, MilpStatus::Infeasible);
+        assert!(r.x.is_none());
+    }
+
+    #[test]
+    fn general_integers() {
+        // min 2x + 3y st x + y >= 7.5, x,y integer in [0, 10] => 16 at (7.5->
+        // e.g. x=8 y=0 cost 16; check alternatives: x=7,y=1 => 17).
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_var(VarType::Integer, 0.0, 10.0, 2.0);
+        let y = m.add_var(VarType::Integer, 0.0, 10.0, 3.0);
+        m.add_ge(vec![(x, 1.0), (y, 1.0)], 7.5);
+        let r = solve(&m, &default_opts());
+        assert_eq!(r.status, MilpStatus::Optimal);
+        assert!((r.objective - 16.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn equality_constrained_assignment() {
+        // 2x2 assignment: min cost matrix [[1, 10], [10, 1]]; optimum 2.
+        let mut m = Model::new(Sense::Minimize);
+        let x00 = m.add_binary(1.0);
+        let x01 = m.add_binary(10.0);
+        let x10 = m.add_binary(10.0);
+        let x11 = m.add_binary(1.0);
+        m.add_eq(vec![(x00, 1.0), (x01, 1.0)], 1.0);
+        m.add_eq(vec![(x10, 1.0), (x11, 1.0)], 1.0);
+        m.add_eq(vec![(x00, 1.0), (x10, 1.0)], 1.0);
+        m.add_eq(vec![(x01, 1.0), (x11, 1.0)], 1.0);
+        let r = solve(&m, &default_opts());
+        assert_eq!(r.status, MilpStatus::Optimal);
+        assert!((r.objective - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn warm_start_is_used() {
+        let mut m = Model::new(Sense::Maximize);
+        let a = m.add_binary(10.0);
+        let b = m.add_binary(13.0);
+        let c = m.add_binary(7.0);
+        m.add_le(vec![(a, 3.0), (b, 4.0), (c, 2.0)], 5.0);
+        // Start at the suboptimal {b} = 13.
+        let start = [0.0, 1.0, 0.0];
+        let mut opts = default_opts();
+        opts.max_nodes = 1; // only the root
+        let r = solve_with_start(&m, &opts, Some(&start));
+        // Even with a tiny budget we must report at least the start value.
+        assert!(r.objective >= 13.0 - 1e-9);
+        assert!(r.has_solution());
+    }
+
+    #[test]
+    fn node_budget_reports_feasible() {
+        // A larger knapsack that needs more than one node, with a tight
+        // budget: status must be Feasible (not Optimal) when budget binds,
+        // or Optimal if the heuristics close the gap first.
+        let mut m = Model::new(Sense::Maximize);
+        let weights = [5.0, 4.0, 3.0, 7.0, 6.0, 2.0, 9.0, 8.0];
+        let values = [10.0, 7.0, 5.0, 13.0, 11.0, 3.0, 16.0, 14.0];
+        let vars: Vec<_> = values.iter().map(|&v| m.add_binary(v)).collect();
+        m.add_le(
+            vars.iter()
+                .zip(weights.iter())
+                .map(|(&v, &w)| (v, w))
+                .collect(),
+            20.0,
+        );
+        let mut opts = default_opts();
+        opts.max_nodes = 3;
+        let r = solve(&m, &opts);
+        assert!(matches!(
+            r.status,
+            MilpStatus::Feasible | MilpStatus::Optimal
+        ));
+        if let Some(x) = &r.x {
+            assert!(m.is_feasible(x, 1e-6));
+        }
+    }
+
+    #[test]
+    fn maximisation_bound_direction() {
+        let mut m = Model::new(Sense::Maximize);
+        let a = m.add_binary(5.0);
+        let b = m.add_binary(4.0);
+        m.add_le(vec![(a, 1.0), (b, 1.0)], 1.0);
+        let r = solve(&m, &default_opts());
+        assert_eq!(r.status, MilpStatus::Optimal);
+        assert!((r.objective - 5.0).abs() < 1e-6);
+        assert!(r.best_bound >= r.objective - 1e-6);
+        assert!(r.gap < 1e-5);
+    }
+}
+
+#[cfg(test)]
+mod filter_tests {
+    use super::*;
+
+    /// max a + b st a + b <= 2 (binaries): optimum (1,1). A filter that
+    /// rejects (1,1) must yield the next-best accepted point.
+    #[test]
+    fn incumbent_filter_rejects_solutions() {
+        let mut m = Model::new(Sense::Maximize);
+        let a = m.add_binary(2.0);
+        let b = m.add_binary(1.0);
+        m.add_le(vec![(a, 1.0), (b, 1.0)], 2.0);
+        let reject_both = |x: &[f64]| !(x[0] > 0.5 && x[1] > 0.5);
+        let r = solve_filtered(&m, &MilpOptions::default(), None, &reject_both);
+        // (1,1) filtered out; best accepted is (1,0) = 2.
+        if let Some(x) = &r.x {
+            assert!(reject_both(x), "returned solution violates the filter");
+            assert!(r.objective <= 2.0 + 1e-9);
+        }
+    }
+
+    /// The warm start bypasses the filter (caller vouches for it).
+    #[test]
+    fn start_bypasses_filter() {
+        let mut m = Model::new(Sense::Maximize);
+        let a = m.add_binary(1.0);
+        m.add_le(vec![(a, 1.0)], 1.0);
+        let reject_all = |_: &[f64]| false;
+        let start = [1.0];
+        let mut opts = MilpOptions::default();
+        opts.max_nodes = 1;
+        let r = solve_filtered(&m, &opts, Some(&start), &reject_all);
+        assert!(r.has_solution());
+        assert!((r.objective - 1.0).abs() < 1e-9);
+    }
+}

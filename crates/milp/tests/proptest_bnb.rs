@@ -1,0 +1,141 @@
+//! Property tests: branch & bound must match exhaustive enumeration on
+//! random pure-integer programs.
+
+use proptest::prelude::*;
+use sqpr_milp::{solve, MilpOptions, MilpStatus, Model, Sense, VarType};
+
+#[derive(Debug, Clone)]
+struct RandomIp {
+    nvars: usize,
+    maximize: bool,
+    obj: Vec<i32>,
+    ub: Vec<u8>,                    // lower bounds are 0; upper in [0, 3]
+    rows: Vec<(Vec<i32>, i32, u8)>, // coeffs, lb, width (range rows)
+}
+
+fn random_ip() -> impl Strategy<Value = RandomIp> {
+    (1usize..=4, 1usize..=3, any::<bool>())
+        .prop_flat_map(|(n, m, maximize)| {
+            (
+                Just(n),
+                Just(maximize),
+                proptest::collection::vec(-5i32..=5, n),
+                proptest::collection::vec(0u8..=3, n),
+                proptest::collection::vec(
+                    (proptest::collection::vec(-3i32..=3, n), -6i32..=6, 0u8..=8),
+                    m,
+                ),
+            )
+        })
+        .prop_map(|(nvars, maximize, obj, ub, rows)| RandomIp {
+            nvars,
+            maximize,
+            obj,
+            ub,
+            rows,
+        })
+}
+
+fn build(ip: &RandomIp) -> Model {
+    let mut m = Model::new(if ip.maximize {
+        Sense::Maximize
+    } else {
+        Sense::Minimize
+    });
+    let vars: Vec<_> = (0..ip.nvars)
+        .map(|j| m.add_var(VarType::Integer, 0.0, ip.ub[j] as f64, ip.obj[j] as f64))
+        .collect();
+    for (coeffs, lb, width) in &ip.rows {
+        m.add_range(
+            *lb as f64,
+            (*lb + *width as i32) as f64,
+            vars.iter()
+                .zip(coeffs)
+                .map(|(&v, &c)| (v, c as f64))
+                .collect(),
+        );
+    }
+    m
+}
+
+/// Exhaustive search over all integer assignments.
+fn enumerate(ip: &RandomIp) -> Option<f64> {
+    let n = ip.nvars;
+    let mut assign = vec![0i32; n];
+    let mut best: Option<f64> = None;
+    loop {
+        let mut ok = true;
+        for (coeffs, lb, width) in &ip.rows {
+            let act: i32 = coeffs.iter().zip(&assign).map(|(c, a)| c * a).sum();
+            if act < *lb || act > *lb + *width as i32 {
+                ok = false;
+                break;
+            }
+        }
+        if ok {
+            let obj: f64 = ip
+                .obj
+                .iter()
+                .zip(&assign)
+                .map(|(c, a)| (*c * *a) as f64)
+                .sum();
+            best = Some(match best {
+                None => obj,
+                Some(b) => {
+                    if ip.maximize {
+                        b.max(obj)
+                    } else {
+                        b.min(obj)
+                    }
+                }
+            });
+        }
+        // Advance the counter.
+        let mut k = 0;
+        loop {
+            if k == n {
+                return best;
+            }
+            assign[k] += 1;
+            if assign[k] <= ip.ub[k] as i32 {
+                break;
+            }
+            assign[k] = 0;
+            k += 1;
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn bnb_matches_enumeration(ip in random_ip()) {
+        let model = build(&ip);
+        let brute = enumerate(&ip);
+        let r = solve(&model, &MilpOptions::default());
+        match (brute, r.status) {
+            (Some(obj), MilpStatus::Optimal) => {
+                prop_assert!((obj - r.objective).abs() < 1e-6,
+                    "enumeration {obj} vs bnb {}", r.objective);
+                let x = r.x.expect("solution present");
+                prop_assert!(model.is_feasible(&x, 1e-6));
+            }
+            (None, MilpStatus::Infeasible) => {}
+            (b, s) => prop_assert!(false, "enumeration {b:?} vs bnb {s:?} ({})", r.objective),
+        }
+    }
+
+    #[test]
+    fn incumbents_always_model_feasible(ip in random_ip()) {
+        let model = build(&ip);
+        let mut opts = MilpOptions::default();
+        opts.max_nodes = 5; // starve the search; whatever comes out must be valid
+        let r = solve(&model, &opts);
+        if let Some(x) = &r.x {
+            prop_assert!(model.is_feasible(x, 1e-6));
+            // Reported objective must match the point.
+            prop_assert!((model.objective_value(x) - r.objective).abs() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,12 @@
+//! # sqpr-workload
+//!
+//! Workload generation for the SQPR evaluation: the Zipf sampler used for
+//! base-stream selection, the k-way join query generator with pairwise
+//! selectivities, and presets matching the paper's §V-A simulation and
+//! §V-B cluster setups (scalable for laptop runs).
+
+pub mod generator;
+pub mod zipf;
+
+pub use generator::{generate, Workload, WorkloadSpec};
+pub use zipf::Zipf;

@@ -1,0 +1,160 @@
+//! Zipfian sampling over ranks `1..=n`.
+//!
+//! The evaluation selects the base streams of each query "according to a
+//! Zipfian distribution with parameter 1", which "guarantees a certain
+//! amount of overlap between queries" (§V). Parameter 0 degenerates to the
+//! uniform distribution (used in Fig. 4(c)'s sweep).
+
+use rand::Rng;
+
+/// A Zipf(θ) sampler over `{0, 1, …, n-1}` using inverse-CDF lookup.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    /// Cumulative probabilities, length `n`.
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds the sampler. `theta = 0` is uniform; larger values skew mass
+    /// toward low indices.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `theta < 0`.
+    pub fn new(n: usize, theta: f64) -> Self {
+        assert!(n > 0, "empty support");
+        assert!(theta >= 0.0, "negative skew");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for rank in 1..=n {
+            acc += 1.0 / (rank as f64).powf(theta);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        // Guard against floating-point drift at the top end.
+        if let Some(last) = cdf.last_mut() {
+            *last = 1.0;
+        }
+        Zipf { cdf }
+    }
+
+    pub fn support(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Samples one index in `0..n`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+
+    /// Samples `k` *distinct* indices (rejection; `k` must be ≤ n).
+    pub fn sample_distinct<R: Rng + ?Sized>(&self, rng: &mut R, k: usize) -> Vec<usize> {
+        assert!(
+            k <= self.support(),
+            "cannot draw {k} distinct from {}",
+            self.support()
+        );
+        let mut out = Vec::with_capacity(k);
+        // Zipf concentrates on few ranks; rejection can stall when k is
+        // close to the effective support, so fall back to uniform fill.
+        let mut attempts = 0usize;
+        while out.len() < k {
+            let i = self.sample(rng);
+            if !out.contains(&i) {
+                out.push(i);
+            }
+            attempts += 1;
+            if attempts > 200 * k {
+                for j in 0..self.support() {
+                    if out.len() == k {
+                        break;
+                    }
+                    if !out.contains(&j) {
+                        out.push(j);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_when_theta_zero() {
+        let z = Zipf::new(4, 0.0);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut counts = [0usize; 4];
+        for _ in 0..40_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            assert!((c as f64 - 10_000.0).abs() < 600.0, "{counts:?}");
+        }
+    }
+
+    #[test]
+    fn skewed_when_theta_one() {
+        let z = Zipf::new(100, 1.0);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut counts = vec![0usize; 100];
+        for _ in 0..50_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        // Rank 0 must be roughly 1/H_100 ≈ 19% of samples, and counts
+        // monotone-ish decreasing in aggregate.
+        assert!(
+            counts[0] > counts[10] && counts[10] > counts[60],
+            "{counts:?}"
+        );
+        let p0 = counts[0] as f64 / 50_000.0;
+        assert!((p0 - 0.192).abs() < 0.02, "p0 = {p0}");
+    }
+
+    #[test]
+    fn distinct_samples_are_distinct() {
+        let z = Zipf::new(10, 1.5);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..100 {
+            let s = z.sample_distinct(&mut rng, 4);
+            let set: std::collections::BTreeSet<_> = s.iter().collect();
+            assert_eq!(set.len(), 4);
+        }
+    }
+
+    #[test]
+    fn distinct_near_full_support_terminates() {
+        let z = Zipf::new(5, 2.0); // heavy skew
+        let mut rng = StdRng::seed_from_u64(3);
+        let s = z.sample_distinct(&mut rng, 5);
+        assert_eq!(s.len(), 5);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let z = Zipf::new(50, 1.0);
+        let a: Vec<usize> = {
+            let mut rng = StdRng::seed_from_u64(11);
+            (0..20).map(|_| z.sample(&mut rng)).collect()
+        };
+        let b: Vec<usize> = {
+            let mut rng = StdRng::seed_from_u64(11);
+            (0..20).map(|_| z.sample(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty support")]
+    fn rejects_empty() {
+        Zipf::new(0, 1.0);
+    }
+}

@@ -1,0 +1,21 @@
+//! # sqpr-suite
+//!
+//! Workspace umbrella crate for the SQPR reproduction (Kalyvianaki et al.,
+//! "SQPR: Stream Query Planning with Reuse", ICDE 2011): re-exports every
+//! member crate under one namespace so the examples and cross-crate
+//! integration tests read naturally.
+//!
+//! Library users should depend on the member crates directly:
+//!
+//! - [`sqpr_core`] — the SQPR planner itself;
+//! - [`sqpr_dsps`] — the stream-processing substrate;
+//! - [`sqpr_baselines`] — heuristic / optimistic-bound / SODA planners;
+//! - [`sqpr_workload`] — workload generation;
+//! - [`sqpr_milp`] / [`sqpr_lp`] — the optimisation stack.
+
+pub use sqpr_baselines as baselines;
+pub use sqpr_core as core;
+pub use sqpr_dsps as dsps;
+pub use sqpr_lp as lp;
+pub use sqpr_milp as milp;
+pub use sqpr_workload as workload;

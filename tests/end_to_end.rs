@@ -1,0 +1,151 @@
+//! Cross-crate integration tests: generated workloads planned end-to-end,
+//! planner comparisons, and engine deployment of planned allocations.
+
+use sqpr_suite::baselines::{HeuristicPlanner, OptimisticBound, Planner, SodaPlanner};
+use sqpr_suite::core::{PlannerConfig, SolveBudget, SqprPlanner};
+use sqpr_suite::dsps::{run_engine, EngineConfig};
+use sqpr_suite::workload::{generate, WorkloadSpec};
+
+fn small_workload() -> sqpr_suite::workload::Workload {
+    let mut spec = WorkloadSpec::paper_sim(0.07);
+    spec.queries = 24;
+    generate(&spec)
+}
+
+fn sqpr(w: &sqpr_suite::workload::Workload) -> SqprPlanner {
+    let mut cfg = PlannerConfig::new(&w.catalog);
+    cfg.budget = SolveBudget::nodes(30);
+    SqprPlanner::new(w.catalog.clone(), cfg)
+}
+
+#[test]
+fn planned_deployments_always_validate() {
+    let w = small_workload();
+    let mut planner = sqpr(&w);
+    for q in &w.queries {
+        planner.submit(q);
+        assert!(
+            planner.state().is_valid(planner.catalog()),
+            "invalid state after a submission: {:?}",
+            planner.state().validate(planner.catalog())
+        );
+    }
+    assert!(planner.num_admitted() > 0);
+}
+
+#[test]
+fn optimistic_bound_dominates_all_planners() {
+    let w = small_workload();
+    let mut ob = OptimisticBound::new(w.catalog.clone());
+    let mut sq = sqpr(&w);
+    let mut hp = HeuristicPlanner::new(w.catalog.clone());
+    let mut soda = SodaPlanner::new(w.catalog.clone());
+    for q in &w.queries {
+        ob.submit_query(q);
+        sq.submit_query(q);
+        hp.submit_query(q);
+        soda.submit_query(q);
+    }
+    // The aggregate-host bound holds at every planner (checked at the end;
+    // it holds per-prefix by construction).
+    assert!(
+        ob.admitted() >= sq.admitted(),
+        "bound {} < sqpr {}",
+        ob.admitted(),
+        sq.admitted()
+    );
+    assert!(ob.admitted() >= hp.admitted());
+    assert!(ob.admitted() >= soda.admitted());
+    // SQPR's flexibility must at least match the template-bound SODA.
+    assert!(
+        sq.admitted() >= soda.admitted(),
+        "sqpr {} < soda {}",
+        sq.admitted(),
+        soda.admitted()
+    );
+}
+
+#[test]
+fn reuse_increases_admissions_under_overlap() {
+    let mut spec = WorkloadSpec::paper_sim(0.07);
+    spec.queries = 30;
+    spec.zipf_theta = 1.5; // heavy overlap
+    let w = generate(&spec);
+    let mut cfg_on = PlannerConfig::new(&w.catalog);
+    cfg_on.budget = SolveBudget::nodes(25);
+    let mut on = SqprPlanner::new(w.catalog.clone(), cfg_on.clone());
+    let mut cfg_off = cfg_on.clone();
+    cfg_off.reuse = false;
+    let mut off = SqprPlanner::new(w.catalog.clone(), cfg_off);
+    for q in &w.queries {
+        on.submit(q);
+        off.submit(q);
+    }
+    assert!(
+        on.num_admitted() >= off.num_admitted(),
+        "reuse on {} < off {}",
+        on.num_admitted(),
+        off.num_admitted()
+    );
+}
+
+#[test]
+fn engine_measurements_match_planner_estimates() {
+    let w = small_workload();
+    let mut planner = sqpr(&w);
+    for q in w.queries.iter().take(15) {
+        planner.submit(q);
+    }
+    let report = run_engine(planner.catalog(), planner.state(), &EngineConfig::default());
+    // Planned CPU per host (fraction of capacity) must match the engine's
+    // measured utilisation within a pipeline-fill tolerance.
+    let planned = planner.state().cpu_usage(planner.catalog());
+    for h in planner.catalog().hosts() {
+        let cap = planner.catalog().host(h).cpu_capacity;
+        let want = planned[h.index()] / cap;
+        let got = report.cpu_utilization[h.index()];
+        assert!(
+            (want - got).abs() < 0.1,
+            "host {h}: planned {want:.3} vs measured {got:.3}"
+        );
+    }
+    // All admitted queries deliver results.
+    if planner.num_admitted() > 0 {
+        assert!(report.delivered > 0.0);
+    }
+}
+
+#[test]
+fn identical_workloads_plan_deterministically() {
+    let w = small_workload();
+    let mut a = sqpr(&w);
+    let mut b = sqpr(&w);
+    for q in &w.queries {
+        let oa = a.submit(q);
+        let ob = b.submit(q);
+        assert_eq!(oa.admitted, ob.admitted);
+    }
+    assert_eq!(a.num_admitted(), b.num_admitted());
+    assert_eq!(a.state().placements(), b.state().placements());
+    assert_eq!(a.state().flows(), b.state().flows());
+}
+
+#[test]
+fn batch_and_sequential_both_serve_admitted_queries() {
+    let w = small_workload();
+    let mut seq = sqpr(&w);
+    let mut bat = sqpr(&w);
+    let queries: Vec<_> = w.queries.iter().take(12).cloned().collect();
+    for q in &queries {
+        seq.submit(q);
+    }
+    for chunk in queries.chunks(3) {
+        bat.submit_batch(chunk);
+    }
+    for planner in [&seq, &bat] {
+        assert!(planner.state().is_valid(planner.catalog()));
+        for s in planner.state().admitted().values() {
+            assert!(planner.state().provider_of(*s).is_some());
+        }
+    }
+}

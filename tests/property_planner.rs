@@ -1,0 +1,142 @@
+//! Workspace-level property tests: random small systems and query sequences
+//! must always leave the planner in a valid, causally-derivable state, and
+//! the solver-based planner must never be beaten by the aggregate bound.
+
+use proptest::prelude::*;
+use sqpr_suite::baselines::OptimisticBound;
+use sqpr_suite::core::{PlannerConfig, SolveBudget, SqprPlanner};
+use sqpr_suite::dsps::{Catalog, CostModel, HostId, HostSpec};
+
+#[derive(Debug, Clone)]
+struct RandomSystem {
+    hosts: usize,
+    cpu: f64,
+    bandwidth: f64,
+    base_rates: Vec<u8>,
+    queries: Vec<Vec<u8>>, // indices into bases
+}
+
+fn random_system() -> impl Strategy<Value = RandomSystem> {
+    (2usize..=4, 20.0f64..200.0, 20.0f64..200.0, 4usize..=8)
+        .prop_flat_map(|(hosts, cpu, bandwidth, n_bases)| {
+            (
+                Just(hosts),
+                Just(cpu),
+                Just(bandwidth),
+                proptest::collection::vec(1u8..=20, n_bases),
+                proptest::collection::vec(
+                    proptest::collection::vec(0u8..(n_bases as u8), 2..=3),
+                    1..=6,
+                ),
+            )
+        })
+        .prop_map(
+            |(hosts, cpu, bandwidth, base_rates, queries)| RandomSystem {
+                hosts,
+                cpu,
+                bandwidth,
+                base_rates,
+                queries,
+            },
+        )
+}
+
+fn build(sys: &RandomSystem) -> (Catalog, Vec<sqpr_suite::dsps::StreamId>) {
+    let mut c = Catalog::uniform(
+        sys.hosts,
+        HostSpec::new(sys.cpu, sys.bandwidth),
+        sys.bandwidth * 4.0,
+        CostModel::default(),
+    );
+    let bases = sys
+        .base_rates
+        .iter()
+        .enumerate()
+        .map(|(i, &r)| c.add_base_stream(HostId((i % sys.hosts) as u32), r as f64, i as u64))
+        .collect();
+    (c, bases)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn planner_state_always_valid(sys in random_system()) {
+        let (catalog, bases) = build(&sys);
+        let mut cfg = PlannerConfig::new(&catalog);
+        cfg.budget = SolveBudget::nodes(30);
+        let mut planner = SqprPlanner::new(catalog, cfg);
+        for q in &sys.queries {
+            let mut set: Vec<_> = q.iter().map(|&i| bases[i as usize]).collect();
+            set.sort();
+            set.dedup();
+            if set.len() < 2 {
+                continue;
+            }
+            planner.submit(&set);
+            prop_assert!(
+                planner.state().is_valid(planner.catalog()),
+                "{:?}",
+                planner.state().validate(planner.catalog())
+            );
+            // Every admitted query is actually served.
+            for s in planner.state().admitted().values() {
+                prop_assert!(planner.state().provider_of(*s).is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn aggregate_bound_holds(sys in random_system()) {
+        let (catalog, bases) = build(&sys);
+        let mut cfg = PlannerConfig::new(&catalog);
+        cfg.budget = SolveBudget::nodes(30);
+        let mut planner = SqprPlanner::new(catalog.clone(), cfg);
+        let mut bound = OptimisticBound::new(catalog);
+        for q in &sys.queries {
+            let mut set: Vec<_> = q.iter().map(|&i| bases[i as usize]).collect();
+            set.sort();
+            set.dedup();
+            if set.len() < 2 {
+                continue;
+            }
+            planner.submit(&set);
+            bound.submit(&set);
+            prop_assert!(
+                bound.num_admitted() >= planner.num_admitted(),
+                "bound {} < planner {}",
+                bound.num_admitted(),
+                planner.num_admitted()
+            );
+        }
+    }
+
+    #[test]
+    fn removal_restores_capacity(sys in random_system()) {
+        let (catalog, bases) = build(&sys);
+        let mut cfg = PlannerConfig::new(&catalog);
+        cfg.budget = SolveBudget::nodes(30);
+        let mut planner = SqprPlanner::new(catalog, cfg);
+        let mut admitted = Vec::new();
+        for q in &sys.queries {
+            let mut set: Vec<_> = q.iter().map(|&i| bases[i as usize]).collect();
+            set.sort();
+            set.dedup();
+            if set.len() < 2 {
+                continue;
+            }
+            let o = planner.submit(&set);
+            if o.admitted {
+                admitted.push(o.query);
+            }
+        }
+        for q in admitted {
+            planner.remove_query(q);
+            prop_assert!(planner.state().is_valid(planner.catalog()));
+        }
+        // Everything removed: the deployment must be empty.
+        prop_assert_eq!(planner.num_admitted(), 0);
+        prop_assert!(planner.state().placements().is_empty());
+        prop_assert!(planner.state().flows().is_empty());
+    }
+}
