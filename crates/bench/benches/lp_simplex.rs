@@ -1,7 +1,7 @@
 //! Micro-benchmarks for the LP solver: dense-ish and sparse problems of the
 //! shapes the planner produces.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use sqpr_bench::timing::BenchGroup;
 use sqpr_lp::{solve, ProblemBuilder, SimplexOptions, INF};
 
 /// Transportation-style LP: `n` sources, `n` sinks.
@@ -28,20 +28,13 @@ fn transport_lp(n: usize) -> sqpr_lp::Problem {
     b.build()
 }
 
-fn bench_lp(c: &mut Criterion) {
-    let mut g = c.benchmark_group("lp_simplex");
+fn main() {
+    let mut g = BenchGroup::new("lp_simplex");
     for n in [8usize, 16] {
         let p = transport_lp(n);
-        g.bench_function(format!("transport_{n}x{n}"), |bench| {
-            bench.iter_batched(
-                || p.clone(),
-                |p| solve(&p, &SimplexOptions::default()),
-                BatchSize::SmallInput,
-            )
+        g.bench(format!("transport_{n}x{n}"), || {
+            solve(&p, &SimplexOptions::default())
         });
     }
     g.finish();
 }
-
-criterion_group!(benches, bench_lp);
-criterion_main!(benches);

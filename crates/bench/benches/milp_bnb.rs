@@ -1,6 +1,6 @@
 //! Micro-benchmarks for branch & bound on knapsack/assignment MILPs.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use sqpr_bench::timing::BenchGroup;
 use sqpr_milp::{solve, MilpOptions, Model, Sense};
 
 fn knapsack(n: usize) -> Model {
@@ -35,18 +35,11 @@ fn assignment(n: usize) -> Model {
     m
 }
 
-fn bench_milp(c: &mut Criterion) {
-    let mut g = c.benchmark_group("milp_bnb");
-    g.bench_function("knapsack_20", |b| {
-        let m = knapsack(20);
-        b.iter(|| solve(&m, &MilpOptions::default()))
-    });
-    g.bench_function("assignment_6x6", |b| {
-        let m = assignment(6);
-        b.iter(|| solve(&m, &MilpOptions::default()))
-    });
+fn main() {
+    let mut g = BenchGroup::new("milp_bnb");
+    let k = knapsack(20);
+    g.bench("knapsack_20", || solve(&k, &MilpOptions::default()));
+    let a = assignment(6);
+    g.bench("assignment_6x6", || solve(&a, &MilpOptions::default()));
     g.finish();
 }
-
-criterion_group!(benches, bench_milp);
-criterion_main!(benches);

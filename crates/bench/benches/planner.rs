@@ -1,27 +1,26 @@
 //! End-to-end planner benchmarks: model build and single-query submission
 //! on a small system (larger scales are exercised by the figure binaries).
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use sqpr_bench::timing::BenchGroup;
 use sqpr_core::{register_join_query, AcyclicityMode, RelayPolicy};
 use sqpr_core::{ModelInputs, PlannerConfig, PlanningModel, SolveBudget, SqprPlanner};
 use sqpr_dsps::{DeploymentState, QueryId};
 use sqpr_workload::{generate, WorkloadSpec};
 
-fn bench_planner(c: &mut Criterion) {
+fn main() {
     let mut spec = WorkloadSpec::paper_sim(0.1);
     spec.queries = 40;
     let w = generate(&spec);
 
-    let mut g = c.benchmark_group("planner");
-    g.sample_size(10);
+    let mut g = BenchGroup::new("planner");
 
-    g.bench_function("model_build_3way", |b| {
+    {
         let mut catalog = w.catalog.clone();
         let bases: Vec<_> = w.queries.iter().find(|q| q.len() == 3).unwrap().clone();
         let (_, space) = register_join_query(&mut catalog, QueryId(0), &bases, 0);
         let state = DeploymentState::new();
         let cfg = PlannerConfig::new(&catalog);
-        b.iter(|| {
+        g.bench("model_build_3way", || {
             PlanningModel::build(&ModelInputs {
                 catalog: &catalog,
                 state: &state,
@@ -33,39 +32,24 @@ fn bench_planner(c: &mut Criterion) {
                 replan: true,
                 cuts: &[],
             })
-        })
+        });
+    }
+
+    g.bench("submit_first_query", || {
+        let mut cfg = PlannerConfig::new(&w.catalog);
+        cfg.budget = SolveBudget::nodes(20);
+        let mut planner = SqprPlanner::new(w.catalog.clone(), cfg);
+        planner.submit(&w.queries[0])
     });
 
-    g.bench_function("submit_first_query", |b| {
-        b.iter_batched(
-            || {
-                let mut cfg = PlannerConfig::new(&w.catalog);
-                cfg.budget = SolveBudget::nodes(20);
-                SqprPlanner::new(w.catalog.clone(), cfg)
-            },
-            |mut planner| planner.submit(&w.queries[0]),
-            BatchSize::SmallInput,
-        )
-    });
-
-    g.bench_function("submit_20_queries", |b| {
-        b.iter_batched(
-            || {
-                let mut cfg = PlannerConfig::new(&w.catalog);
-                cfg.budget = SolveBudget::nodes(20);
-                SqprPlanner::new(w.catalog.clone(), cfg)
-            },
-            |mut planner| {
-                for q in w.queries.iter().take(20) {
-                    planner.submit(q);
-                }
-                planner.num_admitted()
-            },
-            BatchSize::SmallInput,
-        )
+    g.bench("submit_20_queries", || {
+        let mut cfg = PlannerConfig::new(&w.catalog);
+        cfg.budget = SolveBudget::nodes(20);
+        let mut planner = SqprPlanner::new(w.catalog.clone(), cfg);
+        for q in w.queries.iter().take(20) {
+            planner.submit(q);
+        }
+        planner.num_admitted()
     });
     g.finish();
 }
-
-criterion_group!(benches, bench_planner);
-criterion_main!(benches);

@@ -1,41 +1,36 @@
 //! Substrate benchmarks: catalog interning, deployment validation, the
 //! execution engine, and workload generation.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use sqpr_baselines::HeuristicPlanner;
+use sqpr_bench::timing::BenchGroup;
 use sqpr_dsps::{run_engine, EngineConfig};
 use sqpr_workload::{generate, WorkloadSpec};
 
-fn bench_substrate(c: &mut Criterion) {
+fn main() {
     let spec = WorkloadSpec::paper_sim(0.1);
     let w = generate(&spec);
 
-    let mut g = c.benchmark_group("substrate");
-    g.bench_function("workload_generate_0.1", |b| b.iter(|| generate(&spec)));
+    let mut g = BenchGroup::new("substrate");
+    g.bench("workload_generate_0.1", || generate(&spec));
 
     // A deployed system for validation/engine benchmarks.
     let mut hp = HeuristicPlanner::new(w.catalog.clone());
     for q in w.queries.iter().take(30) {
         hp.submit(q);
     }
-    g.bench_function("deployment_validate", |b| {
-        b.iter(|| hp.state().validate(hp.catalog()).len())
+    g.bench("deployment_validate", || {
+        hp.state().validate(hp.catalog()).len()
     });
-    g.bench_function("engine_60_ticks", |b| {
-        let cfg = EngineConfig::default();
-        b.iter(|| run_engine(hp.catalog(), hp.state(), &cfg).delivered)
+    let cfg = EngineConfig::default();
+    g.bench("engine_60_ticks", || {
+        run_engine(hp.catalog(), hp.state(), &cfg).delivered
     });
-    g.bench_function("heuristic_submit_30", |b| {
-        b.iter(|| {
-            let mut hp = HeuristicPlanner::new(w.catalog.clone());
-            for q in w.queries.iter().take(30) {
-                hp.submit(q);
-            }
-            hp.num_admitted()
-        })
+    g.bench("heuristic_submit_30", || {
+        let mut hp = HeuristicPlanner::new(w.catalog.clone());
+        for q in w.queries.iter().take(30) {
+            hp.submit(q);
+        }
+        hp.num_admitted()
     });
     g.finish();
 }
-
-criterion_group!(benches, bench_substrate);
-criterion_main!(benches);

@@ -9,3 +9,4 @@ pub mod ablations;
 pub mod cluster;
 pub mod figures;
 pub mod harness;
+pub mod timing;

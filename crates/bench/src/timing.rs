@@ -1,0 +1,146 @@
+//! Minimal micro-benchmark runner used by the `benches/` targets.
+//!
+//! The sanctioned dependency set has no `criterion`, so the bench targets
+//! are plain `harness = false` binaries built on this runner: per-benchmark
+//! auto-calibration to a target measurement window, min/median/mean
+//! reporting, and an aligned summary table. Use `std::hint::black_box` at
+//! call sites to keep the optimiser honest.
+
+use std::time::{Duration, Instant};
+
+/// One measured benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    pub name: String,
+    /// Per-iteration wall-clock samples, sorted ascending.
+    pub samples_ns: Vec<f64>,
+}
+
+impl BenchResult {
+    pub fn min_ns(&self) -> f64 {
+        self.samples_ns.first().copied().unwrap_or(f64::NAN)
+    }
+
+    pub fn median_ns(&self) -> f64 {
+        if self.samples_ns.is_empty() {
+            return f64::NAN;
+        }
+        self.samples_ns[self.samples_ns.len() / 2]
+    }
+
+    pub fn mean_ns(&self) -> f64 {
+        if self.samples_ns.is_empty() {
+            return f64::NAN;
+        }
+        self.samples_ns.iter().sum::<f64>() / self.samples_ns.len() as f64
+    }
+}
+
+/// A named group of benchmarks printed as one table by [`BenchGroup::finish`].
+pub struct BenchGroup {
+    name: String,
+    /// Target total measurement time per benchmark.
+    pub measure_for: Duration,
+    /// Hard cap on measured iterations.
+    pub max_iters: usize,
+    results: Vec<BenchResult>,
+}
+
+impl BenchGroup {
+    pub fn new(name: impl Into<String>) -> Self {
+        BenchGroup {
+            name: name.into(),
+            measure_for: Duration::from_millis(300),
+            max_iters: 200,
+            results: Vec::new(),
+        }
+    }
+
+    /// Runs `f` repeatedly: one warmup call, then enough iterations to fill
+    /// the measurement window (at least 5, at most `max_iters`).
+    pub fn bench<T>(&mut self, name: impl Into<String>, mut f: impl FnMut() -> T) -> &BenchResult {
+        let name = name.into();
+        // Warmup + calibration probe.
+        let probe = Instant::now();
+        std::hint::black_box(f());
+        let once = probe.elapsed().max(Duration::from_nanos(50));
+        let iters = (self.measure_for.as_nanos() / once.as_nanos()).clamp(5, self.max_iters as u128)
+            as usize;
+        let mut samples_ns = Vec::with_capacity(iters);
+        for _ in 0..iters {
+            let t = Instant::now();
+            std::hint::black_box(f());
+            samples_ns.push(t.elapsed().as_nanos() as f64);
+        }
+        samples_ns.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        self.results.push(BenchResult { name, samples_ns });
+        self.results.last().unwrap()
+    }
+
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+
+    /// Prints the aligned summary table and returns the results.
+    pub fn finish(self) -> Vec<BenchResult> {
+        println!("\n== bench group: {} ==", self.name);
+        println!(
+            "{:<32} {:>8} {:>14} {:>14} {:>14}",
+            "benchmark", "iters", "min", "median", "mean"
+        );
+        for r in &self.results {
+            println!(
+                "{:<32} {:>8} {:>14} {:>14} {:>14}",
+                r.name,
+                r.samples_ns.len(),
+                fmt_ns(r.min_ns()),
+                fmt_ns(r.median_ns()),
+                fmt_ns(r.mean_ns()),
+            );
+        }
+        self.results
+    }
+}
+
+/// Human-friendly nanosecond formatting.
+pub fn fmt_ns(ns: f64) -> String {
+    if ns.is_nan() {
+        "-".to_string()
+    } else if ns < 1e3 {
+        format!("{ns:.0} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_collects_samples_and_stats() {
+        let mut g = BenchGroup::new("t");
+        g.measure_for = Duration::from_millis(5);
+        let mut acc = 0u64;
+        let r = g.bench("noop", || {
+            acc = acc.wrapping_add(1);
+            acc
+        });
+        assert!(r.samples_ns.len() >= 5);
+        assert!(r.min_ns() <= r.median_ns());
+        let all = g.finish();
+        assert_eq!(all.len(), 1);
+    }
+
+    #[test]
+    fn formats_scales() {
+        assert!(fmt_ns(500.0).ends_with("ns"));
+        assert!(fmt_ns(5_000.0).ends_with("µs"));
+        assert!(fmt_ns(5_000_000.0).ends_with("ms"));
+        assert!(fmt_ns(5e9).ends_with('s'));
+    }
+}

@@ -151,6 +151,13 @@ pub struct PlannerConfig {
     /// solver then only *improves* placement quality; admission itself is
     /// secured). Small values favour throughput, larger values quality.
     pub improve_nodes: usize,
+    /// Carry solver state across submissions: the planner keeps one
+    /// persistent model skeleton (extended per query instead of rebuilt)
+    /// and warm-starts every root LP from the previous submission's basis.
+    /// Disabling reverts to a fresh model + cold simplex per submission
+    /// (the paper's behaviour, kept as the baseline/ablation). Only active
+    /// alongside `replan = true` and `RelayPolicy::All`.
+    pub reuse_solver_context: bool,
 }
 
 impl PlannerConfig {
@@ -166,6 +173,7 @@ impl PlannerConfig {
             warm_start: true,
             gap_tol: 0.02,
             improve_nodes: 8,
+            reuse_solver_context: true,
         }
     }
 }

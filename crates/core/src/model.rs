@@ -23,10 +23,24 @@
 //! Additionally, *fixed consumers* — operators of unrelated queries that
 //! stay in place but consume a stream in the free space — pin `y_hs = 1` so
 //! a re-plan cannot starve them.
+//!
+//! ## Incremental skeleton (warm-started re-planning)
+//!
+//! A `PlanningModel` can also act as a persistent *skeleton* across
+//! submissions: [`PlanningModel::extend`] appends the columns and rows for
+//! newly registered streams/operators instead of re-enumerating the whole
+//! space, and [`PlanningModel::apply_reduction`] re-applies the §IV-A
+//! variable fixing for the *current* submission by bound-fixing every
+//! variable outside its plan space at the deployed value. Because the
+//! skeleton only ever appends columns and rows, the LP basis of the
+//! previous submission remains a valid warm-start hint
+//! ([`sqpr_lp::BasisState`]) for the next one. Internally `build` is
+//! exactly "empty shell + one `extend`", so both construction paths
+//! generate identical structures.
 
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
-use sqpr_milp::{Model, Sense, VarId};
+use sqpr_milp::{ConsId, Model, Sense, VarId};
 
 use sqpr_dsps::{Catalog, DeploymentState, HostId, OperatorId, StreamId};
 
@@ -60,6 +74,18 @@ pub struct ModelInputs<'a> {
     pub cuts: &'a [AvailabilityCut],
 }
 
+/// Lifecycle of one demanded stream's `Σ_h d_hs` row across submissions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum DemandKind {
+    /// Admitted: IV.9 equality (`= 1`).
+    Eq,
+    /// Demanded by the current submission: `<= 1`.
+    Le,
+    /// Demanded by a past submission and rejected: `d` fixed to 0 so stale
+    /// λ1 rewards cannot distort later solves.
+    Disabled,
+}
+
 /// A built planning model plus the variable maps needed to decode results.
 pub struct PlanningModel {
     pub milp: Model,
@@ -75,388 +101,697 @@ pub struct PlanningModel {
     gamma: HashMap<OperatorId, f64>,
     big_m: f64,
     n_hosts: usize,
+    // --- incremental bookkeeping ---
+    hosts: Vec<HostId>,
+    weights: ObjectiveWeights,
+    relay_policy: RelayPolicy,
+    acyclicity: AcyclicityMode,
+    avail_rows: HashMap<(HostId, StreamId), ConsId>,
+    demand_rows: HashMap<StreamId, ConsId>,
+    demand_kind: HashMap<StreamId, DemandKind>,
+    link_rows: HashMap<(HostId, HostId), ConsId>,
+    in_rows: Vec<Option<ConsId>>,
+    out_rows: Vec<Option<ConsId>>,
+    cpu_rows: Vec<ConsId>,
+    mem_rows: Vec<Option<ConsId>>,
+    t_rows: Vec<ConsId>,
+    cut_rows: Vec<(AvailabilityCut, Vec<ConsId>)>,
+    pinned: BTreeSet<(HostId, StreamId)>,
+    fixed_producer: BTreeSet<(HostId, StreamId)>,
 }
 
 impl PlanningModel {
-    /// Builds the reduced MILP.
+    /// Builds the reduced MILP: an empty shell (capacity rows, O4
+    /// variable) plus one [`Self::extend`] over the whole input space.
     pub fn build(inp: &ModelInputs<'_>) -> Self {
         let catalog = inp.catalog;
         let n = catalog.num_hosts();
         let big_m = n as f64 + 2.0; // any value > |H| + 1 (paper III.7)
-        let free_streams: BTreeSet<StreamId> = inp.space.streams.iter().copied().collect();
-        let free_ops: BTreeSet<OperatorId> = inp.space.operators.iter().copied().collect();
-
-        // Demanded streams in the free space: already-admitted ones (IV.9
-        // equality) and the new ones (≤ 1).
-        let admitted_streams: BTreeSet<StreamId> = inp.state.admitted().values().copied().collect();
-        let mut demanded_eq: Vec<StreamId> = admitted_streams
-            .iter()
-            .copied()
-            .filter(|s| free_streams.contains(s))
-            .collect();
-        demanded_eq.sort();
-        let mut demanded_new: Vec<StreamId> = inp
-            .new_streams
-            .iter()
-            .copied()
-            .filter(|s| !admitted_streams.contains(s))
-            .collect();
-        demanded_new.sort();
-        demanded_new.dedup();
-
-        // Residual capacities: subtract contributions of *fixed* flows,
-        // deliveries and placements (anything outside the free space).
-        let mut cpu_fixed = vec![0.0; n];
-        let mut mem_fixed = vec![0.0; n];
-        let mut out_fixed = vec![0.0; n];
-        let mut in_fixed = vec![0.0; n];
-        let mut link_fixed: HashMap<(HostId, HostId), f64> = HashMap::new();
-        for &(h, o) in inp.state.placements() {
-            if !free_ops.contains(&o) {
-                cpu_fixed[h.index()] += catalog.operator(o).cpu_cost;
-                mem_fixed[h.index()] += catalog.operator(o).memory_cost;
-            }
-        }
-        for &(h, m, s) in inp.state.flows() {
-            if !free_streams.contains(&s) {
-                let r = catalog.stream(s).rate;
-                out_fixed[h.index()] += r;
-                in_fixed[m.index()] += r;
-                *link_fixed.entry((h, m)).or_default() += r;
-            }
-        }
-        for (&s, &h) in inp.state.provided() {
-            if !free_streams.contains(&s) {
-                out_fixed[h.index()] += catalog.stream(s).rate;
-            }
-        }
-
-        // Fixed producers: placements outside the free space whose output
-        // *is* a free stream (possible with private/tagged spaces); they
-        // grant availability as constants in III.5a.
-        let mut fixed_producer: BTreeSet<(HostId, StreamId)> = BTreeSet::new();
-        // Fixed consumers: placements outside the free space that consume a
-        // free stream; their host must keep the stream available.
-        let mut pinned_available: BTreeSet<(HostId, StreamId)> = BTreeSet::new();
-        for &(h, o) in inp.state.placements() {
-            if free_ops.contains(&o) {
-                continue;
-            }
-            let op = catalog.operator(o);
-            if free_streams.contains(&op.output) {
-                fixed_producer.insert((h, op.output));
-            }
-            for &s in &op.inputs {
-                if free_streams.contains(&s) {
-                    pinned_available.insert((h, s));
-                }
-            }
-        }
-
-        let mut milp = Model::new(Sense::Maximize);
+        let hosts: Vec<HostId> = catalog.hosts().collect();
         let w = inp.weights;
 
-        // ---- variables ----
-        let mut d = HashMap::new();
-        let mut x = HashMap::new();
-        let mut y = HashMap::new();
-        let mut z = HashMap::new();
-        let mut p = HashMap::new();
-
-        let hosts: Vec<HostId> = catalog.hosts().collect();
-        let with_potentials = inp.acyclicity == AcyclicityMode::Constraints;
-        for &s in free_streams.iter() {
-            for &h in &hosts {
-                let yv = milp.add_binary(0.0);
-                y.insert((h, s), yv);
-                if with_potentials {
-                    let pv = milp.add_continuous(0.0, big_m, 0.0);
-                    p.insert((h, s), pv);
-                }
-            }
-            let rate = catalog.stream(s).rate;
-            for &h in &hosts {
-                for &m in &hosts {
-                    if h != m {
-                        let xv = milp.add_binary(-w.lambda2 * rate);
-                        x.insert((h, m, s), xv);
-                    }
-                }
-            }
-        }
-        for s in demanded_eq.iter().chain(demanded_new.iter()) {
-            for &h in &hosts {
-                let dv = milp.add_binary(w.lambda1);
-                d.insert((h, *s), dv);
-            }
-        }
-        for &o in free_ops.iter() {
-            let gamma = catalog.operator(o).cpu_cost;
-            for &h in &hosts {
-                let zv = milp.add_binary(-w.lambda3 * gamma);
-                z.insert((h, o), zv);
-            }
-        }
+        let mut milp = Model::new(Sense::Maximize);
         let t = if w.lambda4 != 0.0 {
             Some(milp.add_continuous(0.0, f64::INFINITY, -w.lambda4))
         } else {
             None
         };
 
-        // Pin availability required by fixed consumers.
-        for &(h, s) in &pinned_available {
-            milp.set_bounds(y[&(h, s)], 1.0, 1.0);
-        }
-
-        // Freeze current assignments when replanning is disabled.
-        if !inp.replan {
-            for &(h, o) in inp.state.placements() {
-                if let Some(&v) = z.get(&(h, o)) {
-                    milp.set_bounds(v, 1.0, 1.0);
-                }
-            }
-            for &(h, m, s) in inp.state.flows() {
-                if let Some(&v) = x.get(&(h, m, s)) {
-                    milp.set_bounds(v, 1.0, 1.0);
-                }
-            }
-            for (&s, &h) in inp.state.provided() {
-                if let Some(&v) = d.get(&(h, s)) {
-                    milp.set_bounds(v, 1.0, 1.0);
-                }
-            }
-            for &(h, s) in inp.state.available() {
-                if let Some(&v) = y.get(&(h, s)) {
-                    milp.set_bounds(v, 1.0, 1.0);
-                }
-            }
-        }
-
-        // ---- constraints ----
-        // III.4a: d_hs <= y_hs.
-        for (&(h, s), &dv) in &d {
-            milp.add_le(vec![(dv, 1.0), (y[&(h, s)], -1.0)], 0.0);
-        }
-        // IV.9 for admitted, III.4b for new.
-        for &s in &demanded_eq {
-            let terms: Vec<_> = hosts.iter().map(|&h| (d[&(h, s)], 1.0)).collect();
-            milp.add_eq(terms, 1.0);
-        }
-        for &s in &demanded_new {
-            let terms: Vec<_> = hosts.iter().map(|&h| (d[&(h, s)], 1.0)).collect();
-            milp.add_le(terms, 1.0);
-        }
-        // III.5a availability.
-        for &s in &free_streams {
+        // Shared capacity rows are created once, empty; extensions append
+        // the terms of every column that lands in them. Bounds are
+        // refreshed from the residuals on every extension.
+        let mut link_rows = HashMap::new();
+        for &h in &hosts {
             for &m in &hosts {
-                let mut terms = vec![(y[&(m, s)], 1.0)];
+                if h != m && catalog.topology().link(h, m).is_finite() {
+                    link_rows.insert((h, m), milp.add_le(Vec::new(), f64::INFINITY));
+                }
+            }
+        }
+        let in_rows: Vec<Option<ConsId>> = hosts
+            .iter()
+            .map(|&m| {
+                catalog
+                    .host(m)
+                    .bandwidth_in
+                    .is_finite()
+                    .then(|| milp.add_le(Vec::new(), f64::INFINITY))
+            })
+            .collect();
+        let out_rows: Vec<Option<ConsId>> = hosts
+            .iter()
+            .map(|&h| {
+                catalog
+                    .host(h)
+                    .bandwidth_out
+                    .is_finite()
+                    .then(|| milp.add_le(Vec::new(), f64::INFINITY))
+            })
+            .collect();
+        let cpu_rows: Vec<ConsId> = hosts
+            .iter()
+            .map(|_| milp.add_le(Vec::new(), f64::INFINITY))
+            .collect();
+        let mem_rows: Vec<Option<ConsId>> = hosts
+            .iter()
+            .map(|&h| {
+                catalog
+                    .host(h)
+                    .memory_capacity
+                    .is_finite()
+                    .then(|| milp.add_le(Vec::new(), f64::INFINITY))
+            })
+            .collect();
+        let t_rows: Vec<ConsId> = match t {
+            Some(t) => hosts
+                .iter()
+                .map(|_| milp.add_ge(vec![(t, 1.0)], 0.0))
+                .collect(),
+            None => Vec::new(),
+        };
+
+        let mut model = PlanningModel {
+            milp,
+            d: HashMap::new(),
+            x: HashMap::new(),
+            y: HashMap::new(),
+            z: HashMap::new(),
+            p: HashMap::new(),
+            free_streams: BTreeSet::new(),
+            free_ops: BTreeSet::new(),
+            t,
+            fixed_cpu: vec![0.0; n],
+            gamma: HashMap::new(),
+            big_m,
+            n_hosts: n,
+            hosts,
+            weights: w,
+            relay_policy: inp.relay_policy,
+            acyclicity: inp.acyclicity,
+            avail_rows: HashMap::new(),
+            demand_rows: HashMap::new(),
+            demand_kind: HashMap::new(),
+            link_rows,
+            in_rows,
+            out_rows,
+            cpu_rows,
+            mem_rows,
+            t_rows,
+            cut_rows: Vec::new(),
+            pinned: BTreeSet::new(),
+            fixed_producer: BTreeSet::new(),
+        };
+        model.extend(inp);
+        model
+    }
+
+    /// Extends the skeleton to cover `inp.space`, appending columns and
+    /// rows for streams/operators not yet represented, updating the demand
+    /// rows to the current admitted/new sets, adding availability cuts not
+    /// yet applied, and refreshing the residual capacities, availability
+    /// right-hand sides and fixed-consumer pins against `inp.state`.
+    ///
+    /// Appended columns never disturb existing ones, so an
+    /// [`sqpr_lp::BasisState`] captured before the extension remains a
+    /// valid warm-start hint afterwards.
+    ///
+    /// `RelayPolicy::ProducersOnly` is only supported on the first
+    /// extension (the `build` path): its relay rows would need terms for
+    /// producers added later, which incremental growth does not patch.
+    pub fn extend(&mut self, inp: &ModelInputs<'_>) {
+        let catalog = inp.catalog;
+        let w = self.weights;
+        debug_assert_eq!(self.n_hosts, catalog.num_hosts());
+        debug_assert_eq!(self.relay_policy, inp.relay_policy);
+        debug_assert_eq!(self.acyclicity, inp.acyclicity);
+
+        let mut added_streams: Vec<StreamId> = inp
+            .space
+            .streams
+            .iter()
+            .copied()
+            .filter(|s| !self.free_streams.contains(s))
+            .collect();
+        added_streams.sort();
+        added_streams.dedup();
+        let mut added_ops: Vec<OperatorId> = inp
+            .space
+            .operators
+            .iter()
+            .copied()
+            .filter(|o| !self.free_ops.contains(o))
+            .collect();
+        added_ops.sort();
+        added_ops.dedup();
+        debug_assert!(
+            inp.relay_policy == RelayPolicy::All
+                || self.free_streams.is_empty()
+                || (added_streams.is_empty() && added_ops.is_empty()),
+            "ProducersOnly relaying cannot be extended incrementally"
+        );
+
+        let hosts = self.hosts.clone();
+        let with_potentials = self.acyclicity == AcyclicityMode::Constraints;
+
+        // ---- columns ----
+        for &s in &added_streams {
+            for &h in &hosts {
+                let yv = self.milp.add_binary(0.0);
+                self.y.insert((h, s), yv);
+                if with_potentials {
+                    let pv = self.milp.add_continuous(0.0, self.big_m, 0.0);
+                    self.p.insert((h, s), pv);
+                }
+            }
+            let rate = catalog.stream(s).rate;
+            for &h in &hosts {
+                for &m in &hosts {
+                    if h != m {
+                        let xv = self.milp.add_binary(-w.lambda2 * rate);
+                        self.x.insert((h, m, s), xv);
+                    }
+                }
+            }
+        }
+        for &o in &added_ops {
+            let gamma = catalog.operator(o).cpu_cost;
+            for &h in &hosts {
+                let zv = self.milp.add_binary(-w.lambda3 * gamma);
+                self.z.insert((h, o), zv);
+            }
+            self.gamma.insert(o, gamma);
+        }
+        self.free_streams.extend(added_streams.iter().copied());
+        self.free_ops.extend(added_ops.iter().copied());
+
+        // ---- demand lifecycle ----
+        let admitted: BTreeSet<StreamId> = inp.state.admitted().values().copied().collect();
+        let wanted_eq: Vec<StreamId> = admitted
+            .iter()
+            .copied()
+            .filter(|s| self.free_streams.contains(s))
+            .collect();
+        let mut wanted_new: Vec<StreamId> = inp
+            .new_streams
+            .iter()
+            .copied()
+            .filter(|s| !admitted.contains(s))
+            .collect();
+        wanted_new.sort();
+        wanted_new.dedup();
+        let existing: Vec<StreamId> = {
+            let mut v: Vec<StreamId> = self.demand_rows.keys().copied().collect();
+            v.sort();
+            v
+        };
+        for s in existing {
+            let kind = if admitted.contains(&s) {
+                DemandKind::Eq
+            } else if wanted_new.contains(&s) {
+                DemandKind::Le
+            } else {
+                DemandKind::Disabled
+            };
+            self.set_demand_kind(s, kind);
+        }
+        for &s in wanted_eq.iter().chain(wanted_new.iter()) {
+            if self.demand_rows.contains_key(&s) {
+                continue;
+            }
+            assert!(
+                self.free_streams.contains(&s),
+                "demanded stream {s} outside the free space"
+            );
+            let rate = catalog.stream(s).rate;
+            let mut row_terms = Vec::with_capacity(hosts.len());
+            for &h in &hosts {
+                let dv = self.milp.add_binary(w.lambda1);
+                self.d.insert((h, s), dv);
+                // III.4a: d_hs <= y_hs.
+                self.milp
+                    .add_le(vec![(dv, 1.0), (self.y[&(h, s)], -1.0)], 0.0);
+                // Client delivery counts against out-bandwidth (III.6c).
+                if let Some(row) = self.out_rows[h.index()] {
+                    self.milp.add_terms(row, [(dv, rate)]);
+                }
+                row_terms.push((dv, 1.0));
+            }
+            let row = self.milp.add_le(row_terms, 1.0);
+            self.demand_rows.insert(s, row);
+            let kind = if admitted.contains(&s) {
+                DemandKind::Eq
+            } else {
+                DemandKind::Le
+            };
+            self.set_demand_kind(s, kind);
+        }
+
+        // ---- rows for the added columns ----
+        // III.5a availability for every (added stream, host).
+        for &s in &added_streams {
+            for &m in &hosts {
+                let mut terms = vec![(self.y[&(m, s)], 1.0)];
                 for &h in &hosts {
                     if h != m {
-                        terms.push((x[&(h, m, s)], -1.0));
+                        terms.push((self.x[&(h, m, s)], -1.0));
                     }
                 }
                 for &o in catalog.producers_of(s) {
-                    if free_ops.contains(&o) {
-                        terms.push((z[&(m, o)], -1.0));
+                    if self.free_ops.contains(&o) {
+                        terms.push((self.z[&(m, o)], -1.0));
                     }
                 }
-                let mut rhs = 0.0;
-                if catalog.is_base_at(s, m) {
-                    rhs += 1.0;
-                }
-                if fixed_producer.contains(&(m, s)) {
-                    rhs += 1.0;
-                }
-                milp.add_le(terms, rhs);
+                let row = self.milp.add_le(terms, 0.0); // rhs refreshed below
+                self.avail_rows.insert((m, s), row);
             }
         }
-        // Lazy availability cuts from previous rounds: availability at any
-        // host inside a dead set requires the *set* to be fed — inflow
-        // from outside the set, or production/base/fixed-producer at some
-        // member. (Counting only direct inflow to the host itself would be
-        // invalid: members may legitimately relay for each other.)
-        for cut in inp.cuts {
-            if !free_streams.contains(&cut.stream) {
-                continue;
-            }
-            let s_ = cut.stream;
-            // Shared feed terms for the whole set.
-            let mut feed: Vec<(sqpr_milp::VarId, f64)> = Vec::new();
-            let mut rhs = 0.0;
-            for &m2 in &cut.dead_set {
-                for &h in &hosts {
-                    if h != m2 && !cut.dead_set.contains(&h) {
-                        feed.push((x[&(h, m2, s_)], -1.0));
+        // Added operators producing *pre-existing* free streams join those
+        // streams' availability rows (and any cut rows on that stream).
+        for &o in &added_ops {
+            let out = catalog.operator(o).output;
+            if added_streams.binary_search(&out).is_err() {
+                for &m in &hosts {
+                    if let Some(&row) = self.avail_rows.get(&(m, out)) {
+                        self.milp.add_terms(row, [(self.z[&(m, o)], -1.0)]);
                     }
                 }
-                for &o in catalog.producers_of(s_) {
-                    if free_ops.contains(&o) {
-                        feed.push((z[&(m2, o)], -1.0));
+            }
+            for (cut, rows) in &self.cut_rows {
+                if cut.stream == out {
+                    let feed: Vec<(VarId, f64)> = cut
+                        .dead_set
+                        .iter()
+                        .map(|&m2| (self.z[&(m2, o)], -1.0))
+                        .collect();
+                    for &row in rows {
+                        self.milp.add_terms(row, feed.iter().copied());
                     }
                 }
-                if catalog.is_base_at(s_, m2) {
-                    rhs += 1.0;
-                }
-                if fixed_producer.contains(&(m2, s_)) {
-                    rhs += 1.0;
-                }
-            }
-            for &m in &cut.dead_set {
-                let mut terms = vec![(y[&(m, s_)], 1.0)];
-                terms.extend(feed.iter().copied());
-                milp.add_le(terms, rhs);
             }
         }
-        // III.5b operator inputs.
-        for &o in &free_ops {
+        // III.5b operator inputs for added operators.
+        for &o in &added_ops {
             let op = catalog.operator(o);
             for &s in &op.inputs {
                 assert!(
-                    free_streams.contains(&s),
+                    self.free_streams.contains(&s),
                     "free operator {o} consumes stream {s} outside the free space"
                 );
                 for &h in &hosts {
-                    milp.add_le(vec![(z[&(h, o)], 1.0), (y[&(h, s)], -1.0)], 0.0);
+                    self.milp
+                        .add_le(vec![(self.z[&(h, o)], 1.0), (self.y[&(h, s)], -1.0)], 0.0);
                 }
             }
         }
-        // III.5c flows need the sender to have the stream; III.7 acyclicity.
-        for (&(h, m, s), &xv) in &x {
-            milp.add_le(vec![(xv, 1.0), (y[&(h, s)], -1.0)], 0.0);
-            if with_potentials {
-                milp.add_le(
-                    vec![(p[&(m, s)], 1.0), (p[&(h, s)], -1.0), (xv, big_m)],
-                    big_m - 1.0,
-                );
-            }
-            if inp.relay_policy == RelayPolicy::ProducersOnly {
-                // Senders must generate the stream locally (ablation).
-                let mut terms = vec![(xv, 1.0)];
-                for &o in catalog.producers_of(s) {
-                    if free_ops.contains(&o) {
-                        terms.push((z[&(h, o)], -1.0));
-                    }
-                }
-                let mut rhs = 0.0;
-                if catalog.is_base_at(s, h) {
-                    rhs += 1.0;
-                }
-                if fixed_producer.contains(&(h, s)) {
-                    rhs += 1.0;
-                }
-                milp.add_le(terms, rhs);
-            }
-        }
-        // III.6a link capacities (only rows with at least one variable).
-        for &h in &hosts {
-            for &m in &hosts {
-                if h == m {
-                    continue;
-                }
-                let cap = catalog.topology().link(h, m);
-                if !cap.is_finite() {
-                    continue;
-                }
-                let residual = cap - link_fixed.get(&(h, m)).copied().unwrap_or(0.0);
-                let terms: Vec<_> = free_streams
-                    .iter()
-                    .map(|&s| (x[&(h, m, s)], catalog.stream(s).rate))
-                    .collect();
-                if !terms.is_empty() {
-                    milp.add_le(terms, residual.max(0.0));
-                }
-            }
-        }
-        // III.6b incoming host bandwidth.
-        for &m in &hosts {
-            let cap = catalog.host(m).bandwidth_in;
-            if !cap.is_finite() {
-                continue;
-            }
-            let mut terms = Vec::new();
-            for &s in &free_streams {
-                let rate = catalog.stream(s).rate;
-                for &h in &hosts {
-                    if h != m {
-                        terms.push((x[&(h, m, s)], rate));
-                    }
-                }
-            }
-            if !terms.is_empty() {
-                milp.add_le(terms, (cap - in_fixed[m.index()]).max(0.0));
-            }
-        }
-        // III.6c outgoing host bandwidth (flows + client deliveries).
-        for &h in &hosts {
-            let cap = catalog.host(h).bandwidth_out;
-            if !cap.is_finite() {
-                continue;
-            }
-            let mut terms = Vec::new();
-            for &s in &free_streams {
-                let rate = catalog.stream(s).rate;
+        // III.5c flows + III.7 acyclicity (+ relay ablation) per added x.
+        for &s in &added_streams {
+            for &h in &hosts {
                 for &m in &hosts {
-                    if h != m {
-                        terms.push((x[&(h, m, s)], rate));
+                    if h == m {
+                        continue;
+                    }
+                    let xv = self.x[&(h, m, s)];
+                    self.milp
+                        .add_le(vec![(xv, 1.0), (self.y[&(h, s)], -1.0)], 0.0);
+                    if with_potentials {
+                        self.milp.add_le(
+                            vec![
+                                (self.p[&(m, s)], 1.0),
+                                (self.p[&(h, s)], -1.0),
+                                (xv, self.big_m),
+                            ],
+                            self.big_m - 1.0,
+                        );
+                    }
+                    if self.relay_policy == RelayPolicy::ProducersOnly {
+                        // Senders must generate the stream locally
+                        // (ablation; first extension only). The rhs is
+                        // static: fixed producers cannot change while this
+                        // policy forbids incremental growth.
+                        let mut terms = vec![(xv, 1.0)];
+                        for &o in catalog.producers_of(s) {
+                            if self.free_ops.contains(&o) {
+                                terms.push((self.z[&(h, o)], -1.0));
+                            }
+                        }
+                        let mut rhs = 0.0;
+                        if catalog.is_base_at(s, h) {
+                            rhs += 1.0;
+                        }
+                        if is_fixed_producer(inp.state, catalog, &self.free_ops, h, s) {
+                            rhs += 1.0;
+                        }
+                        self.milp.add_le(terms, rhs);
                     }
                 }
-                if let Some(&dv) = d.get(&(h, s)) {
-                    terms.push((dv, rate));
-                }
-            }
-            if !terms.is_empty() {
-                milp.add_le(terms, (cap - out_fixed[h.index()]).max(0.0));
             }
         }
-        // III.6d CPU, the memory analogue (§VII extension) and the O4
-        // linearisation.
-        for &h in &hosts {
-            let cap = catalog.host(h).cpu_capacity;
-            let terms: Vec<_> = free_ops
-                .iter()
-                .map(|&o| (z[&(h, o)], catalog.operator(o).cpu_cost))
-                .collect();
-            if !terms.is_empty() {
-                milp.add_le(terms.clone(), (cap - cpu_fixed[h.index()]).max(0.0));
-            }
-            let mem_cap = catalog.host(h).memory_capacity;
-            if mem_cap.is_finite() {
-                let mem_terms: Vec<_> = free_ops
-                    .iter()
-                    .map(|&o| (z[&(h, o)], catalog.operator(o).memory_cost))
-                    .filter(|&(_, m)| m != 0.0)
-                    .collect();
-                if !mem_terms.is_empty() {
-                    milp.add_le(mem_terms, (mem_cap - mem_fixed[h.index()]).max(0.0));
+        // Capacity terms of the added flow columns (III.6a/b/c).
+        for &s in &added_streams {
+            let rate = catalog.stream(s).rate;
+            for &h in &hosts {
+                for &m in &hosts {
+                    if h == m {
+                        continue;
+                    }
+                    let xv = self.x[&(h, m, s)];
+                    if let Some(&row) = self.link_rows.get(&(h, m)) {
+                        self.milp.add_terms(row, [(xv, rate)]);
+                    }
+                    if let Some(row) = self.in_rows[m.index()] {
+                        self.milp.add_terms(row, [(xv, rate)]);
+                    }
+                    if let Some(row) = self.out_rows[h.index()] {
+                        self.milp.add_terms(row, [(xv, rate)]);
+                    }
                 }
             }
-            if let Some(t) = t {
-                // t >= cpu_fixed + sum gamma z  <=>  t - sum gamma z >= fixed.
-                let mut trow = vec![(t, 1.0)];
-                trow.extend(terms.iter().map(|&(v, g)| (v, -g)));
-                milp.add_ge(trow, cpu_fixed[h.index()]);
+        }
+        // CPU / memory / O4 terms of the added operator columns (III.6d).
+        for &o in &added_ops {
+            let op = catalog.operator(o);
+            for &h in &hosts {
+                let zv = self.z[&(h, o)];
+                self.milp
+                    .add_terms(self.cpu_rows[h.index()], [(zv, op.cpu_cost)]);
+                if op.memory_cost != 0.0 {
+                    if let Some(row) = self.mem_rows[h.index()] {
+                        self.milp.add_terms(row, [(zv, op.memory_cost)]);
+                    }
+                }
+                if self.t.is_some() {
+                    self.milp
+                        .add_terms(self.t_rows[h.index()], [(zv, -op.cpu_cost)]);
+                }
             }
         }
 
-        let gamma: HashMap<OperatorId, f64> = free_ops
-            .iter()
-            .map(|&o| (o, catalog.operator(o).cpu_cost))
-            .collect();
-        PlanningModel {
-            milp,
-            d,
-            x,
-            y,
-            z,
-            p,
-            free_streams,
-            free_ops,
-            t,
-            fixed_cpu: cpu_fixed,
-            gamma,
-            big_m,
-            n_hosts: n,
+        // ---- availability cuts not applied yet ----
+        for cut in inp.cuts {
+            if self.cut_rows.iter().any(|(c, _)| c == cut) {
+                continue;
+            }
+            self.add_cut(cut.clone(), catalog);
         }
+
+        // ---- refresh state-dependent pieces ----
+        self.refresh_pins_and_producers(inp.state, catalog);
+        self.refresh_avail_rhs(catalog);
+        self.refresh_cut_rhs(catalog);
+        self.refresh_residuals(inp.state, catalog);
+
+        // Freeze current assignments when replanning is disabled
+        // (ablation; build path only — the planner never caches skeletons
+        // with replan off).
+        if !inp.replan {
+            for &(h, o) in inp.state.placements() {
+                if let Some(&v) = self.z.get(&(h, o)) {
+                    self.milp.set_bounds(v, 1.0, 1.0);
+                }
+            }
+            for &(h, m, s) in inp.state.flows() {
+                if let Some(&v) = self.x.get(&(h, m, s)) {
+                    self.milp.set_bounds(v, 1.0, 1.0);
+                }
+            }
+            for (&s, &h) in inp.state.provided() {
+                if let Some(&v) = self.d.get(&(h, s)) {
+                    self.milp.set_bounds(v, 1.0, 1.0);
+                }
+            }
+            for &(h, s) in inp.state.available() {
+                if let Some(&v) = self.y.get(&(h, s)) {
+                    self.milp.set_bounds(v, 1.0, 1.0);
+                }
+            }
+        }
+    }
+
+    /// Re-applies the §IV-A reduction for one submission over a persistent
+    /// skeleton: every variable whose stream/operator lies outside `space`
+    /// is bound-fixed at its current deployment value; variables inside are
+    /// released to their natural bounds (respecting fixed-consumer pins and
+    /// the demand lifecycle). The result is algebraically identical to a
+    /// fresh reduced model over `space` — same feasible set, same optimal
+    /// decisions — while keeping the column layout stable for basis reuse.
+    pub fn apply_reduction(
+        &mut self,
+        space: &PlanSpace,
+        state: &DeploymentState,
+        catalog: &Catalog,
+    ) {
+        let in_streams: BTreeSet<StreamId> = space.streams.iter().copied().collect();
+        let in_ops: BTreeSet<OperatorId> = space.operators.iter().copied().collect();
+        let derived = state.derive_availability(catalog);
+        for (&(h, s), &v) in &self.y {
+            if in_streams.contains(&s) {
+                if self.pinned.contains(&(h, s)) {
+                    self.milp.set_bounds(v, 1.0, 1.0);
+                } else {
+                    self.milp.set_bounds(v, 0.0, 1.0);
+                }
+            } else {
+                let val = if derived.contains(&(h, s)) { 1.0 } else { 0.0 };
+                self.milp.set_bounds(v, val, val);
+            }
+        }
+        for (&(h, m, s), &v) in &self.x {
+            if in_streams.contains(&s) {
+                self.milp.set_bounds(v, 0.0, 1.0);
+            } else {
+                let val = if state.flows().contains(&(h, m, s)) {
+                    1.0
+                } else {
+                    0.0
+                };
+                self.milp.set_bounds(v, val, val);
+            }
+        }
+        for (&(h, o), &v) in &self.z {
+            if in_ops.contains(&o) {
+                self.milp.set_bounds(v, 0.0, 1.0);
+            } else {
+                let val = if state.is_placed(h, o) { 1.0 } else { 0.0 };
+                self.milp.set_bounds(v, val, val);
+            }
+        }
+        for (&(h, s), &v) in &self.d {
+            match self.demand_kind[&s] {
+                DemandKind::Disabled => self.milp.set_bounds(v, 0.0, 0.0),
+                DemandKind::Eq | DemandKind::Le => {
+                    if in_streams.contains(&s) {
+                        self.milp.set_bounds(v, 0.0, 1.0);
+                    } else {
+                        let val = if state.provider_of(s) == Some(h) {
+                            1.0
+                        } else {
+                            0.0
+                        };
+                        self.milp.set_bounds(v, val, val);
+                    }
+                }
+            }
+        }
+        // Potentials and the O4 variable stay free: both are auxiliary
+        // (zero/objective-only cost) and any causal fixing admits them.
+    }
+
+    /// Applies one demand-row transition (see [`DemandKind`]).
+    fn set_demand_kind(&mut self, s: StreamId, kind: DemandKind) {
+        let row = self.demand_rows[&s];
+        match kind {
+            DemandKind::Eq => self.milp.set_row_bounds(row, 1.0, 1.0),
+            DemandKind::Le | DemandKind::Disabled => {
+                self.milp.set_row_bounds(row, -f64::INFINITY, 1.0)
+            }
+        }
+        for &h in &self.hosts {
+            let v = self.d[&(h, s)];
+            match kind {
+                DemandKind::Disabled => self.milp.set_bounds(v, 0.0, 0.0),
+                DemandKind::Eq | DemandKind::Le => self.milp.set_bounds(v, 0.0, 1.0),
+            }
+        }
+        self.demand_kind.insert(s, kind);
+    }
+
+    /// Adds one availability cut's rows (shared feed, one row per member).
+    fn add_cut(&mut self, cut: AvailabilityCut, catalog: &Catalog) {
+        if !self.free_streams.contains(&cut.stream) {
+            return;
+        }
+        let s_ = cut.stream;
+        let mut feed: Vec<(VarId, f64)> = Vec::new();
+        for &m2 in &cut.dead_set {
+            for &h in &self.hosts {
+                if h != m2 && !cut.dead_set.contains(&h) {
+                    feed.push((self.x[&(h, m2, s_)], -1.0));
+                }
+            }
+            for &o in catalog.producers_of(s_) {
+                if self.free_ops.contains(&o) {
+                    feed.push((self.z[&(m2, o)], -1.0));
+                }
+            }
+        }
+        let mut rows = Vec::with_capacity(cut.dead_set.len());
+        for &m in &cut.dead_set {
+            let mut terms = vec![(self.y[&(m, s_)], 1.0)];
+            terms.extend(feed.iter().copied());
+            rows.push(self.milp.add_le(terms, 0.0)); // rhs set by refresh
+        }
+        self.cut_rows.push((cut, rows));
+    }
+
+    /// Recomputes the fixed-producer and fixed-consumer (pin) sets from the
+    /// current deployment, applying and reverting `y` pins as needed.
+    fn refresh_pins_and_producers(&mut self, state: &DeploymentState, catalog: &Catalog) {
+        let mut fixed_producer = BTreeSet::new();
+        let mut pinned = BTreeSet::new();
+        for &(h, o) in state.placements() {
+            if self.free_ops.contains(&o) {
+                continue;
+            }
+            let op = catalog.operator(o);
+            if self.free_streams.contains(&op.output) {
+                fixed_producer.insert((h, op.output));
+            }
+            for &s in &op.inputs {
+                if self.free_streams.contains(&s) {
+                    pinned.insert((h, s));
+                }
+            }
+        }
+        for &(h, s) in pinned.difference(&self.pinned) {
+            self.milp.set_bounds(self.y[&(h, s)], 1.0, 1.0);
+        }
+        for &(h, s) in self.pinned.difference(&pinned) {
+            self.milp.set_bounds(self.y[&(h, s)], 0.0, 1.0);
+        }
+        self.pinned = pinned;
+        self.fixed_producer = fixed_producer;
+    }
+
+    /// Refreshes availability-row right-hand sides (base placement plus
+    /// fixed-producer grants).
+    fn refresh_avail_rhs(&mut self, catalog: &Catalog) {
+        for (&(m, s), &row) in &self.avail_rows {
+            let mut rhs = 0.0;
+            if catalog.is_base_at(s, m) {
+                rhs += 1.0;
+            }
+            if self.fixed_producer.contains(&(m, s)) {
+                rhs += 1.0;
+            }
+            self.milp.set_row_bounds(row, -f64::INFINITY, rhs);
+        }
+    }
+
+    /// Refreshes cut-row right-hand sides (base/fixed-producer grants of
+    /// dead-set members).
+    fn refresh_cut_rhs(&mut self, catalog: &Catalog) {
+        for (cut, rows) in &self.cut_rows {
+            let mut rhs = 0.0;
+            for &m2 in &cut.dead_set {
+                if catalog.is_base_at(cut.stream, m2) {
+                    rhs += 1.0;
+                }
+                if self.fixed_producer.contains(&(m2, cut.stream)) {
+                    rhs += 1.0;
+                }
+            }
+            for &row in rows {
+                self.milp.set_row_bounds(row, -f64::INFINITY, rhs);
+            }
+        }
+    }
+
+    /// Recomputes the residual capacities: contributions of allocations
+    /// whose streams/operators are *not represented in the skeleton*
+    /// (everything represented is either free or bound-fixed and therefore
+    /// already counted by its own terms).
+    fn refresh_residuals(&mut self, state: &DeploymentState, catalog: &Catalog) {
+        let n = self.n_hosts;
+        let mut cpu_fixed = vec![0.0; n];
+        let mut mem_fixed = vec![0.0; n];
+        let mut out_fixed = vec![0.0; n];
+        let mut in_fixed = vec![0.0; n];
+        let mut link_fixed: HashMap<(HostId, HostId), f64> = HashMap::new();
+        for &(h, o) in state.placements() {
+            if !self.free_ops.contains(&o) {
+                cpu_fixed[h.index()] += catalog.operator(o).cpu_cost;
+                mem_fixed[h.index()] += catalog.operator(o).memory_cost;
+            }
+        }
+        for &(h, m, s) in state.flows() {
+            if !self.free_streams.contains(&s) {
+                let r = catalog.stream(s).rate;
+                out_fixed[h.index()] += r;
+                in_fixed[m.index()] += r;
+                *link_fixed.entry((h, m)).or_default() += r;
+            }
+        }
+        for (&s, &h) in state.provided() {
+            if !self.free_streams.contains(&s) {
+                out_fixed[h.index()] += catalog.stream(s).rate;
+            }
+        }
+
+        for (&(h, m), &row) in &self.link_rows {
+            let cap = catalog.topology().link(h, m);
+            let residual = cap - link_fixed.get(&(h, m)).copied().unwrap_or(0.0);
+            self.milp
+                .set_row_bounds(row, -f64::INFINITY, residual.max(0.0));
+        }
+        for (i, &h) in self.hosts.clone().iter().enumerate() {
+            if let Some(row) = self.in_rows[i] {
+                let cap = catalog.host(h).bandwidth_in;
+                self.milp
+                    .set_row_bounds(row, -f64::INFINITY, (cap - in_fixed[i]).max(0.0));
+            }
+            if let Some(row) = self.out_rows[i] {
+                let cap = catalog.host(h).bandwidth_out;
+                self.milp
+                    .set_row_bounds(row, -f64::INFINITY, (cap - out_fixed[i]).max(0.0));
+            }
+            let cap = catalog.host(h).cpu_capacity;
+            self.milp.set_row_bounds(
+                self.cpu_rows[i],
+                -f64::INFINITY,
+                (cap - cpu_fixed[i]).max(0.0),
+            );
+            if let Some(row) = self.mem_rows[i] {
+                let cap = catalog.host(h).memory_capacity;
+                self.milp
+                    .set_row_bounds(row, -f64::INFINITY, (cap - mem_fixed[i]).max(0.0));
+            }
+            if !self.t_rows.is_empty() {
+                // O4: t >= cpu_fixed + sum gamma z.
+                self.milp
+                    .set_row_bounds(self.t_rows[i], cpu_fixed[i], f64::INFINITY);
+            }
+        }
+        self.fixed_cpu = cpu_fixed;
     }
 
     pub fn num_vars(&self) -> usize {
@@ -495,7 +830,9 @@ impl PlanningModel {
             }
         }
         for (&(h, s), &var) in &self.d {
-            if state.provider_of(s) == Some(h) {
+            if self.demand_kind.get(&s) != Some(&DemandKind::Disabled)
+                && state.provider_of(s) == Some(h)
+            {
                 v[var.index()] = 1.0;
             }
         }
@@ -561,8 +898,8 @@ impl PlanningModel {
             Some(best)
         }
         let mut out = vec![0.0; n];
-        for u in 0..n {
-            out[u] = dfs(u, &adj, &mut memo, &mut visiting)? as f64;
+        for (u, slot) in out.iter_mut().enumerate() {
+            *slot = dfs(u, &adj, &mut memo, &mut visiting)? as f64;
         }
         Some(out)
     }
@@ -669,6 +1006,20 @@ impl PlanningModel {
             placements,
         }
     }
+}
+
+/// Whether `(h, s)` has a fixed (outside-the-free-space) producer placed.
+fn is_fixed_producer(
+    state: &DeploymentState,
+    catalog: &Catalog,
+    free_ops: &BTreeSet<OperatorId>,
+    h: HostId,
+    s: StreamId,
+) -> bool {
+    state
+        .placements()
+        .iter()
+        .any(|&(ph, o)| ph == h && !free_ops.contains(&o) && catalog.operator(o).output == s)
 }
 
 /// A decoded allocation ready to install into a [`DeploymentState`].

@@ -11,9 +11,11 @@ use std::collections::BTreeSet;
 use std::time::{Duration, Instant};
 
 use sqpr_dsps::{Catalog, DeploymentState, QueryId, StreamId};
-use sqpr_milp::{solve_filtered, solve_with_start, MilpOptions, MilpStatus};
+use sqpr_milp::{
+    solve_filtered_warm, solve_warm, MilpOptions, MilpStatus, MilpWarmStart, ModelBasis,
+};
 
-use crate::config::{AcyclicityMode, PlannerConfig};
+use crate::config::{AcyclicityMode, ObjectiveWeights, PlannerConfig, RelayPolicy};
 use crate::greedy::greedy_admit;
 use crate::model::{AvailabilityCut, ModelInputs, PlanningModel};
 use crate::query::{full_space, register_join_query, PlanSpace, QuerySpec};
@@ -39,6 +41,56 @@ pub struct PlanningOutcome {
     pub model_cons: usize,
     /// The solver proved optimality (vs. stopping on the budget).
     pub proved_optimal: bool,
+    /// The round reused the persistent solver context (extended skeleton
+    /// plus root-basis warm start) instead of building from scratch.
+    pub incremental: bool,
+}
+
+/// Config fingerprint the cached skeleton depends on; a mismatch forces a
+/// rebuild (weights are baked into objective coefficients, the policies
+/// into the row structure).
+#[derive(Debug, Clone, PartialEq)]
+struct CacheSig {
+    weights: ObjectiveWeights,
+    relay_policy: RelayPolicy,
+    acyclicity: AcyclicityMode,
+    replan: bool,
+    reduction: bool,
+    reuse: bool,
+}
+
+impl CacheSig {
+    fn of(config: &PlannerConfig) -> Self {
+        CacheSig {
+            weights: config.weights,
+            relay_policy: config.relay_policy,
+            acyclicity: config.acyclicity,
+            replan: config.replan,
+            reduction: config.reduction,
+            reuse: config.reuse,
+        }
+    }
+}
+
+/// The persistent model skeleton: grows by appending columns/rows per
+/// submission, so LP bases stay transferable between solves.
+struct ModelCache {
+    model: PlanningModel,
+    /// Cumulative plan space the skeleton covers.
+    space: PlanSpace,
+    /// Cumulative availability cuts applied to the skeleton.
+    cuts: Vec<AvailabilityCut>,
+    sig: CacheSig,
+}
+
+/// Solver state carried across submissions: the cached skeleton and the
+/// previous root-LP basis (the `(basis, incumbent)` pair of warm-started
+/// incremental re-planning; the incumbent side is reconstructed from the
+/// deployment each round, which survives model growth by construction).
+#[derive(Default)]
+struct SolverContext {
+    cache: Option<ModelCache>,
+    root_basis: Option<ModelBasis>,
 }
 
 /// The SQPR query planner (paper §IV).
@@ -49,6 +101,7 @@ pub struct SqprPlanner {
     next_query: u32,
     outcomes: Vec<PlanningOutcome>,
     queries: Vec<QuerySpec>,
+    ctx: SolverContext,
 }
 
 impl SqprPlanner {
@@ -60,7 +113,16 @@ impl SqprPlanner {
             next_query: 0,
             outcomes: Vec::new(),
             queries: Vec::new(),
+            ctx: SolverContext::default(),
         }
+    }
+
+    /// Drops the cached model skeleton and root basis. Called on every
+    /// mutation the incremental bookkeeping cannot patch (rate updates
+    /// change objective/constraint coefficients; removals shrink the
+    /// deployment under the skeleton's feet).
+    fn invalidate_solver_context(&mut self) {
+        self.ctx = SolverContext::default();
     }
 
     pub fn catalog(&self) -> &Catalog {
@@ -89,6 +151,28 @@ impl SqprPlanner {
 
     pub fn num_admitted(&self) -> usize {
         self.state.num_admitted()
+    }
+
+    /// λ-weighted quality of the *current deployment*: admissions minus
+    /// network and CPU usage, weighted like the model objective but
+    /// computed from the installed state — model-independent, so planners
+    /// with different free spaces (warm vs. cold, reduced vs. full) are
+    /// directly comparable.
+    pub fn deployment_objective(&self) -> f64 {
+        let w = self.config.weights;
+        let network: f64 = self
+            .state
+            .flows()
+            .iter()
+            .map(|&(_, _, s)| self.catalog.stream(s).rate)
+            .sum();
+        let cpu: f64 = self
+            .state
+            .placements()
+            .iter()
+            .map(|&(_, o)| self.catalog.operator(o).cpu_cost)
+            .sum();
+        w.lambda1 * self.state.num_admitted() as f64 - w.lambda2 * network - w.lambda3 * cpu
     }
 
     fn reuse_tag(&self, q: QueryId) -> u64 {
@@ -120,6 +204,7 @@ impl SqprPlanner {
                 model_vars: 0,
                 model_cons: 0,
                 proved_optimal: true,
+                incremental: false,
             };
             self.queries.push(spec);
             self.outcomes.push(outcome.clone());
@@ -182,6 +267,7 @@ impl SqprPlanner {
                 model_vars: 0,
                 model_cons: 0,
                 proved_optimal: true,
+                incremental: false,
             });
             o.query = spec.id;
             o.admitted = admitted;
@@ -193,7 +279,18 @@ impl SqprPlanner {
         outcomes
     }
 
-    /// Core planning round: build, warm-start, solve, decode, install.
+    /// Whether submissions may reuse the persistent solver context. The
+    /// gated-out configurations either edit the model in ways the skeleton
+    /// cannot patch (`ProducersOnly` relay rows) or freeze variables from a
+    /// state snapshot (`replan = false`).
+    fn incremental_eligible(&self) -> bool {
+        self.config.reuse_solver_context
+            && self.config.replan
+            && self.config.relay_policy == RelayPolicy::All
+    }
+
+    /// Core planning round: build or extend, warm-start, solve, decode,
+    /// install.
     fn plan_streams(
         &mut self,
         q: QueryId,
@@ -208,9 +305,16 @@ impl SqprPlanner {
             full = full_space(&self.catalog);
             &full
         };
+        let incremental = self.incremental_eligible();
+        let sig = CacheSig::of(&self.config);
+        if !incremental || self.ctx.cache.as_ref().is_some_and(|c| c.sig != sig) {
+            self.ctx = SolverContext::default();
+        }
         // Cutting-plane rounds: in lazy-acyclicity mode the branch & bound
         // rejects acausal incumbents; the cuts they violate are added and
         // the model re-solved so the true optimum is not lost to pruning.
+        // (The incremental path accumulates its cuts in the cache instead —
+        // they stay valid for every later submission.)
         let mut cuts: Vec<AvailabilityCut> = Vec::new();
         let max_rounds = if self.config.acyclicity == AcyclicityMode::Lazy {
             3
@@ -218,74 +322,133 @@ impl SqprPlanner {
             1
         };
         let mut round = 0;
+        let mut warm: Option<Vec<f64>> = None;
+        let mut admitting_start = false;
+        let mut warm_ready = false;
         loop {
             round += 1;
             let last_round = round >= max_rounds;
-            let model = PlanningModel::build(&ModelInputs {
-                catalog: &self.catalog,
-                state: &self.state,
-                space,
-                new_streams,
-                weights: self.config.weights,
-                relay_policy: self.config.relay_policy,
-                acyclicity: self.config.acyclicity,
-                replan: self.config.replan,
-                cuts: &cuts,
-            });
+            let fresh_model;
+            let model: &PlanningModel = if incremental {
+                match &mut self.ctx.cache {
+                    None => {
+                        let model = PlanningModel::build(&ModelInputs {
+                            catalog: &self.catalog,
+                            state: &self.state,
+                            space,
+                            new_streams,
+                            weights: self.config.weights,
+                            relay_policy: self.config.relay_policy,
+                            acyclicity: self.config.acyclicity,
+                            replan: self.config.replan,
+                            cuts: &cuts,
+                        });
+                        self.ctx.cache = Some(ModelCache {
+                            model,
+                            space: space.clone(),
+                            cuts: cuts.clone(),
+                            sig: sig.clone(),
+                        });
+                    }
+                    Some(cache) => {
+                        cache.space.merge(space);
+                        for c in cuts.drain(..) {
+                            if !cache.cuts.contains(&c) {
+                                cache.cuts.push(c);
+                            }
+                        }
+                        cache.model.extend(&ModelInputs {
+                            catalog: &self.catalog,
+                            state: &self.state,
+                            space: &cache.space,
+                            new_streams,
+                            weights: self.config.weights,
+                            relay_policy: self.config.relay_policy,
+                            acyclicity: self.config.acyclicity,
+                            replan: self.config.replan,
+                            cuts: &cache.cuts,
+                        });
+                        cache
+                            .model
+                            .apply_reduction(space, &self.state, &self.catalog);
+                    }
+                }
+                &self.ctx.cache.as_ref().expect("cache just ensured").model
+            } else {
+                fresh_model = PlanningModel::build(&ModelInputs {
+                    catalog: &self.catalog,
+                    state: &self.state,
+                    space,
+                    new_streams,
+                    weights: self.config.weights,
+                    relay_policy: self.config.relay_policy,
+                    acyclicity: self.config.acyclicity,
+                    replan: self.config.replan,
+                    cuts: &cuts,
+                });
+                &fresh_model
+            };
 
             // Warm starts: prefer a constructively *admitting* start (greedy,
             // reuse-aware); otherwise fall back to the current deployment
-            // (non-admitting but always feasible thanks to IV.9).
-            let mut admitting_start = false;
-            let warm = if self.config.warm_start {
-                // Note: in the reuse-off ablation batch submissions use a
-                // sentinel query id, so the tag misses the per-query private
-                // streams and construction falls back to the non-admitting
-                // start (graceful degradation; B&B still searches).
-                let tag = if self.config.reuse {
-                    0
-                } else {
-                    u64::from(q.0) + 1
-                };
-                let mut cand = self.state.clone();
-                let mut all_ok = true;
-                for &s in new_streams {
-                    match greedy_admit(&self.catalog, &cand, s, tag) {
-                        Some(next) => cand = next,
-                        None => {
-                            all_ok = false;
-                            break;
+            // (non-admitting but always feasible thanks to IV.9). Computed
+            // once per submission: later cut rounds only append availability
+            // cut rows, which any causal start satisfies by construction, so
+            // the vector (variable-indexed, and cuts add no variables) stays
+            // valid verbatim.
+            if !warm_ready {
+                warm_ready = true;
+                if self.config.warm_start {
+                    // Note: in the reuse-off ablation batch submissions use a
+                    // sentinel query id, so the tag misses the per-query
+                    // private streams and construction falls back to the
+                    // non-admitting start (graceful degradation; B&B still
+                    // searches).
+                    let tag = if self.config.reuse {
+                        0
+                    } else {
+                        u64::from(q.0) + 1
+                    };
+                    let mut cand = self.state.clone();
+                    let mut all_ok = true;
+                    for &s in new_streams {
+                        match greedy_admit(&self.catalog, &cand, s, tag) {
+                            Some(next) => cand = next,
+                            None => {
+                                all_ok = false;
+                                break;
+                            }
                         }
                     }
-                }
-                if all_ok {
-                    let w = model.warm_start(&cand, &self.catalog);
-                    if let Some(w) = &w {
-                        if model.milp.is_feasible(w, 1e-6) {
-                            admitting_start = true;
+                    warm = if all_ok {
+                        let w = model.warm_start(&cand, &self.catalog);
+                        if let Some(w) = &w {
+                            if model.milp.is_feasible(w, 1e-6) {
+                                admitting_start = true;
+                            }
                         }
-                    }
-                    if admitting_start {
-                        w
+                        if admitting_start {
+                            w
+                        } else {
+                            model.warm_start(&self.state, &self.catalog)
+                        }
                     } else {
                         model.warm_start(&self.state, &self.catalog)
-                    }
-                } else {
-                    model.warm_start(&self.state, &self.catalog)
+                    };
                 }
-            } else {
-                None
-            };
-            debug_assert!(
-                warm.as_ref()
-                    .is_none_or(|w| model.milp.is_feasible(w, 1e-6)),
-                "warm start must be feasible"
-            );
+                debug_assert!(
+                    warm.as_ref()
+                        .is_none_or(|w| model.milp.is_feasible(w, 1e-6)),
+                    "warm start must be feasible"
+                );
+            }
 
-            let mut lp_opts = sqpr_lp::SimplexOptions::default();
             // Big-M acyclicity rows make the relaxations heavily degenerate;
             // the perturbation cuts simplex iteration counts several-fold.
-            lp_opts.perturb = 1e-7;
+            let lp_opts = sqpr_lp::SimplexOptions {
+                perturb: 1e-7,
+                ..sqpr_lp::SimplexOptions::default()
+            };
             let opts = MilpOptions {
                 // With an admitting incumbent, λ1-dominance means the incumbent
                 // is within the MIP gap after a handful of nodes; reserve the
@@ -306,10 +469,27 @@ impl SqprPlanner {
                 // incumbent in hand they rarely pay off.
                 dive_every: if admitting_start { 0 } else { 16 },
                 presolve: true,
+                // In-tree parent-basis reuse is model-local and valid for
+                // every config, so it follows the ablation flag directly
+                // (not `incremental`): configs that merely fall back to
+                // fresh builds (ProducersOnly, replan=false) keep it, while
+                // `reuse_solver_context = false` is the full cold-start
+                // path (fresh model, every LP from the slack identity).
+                reuse_bases: self.config.reuse_solver_context,
                 lp: lp_opts,
             };
             let new_cuts: std::cell::RefCell<Vec<AvailabilityCut>> =
                 std::cell::RefCell::new(Vec::new());
+            let warm_ctx = MilpWarmStart {
+                start: warm.as_deref(),
+                // The previous submission's root basis: the skeleton only
+                // appended columns/rows since, so it adapts in place.
+                root_basis: if incremental {
+                    self.ctx.root_basis.as_ref()
+                } else {
+                    None
+                },
+            };
             let result = if self.config.acyclicity == AcyclicityMode::Lazy {
                 let filter = |xsol: &[f64]| {
                     let violated = model.find_acausal_cuts(xsol, &self.state, &self.catalog);
@@ -320,14 +500,20 @@ impl SqprPlanner {
                         false
                     }
                 };
-                solve_filtered(&model.milp, &opts, warm.as_deref(), &filter)
+                solve_filtered_warm(&model.milp, &opts, warm_ctx, &filter)
             } else {
-                solve_with_start(&model.milp, &opts, warm.as_deref())
+                solve_warm(&model.milp, &opts, warm_ctx)
             };
             // If acausal candidates were pruned, the claimed optimum may be
             // wrong: add their cuts and re-solve (unless out of rounds).
             let mut fresh = new_cuts.into_inner();
-            fresh.retain(|c| !cuts.contains(c));
+            match &self.ctx.cache {
+                Some(cache) if incremental => fresh.retain(|c| !cache.cuts.contains(c)),
+                _ => fresh.retain(|c| !cuts.contains(c)),
+            }
+            if incremental {
+                self.ctx.root_basis = result.root_basis.clone();
+            }
             if !fresh.is_empty() && !last_round {
                 cuts.extend(fresh);
                 continue;
@@ -367,14 +553,17 @@ impl SqprPlanner {
                 model_vars: model.num_vars(),
                 model_cons: model.num_cons(),
                 proved_optimal: result.status == MilpStatus::Optimal,
+                incremental,
             };
         }
     }
 
     /// Updates a base stream's observed rate (propagating to derived
-    /// streams and operator costs; see §IV-B).
+    /// streams and operator costs; see §IV-B). Rates are baked into the
+    /// skeleton's coefficients, so the solver context is invalidated.
     pub fn update_base_rate(&mut self, s: StreamId, rate: f64) {
         self.catalog.update_base_rate(s, rate);
+        self.invalidate_solver_context();
     }
 
     /// Registers a mirrored base stream at `host` (used by the hierarchical
@@ -389,7 +578,9 @@ impl SqprPlanner {
     }
 
     /// Removes a query; garbage-collects allocation pieces that no longer
-    /// serve anything (used by adaptive re-planning, §IV-B).
+    /// serve anything (used by adaptive re-planning, §IV-B). Shrinking the
+    /// deployment invalidates the solver context (the skeleton's demand
+    /// rows and residuals assume a monotonically growing system).
     pub fn remove_query(&mut self, q: QueryId) -> bool {
         let Some(stream) = self.state.remove_query(q) else {
             return false;
@@ -400,6 +591,7 @@ impl SqprPlanner {
             self.state.clear_provided(stream);
             garbage_collect(&mut self.state, &self.catalog);
         }
+        self.invalidate_solver_context();
         true
     }
 
@@ -424,6 +616,7 @@ impl SqprPlanner {
                 model_vars: 0,
                 model_cons: 0,
                 proved_optimal: true,
+                incremental: false,
             });
         }
         let outcome = self.plan_streams(q, &[spec2.result], &space);

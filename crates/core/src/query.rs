@@ -102,8 +102,8 @@ pub fn register_join_query(
         }
     };
 
-    for size in 2..=k {
-        for &mask in &subsets_by_size[size].clone() {
+    for size_masks in subsets_by_size.iter().skip(2) {
+        for &mask in size_masks {
             let out = stream_of_mask(catalog, mask);
             if !space.streams.contains(&out) {
                 space.streams.push(out);

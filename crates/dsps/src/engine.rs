@@ -372,8 +372,10 @@ mod tests {
         // ticks of input rate), not unbounded queue growth.
         assert!(report.final_backlog < 3.0 * 20.0, "{report:?}");
         // Doubling the simulated time must not grow the backlog (steady state).
-        let mut longer = EngineConfig::default();
-        longer.measure_ticks = 150;
+        let longer = EngineConfig {
+            measure_ticks: 150,
+            ..EngineConfig::default()
+        };
         let report2 = run(&c, &d, &longer);
         assert!(
             (report2.final_backlog - report.final_backlog).abs() < 1.0,
@@ -446,9 +448,11 @@ mod tests {
     #[test]
     fn noise_is_deterministic_per_seed() {
         let (c, d) = small_deployment();
-        let mut cfg = EngineConfig::default();
-        cfg.cpu_noise = 0.1;
-        cfg.seed = 42;
+        let mut cfg = EngineConfig {
+            cpu_noise: 0.1,
+            seed: 42,
+            ..EngineConfig::default()
+        };
         let r1 = run(&c, &d, &cfg);
         let r2 = run(&c, &d, &cfg);
         assert_eq!(r1.cpu_utilization, r2.cpu_utilization);

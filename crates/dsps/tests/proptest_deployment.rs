@@ -2,9 +2,13 @@
 //! and validation must behave sanely on arbitrary (even nonsensical)
 //! allocation states — validation reports errors, never panics, and the
 //! derivation is monotone.
+//!
+//! Implemented as seeded random-case loops (the sanctioned dependency set
+//! has no `proptest`); every case prints its seed on failure so it can be
+//! replayed deterministically.
 
-use proptest::prelude::*;
 use sqpr_dsps::{Catalog, CostModel, DeploymentState, HostId, HostSpec, StreamId};
+use sqpr_workload::rng::{Rng, StdRng};
 
 #[derive(Debug, Clone)]
 struct RandomAllocation {
@@ -15,29 +19,31 @@ struct RandomAllocation {
     availability: Vec<(u8, u8)>, // host, stream index
 }
 
-fn random_allocation() -> impl Strategy<Value = RandomAllocation> {
-    (2usize..=4, 3usize..=6)
-        .prop_flat_map(|(hosts, n_bases)| {
+fn random_allocation(rng: &mut StdRng) -> RandomAllocation {
+    let hosts = rng.gen_index(3) + 2;
+    let n_bases = rng.gen_index(4) + 3;
+    let flows = (0..rng.gen_index(12))
+        .map(|_| {
             (
-                Just(hosts),
-                Just(n_bases),
-                proptest::collection::vec(
-                    (0u8..hosts as u8, 0u8..hosts as u8, 0u8..(n_bases as u8 + 3)),
-                    0..12,
-                ),
-                proptest::collection::vec((0u8..hosts as u8, 0u8..3), 0..6),
-                proptest::collection::vec((0u8..hosts as u8, 0u8..(n_bases as u8 + 3)), 0..8),
+                rng.gen_index(hosts) as u8,
+                rng.gen_index(hosts) as u8,
+                rng.gen_index(n_bases + 3) as u8,
             )
         })
-        .prop_map(
-            |(hosts, n_bases, flows, placements, availability)| RandomAllocation {
-                hosts,
-                n_bases,
-                flows,
-                placements,
-                availability,
-            },
-        )
+        .collect();
+    let placements = (0..rng.gen_index(6))
+        .map(|_| (rng.gen_index(hosts) as u8, rng.gen_index(3) as u8))
+        .collect();
+    let availability = (0..rng.gen_index(8))
+        .map(|_| (rng.gen_index(hosts) as u8, rng.gen_index(n_bases + 3) as u8))
+        .collect();
+    RandomAllocation {
+        hosts,
+        n_bases,
+        flows,
+        placements,
+        availability,
+    }
 }
 
 /// Builds a catalog with `n_bases` bases and 3 join operators (so operator
@@ -61,11 +67,11 @@ fn build_catalog(hosts: usize, n_bases: usize) -> (Catalog, Vec<StreamId>) {
     (c, bases)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn validation_never_panics_and_derivation_is_sound(alloc in random_allocation()) {
+#[test]
+fn validation_never_panics_and_derivation_is_sound() {
+    for seed in 0..64u64 {
+        let mut rng = StdRng::seed_from_u64(0xD5 ^ seed);
+        let alloc = random_allocation(&mut rng);
         let (c, _) = build_catalog(alloc.hosts, alloc.n_bases);
         let n_streams = c.num_streams() as u8;
         let n_ops = c.num_operators() as u8;
@@ -98,23 +104,30 @@ proptest! {
             let via_op = d.placements().iter().any(|&(ph, o)| {
                 ph == h
                     && c.operator(o).output == s
-                    && c.operator(o).inputs.iter().all(|&i| derived.contains(&(h, i)))
+                    && c.operator(o)
+                        .inputs
+                        .iter()
+                        .all(|&i| derived.contains(&(h, i)))
             });
-            prop_assert!(
+            assert!(
                 is_base || via_flow || via_op,
-                "derived ({h}, {s}) without mechanism; errs: {errs:?}"
+                "seed {seed}: derived ({h}, {s}) without mechanism; errs: {errs:?}"
             );
         }
         // Claimed-but-underivable availability must be reported.
         for &(h, s) in d.available() {
             if !derived.contains(&(h, s)) {
-                prop_assert!(!errs.is_empty());
+                assert!(!errs.is_empty(), "seed {seed}: {alloc:?}");
             }
         }
     }
+}
 
-    #[test]
-    fn derivation_monotone_under_added_flows(alloc in random_allocation()) {
+#[test]
+fn derivation_monotone_under_added_flows() {
+    for seed in 0..64u64 {
+        let mut rng = StdRng::seed_from_u64(0xF70 ^ (seed << 3));
+        let alloc = random_allocation(&mut rng);
         let (c, _) = build_catalog(alloc.hosts, alloc.n_bases);
         let n_streams = c.num_streams() as u8;
         let mut d = DeploymentState::new();
@@ -125,6 +138,9 @@ proptest! {
             }
         }
         let after = d.derive_availability(&c);
-        prop_assert!(before.is_subset(&after), "adding flows removed availability");
+        assert!(
+            before.is_subset(&after),
+            "seed {seed}: adding flows removed availability"
+        );
     }
 }

@@ -9,6 +9,35 @@
 //! dependency set. It is written for the moderately sized, mostly-binary
 //! models produced by the SQPR query planner, but is a general LP solver:
 //!
+//! ## Warm starts and the basis-repair contract
+//!
+//! Every solve reports its final basis as a [`BasisState`] snapshot
+//! ([`problem::LpSolution::basis`]). Passing that snapshot to
+//! [`solve_from`] / [`solve_with_bounds_from`] starts the simplex from the
+//! captured vertex instead of the slack identity. The hint is *advisory*,
+//! never trusted:
+//!
+//! - **Appended columns** (the hinted problem was smaller) enter nonbasic
+//!   at their bound nearest zero; **appended rows** contribute their slack
+//!   to the basis so it stays square.
+//! - **Dropped columns** are patched out by slack substitution — the same
+//!   repair the LU factorisation applies to singular bases.
+//! - **Changed bounds** (branch & bound, the planner's variable fixing):
+//!   nonbasic statuses referring to a bound that no longer exists are
+//!   re-derived; if the repaired vertex is primal infeasible, the ordinary
+//!   composite phase-I walks it feasible (usually a handful of pivots
+//!   when the hint is close).
+//! - A hinted vertex that is already primal feasible **skips phase-I
+//!   entirely**; one that is also dual feasible terminates after a single
+//!   pricing pass.
+//!
+//! Arbitrarily malformed hints (wrong dimensions, duplicate basics,
+//! statuses contradicting the bounds) degrade to a cold start — they can
+//! cost pivots, never correctness. Re-solves additionally benefit from
+//! bound-flip-aware partial pricing (see [`SimplexOptions::pricing_window`]):
+//! only a rotating window plus a short-list of recently attractive columns
+//! is priced per iteration, and bound-fixed columns are skipped outright.
+//!
 //! ```
 //! use sqpr_lp::{ProblemBuilder, SimplexOptions, LpStatus, solve, INF};
 //!
@@ -41,5 +70,8 @@ pub mod simplex;
 pub mod sparse;
 
 pub use problem::{LpSolution, LpStatus, Problem, ProblemBuilder, INF};
-pub use simplex::{solve, solve_with_bounds, SimplexOptions};
+pub use simplex::{
+    solve, solve_from, solve_with_bounds, solve_with_bounds_from, BasisState, SimplexOptions,
+    VarBasisStatus,
+};
 pub use sparse::{CscMatrix, Triplet};

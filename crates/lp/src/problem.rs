@@ -211,6 +211,9 @@ pub struct LpSolution {
     pub row_activity: Vec<f64>,
     /// Simplex iterations used.
     pub iterations: usize,
+    /// Final basis snapshot, reusable as a warm-start hint for related
+    /// solves via [`crate::solve_from`] / [`crate::solve_with_bounds_from`].
+    pub basis: Option<crate::simplex::BasisState>,
 }
 
 #[cfg(test)]

@@ -8,11 +8,74 @@
 //! violation of basic variables drives the point feasible, after which the
 //! same loop continues with the true objective.
 //!
-//! Anti-cycling: Dantzig pricing normally, falling back to Bland's rule
-//! after a stall (no objective progress) is detected.
+//! Warm starts: [`solve_from`] / [`solve_with_bounds_from`] accept a
+//! [`BasisState`] captured from a previous solve (possibly of a *smaller*
+//! problem) and start from that vertex instead of the slack identity. The
+//! hint is validated and repaired against the current dimensions — see
+//! [`BasisState`] for the exact contract. When the hinted vertex is primal
+//! feasible, phase-I is skipped entirely and the solve goes straight to
+//! optimising the true objective.
+//!
+//! Pricing: Dantzig over all columns for small systems; for larger systems
+//! a bound-flip-aware *partial* pricing scheme (rotating candidate window +
+//! a short-list of recently attractive columns) prices only a fraction of
+//! the `n + m` columns per iteration. Bland's rule (full scan) engages
+//! after a stall is detected, preserving the anti-cycling guarantee.
 
 use crate::basis::Basis;
 use crate::problem::{LpSolution, LpStatus, Problem};
+
+/// Public basis-status of one variable (structural or slack) in a
+/// [`BasisState`] snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VarBasisStatus {
+    /// In the basis; its value is determined by `B x_B = -N x_N`.
+    Basic,
+    /// Nonbasic at its lower bound.
+    AtLower,
+    /// Nonbasic at its upper bound.
+    AtUpper,
+    /// Nonbasic free variable parked at zero.
+    Free,
+}
+
+/// A snapshot of a simplex basis, detached from any particular solver
+/// instance, used to warm-start later solves.
+///
+/// Variables are indexed globally: structural columns `0..ncols`, then one
+/// slack per row at `ncols..ncols + nrows`.
+///
+/// ## Warm-start / repair contract
+///
+/// A `BasisState` captured from a solve of an `m x n` problem may be
+/// replayed against a problem of *different* dimensions `m' x n'`
+/// (the planner appends query columns/rows between submissions):
+///
+/// - structural columns `j < min(n, n')` keep their status; **appended**
+///   columns (`j >= n`) enter nonbasic at their bound nearest zero;
+/// - **dropped** structural columns (`j >= n'`) are patched out of the
+///   basis — the vacated basis position is filled with the slack of a row
+///   not already covered (slack substitution), exactly the repair the
+///   factorisation itself performs on singular bases;
+/// - slack statuses are remapped from `n + i` to `n' + i`; slacks of
+///   **appended** rows (`i >= m`) enter the basis so the basis stays square;
+/// - a nonbasic status pointing at an infinite bound (the bounds may have
+///   changed between solves) is re-derived from the current bounds.
+///
+/// After repair the basis is refactorised (with the standard singularity
+/// repair) and basic values are recomputed. If the resulting vertex is
+/// primal feasible within `tol_feas`, phase-I is skipped.
+#[derive(Debug, Clone)]
+pub struct BasisState {
+    /// Structural column count at capture time.
+    pub ncols: usize,
+    /// Row count at capture time.
+    pub nrows: usize,
+    /// Global column index occupying each basis position (`len == nrows`).
+    pub basic: Vec<usize>,
+    /// Status per global variable (`len == ncols + nrows`).
+    pub status: Vec<VarBasisStatus>,
+}
 
 /// Options controlling a simplex solve.
 #[derive(Debug, Clone)]
@@ -33,6 +96,13 @@ pub struct SimplexOptions {
     /// (0 disables). The perturbation is removed before termination, so
     /// reported optima are exact for the true objective.
     pub perturb: f64,
+    /// Partial-pricing window: how many columns are scanned per pricing
+    /// round before settling on the best candidate seen. `0` selects
+    /// automatically (full Dantzig pricing for systems with
+    /// `n + m <= 600`, a window of `max(256, (n + m) / 8)` beyond that);
+    /// `usize::MAX` forces full pricing. Bland's anti-cycling rule always
+    /// scans fully regardless of this setting.
+    pub pricing_window: usize,
 }
 
 impl Default for SimplexOptions {
@@ -45,6 +115,7 @@ impl Default for SimplexOptions {
             refactor_interval: 64,
             stall_limit: 256,
             perturb: 0.0,
+            pricing_window: 0,
         }
     }
 }
@@ -73,7 +144,32 @@ pub fn solve_with_bounds(
     col_ub: &[f64],
     opts: &SimplexOptions,
 ) -> LpSolution {
-    Solver::new(problem, col_lb, col_ub, opts).run()
+    Solver::new(problem, col_lb, col_ub, None, opts).run()
+}
+
+/// Warm-started solve: like [`solve`], but starts from `basis_hint`
+/// (captured from a previous [`LpSolution::basis`]) instead of the slack
+/// identity. The hint may come from a differently-sized problem — see the
+/// [`BasisState`] repair contract. Passing `None` is identical to [`solve`].
+pub fn solve_from(
+    problem: &Problem,
+    basis_hint: Option<&BasisState>,
+    opts: &SimplexOptions,
+) -> LpSolution {
+    let (lb, ub) = problem.col_bounds();
+    solve_with_bounds_from(problem, lb, ub, basis_hint, opts)
+}
+
+/// Warm-started solve with overridden column bounds: the branch & bound
+/// entry point for re-solving a node LP from its parent's optimal basis.
+pub fn solve_with_bounds_from(
+    problem: &Problem,
+    col_lb: &[f64],
+    col_ub: &[f64],
+    basis_hint: Option<&BasisState>,
+    opts: &SimplexOptions,
+) -> LpSolution {
+    Solver::new(problem, col_lb, col_ub, basis_hint, opts).run()
 }
 
 struct Solver<'a> {
@@ -100,6 +196,16 @@ struct Solver<'a> {
     /// Columns excluded from pricing this round (failed pivots).
     banned: Vec<bool>,
     iterations: usize,
+    /// Effective partial-pricing window (`n + m` disables partial pricing).
+    window: usize,
+    /// Rotating scan position for partial pricing.
+    price_cursor: usize,
+    /// Short-list of recently attractive columns, re-priced before any
+    /// window scan. Stays valid across bound flips (duals unchanged).
+    candidates: Vec<usize>,
+    /// Whether `self.y` currently holds the duals of the active basis and
+    /// phase (bound flips leave phase-2 duals intact).
+    duals_valid: bool,
 }
 
 /// Outcome of one pricing step.
@@ -124,7 +230,13 @@ enum Ratio {
 }
 
 impl<'a> Solver<'a> {
-    fn new(p: &'a Problem, col_lb: &[f64], col_ub: &[f64], opts: &'a SimplexOptions) -> Self {
+    fn new(
+        p: &'a Problem,
+        col_lb: &[f64],
+        col_ub: &[f64],
+        hint: Option<&BasisState>,
+        opts: &'a SimplexOptions,
+    ) -> Self {
         let n = p.ncols();
         let m = p.nrows();
         assert_eq!(col_lb.len(), n);
@@ -138,7 +250,8 @@ impl<'a> Solver<'a> {
         ub.extend_from_slice(row_ub);
 
         // Nonbasic structural variables start at the finite bound closest to
-        // zero; free variables park at zero. Slacks form the initial basis.
+        // zero; free variables park at zero. Slacks form the initial basis —
+        // unless a basis hint overrides both below.
         let mut status = Vec::with_capacity(n + m);
         let mut x = Vec::with_capacity(n + m);
         for j in 0..n {
@@ -146,12 +259,14 @@ impl<'a> Solver<'a> {
             status.push(s);
             x.push(v);
         }
-        for i in 0..m {
+        for _ in 0..m {
             status.push(VarStatus::Basic);
             x.push(0.0);
-            let _ = i;
         }
-        let basic: Vec<usize> = (n..n + m).collect();
+        let basic = match hint {
+            Some(h) => adapt_hint(h, n, m, &lb, &ub, &mut status, &mut x),
+            None => (n..n + m).collect(),
+        };
         let basis = Basis::new(p.matrix(), basic);
         // Deterministic multiplicative cost perturbation: breaks the massive
         // dual degeneracy of big-M models without changing the optimal basis
@@ -188,9 +303,59 @@ impl<'a> Solver<'a> {
             rhs: vec![0.0; m],
             banned: vec![false; n + m],
             iterations: 0,
+            window: effective_window(opts.pricing_window, n + m),
+            price_cursor: 0,
+            candidates: Vec::new(),
+            duals_valid: false,
         };
+        // A hinted basis may have been repaired during factorisation
+        // (slack substitution for singular/dropped columns); reconcile the
+        // statuses with what the basis actually holds.
+        if hint.is_some() {
+            s.reconcile_statuses();
+        }
         s.recompute_basics();
         s
+    }
+
+    /// Snapshots the current basis for reuse by a later solve.
+    fn capture_basis(&self) -> BasisState {
+        BasisState {
+            ncols: self.n,
+            nrows: self.m,
+            basic: self.basis.basic_columns().to_vec(),
+            status: self
+                .status
+                .iter()
+                .map(|s| match s {
+                    VarStatus::Basic => VarBasisStatus::Basic,
+                    VarStatus::AtLower => VarBasisStatus::AtLower,
+                    VarStatus::AtUpper => VarBasisStatus::AtUpper,
+                    VarStatus::FreeNb => VarBasisStatus::Free,
+                })
+                .collect(),
+        }
+    }
+
+    /// Rewrites `self.status`/`self.x` to agree with the basis content:
+    /// every variable the basis holds becomes `Basic`; variables the basis
+    /// dropped (factorisation repair) are parked at their nearest bound.
+    fn reconcile_statuses(&mut self) {
+        let mut is_basic = vec![false; self.n + self.m];
+        for pos in 0..self.m {
+            is_basic[self.basis.basic_at(pos)] = true;
+        }
+        for j in 0..self.n + self.m {
+            match (is_basic[j], self.status[j]) {
+                (true, _) => self.status[j] = VarStatus::Basic,
+                (false, VarStatus::Basic) => {
+                    let (s, v) = nearest_bound(self.x[j], self.lb[j], self.ub[j]);
+                    self.status[j] = s;
+                    self.x[j] = v;
+                }
+                _ => {}
+            }
+        }
     }
 
     /// Recomputes basic variable values from the nonbasic point:
@@ -279,48 +444,110 @@ impl<'a> Solver<'a> {
         self.basis.btran(&mut self.y);
     }
 
-    /// Dantzig (or Bland) pricing over nonbasic variables.
-    fn price(&mut self, phase1: bool, bland: bool) -> Pricing {
+    /// Prices one nonbasic column: `Some((dir, score))` when attractive.
+    #[inline]
+    fn price_one(&self, j: usize, phase1: bool) -> Option<(f64, f64)> {
+        if self.banned[j] {
+            return None;
+        }
+        // Fixed columns (lb == ub) have zero travel range: entering them
+        // can only produce a degenerate bound flip. Models with many
+        // bound-fixed variables (the planner's reduction fixing) would
+        // otherwise waste most pricing work on them.
+        if self.lb[j] == self.ub[j] {
+            return None;
+        }
         let tol = self.opts.tol_dual;
+        match self.status[j] {
+            VarStatus::Basic => None,
+            VarStatus::AtLower => {
+                let d = self.reduced_cost(j, phase1);
+                (d < -tol).then_some((1.0, -d))
+            }
+            VarStatus::AtUpper => {
+                let d = self.reduced_cost(j, phase1);
+                (d > tol).then_some((-1.0, d))
+            }
+            VarStatus::FreeNb => {
+                let d = self.reduced_cost(j, phase1);
+                if d < -tol {
+                    Some((1.0, -d))
+                } else if d > tol {
+                    Some((-1.0, d))
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// Pricing over nonbasic variables.
+    ///
+    /// - Bland mode: full scan, first attractive column by index
+    ///   (anti-cycling requires it).
+    /// - Full Dantzig (window >= n + m): best score over all columns.
+    /// - Partial: re-price the candidate short-list first (still valid
+    ///   after bound flips — the duals are unchanged), then scan a
+    ///   rotating window; only an empty full rotation proves optimality.
+    fn price(&mut self, phase1: bool, bland: bool) -> Pricing {
+        let total = self.n + self.m;
+        if bland {
+            for j in 0..total {
+                if let Some((dir, _)) = self.price_one(j, phase1) {
+                    return Pricing::Enter { j, dir };
+                }
+            }
+            return Pricing::Optimal;
+        }
+
         let mut best: Option<(usize, f64, f64)> = None; // (j, dir, score)
-        for j in 0..self.n + self.m {
-            if self.banned[j] {
-                continue;
+        if self.window >= total {
+            for j in 0..total {
+                if let Some((dir, score)) = self.price_one(j, phase1) {
+                    if best.is_none_or(|(_, _, s)| score > s) {
+                        best = Some((j, dir, score));
+                    }
+                }
             }
-            let (dir, score) = match self.status[j] {
-                VarStatus::Basic => continue,
-                VarStatus::AtLower => {
-                    let d = self.reduced_cost(j, phase1);
-                    if d < -tol {
-                        (1.0, -d)
-                    } else {
-                        continue;
-                    }
-                }
-                VarStatus::AtUpper => {
-                    let d = self.reduced_cost(j, phase1);
-                    if d > tol {
-                        (-1.0, d)
-                    } else {
-                        continue;
-                    }
-                }
-                VarStatus::FreeNb => {
-                    let d = self.reduced_cost(j, phase1);
-                    if d < -tol {
-                        (1.0, -d)
-                    } else if d > tol {
-                        (-1.0, d)
-                    } else {
-                        continue;
-                    }
-                }
+            return match best {
+                Some((j, dir, _)) => Pricing::Enter { j, dir },
+                None => Pricing::Optimal,
             };
-            if bland {
-                return Pricing::Enter { j, dir };
+        }
+
+        // Candidate short-list: re-price, drop stale entries, keep the best.
+        let mut kept = 0;
+        for k in 0..self.candidates.len() {
+            let j = self.candidates[k];
+            if let Some((dir, score)) = self.price_one(j, phase1) {
+                self.candidates[kept] = j;
+                kept += 1;
+                if best.is_none_or(|(_, _, s)| score > s) {
+                    best = Some((j, dir, score));
+                }
             }
-            if best.is_none_or(|(_, _, s)| score > s) {
-                best = Some((j, dir, score));
+        }
+        self.candidates.truncate(kept);
+        if let Some((j, dir, _)) = best {
+            return Pricing::Enter { j, dir };
+        }
+
+        // Rotating window scan; a full empty rotation proves optimality.
+        let mut scanned = 0usize;
+        while scanned < total {
+            let j = self.price_cursor;
+            self.price_cursor = (self.price_cursor + 1) % total;
+            scanned += 1;
+            if let Some((dir, score)) = self.price_one(j, phase1) {
+                if self.candidates.len() < MAX_CANDIDATES {
+                    self.candidates.push(j);
+                }
+                if best.is_none_or(|(_, _, s)| score > s) {
+                    best = Some((j, dir, score));
+                }
+            }
+            if best.is_some() && scanned >= self.window {
+                break;
             }
         }
         match best {
@@ -477,7 +704,12 @@ impl<'a> Solver<'a> {
                 }
             }
 
-            self.compute_duals(phase1);
+            // Phase-1 duals depend on the basic point (violation signs), so
+            // only phase-2 duals survive a bound flip.
+            if !self.duals_valid || phase1 {
+                self.compute_duals(phase1);
+            }
+            self.duals_valid = !phase1;
             let (j, dir) = match self.price(phase1, bland) {
                 Pricing::Optimal => {
                     if phase1 {
@@ -490,6 +722,7 @@ impl<'a> Solver<'a> {
                         self.perturbed = false;
                         self.work_obj.copy_from_slice(self.p.objective());
                         last_obj = f64::INFINITY;
+                        self.duals_valid = false;
                         continue;
                     }
                     break LpStatus::Optimal;
@@ -541,6 +774,7 @@ impl<'a> Solver<'a> {
                     };
                     self.basis.replace(pos, j, &self.w);
                     self.status[j] = VarStatus::Basic;
+                    self.duals_valid = false;
                     pivots_since_refactor += 1;
 
                     if pivots_since_refactor >= self.opts.refactor_interval
@@ -571,32 +805,13 @@ impl<'a> Solver<'a> {
     }
 
     fn refactorize_and_repair(&mut self) {
-        let repaired = self.basis.refactorize();
-        for pos in repaired {
-            // The repair kicked the previous occupant out for a slack; give
-            // the evicted variable a nonbasic status at its nearest bound.
-            // (We cannot know which variable was evicted here, so instead we
-            // fix statuses from the basis itself below.)
-            let _ = pos;
-        }
-        // Reconcile statuses with the (possibly repaired) basis.
-        let mut is_basic = vec![false; self.n + self.m];
-        for pos in 0..self.m {
-            is_basic[self.basis.basic_at(pos)] = true;
-        }
-        for j in 0..self.n + self.m {
-            match (is_basic[j], self.status[j]) {
-                (true, _) => self.status[j] = VarStatus::Basic,
-                (false, VarStatus::Basic) => {
-                    // Evicted by repair: park at the nearest finite bound.
-                    let (s, v) = nearest_bound(self.x[j], self.lb[j], self.ub[j]);
-                    self.status[j] = s;
-                    self.x[j] = v;
-                }
-                _ => {}
-            }
-        }
+        // The repair may kick variables out for slacks; we cannot know
+        // which from the return value alone, so statuses are reconciled
+        // from the basis content itself.
+        let _ = self.basis.refactorize();
+        self.reconcile_statuses();
         self.recompute_basics();
+        self.duals_valid = false;
     }
 
     fn finish(mut self, status: LpStatus) -> LpSolution {
@@ -605,6 +820,7 @@ impl<'a> Solver<'a> {
         let x: Vec<f64> = self.x[..self.n].to_vec();
         let row_activity: Vec<f64> = (0..self.m).map(|i| self.x[self.n + i]).collect();
         let objective = self.p.objective_value(&x);
+        let basis = self.capture_basis();
         LpSolution {
             status,
             objective,
@@ -612,8 +828,114 @@ impl<'a> Solver<'a> {
             duals: self.y.clone(),
             row_activity,
             iterations: self.iterations,
+            basis: Some(basis),
         }
     }
+}
+
+/// Resolves the partial-pricing window for a system of `total` columns.
+fn effective_window(requested: usize, total: usize) -> usize {
+    match requested {
+        0 => {
+            if total <= 600 {
+                total
+            } else {
+                (total / 8).max(256)
+            }
+        }
+        w => w.min(total),
+    }
+}
+
+/// Maximum length of the pricing candidate short-list.
+const MAX_CANDIDATES: usize = 64;
+
+/// Adapts a basis hint (possibly captured from a differently-sized
+/// problem) to the current `m x n` dimensions, writing nonbasic statuses
+/// and values into `status`/`x` and returning the repaired basic set.
+/// See [`BasisState`] for the contract.
+fn adapt_hint(
+    h: &BasisState,
+    n: usize,
+    m: usize,
+    lb: &[f64],
+    ub: &[f64],
+    status: &mut [VarStatus],
+    x: &mut [f64],
+) -> Vec<usize> {
+    // Map a capture-time global index to a current one.
+    let remap = |g: usize| -> Option<usize> {
+        if g < h.ncols {
+            (g < n).then_some(g)
+        } else {
+            let i = g - h.ncols;
+            (i < m).then(|| n + i)
+        }
+    };
+
+    // Statuses for surviving variables. A nonbasic status referring to an
+    // infinite bound (bounds may have changed between solves) is
+    // re-derived from the current bounds.
+    let mut apply = |j: usize, s: VarBasisStatus| {
+        let (st, v) = match s {
+            VarBasisStatus::Basic => (VarStatus::Basic, 0.0),
+            VarBasisStatus::AtLower if lb[j].is_finite() => (VarStatus::AtLower, lb[j]),
+            VarBasisStatus::AtUpper if ub[j].is_finite() => (VarStatus::AtUpper, ub[j]),
+            VarBasisStatus::Free if !lb[j].is_finite() && !ub[j].is_finite() => {
+                (VarStatus::FreeNb, 0.0)
+            }
+            _ => initial_nonbasic(lb[j], ub[j]),
+        };
+        status[j] = st;
+        x[j] = v;
+    };
+    for (g, &s) in h.status.iter().enumerate() {
+        if let Some(j) = remap(g) {
+            apply(j, s);
+        }
+    }
+
+    // Basic set: surviving entries keep their order; slacks of appended
+    // rows join; dropped columns leave holes filled by unused slacks
+    // (slack substitution).
+    let mut in_basis = vec![false; n + m];
+    let mut basic = Vec::with_capacity(m);
+    for &g in &h.basic {
+        if basic.len() == m {
+            break;
+        }
+        if let Some(j) = remap(g) {
+            if !in_basis[j] {
+                in_basis[j] = true;
+                basic.push(j);
+            }
+        }
+    }
+    for i in h.nrows..m {
+        if basic.len() == m {
+            break;
+        }
+        if !in_basis[n + i] {
+            in_basis[n + i] = true;
+            basic.push(n + i);
+        }
+    }
+    let mut next_slack = 0usize;
+    while basic.len() < m {
+        while in_basis[n + next_slack] {
+            next_slack += 1;
+        }
+        in_basis[n + next_slack] = true;
+        basic.push(n + next_slack);
+    }
+
+    // The basis owns these variables regardless of what the status map
+    // said; anything claiming Basic without a seat is reseated after
+    // factorisation by `reconcile_statuses`.
+    for &j in &basic {
+        status[j] = VarStatus::Basic;
+    }
+    basic
 }
 
 fn initial_nonbasic(lb: f64, ub: f64) -> (VarStatus, f64) {
@@ -849,6 +1171,235 @@ mod tests {
 }
 
 #[cfg(test)]
+mod warm_start_tests {
+    use super::*;
+    use crate::problem::{ProblemBuilder, INF};
+
+    fn approx(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-6, "{a} != {b}");
+    }
+
+    /// Dantzig's example: max 3x + 5y, optimum (2, 6), objective -36.
+    fn dantzig() -> crate::problem::Problem {
+        let mut b = ProblemBuilder::new();
+        let x = b.add_col(-3.0, 0.0, INF);
+        let y = b.add_col(-5.0, 0.0, INF);
+        let r0 = b.add_row(-INF, 4.0);
+        b.set_coeff(r0, x, 1.0);
+        let r1 = b.add_row(-INF, 12.0);
+        b.set_coeff(r1, y, 2.0);
+        let r2 = b.add_row(-INF, 18.0);
+        b.set_coeff(r2, x, 3.0);
+        b.set_coeff(r2, y, 2.0);
+        b.build()
+    }
+
+    #[test]
+    fn resolve_from_own_basis_takes_one_iteration() {
+        let p = dantzig();
+        let opts = SimplexOptions::default();
+        let cold = solve(&p, &opts);
+        assert_eq!(cold.status, LpStatus::Optimal);
+        let warm = solve_from(&p, cold.basis.as_ref(), &opts);
+        assert_eq!(warm.status, LpStatus::Optimal);
+        approx(warm.objective, cold.objective);
+        // The hinted basis is already optimal: one pricing pass suffices.
+        assert!(
+            warm.iterations <= 1,
+            "warm solve took {} iterations",
+            warm.iterations
+        );
+    }
+
+    #[test]
+    fn warm_start_survives_added_column() {
+        let p = dantzig();
+        let opts = SimplexOptions::default();
+        let cold = solve(&p, &opts);
+
+        // Same rows, one extra (attractive) column: z with obj -4.
+        let mut b = ProblemBuilder::new();
+        let x = b.add_col(-3.0, 0.0, INF);
+        let y = b.add_col(-5.0, 0.0, INF);
+        let z = b.add_col(-4.0, 0.0, 1.0);
+        let r0 = b.add_row(-INF, 4.0);
+        b.set_coeff(r0, x, 1.0);
+        let r1 = b.add_row(-INF, 12.0);
+        b.set_coeff(r1, y, 2.0);
+        let r2 = b.add_row(-INF, 18.0);
+        b.set_coeff(r2, x, 3.0);
+        b.set_coeff(r2, y, 2.0);
+        b.set_coeff(r2, z, 1.0);
+        let p2 = b.build();
+
+        let cold2 = solve(&p2, &opts);
+        let warm2 = solve_from(&p2, cold.basis.as_ref(), &opts);
+        assert_eq!(warm2.status, LpStatus::Optimal);
+        approx(warm2.objective, cold2.objective);
+        assert!(p2.is_feasible(&warm2.x, 1e-7));
+        assert!(
+            warm2.iterations <= cold2.iterations,
+            "warm {} > cold {}",
+            warm2.iterations,
+            cold2.iterations
+        );
+    }
+
+    #[test]
+    fn warm_start_survives_dropped_column() {
+        // Solve the 3-column problem, then warm-start the 2-column one
+        // with the stale basis: dropped columns are patched out via slack
+        // substitution.
+        let mut b = ProblemBuilder::new();
+        let x = b.add_col(-3.0, 0.0, INF);
+        let y = b.add_col(-5.0, 0.0, INF);
+        let z = b.add_col(-4.0, 0.0, 1.0);
+        let r0 = b.add_row(-INF, 4.0);
+        b.set_coeff(r0, x, 1.0);
+        let r1 = b.add_row(-INF, 12.0);
+        b.set_coeff(r1, y, 2.0);
+        let r2 = b.add_row(-INF, 18.0);
+        b.set_coeff(r2, x, 3.0);
+        b.set_coeff(r2, y, 2.0);
+        b.set_coeff(r2, z, 1.0);
+        let p3 = b.build();
+        let opts = SimplexOptions::default();
+        let sol3 = solve(&p3, &opts);
+        assert_eq!(sol3.status, LpStatus::Optimal);
+        // z is basic at the optimum of p3 (it is attractive and feasible),
+        // so dropping it genuinely exercises the repair path.
+        let p2 = dantzig();
+        let warm = solve_from(&p2, sol3.basis.as_ref(), &opts);
+        assert_eq!(warm.status, LpStatus::Optimal);
+        approx(warm.objective, -36.0);
+        assert!(p2.is_feasible(&warm.x, 1e-7));
+    }
+
+    #[test]
+    fn warm_start_survives_added_row() {
+        let p = dantzig();
+        let opts = SimplexOptions::default();
+        let cold = solve(&p, &opts);
+
+        // Add a binding row x + y <= 7 (cuts off (2, 6)).
+        let mut b = ProblemBuilder::new();
+        let x = b.add_col(-3.0, 0.0, INF);
+        let y = b.add_col(-5.0, 0.0, INF);
+        let r0 = b.add_row(-INF, 4.0);
+        b.set_coeff(r0, x, 1.0);
+        let r1 = b.add_row(-INF, 12.0);
+        b.set_coeff(r1, y, 2.0);
+        let r2 = b.add_row(-INF, 18.0);
+        b.set_coeff(r2, x, 3.0);
+        b.set_coeff(r2, y, 2.0);
+        let r3 = b.add_row(-INF, 7.0);
+        b.set_coeff(r3, x, 1.0);
+        b.set_coeff(r3, y, 1.0);
+        let p2 = b.build();
+
+        let cold2 = solve(&p2, &opts);
+        let warm2 = solve_from(&p2, cold.basis.as_ref(), &opts);
+        assert_eq!(warm2.status, LpStatus::Optimal);
+        approx(warm2.objective, cold2.objective);
+        assert!(p2.is_feasible(&warm2.x, 1e-7));
+    }
+
+    #[test]
+    fn warm_start_with_tightened_bounds_mimics_bnb_child() {
+        // Parent LP relaxation, then a child with x fixed — the B&B reuse
+        // pattern: same matrix, different bounds, parent basis.
+        let mut b = ProblemBuilder::new();
+        let x = b.add_col(-1.0, 0.0, 1.0);
+        let y = b.add_col(-1.0, 0.0, 1.0);
+        let r = b.add_row(-INF, 1.5);
+        b.set_coeff(r, x, 1.0);
+        b.set_coeff(r, y, 1.0);
+        let p = b.build();
+        let opts = SimplexOptions::default();
+        let parent = solve(&p, &opts);
+        assert_eq!(parent.status, LpStatus::Optimal);
+        let child =
+            solve_with_bounds_from(&p, &[1.0, 0.0], &[1.0, 1.0], parent.basis.as_ref(), &opts);
+        assert_eq!(child.status, LpStatus::Optimal);
+        approx(child.x[0], 1.0);
+        approx(child.x[1], 0.5);
+    }
+
+    #[test]
+    fn garbage_hint_still_reaches_the_optimum() {
+        // A wildly wrong hint (every structural claimed basic, absurd
+        // capture dims) must be repaired, not trusted.
+        let p = dantzig();
+        let opts = SimplexOptions::default();
+        let hint = BasisState {
+            ncols: 7,
+            nrows: 5,
+            basic: vec![0, 0, 1, 6, 9],
+            status: vec![VarBasisStatus::Basic; 12],
+        };
+        let s = solve_from(&p, Some(&hint), &opts);
+        assert_eq!(s.status, LpStatus::Optimal);
+        approx(s.objective, -36.0);
+    }
+
+    #[test]
+    fn infeasible_hint_triggers_phase1_not_failure() {
+        // min x + y s.t. x + y = 10 — the slack-identity start is
+        // infeasible; hint it with a nonsense basis and verify phase-I
+        // still runs.
+        let mut b = ProblemBuilder::new();
+        let x = b.add_col(1.0, 0.0, INF);
+        let y = b.add_col(1.0, 0.0, INF);
+        let r0 = b.add_row(10.0, 10.0);
+        b.set_coeff(r0, x, 1.0);
+        b.set_coeff(r0, y, 1.0);
+        let p = b.build();
+        let opts = SimplexOptions::default();
+        let hint = BasisState {
+            ncols: 2,
+            nrows: 1,
+            basic: vec![2],
+            status: vec![
+                VarBasisStatus::AtLower,
+                VarBasisStatus::AtLower,
+                VarBasisStatus::Basic,
+            ],
+        };
+        let s = solve_from(&p, Some(&hint), &opts);
+        assert_eq!(s.status, LpStatus::Optimal);
+        approx(s.objective, 10.0);
+    }
+
+    #[test]
+    fn partial_pricing_matches_full_pricing() {
+        // Force a tiny window on a problem large enough to rotate.
+        let mut b = ProblemBuilder::new();
+        let n = 40;
+        for j in 0..n {
+            b.add_col(-((j % 7 + 1) as f64), 0.0, 2.0);
+        }
+        for i in 0..10 {
+            let r = b.add_row(-INF, 5.0 + (i % 3) as f64);
+            for j in 0..n {
+                if (i + j) % 3 != 0 {
+                    b.set_coeff(r, j, ((i * j) % 4 + 1) as f64);
+                }
+            }
+        }
+        let p = b.build();
+        let full = solve(&p, &SimplexOptions::default());
+        let opts = SimplexOptions {
+            pricing_window: 4,
+            ..SimplexOptions::default()
+        };
+        let partial = solve(&p, &opts);
+        assert_eq!(full.status, LpStatus::Optimal);
+        assert_eq!(partial.status, LpStatus::Optimal);
+        approx(full.objective, partial.objective);
+    }
+}
+
+#[cfg(test)]
 mod perturbation_tests {
     use super::*;
     use crate::problem::{ProblemBuilder, INF};
@@ -869,8 +1420,10 @@ mod perturbation_tests {
         b.set_coeff(r2, y, 2.0);
         let p = b.build();
         let plain = solve(&p, &SimplexOptions::default());
-        let mut opts = SimplexOptions::default();
-        opts.perturb = 1e-6;
+        let opts = SimplexOptions {
+            perturb: 1e-6,
+            ..SimplexOptions::default()
+        };
         let pert = solve(&p, &opts);
         assert_eq!(plain.status, LpStatus::Optimal);
         assert_eq!(pert.status, LpStatus::Optimal);
@@ -894,8 +1447,10 @@ mod perturbation_tests {
             b.set_coeff(r, y, 1.0);
         }
         let p = b.build();
-        let mut opts = SimplexOptions::default();
-        opts.perturb = 1e-6;
+        let opts = SimplexOptions {
+            perturb: 1e-6,
+            ..SimplexOptions::default()
+        };
         let s = solve(&p, &opts);
         assert_eq!(s.status, LpStatus::Optimal);
         assert!((s.objective - 5.0).abs() < 1e-6);

@@ -1,9 +1,13 @@
 //! Property tests: the revised simplex must agree with the brute-force
 //! vertex-enumeration oracle on random small LPs.
+//!
+//! Implemented as seeded random-case loops (the sanctioned dependency set
+//! has no `proptest`); every case prints its seed on failure so it can be
+//! replayed deterministically.
 
-use proptest::prelude::*;
 use sqpr_lp::oracle::brute_force_optimum;
 use sqpr_lp::{solve, LpStatus, ProblemBuilder, SimplexOptions, INF};
+use sqpr_workload::rng::{Rng, StdRng};
 
 #[derive(Debug, Clone)]
 struct RandomLp {
@@ -14,32 +18,35 @@ struct RandomLp {
     rows: Vec<(Vec<i32>, i32, u8, u8)>, // coeffs, lb, width, kind(0:<=,1:>=,2:range,3:eq)
 }
 
-fn random_lp() -> impl Strategy<Value = RandomLp> {
-    (1usize..=4, 1usize..=3)
-        .prop_flat_map(|(n, m)| {
+fn random_lp(rng: &mut StdRng) -> RandomLp {
+    let ncols = rng.gen_index(4) + 1;
+    let nrows = rng.gen_index(3) + 1;
+    let obj = (0..ncols)
+        .map(|_| rng.gen_range_i64(-4, 4) as i32)
+        .collect();
+    let col_lb = (0..ncols)
+        .map(|_| rng.gen_range_i64(-3, 2) as i32)
+        .collect();
+    let col_width = (0..ncols).map(|_| rng.gen_index(6) as u8).collect();
+    let rows = (0..nrows)
+        .map(|_| {
             (
-                Just(n),
-                proptest::collection::vec(-4i32..=4, n),
-                proptest::collection::vec(-3i32..=2, n),
-                proptest::collection::vec(0u8..=5, n),
-                proptest::collection::vec(
-                    (
-                        proptest::collection::vec(-3i32..=3, n),
-                        -4i32..=4,
-                        0u8..=6,
-                        0u8..=3,
-                    ),
-                    m,
-                ),
+                (0..ncols)
+                    .map(|_| rng.gen_range_i64(-3, 3) as i32)
+                    .collect(),
+                rng.gen_range_i64(-4, 4) as i32,
+                rng.gen_index(7) as u8,
+                rng.gen_index(4) as u8,
             )
         })
-        .prop_map(|(ncols, obj, col_lb, col_width, rows)| RandomLp {
-            ncols,
-            obj,
-            col_lb,
-            col_width,
-            rows,
-        })
+        .collect();
+    RandomLp {
+        ncols,
+        obj,
+        col_lb,
+        col_width,
+        rows,
+    }
 }
 
 fn build(lp: &RandomLp) -> sqpr_lp::Problem {
@@ -66,29 +73,39 @@ fn build(lp: &RandomLp) -> sqpr_lp::Problem {
     b.build()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    #[test]
-    fn simplex_matches_oracle(lp in random_lp()) {
+#[test]
+fn simplex_matches_oracle() {
+    for seed in 0..256u64 {
+        let mut rng = StdRng::seed_from_u64(0xA11CE ^ seed);
+        let lp = random_lp(&mut rng);
         let p = build(&lp);
         let oracle = brute_force_optimum(&p, 1e-9);
         let s = solve(&p, &SimplexOptions::default());
         match (oracle, s.status) {
             (Some((obj, _)), LpStatus::Optimal) => {
-                prop_assert!((obj - s.objective).abs() < 1e-5 * (1.0 + obj.abs()),
-                    "oracle {obj} vs simplex {}", s.objective);
-                prop_assert!(p.is_feasible(&s.x, 1e-6));
+                assert!(
+                    (obj - s.objective).abs() < 1e-5 * (1.0 + obj.abs()),
+                    "seed {seed}: oracle {obj} vs simplex {} on {lp:?}",
+                    s.objective
+                );
+                assert!(p.is_feasible(&s.x, 1e-6), "seed {seed}: {lp:?}");
             }
             (None, LpStatus::Infeasible) => {}
             (o, st) => {
-                prop_assert!(false, "oracle {o:?} vs simplex status {st:?} obj {}", s.objective);
+                panic!(
+                    "seed {seed}: oracle {o:?} vs simplex status {st:?} obj {} on {lp:?}",
+                    s.objective
+                );
             }
         }
     }
+}
 
-    #[test]
-    fn bound_overrides_respected(lp in random_lp()) {
+#[test]
+fn bound_overrides_respected() {
+    for seed in 0..256u64 {
+        let mut rng = StdRng::seed_from_u64(0xB0B ^ (seed << 1));
+        let lp = random_lp(&mut rng);
         // Fixing every variable to its lower bound must give either an
         // infeasible verdict or exactly that point.
         let p = build(&lp);
@@ -97,14 +114,14 @@ proptest! {
         match s.status {
             LpStatus::Optimal => {
                 for (a, b) in s.x.iter().zip(&lbs) {
-                    prop_assert!((a - b).abs() < 1e-6);
+                    assert!((a - b).abs() < 1e-6, "seed {seed}: {lp:?}");
                 }
-                prop_assert!(p.is_feasible(&s.x, 1e-6));
+                assert!(p.is_feasible(&s.x, 1e-6), "seed {seed}: {lp:?}");
             }
             LpStatus::Infeasible => {
-                prop_assert!(!p.is_feasible(&lbs, 1e-7));
+                assert!(!p.is_feasible(&lbs, 1e-7), "seed {seed}: {lp:?}");
             }
-            other => prop_assert!(false, "unexpected status {other:?}"),
+            other => panic!("seed {seed}: unexpected status {other:?} on {lp:?}"),
         }
     }
 }

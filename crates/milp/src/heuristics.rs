@@ -4,7 +4,9 @@
 //! incumbents `(objective, x)`; the caller validates them against the model
 //! before accepting.
 
-use sqpr_lp::{solve_with_bounds, LpStatus, Problem, SimplexOptions};
+use sqpr_lp::{
+    solve_with_bounds, solve_with_bounds_from, BasisState, LpStatus, Problem, SimplexOptions,
+};
 
 /// Maximum number of fixing rounds in a dive (defensive; a dive fixes at
 /// least one variable per round so depth is bounded by the integer count).
@@ -12,7 +14,9 @@ const MAX_DIVE_DEPTH: usize = 400;
 
 /// Diving heuristic: repeatedly fix the most fractional integer variable to
 /// its nearest integer and re-solve the LP until the point is integral or
-/// the dive dead-ends.
+/// the dive dead-ends. Each fixing round warm-starts from the previous
+/// round's basis (seeded by `basis`, typically the node relaxation's), so a
+/// dive costs a few pivots per fixing instead of a full solve.
 #[allow(clippy::too_many_arguments)]
 pub fn dive(
     lp: &Problem,
@@ -20,6 +24,7 @@ pub fn dive(
     lb: &[f64],
     ub: &[f64],
     x0: &[f64],
+    basis: Option<&BasisState>,
     lp_opts: &SimplexOptions,
     int_tol: f64,
     lp_iterations: &mut usize,
@@ -28,6 +33,7 @@ pub fn dive(
     let mut ub = ub.to_vec();
     let mut x = x0.to_vec();
     let mut objective = f64::NAN;
+    let mut cur_basis: Option<BasisState> = basis.cloned();
 
     for _ in 0..MAX_DIVE_DEPTH {
         // Find the most fractional integer variable.
@@ -53,12 +59,13 @@ pub fn dive(
         let fixed = v.round().clamp(orig_lb, orig_ub);
         lb[j] = fixed;
         ub[j] = fixed;
-        let sol = solve_with_bounds(lp, &lb, &ub, lp_opts);
+        let sol = solve_with_bounds_from(lp, &lb, &ub, cur_basis.as_ref(), lp_opts);
         *lp_iterations += sol.iterations;
         match sol.status {
             LpStatus::Optimal => {
                 x = sol.x;
                 objective = sol.objective;
+                cur_basis = sol.basis;
             }
             _ => {
                 // Try the opposite rounding once before giving up.
@@ -72,13 +79,14 @@ pub fn dive(
                 }
                 lb[j] = alt;
                 ub[j] = alt;
-                let sol = solve_with_bounds(lp, &lb, &ub, lp_opts);
+                let sol = solve_with_bounds_from(lp, &lb, &ub, cur_basis.as_ref(), lp_opts);
                 *lp_iterations += sol.iterations;
                 if sol.status != LpStatus::Optimal {
                     return None;
                 }
                 x = sol.x;
                 objective = sol.objective;
+                cur_basis = sol.basis;
             }
         }
     }
@@ -138,6 +146,7 @@ mod tests {
             &[0.0, 0.0],
             &[1.0, 1.0],
             &[0.75, 0.75],
+            None,
             &SimplexOptions::default(),
             1e-6,
             &mut iters,
@@ -184,6 +193,7 @@ mod tests {
             &[0.0, 0.0],
             &[1.0, 1.0],
             &[0.5, 0.5],
+            None,
             &SimplexOptions::default(),
             1e-6,
             &mut iters,

@@ -32,4 +32,8 @@ pub mod presolve;
 pub mod solver;
 
 pub use model::{ConsId, Model, Sense, VarId, VarType};
-pub use solver::{solve, solve_filtered, solve_with_start, MilpOptions, MilpResult, MilpStatus};
+pub use solver::{
+    solve, solve_filtered, solve_filtered_warm, solve_warm, solve_with_start, BasisEntity,
+    MilpOptions, MilpResult, MilpStatus, MilpWarmStart, ModelBasis,
+};
+pub use sqpr_lp::BasisState;

@@ -58,6 +58,25 @@ pub(crate) struct ConsDef {
     pub ub: f64,
 }
 
+/// Mapping between a [`Model`] and its compressed LP lowering
+/// ([`Model::to_lp_reduced`]): which model variable each LP column stands
+/// for, and which model constraint each LP row came from.
+#[derive(Debug, Clone)]
+pub(crate) struct LpMap {
+    /// Model variable index per LP column.
+    pub var_of_col: Vec<usize>,
+    /// LP column per model variable (`None` for bound-fixed variables).
+    pub col_of_var: Vec<Option<usize>>,
+    /// Model constraint index per LP row.
+    pub cons_of_row: Vec<usize>,
+    /// Objective contribution (minimisation space) of the folded fixed
+    /// variables; add to LP objectives to recover model-space bounds.
+    pub fixed_obj_min: f64,
+    /// A constant (all-fixed) row was violated by the fixed values: the
+    /// model is infeasible as fixed, regardless of the free variables.
+    pub infeasible_fixed_row: bool,
+}
+
 /// A mixed-integer linear program.
 #[derive(Debug, Clone)]
 pub struct Model {
@@ -185,6 +204,27 @@ impl Model {
         (&def.terms, def.lb, def.ub)
     }
 
+    /// Replaces a constraint's bounds (used by incremental model editing,
+    /// e.g. relaxing a `<= 1` demand row to `= 1` on admission).
+    pub fn set_row_bounds(&mut self, c: ConsId, lb: f64, ub: f64) {
+        assert!(lb <= ub, "crossed row bounds [{lb}, {ub}]");
+        let def = &mut self.cons[c.0];
+        def.lb = lb;
+        def.ub = ub;
+    }
+
+    /// Appends terms to an existing constraint (incremental model growth:
+    /// new columns joining shared capacity rows). Duplicate variables are
+    /// summed, as in [`Self::add_range`].
+    pub fn add_terms(&mut self, c: ConsId, terms: impl IntoIterator<Item = (VarId, f64)>) {
+        let n = self.vars.len();
+        let def = &mut self.cons[c.0];
+        for (v, a) in terms {
+            assert!(v.0 < n, "unknown variable {v:?}");
+            def.terms.push((v, a));
+        }
+    }
+
     /// Evaluates the objective in the model's own sense.
     pub fn objective_value(&self, x: &[f64]) -> f64 {
         self.vars.iter().zip(x).map(|(v, xv)| v.obj * xv).sum()
@@ -212,9 +252,89 @@ impl Model {
         true
     }
 
+    /// Lowers the model to a *compressed* LP in minimisation form:
+    /// bound-fixed variables (`lb == ub`) are folded into the row bounds as
+    /// constants and rows left with no free terms are dropped. Models that
+    /// fix large portions of their variables (the planner's §IV-A
+    /// reduction over a persistent skeleton) produce an LP the size of the
+    /// genuinely free subproblem instead of the whole skeleton.
+    ///
+    /// Returns the problem, the LP-space indices of integer columns, and
+    /// the [`LpMap`] relating LP columns/rows back to model
+    /// variables/constraints.
+    pub(crate) fn to_lp_reduced(&self) -> (Problem, Vec<usize>, LpMap) {
+        let flip = if self.sense == Sense::Maximize {
+            -1.0
+        } else {
+            1.0
+        };
+        let mut b = ProblemBuilder::new();
+        let mut integers = Vec::new();
+        let mut col_of_var = vec![None; self.vars.len()];
+        let mut var_of_col = Vec::new();
+        let mut fixed_obj_min = 0.0;
+        let mut infeasible_fixed_row = false;
+        for (j, v) in self.vars.iter().enumerate() {
+            if v.lb == v.ub {
+                // A fixed integer variable must sit on an integer value,
+                // else the fixing is infeasible regardless of the rest.
+                if v.ty == VarType::Integer && (v.lb - v.lb.round()).abs() > 1e-9 {
+                    infeasible_fixed_row = true;
+                }
+                fixed_obj_min += flip * v.obj * v.lb;
+                continue;
+            }
+            let col = b.add_col(flip * v.obj, v.lb, v.ub);
+            col_of_var[j] = Some(col);
+            var_of_col.push(j);
+            if v.ty == VarType::Integer {
+                integers.push(col);
+            }
+        }
+        let mut cons_of_row = Vec::new();
+        for (ci, c) in self.cons.iter().enumerate() {
+            let mut shift = 0.0;
+            let mut kept: Vec<(usize, f64)> = Vec::new();
+            for &(v, a) in &c.terms {
+                match col_of_var[v.0] {
+                    Some(col) => kept.push((col, a)),
+                    None => shift += a * self.vars[v.0].lb,
+                }
+            }
+            if kept.is_empty() {
+                // Constant row: must already hold, else the fixing itself
+                // is infeasible.
+                let tol = 1e-6 * (1.0 + shift.abs());
+                if shift < c.lb - tol || shift > c.ub + tol {
+                    infeasible_fixed_row = true;
+                }
+                continue;
+            }
+            let lb = if c.lb.is_finite() { c.lb - shift } else { c.lb };
+            let ub = if c.ub.is_finite() { c.ub - shift } else { c.ub };
+            let r = b.add_row(lb, ub);
+            for (col, a) in kept {
+                b.set_coeff(r, col, a);
+            }
+            cons_of_row.push(ci);
+        }
+        (
+            b.build(),
+            integers,
+            LpMap {
+                col_of_var,
+                var_of_col,
+                cons_of_row,
+                fixed_obj_min,
+                infeasible_fixed_row,
+            },
+        )
+    }
+
     /// Lowers the model to an LP [`Problem`] in *minimisation* form
     /// (objective negated if this model maximises), plus the list of
     /// integer variable indices.
+    #[allow(dead_code)]
     pub(crate) fn to_lp(&self) -> (Problem, Vec<usize>) {
         let flip = if self.sense == Sense::Maximize {
             -1.0

@@ -34,9 +34,26 @@ pub fn presolve_bounds(model: &Model, max_rounds: usize) -> Presolved {
         integer.push(model.var_type(v) == VarType::Integer);
     }
 
+    // Rows whose variables are all bound-fixed are constants: check them
+    // once and exclude them from the propagation sweeps. Skeleton models
+    // fix most of their variables per submission, so this turns the sweep
+    // cost from O(model) into O(free subproblem).
+    let mut active = Vec::with_capacity(model.num_cons());
+    for c in 0..model.num_cons() {
+        let (terms, row_lb, row_ub) = model.constraint(c);
+        if terms.iter().any(|&(v, _)| lb[v.index()] < ub[v.index()]) {
+            active.push(c);
+        } else {
+            let act: f64 = terms.iter().map(|&(v, a)| a * lb[v.index()]).sum();
+            if act > row_ub + TOL * (1.0 + act.abs()) || act < row_lb - TOL * (1.0 + act.abs()) {
+                return Presolved::Infeasible;
+            }
+        }
+    }
+
     for _ in 0..max_rounds {
         let mut changed = false;
-        for c in 0..model.num_cons() {
+        for &c in &active {
             let (terms, row_lb, row_ub) = model.constraint(c);
             // Activity range under current bounds.
             let mut min_act = 0.0f64;

@@ -10,11 +10,121 @@ use std::collections::BinaryHeap;
 use std::rc::Rc;
 use std::time::{Duration, Instant};
 
-use sqpr_lp::{solve_with_bounds, LpStatus, Problem, SimplexOptions};
+use sqpr_lp::{
+    solve_with_bounds_from, BasisState, LpStatus, Problem, SimplexOptions, VarBasisStatus,
+};
 
 use crate::heuristics;
-use crate::model::{Model, Sense};
+use crate::model::{LpMap, Model, Sense};
 use crate::presolve::{presolve_bounds, Presolved};
+
+/// Incumbent filter callback (lazy-constraint hook).
+type IncumbentFilter<'a> = &'a dyn Fn(&[f64]) -> bool;
+
+/// One seat of a [`ModelBasis`]: either a model variable or the slack of a
+/// model constraint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BasisEntity {
+    Var(usize),
+    Cons(usize),
+}
+
+/// A simplex basis expressed in *model* coordinates (variable and
+/// constraint indices) rather than LP columns.
+///
+/// The planner's persistent skeleton fixes a different subset of variables
+/// every submission, so the compressed LP's column layout shifts between
+/// solves even though the model only ever appends variables and rows. A
+/// `ModelBasis` survives that re-mapping: captured from one solve's root
+/// LP, it is re-projected onto the next solve's compressed LP (missing
+/// seats are repaired by slack substitution, exactly like any other stale
+/// basis hint — see [`sqpr_lp::BasisState`]).
+#[derive(Debug, Clone)]
+pub struct ModelBasis {
+    /// Status per model variable at capture time.
+    var_status: Vec<VarBasisStatus>,
+    /// Status per model constraint's slack at capture time.
+    cons_status: Vec<VarBasisStatus>,
+    /// The basic seats.
+    basic: Vec<BasisEntity>,
+}
+
+impl ModelBasis {
+    /// Lifts an LP-space basis into model coordinates via the map used to
+    /// lower the model.
+    fn from_lp(basis: &BasisState, map: &LpMap, num_vars: usize, num_cons: usize) -> Self {
+        let n = map.var_of_col.len();
+        let mut var_status = vec![VarBasisStatus::AtLower; num_vars];
+        for (col, &v) in map.var_of_col.iter().enumerate() {
+            var_status[v] = basis.status[col];
+        }
+        // Dropped (constant) rows keep their slack basic: that is exactly
+        // the seat they occupy when re-entering a later LP.
+        let mut cons_status = vec![VarBasisStatus::Basic; num_cons];
+        for (row, &c) in map.cons_of_row.iter().enumerate() {
+            cons_status[c] = basis.status[n + row];
+        }
+        let basic = basis
+            .basic
+            .iter()
+            .map(|&g| {
+                if g < n {
+                    BasisEntity::Var(map.var_of_col[g])
+                } else {
+                    BasisEntity::Cons(map.cons_of_row[g - n])
+                }
+            })
+            .collect();
+        ModelBasis {
+            var_status,
+            cons_status,
+            basic,
+        }
+    }
+
+    /// Projects this basis onto a (possibly different) compressed LP. The
+    /// result has the LP's exact dimensions; seats whose entity is fixed
+    /// out of the LP are dropped and repaired downstream.
+    fn to_lp(&self, map: &LpMap, num_rows: usize) -> BasisState {
+        let n = map.var_of_col.len();
+        let mut status = Vec::with_capacity(n + num_rows);
+        for &v in &map.var_of_col {
+            status.push(
+                self.var_status
+                    .get(v)
+                    .copied()
+                    .unwrap_or(VarBasisStatus::AtLower),
+            );
+        }
+        for &c in map.cons_of_row.iter() {
+            status.push(
+                self.cons_status
+                    .get(c)
+                    .copied()
+                    .unwrap_or(VarBasisStatus::Basic),
+            );
+        }
+        let max_cons = map.cons_of_row.iter().max().map_or(0, |&c| c + 1);
+        let mut row_of_cons = vec![None; max_cons];
+        for (row, &c) in map.cons_of_row.iter().enumerate() {
+            row_of_cons[c] = Some(row);
+        }
+        let basic = self
+            .basic
+            .iter()
+            .filter_map(|&e| match e {
+                BasisEntity::Var(v) => map.col_of_var.get(v).copied().flatten(),
+                BasisEntity::Cons(c) => row_of_cons.get(c).copied().flatten().map(|row| n + row),
+            })
+            .collect();
+        BasisState {
+            ncols: n,
+            nrows: num_rows,
+            basic,
+            status,
+        }
+    }
+}
 
 /// Options for one branch & bound run.
 #[derive(Debug, Clone)]
@@ -32,6 +142,11 @@ pub struct MilpOptions {
     pub dive_every: usize,
     /// Run presolve bound propagation before the search (default on).
     pub presolve: bool,
+    /// Reuse LP bases inside the tree: children warm-start from their
+    /// parent's optimal basis and dives chain bases between fixings.
+    /// Disabling reverts every node LP to a cold slack-identity start (the
+    /// pre-warm-start behaviour, kept as the baseline/ablation).
+    pub reuse_bases: bool,
     /// LP subproblem options.
     pub lp: SimplexOptions,
 }
@@ -45,6 +160,7 @@ impl Default for MilpOptions {
             int_tol: 1e-6,
             dive_every: 64,
             presolve: true,
+            reuse_bases: true,
             lp: SimplexOptions::default(),
         }
     }
@@ -77,6 +193,10 @@ pub struct MilpResult {
     pub lp_iterations: usize,
     /// Relative gap `|objective - best_bound| / max(1, |objective|)`.
     pub gap: f64,
+    /// Basis of the root LP relaxation in model coordinates, reusable as
+    /// the `root_basis` of a [`MilpWarmStart`] for the next solve over a
+    /// related (grown and/or differently-fixed) model.
+    pub root_basis: Option<ModelBasis>,
 }
 
 impl MilpResult {
@@ -98,6 +218,10 @@ struct Node {
     est: f64,
     depth: usize,
     chain: Option<Rc<BoundChange>>,
+    /// Optimal basis of the parent's LP relaxation: the child differs only
+    /// in one variable's bounds, so re-solving from here takes a handful of
+    /// pivots instead of a cold phase-I.
+    basis: Option<Rc<BasisState>>,
 }
 
 /// Max-heap wrapper turning `BinaryHeap` into best-first (smallest bound).
@@ -127,6 +251,21 @@ impl Ord for OrdNode {
     }
 }
 
+/// Cross-solve warm-start context: a known-feasible starting point (the
+/// incumbent seed) and/or the root-LP basis of a previous solve over a
+/// related model. Either part may be absent; both are validated/repaired
+/// rather than trusted.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MilpWarmStart<'a> {
+    /// Seed incumbent: bypasses branching if feasible (checked).
+    pub start: Option<&'a [f64]>,
+    /// Basis hint for the root LP relaxation, typically
+    /// [`MilpResult::root_basis`] from the previous submission's solve
+    /// (re-projected automatically if the model has since grown or changed
+    /// its fixed set).
+    pub root_basis: Option<&'a ModelBasis>,
+}
+
 /// Solves the model by branch & bound.
 pub fn solve(model: &Model, opts: &MilpOptions) -> MilpResult {
     solve_with_start(model, opts, None)
@@ -135,7 +274,20 @@ pub fn solve(model: &Model, opts: &MilpOptions) -> MilpResult {
 /// Solves the model, optionally seeded with a known-feasible starting point
 /// (used by SQPR to warm-start from the heuristic planner's plan).
 pub fn solve_with_start(model: &Model, opts: &MilpOptions, start: Option<&[f64]>) -> MilpResult {
-    Bnb::new(model, opts, start, None).run()
+    solve_warm(
+        model,
+        opts,
+        MilpWarmStart {
+            start,
+            root_basis: None,
+        },
+    )
+}
+
+/// Solves the model with the full warm-start context: incumbent seed plus
+/// root-LP basis reuse.
+pub fn solve_warm(model: &Model, opts: &MilpOptions, warm: MilpWarmStart<'_>) -> MilpResult {
+    Bnb::new(model, opts, warm, None).run()
 }
 
 /// Like [`solve_with_start`], with an *incumbent filter*: integral solutions
@@ -149,15 +301,39 @@ pub fn solve_filtered(
     start: Option<&[f64]>,
     filter: &dyn Fn(&[f64]) -> bool,
 ) -> MilpResult {
-    Bnb::new(model, opts, start, Some(filter)).run()
+    solve_filtered_warm(
+        model,
+        opts,
+        MilpWarmStart {
+            start,
+            root_basis: None,
+        },
+        filter,
+    )
+}
+
+/// [`solve_filtered`] with the full warm-start context.
+pub fn solve_filtered_warm(
+    model: &Model,
+    opts: &MilpOptions,
+    warm: MilpWarmStart<'_>,
+    filter: &dyn Fn(&[f64]) -> bool,
+) -> MilpResult {
+    Bnb::new(model, opts, warm, Some(filter)).run()
 }
 
 struct Bnb<'a> {
     model: &'a Model,
     opts: &'a MilpOptions,
-    filter: Option<&'a dyn Fn(&[f64]) -> bool>,
+    filter: Option<IncumbentFilter<'a>>,
+    /// Compressed LP relaxation (bound-fixed variables folded out).
     lp: Problem,
+    /// LP-to-model mapping for the compressed relaxation.
+    map: LpMap,
+    /// Integer variables in *model* space (branching, integrality).
     integers: Vec<usize>,
+    /// Integer columns in *LP* space (diving heuristic).
+    lp_integers: Vec<usize>,
     /// Incumbent in minimisation space.
     incumbent: Option<(f64, Vec<f64>)>,
     nodes_done: usize,
@@ -167,20 +343,34 @@ struct Bnb<'a> {
     root_ub: Vec<f64>,
     presolve_infeasible: bool,
     deadline: Option<Instant>,
+    /// External basis hint for the root relaxation (already projected).
+    root_hint: Option<Rc<BasisState>>,
+    /// Basis of the solved root relaxation (exported in the result).
+    root_basis_out: Option<ModelBasis>,
 }
 
 impl<'a> Bnb<'a> {
     fn new(
         model: &'a Model,
         opts: &'a MilpOptions,
-        start: Option<&[f64]>,
-        filter: Option<&'a dyn Fn(&[f64]) -> bool>,
+        warm: MilpWarmStart<'_>,
+        filter: Option<IncumbentFilter<'a>>,
     ) -> Self {
-        let (lp, integers) = model.to_lp();
-        let (lb, ub) = lp.col_bounds();
-        let mut root_lb = lb.to_vec();
-        let mut root_ub = ub.to_vec();
-        let mut presolve_infeasible = false;
+        let start = warm.start;
+        let (lp, lp_integers, map) = model.to_lp_reduced();
+        let integers: Vec<usize> = (0..model.num_vars())
+            .filter(|&j| {
+                model.var_type(crate::model::VarId::from_raw(j)) == crate::model::VarType::Integer
+            })
+            .collect();
+        let mut root_lb = Vec::with_capacity(model.num_vars());
+        let mut root_ub = Vec::with_capacity(model.num_vars());
+        for j in 0..model.num_vars() {
+            let (l, u) = model.var_bounds(crate::model::VarId::from_raw(j));
+            root_lb.push(l);
+            root_ub.push(u);
+        }
+        let mut presolve_infeasible = map.infeasible_fixed_row;
         if opts.presolve {
             match presolve_bounds(model, 6) {
                 Presolved::Bounds(plb, pub_) => {
@@ -202,12 +392,17 @@ impl<'a> Bnb<'a> {
                 None
             }
         });
+        let root_hint = warm
+            .root_basis
+            .map(|mb| Rc::new(mb.to_lp(&map, lp.nrows())));
         Bnb {
             model,
             opts,
             filter,
             lp,
+            map,
             integers,
+            lp_integers,
             incumbent,
             nodes_done: 0,
             lp_iterations: 0,
@@ -216,7 +411,19 @@ impl<'a> Bnb<'a> {
             root_ub,
             presolve_infeasible,
             deadline: opts.time_limit.map(|d| Instant::now() + d),
+            root_hint,
+            root_basis_out: None,
         }
+    }
+
+    /// Expands a compressed-LP solution vector into model space, filling
+    /// fixed variables from the materialised node bounds.
+    fn expand_x(&self, x_lp: &[f64], lb: &[f64]) -> Vec<f64> {
+        let mut full = lb.to_vec();
+        for (col, &v) in self.map.var_of_col.iter().enumerate() {
+            full[v] = x_lp[col];
+        }
+        full
     }
 
     fn flip(&self) -> f64 {
@@ -244,30 +451,38 @@ impl<'a> Bnb<'a> {
     }
 
     /// Picks the integer variable to branch on: most fractional value,
-    /// ties broken by larger |objective| then smaller index.
-    fn pick_branching(&self, x: &[f64], lb: &[f64], ub: &[f64]) -> Option<(usize, f64)> {
+    /// ties broken by larger |objective| then smaller index. Works in LP
+    /// space (model-fixed integers cannot branch; `to_lp_reduced` already
+    /// rejected fractional fixings), returning the *model* variable index
+    /// for the bound-change chain.
+    fn pick_branching(&self, x_lp: &[f64], lb: &[f64], ub: &[f64]) -> Option<(usize, f64)> {
         let mut best: Option<(usize, f64, f64)> = None;
-        for &j in &self.integers {
+        for &col in &self.lp_integers {
+            let j = self.map.var_of_col[col];
             if lb[j] >= ub[j] {
-                continue; // fixed
+                continue; // fixed at this node
             }
-            let frac = x[j] - x[j].floor();
+            let v = x_lp[col];
+            let frac = v - v.floor();
             let dist = frac.min(1.0 - frac);
             if dist <= self.opts.int_tol {
                 continue;
             }
-            let score = dist * (1.0 + self.lp.objective()[j].abs());
+            let obj = self.model.objective_coeff(crate::model::VarId::from_raw(j));
+            let score = dist * (1.0 + obj.abs());
             if best.is_none_or(|(_, _, s)| score > s) {
-                best = Some((j, x[j], score));
+                best = Some((j, v, score));
             }
         }
         best.map(|(j, v, _)| (j, v))
     }
 
-    fn is_integral(&self, x: &[f64]) -> bool {
-        self.integers
+    /// Integrality of an LP-space point (model-fixed integers are integral
+    /// by the `to_lp_reduced` contract).
+    fn is_integral(&self, x_lp: &[f64]) -> bool {
+        self.lp_integers
             .iter()
-            .all(|&j| (x[j] - x[j].round()).abs() <= self.opts.int_tol)
+            .all(|&col| (x_lp[col] - x_lp[col].round()).abs() <= self.opts.int_tol)
     }
 
     /// Considers a candidate incumbent (minimisation objective).
@@ -323,15 +538,18 @@ impl<'a> Bnb<'a> {
                 return self.report(MilpStatus::Infeasible, f64::INFINITY);
             }
         }
-        let n = self.lp.ncols();
+        let n = self.model.num_vars();
         let mut lb = vec![0.0; n];
         let mut ub = vec![0.0; n];
+        let mut lp_lb = vec![0.0; self.lp.ncols()];
+        let mut lp_ub = vec![0.0; self.lp.ncols()];
 
-        // Root node.
+        // Root node, warm-started from the previous solve's basis if given.
         self.heap.push(OrdNode(Node {
             est: f64::NEG_INFINITY,
             depth: 0,
             chain: None,
+            basis: self.root_hint.clone(),
         }));
 
         let mut proven_infeasible_tree = true; // until a node survives
@@ -366,8 +584,22 @@ impl<'a> Bnb<'a> {
             self.nodes_done += 1;
 
             self.materialize(&node.chain, &mut lb, &mut ub);
-            let sol = solve_with_bounds(&self.lp, &lb, &ub, &self.opts.lp);
+            for (col, &v) in self.map.var_of_col.iter().enumerate() {
+                lp_lb[col] = lb[v];
+                lp_ub[col] = ub[v];
+            }
+            let node_hint = if self.opts.reuse_bases {
+                node.basis.as_deref()
+            } else {
+                None
+            };
+            let sol = solve_with_bounds_from(&self.lp, &lp_lb, &lp_ub, node_hint, &self.opts.lp);
             self.lp_iterations += sol.iterations;
+            if node.depth == 0 && self.root_basis_out.is_none() {
+                self.root_basis_out = sol.basis.as_ref().map(|b| {
+                    ModelBasis::from_lp(b, &self.map, self.model.num_vars(), self.model.num_cons())
+                });
+            }
 
             match sol.status {
                 LpStatus::Infeasible => continue,
@@ -382,9 +614,10 @@ impl<'a> Bnb<'a> {
             proven_infeasible_tree = false;
 
             // A non-optimal LP termination gives no trustworthy bound;
-            // inherit the parent's.
+            // inherit the parent's. Add back the folded fixed-variable
+            // objective to recover model-space bounds.
             let node_bound = if sol.status == LpStatus::Optimal {
-                sol.objective
+                sol.objective + self.map.fixed_obj_min
             } else {
                 node.est
             };
@@ -395,7 +628,8 @@ impl<'a> Bnb<'a> {
             }
 
             if sol.status == LpStatus::Optimal && self.is_integral(&sol.x) {
-                self.offer_incumbent(sol.objective, sol.x);
+                let x_full = self.expand_x(&sol.x, &lb);
+                self.offer_incumbent(node_bound, x_full);
                 continue;
             }
 
@@ -404,17 +638,19 @@ impl<'a> Bnb<'a> {
                 || (self.opts.dive_every > 0
                     && self.nodes_done.is_multiple_of(self.opts.dive_every))
             {
-                if let Some((obj, x)) = heuristics::dive(
+                if let Some((obj, x_lp)) = heuristics::dive(
                     &self.lp,
-                    &self.integers,
-                    &lb,
-                    &ub,
+                    &self.lp_integers,
+                    &lp_lb,
+                    &lp_ub,
                     &sol.x,
+                    sol.basis.as_ref().filter(|_| self.opts.reuse_bases),
                     &self.opts.lp,
                     self.opts.int_tol,
                     &mut self.lp_iterations,
                 ) {
-                    self.offer_incumbent(obj, x);
+                    let dived = self.expand_x(&x_lp, &lb);
+                    self.offer_incumbent(obj + self.map.fixed_obj_min, dived);
                 }
             }
 
@@ -423,10 +659,15 @@ impl<'a> Bnb<'a> {
                 // Numerically integral but is_integral said no (tolerance
                 // edge): offer as incumbent and move on.
                 if sol.status == LpStatus::Optimal {
-                    self.offer_incumbent(sol.objective, sol.x);
+                    let x_full = self.expand_x(&sol.x, &lb);
+                    self.offer_incumbent(node_bound, x_full);
                 }
                 continue;
             };
+            // Both children start from this node's optimal basis: they
+            // differ from it by one bound, so the re-solve is a short
+            // feasibility walk instead of a cold start.
+            let child_basis = sol.basis.map(Rc::new);
             let floor = value.floor();
             let down = Rc::new(BoundChange {
                 var,
@@ -445,6 +686,7 @@ impl<'a> Bnb<'a> {
                     est: node_bound,
                     depth: node.depth + 1,
                     chain: Some(down),
+                    basis: child_basis.clone(),
                 }));
             }
             if floor + 1.0 <= ub[var] + 1e-9 {
@@ -452,6 +694,7 @@ impl<'a> Bnb<'a> {
                     est: node_bound,
                     depth: node.depth + 1,
                     chain: Some(up),
+                    basis: child_basis,
                 }));
             }
         }
@@ -498,6 +741,7 @@ impl<'a> Bnb<'a> {
             nodes: self.nodes_done,
             lp_iterations: self.lp_iterations,
             gap,
+            root_basis: self.root_basis_out,
         }
     }
 }
@@ -604,8 +848,10 @@ mod tests {
         m.add_le(vec![(a, 3.0), (b, 4.0), (c, 2.0)], 5.0);
         // Start at the suboptimal {b} = 13.
         let start = [0.0, 1.0, 0.0];
-        let mut opts = default_opts();
-        opts.max_nodes = 1; // only the root
+        let opts = MilpOptions {
+            max_nodes: 1, // only the root
+            ..default_opts()
+        };
         let r = solve_with_start(&m, &opts, Some(&start));
         // Even with a tiny budget we must report at least the start value.
         assert!(r.objective >= 13.0 - 1e-9);
@@ -655,6 +901,73 @@ mod tests {
 }
 
 #[cfg(test)]
+mod warm_start_tests {
+    use super::*;
+
+    fn knapsack(n: usize) -> Model {
+        let mut m = Model::new(Sense::Maximize);
+        let vars: Vec<_> = (0..n)
+            .map(|i| m.add_binary(((i * 17) % 23 + 3) as f64))
+            .collect();
+        m.add_le(
+            vars.iter()
+                .enumerate()
+                .map(|(i, &v)| (v, ((i * 11) % 13 + 2) as f64))
+                .collect(),
+            (3 * n) as f64 / 2.0,
+        );
+        m
+    }
+
+    #[test]
+    fn root_basis_reuse_matches_cold_result() {
+        let m = knapsack(14);
+        let opts = MilpOptions::default();
+        let cold = solve(&m, &opts);
+        assert_eq!(cold.status, MilpStatus::Optimal);
+        assert!(cold.root_basis.is_some(), "root basis must be exported");
+        let warm = solve_warm(
+            &m,
+            &opts,
+            MilpWarmStart {
+                start: cold.x.as_deref(),
+                root_basis: cold.root_basis.as_ref(),
+            },
+        );
+        assert_eq!(warm.status, MilpStatus::Optimal);
+        assert!((warm.objective - cold.objective).abs() < 1e-6);
+        assert!(
+            warm.lp_iterations <= cold.lp_iterations,
+            "warm {} > cold {} lp iterations",
+            warm.lp_iterations,
+            cold.lp_iterations
+        );
+    }
+
+    #[test]
+    fn stale_basis_from_smaller_model_is_repaired() {
+        // Solve a 10-var knapsack, then reuse its root basis on a 14-var
+        // one: the four appended columns must enter nonbasic and the
+        // result must match a cold solve exactly.
+        let small = knapsack(10);
+        let opts = MilpOptions::default();
+        let small_r = solve(&small, &opts);
+        let big = knapsack(14);
+        let cold = solve(&big, &opts);
+        let warm = solve_warm(
+            &big,
+            &opts,
+            MilpWarmStart {
+                start: None,
+                root_basis: small_r.root_basis.as_ref(),
+            },
+        );
+        assert_eq!(warm.status, MilpStatus::Optimal);
+        assert!((warm.objective - cold.objective).abs() < 1e-6);
+    }
+}
+
+#[cfg(test)]
 mod filter_tests {
     use super::*;
 
@@ -683,8 +996,10 @@ mod filter_tests {
         m.add_le(vec![(a, 1.0)], 1.0);
         let reject_all = |_: &[f64]| false;
         let start = [1.0];
-        let mut opts = MilpOptions::default();
-        opts.max_nodes = 1;
+        let opts = MilpOptions {
+            max_nodes: 1,
+            ..MilpOptions::default()
+        };
         let r = solve_filtered(&m, &opts, Some(&start), &reject_all);
         assert!(r.has_solution());
         assert!((r.objective - 1.0).abs() < 1e-9);

@@ -1,8 +1,12 @@
 //! Property tests: branch & bound must match exhaustive enumeration on
 //! random pure-integer programs.
+//!
+//! Implemented as seeded random-case loops (the sanctioned dependency set
+//! has no `proptest`); every case prints its seed on failure so it can be
+//! replayed deterministically.
 
-use proptest::prelude::*;
 use sqpr_milp::{solve, MilpOptions, MilpStatus, Model, Sense, VarType};
+use sqpr_workload::rng::{Rng, StdRng};
 
 #[derive(Debug, Clone)]
 struct RandomIp {
@@ -13,27 +17,32 @@ struct RandomIp {
     rows: Vec<(Vec<i32>, i32, u8)>, // coeffs, lb, width (range rows)
 }
 
-fn random_ip() -> impl Strategy<Value = RandomIp> {
-    (1usize..=4, 1usize..=3, any::<bool>())
-        .prop_flat_map(|(n, m, maximize)| {
+fn random_ip(rng: &mut StdRng) -> RandomIp {
+    let nvars = rng.gen_index(4) + 1;
+    let nrows = rng.gen_index(3) + 1;
+    let maximize = rng.gen_bool();
+    let obj = (0..nvars)
+        .map(|_| rng.gen_range_i64(-5, 5) as i32)
+        .collect();
+    let ub = (0..nvars).map(|_| rng.gen_index(4) as u8).collect();
+    let rows = (0..nrows)
+        .map(|_| {
             (
-                Just(n),
-                Just(maximize),
-                proptest::collection::vec(-5i32..=5, n),
-                proptest::collection::vec(0u8..=3, n),
-                proptest::collection::vec(
-                    (proptest::collection::vec(-3i32..=3, n), -6i32..=6, 0u8..=8),
-                    m,
-                ),
+                (0..nvars)
+                    .map(|_| rng.gen_range_i64(-3, 3) as i32)
+                    .collect(),
+                rng.gen_range_i64(-6, 6) as i32,
+                rng.gen_index(9) as u8,
             )
         })
-        .prop_map(|(nvars, maximize, obj, ub, rows)| RandomIp {
-            nvars,
-            maximize,
-            obj,
-            ub,
-            rows,
-        })
+        .collect();
+    RandomIp {
+        nvars,
+        maximize,
+        obj,
+        ub,
+        rows,
+    }
 }
 
 fn build(ip: &RandomIp) -> Model {
@@ -106,36 +115,51 @@ fn enumerate(ip: &RandomIp) -> Option<f64> {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(192))]
-
-    #[test]
-    fn bnb_matches_enumeration(ip in random_ip()) {
+#[test]
+fn bnb_matches_enumeration() {
+    for seed in 0..192u64 {
+        let mut rng = StdRng::seed_from_u64(0xB4B ^ seed);
+        let ip = random_ip(&mut rng);
         let model = build(&ip);
         let brute = enumerate(&ip);
         let r = solve(&model, &MilpOptions::default());
         match (brute, r.status) {
             (Some(obj), MilpStatus::Optimal) => {
-                prop_assert!((obj - r.objective).abs() < 1e-6,
-                    "enumeration {obj} vs bnb {}", r.objective);
+                assert!(
+                    (obj - r.objective).abs() < 1e-6,
+                    "seed {seed}: enumeration {obj} vs bnb {} on {ip:?}",
+                    r.objective
+                );
                 let x = r.x.expect("solution present");
-                prop_assert!(model.is_feasible(&x, 1e-6));
+                assert!(model.is_feasible(&x, 1e-6), "seed {seed}: {ip:?}");
             }
             (None, MilpStatus::Infeasible) => {}
-            (b, s) => prop_assert!(false, "enumeration {b:?} vs bnb {s:?} ({})", r.objective),
+            (b, s) => panic!(
+                "seed {seed}: enumeration {b:?} vs bnb {s:?} ({}) on {ip:?}",
+                r.objective
+            ),
         }
     }
+}
 
-    #[test]
-    fn incumbents_always_model_feasible(ip in random_ip()) {
+#[test]
+fn incumbents_always_model_feasible() {
+    for seed in 0..192u64 {
+        let mut rng = StdRng::seed_from_u64(0x1AC ^ (seed << 2));
+        let ip = random_ip(&mut rng);
         let model = build(&ip);
-        let mut opts = MilpOptions::default();
-        opts.max_nodes = 5; // starve the search; whatever comes out must be valid
+        let opts = MilpOptions {
+            max_nodes: 5, // starve the search; whatever comes out must be valid
+            ..MilpOptions::default()
+        };
         let r = solve(&model, &opts);
         if let Some(x) = &r.x {
-            prop_assert!(model.is_feasible(x, 1e-6));
+            assert!(model.is_feasible(x, 1e-6), "seed {seed}: {ip:?}");
             // Reported objective must match the point.
-            prop_assert!((model.objective_value(x) - r.objective).abs() < 1e-6);
+            assert!(
+                (model.objective_value(x) - r.objective).abs() < 1e-6,
+                "seed {seed}: {ip:?}"
+            );
         }
     }
 }

@@ -5,8 +5,7 @@
 //! a selectivity in the range of 0.1%–0.5%. The base streams in a query are
 //! chosen according to a Zipfian distribution with parameter 1."
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::{Rng, StdRng};
 
 use sqpr_dsps::{Catalog, CostModel, HostId, HostSpec, NetworkTopology, StreamId};
 
@@ -114,7 +113,7 @@ pub fn generate(spec: &WorkloadSpec) -> Workload {
 
     // Base streams uniformly distributed over hosts (paper §V).
     let placements: Vec<HostId> = (0..spec.base_streams)
-        .map(|_| HostId(rng.gen_range(0..spec.hosts) as u32))
+        .map(|_| HostId(rng.gen_index(spec.hosts) as u32))
         .collect();
 
     // Pre-draw pairwise selectivities for pairs that co-occur in queries.
@@ -126,7 +125,7 @@ pub fn generate(spec: &WorkloadSpec) -> Workload {
     let mut query_indices: Vec<Vec<usize>> = Vec::with_capacity(spec.queries);
     for _ in 0..spec.queries {
         // Pick the arity by weight.
-        let mut pick = rng.gen::<f64>() * total_weight;
+        let mut pick = rng.gen_f64() * total_weight;
         let mut arity = spec.arities[0].0;
         for &(a, w) in &spec.arities {
             if pick < w {
@@ -147,7 +146,7 @@ pub fn generate(spec: &WorkloadSpec) -> Workload {
             for b in a + 1..idx.len() {
                 let sa = bases[idx[a]];
                 let sb = bases[idx[b]];
-                let sigma = rng.gen_range(spec.selectivity.0..=spec.selectivity.1);
+                let sigma = rng.gen_range_f64(spec.selectivity.0, spec.selectivity.1);
                 // First draw wins so the pair is consistent across queries.
                 if cost.selectivity(sa, sb) == mid {
                     cost.set_selectivity(sa, sb, sigma);

@@ -6,7 +6,9 @@
 //! §V-B cluster setups (scalable for laptop runs).
 
 pub mod generator;
+pub mod rng;
 pub mod zipf;
 
 pub use generator::{generate, Workload, WorkloadSpec};
+pub use rng::{Rng, StdRng};
 pub use zipf::Zipf;

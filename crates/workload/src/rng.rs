@@ -1,0 +1,147 @@
+//! Self-contained deterministic PRNG used across the workspace.
+//!
+//! The sanctioned dependency set has no `rand` crate, so workload
+//! generation and the randomized property tests share this minimal
+//! xoshiro256++ implementation (seeded via SplitMix64, the reference
+//! seeding scheme). It is *not* cryptographic; it only needs to be fast,
+//! deterministic per seed, and statistically sound enough for Zipf
+//! sampling and test-case generation.
+
+/// Minimal random-source trait (object-safe; used as `R: Rng + ?Sized`).
+pub trait Rng {
+    /// Next raw 64-bit value.
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform `f64` in `[0, 1)`.
+    fn gen_f64(&mut self) -> f64 {
+        // 53 high bits -> [0, 1) with full double precision.
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform index in `[0, n)`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    fn gen_index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "empty range");
+        // Multiply-shift rejection-free mapping (Lemire); the tiny modulo
+        // bias is irrelevant for the ranges used here (n << 2^64).
+        ((self.next_u64() as u128 * n as u128) >> 64) as usize
+    }
+
+    /// Uniform `f64` in `[lo, hi)` (the upper bound itself is never
+    /// drawn; `gen_f64` excludes 1.0).
+    fn gen_range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(lo <= hi, "crossed range [{lo}, {hi}]");
+        lo + (hi - lo) * self.gen_f64()
+    }
+
+    /// Uniform `i64` in `[lo, hi]` inclusive.
+    fn gen_range_i64(&mut self, lo: i64, hi: i64) -> i64 {
+        assert!(lo <= hi, "crossed range [{lo}, {hi}]");
+        let span = (hi - lo) as u64 as u128 + 1;
+        lo + (((self.next_u64() as u128 * span) >> 64) as i64)
+    }
+
+    /// Uniform boolean.
+    fn gen_bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+}
+
+/// The workspace's standard generator: xoshiro256++.
+#[derive(Debug, Clone)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+impl StdRng {
+    /// Seeds the state by running SplitMix64 on `seed` (never all-zero).
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        };
+        StdRng {
+            s: [next(), next(), next(), next()],
+        }
+    }
+}
+
+impl Rng for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn f64_in_unit_interval_and_roughly_uniform() {
+        let mut r = StdRng::seed_from_u64(7);
+        let mut sum = 0.0;
+        for _ in 0..10_000 {
+            let v = r.gen_f64();
+            assert!((0.0..1.0).contains(&v));
+            sum += v;
+        }
+        let mean = sum / 10_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "mean = {mean}");
+    }
+
+    #[test]
+    fn index_covers_range() {
+        let mut r = StdRng::seed_from_u64(1);
+        let mut seen = [false; 7];
+        for _ in 0..1_000 {
+            seen[r.gen_index(7)] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn i64_range_inclusive() {
+        let mut r = StdRng::seed_from_u64(5);
+        let mut lo_seen = false;
+        let mut hi_seen = false;
+        for _ in 0..2_000 {
+            let v = r.gen_range_i64(-3, 3);
+            assert!((-3..=3).contains(&v));
+            lo_seen |= v == -3;
+            hi_seen |= v == 3;
+        }
+        assert!(lo_seen && hi_seen);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_index_range_rejected() {
+        StdRng::seed_from_u64(0).gen_index(0);
+    }
+}

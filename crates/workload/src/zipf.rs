@@ -5,7 +5,7 @@
 //! amount of overlap between queries" (§V). Parameter 0 degenerates to the
 //! uniform distribution (used in Fig. 4(c)'s sweep).
 
-use rand::Rng;
+use crate::rng::Rng;
 
 /// A Zipf(θ) sampler over `{0, 1, …, n-1}` using inverse-CDF lookup.
 #[derive(Debug, Clone)]
@@ -46,7 +46,7 @@ impl Zipf {
 
     /// Samples one index in `0..n`.
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
-        let u: f64 = rng.gen();
+        let u: f64 = rng.gen_f64();
         self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
     }
 
@@ -85,8 +85,7 @@ impl Zipf {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use crate::rng::StdRng;
 
     #[test]
     fn uniform_when_theta_zero() {

@@ -1,11 +1,15 @@
 //! Workspace-level property tests: random small systems and query sequences
 //! must always leave the planner in a valid, causally-derivable state, and
 //! the solver-based planner must never be beaten by the aggregate bound.
+//!
+//! Implemented as seeded random-case loops (the sanctioned dependency set
+//! has no `proptest`); every case prints its seed on failure so it can be
+//! replayed deterministically.
 
-use proptest::prelude::*;
 use sqpr_suite::baselines::OptimisticBound;
 use sqpr_suite::core::{PlannerConfig, SolveBudget, SqprPlanner};
 use sqpr_suite::dsps::{Catalog, CostModel, HostId, HostSpec};
+use sqpr_suite::workload::rng::{Rng, StdRng};
 
 #[derive(Debug, Clone)]
 struct RandomSystem {
@@ -16,29 +20,28 @@ struct RandomSystem {
     queries: Vec<Vec<u8>>, // indices into bases
 }
 
-fn random_system() -> impl Strategy<Value = RandomSystem> {
-    (2usize..=4, 20.0f64..200.0, 20.0f64..200.0, 4usize..=8)
-        .prop_flat_map(|(hosts, cpu, bandwidth, n_bases)| {
-            (
-                Just(hosts),
-                Just(cpu),
-                Just(bandwidth),
-                proptest::collection::vec(1u8..=20, n_bases),
-                proptest::collection::vec(
-                    proptest::collection::vec(0u8..(n_bases as u8), 2..=3),
-                    1..=6,
-                ),
-            )
+fn random_system(rng: &mut StdRng) -> RandomSystem {
+    let hosts = rng.gen_index(3) + 2;
+    let cpu = rng.gen_range_f64(20.0, 200.0);
+    let bandwidth = rng.gen_range_f64(20.0, 200.0);
+    let n_bases = rng.gen_index(5) + 4;
+    let base_rates = (0..n_bases)
+        .map(|_| rng.gen_range_i64(1, 20) as u8)
+        .collect();
+    let queries = (0..rng.gen_index(6) + 1)
+        .map(|_| {
+            (0..rng.gen_index(2) + 2)
+                .map(|_| rng.gen_index(n_bases) as u8)
+                .collect()
         })
-        .prop_map(
-            |(hosts, cpu, bandwidth, base_rates, queries)| RandomSystem {
-                hosts,
-                cpu,
-                bandwidth,
-                base_rates,
-                queries,
-            },
-        )
+        .collect();
+    RandomSystem {
+        hosts,
+        cpu,
+        bandwidth,
+        base_rates,
+        queries,
+    }
 }
 
 fn build(sys: &RandomSystem) -> (Catalog, Vec<sqpr_suite::dsps::StreamId>) {
@@ -57,11 +60,11 @@ fn build(sys: &RandomSystem) -> (Catalog, Vec<sqpr_suite::dsps::StreamId>) {
     (c, bases)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(10))]
-
-    #[test]
-    fn planner_state_always_valid(sys in random_system()) {
+#[test]
+fn planner_state_always_valid() {
+    for seed in 0..10u64 {
+        let mut rng = StdRng::seed_from_u64(0x51A7E ^ seed);
+        let sys = random_system(&mut rng);
         let (catalog, bases) = build(&sys);
         let mut cfg = PlannerConfig::new(&catalog);
         cfg.budget = SolveBudget::nodes(30);
@@ -74,20 +77,24 @@ proptest! {
                 continue;
             }
             planner.submit(&set);
-            prop_assert!(
+            assert!(
                 planner.state().is_valid(planner.catalog()),
-                "{:?}",
+                "seed {seed}: {:?}",
                 planner.state().validate(planner.catalog())
             );
             // Every admitted query is actually served.
             for s in planner.state().admitted().values() {
-                prop_assert!(planner.state().provider_of(*s).is_some());
+                assert!(planner.state().provider_of(*s).is_some(), "seed {seed}");
             }
         }
     }
+}
 
-    #[test]
-    fn aggregate_bound_holds(sys in random_system()) {
+#[test]
+fn aggregate_bound_holds() {
+    for seed in 0..10u64 {
+        let mut rng = StdRng::seed_from_u64(0xB0CD ^ (seed << 1));
+        let sys = random_system(&mut rng);
         let (catalog, bases) = build(&sys);
         let mut cfg = PlannerConfig::new(&catalog);
         cfg.budget = SolveBudget::nodes(30);
@@ -102,17 +109,21 @@ proptest! {
             }
             planner.submit(&set);
             bound.submit(&set);
-            prop_assert!(
+            assert!(
                 bound.num_admitted() >= planner.num_admitted(),
-                "bound {} < planner {}",
+                "seed {seed}: bound {} < planner {}",
                 bound.num_admitted(),
                 planner.num_admitted()
             );
         }
     }
+}
 
-    #[test]
-    fn removal_restores_capacity(sys in random_system()) {
+#[test]
+fn removal_restores_capacity() {
+    for seed in 0..10u64 {
+        let mut rng = StdRng::seed_from_u64(0x4E40 ^ (seed << 2));
+        let sys = random_system(&mut rng);
         let (catalog, bases) = build(&sys);
         let mut cfg = PlannerConfig::new(&catalog);
         cfg.budget = SolveBudget::nodes(30);
@@ -132,11 +143,11 @@ proptest! {
         }
         for q in admitted {
             planner.remove_query(q);
-            prop_assert!(planner.state().is_valid(planner.catalog()));
+            assert!(planner.state().is_valid(planner.catalog()), "seed {seed}");
         }
         // Everything removed: the deployment must be empty.
-        prop_assert_eq!(planner.num_admitted(), 0);
-        prop_assert!(planner.state().placements().is_empty());
-        prop_assert!(planner.state().flows().is_empty());
+        assert_eq!(planner.num_admitted(), 0, "seed {seed}");
+        assert!(planner.state().placements().is_empty(), "seed {seed}");
+        assert!(planner.state().flows().is_empty(), "seed {seed}");
     }
 }

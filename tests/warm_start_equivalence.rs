@@ -1,0 +1,177 @@
+//! Warm-start correctness: the incremental solver context (persistent
+//! model skeleton + basis reuse) must be *behaviour-preserving* — across a
+//! randomized 30-submission sequence, the warm-started planner and the
+//! cold-start planner must take identical admit/reject decisions and end
+//! with deployments of equivalent quality.
+//!
+//! Implemented as seeded random-case loops (the sanctioned dependency set
+//! has no `proptest`); every case prints its seed on failure so it can be
+//! replayed deterministically.
+
+use sqpr_suite::core::{PlannerConfig, SolveBudget, SqprPlanner};
+use sqpr_suite::dsps::{Catalog, CostModel, HostId, HostSpec};
+use sqpr_suite::workload::rng::{Rng, StdRng};
+
+/// Tolerance on the λ-weighted deployment objective; matches the LP
+/// feasibility tolerance scale (`tol_feas`-driven vertex accuracy) with
+/// headroom for alternative optima inside the solver's MIP gap.
+const OBJ_TOL: f64 = 0.02;
+
+struct RandomSequence {
+    hosts: usize,
+    cpu: f64,
+    bandwidth: f64,
+    base_rates: Vec<f64>,
+    submissions: Vec<Vec<usize>>, // indices into bases
+}
+
+fn random_sequence(rng: &mut StdRng) -> RandomSequence {
+    let hosts = rng.gen_index(3) + 2;
+    let n_bases = rng.gen_index(5) + 5;
+    RandomSequence {
+        hosts,
+        // Mix of roomy and tight systems so both admissions and
+        // rejections are exercised.
+        cpu: rng.gen_range_f64(25.0, 150.0),
+        bandwidth: rng.gen_range_f64(40.0, 300.0),
+        base_rates: (0..n_bases).map(|_| rng.gen_range_f64(1.0, 12.0)).collect(),
+        submissions: (0..30)
+            .map(|_| {
+                (0..rng.gen_index(2) + 2)
+                    .map(|_| rng.gen_index(n_bases))
+                    .collect()
+            })
+            .collect(),
+    }
+}
+
+fn build_catalog(seq: &RandomSequence) -> (Catalog, Vec<sqpr_suite::dsps::StreamId>) {
+    let mut c = Catalog::uniform(
+        seq.hosts,
+        HostSpec::new(seq.cpu, seq.bandwidth),
+        seq.bandwidth * 4.0,
+        CostModel::default(),
+    );
+    let bases = seq
+        .base_rates
+        .iter()
+        .enumerate()
+        .map(|(i, &r)| c.add_base_stream(HostId((i % seq.hosts) as u32), r, i as u64))
+        .collect();
+    (c, bases)
+}
+
+#[test]
+fn warm_and_cold_planners_agree_over_30_submissions() {
+    for seed in 0..4u64 {
+        let mut rng = StdRng::seed_from_u64(0x3A93 ^ seed);
+        let seq = random_sequence(&mut rng);
+        let (catalog, bases) = build_catalog(&seq);
+
+        let mut planners: Vec<SqprPlanner> = [true, false]
+            .iter()
+            .map(|&ctx| {
+                let mut cfg = PlannerConfig::new(&catalog);
+                // Enough budget to prove optimality on these small
+                // systems, so admissions are model-determined and must
+                // coincide exactly.
+                cfg.budget = SolveBudget::nodes(120);
+                cfg.reuse_solver_context = ctx;
+                SqprPlanner::new(catalog.clone(), cfg)
+            })
+            .collect();
+
+        for (step, sub) in seq.submissions.iter().enumerate() {
+            let mut set: Vec<_> = sub.iter().map(|&i| bases[i]).collect();
+            set.sort();
+            set.dedup();
+            if set.len() < 2 {
+                continue;
+            }
+            let warm_outcome = planners[0].submit(&set);
+            let cold_outcome = planners[1].submit(&set);
+            assert_eq!(
+                warm_outcome.admitted, cold_outcome.admitted,
+                "seed {seed} step {step}: admit/reject diverged (warm {} vs cold {})",
+                warm_outcome.admitted, cold_outcome.admitted
+            );
+            for p in &planners {
+                assert!(
+                    p.state().is_valid(p.catalog()),
+                    "seed {seed} step {step}: invalid state"
+                );
+            }
+        }
+
+        let warm_obj = planners[0].deployment_objective();
+        let cold_obj = planners[1].deployment_objective();
+        assert!(
+            (warm_obj - cold_obj).abs() <= OBJ_TOL * (1.0 + cold_obj.abs()),
+            "seed {seed}: deployment objectives diverged: warm {warm_obj} vs cold {cold_obj}"
+        );
+        assert_eq!(
+            planners[0].num_admitted(),
+            planners[1].num_admitted(),
+            "seed {seed}: admitted counts diverged"
+        );
+    }
+}
+
+#[test]
+fn warm_context_survives_rate_updates_and_removals() {
+    // Interleave submissions with the mutations that invalidate the cached
+    // skeleton; the planner must keep matching its cold twin afterwards.
+    for seed in 0..3u64 {
+        let mut rng = StdRng::seed_from_u64(0xCAFE ^ (seed << 1));
+        let seq = random_sequence(&mut rng);
+        let (catalog, bases) = build_catalog(&seq);
+        let mut cfg = PlannerConfig::new(&catalog);
+        cfg.budget = SolveBudget::nodes(120);
+        let mut warm = SqprPlanner::new(catalog.clone(), cfg.clone());
+        cfg.reuse_solver_context = false;
+        let mut cold = SqprPlanner::new(catalog.clone(), cfg);
+
+        let mut admitted_warm = Vec::new();
+        for (step, sub) in seq.submissions.iter().take(12).enumerate() {
+            let mut set: Vec<_> = sub.iter().map(|&i| bases[i]).collect();
+            set.sort();
+            set.dedup();
+            if set.len() < 2 {
+                continue;
+            }
+            let wo = warm.submit(&set);
+            let co = cold.submit(&set);
+            assert_eq!(wo.admitted, co.admitted, "seed {seed} step {step}");
+            if wo.admitted {
+                admitted_warm.push(wo.query);
+            }
+            match step % 3 {
+                0 => {
+                    let s = bases[rng.gen_index(bases.len())];
+                    let r = rng.gen_range_f64(1.0, 15.0);
+                    warm.update_base_rate(s, r);
+                    cold.update_base_rate(s, r);
+                }
+                1 => {
+                    if let Some(&q) = admitted_warm.first() {
+                        if rng.gen_bool() {
+                            warm.remove_query(q);
+                            cold.remove_query(q);
+                            admitted_warm.remove(0);
+                        }
+                    }
+                }
+                _ => {}
+            }
+            assert!(
+                warm.state().is_valid(warm.catalog()),
+                "seed {seed} step {step}"
+            );
+            assert!(
+                cold.state().is_valid(cold.catalog()),
+                "seed {seed} step {step}"
+            );
+        }
+        assert_eq!(warm.num_admitted(), cold.num_admitted(), "seed {seed}");
+    }
+}
