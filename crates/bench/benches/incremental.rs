@@ -7,21 +7,24 @@
 //!   submission and every LP relaxation cold-starts from the slack
 //!   identity basis (`reuse_solver_context = false`);
 //! - **warm**: this repo's incremental path — one persistent model
-//!   skeleton extended per query, root LPs warm-started from the previous
-//!   submission's basis, child nodes from their parent's
-//!   (`reuse_solver_context = true`, the default).
+//!   skeleton extended per query, a compressed-LP cache patched in place
+//!   across B&B constructions, root LPs warm-started from the previous
+//!   submission's basis, child nodes re-solved by *dual simplex* from
+//!   their parent's basis (`reuse_solver_context = true`, the default).
 //!
 //! The workload is the §V-A simulation at a saturating scale, so later
 //! submissions hit the admission wall — the regime where the paper's own
 //! scalability limit (Fig. 7: solver latency) appears. Asserts that the
-//! two paths take byte-identical admit/reject decisions and that the warm
-//! path is at least 2x faster on total solve time, then emits
+//! two paths take byte-identical admit/reject decisions, that the warm
+//! path is at least 2x faster on total solve time, and that warm
+//! bound-change re-solves actually run as dual pivots instead of phase-I
+//! recovery (the per-phase counters make that checkable), then emits
 //! `BENCH_incremental.json` for cross-run tracking.
 
 use std::time::Duration;
 
 use sqpr_bench::harness::{emit_json, Json};
-use sqpr_core::{PlannerConfig, SolveBudget, SqprPlanner};
+use sqpr_core::{PivotCounts, PlannerConfig, SolveBudget, SqprPlanner};
 use sqpr_workload::{generate, WorkloadSpec};
 
 const QUERIES: usize = 50;
@@ -32,6 +35,7 @@ struct Run {
     admitted: Vec<bool>,
     objective: f64,
     lp_iterations: usize,
+    pivots: PivotCounts,
     nodes: usize,
 }
 
@@ -45,11 +49,16 @@ fn run(w: &sqpr_workload::Workload, reuse_solver_context: bool) -> Run {
         admitted.push(planner.submit(q).admitted);
     }
     assert!(planner.state().is_valid(planner.catalog()));
+    let mut pivots = PivotCounts::default();
+    for o in planner.outcomes() {
+        pivots.add(&o.lp_pivots);
+    }
     Run {
         total_solve: planner.outcomes().iter().map(|o| o.solve_time).sum(),
         admitted,
         objective: planner.deployment_objective(),
         lp_iterations: planner.outcomes().iter().map(|o| o.lp_iterations).sum(),
+        pivots,
         nodes: planner.outcomes().iter().map(|o| o.nodes).sum(),
     }
 }
@@ -70,46 +79,31 @@ fn main() {
     let admitted = warm.admitted.iter().filter(|&&b| b).count();
     println!("\n== bench group: incremental ({QUERIES} queries, scale {SCALE}) ==");
     println!(
-        "{:<28} {:>14} {:>12} {:>10} {:>12}",
-        "path", "total solve", "lp iters", "nodes", "admitted"
+        "{:<28} {:>12} {:>10} {:>10} {:>10} {:>10} {:>8} {:>9}",
+        "path", "total solve", "lp iters", "phase-I", "primal", "dual", "nodes", "admitted"
     );
     for (label, r) in [
         ("cold (fresh MILP per query)", &cold),
         ("warm (incremental)", &warm),
     ] {
         println!(
-            "{:<28} {:>14} {:>12} {:>10} {:>12}",
+            "{:<28} {:>12} {:>10} {:>10} {:>10} {:>10} {:>8} {:>9}",
             label,
             format!("{:.1?}", r.total_solve),
             r.lp_iterations,
+            r.pivots.phase1,
+            r.pivots.primal,
+            r.pivots.dual,
             r.nodes,
             r.admitted.iter().filter(|&&b| b).count(),
         );
     }
     println!("speedup: {speedup:.2}x");
 
-    // Acceptance: identical admit/reject decisions, comparable deployment
-    // quality, >= 2x on total solve time.
-    assert_eq!(
-        warm.admitted, cold.admitted,
-        "warm and cold paths must take identical admit/reject decisions"
-    );
-    assert!(
-        (warm.objective - cold.objective).abs() <= 0.02 * (1.0 + cold.objective.abs()),
-        "deployment objectives diverged: warm {} vs cold {}",
-        warm.objective,
-        cold.objective
-    );
-    // The wall-clock assertion is skippable for noisy shared runners
-    // (SQPR_BENCH_LENIENT=1): timing jitter there must not fail CI, while
-    // the deterministic assertions above always hold.
-    if std::env::var("SQPR_BENCH_LENIENT").is_err() {
-        assert!(
-            speedup >= 2.0,
-            "warm path must be >= 2x faster (got {speedup:.2}x)"
-        );
-    }
-
+    // The identity verdict is *recorded before asserting*, so a divergence
+    // leaves a `false` in the artifact for postmortem while still failing
+    // the CI bench smoke (the assert below aborts with nonzero status).
+    let outcomes_identical = warm.admitted == cold.admitted;
     emit_json(
         "incremental",
         &Json::obj(vec![
@@ -121,12 +115,70 @@ fn main() {
             ("speedup", Json::Num(speedup)),
             ("cold_lp_iterations", Json::Num(cold.lp_iterations as f64)),
             ("warm_lp_iterations", Json::Num(warm.lp_iterations as f64)),
+            ("cold_pivots_phase1", Json::Num(cold.pivots.phase1 as f64)),
+            ("cold_pivots_primal", Json::Num(cold.pivots.primal as f64)),
+            ("cold_pivots_dual", Json::Num(cold.pivots.dual as f64)),
+            ("warm_pivots_phase1", Json::Num(warm.pivots.phase1 as f64)),
+            ("warm_pivots_primal", Json::Num(warm.pivots.primal as f64)),
+            ("warm_pivots_dual", Json::Num(warm.pivots.dual as f64)),
             ("cold_nodes", Json::Num(cold.nodes as f64)),
             ("warm_nodes", Json::Num(warm.nodes as f64)),
             ("admitted", Json::Num(admitted as f64)),
-            ("outcomes_identical", Json::Bool(true)),
+            ("outcomes_identical", Json::Bool(outcomes_identical)),
             ("cold_objective", Json::Num(cold.objective)),
             ("warm_objective", Json::Num(warm.objective)),
         ]),
     );
+
+    // Acceptance: identical admit/reject decisions, comparable deployment
+    // quality, >= 2x on total solve time.
+    assert!(
+        outcomes_identical,
+        "warm and cold paths must take identical admit/reject decisions"
+    );
+    assert!(
+        (warm.objective - cold.objective).abs() <= 0.02 * (1.0 + cold.objective.abs()),
+        "deployment objectives diverged: warm {} vs cold {}",
+        warm.objective,
+        cold.objective
+    );
+    // The dual simplex must carry the warm path's bound-change re-solves:
+    // dual pivots present, phase-I demoted to a small minority (stale-root
+    // repairs), and the cold path untouched by the dual machinery.
+    assert!(
+        warm.pivots.dual > 0,
+        "warm path took no dual pivots — bound-change re-solves regressed to phase-I"
+    );
+    assert!(
+        warm.pivots.dual > warm.pivots.phase1,
+        "dual pivots ({}) must carry the warm path, not phase-I ({})",
+        warm.pivots.dual,
+        warm.pivots.phase1
+    );
+    assert!(
+        warm.pivots.phase1 * 4 < cold.pivots.phase1,
+        "warm phase-I did not shrink: warm {} vs cold {}",
+        warm.pivots.phase1,
+        cold.pivots.phase1
+    );
+    // The tentpole acceptance floor is a 30% warm-iteration reduction vs
+    // the pre-dual-simplex baseline; this asserts the stronger invariant
+    // the current implementation actually delivers (warm < cold / 2,
+    // measured ~cold / 14) so a partial regression still trips CI. Relax
+    // deliberately if a future change trades iterations for wall clock.
+    assert!(
+        warm.lp_iterations * 2 < cold.lp_iterations,
+        "warm path should need far fewer LP iterations: warm {} vs cold {}",
+        warm.lp_iterations,
+        cold.lp_iterations
+    );
+    // The wall-clock assertion is skippable for noisy shared runners
+    // (SQPR_BENCH_LENIENT=1): timing jitter there must not fail CI, while
+    // the deterministic assertions above always hold.
+    if std::env::var("SQPR_BENCH_LENIENT").is_err() {
+        assert!(
+            speedup >= 2.0,
+            "warm path must be >= 2x faster (got {speedup:.2}x)"
+        );
+    }
 }

@@ -158,6 +158,13 @@ pub struct PlannerConfig {
     /// (the paper's behaviour, kept as the baseline/ablation). Only active
     /// alongside `replan = true` and `RelayPolicy::All`.
     pub reuse_solver_context: bool,
+    /// Skeleton column GC trigger: when more than this fraction of the
+    /// cached skeleton's columns belong to queries that are no longer
+    /// admitted, the skeleton is compacted (rebuilt from the live plan
+    /// spaces, root basis re-mapped). Long-running planners would otherwise
+    /// grow the skeleton — and every `extend`/`apply_reduction` sweep —
+    /// without bound. Values > 1.0 disable compaction.
+    pub skeleton_gc_threshold: f64,
 }
 
 impl PlannerConfig {
@@ -174,6 +181,7 @@ impl PlannerConfig {
             gap_tol: 0.02,
             improve_nodes: 8,
             reuse_solver_context: true,
+            skeleton_gc_threshold: 0.5,
         }
     }
 }

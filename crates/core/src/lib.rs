@@ -28,5 +28,6 @@ pub use extract::extract_plan;
 pub use greedy::greedy_admit;
 pub use hierarchical::HierarchicalPlanner;
 pub use model::{DecodedAllocation, ModelInputs, PlanningModel};
-pub use planner::{garbage_collect, PlanningOutcome, SqprPlanner};
+pub use planner::{garbage_collect, PlanningOutcome, SolverStats, SqprPlanner};
 pub use query::{full_space, register_join_query, PlanSpace, QuerySpec};
+pub use sqpr_milp::{CacheStats, PivotCounts};

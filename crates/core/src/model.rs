@@ -802,6 +802,102 @@ impl PlanningModel {
         self.milp.num_cons()
     }
 
+    /// Re-expresses a [`sqpr_milp::ModelBasis`] captured against `old` in
+    /// this (compacted/rebuilt) skeleton's coordinates. Variables are
+    /// matched through their `(host, stream/operator)` keys; constraints
+    /// through the keyed row registries (availability, demand, capacity,
+    /// cut rows). Rows without a key (the per-column coupling rows, whose
+    /// slacks are rarely basic) are left unmapped and repaired by the usual
+    /// slack substitution — a one-time cost per compaction, not a
+    /// correctness concern.
+    pub fn remap_basis_from(
+        &self,
+        old: &PlanningModel,
+        basis: &sqpr_milp::ModelBasis,
+    ) -> sqpr_milp::ModelBasis {
+        let mut var_map: Vec<Option<usize>> = vec![None; old.milp.num_vars()];
+        for (key, &v) in &old.y {
+            if let Some(&nv) = self.y.get(key) {
+                var_map[v.index()] = Some(nv.index());
+            }
+        }
+        for (key, &v) in &old.x {
+            if let Some(&nv) = self.x.get(key) {
+                var_map[v.index()] = Some(nv.index());
+            }
+        }
+        for (key, &v) in &old.z {
+            if let Some(&nv) = self.z.get(key) {
+                var_map[v.index()] = Some(nv.index());
+            }
+        }
+        for (key, &v) in &old.p {
+            if let Some(&nv) = self.p.get(key) {
+                var_map[v.index()] = Some(nv.index());
+            }
+        }
+        for (key, &v) in &old.d {
+            if let Some(&nv) = self.d.get(key) {
+                var_map[v.index()] = Some(nv.index());
+            }
+        }
+        if let (Some(ot), Some(nt)) = (old.t, self.t) {
+            var_map[ot.index()] = Some(nt.index());
+        }
+
+        let mut cons_map: Vec<Option<usize>> = vec![None; old.milp.num_cons()];
+        for (key, &c) in &old.avail_rows {
+            if let Some(&nc) = self.avail_rows.get(key) {
+                cons_map[c.index()] = Some(nc.index());
+            }
+        }
+        for (key, &c) in &old.demand_rows {
+            if let Some(&nc) = self.demand_rows.get(key) {
+                cons_map[c.index()] = Some(nc.index());
+            }
+        }
+        for (key, &c) in &old.link_rows {
+            if let Some(&nc) = self.link_rows.get(key) {
+                cons_map[c.index()] = Some(nc.index());
+            }
+        }
+        let per_host = [
+            (&old.in_rows, &self.in_rows),
+            (&old.out_rows, &self.out_rows),
+            (&old.mem_rows, &self.mem_rows),
+        ];
+        for (old_rows, new_rows) in per_host {
+            for (i, slot) in old_rows.iter().enumerate() {
+                if let (Some(oc), Some(Some(nc))) = (slot, new_rows.get(i)) {
+                    cons_map[oc.index()] = Some(nc.index());
+                }
+            }
+        }
+        for (i, oc) in old.cpu_rows.iter().enumerate() {
+            if let Some(nc) = self.cpu_rows.get(i) {
+                cons_map[oc.index()] = Some(nc.index());
+            }
+        }
+        for (i, oc) in old.t_rows.iter().enumerate() {
+            if let Some(nc) = self.t_rows.get(i) {
+                cons_map[oc.index()] = Some(nc.index());
+            }
+        }
+        for (cut, old_rows) in &old.cut_rows {
+            if let Some((_, new_rows)) = self.cut_rows.iter().find(|(c, _)| c == cut) {
+                for (oc, nc) in old_rows.iter().zip(new_rows) {
+                    cons_map[oc.index()] = Some(nc.index());
+                }
+            }
+        }
+        basis.remap(
+            &var_map,
+            &cons_map,
+            self.milp.num_vars(),
+            self.milp.num_cons(),
+        )
+    }
+
     /// Builds a warm-start vector from the current deployment: free
     /// variables take their current values, the new queries stay
     /// unadmitted, and stream potentials are set to flow-graph heights so

@@ -12,7 +12,8 @@ use std::time::{Duration, Instant};
 
 use sqpr_dsps::{Catalog, DeploymentState, QueryId, StreamId};
 use sqpr_milp::{
-    solve_filtered_warm, solve_warm, MilpOptions, MilpStatus, MilpWarmStart, ModelBasis,
+    solve_filtered_warm, solve_filtered_warm_cached, solve_warm, solve_warm_cached, CacheStats,
+    LpCacheSlot, MilpOptions, MilpStatus, MilpWarmStart, ModelBasis, PivotCounts,
 };
 
 use crate::config::{AcyclicityMode, ObjectiveWeights, PlannerConfig, RelayPolicy};
@@ -32,6 +33,10 @@ pub struct PlanningOutcome {
     pub nodes: usize,
     /// Total LP simplex iterations.
     pub lp_iterations: usize,
+    /// LP iterations broken down by simplex phase (phase-I, primal, dual).
+    /// Warm bound-change re-solves should show up as `dual` pivots, not
+    /// `phase1` — the bench asserts exactly that.
+    pub lp_pivots: PivotCounts,
     /// Relative MIP gap of the final incumbent (∞ if none).
     pub gap: f64,
     /// Wall-clock planning time.
@@ -81,16 +86,44 @@ struct ModelCache {
     /// Cumulative availability cuts applied to the skeleton.
     cuts: Vec<AvailabilityCut>,
     sig: CacheSig,
+    /// Which query contributed which plan space — the liveness input of
+    /// skeleton compaction (a query that is no longer admitted is dead,
+    /// and so are skeleton columns only *it* needed).
+    query_log: Vec<(QueryId, PlanSpace)>,
 }
 
-/// Solver state carried across submissions: the cached skeleton and the
+/// Solver state carried across submissions: the cached skeleton, the
 /// previous root-LP basis (the `(basis, incumbent)` pair of warm-started
 /// incremental re-planning; the incumbent side is reconstructed from the
-/// deployment each round, which survives model growth by construction).
+/// deployment each round, which survives model growth by construction),
+/// and the cached compressed-LP lowering shared by the skeleton's branch &
+/// bound constructions (see [`sqpr_milp::LpCacheSlot`]).
 #[derive(Default)]
 struct SolverContext {
     cache: Option<ModelCache>,
     root_basis: Option<ModelBasis>,
+    lp_cache: LpCacheSlot,
+}
+
+/// Counters describing how the incremental machinery behaved over the
+/// planner's lifetime (never reset by context invalidation). These make
+/// silent degradations observable: a `reuse_solver_context = true` planner
+/// whose configuration cannot actually be extended incrementally
+/// (`ProducersOnly` relays, `replan = false`) shows up as
+/// `config_fallback_rounds` instead of quietly building cold models.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolverStats {
+    /// Planning rounds served by the persistent solver context.
+    pub incremental_rounds: usize,
+    /// Rounds built cold because `reuse_solver_context` is disabled.
+    pub cold_rounds: usize,
+    /// Rounds where context reuse was requested but the configuration
+    /// forced a cold fresh build (relay ablation / frozen re-planning).
+    pub config_fallback_rounds: usize,
+    /// Skeleton compactions (column GC of dead queries' plan spaces).
+    pub compactions: usize,
+    /// Dead skeleton columns dropped by compactions, cumulative.
+    pub compacted_columns: usize,
 }
 
 /// The SQPR query planner (paper §IV).
@@ -102,6 +135,7 @@ pub struct SqprPlanner {
     outcomes: Vec<PlanningOutcome>,
     queries: Vec<QuerySpec>,
     ctx: SolverContext,
+    stats: SolverStats,
 }
 
 impl SqprPlanner {
@@ -114,7 +148,19 @@ impl SqprPlanner {
             outcomes: Vec::new(),
             queries: Vec::new(),
             ctx: SolverContext::default(),
+            stats: SolverStats::default(),
         }
+    }
+
+    /// Lifetime counters of the incremental machinery (see [`SolverStats`]).
+    pub fn solver_stats(&self) -> SolverStats {
+        self.stats
+    }
+
+    /// Counters of the *current* solver context's compressed-LP cache
+    /// (reset whenever the context is invalidated).
+    pub fn lp_cache_stats(&self) -> CacheStats {
+        self.ctx.lp_cache.stats()
     }
 
     /// Drops the cached model skeleton and root basis. Called on every
@@ -199,6 +245,7 @@ impl SqprPlanner {
                 reused_existing: true,
                 nodes: 0,
                 lp_iterations: 0,
+                lp_pivots: PivotCounts::default(),
                 gap: 0.0,
                 solve_time: Duration::ZERO,
                 model_vars: 0,
@@ -247,7 +294,16 @@ impl SqprPlanner {
         let shared = if new_streams.is_empty() {
             None
         } else {
-            Some(self.plan_streams(QueryId(u32::MAX), &new_streams, &merged))
+            let outcome = self.plan_streams(QueryId(u32::MAX), &new_streams, &merged);
+            // Batch rounds plan under a sentinel id; log the merged space
+            // under each member so skeleton compaction sees them as live
+            // while they stay admitted.
+            if let Some(cache) = &mut self.ctx.cache {
+                for spec in &specs {
+                    cache.query_log.push((spec.id, merged.clone()));
+                }
+            }
+            Some(outcome)
         };
 
         let mut outcomes = Vec::new();
@@ -262,6 +318,7 @@ impl SqprPlanner {
                 reused_existing: true,
                 nodes: 0,
                 lp_iterations: 0,
+                lp_pivots: PivotCounts::default(),
                 gap: 0.0,
                 solve_time: Duration::ZERO,
                 model_vars: 0,
@@ -289,6 +346,99 @@ impl SqprPlanner {
             && self.config.relay_policy == RelayPolicy::All
     }
 
+    /// Skeleton column GC: when more than `skeleton_gc_threshold` of the
+    /// cached skeleton's columns belong to queries that are no longer
+    /// admitted (rejected or superseded), rebuild the skeleton from the
+    /// *live* plan spaces instead of letting it grow forever. The root
+    /// basis is carried across the rebuild by re-mapping it through the
+    /// `(host, stream/operator)` keys ([`PlanningModel::remap_basis_from`]),
+    /// so the next solve still warm-starts.
+    fn maybe_compact_skeleton(&mut self, space: &PlanSpace, new_streams: &[StreamId]) {
+        let threshold = self.config.skeleton_gc_threshold;
+        let h = self.catalog.num_hosts();
+        let Some(cache) = &self.ctx.cache else {
+            return;
+        };
+        // Column weight per skeleton entity: a stream owns h availability
+        // columns plus h(h-1) flow columns (plus potentials in Constraints
+        // mode, same order); an operator owns h placement columns.
+        let stream_cols = h * h;
+        let op_cols = h;
+        let mut live_streams: BTreeSet<StreamId> = space.streams.iter().copied().collect();
+        let mut live_ops: BTreeSet<sqpr_dsps::OperatorId> =
+            space.operators.iter().copied().collect();
+        for (lq, ls) in &cache.query_log {
+            if self.state.admitted().contains_key(lq) {
+                live_streams.extend(ls.streams.iter().copied());
+                live_ops.extend(ls.operators.iter().copied());
+            }
+        }
+        let dead_streams = cache
+            .space
+            .streams
+            .iter()
+            .filter(|s| !live_streams.contains(s))
+            .count();
+        let dead_ops = cache
+            .space
+            .operators
+            .iter()
+            .filter(|o| !live_ops.contains(o))
+            .count();
+        let dead_cols = dead_streams * stream_cols + dead_ops * op_cols;
+        let total_cols =
+            cache.space.streams.len() * stream_cols + cache.space.operators.len() * op_cols;
+        if total_cols == 0 || (dead_cols as f64) <= threshold * total_cols as f64 {
+            return;
+        }
+
+        // Rebuild from the live spaces only; cuts on dropped streams go
+        // too. The current submission's own space is merged but not logged
+        // here — the extend path logs it (once) like any other round.
+        let mut live_space = space.clone();
+        let mut live_log: Vec<(QueryId, PlanSpace)> = Vec::new();
+        for (lq, ls) in &cache.query_log {
+            if self.state.admitted().contains_key(lq) {
+                live_space.merge(ls);
+                live_log.push((*lq, ls.clone()));
+            }
+        }
+        let live_cuts: Vec<AvailabilityCut> = cache
+            .cuts
+            .iter()
+            .filter(|c| live_space.contains_stream(c.stream))
+            .cloned()
+            .collect();
+        let model = PlanningModel::build(&ModelInputs {
+            catalog: &self.catalog,
+            state: &self.state,
+            space: &live_space,
+            new_streams,
+            weights: self.config.weights,
+            relay_policy: self.config.relay_policy,
+            acyclicity: self.config.acyclicity,
+            replan: self.config.replan,
+            cuts: &live_cuts,
+        });
+        let old = self.ctx.cache.take().expect("checked above");
+        self.ctx.root_basis = self
+            .ctx
+            .root_basis
+            .as_ref()
+            .map(|b| model.remap_basis_from(&old.model, b));
+        self.stats.compactions += 1;
+        self.stats.compacted_columns += dead_cols;
+        self.ctx.cache = Some(ModelCache {
+            model,
+            space: live_space,
+            cuts: live_cuts,
+            sig: old.sig,
+            query_log: live_log,
+        });
+        // The compressed-LP cache indexes the old skeleton's columns.
+        self.ctx.lp_cache.invalidate();
+    }
+
     /// Core planning round: build or extend, warm-start, solve, decode,
     /// install.
     fn plan_streams(
@@ -306,9 +456,21 @@ impl SqprPlanner {
             &full
         };
         let incremental = self.incremental_eligible();
+        if incremental {
+            self.stats.incremental_rounds += 1;
+        } else if self.config.reuse_solver_context {
+            // Reuse was requested but the configuration cannot be extended
+            // incrementally — make the silent cold fallback observable.
+            self.stats.config_fallback_rounds += 1;
+        } else {
+            self.stats.cold_rounds += 1;
+        }
         let sig = CacheSig::of(&self.config);
         if !incremental || self.ctx.cache.as_ref().is_some_and(|c| c.sig != sig) {
             self.ctx = SolverContext::default();
+        }
+        if incremental {
+            self.maybe_compact_skeleton(space, new_streams);
         }
         // Cutting-plane rounds: in lazy-acyclicity mode the branch & bound
         // rejects acausal incumbents; the cuts they violate are added and
@@ -348,9 +510,13 @@ impl SqprPlanner {
                             space: space.clone(),
                             cuts: cuts.clone(),
                             sig: sig.clone(),
+                            query_log: log_entry(q, space),
                         });
                     }
                     Some(cache) => {
+                        if round == 1 {
+                            cache.query_log.extend(log_entry(q, space));
+                        }
                         cache.space.merge(space);
                         for c in cuts.drain(..) {
                             if !cache.cuts.contains(&c) {
@@ -500,7 +666,23 @@ impl SqprPlanner {
                         false
                     }
                 };
-                solve_filtered_warm(&model.milp, &opts, warm_ctx, &filter)
+                if incremental {
+                    // The compressed LP is served from the context's cache:
+                    // later cut rounds append their rows in place and later
+                    // submissions with an unchanged fixed layout patch only
+                    // bounds, removing the per-construction skeleton scan.
+                    solve_filtered_warm_cached(
+                        &model.milp,
+                        &opts,
+                        warm_ctx,
+                        &filter,
+                        &mut self.ctx.lp_cache,
+                    )
+                } else {
+                    solve_filtered_warm(&model.milp, &opts, warm_ctx, &filter)
+                }
+            } else if incremental {
+                solve_warm_cached(&model.milp, &opts, warm_ctx, &mut self.ctx.lp_cache)
             } else {
                 solve_warm(&model.milp, &opts, warm_ctx)
             };
@@ -548,6 +730,7 @@ impl SqprPlanner {
                 reused_existing: false,
                 nodes: result.nodes,
                 lp_iterations: result.lp_iterations,
+                lp_pivots: result.lp_pivots,
                 gap: result.gap,
                 solve_time: started.elapsed(),
                 model_vars: model.num_vars(),
@@ -611,6 +794,7 @@ impl SqprPlanner {
                 reused_existing: true,
                 nodes: 0,
                 lp_iterations: 0,
+                lp_pivots: PivotCounts::default(),
                 gap: 0.0,
                 solve_time: Duration::ZERO,
                 model_vars: 0,
@@ -624,6 +808,16 @@ impl SqprPlanner {
             self.state.admit_query(q, spec2.result);
         }
         Some(outcome)
+    }
+}
+
+/// Query-log entry for the skeleton's liveness bookkeeping; batch rounds
+/// use a sentinel id and are logged per member by [`SqprPlanner::submit_batch`].
+fn log_entry(q: QueryId, space: &PlanSpace) -> Vec<(QueryId, PlanSpace)> {
+    if q.0 == u32::MAX {
+        Vec::new()
+    } else {
+        vec![(q, space.clone())]
     }
 }
 

@@ -1,0 +1,110 @@
+//! Observability of the incremental machinery: the `ProducersOnly` relay
+//! fallback must be surfaced (not silent), and the skeleton column GC must
+//! compact dead (rejected) queries' columns while preserving behaviour.
+
+use sqpr_core::{PlannerConfig, RelayPolicy, SqprPlanner};
+use sqpr_dsps::{Catalog, CostModel, HostId, HostSpec, StreamId};
+
+fn system(
+    n_hosts: usize,
+    n_bases: usize,
+    cpu: f64,
+    bw: f64,
+    link: f64,
+) -> (Catalog, Vec<StreamId>) {
+    let mut c = Catalog::uniform(n_hosts, HostSpec::new(cpu, bw), link, CostModel::default());
+    let bases = (0..n_bases)
+        .map(|i| c.add_base_stream(HostId((i % n_hosts) as u32), 10.0, i as u64))
+        .collect();
+    (c, bases)
+}
+
+/// `reuse_solver_context = true` with `ProducersOnly` relays cannot extend
+/// the skeleton incrementally (relay rows would need terms for producers
+/// added later); the planner falls back to cold fresh builds. That
+/// fallback must be explicit: counted in [`sqpr_core::SolverStats`] and
+/// visible as `incremental: false` on every outcome.
+#[test]
+fn producers_only_fallback_is_explicit() {
+    let (c, b) = system(3, 3, 100.0, 100.0, 1000.0);
+    let mut cfg = PlannerConfig::new(&c);
+    cfg.budget.max_nodes = 120;
+    cfg.relay_policy = RelayPolicy::ProducersOnly;
+    assert!(cfg.reuse_solver_context, "reuse is the default");
+    let mut p = SqprPlanner::new(c, cfg);
+
+    let o1 = p.submit(&[b[0], b[1]]);
+    let o2 = p.submit(&[b[1], b[2]]);
+    assert!(!o1.incremental && !o2.incremental);
+
+    let stats = p.solver_stats();
+    assert_eq!(
+        stats.config_fallback_rounds, 2,
+        "both rounds must be counted as config fallbacks: {stats:?}"
+    );
+    assert_eq!(stats.incremental_rounds, 0, "{stats:?}");
+    assert_eq!(stats.cold_rounds, 0, "{stats:?}");
+    assert!(p.state().is_valid(p.catalog()));
+
+    // The default configuration, by contrast, reports incremental rounds.
+    let (c2, b2) = system(3, 3, 100.0, 100.0, 1000.0);
+    let mut cfg2 = PlannerConfig::new(&c2);
+    cfg2.budget.max_nodes = 120;
+    let mut p2 = SqprPlanner::new(c2, cfg2);
+    p2.submit(&[b2[0], b2[1]]);
+    let stats2 = p2.solver_stats();
+    assert!(stats2.incremental_rounds >= 1, "{stats2:?}");
+    assert_eq!(stats2.config_fallback_rounds, 0, "{stats2:?}");
+}
+
+/// Rejected queries leave dead columns in the cached skeleton. With
+/// `reuse = false` (private per-query plan spaces) and a CPU budget that
+/// only fits the first couple of joins, most submissions are rejected;
+/// once dead columns pass the threshold the planner must compact — and
+/// keep planning correctly afterwards (same decisions as a cold twin).
+#[test]
+fn skeleton_gc_compacts_rejected_queries() {
+    let (c, b) = system(2, 4, 3.0, 60.0, 600.0);
+    let mut cfg = PlannerConfig::new(&c);
+    cfg.budget.max_nodes = 120;
+    cfg.reuse = false; // private spaces: rejected queries' columns are dead
+    let mut warm = SqprPlanner::new(c.clone(), cfg.clone());
+    let mut no_gc_cfg = cfg.clone();
+    no_gc_cfg.skeleton_gc_threshold = 2.0; // disabled: skeleton only grows
+    let mut no_gc = SqprPlanner::new(c.clone(), no_gc_cfg);
+    cfg.reuse_solver_context = false;
+    let mut cold = SqprPlanner::new(c, cfg);
+
+    for i in 0..10 {
+        let pair = [b[i % 4], b[(i + 1) % 4]];
+        let wo = warm.submit(&pair);
+        let go = no_gc.submit(&pair);
+        let co = cold.submit(&pair);
+        assert_eq!(
+            wo.admitted, co.admitted,
+            "step {i}: admit/reject diverged (warm {} vs cold {})",
+            wo.admitted, co.admitted
+        );
+        assert_eq!(wo.admitted, go.admitted, "step {i}: GC changed a decision");
+        assert!(warm.state().is_valid(warm.catalog()), "step {i}");
+    }
+    let stats = warm.solver_stats();
+    assert!(
+        stats.compactions >= 1,
+        "rejected queries must trigger skeleton GC: {stats:?}"
+    );
+    assert!(
+        stats.compacted_columns > 0,
+        "compaction must actually drop columns: {stats:?}"
+    );
+    assert_eq!(no_gc.solver_stats().compactions, 0);
+    // The compacted planner's final model must be strictly smaller than
+    // the grow-forever twin's.
+    let last = warm.outcomes().last().unwrap().model_vars;
+    let last_no_gc = no_gc.outcomes().last().unwrap().model_vars;
+    assert!(
+        last < last_no_gc,
+        "GC'd skeleton ({last}) should be smaller than the grow-forever one ({last_no_gc})"
+    );
+    assert_eq!(warm.num_admitted(), cold.num_admitted());
+}

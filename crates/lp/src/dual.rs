@@ -1,0 +1,338 @@
+//! Bound-change-aware dual simplex for warm re-solves.
+//!
+//! A basis that was optimal for one set of bounds stays **dual feasible**
+//! when only bounds move: reduced costs depend on the matrix, objective and
+//! basis — not on bound values. That is exactly the re-solve signature of
+//! branch & bound children (one variable's bounds tightened) and of the
+//! planner's §IV-A reduction re-fixing over a persistent skeleton (many
+//! variables' bounds flipped between fixed and free). For those, primal
+//! feasibility can be recovered with *dual* pivots — each one kicks a
+//! bound-violating basic variable out onto its violated bound — instead of
+//! the composite phase-I plus primal-reoptimisation round trip.
+//!
+//! Entry contract (see [`Solver::try_dual_entry`]): the solve must have
+//! started from a caller-provided basis hint, the repaired vertex must be
+//! primal infeasible, and the reduced costs must be dual feasible within a
+//! relaxed tolerance. Anything else falls through to the composite
+//! phase-I, which remains the correctness backstop: the dual loop also
+//! bails out (`FallBack`) on stalls or numerical trouble, so it can cost
+//! pivots but never correctness.
+//!
+//! Row selection uses **devex reference weights** (Forrest–Goldfarb style):
+//! rows are scored by `violation^2 / weight`, and the weights are updated
+//! from the entering column's FTRAN image — which the basis update needs
+//! anyway, so dual devex is essentially free. Reduced costs are maintained
+//! incrementally from the pivot row (one BTRAN of the leaving row per
+//! iteration, spread over a row-major mirror of the matrix), and recomputed
+//! from scratch after each refactorisation.
+
+use crate::problem::LpStatus;
+use crate::simplex::{Solver, VarStatus};
+
+/// Outcome of one dual-simplex run.
+enum DualOutcome {
+    /// Primal feasibility reached; the caller continues with primal
+    /// phase-II (usually a single pricing pass, since dual feasibility was
+    /// maintained throughout).
+    PrimalFeasible,
+    /// A row certified primal infeasibility (no sign-eligible entering
+    /// column exists for a violated basic variable).
+    Infeasible,
+    /// Stall or numerical trouble: give up and let composite phase-I take
+    /// over from the current (valid) basis.
+    FallBack,
+    /// The global iteration budget ran out mid-walk.
+    IterationLimit,
+}
+
+impl Solver<'_> {
+    /// Attempts the dual-simplex warm entry. Returns `Some(status)` when the
+    /// dual loop terminally resolved the LP's feasibility question
+    /// (infeasible / iteration limit); `None` means "continue with the
+    /// primal loop" — either the point is now primal feasible or the dual
+    /// path declined and phase-I should run.
+    pub(crate) fn try_dual_entry(&mut self, max_iters: usize) -> Option<LpStatus> {
+        if self.total_infeasibility() <= self.opts.tol_feas {
+            return None; // already primal feasible: phase-I is skipped anyway
+        }
+        let mut d = vec![0.0; self.n + self.m];
+        if !self.dual_feasible_reduced_costs(&mut d) {
+            return None;
+        }
+        match self.dual_loop(&mut d, max_iters) {
+            DualOutcome::Infeasible => Some(LpStatus::Infeasible),
+            DualOutcome::IterationLimit => Some(LpStatus::IterationLimit),
+            DualOutcome::PrimalFeasible | DualOutcome::FallBack => None,
+        }
+    }
+
+    /// Computes phase-II reduced costs for every nonbasic variable into `d`
+    /// and reports whether they are dual feasible within a relaxed
+    /// tolerance (bound-fixed columns are exempt: they can never enter).
+    fn dual_feasible_reduced_costs(&mut self, d: &mut [f64]) -> bool {
+        self.compute_duals(false);
+        self.duals_valid = false; // y is clobbered by ratio-test BTRANs below
+        let tol = self.opts.tol_dual * 10.0;
+        for j in 0..self.n + self.m {
+            if self.status[j] == VarStatus::Basic || self.lb[j] == self.ub[j] {
+                continue;
+            }
+            let dj = self.reduced_cost(j, false);
+            d[j] = dj;
+            let ok = match self.status[j] {
+                VarStatus::AtLower => dj >= -tol,
+                VarStatus::AtUpper => dj <= tol,
+                VarStatus::FreeNb => dj.abs() <= tol,
+                VarStatus::Basic => true,
+            };
+            if !ok {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Clamps a maintained reduced cost onto its dual-feasible side, so
+    /// drift within tolerance cannot produce negative ratios.
+    #[inline]
+    fn clamped_dual(&self, j: usize, d: &[f64]) -> f64 {
+        match self.status[j] {
+            VarStatus::AtLower => d[j].max(0.0),
+            VarStatus::AtUpper => d[j].min(0.0),
+            _ => 0.0,
+        }
+    }
+
+    /// The dual simplex loop. Maintains dual feasibility (within drift) and
+    /// walks the total primal bound violation of basic variables to zero.
+    fn dual_loop(&mut self, d: &mut [f64], max_iters: usize) -> DualOutcome {
+        let n = self.n;
+        let m = self.m;
+        // Row-major mirror for pivot rows; cached on the Problem, so only
+        // the first dual entry against a given matrix pays the transpose.
+        let mirror = self.p.row_major();
+        // Dual devex reference weights, one per basis *position*.
+        let mut tau = vec![1.0f64; m];
+        let mut rho = vec![0.0f64; m];
+        let mut alpha = vec![0.0f64; n + m];
+        let mut touched: Vec<usize> = Vec::with_capacity(128);
+        let mut stall = 0usize;
+        let mut last_total = f64::INFINITY;
+        let mut retries = 0usize;
+        let tol = self.opts.tol_feas;
+        let piv_tol = self.opts.tol_pivot;
+
+        loop {
+            if self.iterations >= max_iters {
+                return DualOutcome::IterationLimit;
+            }
+
+            // ---- leaving row: worst devex-weighted bound violation ----
+            let mut pick: Option<(usize, f64, bool)> = None; // (pos, score, at_upper)
+            let mut total_infeas = 0.0;
+            for pos in 0..m {
+                let j = self.basis.basic_at(pos);
+                let v = self.x[j];
+                let (viol, at_upper) = if v > self.ub[j] + tol {
+                    (v - self.ub[j], true)
+                } else if v < self.lb[j] - tol {
+                    (self.lb[j] - v, false)
+                } else {
+                    continue;
+                };
+                total_infeas += viol;
+                let score = viol * viol / tau[pos];
+                if pick.is_none_or(|(_, s, _)| score > s) {
+                    pick = Some((pos, score, at_upper));
+                }
+            }
+            let Some((rpos, _, at_upper)) = pick else {
+                return DualOutcome::PrimalFeasible;
+            };
+            if total_infeas < last_total - 1e-10 {
+                stall = 0;
+            } else {
+                stall += 1;
+                if stall > self.opts.stall_limit {
+                    return DualOutcome::FallBack;
+                }
+            }
+            last_total = total_infeas;
+
+            self.iterations += 1;
+            self.pivots.dual += 1;
+
+            // ---- pivot row: alpha_j = (row rpos of B^-1) . a_j ----
+            rho.iter_mut().for_each(|v| *v = 0.0);
+            rho[rpos] = 1.0;
+            self.basis.btran(&mut rho);
+            for j in touched.drain(..) {
+                alpha[j] = 0.0;
+            }
+            // Columns reached only through dropped (noise-level) rho
+            // entries never make it into `touched`; if that happened, an
+            // empty ratio test is NOT a trustworthy infeasibility
+            // certificate and must fall back to phase-I instead.
+            let mut rho_dropped = false;
+            for (i, &rv) in rho.iter().enumerate() {
+                if rv.abs() <= 1e-12 {
+                    rho_dropped |= rv != 0.0;
+                    continue;
+                }
+                for (jcol, av) in mirror.row_iter(i) {
+                    if alpha[jcol] == 0.0 {
+                        touched.push(jcol);
+                    }
+                    alpha[jcol] += rv * av;
+                }
+                // Slack column n + i is the single entry (i, -1).
+                if alpha[n + i] == 0.0 {
+                    touched.push(n + i);
+                }
+                alpha[n + i] -= rv;
+            }
+
+            // ---- dual ratio test ----
+            // sigma = +1: the leaving basic sits above its upper bound and
+            // must decrease; -1: below its lower bound and must increase.
+            let sigma = if at_upper { 1.0 } else { -1.0 };
+            let mut enter: Option<(usize, f64, f64)> = None; // (j, ratio, alpha_j)
+            let mut saw_tiny = false;
+            for &j in &touched {
+                if self.status[j] == VarStatus::Basic || self.lb[j] == self.ub[j] {
+                    continue;
+                }
+                let a = alpha[j];
+                let eligible = match self.status[j] {
+                    VarStatus::AtLower => sigma * a > 0.0,
+                    VarStatus::AtUpper => sigma * a < 0.0,
+                    VarStatus::FreeNb => a != 0.0,
+                    VarStatus::Basic => false,
+                };
+                if !eligible {
+                    continue;
+                }
+                if a.abs() <= piv_tol {
+                    saw_tiny = true;
+                    continue;
+                }
+                let ratio = self.clamped_dual(j, d).abs() / a.abs();
+                let better = match enter {
+                    None => true,
+                    Some((_, r, ba)) => {
+                        ratio < r - 1e-12 || (ratio <= r + 1e-12 && a.abs() > ba.abs())
+                    }
+                };
+                if better {
+                    enter = Some((j, ratio, a));
+                }
+            }
+            let Some((q, _, aq)) = enter else {
+                // No column can reduce this row's violation. With no
+                // sign-eligible candidate at all — and the pivot row
+                // computed exactly (no candidate skipped for a tiny alpha,
+                // no rho entry dropped as noise) — this is a Farkas-style
+                // infeasibility certificate; anything less certain stays
+                // safe and falls back to composite phase-I.
+                return if saw_tiny || rho_dropped {
+                    DualOutcome::FallBack
+                } else {
+                    DualOutcome::Infeasible
+                };
+            };
+
+            // ---- FTRAN the entering column, cross-check the pivot ----
+            self.w.iter_mut().for_each(|v| *v = 0.0);
+            self.basis.scatter_column(q, &mut self.w);
+            self.basis.ftran(&mut self.w);
+            let piv = self.w[rpos];
+            if piv.abs() <= piv_tol || piv * aq < 0.0 {
+                // The FTRAN image disagrees with the BTRAN row: numerical
+                // drift. Refactorise once and retry; give up on repeats.
+                retries += 1;
+                if retries > 3 {
+                    return DualOutcome::FallBack;
+                }
+                self.refactorize_and_repair();
+                self.refresh_reduced_costs(d);
+                last_total = f64::INFINITY;
+                continue;
+            }
+            retries = 0;
+
+            // ---- primal step: land the leaving variable on its bound ----
+            let lj = self.basis.basic_at(rpos);
+            let bound = if at_upper { self.ub[lj] } else { self.lb[lj] };
+            let step = (self.x[lj] - bound) / piv;
+            if step != 0.0 {
+                self.x[q] += step;
+                for pos in 0..m {
+                    let wv = self.w[pos];
+                    if wv != 0.0 {
+                        let bj = self.basis.basic_at(pos);
+                        self.x[bj] -= step * wv;
+                    }
+                }
+            }
+            self.x[lj] = bound;
+            self.status[lj] = if at_upper {
+                VarStatus::AtUpper
+            } else {
+                VarStatus::AtLower
+            };
+
+            // ---- dual step: maintain reduced costs incrementally ----
+            let theta = self.clamped_dual(q, d) / aq;
+            if theta != 0.0 {
+                for &j in &touched {
+                    if self.status[j] != VarStatus::Basic && j != q {
+                        d[j] -= theta * alpha[j];
+                    }
+                }
+            }
+            d[lj] = -theta;
+            d[q] = 0.0;
+
+            // ---- dual devex update from the FTRAN image ----
+            let tau_r = tau[rpos];
+            let inv = 1.0 / (piv * piv);
+            for (pos, &wv) in self.w.iter().enumerate() {
+                if pos != rpos && wv != 0.0 {
+                    let cand = wv * wv * inv * tau_r;
+                    if cand > tau[pos] {
+                        tau[pos] = cand;
+                    }
+                }
+            }
+            tau[rpos] = (tau_r * inv).max(1.0);
+
+            // ---- basis update ----
+            self.basis.replace(rpos, q, &self.w);
+            self.status[q] = VarStatus::Basic;
+            self.duals_valid = false;
+            self.pivots_since_refactor += 1;
+            if self.pivots_since_refactor >= self.opts.refactor_interval
+                || self.basis.should_refactorize()
+            {
+                self.refactorize_and_repair();
+                self.pivots_since_refactor = 0;
+                self.refresh_reduced_costs(d);
+                last_total = f64::INFINITY;
+            }
+        }
+    }
+
+    /// Recomputes every nonbasic reduced cost from fresh duals (used after
+    /// refactorisation, where incremental updates would compound drift).
+    fn refresh_reduced_costs(&mut self, d: &mut [f64]) {
+        self.compute_duals(false);
+        self.duals_valid = false;
+        for j in 0..self.n + self.m {
+            d[j] = if self.status[j] == VarStatus::Basic {
+                0.0
+            } else {
+                self.reduced_cost(j, false)
+            };
+        }
+    }
+}

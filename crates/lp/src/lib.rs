@@ -9,34 +9,51 @@
 //! dependency set. It is written for the moderately sized, mostly-binary
 //! models produced by the SQPR query planner, but is a general LP solver:
 //!
-//! ## Warm starts and the basis-repair contract
+//! ## The basis lifecycle: snapshot → validate/repair → entry choice
 //!
 //! Every solve reports its final basis as a [`BasisState`] snapshot
 //! ([`problem::LpSolution::basis`]). Passing that snapshot to
 //! [`solve_from`] / [`solve_with_bounds_from`] starts the simplex from the
-//! captured vertex instead of the slack identity. The hint is *advisory*,
-//! never trusted:
+//! captured vertex instead of the slack identity. A warm solve then moves
+//! through three stages:
 //!
-//! - **Appended columns** (the hinted problem was smaller) enter nonbasic
-//!   at their bound nearest zero; **appended rows** contribute their slack
-//!   to the basis so it stays square.
-//! - **Dropped columns** are patched out by slack substitution — the same
-//!   repair the LU factorisation applies to singular bases.
-//! - **Changed bounds** (branch & bound, the planner's variable fixing):
-//!   nonbasic statuses referring to a bound that no longer exists are
-//!   re-derived; if the repaired vertex is primal infeasible, the ordinary
-//!   composite phase-I walks it feasible (usually a handful of pivots
-//!   when the hint is close).
-//! - A hinted vertex that is already primal feasible **skips phase-I
-//!   entirely**; one that is also dual feasible terminates after a single
-//!   pricing pass.
+//! 1. **Validate & repair.** The hint is *advisory*, never trusted.
+//!    Appended columns (the hinted problem was smaller) enter nonbasic at
+//!    their bound nearest zero; appended rows contribute their slack so
+//!    the basis stays square; dropped columns are patched out by slack
+//!    substitution — the same repair the LU factorisation applies to
+//!    singular bases; nonbasic statuses referring to a bound that no
+//!    longer exists are re-derived from the current bounds. Arbitrarily
+//!    malformed hints (wrong dimensions, duplicate basics, statuses
+//!    contradicting the bounds) degrade to a cold start — they can cost
+//!    pivots, never correctness.
+//! 2. **Entry choice.** The repaired vertex is classified:
+//!    - *primal feasible* — phase-I is skipped and the primal phase-II
+//!      loop optimises directly (a vertex that is also dual feasible
+//!      terminates after a single pricing pass);
+//!    - *primal infeasible but dual feasible* — the signature of a
+//!      re-solve where only bounds moved (branch & bound children, the
+//!      planner's §IV-A re-fixing): the **dual simplex** ([`dual`]) walks
+//!      primal feasibility back with dual pivots, each one landing a
+//!      bound-violating basic variable on its violated bound;
+//!    - *neither* — the composite phase-I minimises total bound violation
+//!      from wherever the repair left the point, exactly as a cold start
+//!      would.
+//! 3. **Fallbacks.** The dual loop bails back to composite phase-I on
+//!    stalls or numerical trouble, so the warm machinery is strictly an
+//!    optimisation layer: every path ends in the same phase-I/phase-II
+//!    loop with the same tolerances.
 //!
-//! Arbitrarily malformed hints (wrong dimensions, duplicate basics,
-//! statuses contradicting the bounds) degrade to a cold start — they can
-//! cost pivots, never correctness. Re-solves additionally benefit from
-//! bound-flip-aware partial pricing (see [`SimplexOptions::pricing_window`]):
-//! only a rotating window plus a short-list of recently attractive columns
-//! is priced per iteration, and bound-fixed columns are skipped outright.
+//! Re-solves additionally benefit from bound-flip-aware partial pricing
+//! (see [`SimplexOptions::pricing_window`]): only a rotating window plus a
+//! short-list of recently attractive columns is priced per iteration, and
+//! bound-fixed columns are skipped outright. Warm solves price with devex
+//! reference weights (`d^2 / w`) shared in spirit between the primal loop
+//! (partial Forrest–Goldfarb updates over the candidate short-list) and
+//! the dual loop (row weights updated from the entering column's FTRAN
+//! image); [`LpSolution::pivots`] reports how many iterations each phase
+//! took, which is how callers verify that bound-change re-solves really
+//! ran as dual pivots.
 //!
 //! ```
 //! use sqpr_lp::{ProblemBuilder, SimplexOptions, LpStatus, solve, INF};
@@ -62,6 +79,7 @@
 #![allow(clippy::needless_range_loop)]
 
 pub mod basis;
+pub mod dual;
 pub mod eta;
 pub mod lu;
 pub mod oracle;
@@ -71,7 +89,7 @@ pub mod sparse;
 
 pub use problem::{LpSolution, LpStatus, Problem, ProblemBuilder, INF};
 pub use simplex::{
-    solve, solve_from, solve_with_bounds, solve_with_bounds_from, BasisState, SimplexOptions,
-    VarBasisStatus,
+    solve, solve_from, solve_with_bounds, solve_with_bounds_from, BasisState, PivotCounts,
+    SimplexOptions, VarBasisStatus,
 };
 pub use sparse::{CscMatrix, Triplet};

@@ -1,6 +1,8 @@
 //! Linear-program definition shared by the revised and dense solvers.
 
-use crate::sparse::{CscMatrix, Triplet};
+use std::sync::OnceLock;
+
+use crate::sparse::{CscMatrix, RowMajor, Triplet};
 
 /// Positive infinity shorthand used for absent bounds.
 pub const INF: f64 = f64::INFINITY;
@@ -22,6 +24,9 @@ pub struct Problem {
     pub(crate) col_ub: Vec<f64>,
     pub(crate) row_lb: Vec<f64>,
     pub(crate) row_ub: Vec<f64>,
+    /// Lazily built row-major mirror of `a` (the dual simplex's pivot-row
+    /// access); discarded whenever the matrix itself changes.
+    pub(crate) row_major: OnceLock<RowMajor>,
 }
 
 impl Problem {
@@ -65,7 +70,15 @@ impl Problem {
             col_ub,
             row_lb,
             row_ub,
+            row_major: OnceLock::new(),
         }
+    }
+
+    /// Row-major mirror of the constraint matrix, built on first use and
+    /// cached for the problem's lifetime (solves share it; warm B&B
+    /// re-solves would otherwise rebuild it per node).
+    pub fn row_major(&self) -> &RowMajor {
+        self.row_major.get_or_init(|| RowMajor::build(&self.a))
     }
 
     pub fn ncols(&self) -> usize {
@@ -100,6 +113,46 @@ impl Problem {
     /// Evaluates row activities `A x`.
     pub fn activities(&self, x: &[f64]) -> Vec<f64> {
         self.a.mul_dense(x)
+    }
+
+    /// Replaces one column's bounds in place (used by LP caches that patch
+    /// a lowered problem between solves instead of rebuilding it).
+    ///
+    /// # Panics
+    /// Panics on crossed bounds.
+    pub fn set_col_bounds(&mut self, j: usize, lb: f64, ub: f64) {
+        assert!(lb <= ub, "column {j} crossed bounds [{lb}, {ub}]");
+        self.col_lb[j] = lb;
+        self.col_ub[j] = ub;
+    }
+
+    /// Replaces one row's bounds in place.
+    ///
+    /// # Panics
+    /// Panics on crossed bounds.
+    pub fn set_row_bounds(&mut self, i: usize, lb: f64, ub: f64) {
+        assert!(lb <= ub, "row {i} crossed bounds [{lb}, {ub}]");
+        self.row_lb[i] = lb;
+        self.row_ub[i] = ub;
+    }
+
+    /// Appends rows to the problem: `bounds` holds one `(lb, ub)` pair per
+    /// appended row and `entries` the coefficients, indexed in the *new*
+    /// (appended) row range. Existing columns, rows and the objective are
+    /// untouched, so a [`crate::BasisState`] captured before the append
+    /// stays a valid warm-start hint (appended rows contribute their slack
+    /// to the basis on repair).
+    pub fn append_rows(&mut self, bounds: &[(f64, f64)], entries: &[Triplet]) {
+        let new_nrows = self.nrows() + bounds.len();
+        for (k, &(lb, ub)) in bounds.iter().enumerate() {
+            assert!(lb <= ub, "appended row {k} crossed bounds [{lb}, {ub}]");
+        }
+        self.a.append_rows(new_nrows, entries);
+        self.row_major.take(); // the mirror no longer matches the matrix
+        for &(lb, ub) in bounds {
+            self.row_lb.push(lb);
+            self.row_ub.push(ub);
+        }
     }
 
     /// Checks primal feasibility of `x` within `tol` (columns and rows).
@@ -209,8 +262,11 @@ pub struct LpSolution {
     pub duals: Vec<f64>,
     /// Row activities `A x`.
     pub row_activity: Vec<f64>,
-    /// Simplex iterations used.
+    /// Simplex iterations used (total over all phases).
     pub iterations: usize,
+    /// Iterations broken down by phase (composite phase-I, primal
+    /// phase-II, dual). `pivots.total() == iterations`.
+    pub pivots: crate::simplex::PivotCounts,
     /// Final basis snapshot, reusable as a warm-start hint for related
     /// solves via [`crate::solve_from`] / [`crate::solve_with_bounds_from`].
     pub basis: Option<crate::simplex::BasisState>,

@@ -14,7 +14,10 @@
 //! hint is validated and repaired against the current dimensions — see
 //! [`BasisState`] for the exact contract. When the hinted vertex is primal
 //! feasible, phase-I is skipped entirely and the solve goes straight to
-//! optimising the true objective.
+//! optimising the true objective; when it is primal infeasible but still
+//! dual feasible (bounds moved under an optimal basis), the dual simplex
+//! in [`crate::dual`] recovers feasibility with dual pivots instead of
+//! phase-I.
 //!
 //! Pricing: Dantzig over all columns for small systems; for larger systems
 //! a bound-flip-aware *partial* pricing scheme (rotating candidate window +
@@ -24,6 +27,33 @@
 
 use crate::basis::Basis;
 use crate::problem::{LpSolution, LpStatus, Problem};
+
+/// Simplex iteration counts broken down by phase.
+///
+/// `phase1` counts composite phase-I iterations (feasibility recovery from
+/// a cold or badly stale start), `primal` counts phase-II primal
+/// iterations, and `dual` counts dual-simplex iterations (warm re-solves
+/// whose basis stayed dual feasible under bound changes — see
+/// [`crate::dual`]). The sum equals [`LpSolution::iterations`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PivotCounts {
+    pub phase1: usize,
+    pub primal: usize,
+    pub dual: usize,
+}
+
+impl PivotCounts {
+    pub fn total(&self) -> usize {
+        self.phase1 + self.primal + self.dual
+    }
+
+    /// Accumulates another counter set into this one.
+    pub fn add(&mut self, other: &PivotCounts) {
+        self.phase1 += other.phase1;
+        self.primal += other.primal;
+        self.dual += other.dual;
+    }
+}
 
 /// Public basis-status of one variable (structural or slack) in a
 /// [`BasisState`] snapshot.
@@ -122,7 +152,7 @@ impl Default for SimplexOptions {
 
 /// Variable status in the current basis.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum VarStatus {
+pub(crate) enum VarStatus {
     Basic,
     AtLower,
     AtUpper,
@@ -172,40 +202,52 @@ pub fn solve_with_bounds_from(
     Solver::new(problem, col_lb, col_ub, basis_hint, opts).run()
 }
 
-struct Solver<'a> {
-    p: &'a Problem,
-    opts: &'a SimplexOptions,
+pub(crate) struct Solver<'a> {
+    pub(crate) p: &'a Problem,
+    pub(crate) opts: &'a SimplexOptions,
     /// Working objective (possibly perturbed); trimmed back to the true
     /// costs before final convergence.
-    work_obj: Vec<f64>,
-    perturbed: bool,
-    n: usize,
-    m: usize,
+    pub(crate) work_obj: Vec<f64>,
+    pub(crate) perturbed: bool,
+    pub(crate) n: usize,
+    pub(crate) m: usize,
     /// Effective bounds over all `n + m` variables (structural then slack).
-    lb: Vec<f64>,
-    ub: Vec<f64>,
-    status: Vec<VarStatus>,
+    pub(crate) lb: Vec<f64>,
+    pub(crate) ub: Vec<f64>,
+    pub(crate) status: Vec<VarStatus>,
     /// Current value of every variable.
-    x: Vec<f64>,
-    basis: Basis<'a>,
+    pub(crate) x: Vec<f64>,
+    pub(crate) basis: Basis<'a>,
     /// Workspaces.
-    cb: Vec<f64>,
-    y: Vec<f64>,
-    w: Vec<f64>,
-    rhs: Vec<f64>,
+    pub(crate) cb: Vec<f64>,
+    pub(crate) y: Vec<f64>,
+    pub(crate) w: Vec<f64>,
+    pub(crate) rhs: Vec<f64>,
     /// Columns excluded from pricing this round (failed pivots).
-    banned: Vec<bool>,
-    iterations: usize,
+    pub(crate) banned: Vec<bool>,
+    pub(crate) iterations: usize,
+    /// Per-phase iteration counters (phase-I / primal / dual).
+    pub(crate) pivots: PivotCounts,
     /// Effective partial-pricing window (`n + m` disables partial pricing).
-    window: usize,
+    pub(crate) window: usize,
     /// Rotating scan position for partial pricing.
-    price_cursor: usize,
+    pub(crate) price_cursor: usize,
     /// Short-list of recently attractive columns, re-priced before any
     /// window scan. Stays valid across bound flips (duals unchanged).
-    candidates: Vec<usize>,
+    pub(crate) candidates: Vec<usize>,
     /// Whether `self.y` currently holds the duals of the active basis and
     /// phase (bound flips leave phase-2 duals intact).
-    duals_valid: bool,
+    pub(crate) duals_valid: bool,
+    /// Devex reference weights per global column, shared by primal pricing
+    /// (score `d^2 / weight`) and seeded from 1.0 at (re)entry into a
+    /// reference framework. The dual loop keeps its own row-indexed set.
+    pub(crate) devex: Vec<f64>,
+    /// Whether this solve started from a caller-provided basis hint (the
+    /// precondition for attempting a dual-simplex entry).
+    pub(crate) hinted: bool,
+    /// Pivots applied since the last refactorisation (shared between the
+    /// primal and dual loops so the refactor cadence is global).
+    pub(crate) pivots_since_refactor: usize,
 }
 
 /// Outcome of one pricing step.
@@ -303,10 +345,14 @@ impl<'a> Solver<'a> {
             rhs: vec![0.0; m],
             banned: vec![false; n + m],
             iterations: 0,
+            pivots: PivotCounts::default(),
             window: effective_window(opts.pricing_window, n + m),
             price_cursor: 0,
             candidates: Vec::new(),
             duals_valid: false,
+            devex: vec![1.0; n + m],
+            hinted: hint.is_some(),
+            pivots_since_refactor: 0,
         };
         // A hinted basis may have been repaired during factorisation
         // (slack substitution for singular/dropped columns); reconcile the
@@ -382,7 +428,7 @@ impl<'a> Solver<'a> {
         }
     }
 
-    fn total_infeasibility(&self) -> f64 {
+    pub(crate) fn total_infeasibility(&self) -> f64 {
         let mut total = 0.0;
         for pos in 0..self.m {
             let j = self.basis.basic_at(pos);
@@ -414,7 +460,7 @@ impl<'a> Solver<'a> {
 
     /// Reduced cost of nonbasic `j`: `c_j - y' a_j`.
     #[inline]
-    fn reduced_cost(&self, j: usize, phase1: bool) -> f64 {
+    pub(crate) fn reduced_cost(&self, j: usize, phase1: bool) -> f64 {
         let cy = if j < self.n {
             self.p.matrix().dot_col(j, &self.y)
         } else {
@@ -424,7 +470,7 @@ impl<'a> Solver<'a> {
     }
 
     /// Computes duals for the active phase into `self.y`.
-    fn compute_duals(&mut self, phase1: bool) {
+    pub(crate) fn compute_duals(&mut self, phase1: bool) {
         for pos in 0..self.m {
             let j = self.basis.basic_at(pos);
             self.cb[pos] = if phase1 {
@@ -458,22 +504,27 @@ impl<'a> Solver<'a> {
             return None;
         }
         let tol = self.opts.tol_dual;
+        // Devex reference-weight score: d^2 / w_j approximates the improvement
+        // per unit step in the reference framework, demoting columns whose
+        // basis image has grown large (the classic degenerate-model failure
+        // of pure Dantzig pricing).
+        let score = |d: f64| d * d / self.devex[j];
         match self.status[j] {
             VarStatus::Basic => None,
             VarStatus::AtLower => {
                 let d = self.reduced_cost(j, phase1);
-                (d < -tol).then_some((1.0, -d))
+                (d < -tol).then_some((1.0, score(d)))
             }
             VarStatus::AtUpper => {
                 let d = self.reduced_cost(j, phase1);
-                (d > tol).then_some((-1.0, d))
+                (d > tol).then_some((-1.0, score(d)))
             }
             VarStatus::FreeNb => {
                 let d = self.reduced_cost(j, phase1);
                 if d < -tol {
-                    Some((1.0, -d))
+                    Some((1.0, score(d)))
                 } else if d > tol {
-                    Some((-1.0, d))
+                    Some((-1.0, score(d)))
                 } else {
                     None
                 }
@@ -666,11 +717,23 @@ impl<'a> Solver<'a> {
         } else {
             self.opts.max_iters
         };
+
+        // Warm-start entry choice: a hinted basis that is primal infeasible
+        // but still dual feasible (the bound-change re-solve signature of
+        // B&B children and the planner's reduction re-fixing) is walked
+        // back to feasibility by the dual simplex — no phase-I needed. On
+        // stall or numerical trouble the dual loop bails out and the
+        // composite phase-I below takes over unchanged.
+        if self.hinted {
+            if let Some(early) = self.try_dual_entry(max_iters) {
+                return self.finish(early);
+            }
+        }
+
         let mut stall = 0usize;
         let mut bland = false;
         let mut last_infeas = f64::INFINITY;
         let mut last_obj = f64::INFINITY;
-        let mut pivots_since_refactor = 0usize;
 
         let status = loop {
             if self.iterations >= max_iters {
@@ -680,6 +743,11 @@ impl<'a> Solver<'a> {
 
             let infeas = self.total_infeasibility();
             let phase1 = infeas > self.opts.tol_feas;
+            if phase1 {
+                self.pivots.phase1 += 1;
+            } else {
+                self.pivots.primal += 1;
+            }
 
             // Stall detection for anti-cycling.
             let progress = if phase1 {
@@ -772,22 +840,82 @@ impl<'a> Solver<'a> {
                     } else {
                         VarStatus::AtLower
                     };
+                    self.update_devex_primal(j, pos);
                     self.basis.replace(pos, j, &self.w);
                     self.status[j] = VarStatus::Basic;
                     self.duals_valid = false;
-                    pivots_since_refactor += 1;
+                    self.pivots_since_refactor += 1;
 
-                    if pivots_since_refactor >= self.opts.refactor_interval
+                    if self.pivots_since_refactor >= self.opts.refactor_interval
                         || self.basis.should_refactorize()
                     {
                         self.refactorize_and_repair();
-                        pivots_since_refactor = 0;
+                        self.pivots_since_refactor = 0;
                     }
                 }
             }
         };
 
         self.finish(status)
+    }
+
+    /// Devex reference-weight update for a primal pivot (entering `j` at
+    /// basis position `pos`; `self.w` holds the entering column's FTRAN
+    /// image). This is *partial* devex: the exact Forrest–Goldfarb update
+    /// needs the whole pivot row, so it is applied only to the candidate
+    /// short-list (the columns pricing will actually look at first) plus
+    /// the leaving variable; everything else keeps its reference weight
+    /// until it enters the short-list. One BTRAN of the leaving row per
+    /// pivot — the same solve the dual loop's ratio test performs.
+    fn update_devex_primal(&mut self, j: usize, pos: usize) {
+        // The framework only pays off on warm re-solves, where the basis
+        // starts near-optimal and a few updates already encode useful
+        // steepest-edge information. From a cold start the partial updates
+        // misprice more than they inform (measured on the planner's models:
+        // ~15% more iterations), so cold solves keep exact Dantzig scores
+        // (all weights stay at 1).
+        if !self.hinted {
+            return;
+        }
+        let alpha_q = self.w[pos];
+        if alpha_q == 0.0 {
+            return;
+        }
+        let leaving = self.basis.basic_at(pos);
+        let wq = self.devex[j];
+        let inv = 1.0 / (alpha_q * alpha_q);
+        if !self.candidates.is_empty() {
+            // rho = row `pos` of B^-1 (before the pivot is applied).
+            self.rhs.iter_mut().for_each(|v| *v = 0.0);
+            self.rhs[pos] = 1.0;
+            // Borrow juggling: btran needs &mut self.rhs while `basis` is
+            // also borrowed; split via a temporary take.
+            let mut rho = std::mem::take(&mut self.rhs);
+            self.basis.btran(&mut rho);
+            for k in 0..self.candidates.len() {
+                let c = self.candidates[k];
+                if c == j || self.status[c] == VarStatus::Basic {
+                    continue;
+                }
+                let alpha_c = if c < self.n {
+                    self.p.matrix().dot_col(c, &rho)
+                } else {
+                    -rho[c - self.n]
+                };
+                let cand = alpha_c * alpha_c * inv * wq;
+                if cand > self.devex[c] {
+                    self.devex[c] = cand;
+                }
+            }
+            self.rhs = rho;
+        }
+        self.devex[leaving] = (wq * inv).max(1.0);
+        // Reference-framework reset: once weights grow past the threshold
+        // the partial updates are dominated by staleness and the scores
+        // stop approximating steepest-edge; restart the framework.
+        if self.devex[leaving] > DEVEX_RESET {
+            self.devex.iter_mut().for_each(|w| *w = 1.0);
+        }
     }
 
     /// Moves the entering variable by `t` along `dir`, updating basics.
@@ -804,7 +932,7 @@ impl<'a> Solver<'a> {
         }
     }
 
-    fn refactorize_and_repair(&mut self) {
+    pub(crate) fn refactorize_and_repair(&mut self) {
         // The repair may kick variables out for slacks; we cannot know
         // which from the return value alone, so statuses are reconciled
         // from the basis content itself.
@@ -814,7 +942,7 @@ impl<'a> Solver<'a> {
         self.duals_valid = false;
     }
 
-    fn finish(mut self, status: LpStatus) -> LpSolution {
+    pub(crate) fn finish(mut self, status: LpStatus) -> LpSolution {
         // Final duals under the true objective.
         self.compute_duals(false);
         let x: Vec<f64> = self.x[..self.n].to_vec();
@@ -828,6 +956,7 @@ impl<'a> Solver<'a> {
             duals: self.y.clone(),
             row_activity,
             iterations: self.iterations,
+            pivots: self.pivots,
             basis: Some(basis),
         }
     }
@@ -849,6 +978,9 @@ fn effective_window(requested: usize, total: usize) -> usize {
 
 /// Maximum length of the pricing candidate short-list.
 const MAX_CANDIDATES: usize = 64;
+
+/// Devex weight magnitude at which the reference framework restarts.
+const DEVEX_RESET: f64 = 1e4;
 
 /// Adapts a basis hint (possibly captured from a differently-sized
 /// problem) to the current `m x n` dimensions, writing nonbasic statuses

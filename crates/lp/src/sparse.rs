@@ -168,6 +168,115 @@ impl CscMatrix {
             .find(|&(r, _)| r == row)
             .map_or(0.0, |(_, v)| v)
     }
+
+    /// Appends rows to the matrix: grows `nrows` to `new_nrows` and inserts
+    /// the given entries, all of which must lie in the appended row range.
+    /// Because the new rows sit strictly below every existing one, each
+    /// column's sorted order is preserved by appending at the column tail —
+    /// one linear re-pack instead of a full triplet sort. Duplicate
+    /// `(row, col)` entries are summed; zero sums are dropped (matching
+    /// [`Self::from_triplets`]).
+    ///
+    /// # Panics
+    /// Panics if `new_nrows < nrows`, an entry's row is outside
+    /// `nrows..new_nrows`, or a column index is out of bounds.
+    pub fn append_rows(&mut self, new_nrows: usize, triplets: &[Triplet]) {
+        assert!(new_nrows >= self.nrows, "rows can only grow");
+        for t in triplets {
+            assert!(
+                t.row >= self.nrows && t.row < new_nrows,
+                "appended entry row {} outside {}..{new_nrows}",
+                t.row,
+                self.nrows
+            );
+            assert!(t.col < self.ncols, "col {} out of bounds", t.col);
+        }
+        let mut add: Vec<Triplet> = triplets.to_vec();
+        add.sort_unstable_by_key(|t| (t.col, t.row));
+        let mut col_ptr = vec![0usize; self.ncols + 1];
+        let mut rows = Vec::with_capacity(self.nnz() + add.len());
+        let mut vals = Vec::with_capacity(self.nnz() + add.len());
+        let mut k = 0usize;
+        for c in 0..self.ncols {
+            let lo = self.col_ptr[c];
+            let hi = self.col_ptr[c + 1];
+            rows.extend_from_slice(&self.row_idx[lo..hi]);
+            vals.extend_from_slice(&self.values[lo..hi]);
+            while k < add.len() && add[k].col == c {
+                let r = add[k].row;
+                let mut v = add[k].value;
+                k += 1;
+                while k < add.len() && add[k].col == c && add[k].row == r {
+                    v += add[k].value;
+                    k += 1;
+                }
+                if v != 0.0 {
+                    rows.push(r);
+                    vals.push(v);
+                }
+            }
+            col_ptr[c + 1] = rows.len();
+        }
+        self.nrows = new_nrows;
+        self.col_ptr = col_ptr;
+        self.row_idx = rows;
+        self.values = vals;
+    }
+}
+
+/// Row-major mirror of a [`CscMatrix`] (CSR), giving fast row access for
+/// algorithms the column-major layout cannot serve — the dual simplex's
+/// pivot-row computation. Built once per matrix and cached (see
+/// `Problem::row_major`); any row/column mutation must discard it.
+#[derive(Debug, Clone)]
+pub struct RowMajor {
+    row_ptr: Vec<usize>,
+    col: Vec<usize>,
+    val: Vec<f64>,
+}
+
+impl RowMajor {
+    /// Transposes the column-major storage in two counting passes.
+    pub fn build(a: &CscMatrix) -> Self {
+        let m = a.nrows();
+        let mut counts = vec![0usize; m + 1];
+        for c in 0..a.ncols() {
+            for (r, _) in a.col_iter(c) {
+                counts[r + 1] += 1;
+            }
+        }
+        for i in 0..m {
+            counts[i + 1] += counts[i];
+        }
+        let nnz = counts[m];
+        let mut cursor = counts.clone();
+        let mut col = vec![0usize; nnz];
+        let mut val = vec![0f64; nnz];
+        for c in 0..a.ncols() {
+            for (r, v) in a.col_iter(c) {
+                let slot = cursor[r];
+                col[slot] = c;
+                val[slot] = v;
+                cursor[r] += 1;
+            }
+        }
+        RowMajor {
+            row_ptr: counts,
+            col,
+            val,
+        }
+    }
+
+    /// Iterates `(col, value)` pairs of row `i`.
+    #[inline]
+    pub fn row_iter(&self, i: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        let lo = self.row_ptr[i];
+        let hi = self.row_ptr[i + 1];
+        self.col[lo..hi]
+            .iter()
+            .copied()
+            .zip(self.val[lo..hi].iter().copied())
+    }
 }
 
 /// A growable sparse column collection used to accumulate L and U factors.

@@ -1,0 +1,294 @@
+//! Cached compressed LP lowering, reused across B&B constructions.
+//!
+//! The compressed lowering re-scans every variable and term of the model —
+//! acceptable once, but the SQPR planner constructs up to three [`crate::solver`]
+//! searches per submission (cutting-plane rounds) over a persistent model
+//! skeleton whose *structure* barely changes: between constructions only
+//! bounds move (the §IV-A reduction re-fixing) and new rows are appended
+//! (availability cuts). An [`LpCacheSlot`] keeps one lowered
+//! [`sqpr_lp::Problem`] alive across those constructions and, instead of
+//! rebuilding:
+//!
+//! - **patches column bounds** of free variables straight into the LP;
+//! - **recomputes row bounds** from each kept row's stored fixed-term list
+//!   (the folded constants move when the deployment state changes);
+//! - **appends rows** for model constraints added since the lowering (cut
+//!   rounds) — appended rows keep every existing column/row index stable,
+//!   so LP bases remain valid warm-start hints across rounds;
+//! - re-derives `fixed_obj_min` / `infeasible_fixed_row` and rechecks the
+//!   dropped constant rows.
+//!
+//! The cache is only reusable while the compression *layout* is unchanged:
+//! the model's [`Model::structure_version`] must match (no new variables,
+//! no terms added to existing rows — i.e. no skeleton `extend` with real
+//! content) and the set of bound-fixed variables must be identical (the
+//! folded columns define the LP's column numbering). Both are checked on
+//! every [`LpCacheSlot::refresh`]; a mismatch falls back to a full rebuild,
+//! so staleness can cost a re-scan, never correctness.
+
+use crate::model::{
+    const_row_violated, fold_constraint, shifted_bounds, LoweredLp, Model, Sense, VarType,
+};
+use sqpr_lp::Triplet;
+
+/// Counters describing how the cache behaved (exposed for ablation
+/// reporting and tests).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Full lowerings (cold constructions or layout invalidations).
+    pub rebuilds: usize,
+    /// In-place reuses (bound patch, possibly plus appended rows).
+    pub patches: usize,
+    /// Cut rows appended across all patches.
+    pub appended_rows: usize,
+}
+
+/// A slot owning at most one cached lowering; see the module docs.
+#[derive(Debug, Default)]
+pub struct LpCacheSlot {
+    inner: Option<LpCache>,
+    stats: CacheStats,
+}
+
+#[derive(Debug)]
+struct LpCache {
+    lowered: LoweredLp,
+    /// Model identity the layout was derived from.
+    structure_version: u64,
+    nvars: usize,
+    /// Model constraints lowered so far (kept + dropped); anything beyond
+    /// is an appended row.
+    ncons_lowered: usize,
+    /// Order-sensitive hash of the bound-fixed variable index set.
+    fixed_sig: u64,
+}
+
+/// Hashes the set of bound-fixed variable indices (the compression layout).
+fn fixed_signature(model: &Model) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for (j, v) in model.vars.iter().enumerate() {
+        if v.lb == v.ub {
+            h ^= j as u64 + 1;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+    }
+    h
+}
+
+impl LpCacheSlot {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Drops the cached lowering (the planner calls this alongside its own
+    /// skeleton invalidation; a stale cache would also be caught by the
+    /// validity checks, this just frees the memory eagerly).
+    pub fn invalidate(&mut self) {
+        self.inner = None;
+    }
+
+    /// The cached lowering, if one is populated.
+    pub(crate) fn lowered(&self) -> Option<&LoweredLp> {
+        self.inner.as_ref().map(|c| &c.lowered)
+    }
+
+    /// Makes the cached lowering current for `model` and returns it:
+    /// patches/appends in place when the layout is unchanged, rebuilds
+    /// otherwise.
+    pub(crate) fn refresh(&mut self, model: &Model) -> &LoweredLp {
+        let sig = fixed_signature(model);
+        let reusable = self.inner.as_ref().is_some_and(|c| {
+            c.structure_version == model.structure_version()
+                && c.nvars == model.num_vars()
+                && c.fixed_sig == sig
+                && model.num_cons() >= c.ncons_lowered
+        });
+        if reusable {
+            let cache = self.inner.as_mut().expect("checked above");
+            cache.patch(model);
+            self.stats.appended_rows += cache.append_new_rows(model);
+            self.stats.patches += 1;
+        } else {
+            self.inner = Some(LpCache {
+                lowered: model.lower_reduced(),
+                structure_version: model.structure_version(),
+                nvars: model.num_vars(),
+                ncons_lowered: model.num_cons(),
+                fixed_sig: sig,
+            });
+            self.stats.rebuilds += 1;
+        }
+        &self.inner.as_ref().expect("just ensured").lowered
+    }
+}
+
+impl LpCache {
+    /// Re-applies everything bound-dependent: column bounds of free
+    /// variables, row bounds of kept rows (fixed-term shifts recomputed at
+    /// the *current* fixed values), the folded objective constant, and the
+    /// constant-row feasibility verdict.
+    fn patch(&mut self, model: &Model) {
+        let flip = if model.sense == Sense::Maximize {
+            -1.0
+        } else {
+            1.0
+        };
+        let l = &mut self.lowered;
+        let mut fixed_obj_min = 0.0;
+        let mut infeasible = false;
+        for (j, v) in model.vars.iter().enumerate() {
+            match l.map.col_of_var[j] {
+                Some(col) => l.lp.set_col_bounds(col, v.lb, v.ub),
+                None => {
+                    if v.ty == VarType::Integer && (v.lb - v.lb.round()).abs() > 1e-9 {
+                        infeasible = true;
+                    }
+                    fixed_obj_min += flip * v.obj * v.lb;
+                }
+            }
+        }
+        for row in 0..l.map.cons_of_row.len() {
+            let ci = l.map.cons_of_row[row];
+            let (_, clb, cub) = model.constraint(ci);
+            let shift: f64 = l.row_fixed_terms[row]
+                .iter()
+                .map(|&(v, a)| a * model.vars[v].lb)
+                .sum();
+            let (lb, ub) = shifted_bounds(clb, cub, shift);
+            l.lp.set_row_bounds(row, lb, ub);
+        }
+        for &ci in &l.const_rows {
+            let (terms, clb, cub) = model.constraint(ci);
+            let shift: f64 = terms.iter().map(|&(v, a)| a * model.vars[v.0].lb).sum();
+            if const_row_violated(shift, clb, cub) {
+                infeasible = true;
+            }
+        }
+        l.map.fixed_obj_min = fixed_obj_min;
+        l.map.infeasible_fixed_row = infeasible;
+    }
+
+    /// Lowers and appends every model constraint added since the cached
+    /// lowering (cut rows); returns how many LP rows were appended.
+    fn append_new_rows(&mut self, model: &Model) -> usize {
+        let l = &mut self.lowered;
+        let mut bounds: Vec<(f64, f64)> = Vec::new();
+        let mut entries: Vec<Triplet> = Vec::new();
+        let mut next_row = l.lp.nrows();
+        for ci in self.ncons_lowered..model.num_cons() {
+            let (terms, clb, cub) = model.constraint(ci);
+            let fold = fold_constraint(&model.vars, &l.map.col_of_var, terms);
+            if fold.kept.is_empty() {
+                if const_row_violated(fold.shift, clb, cub) {
+                    l.map.infeasible_fixed_row = true;
+                }
+                l.const_rows.push(ci);
+                continue;
+            }
+            for (col, value) in fold.kept {
+                entries.push(Triplet {
+                    row: next_row,
+                    col,
+                    value,
+                });
+            }
+            bounds.push(shifted_bounds(clb, cub, fold.shift));
+            l.map.cons_of_row.push(ci);
+            l.row_fixed_terms.push(fold.folded);
+            next_row += 1;
+        }
+        let appended = bounds.len();
+        if appended > 0 {
+            l.lp.append_rows(&bounds, &entries);
+        }
+        self.ncons_lowered = model.num_cons();
+        appended
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Model, Sense};
+
+    fn toy() -> Model {
+        let mut m = Model::new(Sense::Maximize);
+        let a = m.add_binary(3.0);
+        let b = m.add_binary(2.0);
+        let c = m.add_binary(1.0);
+        m.add_le(vec![(a, 1.0), (b, 1.0), (c, 1.0)], 2.0);
+        m.fix_var(c, 1.0);
+        m
+    }
+
+    #[test]
+    fn rebuild_then_patch_matches_fresh_lowering(// the cache must be bit-compatible with to_lp_reduced
+    ) {
+        let mut m = toy();
+        let mut slot = LpCacheSlot::new();
+        {
+            let cached = slot.refresh(&m);
+            let fresh = m.lower_reduced();
+            assert_eq!(cached.lp.ncols(), fresh.lp.ncols());
+            assert_eq!(cached.lp.nrows(), fresh.lp.nrows());
+            assert_eq!(cached.map.fixed_obj_min, fresh.map.fixed_obj_min);
+        }
+        assert_eq!(slot.stats().rebuilds, 1);
+
+        // Bound-only change with the same fixed set: c moves 1 -> 0.
+        let c = crate::model::VarId::from_raw(2);
+        m.set_bounds(c, 0.0, 0.0);
+        {
+            let cached = slot.refresh(&m);
+            let fresh = m.lower_reduced();
+            assert_eq!(cached.map.fixed_obj_min, fresh.map.fixed_obj_min);
+            let (clb, cub) = cached.lp.row_bounds();
+            let (flb, fub) = fresh.lp.row_bounds();
+            assert_eq!(clb, flb);
+            assert_eq!(cub, fub);
+        }
+        assert_eq!(slot.stats().patches, 1);
+    }
+
+    #[test]
+    fn appended_cut_rows_join_the_cached_lp() {
+        let mut m = toy();
+        let mut slot = LpCacheSlot::new();
+        let before = slot.refresh(&m).lp.nrows();
+        let a = crate::model::VarId::from_raw(0);
+        let b = crate::model::VarId::from_raw(1);
+        m.add_le(vec![(a, 1.0), (b, 1.0)], 1.0); // a cut
+        {
+            let cached = slot.refresh(&m);
+            assert_eq!(cached.lp.nrows(), before + 1);
+            let fresh = m.lower_reduced();
+            assert_eq!(cached.lp.nrows(), fresh.lp.nrows());
+            assert_eq!(
+                cached.lp.matrix().get(before, 0),
+                fresh.lp.matrix().get(before, 0)
+            );
+        }
+        assert_eq!(slot.stats().patches, 1);
+        assert_eq!(slot.stats().appended_rows, 1);
+    }
+
+    #[test]
+    fn layout_change_invalidates() {
+        let mut m = toy();
+        let mut slot = LpCacheSlot::new();
+        slot.refresh(&m);
+        // Freeing the fixed variable changes the folded set -> rebuild.
+        let c = crate::model::VarId::from_raw(2);
+        m.set_bounds(c, 0.0, 1.0);
+        slot.refresh(&m);
+        assert_eq!(slot.stats().rebuilds, 2);
+        // Adding a variable bumps the structure version -> rebuild.
+        m.add_binary(1.0);
+        slot.refresh(&m);
+        assert_eq!(slot.stats().rebuilds, 3);
+    }
+}

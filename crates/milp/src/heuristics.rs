@@ -5,7 +5,8 @@
 //! before accepting.
 
 use sqpr_lp::{
-    solve_with_bounds, solve_with_bounds_from, BasisState, LpStatus, Problem, SimplexOptions,
+    solve_with_bounds, solve_with_bounds_from, BasisState, LpStatus, PivotCounts, Problem,
+    SimplexOptions,
 };
 
 /// Maximum number of fixing rounds in a dive (defensive; a dive fixes at
@@ -28,6 +29,7 @@ pub fn dive(
     lp_opts: &SimplexOptions,
     int_tol: f64,
     lp_iterations: &mut usize,
+    lp_pivots: &mut PivotCounts,
 ) -> Option<(f64, Vec<f64>)> {
     let mut lb = lb.to_vec();
     let mut ub = ub.to_vec();
@@ -61,6 +63,7 @@ pub fn dive(
         ub[j] = fixed;
         let sol = solve_with_bounds_from(lp, &lb, &ub, cur_basis.as_ref(), lp_opts);
         *lp_iterations += sol.iterations;
+        lp_pivots.add(&sol.pivots);
         match sol.status {
             LpStatus::Optimal => {
                 x = sol.x;
@@ -81,6 +84,7 @@ pub fn dive(
                 ub[j] = alt;
                 let sol = solve_with_bounds_from(lp, &lb, &ub, cur_basis.as_ref(), lp_opts);
                 *lp_iterations += sol.iterations;
+                lp_pivots.add(&sol.pivots);
                 if sol.status != LpStatus::Optimal {
                     return None;
                 }
@@ -140,6 +144,7 @@ mod tests {
     fn dive_reaches_integral_point() {
         let lp = toy();
         let mut iters = 0;
+        let mut pivots = PivotCounts::default();
         let got = dive(
             &lp,
             &[0, 1],
@@ -150,6 +155,7 @@ mod tests {
             &SimplexOptions::default(),
             1e-6,
             &mut iters,
+            &mut pivots,
         );
         let (obj, x) = got.expect("dive should succeed");
         assert!(x.iter().all(|v| (v - v.round()).abs() < 1e-9));
@@ -187,6 +193,7 @@ mod tests {
         b.set_coeff(r, y, 1.0);
         let lp = b.build();
         let mut iters = 0;
+        let mut pivots = PivotCounts::default();
         let got = dive(
             &lp,
             &[0, 1],
@@ -197,6 +204,7 @@ mod tests {
             &SimplexOptions::default(),
             1e-6,
             &mut iters,
+            &mut pivots,
         );
         let (_, x) = got.expect("dive should recover");
         assert!((x[0] + x[1] - 1.0).abs() < 1e-9);

@@ -26,14 +26,17 @@
 // refactors would obscure the algebra.
 #![allow(clippy::needless_range_loop)]
 
+pub mod cache;
 pub mod heuristics;
 pub mod model;
 pub mod presolve;
 pub mod solver;
 
+pub use cache::{CacheStats, LpCacheSlot};
 pub use model::{ConsId, Model, Sense, VarId, VarType};
 pub use solver::{
-    solve, solve_filtered, solve_filtered_warm, solve_warm, solve_with_start, BasisEntity,
-    MilpOptions, MilpResult, MilpStatus, MilpWarmStart, ModelBasis,
+    solve, solve_filtered, solve_filtered_warm, solve_filtered_warm_cached, solve_warm,
+    solve_warm_cached, solve_with_start, BasisEntity, MilpOptions, MilpResult, MilpStatus,
+    MilpWarmStart, ModelBasis,
 };
-pub use sqpr_lp::BasisState;
+pub use sqpr_lp::{BasisState, PivotCounts};

@@ -28,6 +28,12 @@ impl VarId {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ConsId(pub(crate) usize);
 
+impl ConsId {
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
 /// Variable integrality class.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum VarType {
@@ -77,12 +83,87 @@ pub(crate) struct LpMap {
     pub infeasible_fixed_row: bool,
 }
 
+/// Splits one constraint's terms against a fixed-variable layout: free
+/// variables keep their LP column, bound-fixed ones fold into the returned
+/// `(folded, shift)` pair. The single source of truth for the compression
+/// rule — [`Model::lower_reduced`] and the LP cache's row append must stay
+/// bit-compatible, so both call this.
+pub(crate) fn fold_constraint(
+    vars: &[VarDef],
+    col_of_var: &[Option<usize>],
+    terms: &[(VarId, f64)],
+) -> FoldedRow {
+    let mut kept = Vec::new();
+    let mut folded = Vec::new();
+    let mut shift = 0.0;
+    for &(v, a) in terms {
+        match col_of_var[v.0] {
+            Some(col) => kept.push((col, a)),
+            None => {
+                shift += a * vars[v.0].lb;
+                folded.push((v.0, a));
+            }
+        }
+    }
+    FoldedRow {
+        kept,
+        folded,
+        shift,
+    }
+}
+
+/// One constraint folded by [`fold_constraint`].
+pub(crate) struct FoldedRow {
+    /// `(LP column, coeff)` terms of free variables.
+    pub kept: Vec<(usize, f64)>,
+    /// `(model var, coeff)` terms folded into the shift.
+    pub folded: Vec<(usize, f64)>,
+    /// Constant contribution of the folded terms at their fixed values.
+    pub shift: f64,
+}
+
+/// Whether a constant (fully folded) row's value violates its bounds —
+/// the fixing itself is infeasible then, regardless of the free variables.
+pub(crate) fn const_row_violated(shift: f64, lb: f64, ub: f64) -> bool {
+    let tol = 1e-6 * (1.0 + shift.abs());
+    shift < lb - tol || shift > ub + tol
+}
+
+/// A kept row's bounds with the folded constant moved to the other side.
+pub(crate) fn shifted_bounds(lb: f64, ub: f64, shift: f64) -> (f64, f64) {
+    (
+        if lb.is_finite() { lb - shift } else { lb },
+        if ub.is_finite() { ub - shift } else { ub },
+    )
+}
+
+/// Result of one compressed lowering ([`Model::lower_reduced`]): the LP,
+/// its integer columns, the model↔LP map, and the folded bookkeeping an LP
+/// cache needs to patch bounds in place without re-scanning the model.
+#[derive(Debug, Clone)]
+pub(crate) struct LoweredLp {
+    pub lp: Problem,
+    pub lp_integers: Vec<usize>,
+    pub map: LpMap,
+    /// Per kept LP row: the `(model var, coeff)` terms folded into its
+    /// bounds because the variable was bound-fixed at lowering time.
+    pub row_fixed_terms: Vec<Vec<(usize, f64)>>,
+    /// Model constraints dropped as constant (every term bound-fixed).
+    pub const_rows: Vec<usize>,
+}
+
 /// A mixed-integer linear program.
 #[derive(Debug, Clone)]
 pub struct Model {
     pub(crate) sense: Sense,
     pub(crate) vars: Vec<VarDef>,
     pub(crate) cons: Vec<ConsDef>,
+    /// Bumped by every mutation that changes existing columns or terms
+    /// (new variables, terms appended to existing rows, objective edits).
+    /// Bound changes and *appended* rows do not bump it: those are exactly
+    /// the deltas a cached LP lowering ([`crate::cache::LpCacheSlot`]) can
+    /// patch in place without re-scanning the model.
+    pub(crate) structure_version: u64,
 }
 
 impl Model {
@@ -91,7 +172,14 @@ impl Model {
             sense,
             vars: Vec::new(),
             cons: Vec::new(),
+            structure_version: 0,
         }
+    }
+
+    /// Monotone counter identifying the model's column/term structure; see
+    /// the field docs for what does and does not bump it.
+    pub fn structure_version(&self) -> u64 {
+        self.structure_version
     }
 
     pub fn sense(&self) -> Sense {
@@ -115,6 +203,7 @@ impl Model {
         assert!(lb <= ub, "crossed bounds [{lb}, {ub}]");
         let id = VarId(self.vars.len());
         self.vars.push(VarDef { ty, lb, ub, obj });
+        self.structure_version += 1;
         id
     }
 
@@ -196,6 +285,7 @@ impl Model {
     /// Sets (replaces) a variable's objective coefficient.
     pub fn set_objective_coeff(&mut self, v: VarId, obj: f64) {
         self.vars[v.0].obj = obj;
+        self.structure_version += 1;
     }
 
     /// Returns constraint `c` as `(terms, lb, ub)`.
@@ -223,6 +313,7 @@ impl Model {
             assert!(v.0 < n, "unknown variable {v:?}");
             def.terms.push((v, a));
         }
+        self.structure_version += 1;
     }
 
     /// Evaluates the objective in the model's own sense.
@@ -263,6 +354,15 @@ impl Model {
     /// the [`LpMap`] relating LP columns/rows back to model
     /// variables/constraints.
     pub(crate) fn to_lp_reduced(&self) -> (Problem, Vec<usize>, LpMap) {
+        let l = self.lower_reduced();
+        (l.lp, l.lp_integers, l.map)
+    }
+
+    /// Full compressed lowering, additionally reporting the folded
+    /// bookkeeping an LP cache needs to patch the result in place later:
+    /// the fixed-variable contributions of every kept row and the list of
+    /// dropped (constant) rows. See [`crate::cache::LpCacheSlot`].
+    pub(crate) fn lower_reduced(&self) -> LoweredLp {
         let flip = if self.sense == Sense::Maximize {
             -1.0
         } else {
@@ -292,43 +392,38 @@ impl Model {
             }
         }
         let mut cons_of_row = Vec::new();
+        let mut row_fixed_terms = Vec::new();
+        let mut const_rows = Vec::new();
         for (ci, c) in self.cons.iter().enumerate() {
-            let mut shift = 0.0;
-            let mut kept: Vec<(usize, f64)> = Vec::new();
-            for &(v, a) in &c.terms {
-                match col_of_var[v.0] {
-                    Some(col) => kept.push((col, a)),
-                    None => shift += a * self.vars[v.0].lb,
-                }
-            }
-            if kept.is_empty() {
-                // Constant row: must already hold, else the fixing itself
-                // is infeasible.
-                let tol = 1e-6 * (1.0 + shift.abs());
-                if shift < c.lb - tol || shift > c.ub + tol {
+            let fold = fold_constraint(&self.vars, &col_of_var, &c.terms);
+            if fold.kept.is_empty() {
+                if const_row_violated(fold.shift, c.lb, c.ub) {
                     infeasible_fixed_row = true;
                 }
+                const_rows.push(ci);
                 continue;
             }
-            let lb = if c.lb.is_finite() { c.lb - shift } else { c.lb };
-            let ub = if c.ub.is_finite() { c.ub - shift } else { c.ub };
+            let (lb, ub) = shifted_bounds(c.lb, c.ub, fold.shift);
             let r = b.add_row(lb, ub);
-            for (col, a) in kept {
+            for (col, a) in fold.kept {
                 b.set_coeff(r, col, a);
             }
             cons_of_row.push(ci);
+            row_fixed_terms.push(fold.folded);
         }
-        (
-            b.build(),
-            integers,
-            LpMap {
+        LoweredLp {
+            lp: b.build(),
+            lp_integers: integers,
+            map: LpMap {
                 col_of_var,
                 var_of_col,
                 cons_of_row,
                 fixed_obj_min,
                 infeasible_fixed_row,
             },
-        )
+            row_fixed_terms,
+            const_rows,
+        }
     }
 
     /// Lowers the model to an LP [`Problem`] in *minimisation* form

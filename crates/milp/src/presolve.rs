@@ -22,6 +22,39 @@ const TOL: f64 = 1e-9;
 
 /// Runs up to `max_rounds` propagation sweeps.
 pub fn presolve_bounds(model: &Model, max_rounds: usize) -> Presolved {
+    // Rows whose variables are all bound-fixed are constants: check them
+    // once and exclude them from the propagation sweeps. Skeleton models
+    // fix most of their variables per submission, so this turns the sweep
+    // cost from O(model) into O(free subproblem).
+    let mut active = Vec::with_capacity(model.num_cons());
+    for c in 0..model.num_cons() {
+        let (terms, row_lb, row_ub) = model.constraint(c);
+        let mut any_free = false;
+        let mut act = 0.0;
+        for &(v, a) in terms {
+            let (l, u) = model.var_bounds(v);
+            if l < u {
+                any_free = true;
+                break;
+            }
+            act += a * l;
+        }
+        if any_free {
+            active.push(c);
+        } else if act > row_ub + TOL * (1.0 + act.abs()) || act < row_lb - TOL * (1.0 + act.abs()) {
+            return Presolved::Infeasible;
+        }
+    }
+    presolve_bounds_active(model, max_rounds, &active)
+}
+
+/// Like [`presolve_bounds`], but skips the row-classification scan:
+/// `active` lists the rows known to contain at least one unfixed variable —
+/// exactly the kept rows of a compressed LP lowering, so callers holding an
+/// [`crate::model::LpMap`] reuse its `cons_of_row` for free. Constant-row
+/// feasibility is then the lowering's responsibility
+/// (`infeasible_fixed_row`), not this function's.
+pub fn presolve_bounds_active(model: &Model, max_rounds: usize, active: &[usize]) -> Presolved {
     let n = model.num_vars();
     let mut lb = Vec::with_capacity(n);
     let mut ub = Vec::with_capacity(n);
@@ -34,26 +67,9 @@ pub fn presolve_bounds(model: &Model, max_rounds: usize) -> Presolved {
         integer.push(model.var_type(v) == VarType::Integer);
     }
 
-    // Rows whose variables are all bound-fixed are constants: check them
-    // once and exclude them from the propagation sweeps. Skeleton models
-    // fix most of their variables per submission, so this turns the sweep
-    // cost from O(model) into O(free subproblem).
-    let mut active = Vec::with_capacity(model.num_cons());
-    for c in 0..model.num_cons() {
-        let (terms, row_lb, row_ub) = model.constraint(c);
-        if terms.iter().any(|&(v, _)| lb[v.index()] < ub[v.index()]) {
-            active.push(c);
-        } else {
-            let act: f64 = terms.iter().map(|&(v, a)| a * lb[v.index()]).sum();
-            if act > row_ub + TOL * (1.0 + act.abs()) || act < row_lb - TOL * (1.0 + act.abs()) {
-                return Presolved::Infeasible;
-            }
-        }
-    }
-
     for _ in 0..max_rounds {
         let mut changed = false;
-        for &c in &active {
+        for &c in active {
             let (terms, row_lb, row_ub) = model.constraint(c);
             // Activity range under current bounds.
             let mut min_act = 0.0f64;

@@ -11,12 +11,33 @@ use std::rc::Rc;
 use std::time::{Duration, Instant};
 
 use sqpr_lp::{
-    solve_with_bounds_from, BasisState, LpStatus, Problem, SimplexOptions, VarBasisStatus,
+    solve_with_bounds_from, BasisState, LpStatus, PivotCounts, Problem, SimplexOptions,
+    VarBasisStatus,
 };
 
+use crate::cache::LpCacheSlot;
 use crate::heuristics;
 use crate::model::{LpMap, Model, Sense};
-use crate::presolve::{presolve_bounds, Presolved};
+use crate::presolve::{presolve_bounds_active, Presolved};
+
+/// The B&B's LP relaxation: owned when lowered fresh for this search,
+/// borrowed when served from a caller-held [`LpCacheSlot`]. (The owned
+/// variant is boxed: one allocation per cold construction, versus carrying
+/// the full `Problem` inline in every enum value.)
+enum LpStore<'a> {
+    Owned(Box<Problem>),
+    Cached(&'a Problem),
+}
+
+impl LpStore<'_> {
+    #[inline]
+    fn get(&self) -> &Problem {
+        match self {
+            LpStore::Owned(p) => p,
+            LpStore::Cached(p) => p,
+        }
+    }
+}
 
 /// Incumbent filter callback (lazy-constraint hook).
 type IncumbentFilter<'a> = &'a dyn Fn(&[f64]) -> bool;
@@ -73,6 +94,48 @@ impl ModelBasis {
                 } else {
                     BasisEntity::Cons(map.cons_of_row[g - n])
                 }
+            })
+            .collect();
+        ModelBasis {
+            var_status,
+            cons_status,
+            basic,
+        }
+    }
+
+    /// Re-expresses this basis against a *renumbered* model: `var_map` /
+    /// `cons_map` give the new index of each old model variable /
+    /// constraint (`None` for entities the new model dropped). Used by the
+    /// planner's skeleton compaction, where the model is rebuilt from the
+    /// surviving queries and every index shifts. Dropped seats disappear
+    /// from the basic set and are repaired downstream by the usual slack
+    /// substitution; unmapped statuses default to nonbasic-at-lower /
+    /// slack-basic, the same defaults a fresh lowering assumes.
+    pub fn remap(
+        &self,
+        var_map: &[Option<usize>],
+        cons_map: &[Option<usize>],
+        num_vars: usize,
+        num_cons: usize,
+    ) -> ModelBasis {
+        let mut var_status = vec![VarBasisStatus::AtLower; num_vars];
+        for (old, &st) in self.var_status.iter().enumerate() {
+            if let Some(&Some(new)) = var_map.get(old) {
+                var_status[new] = st;
+            }
+        }
+        let mut cons_status = vec![VarBasisStatus::Basic; num_cons];
+        for (old, &st) in self.cons_status.iter().enumerate() {
+            if let Some(&Some(new)) = cons_map.get(old) {
+                cons_status[new] = st;
+            }
+        }
+        let basic = self
+            .basic
+            .iter()
+            .filter_map(|&e| match e {
+                BasisEntity::Var(v) => var_map.get(v).copied().flatten().map(BasisEntity::Var),
+                BasisEntity::Cons(c) => cons_map.get(c).copied().flatten().map(BasisEntity::Cons),
             })
             .collect();
         ModelBasis {
@@ -191,6 +254,9 @@ pub struct MilpResult {
     pub x: Option<Vec<f64>>,
     pub nodes: usize,
     pub lp_iterations: usize,
+    /// LP iterations broken down by simplex phase (phase-I feasibility,
+    /// primal phase-II, dual) across every relaxation solved in the tree.
+    pub lp_pivots: PivotCounts,
     /// Relative gap `|objective - best_bound| / max(1, |objective|)`.
     pub gap: f64,
     /// Basis of the root LP relaxation in model coordinates, reusable as
@@ -287,7 +353,20 @@ pub fn solve_with_start(model: &Model, opts: &MilpOptions, start: Option<&[f64]>
 /// Solves the model with the full warm-start context: incumbent seed plus
 /// root-LP basis reuse.
 pub fn solve_warm(model: &Model, opts: &MilpOptions, warm: MilpWarmStart<'_>) -> MilpResult {
-    Bnb::new(model, opts, warm, None).run()
+    Bnb::new(model, opts, warm, None, None).run()
+}
+
+/// [`solve_warm`] with a caller-held compressed-LP cache: the relaxation is
+/// served from `cache` (patched/appended in place when the model's layout
+/// is unchanged) instead of being re-lowered from scratch. See
+/// [`LpCacheSlot`].
+pub fn solve_warm_cached(
+    model: &Model,
+    opts: &MilpOptions,
+    warm: MilpWarmStart<'_>,
+    cache: &mut LpCacheSlot,
+) -> MilpResult {
+    Bnb::new(model, opts, warm, None, Some(cache)).run()
 }
 
 /// Like [`solve_with_start`], with an *incumbent filter*: integral solutions
@@ -319,7 +398,19 @@ pub fn solve_filtered_warm(
     warm: MilpWarmStart<'_>,
     filter: &dyn Fn(&[f64]) -> bool,
 ) -> MilpResult {
-    Bnb::new(model, opts, warm, Some(filter)).run()
+    Bnb::new(model, opts, warm, Some(filter), None).run()
+}
+
+/// [`solve_filtered_warm`] with a caller-held compressed-LP cache; see
+/// [`solve_warm_cached`].
+pub fn solve_filtered_warm_cached(
+    model: &Model,
+    opts: &MilpOptions,
+    warm: MilpWarmStart<'_>,
+    filter: &dyn Fn(&[f64]) -> bool,
+    cache: &mut LpCacheSlot,
+) -> MilpResult {
+    Bnb::new(model, opts, warm, Some(filter), Some(cache)).run()
 }
 
 struct Bnb<'a> {
@@ -327,7 +418,7 @@ struct Bnb<'a> {
     opts: &'a MilpOptions,
     filter: Option<IncumbentFilter<'a>>,
     /// Compressed LP relaxation (bound-fixed variables folded out).
-    lp: Problem,
+    lp: LpStore<'a>,
     /// LP-to-model mapping for the compressed relaxation.
     map: LpMap,
     /// Integer variables in *model* space (branching, integrality).
@@ -338,6 +429,7 @@ struct Bnb<'a> {
     incumbent: Option<(f64, Vec<f64>)>,
     nodes_done: usize,
     lp_iterations: usize,
+    lp_pivots: PivotCounts,
     heap: BinaryHeap<OrdNode>,
     root_lb: Vec<f64>,
     root_ub: Vec<f64>,
@@ -355,9 +447,25 @@ impl<'a> Bnb<'a> {
         opts: &'a MilpOptions,
         warm: MilpWarmStart<'_>,
         filter: Option<IncumbentFilter<'a>>,
+        cache: Option<&'a mut LpCacheSlot>,
     ) -> Self {
         let start = warm.start;
-        let (lp, lp_integers, map) = model.to_lp_reduced();
+        let (lp, lp_integers, map) = match cache {
+            Some(slot) => {
+                slot.refresh(model);
+                let slot: &'a LpCacheSlot = slot;
+                let lowered = slot.lowered().expect("refresh just populated the cache");
+                (
+                    LpStore::Cached(&lowered.lp),
+                    lowered.lp_integers.clone(),
+                    lowered.map.clone(),
+                )
+            }
+            None => {
+                let (lp, ints, map) = model.to_lp_reduced();
+                (LpStore::Owned(Box::new(lp)), ints, map)
+            }
+        };
         let integers: Vec<usize> = (0..model.num_vars())
             .filter(|&j| {
                 model.var_type(crate::model::VarId::from_raw(j)) == crate::model::VarType::Integer
@@ -372,7 +480,11 @@ impl<'a> Bnb<'a> {
         }
         let mut presolve_infeasible = map.infeasible_fixed_row;
         if opts.presolve {
-            match presolve_bounds(model, 6) {
+            // The lowering already classified rows: `cons_of_row` is
+            // exactly the set with at least one unfixed variable, and the
+            // constant rows' feasibility verdict is `infeasible_fixed_row`
+            // above — no second O(model) scan needed.
+            match presolve_bounds_active(model, 6, &map.cons_of_row) {
                 Presolved::Bounds(plb, pub_) => {
                     root_lb = plb;
                     root_ub = pub_;
@@ -394,7 +506,7 @@ impl<'a> Bnb<'a> {
         });
         let root_hint = warm
             .root_basis
-            .map(|mb| Rc::new(mb.to_lp(&map, lp.nrows())));
+            .map(|mb| Rc::new(mb.to_lp(&map, lp.get().nrows())));
         Bnb {
             model,
             opts,
@@ -406,6 +518,7 @@ impl<'a> Bnb<'a> {
             incumbent,
             nodes_done: 0,
             lp_iterations: 0,
+            lp_pivots: PivotCounts::default(),
             heap: BinaryHeap::new(),
             root_lb,
             root_ub,
@@ -541,8 +654,8 @@ impl<'a> Bnb<'a> {
         let n = self.model.num_vars();
         let mut lb = vec![0.0; n];
         let mut ub = vec![0.0; n];
-        let mut lp_lb = vec![0.0; self.lp.ncols()];
-        let mut lp_ub = vec![0.0; self.lp.ncols()];
+        let mut lp_lb = vec![0.0; self.lp.get().ncols()];
+        let mut lp_ub = vec![0.0; self.lp.get().ncols()];
 
         // Root node, warm-started from the previous solve's basis if given.
         self.heap.push(OrdNode(Node {
@@ -593,8 +706,10 @@ impl<'a> Bnb<'a> {
             } else {
                 None
             };
-            let sol = solve_with_bounds_from(&self.lp, &lp_lb, &lp_ub, node_hint, &self.opts.lp);
+            let sol =
+                solve_with_bounds_from(self.lp.get(), &lp_lb, &lp_ub, node_hint, &self.opts.lp);
             self.lp_iterations += sol.iterations;
+            self.lp_pivots.add(&sol.pivots);
             if node.depth == 0 && self.root_basis_out.is_none() {
                 self.root_basis_out = sol.basis.as_ref().map(|b| {
                     ModelBasis::from_lp(b, &self.map, self.model.num_vars(), self.model.num_cons())
@@ -639,7 +754,7 @@ impl<'a> Bnb<'a> {
                     && self.nodes_done.is_multiple_of(self.opts.dive_every))
             {
                 if let Some((obj, x_lp)) = heuristics::dive(
-                    &self.lp,
+                    self.lp.get(),
                     &self.lp_integers,
                     &lp_lb,
                     &lp_ub,
@@ -648,6 +763,7 @@ impl<'a> Bnb<'a> {
                     &self.opts.lp,
                     self.opts.int_tol,
                     &mut self.lp_iterations,
+                    &mut self.lp_pivots,
                 ) {
                     let dived = self.expand_x(&x_lp, &lb);
                     self.offer_incumbent(obj + self.map.fixed_obj_min, dived);
@@ -740,6 +856,7 @@ impl<'a> Bnb<'a> {
             x,
             nodes: self.nodes_done,
             lp_iterations: self.lp_iterations,
+            lp_pivots: self.lp_pivots,
             gap,
             root_basis: self.root_basis_out,
         }
