@@ -79,21 +79,32 @@ fn main() {
     let admitted = warm.admitted.iter().filter(|&&b| b).count();
     println!("\n== bench group: incremental ({QUERIES} queries, scale {SCALE}) ==");
     println!(
-        "{:<28} {:>12} {:>10} {:>10} {:>10} {:>10} {:>8} {:>9}",
-        "path", "total solve", "lp iters", "phase-I", "primal", "dual", "nodes", "admitted"
+        "{:<28} {:>12} {:>10} {:>10} {:>10} {:>10} {:>7} {:>9} {:>8} {:>9}",
+        "path",
+        "total solve",
+        "lp iters",
+        "phase-I",
+        "primal",
+        "dual",
+        "flips",
+        "h-saved",
+        "nodes",
+        "admitted"
     );
     for (label, r) in [
         ("cold (fresh MILP per query)", &cold),
         ("warm (incremental)", &warm),
     ] {
         println!(
-            "{:<28} {:>12} {:>10} {:>10} {:>10} {:>10} {:>8} {:>9}",
+            "{:<28} {:>12} {:>10} {:>10} {:>10} {:>10} {:>7} {:>9} {:>8} {:>9}",
             label,
             format!("{:.1?}", r.total_solve),
             r.lp_iterations,
             r.pivots.phase1,
             r.pivots.primal,
             r.pivots.dual,
+            r.pivots.bound_flips,
+            r.pivots.harris_degenerate_saved,
             r.nodes,
             r.admitted.iter().filter(|&&b| b).count(),
         );
@@ -121,6 +132,22 @@ fn main() {
             ("warm_pivots_phase1", Json::Num(warm.pivots.phase1 as f64)),
             ("warm_pivots_primal", Json::Num(warm.pivots.primal as f64)),
             ("warm_pivots_dual", Json::Num(warm.pivots.dual as f64)),
+            (
+                "cold_bound_flips",
+                Json::Num(cold.pivots.bound_flips as f64),
+            ),
+            (
+                "warm_bound_flips",
+                Json::Num(warm.pivots.bound_flips as f64),
+            ),
+            (
+                "cold_harris_degenerate_saved",
+                Json::Num(cold.pivots.harris_degenerate_saved as f64),
+            ),
+            (
+                "warm_harris_degenerate_saved",
+                Json::Num(warm.pivots.harris_degenerate_saved as f64),
+            ),
             ("cold_nodes", Json::Num(cold.nodes as f64)),
             ("warm_nodes", Json::Num(warm.nodes as f64)),
             ("admitted", Json::Num(admitted as f64)),

@@ -1,6 +1,7 @@
 //! Planner configuration: objective weights, solve budgets, ablation knobs.
 
 use sqpr_dsps::Catalog;
+use sqpr_lp::{PricingRule, RatioTest};
 
 /// Controls whether hosts may relay streams they neither source nor produce
 /// (paper §II-C introduces the relay operator `µ`).
@@ -165,6 +166,15 @@ pub struct PlannerConfig {
     /// grow the skeleton — and every `extend`/`apply_reduction` sweep —
     /// without bound. Values > 1.0 disable compaction.
     pub skeleton_gc_threshold: f64,
+    /// Simplex ratio-test mode for every LP the planner solves
+    /// ([`sqpr_lp::RatioTest`]): Harris two-pass tolerances plus the
+    /// bound-flipping dual long step by default, `Classic` as the
+    /// textbook-ratio-test ablation.
+    pub lp_ratio_test: RatioTest,
+    /// Primal pricing rule for every LP the planner solves
+    /// ([`sqpr_lp::PricingRule`]): full-pivot-row devex by default,
+    /// `Dantzig` as the ablation.
+    pub lp_pricing: PricingRule,
 }
 
 impl PlannerConfig {
@@ -182,6 +192,8 @@ impl PlannerConfig {
             improve_nodes: 8,
             reuse_solver_context: true,
             skeleton_gc_threshold: 0.5,
+            lp_ratio_test: RatioTest::LongStep,
+            lp_pricing: PricingRule::Devex,
         }
     }
 }

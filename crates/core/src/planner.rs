@@ -610,9 +610,13 @@ impl SqprPlanner {
             }
 
             // Big-M acyclicity rows make the relaxations heavily degenerate;
-            // the perturbation cuts simplex iteration counts several-fold.
+            // the perturbation cuts simplex iteration counts several-fold
+            // (on top of the Harris/long-step ratio tests, which attack the
+            // same degeneracy from the ratio-test side).
             let lp_opts = sqpr_lp::SimplexOptions {
                 perturb: 1e-7,
+                ratio_test: self.config.lp_ratio_test,
+                pricing: self.config.lp_pricing,
                 ..sqpr_lp::SimplexOptions::default()
             };
             let opts = MilpOptions {
@@ -634,6 +638,22 @@ impl SqprPlanner {
                 // Dives are expensive (one LP per fixing); with an admitting
                 // incumbent in hand they rarely pay off.
                 dive_every: if admitting_start { 0 } else { 16 },
+                // Without an admitting start, the only improvement worth
+                // finding is an admission (non-admitting results are
+                // discarded below — `install` is gated on `admits_any`),
+                // and λ1-dominance prices one admission at λ1 minus a
+                // bounded resource swing. Pruning everything within half an
+                // admission of the incumbent turns rejection proofs from
+                // full budget burns into a handful of nodes; admitting
+                // solutions beat the incumbent by more than the margin, so
+                // admit/reject decisions are untouched. With an admitting
+                // start the solve is a placement-quality improvement pass,
+                // where sub-λ1 gains are exactly the point — no margin.
+                cutoff_margin: if admitting_start {
+                    0.0
+                } else {
+                    0.5 * self.config.weights.lambda1
+                },
                 presolve: true,
                 // In-tree parent-basis reuse is model-local and valid for
                 // every config, so it follows the ablation flag directly

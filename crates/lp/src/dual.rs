@@ -10,7 +10,7 @@
 //! bound-violating basic variable out onto its violated bound — instead of
 //! the composite phase-I plus primal-reoptimisation round trip.
 //!
-//! Entry contract (see [`Solver::try_dual_entry`]): the solve must have
+//! Entry contract (see `Solver::try_dual_entry`): the solve must have
 //! started from a caller-provided basis hint, the repaired vertex must be
 //! primal infeasible, and the reduced costs must be dual feasible within a
 //! relaxed tolerance. Anything else falls through to the composite
@@ -25,9 +25,32 @@
 //! incrementally from the pivot row (one BTRAN of the leaving row per
 //! iteration, spread over a row-major mirror of the matrix), and recomputed
 //! from scratch after each refactorisation.
+//!
+//! ## Ratio tests: Harris tolerances and bound-flipping long steps
+//!
+//! Under [`RatioTest::Harris`] and above, the dual ratio test runs the
+//! two-pass Harris scheme: breakpoints are relaxed by the dual tolerance to
+//! find the furthest admissible dual step, then the entering column is the
+//! **largest pivot** among candidates within that relaxed step — degenerate
+//! breakpoint ties stop dictating tiny, numerically poor pivots.
+//!
+//! Under [`RatioTest::LongStep`] (the default) the test additionally walks
+//! **past** breakpoints whose column is *boxed* (finite lower and upper
+//! bound): passing the breakpoint flips the column to its opposite bound —
+//! its reduced cost changes sign there, so dual feasibility is kept — and
+//! reduces the dual objective's slope by `|alpha_j| * (ub_j - lb_j)`. The
+//! walk continues while the slope stays positive, then pivots once. On the
+//! planner's mostly-boxed (binary-relaxation) models this amortises long
+//! chains of degenerate dual pivots into a single BTRAN/FTRAN plus a batch
+//! of bound flips, applied with **one** aggregated FTRAN
+//! ([`PivotCounts::bound_flips`] counts them).
+//!
+//! [`RatioTest::Harris`]: crate::simplex::RatioTest::Harris
+//! [`RatioTest::LongStep`]: crate::simplex::RatioTest::LongStep
+//! [`PivotCounts::bound_flips`]: crate::simplex::PivotCounts::bound_flips
 
 use crate::problem::LpStatus;
-use crate::simplex::{Solver, VarStatus};
+use crate::simplex::{RatioTest, Solver, VarStatus};
 
 /// Outcome of one dual-simplex run.
 enum DualOutcome {
@@ -52,7 +75,7 @@ impl Solver<'_> {
     /// primal loop" — either the point is now primal feasible or the dual
     /// path declined and phase-I should run.
     pub(crate) fn try_dual_entry(&mut self, max_iters: usize) -> Option<LpStatus> {
-        if self.total_infeasibility() <= self.opts.tol_feas {
+        if self.max_bound_violation() <= self.opts.tol_feas {
             return None; // already primal feasible: phase-I is skipped anyway
         }
         let mut d = vec![0.0; self.n + self.m];
@@ -111,15 +134,19 @@ impl Solver<'_> {
         // Row-major mirror for pivot rows; cached on the Problem, so only
         // the first dual entry against a given matrix pays the transpose.
         let mirror = self.p.row_major();
+        let harris = self.opts.ratio_test != RatioTest::Classic;
+        let long_step = self.opts.ratio_test == RatioTest::LongStep;
         // Dual devex reference weights, one per basis *position*.
         let mut tau = vec![1.0f64; m];
-        let mut rho = vec![0.0f64; m];
-        let mut alpha = vec![0.0f64; n + m];
-        let mut touched: Vec<usize> = Vec::with_capacity(128);
+        // Aggregated bound-flip right-hand side (kept zeroed between uses).
+        let mut flip_rhs = vec![0.0f64; m];
+        // Ratio-test candidates: (column, breakpoint ratio, alpha).
+        let mut cands: Vec<(usize, f64, f64)> = Vec::with_capacity(64);
         let mut stall = 0usize;
         let mut last_total = f64::INFINITY;
         let mut retries = 0usize;
         let tol = self.opts.tol_feas;
+        let tol_d = self.opts.tol_dual;
         let piv_tol = self.opts.tol_pivot;
 
         loop {
@@ -128,7 +155,7 @@ impl Solver<'_> {
             }
 
             // ---- leaving row: worst devex-weighted bound violation ----
-            let mut pick: Option<(usize, f64, bool)> = None; // (pos, score, at_upper)
+            let mut pick: Option<(usize, f64, f64, bool)> = None; // (pos, score, viol, at_upper)
             let mut total_infeas = 0.0;
             for pos in 0..m {
                 let j = self.basis.basic_at(pos);
@@ -142,11 +169,11 @@ impl Solver<'_> {
                 };
                 total_infeas += viol;
                 let score = viol * viol / tau[pos];
-                if pick.is_none_or(|(_, s, _)| score > s) {
-                    pick = Some((pos, score, at_upper));
+                if pick.is_none_or(|(_, s, _, _)| score > s) {
+                    pick = Some((pos, score, viol, at_upper));
                 }
             }
-            let Some((rpos, _, at_upper)) = pick else {
+            let Some((rpos, _, viol, at_upper)) = pick else {
                 return DualOutcome::PrimalFeasible;
             };
             if total_infeas < last_total - 1e-10 {
@@ -163,46 +190,32 @@ impl Solver<'_> {
             self.pivots.dual += 1;
 
             // ---- pivot row: alpha_j = (row rpos of B^-1) . a_j ----
-            rho.iter_mut().for_each(|v| *v = 0.0);
-            rho[rpos] = 1.0;
-            self.basis.btran(&mut rho);
-            for j in touched.drain(..) {
-                alpha[j] = 0.0;
-            }
+            self.rho.iter_mut().for_each(|v| *v = 0.0);
+            self.rho[rpos] = 1.0;
+            self.basis.btran(&mut self.rho);
             // Columns reached only through dropped (noise-level) rho
-            // entries never make it into `touched`; if that happened, an
-            // empty ratio test is NOT a trustworthy infeasibility
-            // certificate and must fall back to phase-I instead.
-            let mut rho_dropped = false;
-            for (i, &rv) in rho.iter().enumerate() {
-                if rv.abs() <= 1e-12 {
-                    rho_dropped |= rv != 0.0;
-                    continue;
-                }
-                for (jcol, av) in mirror.row_iter(i) {
-                    if alpha[jcol] == 0.0 {
-                        touched.push(jcol);
-                    }
-                    alpha[jcol] += rv * av;
-                }
-                // Slack column n + i is the single entry (i, -1).
-                if alpha[n + i] == 0.0 {
-                    touched.push(n + i);
-                }
-                alpha[n + i] -= rv;
-            }
+            // entries never make it into the touched list; if that
+            // happened, an empty ratio test is NOT a trustworthy
+            // infeasibility certificate and must fall back to phase-I.
+            let rho_dropped = mirror.scatter_pivot_row(
+                &self.rho,
+                n,
+                1e-12,
+                &mut self.alpha,
+                &mut self.alpha_touched,
+            );
 
-            // ---- dual ratio test ----
+            // ---- gather dual ratio-test candidates ----
             // sigma = +1: the leaving basic sits above its upper bound and
             // must decrease; -1: below its lower bound and must increase.
             let sigma = if at_upper { 1.0 } else { -1.0 };
-            let mut enter: Option<(usize, f64, f64)> = None; // (j, ratio, alpha_j)
             let mut saw_tiny = false;
-            for &j in &touched {
+            cands.clear();
+            for &j in &self.alpha_touched {
                 if self.status[j] == VarStatus::Basic || self.lb[j] == self.ub[j] {
                     continue;
                 }
-                let a = alpha[j];
+                let a = self.alpha[j];
                 let eligible = match self.status[j] {
                     VarStatus::AtLower => sigma * a > 0.0,
                     VarStatus::AtUpper => sigma * a < 0.0,
@@ -216,18 +229,9 @@ impl Solver<'_> {
                     saw_tiny = true;
                     continue;
                 }
-                let ratio = self.clamped_dual(j, d).abs() / a.abs();
-                let better = match enter {
-                    None => true,
-                    Some((_, r, ba)) => {
-                        ratio < r - 1e-12 || (ratio <= r + 1e-12 && a.abs() > ba.abs())
-                    }
-                };
-                if better {
-                    enter = Some((j, ratio, a));
-                }
+                cands.push((j, self.clamped_dual(j, d).abs() / a.abs(), a));
             }
-            let Some((q, _, aq)) = enter else {
+            if cands.is_empty() {
                 // No column can reduce this row's violation. With no
                 // sign-eligible candidate at all — and the pivot row
                 // computed exactly (no candidate skipped for a tiny alpha,
@@ -239,8 +243,72 @@ impl Solver<'_> {
                 } else {
                     DualOutcome::Infeasible
                 };
-            };
+            }
 
+            // ---- select the entering column (and the long-step flips) ----
+            let mut nflips = 0usize;
+            let (q, _ratio_q, aq) = if !harris {
+                // Classic single pass: smallest ratio, ties by |pivot|.
+                let mut best = cands[0];
+                for &c in &cands[1..] {
+                    if c.1 < best.1 - 1e-12 || (c.1 <= best.1 + 1e-12 && c.2.abs() > best.2.abs()) {
+                        best = c;
+                    }
+                }
+                best
+            } else {
+                cands.sort_unstable_by(|x, y| {
+                    x.1.partial_cmp(&y.1).unwrap_or(std::cmp::Ordering::Equal)
+                });
+                if long_step {
+                    // Bound-flipping walk: passing a boxed candidate's
+                    // breakpoint flips it to its opposite bound and lowers
+                    // the slope (this row's violation) by |alpha| * range;
+                    // keep walking while the remaining slope stays
+                    // nonnegative (the dual objective must not start
+                    // *worsening* — flat is fine, and on the planner's
+                    // unit-violation rows one flip typically zeroes the
+                    // slope exactly) and an entering candidate remains.
+                    let mut slope = viol;
+                    while nflips + 1 < cands.len() {
+                        let (j, _, a) = cands[nflips];
+                        let range = self.ub[j] - self.lb[j];
+                        if !range.is_finite() {
+                            break; // a free/one-sided column must enter
+                        }
+                        let gain = a.abs() * range;
+                        if slope - gain < -1e-9 {
+                            break;
+                        }
+                        slope -= gain;
+                        nflips += 1;
+                    }
+                }
+                // Harris two-pass over the remaining candidates. The
+                // relaxation is a small fraction of the dual tolerance,
+                // mirroring the primal test: wide windows admit reduced-cost
+                // overruns whose clamping feeds degenerate zero-ratio
+                // candidates back into later iterations.
+                let relax = tol_d * 0.01;
+                let rest = &cands[nflips..];
+                let mut t_rel = f64::INFINITY;
+                for &(_, ratio, a) in rest {
+                    t_rel = t_rel.min(ratio + relax / a.abs());
+                }
+                let mut best: Option<(usize, f64, f64)> = None;
+                for &(j, ratio, a) in rest {
+                    if ratio <= t_rel
+                        && best.is_none_or(|(_, _, ba): (_, _, f64)| a.abs() > ba.abs())
+                    {
+                        best = Some((j, ratio, a));
+                    }
+                }
+                let chosen = best.expect("rest is non-empty");
+                if nflips == 0 && chosen.1 > 1e-12 && rest[0].1 <= 1e-12 {
+                    self.pivots.harris_degenerate_saved += 1;
+                }
+                chosen
+            };
             // ---- FTRAN the entering column, cross-check the pivot ----
             self.w.iter_mut().for_each(|v| *v = 0.0);
             self.basis.scatter_column(q, &mut self.w);
@@ -249,6 +317,7 @@ impl Solver<'_> {
             if piv.abs() <= piv_tol || piv * aq < 0.0 {
                 // The FTRAN image disagrees with the BTRAN row: numerical
                 // drift. Refactorise once and retry; give up on repeats.
+                // (No flips have been applied yet, so retrying is clean.)
                 retries += 1;
                 if retries > 3 {
                     return DualOutcome::FallBack;
@@ -260,7 +329,46 @@ impl Solver<'_> {
             }
             retries = 0;
 
+            // ---- commit the long-step flips: one aggregated FTRAN ----
+            // Every flipped column moves to its opposite bound; the basics
+            // absorb the combined movement via x_B -= B^-1 (sum a_f d_f).
+            // The dual step below crosses each flipped breakpoint, so the
+            // flipped reduced costs change sign exactly as their new bound
+            // requires — dual feasibility is preserved.
+            if nflips > 0 {
+                for &(j, _, _) in &cands[..nflips] {
+                    let (to, st) = match self.status[j] {
+                        VarStatus::AtLower => (self.ub[j], VarStatus::AtUpper),
+                        VarStatus::AtUpper => (self.lb[j], VarStatus::AtLower),
+                        _ => continue, // unreachable: walk stops at non-boxed
+                    };
+                    let delta = to - self.x[j];
+                    if j < n {
+                        for (r, v) in self.p.matrix().col_iter(j) {
+                            flip_rhs[r] += v * delta;
+                        }
+                    } else {
+                        flip_rhs[j - n] -= delta;
+                    }
+                    self.x[j] = to;
+                    self.status[j] = st;
+                    self.pivots.bound_flips += 1;
+                }
+                self.basis.ftran(&mut flip_rhs);
+                for (pos, fv) in flip_rhs.iter_mut().enumerate() {
+                    if *fv != 0.0 {
+                        let bj = self.basis.basic_at(pos);
+                        self.x[bj] -= *fv;
+                        *fv = 0.0;
+                    }
+                }
+            }
+
             // ---- primal step: land the leaving variable on its bound ----
+            // (If the flips' true effect overshot the slope accounting by a
+            // hair, the step comes out slightly negative and the entering
+            // variable ends marginally infeasible *as a basic* — which the
+            // dual loop keeps repairing; nothing special to do.)
             let lj = self.basis.basic_at(rpos);
             let bound = if at_upper { self.ub[lj] } else { self.lb[lj] };
             let step = (self.x[lj] - bound) / piv;
@@ -284,9 +392,9 @@ impl Solver<'_> {
             // ---- dual step: maintain reduced costs incrementally ----
             let theta = self.clamped_dual(q, d) / aq;
             if theta != 0.0 {
-                for &j in &touched {
+                for &j in &self.alpha_touched {
                     if self.status[j] != VarStatus::Basic && j != q {
-                        d[j] -= theta * alpha[j];
+                        d[j] -= theta * self.alpha[j];
                     }
                 }
             }

@@ -47,13 +47,27 @@
 //! Re-solves additionally benefit from bound-flip-aware partial pricing
 //! (see [`SimplexOptions::pricing_window`]): only a rotating window plus a
 //! short-list of recently attractive columns is priced per iteration, and
-//! bound-fixed columns are skipped outright. Warm solves price with devex
-//! reference weights (`d^2 / w`) shared in spirit between the primal loop
-//! (partial Forrest–Goldfarb updates over the candidate short-list) and
-//! the dual loop (row weights updated from the entering column's FTRAN
-//! image); [`LpSolution::pivots`] reports how many iterations each phase
-//! took, which is how callers verify that bound-change re-solves really
-//! ran as dual pivots.
+//! bound-fixed columns are skipped outright.
+//!
+//! ## Pricing and ratio tests
+//!
+//! Both loops price with **devex reference weights** (`d^2 / w`,
+//! [`PricingRule::Devex`], the default): the primal loop runs the full
+//! pivot-row Forrest–Goldfarb update over the row-major matrix mirror, the
+//! dual loop scores rows by `violation^2 / weight` with weights updated
+//! from the entering column's FTRAN image. [`PricingRule::Dantzig`] is the
+//! ablation (all weights pinned at 1).
+//!
+//! The ratio tests default to **Harris two-pass tolerances** plus the
+//! **bound-flipping dual long step** ([`RatioTest::LongStep`]): degenerate
+//! blocking ties resolve onto the largest available pivot instead of a
+//! zero-length step, and the dual test amortises runs of degenerate pivots
+//! over boxed columns into one pivot plus a batch of bound flips.
+//! [`RatioTest::Classic`] keeps the textbook single-pass test as the
+//! ablation baseline. [`LpSolution::pivots`] reports iterations per phase
+//! plus the `bound_flips` / `harris_degenerate_saved` side-counters, which
+//! is how callers verify that bound-change re-solves really ran as (few)
+//! dual pivots.
 //!
 //! ```
 //! use sqpr_lp::{ProblemBuilder, SimplexOptions, LpStatus, solve, INF};
@@ -90,6 +104,6 @@ pub mod sparse;
 pub use problem::{LpSolution, LpStatus, Problem, ProblemBuilder, INF};
 pub use simplex::{
     solve, solve_from, solve_with_bounds, solve_with_bounds_from, BasisState, PivotCounts,
-    SimplexOptions, VarBasisStatus,
+    PricingRule, RatioTest, SimplexOptions, VarBasisStatus,
 };
 pub use sparse::{CscMatrix, Triplet};

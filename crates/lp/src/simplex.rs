@@ -28,21 +28,49 @@
 use crate::basis::Basis;
 use crate::problem::{LpSolution, LpStatus, Problem};
 
-/// Simplex iteration counts broken down by phase.
+/// Simplex iteration counts broken down by phase, plus the ratio-test
+/// side-counters that explain *why* the iteration counts are what they are.
 ///
 /// `phase1` counts composite phase-I iterations (feasibility recovery from
 /// a cold or badly stale start), `primal` counts phase-II primal
 /// iterations, and `dual` counts dual-simplex iterations (warm re-solves
 /// whose basis stayed dual feasible under bound changes — see
 /// [`crate::dual`]). The sum equals [`LpSolution::iterations`].
+///
+/// `bound_flips` counts nonbasic variables moved from one finite bound to
+/// the other *without* a basis change: primal ratio tests whose entering
+/// variable hit its own opposite bound first, and — the big contributor on
+/// warm re-solves — boxed nonbasics flipped by the dual simplex's
+/// long-step ratio test ([`RatioTest::LongStep`]), where many would-be
+/// degenerate dual pivots are amortised into one real pivot.
+/// `harris_degenerate_saved` counts iterations where the textbook ratio
+/// test would have taken a zero-length (degenerate) step but the Harris
+/// two-pass test found a strictly positive one within the feasibility
+/// tolerance. Neither side-counter contributes to [`Self::total`].
+///
+/// ```
+/// use sqpr_lp::PivotCounts;
+///
+/// let mut total = PivotCounts::default();
+/// let node = PivotCounts { dual: 7, bound_flips: 12, ..PivotCounts::default() };
+/// total.add(&node);
+/// assert_eq!(total.total(), 7); // side-counters don't count as iterations
+/// assert_eq!(total.bound_flips, 12);
+/// ```
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PivotCounts {
     pub phase1: usize,
     pub primal: usize,
     pub dual: usize,
+    /// Nonbasic bound-to-bound moves without a basis change (primal ratio
+    /// test short-circuits plus dual long-step flips).
+    pub bound_flips: usize,
+    /// Degenerate pivots avoided by the Harris two-pass ratio test.
+    pub harris_degenerate_saved: usize,
 }
 
 impl PivotCounts {
+    /// Total simplex iterations (side-counters excluded).
     pub fn total(&self) -> usize {
         self.phase1 + self.primal + self.dual
     }
@@ -52,6 +80,8 @@ impl PivotCounts {
         self.phase1 += other.phase1;
         self.primal += other.primal;
         self.dual += other.dual;
+        self.bound_flips += other.bound_flips;
+        self.harris_degenerate_saved += other.harris_degenerate_saved;
     }
 }
 
@@ -107,7 +137,65 @@ pub struct BasisState {
     pub status: Vec<VarBasisStatus>,
 }
 
+/// Which ratio test the primal and dual loops run.
+///
+/// The planner's assignment-style models are massively degenerate: many
+/// basics sit exactly on a bound, so the textbook smallest-ratio test keeps
+/// returning zero-length steps and the solver burns iterations shuffling
+/// the basis without moving. The refined tests attack exactly that:
+///
+/// - **Harris two-pass** (primal and dual): pass one computes the largest
+///   step allowed when every blocking bound is relaxed by the feasibility
+///   tolerance; pass two picks, among the blockers within that relaxed
+///   step, the one with the **largest pivot magnitude**. Degenerate ties
+///   become real (tolerance-sized) steps on a numerically better pivot;
+///   the per-variable bound violation this admits is capped by the
+///   feasibility tolerance, i.e. by the solver's own optimality contract.
+/// - **Bound-flipping long steps** (dual only): when the dual ratio test's
+///   cheapest blocker is a *boxed* nonbasic (finite lower and upper
+///   bound), the dual step may walk **past** its breakpoint by flipping it
+///   to its opposite bound, and keep walking while the dual objective's
+///   slope stays positive. Many degenerate dual pivots collapse into one
+///   BTRAN/FTRAN plus a batch of bound flips (reported as
+///   [`PivotCounts::bound_flips`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RatioTest {
+    /// Textbook single-pass bounded ratio test (smallest ratio, ties by
+    /// largest pivot). The ablation baseline; also what Bland's
+    /// anti-cycling rule always uses regardless of this setting.
+    Classic,
+    /// Harris two-pass tolerances, no dual long steps.
+    Harris,
+    /// Harris two-pass plus the bound-flipping dual long step. Default.
+    LongStep,
+}
+
+/// Primal pricing rule.
+///
+/// Devex maintains approximate steepest-edge reference weights `w_j` and
+/// scores candidates by `d_j^2 / w_j`; Dantzig is the `w_j = 1` special
+/// case. With the full pivot-row update (one BTRAN of the leaving row per
+/// pivot, spread over the row-major mirror shared with the dual simplex)
+/// devex is accurate enough to engage from cold starts too, so it is the
+/// default and Dantzig is the ablation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PricingRule {
+    /// Exact reduced-cost magnitude (`w_j = 1` forever).
+    Dantzig,
+    /// Reference-framework devex with full pivot-row weight updates.
+    Devex,
+}
+
 /// Options controlling a simplex solve.
+///
+/// ```
+/// use sqpr_lp::{RatioTest, SimplexOptions};
+///
+/// // The planner's settings: a light cost perturbation on top of the
+/// // defaults (Harris + long-step ratio tests, devex pricing).
+/// let opts = SimplexOptions { perturb: 1e-7, ..SimplexOptions::default() };
+/// assert_eq!(opts.ratio_test, RatioTest::LongStep);
+/// ```
 #[derive(Debug, Clone)]
 pub struct SimplexOptions {
     /// Hard cap on simplex iterations; 0 means `40 * (n + m) + 2000`.
@@ -133,6 +221,10 @@ pub struct SimplexOptions {
     /// `usize::MAX` forces full pricing. Bland's anti-cycling rule always
     /// scans fully regardless of this setting.
     pub pricing_window: usize,
+    /// Ratio-test refinement level (see [`RatioTest`]).
+    pub ratio_test: RatioTest,
+    /// Primal pricing rule (see [`PricingRule`]).
+    pub pricing: PricingRule,
 }
 
 impl Default for SimplexOptions {
@@ -146,6 +238,8 @@ impl Default for SimplexOptions {
             stall_limit: 256,
             perturb: 0.0,
             pricing_window: 0,
+            ratio_test: RatioTest::LongStep,
+            pricing: PricingRule::Devex,
         }
     }
 }
@@ -248,6 +342,13 @@ pub(crate) struct Solver<'a> {
     /// Pivots applied since the last refactorisation (shared between the
     /// primal and dual loops so the refactor cadence is global).
     pub(crate) pivots_since_refactor: usize,
+    /// Pivot-row workspaces shared by the full primal devex update and the
+    /// dual loop: BTRAN image of the leaving row (`rho`, row-indexed), its
+    /// scatter over all `n + m` columns (`alpha`), and the columns the
+    /// scatter touched.
+    pub(crate) rho: Vec<f64>,
+    pub(crate) alpha: Vec<f64>,
+    pub(crate) alpha_touched: Vec<usize>,
 }
 
 /// Outcome of one pricing step.
@@ -353,6 +454,9 @@ impl<'a> Solver<'a> {
             devex: vec![1.0; n + m],
             hinted: hint.is_some(),
             pivots_since_refactor: 0,
+            rho: vec![0.0; m],
+            alpha: vec![0.0; n + m],
+            alpha_touched: Vec::with_capacity(128),
         };
         // A hinted basis may have been repaired during factorisation
         // (slack substitution for singular/dropped columns); reconcile the
@@ -428,18 +532,36 @@ impl<'a> Solver<'a> {
         }
     }
 
-    pub(crate) fn total_infeasibility(&self) -> f64 {
+    /// Total and largest single bound violation over basic variables, in
+    /// one scan. The *max* — not the total — is the phase-I trigger: the
+    /// solve's feasibility contract is per-variable (`tol_feas` each,
+    /// matching [`Problem::is_feasible`] and the phase-I pricing
+    /// gradient), and the Harris ratio test deliberately admits
+    /// per-variable violations up to the tolerance whose sum may exceed
+    /// it while every phase-I gradient entry is zero. The total drives
+    /// stall detection.
+    pub(crate) fn infeasibility_extents(&self) -> (f64, f64) {
         let mut total = 0.0;
+        let mut worst = 0.0f64;
         for pos in 0..self.m {
             let j = self.basis.basic_at(pos);
             let v = self.x[j];
-            if v < self.lb[j] {
-                total += self.lb[j] - v;
+            let viol = if v < self.lb[j] {
+                self.lb[j] - v
             } else if v > self.ub[j] {
-                total += v - self.ub[j];
-            }
+                v - self.ub[j]
+            } else {
+                continue;
+            };
+            total += viol;
+            worst = worst.max(viol);
         }
-        total
+        (total, worst)
+    }
+
+    /// Largest single bound violation (see [`Self::infeasibility_extents`]).
+    pub(crate) fn max_bound_violation(&self) -> f64 {
+        self.infeasibility_extents().1
     }
 
     fn objective_now(&self) -> f64 {
@@ -607,67 +729,86 @@ impl<'a> Solver<'a> {
         }
     }
 
+    /// Step limit that basic position `pos` imposes on an entering move in
+    /// direction `dir` (the basic moves at rate `-dir * w[pos]`), or `None`
+    /// when it imposes none — pivot below tolerance, unbounded side, or a
+    /// phase-I pass-through (a basic already infeasible in the travel
+    /// direction, whose worsening the phase-I gradient has priced in).
+    /// Returns `(limit, at_upper)`: the nonnegative blocking ratio and the
+    /// bound the basic would leave at.
+    #[inline]
+    fn ratio_limit(&self, pos: usize, dir: f64, phase1: bool) -> Option<(f64, bool)> {
+        let wv = self.w[pos];
+        if wv.abs() <= self.opts.tol_pivot {
+            return None;
+        }
+        let tol = self.opts.tol_feas;
+        let bj = self.basis.basic_at(pos);
+        let xv = self.x[bj];
+        let delta = dir * wv;
+        let (dist, at_upper) = if delta > 0.0 {
+            // Basic decreases.
+            if phase1 && xv < self.lb[bj] - tol {
+                return None;
+            } else if phase1 && xv > self.ub[bj] + tol {
+                // Infeasible above and improving: stop where it becomes
+                // feasible at the upper bound.
+                if self.ub[bj].is_finite() {
+                    (xv - self.ub[bj], true)
+                } else {
+                    return None;
+                }
+            } else if self.lb[bj].is_finite() {
+                ((xv - self.lb[bj]).max(0.0), false)
+            } else {
+                return None;
+            }
+        } else {
+            // Basic increases.
+            if phase1 && xv > self.ub[bj] + tol {
+                return None;
+            } else if phase1 && xv < self.lb[bj] - tol {
+                if self.lb[bj].is_finite() {
+                    (self.lb[bj] - xv, false)
+                } else {
+                    return None;
+                }
+            } else if self.ub[bj].is_finite() {
+                (((self.ub[bj] - xv).max(0.0)), true)
+            } else {
+                return None;
+            }
+        };
+        Some((dist / delta.abs(), at_upper))
+    }
+
     /// Bounded-variable ratio test, phase-aware.
     ///
     /// Moving the entering variable by `t` in direction `dir` changes basic
-    /// `pos` by `-t * dir * w[pos]`.
-    fn ratio_test(&self, j: usize, dir: f64, phase1: bool, bland: bool) -> Ratio {
-        let tol = self.opts.tol_feas;
-        let piv_tol = self.opts.tol_pivot;
+    /// `pos` by `-t * dir * w[pos]`. Dispatches on [`SimplexOptions::ratio_test`];
+    /// Bland mode always runs the classic single pass (the anti-cycling
+    /// argument needs the deterministic smallest-ratio choice).
+    fn ratio_test(&mut self, j: usize, dir: f64, phase1: bool, bland: bool) -> Ratio {
+        if bland || self.opts.ratio_test == RatioTest::Classic {
+            self.ratio_test_classic(j, dir, phase1, bland)
+        } else {
+            self.ratio_test_harris(j, dir, phase1)
+        }
+    }
+
+    /// Textbook single-pass test: smallest ratio wins, ties by largest
+    /// pivot magnitude (or smallest variable index under Bland's rule).
+    fn ratio_test_classic(&self, j: usize, dir: f64, phase1: bool, bland: bool) -> Ratio {
         // Entering variable's own travel range (bound flip distance).
         let own_range = self.ub[j] - self.lb[j];
         let mut t_best = own_range; // may be +inf
         let mut blocking: Option<(usize, bool)> = None; // (pos, leaves_at_upper)
 
         for pos in 0..self.m {
-            let wv = self.w[pos];
-            if wv.abs() <= piv_tol {
+            let Some((limit, at_upper)) = self.ratio_limit(pos, dir, phase1) else {
                 continue;
-            }
-            let bj = self.basis.basic_at(pos);
-            let xv = self.x[bj];
-            let delta = dir * wv; // basic moves at rate -delta
-            let (limit, at_upper) = if delta > 0.0 {
-                // Basic decreases.
-                if phase1 && xv < self.lb[bj] - tol {
-                    // Already below its lower bound and moving further away:
-                    // no blocking bound in this direction (the phase-I
-                    // gradient has priced the worsening in).
-                    (f64::INFINITY, false)
-                } else if phase1 && xv > self.ub[bj] + tol {
-                    // Infeasible above and improving: stop where it becomes
-                    // feasible at the upper bound.
-                    if self.ub[bj].is_finite() {
-                        ((xv - self.ub[bj]) / delta, true)
-                    } else {
-                        (f64::INFINITY, false)
-                    }
-                } else if self.lb[bj].is_finite() {
-                    (((xv - self.lb[bj]).max(0.0)) / delta, false)
-                } else {
-                    (f64::INFINITY, false)
-                }
-            } else {
-                // Basic increases.
-                if phase1 && xv > self.ub[bj] + tol {
-                    // Above its upper bound and moving further away.
-                    (f64::INFINITY, false)
-                } else if phase1 && xv < self.lb[bj] - tol {
-                    // Infeasible below and improving: stop at the lower bound.
-                    if self.lb[bj].is_finite() {
-                        ((self.lb[bj] - xv) / -delta, false)
-                    } else {
-                        (f64::INFINITY, false)
-                    }
-                } else if self.ub[bj].is_finite() {
-                    (((self.ub[bj] - xv).max(0.0)) / -delta, true)
-                } else {
-                    (f64::INFINITY, false)
-                }
             };
-            if !limit.is_finite() {
-                continue;
-            }
+            let wv = self.w[pos];
             let better = if bland {
                 // Bland: smallest ratio, ties by smallest variable index.
                 limit < t_best - 1e-12
@@ -711,6 +852,71 @@ impl<'a> Solver<'a> {
         }
     }
 
+    /// Harris two-pass test. Pass one finds the largest step `t_rel`
+    /// allowed when every blocking bound is relaxed by `tol_feas`; pass two
+    /// picks the blocker with the **largest pivot magnitude** among those
+    /// whose strict ratio is within `t_rel`. The chosen step is that
+    /// blocker's strict ratio, so any other blocker is overrun by at most
+    /// the tolerance — massively degenerate vertices (the planner's
+    /// assignment models) stop forcing zero-step pivots on whatever tiny
+    /// pivot happens to sort first.
+    fn ratio_test_harris(&mut self, j: usize, dir: f64, phase1: bool) -> Ratio {
+        let own_range = self.ub[j] - self.lb[j]; // may be +inf
+                                                 // The relaxation is a small *fraction* of the feasibility
+                                                 // tolerance: the admitted per-variable violation gets multiplied
+                                                 // by λ1-scale objective coefficients in the planner's models, and
+                                                 // downstream branch & bound prunes on bound-vs-incumbent ties —
+                                                 // relaxing by the full tolerance would turn tie-pruning noise into
+                                                 // hundreds of extra nodes. Exact degenerate ties (the dominant
+                                                 // case on integer data) are already captured at any positive
+                                                 // relaxation.
+        let tol = self.opts.tol_feas * HARRIS_RELAX_FRAC;
+
+        // Pass 1: relaxed maximum step.
+        let mut t_rel = f64::INFINITY;
+        for pos in 0..self.m {
+            if let Some((limit, _)) = self.ratio_limit(pos, dir, phase1) {
+                let relaxed = limit + tol / (dir * self.w[pos]).abs();
+                t_rel = t_rel.min(relaxed);
+            }
+        }
+        if own_range <= t_rel {
+            // The entering variable's opposite bound is the cheapest
+            // blocker: a bound flip, no basis change.
+            return if own_range.is_finite() {
+                Ratio::BoundFlip { t: own_range }
+            } else {
+                Ratio::Unbounded
+            };
+        }
+
+        // Pass 2: largest pivot among blockers within the relaxed step.
+        let mut best: Option<(usize, f64, bool)> = None; // (pos, strict, at_upper)
+        let mut t_min_strict = f64::INFINITY;
+        for pos in 0..self.m {
+            if let Some((limit, at_upper)) = self.ratio_limit(pos, dir, phase1) {
+                t_min_strict = t_min_strict.min(limit);
+                if limit <= t_rel
+                    && best.is_none_or(|(bp, _, _)| self.w[pos].abs() > self.w[bp].abs())
+                {
+                    best = Some((pos, limit, at_upper));
+                }
+            }
+        }
+        let Some((pos, strict, to_upper)) = best else {
+            // t_rel < own_range implies at least one finite limit exists.
+            return Ratio::Stuck;
+        };
+        if self.w[pos].abs() <= self.opts.tol_pivot * 10.0 && strict > 0.0 {
+            return Ratio::Stuck;
+        }
+        let t = strict.max(0.0);
+        if t > 1e-12 && t_min_strict <= 1e-12 {
+            self.pivots.harris_degenerate_saved += 1;
+        }
+        Ratio::Pivot { t, pos, to_upper }
+    }
+
     fn run(mut self) -> LpSolution {
         let max_iters = if self.opts.max_iters == 0 {
             40 * (self.n + self.m) + 2000
@@ -741,8 +947,8 @@ impl<'a> Solver<'a> {
             }
             self.iterations += 1;
 
-            let infeas = self.total_infeasibility();
-            let phase1 = infeas > self.opts.tol_feas;
+            let (infeas, worst_viol) = self.infeasibility_extents();
+            let phase1 = worst_viol > self.opts.tol_feas;
             if phase1 {
                 self.pivots.phase1 += 1;
             } else {
@@ -818,6 +1024,7 @@ impl<'a> Solver<'a> {
                     continue;
                 }
                 Ratio::BoundFlip { t } => {
+                    self.pivots.bound_flips += 1;
                     self.apply_step(j, dir, t);
                     self.status[j] = match self.status[j] {
                         VarStatus::AtLower => VarStatus::AtUpper,
@@ -861,20 +1068,24 @@ impl<'a> Solver<'a> {
 
     /// Devex reference-weight update for a primal pivot (entering `j` at
     /// basis position `pos`; `self.w` holds the entering column's FTRAN
-    /// image). This is *partial* devex: the exact Forrest–Goldfarb update
-    /// needs the whole pivot row, so it is applied only to the candidate
-    /// short-list (the columns pricing will actually look at first) plus
-    /// the leaving variable; everything else keeps its reference weight
-    /// until it enters the short-list. One BTRAN of the leaving row per
-    /// pivot — the same solve the dual loop's ratio test performs.
+    /// image). This is the **full pivot-row** Forrest–Goldfarb update: one
+    /// BTRAN of the leaving row per pivot, scattered over the row-major
+    /// mirror the dual loop already maintains, so *every* nonbasic column
+    /// in the pivot row gets its reference weight refreshed — not just a
+    /// candidate short-list. That accuracy is what lets devex engage from
+    /// cold starts (the partial update it replaces mispriced ~15% extra
+    /// iterations there and had to be gated to warm re-solves).
     fn update_devex_primal(&mut self, j: usize, pos: usize) {
-        // The framework only pays off on warm re-solves, where the basis
-        // starts near-optimal and a few updates already encode useful
-        // steepest-edge information. From a cold start the partial updates
-        // misprice more than they inform (measured on the planner's models:
-        // ~15% more iterations), so cold solves keep exact Dantzig scores
-        // (all weights stay at 1).
-        if !self.hinted {
+        if self.opts.pricing == PricingRule::Dantzig {
+            return; // weights stay at 1: exact Dantzig scores
+        }
+        // Amortisation heuristic: reference weights only start informing
+        // pricing after enough pivot-row updates accumulate. Cold solves
+        // run hundreds of iterations and gain ~20% from the framework;
+        // hinted warm re-solves average a dozen iterations — the framework
+        // never pays for itself before the solve ends, so they keep unit
+        // weights, making the devex score exactly the Dantzig score.
+        if self.hinted {
             return;
         }
         let alpha_q = self.w[pos];
@@ -884,35 +1095,33 @@ impl<'a> Solver<'a> {
         let leaving = self.basis.basic_at(pos);
         let wq = self.devex[j];
         let inv = 1.0 / (alpha_q * alpha_q);
-        if !self.candidates.is_empty() {
-            // rho = row `pos` of B^-1 (before the pivot is applied).
-            self.rhs.iter_mut().for_each(|v| *v = 0.0);
-            self.rhs[pos] = 1.0;
-            // Borrow juggling: btran needs &mut self.rhs while `basis` is
-            // also borrowed; split via a temporary take.
-            let mut rho = std::mem::take(&mut self.rhs);
-            self.basis.btran(&mut rho);
-            for k in 0..self.candidates.len() {
-                let c = self.candidates[k];
-                if c == j || self.status[c] == VarStatus::Basic {
-                    continue;
-                }
-                let alpha_c = if c < self.n {
-                    self.p.matrix().dot_col(c, &rho)
-                } else {
-                    -rho[c - self.n]
-                };
-                let cand = alpha_c * alpha_c * inv * wq;
-                if cand > self.devex[c] {
-                    self.devex[c] = cand;
-                }
+        // rho = row `pos` of B^-1 (before the pivot is applied).
+        self.rho.iter_mut().for_each(|v| *v = 0.0);
+        self.rho[pos] = 1.0;
+        self.basis.btran(&mut self.rho);
+        let mirror = self.p.row_major();
+        mirror.scatter_pivot_row(
+            &self.rho,
+            self.n,
+            1e-12,
+            &mut self.alpha,
+            &mut self.alpha_touched,
+        );
+        for k in 0..self.alpha_touched.len() {
+            let c = self.alpha_touched[k];
+            if c == j || self.status[c] == VarStatus::Basic {
+                continue;
             }
-            self.rhs = rho;
+            let alpha_c = self.alpha[c];
+            let cand = alpha_c * alpha_c * inv * wq;
+            if cand > self.devex[c] {
+                self.devex[c] = cand;
+            }
         }
         self.devex[leaving] = (wq * inv).max(1.0);
         // Reference-framework reset: once weights grow past the threshold
-        // the partial updates are dominated by staleness and the scores
-        // stop approximating steepest-edge; restart the framework.
+        // the updates are dominated by staleness and the scores stop
+        // approximating steepest-edge; restart the framework.
         if self.devex[leaving] > DEVEX_RESET {
             self.devex.iter_mut().for_each(|w| *w = 1.0);
         }
@@ -981,6 +1190,11 @@ const MAX_CANDIDATES: usize = 64;
 
 /// Devex weight magnitude at which the reference framework restarts.
 const DEVEX_RESET: f64 = 1e4;
+
+/// Fraction of `tol_feas` used as the Harris pass-one relaxation (see
+/// [`Solver::ratio_test_harris`] for why it is deliberately much smaller
+/// than the feasibility tolerance itself).
+const HARRIS_RELAX_FRAC: f64 = 0.01;
 
 /// Adapts a basis hint (possibly captured from a differently-sized
 /// problem) to the current `m x n` dimensions, writing nonbasic statuses

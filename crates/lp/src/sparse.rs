@@ -277,6 +277,61 @@ impl RowMajor {
             .copied()
             .zip(self.val[lo..hi].iter().copied())
     }
+
+    /// Scatters a simplex **pivot row** `alpha = rho' [A | -I]` over all
+    /// `n + m` global columns, where `rho` is the BTRAN image of a basis
+    /// unit row (`rho = B^-T e_r`) and column `n + i` is the slack of row
+    /// `i` (single entry `(i, -1)`).
+    ///
+    /// `alpha` must be zeroed for every index in `touched` on entry (the
+    /// call drains `touched` and re-zeroes them itself, so reusing the same
+    /// pair of buffers across calls is the intended pattern). On return
+    /// `touched` lists every column with a (possibly cancelled-to-zero)
+    /// contribution.
+    ///
+    /// Entries of `rho` with magnitude at most `drop_tol` are skipped for
+    /// sparsity; returns `true` if any *nonzero* entry was dropped that
+    /// way. Callers that want to treat an empty pivot row as a proof (the
+    /// dual simplex's infeasibility certificate) must fall back when this
+    /// is set — a dropped entry means columns may be missing from
+    /// `touched`.
+    pub fn scatter_pivot_row(
+        &self,
+        rho: &[f64],
+        n_structurals: usize,
+        drop_tol: f64,
+        alpha: &mut [f64],
+        touched: &mut Vec<usize>,
+    ) -> bool {
+        for j in touched.drain(..) {
+            alpha[j] = 0.0;
+        }
+        let mut dropped = false;
+        for (i, &rv) in rho.iter().enumerate() {
+            if rv.abs() <= drop_tol {
+                dropped |= rv != 0.0;
+                continue;
+            }
+            for (jcol, av) in self.row_iter(i) {
+                if alpha[jcol] == 0.0 {
+                    touched.push(jcol);
+                }
+                alpha[jcol] += rv * av;
+            }
+            // Slack column n + i is the single entry (i, -1).
+            if alpha[n_structurals + i] == 0.0 {
+                touched.push(n_structurals + i);
+            }
+            alpha[n_structurals + i] -= rv;
+        }
+        // A column whose partial sums cancel to exactly 0.0 mid-scatter can
+        // be pushed twice (the `== 0.0` membership test is fooled); dedup so
+        // callers may fold over `touched` without double-counting. Sorting
+        // also makes the iteration order deterministic.
+        touched.sort_unstable();
+        touched.dedup();
+        dropped
+    }
 }
 
 /// A growable sparse column collection used to accumulate L and U factors.
@@ -416,6 +471,38 @@ mod tests {
     #[should_panic(expected = "out of bounds")]
     fn rejects_out_of_bounds() {
         CscMatrix::from_triplets(1, 1, &[t(1, 0, 1.0)]);
+    }
+
+    #[test]
+    fn pivot_row_scatter_matches_dense_product() {
+        // [1 0 2]
+        // [0 3 0]
+        let a = CscMatrix::from_triplets(2, 3, &[t(0, 0, 1.0), t(1, 1, 3.0), t(0, 2, 2.0)]);
+        let mirror = RowMajor::build(&a);
+        let rho = [2.0, -1.0];
+        let mut alpha = vec![0.0; 3 + 2];
+        let mut touched = vec![0usize]; // stale entry from a "previous" call
+        alpha[0] = 7.0; // must be re-zeroed via the drained touched list
+        let dropped = mirror.scatter_pivot_row(&rho, 3, 1e-12, &mut alpha, &mut touched);
+        assert!(!dropped);
+        // alpha = rho' [A | -I]
+        assert_eq!(&alpha, &[2.0, -3.0, 4.0, -2.0, 1.0]);
+        let mut sorted = touched.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted, touched, "touched must be sorted and deduped");
+        assert_eq!(touched, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn pivot_row_reports_dropped_noise() {
+        let a = CscMatrix::from_triplets(1, 1, &[t(0, 0, 1.0)]);
+        let mirror = RowMajor::build(&a);
+        let mut alpha = vec![0.0; 2];
+        let mut touched = Vec::new();
+        let dropped = mirror.scatter_pivot_row(&[1e-15], 1, 1e-12, &mut alpha, &mut touched);
+        assert!(dropped);
+        assert!(touched.is_empty());
     }
 
     #[test]

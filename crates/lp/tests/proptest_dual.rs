@@ -13,8 +13,8 @@
 //! replayed deterministically.
 
 use sqpr_lp::{
-    solve, solve_with_bounds, solve_with_bounds_from, LpStatus, Problem, ProblemBuilder,
-    SimplexOptions, INF,
+    solve, solve_with_bounds, solve_with_bounds_from, LpStatus, PricingRule, Problem,
+    ProblemBuilder, RatioTest, SimplexOptions, INF,
 };
 use sqpr_workload::rng::{Rng, StdRng};
 
@@ -140,6 +140,111 @@ fn dual_resolves_match_cold_solves_after_bound_changes() {
         total_dual > 0 && exercised >= 10,
         "dual simplex under-exercised: {total_dual} dual pivots over {exercised} warm solves"
     );
+}
+
+/// The Harris and bound-flipping dual ratio tests must agree with the
+/// classic test on every warm bound-change re-solve: same feasibility
+/// verdict, same optimal objective. The long-step path must actually
+/// exercise bound flips somewhere in the suite (boxed columns with
+/// multi-unit violations are common under the fix/tighten mutations).
+#[test]
+fn ratio_test_modes_agree_on_warm_resolves() {
+    let modes = [RatioTest::Classic, RatioTest::Harris, RatioTest::LongStep];
+    let mut longstep_flips = 0usize;
+    let mut longstep_dual = 0usize;
+    for seed in 0..120u64 {
+        let mut rng = StdRng::seed_from_u64(0x10A6_57E9 ^ (seed << 1));
+        let (p, lb0, ub0) = random_lp(&mut rng);
+        let base = solve(&p, &SimplexOptions::default());
+        if base.status != LpStatus::Optimal {
+            continue;
+        }
+        let mut lb = lb0.clone();
+        let mut ub = ub0.clone();
+        for step in 0..3 {
+            mutate_bounds(&mut rng, &mut lb, &mut ub, &ub0);
+            let cold = solve_with_bounds(&p, &lb, &ub, &SimplexOptions::default());
+            for &ratio_test in &modes {
+                let opts = SimplexOptions {
+                    ratio_test,
+                    ..SimplexOptions::default()
+                };
+                let warm = solve_with_bounds_from(&p, &lb, &ub, base.basis.as_ref(), &opts);
+                assert_eq!(
+                    warm.status, cold.status,
+                    "seed {seed} step {step} {ratio_test:?}: status diverged"
+                );
+                if warm.status == LpStatus::Optimal {
+                    assert!(
+                        (warm.objective - cold.objective).abs()
+                            < 1e-6 * (1.0 + cold.objective.abs()),
+                        "seed {seed} step {step} {ratio_test:?}: {} vs {}",
+                        warm.objective,
+                        cold.objective
+                    );
+                    assert!(
+                        p.is_feasible(&warm.x, 1e-6),
+                        "seed {seed} step {step} {ratio_test:?}: infeasible point"
+                    );
+                }
+                if ratio_test == RatioTest::LongStep {
+                    longstep_flips += warm.pivots.bound_flips;
+                    longstep_dual += warm.pivots.dual;
+                }
+            }
+        }
+    }
+    assert!(
+        longstep_dual > 0 && longstep_flips > 0,
+        "long-step path under-exercised: {longstep_dual} dual pivots, {longstep_flips} flips"
+    );
+}
+
+/// The devex amortisation heuristic: hinted (warm) re-solves keep unit
+/// reference weights, so under `PricingRule::Devex` they price exactly
+/// like Dantzig — identical iteration counts, not just identical answers.
+#[test]
+fn hinted_resolves_price_like_dantzig() {
+    for seed in 0..60u64 {
+        let mut rng = StdRng::seed_from_u64(0xAD4E ^ (seed << 2));
+        let (p, _, ub0) = random_lp(&mut rng);
+        let base = solve(
+            &p,
+            &SimplexOptions {
+                pricing: PricingRule::Dantzig,
+                ..SimplexOptions::default()
+            },
+        );
+        if base.status != LpStatus::Optimal {
+            continue;
+        }
+        let mut lb: Vec<f64> = vec![0.0; p.ncols()];
+        let mut ub = ub0.clone();
+        mutate_bounds(&mut rng, &mut lb, &mut ub, &ub0);
+        let [devex, dantzig] = [PricingRule::Devex, PricingRule::Dantzig].map(|pricing| {
+            solve_with_bounds_from(
+                &p,
+                &lb,
+                &ub,
+                base.basis.as_ref(),
+                &SimplexOptions {
+                    pricing,
+                    ..SimplexOptions::default()
+                },
+            )
+        });
+        assert_eq!(devex.status, dantzig.status, "seed {seed}");
+        assert_eq!(
+            devex.iterations, dantzig.iterations,
+            "seed {seed}: hinted devex must follow the exact Dantzig path"
+        );
+        if devex.status == LpStatus::Optimal {
+            assert!(
+                (devex.objective - dantzig.objective).abs() < 1e-9,
+                "seed {seed}"
+            );
+        }
+    }
 }
 
 #[test]

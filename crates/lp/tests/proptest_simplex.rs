@@ -6,7 +6,7 @@
 //! replayed deterministically.
 
 use sqpr_lp::oracle::brute_force_optimum;
-use sqpr_lp::{solve, LpStatus, ProblemBuilder, SimplexOptions, INF};
+use sqpr_lp::{solve, LpStatus, PricingRule, ProblemBuilder, RatioTest, SimplexOptions, INF};
 use sqpr_workload::rng::{Rng, StdRng};
 
 #[derive(Debug, Clone)]
@@ -95,6 +95,94 @@ fn simplex_matches_oracle() {
                 panic!(
                     "seed {seed}: oracle {o:?} vs simplex status {st:?} obj {} on {lp:?}",
                     s.objective
+                );
+            }
+        }
+    }
+}
+
+/// A deliberately degenerate model family: many rows pass through the same
+/// vertex (duplicated and scaled facets), boxed columns, integer data — the
+/// structure on which textbook ratio tests grind through zero-length
+/// pivots. Assignment-like equality rows mirror the planner's models.
+fn random_degenerate_lp(rng: &mut StdRng) -> sqpr_lp::Problem {
+    let ncols = rng.gen_index(5) + 3;
+    let mut b = ProblemBuilder::new();
+    for _ in 0..ncols {
+        b.add_col(rng.gen_range_i64(-5, 5) as f64, 0.0, 1.0);
+    }
+    // A few base facets, each duplicated (possibly scaled) 1-3 times.
+    for _ in 0..rng.gen_index(3) + 1 {
+        let coeffs: Vec<i64> = (0..ncols).map(|_| rng.gen_range_i64(0, 2)).collect();
+        let rhs = rng.gen_range_i64(1, ncols as i64 / 2 + 1) as f64;
+        for _ in 0..rng.gen_index(3) + 1 {
+            let scale = rng.gen_range_i64(1, 3) as f64;
+            let r = b.add_row(-INF, rhs * scale);
+            for (j, &c) in coeffs.iter().enumerate() {
+                if c != 0 {
+                    b.set_coeff(r, j, c as f64 * scale);
+                }
+            }
+        }
+    }
+    // One assignment-style equality row over a random subset.
+    let picked: Vec<usize> = (0..ncols).filter(|_| rng.gen_bool()).collect();
+    if picked.len() >= 2 {
+        let r = b.add_row(1.0, 1.0);
+        for &j in &picked {
+            b.set_coeff(r, j, 1.0);
+        }
+    }
+    b.build()
+}
+
+/// Every ratio-test mode and pricing rule must agree on status and optimal
+/// objective across randomized degenerate models — the refinements may only
+/// change the *path*, never the answer.
+#[test]
+fn ratio_test_modes_agree_on_degenerate_models() {
+    let modes = [RatioTest::Classic, RatioTest::Harris, RatioTest::LongStep];
+    let pricings = [PricingRule::Dantzig, PricingRule::Devex];
+    for seed in 0..160u64 {
+        let mut rng = StdRng::seed_from_u64(0xDE9E ^ (seed << 2));
+        let p = random_degenerate_lp(&mut rng);
+        let reference = solve(
+            &p,
+            &SimplexOptions {
+                ratio_test: RatioTest::Classic,
+                pricing: PricingRule::Dantzig,
+                ..SimplexOptions::default()
+            },
+        );
+        for &ratio_test in &modes {
+            for &pricing in &pricings {
+                let opts = SimplexOptions {
+                    ratio_test,
+                    pricing,
+                    ..SimplexOptions::default()
+                };
+                let s = solve(&p, &opts);
+                assert_eq!(
+                    s.status, reference.status,
+                    "seed {seed} {ratio_test:?}/{pricing:?}: status diverged"
+                );
+                if s.status == LpStatus::Optimal {
+                    assert!(
+                        (s.objective - reference.objective).abs()
+                            < 1e-6 * (1.0 + reference.objective.abs()),
+                        "seed {seed} {ratio_test:?}/{pricing:?}: {} vs {}",
+                        s.objective,
+                        reference.objective
+                    );
+                    assert!(
+                        p.is_feasible(&s.x, 1e-6),
+                        "seed {seed} {ratio_test:?}/{pricing:?}: infeasible point"
+                    );
+                }
+                assert_eq!(
+                    s.pivots.total(),
+                    s.iterations,
+                    "seed {seed}: phase counters must sum to iterations"
                 );
             }
         }

@@ -23,7 +23,7 @@
 //! no terms added to existing rows — i.e. no skeleton `extend` with real
 //! content) and the set of bound-fixed variables must be identical (the
 //! folded columns define the LP's column numbering). Both are checked on
-//! every [`LpCacheSlot::refresh`]; a mismatch falls back to a full rebuild,
+//! every `LpCacheSlot::refresh`; a mismatch falls back to a full rebuild,
 //! so staleness can cost a re-scan, never correctness.
 
 use crate::model::{

@@ -51,7 +51,7 @@ pub fn presolve_bounds(model: &Model, max_rounds: usize) -> Presolved {
 /// Like [`presolve_bounds`], but skips the row-classification scan:
 /// `active` lists the rows known to contain at least one unfixed variable —
 /// exactly the kept rows of a compressed LP lowering, so callers holding an
-/// [`crate::model::LpMap`] reuse its `cons_of_row` for free. Constant-row
+/// `crate::model::LpMap` reuse its `cons_of_row` for free. Constant-row
 /// feasibility is then the lowering's responsibility
 /// (`infeasible_fixed_row`), not this function's.
 pub fn presolve_bounds_active(model: &Model, max_rounds: usize, active: &[usize]) -> Presolved {

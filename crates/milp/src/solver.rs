@@ -42,6 +42,21 @@ impl LpStore<'_> {
 /// Incumbent filter callback (lazy-constraint hook).
 type IncumbentFilter<'a> = &'a dyn Fn(&[f64]) -> bool;
 
+/// Bound-vs-incumbent pruning tolerance under the Harris ratio tests.
+/// Sized to dominate the LP's primal noise floor: the Harris test
+/// deliberately admits per-variable bound violations (a small fraction of
+/// the feasibility tolerance, see `sqpr_lp`), which — multiplied by large
+/// objective coefficients — can land a relaxation objective slightly
+/// *below* the exact vertex optimum. With an epsilon tighter than that
+/// noise, nodes that tie the incumbent exactly (the overwhelmingly common
+/// case on the planner's degenerate assignment models) would survive
+/// pruning and inflate the tree.
+const PRUNE_EPS_HARRIS: f64 = 1e-6;
+
+/// Pruning tolerance under [`sqpr_lp::RatioTest::Classic`], whose ratio
+/// test never overruns a bound — the ablation baseline stays exact.
+const PRUNE_EPS_EXACT: f64 = 1e-9;
+
 /// One seat of a [`ModelBasis`]: either a model variable or the slack of a
 /// model constraint.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -210,6 +225,18 @@ pub struct MilpOptions {
     /// Disabling reverts every node LP to a cold slack-identity start (the
     /// pre-warm-start behaviour, kept as the baseline/ablation).
     pub reuse_bases: bool,
+    /// Prune any node whose bound does not beat the incumbent by **more
+    /// than this margin** (minimisation space; default 0 = plain
+    /// bound-vs-incumbent pruning). Callers that only care about
+    /// improvements of at least a known size — SQPR's planner discards
+    /// every non-admitting improvement, and one admission is worth at
+    /// least `λ1 - ε` — can set the margin just below that size and turn
+    /// "is there any improvement?" proofs into "is there a *big*
+    /// improvement?" proofs, which prune far earlier. Solutions better
+    /// than the incumbent by more than the margin are found exactly as
+    /// without it; improvements within the margin may be skipped, and the
+    /// reported `best_bound` is then only valid to within the margin.
+    pub cutoff_margin: f64,
     /// LP subproblem options.
     pub lp: SimplexOptions,
 }
@@ -224,6 +251,7 @@ impl Default for MilpOptions {
             dive_every: 64,
             presolve: true,
             reuse_bases: true,
+            cutoff_margin: 0.0,
             lp: SimplexOptions::default(),
         }
     }
@@ -668,12 +696,19 @@ impl<'a> Bnb<'a> {
         let mut proven_infeasible_tree = true; // until a node survives
         let mut best_open_bound = f64::NEG_INFINITY;
         let mut budget_hit = false;
+        // Effective bound-vs-incumbent slack: the noise-floor epsilon for
+        // the active ratio test, widened by the caller's cutoff margin.
+        let prune_slack = if self.opts.lp.ratio_test == sqpr_lp::RatioTest::Classic {
+            PRUNE_EPS_EXACT
+        } else {
+            PRUNE_EPS_HARRIS
+        } + self.opts.cutoff_margin;
 
         while let Some(OrdNode(node)) = self.heap.pop() {
             // Global pruning: with best-first search, once the best open
             // node cannot beat the incumbent, the incumbent is optimal.
             if let Some((inc, _)) = &self.incumbent {
-                if node.est >= inc - 1e-9 {
+                if node.est >= inc - prune_slack {
                     proven_infeasible_tree = false;
                     best_open_bound = *inc;
                     // All other open nodes are at least as bad.
@@ -737,7 +772,7 @@ impl<'a> Bnb<'a> {
                 node.est
             };
             if let Some((inc, _)) = &self.incumbent {
-                if node_bound >= inc - 1e-9 {
+                if node_bound >= inc - prune_slack {
                     continue;
                 }
             }
