@@ -30,6 +30,30 @@ use sqpr_workload::{generate, WorkloadSpec};
 const QUERIES: usize = 50;
 const SCALE: f64 = 0.07;
 
+/// Warm-path hyper-sparse hit-rate floor: the warm path's solves are
+/// dominated by dual re-solves whose unit-seed BTRANs and short-support
+/// FTRANs are exactly what the sparse kernels exist for. Measured ~0.95;
+/// asserted well below to absorb workload drift without hiding a
+/// dispatch regression.
+const MIN_WARM_SPARSE_HIT_RATE: f64 = 0.60;
+
+/// Allowed warm LP-iteration regression vs. the committed baseline.
+const WARM_ITER_REGRESSION: f64 = 1.05;
+
+/// Reads `warm_lp_iterations` out of the committed baseline JSON, if one
+/// is reachable (repo root when cargo runs benches from the package root;
+/// override with `SQPR_BENCH_BASELINE`, skip when absent).
+fn baseline_warm_iters() -> Option<f64> {
+    let path = std::env::var("SQPR_BENCH_BASELINE")
+        .unwrap_or_else(|_| "../../BENCH_incremental.json".into());
+    let text = std::fs::read_to_string(path).ok()?;
+    let key = "\"warm_lp_iterations\":";
+    let at = text.find(key)? + key.len();
+    let tail = &text[at..];
+    let end = tail.find([',', '}'])?;
+    tail[..end].trim().parse().ok()
+}
+
 struct Run {
     total_solve: Duration,
     admitted: Vec<bool>,
@@ -110,6 +134,25 @@ fn main() {
         );
     }
     println!("speedup: {speedup:.2}x");
+    println!(
+        "{:<28} {:>12} {:>12} {:>10} {:>10} {:>10} {:>10}",
+        "sparsity", "sparse hit", "mean dens", "sparse", "dense", "FT upd", "refactor"
+    );
+    for (label, r) in [
+        ("cold (fresh MILP per query)", &cold),
+        ("warm (incremental)", &warm),
+    ] {
+        println!(
+            "{:<28} {:>11.1}% {:>11.1}% {:>10} {:>10} {:>10} {:>10}",
+            label,
+            100.0 * r.pivots.sparse_hit_rate(),
+            100.0 * r.pivots.mean_solve_density(),
+            r.pivots.sparse_solves,
+            r.pivots.dense_solves,
+            r.pivots.ft_updates,
+            r.pivots.refactorizations,
+        );
+    }
 
     // The identity verdict is *recorded before asserting*, so a divergence
     // leaves a `false` in the artifact for postmortem while still failing
@@ -147,6 +190,56 @@ fn main() {
             (
                 "warm_harris_degenerate_saved",
                 Json::Num(warm.pivots.harris_degenerate_saved as f64),
+            ),
+            (
+                "cold_sparse_solves",
+                Json::Num(cold.pivots.sparse_solves as f64),
+            ),
+            (
+                "cold_dense_solves",
+                Json::Num(cold.pivots.dense_solves as f64),
+            ),
+            (
+                "cold_sparse_hit_rate",
+                Json::Num(cold.pivots.sparse_hit_rate()),
+            ),
+            (
+                "cold_mean_solve_density",
+                Json::Num(cold.pivots.mean_solve_density()),
+            ),
+            ("cold_ft_updates", Json::Num(cold.pivots.ft_updates as f64)),
+            (
+                "cold_pfi_updates",
+                Json::Num(cold.pivots.pfi_updates as f64),
+            ),
+            (
+                "cold_refactorizations",
+                Json::Num(cold.pivots.refactorizations as f64),
+            ),
+            (
+                "warm_sparse_solves",
+                Json::Num(warm.pivots.sparse_solves as f64),
+            ),
+            (
+                "warm_dense_solves",
+                Json::Num(warm.pivots.dense_solves as f64),
+            ),
+            (
+                "warm_sparse_hit_rate",
+                Json::Num(warm.pivots.sparse_hit_rate()),
+            ),
+            (
+                "warm_mean_solve_density",
+                Json::Num(warm.pivots.mean_solve_density()),
+            ),
+            ("warm_ft_updates", Json::Num(warm.pivots.ft_updates as f64)),
+            (
+                "warm_pfi_updates",
+                Json::Num(warm.pivots.pfi_updates as f64),
+            ),
+            (
+                "warm_refactorizations",
+                Json::Num(warm.pivots.refactorizations as f64),
             ),
             ("cold_nodes", Json::Num(cold.nodes as f64)),
             ("warm_nodes", Json::Num(warm.nodes as f64)),
@@ -199,6 +292,33 @@ fn main() {
         warm.lp_iterations,
         cold.lp_iterations
     );
+    // Hyper-sparsity must actually carry the warm path (the dispatch
+    // falling back to dense everywhere would silently lose the tentpole),
+    // and the Forrest–Tomlin default must be doing the updates.
+    assert!(
+        warm.pivots.sparse_hit_rate() >= MIN_WARM_SPARSE_HIT_RATE,
+        "warm sparse-path hit rate too low: {:.1}% < {:.0}%",
+        100.0 * warm.pivots.sparse_hit_rate(),
+        100.0 * MIN_WARM_SPARSE_HIT_RATE
+    );
+    assert!(
+        warm.pivots.ft_updates > warm.pivots.pfi_updates,
+        "Forrest–Tomlin updates ({}) must dominate PFI fallbacks ({})",
+        warm.pivots.ft_updates,
+        warm.pivots.pfi_updates
+    );
+    // Warm LP iterations vs. the committed baseline: a >5% regression
+    // fails the smoke (refresh the committed BENCH_incremental.json when
+    // the regression is intentional).
+    if let Some(baseline) = baseline_warm_iters() {
+        assert!(
+            (warm.lp_iterations as f64) <= WARM_ITER_REGRESSION * baseline,
+            "warm LP iterations regressed >5% vs committed baseline: {} vs {baseline}",
+            warm.lp_iterations
+        );
+    } else {
+        println!("(no committed baseline found; warm-iteration regression check skipped)");
+    }
     // The wall-clock assertion is skippable for noisy shared runners
     // (SQPR_BENCH_LENIENT=1): timing jitter there must not fail CI, while
     // the deterministic assertions above always hold.

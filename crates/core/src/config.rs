@@ -1,7 +1,7 @@
 //! Planner configuration: objective weights, solve budgets, ablation knobs.
 
 use sqpr_dsps::Catalog;
-use sqpr_lp::{PricingRule, RatioTest};
+use sqpr_lp::{BasisUpdate, PricingRule, RatioTest};
 
 /// Controls whether hosts may relay streams they neither source nor produce
 /// (paper §II-C introduces the relay operator `µ`).
@@ -175,6 +175,11 @@ pub struct PlannerConfig {
     /// ([`sqpr_lp::PricingRule`]): full-pivot-row devex by default,
     /// `Dantzig` as the ablation.
     pub lp_pricing: PricingRule,
+    /// Basis update representation for every LP the planner solves
+    /// ([`sqpr_lp::BasisUpdate`]): Forrest–Tomlin updates of `U` (sparse
+    /// factors, fill-growth-keyed refactorisation) by default,
+    /// `ProductForm` etas as the ablation.
+    pub lp_basis_update: BasisUpdate,
 }
 
 impl PlannerConfig {
@@ -194,6 +199,7 @@ impl PlannerConfig {
             skeleton_gc_threshold: 0.5,
             lp_ratio_test: RatioTest::LongStep,
             lp_pricing: PricingRule::Devex,
+            lp_basis_update: BasisUpdate::ForrestTomlin,
         }
     }
 }

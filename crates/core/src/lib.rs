@@ -30,5 +30,5 @@ pub use hierarchical::HierarchicalPlanner;
 pub use model::{DecodedAllocation, ModelInputs, PlanningModel};
 pub use planner::{garbage_collect, PlanningOutcome, SolverStats, SqprPlanner};
 pub use query::{full_space, register_join_query, PlanSpace, QuerySpec};
-pub use sqpr_lp::{PricingRule, RatioTest};
+pub use sqpr_lp::{BasisUpdate, PricingRule, RatioTest};
 pub use sqpr_milp::{CacheStats, PivotCounts};

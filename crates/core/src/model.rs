@@ -107,6 +107,10 @@ pub struct PlanningModel {
     relay_policy: RelayPolicy,
     acyclicity: AcyclicityMode,
     avail_rows: HashMap<(HostId, StreamId), ConsId>,
+    /// `ProducersOnly` relay rows keyed by `(sender, receiver, stream)`:
+    /// later-added producers of `stream` append their `-z` terms here, so
+    /// the ablation extends incrementally like everything else.
+    relay_rows: HashMap<(HostId, HostId, StreamId), ConsId>,
     demand_rows: HashMap<StreamId, ConsId>,
     demand_kind: HashMap<StreamId, DemandKind>,
     link_rows: HashMap<(HostId, HostId), ConsId>,
@@ -209,6 +213,7 @@ impl PlanningModel {
             relay_policy: inp.relay_policy,
             acyclicity: inp.acyclicity,
             avail_rows: HashMap::new(),
+            relay_rows: HashMap::new(),
             demand_rows: HashMap::new(),
             demand_kind: HashMap::new(),
             link_rows,
@@ -235,9 +240,12 @@ impl PlanningModel {
     /// [`sqpr_lp::BasisState`] captured before the extension remains a
     /// valid warm-start hint afterwards.
     ///
-    /// `RelayPolicy::ProducersOnly` is only supported on the first
-    /// extension (the `build` path): its relay rows would need terms for
-    /// producers added later, which incremental growth does not patch.
+    /// `RelayPolicy::ProducersOnly` extends incrementally too: relay rows
+    /// are registered in a keyed registry (`(sender, receiver,
+    /// stream)`), producers added later append their `-z` terms to the
+    /// rows of their output stream, and the right-hand sides (base
+    /// placement plus fixed-producer grants) are refreshed from the state
+    /// on every extension like the availability rows.
     pub fn extend(&mut self, inp: &ModelInputs<'_>) {
         let catalog = inp.catalog;
         let w = self.weights;
@@ -263,12 +271,6 @@ impl PlanningModel {
             .collect();
         added_ops.sort();
         added_ops.dedup();
-        debug_assert!(
-            inp.relay_policy == RelayPolicy::All
-                || self.free_streams.is_empty()
-                || (added_streams.is_empty() && added_ops.is_empty()),
-            "ProducersOnly relaying cannot be extended incrementally"
-        );
 
         let hosts = self.hosts.clone();
         let with_potentials = self.acyclicity == AcyclicityMode::Constraints;
@@ -386,13 +388,26 @@ impl PlanningModel {
             }
         }
         // Added operators producing *pre-existing* free streams join those
-        // streams' availability rows (and any cut rows on that stream).
+        // streams' availability rows (and any cut rows on that stream),
+        // plus — under the `ProducersOnly` ablation — the relay rows of
+        // their output stream, which is exactly what used to force the
+        // planner's cold fresh-build fallback.
         for &o in &added_ops {
             let out = catalog.operator(o).output;
             if added_streams.binary_search(&out).is_err() {
                 for &m in &hosts {
                     if let Some(&row) = self.avail_rows.get(&(m, out)) {
                         self.milp.add_terms(row, [(self.z[&(m, o)], -1.0)]);
+                    }
+                }
+                if self.relay_policy == RelayPolicy::ProducersOnly {
+                    for &h in &hosts {
+                        let zv = self.z[&(h, o)];
+                        for &m in &hosts {
+                            if let Some(&row) = self.relay_rows.get(&(h, m, out)) {
+                                self.milp.add_terms(row, [(zv, -1.0)]);
+                            }
+                        }
                     }
                 }
             }
@@ -445,23 +460,19 @@ impl PlanningModel {
                     }
                     if self.relay_policy == RelayPolicy::ProducersOnly {
                         // Senders must generate the stream locally
-                        // (ablation; first extension only). The rhs is
-                        // static: fixed producers cannot change while this
-                        // policy forbids incremental growth.
+                        // (ablation). Terms cover the *currently* free
+                        // producers; later-added producers join below and
+                        // the rhs (base/fixed-producer grants) is
+                        // refreshed per extension like the availability
+                        // rows, so the ablation grows incrementally.
                         let mut terms = vec![(xv, 1.0)];
                         for &o in catalog.producers_of(s) {
                             if self.free_ops.contains(&o) {
                                 terms.push((self.z[&(h, o)], -1.0));
                             }
                         }
-                        let mut rhs = 0.0;
-                        if catalog.is_base_at(s, h) {
-                            rhs += 1.0;
-                        }
-                        if is_fixed_producer(inp.state, catalog, &self.free_ops, h, s) {
-                            rhs += 1.0;
-                        }
-                        self.milp.add_le(terms, rhs);
+                        let row = self.milp.add_le(terms, f64::INFINITY);
+                        self.relay_rows.insert((h, m, s), row);
                     }
                 }
             }
@@ -517,6 +528,7 @@ impl PlanningModel {
         // ---- refresh state-dependent pieces ----
         self.refresh_pins_and_producers(inp.state, catalog);
         self.refresh_avail_rhs(catalog);
+        self.refresh_relay_rhs(catalog);
         self.refresh_cut_rhs(catalog);
         self.refresh_residuals(inp.state, catalog);
 
@@ -707,6 +719,24 @@ impl PlanningModel {
         }
     }
 
+    /// Refreshes relay-row right-hand sides (`ProducersOnly` ablation):
+    /// the sender may forward without a free producer when the stream is
+    /// based at the sender or a fixed producer is placed there — the same
+    /// grants as the availability rows, re-derived from the current state
+    /// on every extension.
+    fn refresh_relay_rhs(&mut self, catalog: &Catalog) {
+        for (&(h, _, s), &row) in &self.relay_rows {
+            let mut rhs = 0.0;
+            if catalog.is_base_at(s, h) {
+                rhs += 1.0;
+            }
+            if self.fixed_producer.contains(&(h, s)) {
+                rhs += 1.0;
+            }
+            self.milp.set_row_bounds(row, -f64::INFINITY, rhs);
+        }
+    }
+
     /// Refreshes cut-row right-hand sides (base/fixed-producer grants of
     /// dead-set members).
     fn refresh_cut_rhs(&mut self, catalog: &Catalog) {
@@ -853,6 +883,11 @@ impl PlanningModel {
         }
         for (key, &c) in &old.demand_rows {
             if let Some(&nc) = self.demand_rows.get(key) {
+                cons_map[c.index()] = Some(nc.index());
+            }
+        }
+        for (key, &c) in &old.relay_rows {
+            if let Some(&nc) = self.relay_rows.get(key) {
                 cons_map[c.index()] = Some(nc.index());
             }
         }
@@ -1102,20 +1137,6 @@ impl PlanningModel {
             placements,
         }
     }
-}
-
-/// Whether `(h, s)` has a fixed (outside-the-free-space) producer placed.
-fn is_fixed_producer(
-    state: &DeploymentState,
-    catalog: &Catalog,
-    free_ops: &BTreeSet<OperatorId>,
-    h: HostId,
-    s: StreamId,
-) -> bool {
-    state
-        .placements()
-        .iter()
-        .any(|&(ph, o)| ph == h && !free_ops.contains(&o) && catalog.operator(o).output == s)
 }
 
 /// A decoded allocation ready to install into a [`DeploymentState`].

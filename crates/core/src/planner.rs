@@ -109,8 +109,8 @@ struct SolverContext {
 /// planner's lifetime (never reset by context invalidation). These make
 /// silent degradations observable: a `reuse_solver_context = true` planner
 /// whose configuration cannot actually be extended incrementally
-/// (`ProducersOnly` relays, `replan = false`) shows up as
-/// `config_fallback_rounds` instead of quietly building cold models.
+/// (`replan = false`) shows up as `config_fallback_rounds` instead of
+/// quietly building cold models.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SolverStats {
     /// Planning rounds served by the persistent solver context.
@@ -118,7 +118,9 @@ pub struct SolverStats {
     /// Rounds built cold because `reuse_solver_context` is disabled.
     pub cold_rounds: usize,
     /// Rounds where context reuse was requested but the configuration
-    /// forced a cold fresh build (relay ablation / frozen re-planning).
+    /// forced a cold fresh build (frozen re-planning, `replan = false`;
+    /// the `ProducersOnly` relay ablation extends incrementally since its
+    /// relay rows joined the keyed row registries).
     pub config_fallback_rounds: usize,
     /// Skeleton compactions (column GC of dead queries' plan spaces).
     pub compactions: usize,
@@ -336,14 +338,14 @@ impl SqprPlanner {
         outcomes
     }
 
-    /// Whether submissions may reuse the persistent solver context. The
-    /// gated-out configurations either edit the model in ways the skeleton
-    /// cannot patch (`ProducersOnly` relay rows) or freeze variables from a
-    /// state snapshot (`replan = false`).
+    /// Whether submissions may reuse the persistent solver context.
+    /// `replan = false` is the one remaining gated-out configuration: it
+    /// freezes variables from a state snapshot, which the skeleton cannot
+    /// patch. (`ProducersOnly` relays used to be gated too; their relay
+    /// rows now live in a keyed registry that later-added producers join,
+    /// so the ablation extends incrementally like the default policy.)
     fn incremental_eligible(&self) -> bool {
-        self.config.reuse_solver_context
-            && self.config.replan
-            && self.config.relay_policy == RelayPolicy::All
+        self.config.reuse_solver_context && self.config.replan
     }
 
     /// Skeleton column GC: when more than `skeleton_gc_threshold` of the
@@ -617,6 +619,7 @@ impl SqprPlanner {
                 perturb: 1e-7,
                 ratio_test: self.config.lp_ratio_test,
                 pricing: self.config.lp_pricing,
+                basis_update: self.config.lp_basis_update,
                 ..sqpr_lp::SimplexOptions::default()
             };
             let opts = MilpOptions {
@@ -658,7 +661,7 @@ impl SqprPlanner {
                 // In-tree parent-basis reuse is model-local and valid for
                 // every config, so it follows the ablation flag directly
                 // (not `incremental`): configs that merely fall back to
-                // fresh builds (ProducersOnly, replan=false) keep it, while
+                // fresh builds (replan=false) keep it, while
                 // `reuse_solver_context = false` is the full cold-start
                 // path (fresh model, every LP from the slack identity).
                 reuse_bases: self.config.reuse_solver_context,

@@ -19,42 +19,59 @@ fn system(
     (c, bases)
 }
 
-/// `reuse_solver_context = true` with `ProducersOnly` relays cannot extend
-/// the skeleton incrementally (relay rows would need terms for producers
-/// added later); the planner falls back to cold fresh builds. That
-/// fallback must be explicit: counted in [`sqpr_core::SolverStats`] and
-/// visible as `incremental: false` on every outcome.
+/// `ProducersOnly` relays extend incrementally: relay rows live in a keyed
+/// registry, later-added producers join the rows of their output stream,
+/// and the right-hand sides are refreshed per extension — so the planner
+/// serves every round from the persistent solver context
+/// (`config_fallback_rounds == 0`), with decisions identical to a cold
+/// `ProducersOnly` twin.
 #[test]
-fn producers_only_fallback_is_explicit() {
+fn producers_only_uses_the_incremental_path() {
     let (c, b) = system(3, 3, 100.0, 100.0, 1000.0);
     let mut cfg = PlannerConfig::new(&c);
     cfg.budget.max_nodes = 120;
     cfg.relay_policy = RelayPolicy::ProducersOnly;
     assert!(cfg.reuse_solver_context, "reuse is the default");
-    let mut p = SqprPlanner::new(c, cfg);
+    let mut warm = SqprPlanner::new(c.clone(), cfg.clone());
+    cfg.reuse_solver_context = false;
+    let mut cold = SqprPlanner::new(c, cfg);
 
-    let o1 = p.submit(&[b[0], b[1]]);
-    let o2 = p.submit(&[b[1], b[2]]);
-    assert!(!o1.incremental && !o2.incremental);
+    for pair in [[b[0], b[1]], [b[1], b[2]], [b[0], b[2]], [b[2], b[1]]] {
+        let wo = warm.submit(&pair);
+        let co = cold.submit(&pair);
+        assert_eq!(
+            wo.admitted, co.admitted,
+            "incremental ProducersOnly diverged from the cold twin"
+        );
+        assert!(warm.state().is_valid(warm.catalog()));
+    }
 
-    let stats = p.solver_stats();
+    let stats = warm.solver_stats();
     assert_eq!(
-        stats.config_fallback_rounds, 2,
-        "both rounds must be counted as config fallbacks: {stats:?}"
+        stats.config_fallback_rounds, 0,
+        "ProducersOnly must no longer force cold fresh builds: {stats:?}"
     );
-    assert_eq!(stats.incremental_rounds, 0, "{stats:?}");
+    assert!(stats.incremental_rounds >= 1, "{stats:?}");
     assert_eq!(stats.cold_rounds, 0, "{stats:?}");
-    assert!(p.state().is_valid(p.catalog()));
+    // Solved (non-short-circuited) rounds report the incremental path.
+    assert!(
+        warm.outcomes()
+            .iter()
+            .filter(|o| !o.reused_existing)
+            .all(|o| o.incremental),
+        "every solved round must reuse the context"
+    );
 
-    // The default configuration, by contrast, reports incremental rounds.
+    // `replan = false` remains the one gated-out configuration.
     let (c2, b2) = system(3, 3, 100.0, 100.0, 1000.0);
     let mut cfg2 = PlannerConfig::new(&c2);
     cfg2.budget.max_nodes = 120;
+    cfg2.replan = false;
     let mut p2 = SqprPlanner::new(c2, cfg2);
     p2.submit(&[b2[0], b2[1]]);
     let stats2 = p2.solver_stats();
-    assert!(stats2.incremental_rounds >= 1, "{stats2:?}");
-    assert_eq!(stats2.config_fallback_rounds, 0, "{stats2:?}");
+    assert_eq!(stats2.incremental_rounds, 0, "{stats2:?}");
+    assert_eq!(stats2.config_fallback_rounds, 1, "{stats2:?}");
 }
 
 /// Rejected queries leave dead columns in the cached skeleton. With

@@ -51,6 +51,7 @@
 
 use crate::problem::LpStatus;
 use crate::simplex::{RatioTest, Solver, VarStatus};
+use crate::sparse::IndexedVec;
 
 /// Outcome of one dual-simplex run.
 enum DualOutcome {
@@ -78,11 +79,41 @@ impl Solver<'_> {
         if self.max_bound_violation() <= self.opts.tol_feas {
             return None; // already primal feasible: phase-I is skipped anyway
         }
-        let mut d = vec![0.0; self.n + self.m];
+        // All dual-loop scratch is hoisted: the buffers live in the
+        // LpWorkspace and survive across solves, so a B&B tree's hundreds
+        // of dual re-solves allocate nothing here.
+        let mut d = std::mem::take(&mut self.dual_d);
+        d.clear();
+        d.resize(self.n + self.m, 0.0);
         if !self.dual_feasible_reduced_costs(&mut d) {
+            self.dual_d = d;
             return None;
         }
-        match self.dual_loop(&mut d, max_iters) {
+        let mut tau = std::mem::take(&mut self.dual_tau);
+        tau.clear();
+        tau.resize(self.m, 1.0);
+        let mut flip_rhs = std::mem::take(&mut self.dual_flip_rhs);
+        flip_rhs.reset(self.m);
+        let mut cands = std::mem::take(&mut self.dual_cands);
+        cands.clear();
+        let mut viol = std::mem::take(&mut self.dual_viol);
+        let mut in_viol = std::mem::take(&mut self.dual_in_viol);
+        let outcome = self.dual_loop(
+            &mut d,
+            &mut tau,
+            &mut flip_rhs,
+            &mut cands,
+            &mut viol,
+            &mut in_viol,
+            max_iters,
+        );
+        self.dual_d = d;
+        self.dual_tau = tau;
+        self.dual_flip_rhs = flip_rhs;
+        self.dual_cands = cands;
+        self.dual_viol = viol;
+        self.dual_in_viol = in_viol;
+        match outcome {
             DualOutcome::Infeasible => Some(LpStatus::Infeasible),
             DualOutcome::IterationLimit => Some(LpStatus::IterationLimit),
             DualOutcome::PrimalFeasible | DualOutcome::FallBack => None,
@@ -128,7 +159,31 @@ impl Solver<'_> {
 
     /// The dual simplex loop. Maintains dual feasibility (within drift) and
     /// walks the total primal bound violation of basic variables to zero.
-    fn dual_loop(&mut self, d: &mut [f64], max_iters: usize) -> DualOutcome {
+    ///
+    /// `tau` holds the dual devex reference weights (one per basis
+    /// position), `flip_rhs` the aggregated bound-flip right-hand side,
+    /// `cands` the ratio-test candidates `(column, breakpoint, alpha)`,
+    /// and `viol`/`in_viol` the incrementally maintained candidate list of
+    /// bound-violating basis positions — all caller-provided so re-solves
+    /// do not allocate.
+    ///
+    /// The violation list replaces the former all-`m` leaving-row scan:
+    /// basic values only move on the pivot column's FTRAN support and on
+    /// flip batches, so those positions are (re-)enlisted after each pivot
+    /// and everything else stays untouched. Members found feasible at scan
+    /// time are pruned; a refactorisation (which recomputes every basic
+    /// value) forces a full rebuild.
+    #[allow(clippy::too_many_arguments)]
+    fn dual_loop(
+        &mut self,
+        d: &mut [f64],
+        tau: &mut [f64],
+        flip_rhs: &mut IndexedVec,
+        cands: &mut Vec<(usize, f64, f64)>,
+        viol: &mut Vec<usize>,
+        in_viol: &mut Vec<bool>,
+        max_iters: usize,
+    ) -> DualOutcome {
         let n = self.n;
         let m = self.m;
         // Row-major mirror for pivot rows; cached on the Problem, so only
@@ -136,15 +191,10 @@ impl Solver<'_> {
         let mirror = self.p.row_major();
         let harris = self.opts.ratio_test != RatioTest::Classic;
         let long_step = self.opts.ratio_test == RatioTest::LongStep;
-        // Dual devex reference weights, one per basis *position*.
-        let mut tau = vec![1.0f64; m];
-        // Aggregated bound-flip right-hand side (kept zeroed between uses).
-        let mut flip_rhs = vec![0.0f64; m];
-        // Ratio-test candidates: (column, breakpoint ratio, alpha).
-        let mut cands: Vec<(usize, f64, f64)> = Vec::with_capacity(64);
         let mut stall = 0usize;
         let mut last_total = f64::INFINITY;
         let mut retries = 0usize;
+        let mut rebuild_list = true;
         let tol = self.opts.tol_feas;
         let tol_d = self.opts.tol_dual;
         let piv_tol = self.opts.tol_pivot;
@@ -155,25 +205,40 @@ impl Solver<'_> {
             }
 
             // ---- leaving row: worst devex-weighted bound violation ----
+            // Scanned over the candidate list only; ties break on the
+            // smaller position so the pick is independent of list order
+            // (matching the ascending full scan this replaces).
+            if rebuild_list {
+                rebuild_list = false;
+                viol.clear();
+                viol.extend(0..m);
+                in_viol.clear();
+                in_viol.resize(m, true);
+            }
             let mut pick: Option<(usize, f64, f64, bool)> = None; // (pos, score, viol, at_upper)
             let mut total_infeas = 0.0;
-            for pos in 0..m {
+            let mut i = 0usize;
+            while i < viol.len() {
+                let pos = viol[i];
                 let j = self.basis.basic_at(pos);
                 let v = self.x[j];
-                let (viol, at_upper) = if v > self.ub[j] + tol {
+                let (vv, at_upper) = if v > self.ub[j] + tol {
                     (v - self.ub[j], true)
                 } else if v < self.lb[j] - tol {
                     (self.lb[j] - v, false)
                 } else {
+                    in_viol[pos] = false;
+                    viol.swap_remove(i);
                     continue;
                 };
-                total_infeas += viol;
-                let score = viol * viol / tau[pos];
-                if pick.is_none_or(|(_, s, _, _)| score > s) {
-                    pick = Some((pos, score, viol, at_upper));
+                total_infeas += vv;
+                let score = vv * vv / tau[pos];
+                if pick.is_none_or(|(bp, s, _, _)| score > s || (score == s && pos < bp)) {
+                    pick = Some((pos, score, vv, at_upper));
                 }
+                i += 1;
             }
-            let Some((rpos, _, viol, at_upper)) = pick else {
+            let Some((rpos, _, viol_amt, at_upper)) = pick else {
                 return DualOutcome::PrimalFeasible;
             };
             if total_infeas < last_total - 1e-10 {
@@ -190,9 +255,13 @@ impl Solver<'_> {
             self.pivots.dual += 1;
 
             // ---- pivot row: alpha_j = (row rpos of B^-1) . a_j ----
-            self.rho.iter_mut().for_each(|v| *v = 0.0);
-            self.rho[rpos] = 1.0;
-            self.basis.btran(&mut self.rho);
+            // A unit seed: the hyper-sparse BTRAN visits only its reach,
+            // and the scatter below only rho's support.
+            self.rho.clear();
+            self.rho.set(rpos, 1.0);
+            let mut ewma_rho = self.ewma_rho;
+            self.basis.btran_sp(&mut self.rho, &mut ewma_rho);
+            self.ewma_rho = ewma_rho;
             // Columns reached only through dropped (noise-level) rho
             // entries never make it into the touched list; if that
             // happened, an empty ratio test is NOT a trustworthy
@@ -269,7 +338,7 @@ impl Solver<'_> {
                     // *worsening* — flat is fine, and on the planner's
                     // unit-violation rows one flip typically zeroes the
                     // slope exactly) and an entering candidate remains.
-                    let mut slope = viol;
+                    let mut slope = viol_amt;
                     while nflips + 1 < cands.len() {
                         let (j, _, a) = cands[nflips];
                         let range = self.ub[j] - self.lb[j];
@@ -310,9 +379,11 @@ impl Solver<'_> {
                 chosen
             };
             // ---- FTRAN the entering column, cross-check the pivot ----
-            self.w.iter_mut().for_each(|v| *v = 0.0);
-            self.basis.scatter_column(q, &mut self.w);
-            self.basis.ftran(&mut self.w);
+            self.w.clear();
+            self.basis.scatter_column_sp(q, &mut self.w);
+            let mut ewma_w = self.ewma_w;
+            self.basis.ftran_sp(&mut self.w, &mut ewma_w);
+            self.ewma_w = ewma_w;
             let piv = self.w[rpos];
             if piv.abs() <= piv_tol || piv * aq < 0.0 {
                 // The FTRAN image disagrees with the BTRAN row: numerical
@@ -323,8 +394,10 @@ impl Solver<'_> {
                     return DualOutcome::FallBack;
                 }
                 self.refactorize_and_repair();
+                self.pivots_since_refactor = 0;
                 self.refresh_reduced_costs(d);
                 last_total = f64::INFINITY;
+                rebuild_list = true; // every basic value was recomputed
                 continue;
             }
             retries = 0;
@@ -336,6 +409,7 @@ impl Solver<'_> {
             // flipped reduced costs change sign exactly as their new bound
             // requires — dual feasibility is preserved.
             if nflips > 0 {
+                flip_rhs.clear();
                 for &(j, _, _) in &cands[..nflips] {
                     let (to, st) = match self.status[j] {
                         VarStatus::AtLower => (self.ub[j], VarStatus::AtUpper),
@@ -345,23 +419,30 @@ impl Solver<'_> {
                     let delta = to - self.x[j];
                     if j < n {
                         for (r, v) in self.p.matrix().col_iter(j) {
-                            flip_rhs[r] += v * delta;
+                            flip_rhs.add(r, v * delta);
                         }
                     } else {
-                        flip_rhs[j - n] -= delta;
+                        flip_rhs.add(j - n, -delta);
                     }
                     self.x[j] = to;
                     self.status[j] = st;
                     self.pivots.bound_flips += 1;
                 }
-                self.basis.ftran(&mut flip_rhs);
-                for (pos, fv) in flip_rhs.iter_mut().enumerate() {
-                    if *fv != 0.0 {
-                        let bj = self.basis.basic_at(pos);
-                        self.x[bj] -= *fv;
-                        *fv = 0.0;
-                    }
+                let mut ewma_flip = self.ewma_flip;
+                self.basis.ftran_sp(flip_rhs, &mut ewma_flip);
+                self.ewma_flip = ewma_flip;
+                {
+                    let Solver { x, basis, .. } = &mut *self;
+                    flip_rhs.for_each_nonzero(|pos, fv| {
+                        let bj = basis.basic_at(pos);
+                        x[bj] -= fv;
+                        if !in_viol[pos] {
+                            in_viol[pos] = true;
+                            viol.push(pos);
+                        }
+                    });
                 }
+                flip_rhs.clear();
             }
 
             // ---- primal step: land the leaving variable on its bound ----
@@ -374,13 +455,15 @@ impl Solver<'_> {
             let step = (self.x[lj] - bound) / piv;
             if step != 0.0 {
                 self.x[q] += step;
-                for pos in 0..m {
-                    let wv = self.w[pos];
-                    if wv != 0.0 {
-                        let bj = self.basis.basic_at(pos);
-                        self.x[bj] -= step * wv;
+                let Solver { x, basis, w, .. } = &mut *self;
+                w.for_each_nonzero(|pos, wv| {
+                    let bj = basis.basic_at(pos);
+                    x[bj] -= step * wv;
+                    if !in_viol[pos] {
+                        in_viol[pos] = true;
+                        viol.push(pos);
                     }
-                }
+                });
             }
             self.x[lj] = bound;
             self.status[lj] = if at_upper {
@@ -404,14 +487,14 @@ impl Solver<'_> {
             // ---- dual devex update from the FTRAN image ----
             let tau_r = tau[rpos];
             let inv = 1.0 / (piv * piv);
-            for (pos, &wv) in self.w.iter().enumerate() {
-                if pos != rpos && wv != 0.0 {
+            self.w.for_each_nonzero(|pos, wv| {
+                if pos != rpos {
                     let cand = wv * wv * inv * tau_r;
                     if cand > tau[pos] {
                         tau[pos] = cand;
                     }
                 }
-            }
+            });
             tau[rpos] = (tau_r * inv).max(1.0);
 
             // ---- basis update ----
@@ -419,6 +502,11 @@ impl Solver<'_> {
             self.status[q] = VarStatus::Basic;
             self.duals_valid = false;
             self.pivots_since_refactor += 1;
+            // The dual loop keeps the *tight* refactor cadence even under
+            // Forrest–Tomlin (the primal loop relaxes it): its reduced
+            // costs are maintained incrementally and the refactorisation
+            // refresh is what bounds their drift — stretching it trips the
+            // pivot cross-check and regresses warm re-solves to phase-I.
             if self.pivots_since_refactor >= self.opts.refactor_interval
                 || self.basis.should_refactorize()
             {
@@ -426,6 +514,7 @@ impl Solver<'_> {
                 self.pivots_since_refactor = 0;
                 self.refresh_reduced_costs(d);
                 last_total = f64::INFINITY;
+                rebuild_list = true; // every basic value was recomputed
             }
         }
     }

@@ -5,6 +5,8 @@
 //! `B_new^{-1} = E * B_old^{-1}` where `E` differs from the identity only in
 //! column `p`. Applying `E` (FTRAN) or `E^T` (BTRAN) is linear in `nnz(w)`.
 
+use crate::sparse::IndexedVec;
+
 /// One eta transformation, stored sparsely.
 #[derive(Debug, Clone)]
 pub struct Eta {
@@ -60,6 +62,51 @@ impl Eta {
             t -= v * y[i];
         }
         y[self.pos] = t / self.pivot;
+    }
+
+    /// Builds an eta from an [`IndexedVec`] FTRAN image, visiting only its
+    /// tracked pattern.
+    pub fn from_indexed(pos: usize, w: &IndexedVec, drop_tol: f64) -> Self {
+        let pivot = w[pos];
+        debug_assert!(pivot != 0.0, "eta pivot must be nonzero");
+        let mut offdiag = Vec::new();
+        w.for_each_nonzero(|i, v| {
+            if i != pos && v.abs() > drop_tol {
+                offdiag.push((i, v));
+            }
+        });
+        Eta {
+            pos,
+            pivot,
+            offdiag,
+        }
+    }
+
+    /// Pattern-tracking FTRAN application (see [`Self::apply_ftran`]).
+    #[inline]
+    pub fn apply_ftran_sp(&self, x: &mut IndexedVec) {
+        let t = x[self.pos] / self.pivot;
+        if t == 0.0 {
+            return;
+        }
+        x.set(self.pos, t);
+        for &(i, v) in &self.offdiag {
+            x.set(i, x[i] - v * t);
+        }
+    }
+
+    /// Pattern-tracking BTRAN application (see [`Self::apply_btran`]).
+    #[inline]
+    pub fn apply_btran_sp(&self, y: &mut IndexedVec) {
+        let yp = y[self.pos];
+        let mut t = yp;
+        for &(i, v) in &self.offdiag {
+            t -= v * y[i];
+        }
+        if t == 0.0 && yp == 0.0 {
+            return; // structurally untouched: keep the pattern tight
+        }
+        y.set(self.pos, t / self.pivot);
     }
 
     pub fn nnz(&self) -> usize {

@@ -95,15 +95,17 @@
 pub mod basis;
 pub mod dual;
 pub mod eta;
+pub mod ft;
 pub mod lu;
 pub mod oracle;
 pub mod problem;
 pub mod simplex;
 pub mod sparse;
 
+pub use basis::{BasisUpdate, SolveStats};
 pub use problem::{LpSolution, LpStatus, Problem, ProblemBuilder, INF};
 pub use simplex::{
-    solve, solve_from, solve_with_bounds, solve_with_bounds_from, BasisState, PivotCounts,
-    PricingRule, RatioTest, SimplexOptions, VarBasisStatus,
+    solve, solve_from, solve_with_bounds, solve_with_bounds_from, solve_with_bounds_from_ws,
+    BasisState, LpWorkspace, PivotCounts, PricingRule, RatioTest, SimplexOptions, VarBasisStatus,
 };
-pub use sparse::{CscMatrix, Triplet};
+pub use sparse::{CscMatrix, IndexedVec, Triplet};

@@ -10,7 +10,7 @@
 //! Row indices inside `L` columns are kept in *original* row space; `pinv`
 //! maps an original row to its pivot position (the row of `L`/`U` it became).
 
-use crate::sparse::ColumnStore;
+use crate::sparse::{ColumnStore, IndexedVec};
 
 /// Result of factorising one basis column: either it received pivot `row`,
 /// or it was linearly dependent on earlier columns (singular).
@@ -35,6 +35,11 @@ pub struct LuFactors {
     pinv: Vec<usize>,
     /// `rowof[pivot_position] = original_row` (inverse of `pinv`).
     rowof: Vec<usize>,
+    /// Transpose of `L` in *pivot-position* space: column `i` lists
+    /// `(k, v)` for every `L` column `k` holding row `rowof[i]`. Built on
+    /// demand by [`Self::ensure_transpose`]; the hyper-sparse `L^T` solve
+    /// needs it for reachability.
+    lt: ColumnStore,
 }
 
 /// Workspace reused across factorisations and triangular solves to avoid
@@ -74,6 +79,60 @@ impl LuWorkspace {
     fn visit(&mut self, r: usize) {
         self.mark[r] = self.epoch;
     }
+
+    /// Generic sparse reachability: DFS from `seeds` over the graph given
+    /// by `nbr(node, child_index) -> Option<neighbor>`, filling `self.topo`
+    /// in post-order. Iterating `topo` in *reverse* yields a topological
+    /// order (every edge source before its target), which is exactly the
+    /// processing order the hyper-sparse triangular solves need: updaters
+    /// run before the entries they update.
+    ///
+    /// The marks are epoch-based, so the whole call is O(visited edges) —
+    /// this is the Gilbert–Peierls symbolic step, shared by factorisation
+    /// and the hyper-sparse FTRAN/BTRAN kernels.
+    pub(crate) fn reach<F>(&mut self, dim: usize, seeds: &[usize], mut nbr: F) -> &[usize]
+    where
+        F: FnMut(usize, usize) -> Option<usize>,
+    {
+        self.prepare(dim);
+        self.topo.clear();
+        for &s in seeds {
+            if self.visited(s) {
+                continue;
+            }
+            self.visit(s);
+            self.stack.push((s, 0));
+            while let Some((node, mut child)) = self.stack.pop() {
+                let mut descended = false;
+                while let Some(next) = nbr(node, child) {
+                    child += 1;
+                    if !self.visited(next) {
+                        self.visit(next);
+                        self.stack.push((node, child));
+                        self.stack.push((next, 0));
+                        descended = true;
+                        break;
+                    }
+                }
+                if !descended {
+                    self.topo.push(node);
+                }
+            }
+        }
+        &self.topo
+    }
+
+    /// Length of the reach set computed by the last [`Self::reach`] call.
+    #[inline]
+    pub(crate) fn topo_len(&self) -> usize {
+        self.topo.len()
+    }
+
+    /// Entry `i` of the last reach set.
+    #[inline]
+    pub(crate) fn topo_at(&self, i: usize) -> usize {
+        self.topo[i]
+    }
 }
 
 impl LuFactors {
@@ -94,6 +153,7 @@ impl LuFactors {
             u_diag: Vec::with_capacity(m),
             pinv: vec![usize::MAX; m],
             rowof: vec![usize::MAX; m],
+            lt: ColumnStore::new(),
         };
         let mut outcomes = Vec::with_capacity(m);
         let mut col_entries: Vec<(usize, f64)> = Vec::new();
@@ -235,6 +295,137 @@ impl LuFactors {
     /// Maps pivot position -> original row.
     pub fn rowof(&self) -> &[usize] {
         &self.rowof
+    }
+
+    /// Builds the pivot-position-space transpose of `L` (see the `lt`
+    /// field) unless it is already present. Called lazily on the first
+    /// hyper-sparse `L^T` solve — many warm node LPs terminate without one
+    /// and skip the build entirely.
+    pub fn ensure_transpose(&mut self) {
+        if self.lt.ncols() == self.m && self.lt.nnz() == self.l.nnz() {
+            return;
+        }
+        self.build_transpose();
+    }
+
+    /// Unconditional transpose build (see [`Self::ensure_transpose`]).
+    fn build_transpose(&mut self) {
+        let mut counts = vec![0usize; self.m + 1];
+        for k in 0..self.m {
+            for (r, _) in self.l.col_iter(k) {
+                counts[self.pinv[r] + 1] += 1;
+            }
+        }
+        for i in 0..self.m {
+            counts[i + 1] += counts[i];
+        }
+        let mut cursor = counts[..self.m].to_vec();
+        let nnz = counts[self.m];
+        let mut idx = vec![0usize; nnz];
+        let mut val = vec![0f64; nnz];
+        for k in 0..self.m {
+            for (r, v) in self.l.col_iter(k) {
+                let slot = cursor[self.pinv[r]];
+                idx[slot] = k;
+                val[slot] = v;
+                cursor[self.pinv[r]] += 1;
+            }
+        }
+        self.lt = ColumnStore::from_parts(counts, idx, val);
+    }
+
+    /// Moves the `U` factor out (for the dynamic Forrest–Tomlin engine),
+    /// leaving this struct as an L-only solver. [`Self::ftran`] /
+    /// [`Self::btran`] must not be called afterwards.
+    pub fn take_u(&mut self) -> (ColumnStore, Vec<f64>) {
+        (
+            std::mem::replace(&mut self.u, ColumnStore::new()),
+            std::mem::take(&mut self.u_diag),
+        )
+    }
+
+    /// Entry count of the `L` factor alone (excluding the unit diagonal).
+    pub fn l_nnz(&self) -> usize {
+        self.l.nnz()
+    }
+
+    /// Dense forward solve `L g = P b` in place: `b` is original-row
+    /// indexed on entry and exit (the permutation to pivot-position space
+    /// is the caller's job — `g[k]` lives at `b[rowof[k]]`).
+    pub fn l_solve_dense(&self, b: &mut [f64]) {
+        for k in 0..self.m {
+            let t = b[self.rowof[k]];
+            if t != 0.0 {
+                for (r, v) in self.l.col_iter(k) {
+                    b[r] -= v * t;
+                }
+            }
+        }
+    }
+
+    /// Hyper-sparse forward solve `L g = P b`: visits only the rows
+    /// reachable from `b`'s pattern through `L` (Gilbert–Peierls DFS).
+    /// `b` stays original-row indexed; its pattern is replaced by the
+    /// reach set.
+    pub fn l_solve_sparse(&self, b: &mut IndexedVec, ws: &mut LuWorkspace) {
+        debug_assert!(b.is_sparse());
+        ws.reach(self.m, b.indices(), |r, child| {
+            let piv = self.pinv[r];
+            if piv == usize::MAX {
+                None
+            } else {
+                self.l.col(piv).0.get(child).copied()
+            }
+        });
+        b.adopt_pattern(&ws.topo);
+        for i in (0..ws.topo.len()).rev() {
+            let r = ws.topo[i];
+            let piv = self.pinv[r];
+            if piv == usize::MAX {
+                continue;
+            }
+            let xr = b[r];
+            if xr == 0.0 {
+                continue;
+            }
+            let (rows, vals) = self.l.col(piv);
+            for (lr, lv) in rows.iter().zip(vals) {
+                b.set_tracked(*lr, b[*lr] - lv * xr);
+            }
+        }
+    }
+
+    /// Dense backward solve `L^T q = w`, mapping pivot-position space to
+    /// original-row space: `c` is position-indexed on entry, `out` must be
+    /// zeroed and receives the row-indexed result.
+    pub fn lt_solve_dense(&self, c: &[f64], out: &mut [f64]) {
+        for k in (0..self.m).rev() {
+            let mut t = c[k];
+            for (r, v) in self.l.col_iter(k) {
+                t -= v * out[r];
+            }
+            out[self.rowof[k]] = t;
+        }
+    }
+
+    /// Hyper-sparse backward solve `L^T q = w`: `c` is position-indexed,
+    /// `out` (zeroed, row-indexed) receives the result over the reach set
+    /// only. Requires [`Self::ensure_transpose`] to have run.
+    pub fn lt_solve_sparse(&self, c: &IndexedVec, out: &mut IndexedVec, ws: &mut LuWorkspace) {
+        debug_assert!(c.is_sparse());
+        debug_assert_eq!(self.lt.ncols(), self.m, "build_transpose not run");
+        ws.reach(self.m, c.indices(), |i, child| {
+            self.lt.col(i).0.get(child).copied()
+        });
+        for i in (0..ws.topo.len()).rev() {
+            let k = ws.topo[i];
+            let mut t = c[k];
+            let (rows, vals) = self.l.col(k);
+            for (r, v) in rows.iter().zip(vals) {
+                t -= v * out[*r];
+            }
+            out.set(self.rowof[k], t);
+        }
     }
 
     /// Solves `B' z = b` in place, where `b` is original-row indexed on

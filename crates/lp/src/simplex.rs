@@ -25,8 +25,9 @@
 //! the `n + m` columns per iteration. Bland's rule (full scan) engages
 //! after a stall is detected, preserving the anti-cycling guarantee.
 
-use crate::basis::Basis;
+use crate::basis::{Basis, BasisUpdate, FactorState};
 use crate::problem::{LpSolution, LpStatus, Problem};
+use crate::sparse::IndexedVec;
 
 /// Simplex iteration counts broken down by phase, plus the ratio-test
 /// side-counters that explain *why* the iteration counts are what they are.
@@ -48,14 +49,22 @@ use crate::problem::{LpSolution, LpStatus, Problem};
 /// two-pass test found a strictly positive one within the feasibility
 /// tolerance. Neither side-counter contributes to [`Self::total`].
 ///
+/// The sparsity block mirrors [`crate::basis::SolveStats`]: how many
+/// FTRAN/BTRAN solves ran the hyper-sparse kernels vs. the dense
+/// fallbacks ([`Self::sparse_hit_rate`]), how dense the solve results were
+/// ([`Self::mean_solve_density`]), and how the basis absorbed updates
+/// (Forrest–Tomlin vs. product-form etas vs. full refactorisations).
+///
 /// ```
 /// use sqpr_lp::PivotCounts;
 ///
 /// let mut total = PivotCounts::default();
-/// let node = PivotCounts { dual: 7, bound_flips: 12, ..PivotCounts::default() };
+/// let node = PivotCounts { dual: 7, bound_flips: 12, sparse_solves: 30,
+///                          dense_solves: 10, ..PivotCounts::default() };
 /// total.add(&node);
 /// assert_eq!(total.total(), 7); // side-counters don't count as iterations
 /// assert_eq!(total.bound_flips, 12);
+/// assert!((total.sparse_hit_rate() - 0.75).abs() < 1e-12);
 /// ```
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PivotCounts {
@@ -67,12 +76,47 @@ pub struct PivotCounts {
     pub bound_flips: usize,
     /// Degenerate pivots avoided by the Harris two-pass ratio test.
     pub harris_degenerate_saved: usize,
+    /// FTRAN/BTRAN solves served by the hyper-sparse kernels.
+    pub sparse_solves: usize,
+    /// FTRAN/BTRAN solves that fell back to the dense kernels.
+    pub dense_solves: usize,
+    /// Sum of solve-result nonzeros (density numerator).
+    pub solve_nnz: usize,
+    /// Sum of basis dimensions over solves (density denominator).
+    pub solve_dim: usize,
+    /// Forrest–Tomlin basis updates applied.
+    pub ft_updates: usize,
+    /// Product-form etas appended (ablation mode or FT-rejection fallback).
+    pub pfi_updates: usize,
+    /// Basis refactorisations performed.
+    pub refactorizations: usize,
 }
 
 impl PivotCounts {
     /// Total simplex iterations (side-counters excluded).
     pub fn total(&self) -> usize {
         self.phase1 + self.primal + self.dual
+    }
+
+    /// Fraction of FTRAN/BTRAN solves that ran hyper-sparse (0 when no
+    /// solves were recorded).
+    pub fn sparse_hit_rate(&self) -> f64 {
+        let total = self.sparse_solves + self.dense_solves;
+        if total == 0 {
+            0.0
+        } else {
+            self.sparse_solves as f64 / total as f64
+        }
+    }
+
+    /// Mean density of solve results: nonzeros over basis dimension,
+    /// averaged across every recorded solve (0 when none).
+    pub fn mean_solve_density(&self) -> f64 {
+        if self.solve_dim == 0 {
+            0.0
+        } else {
+            self.solve_nnz as f64 / self.solve_dim as f64
+        }
     }
 
     /// Accumulates another counter set into this one.
@@ -82,6 +126,13 @@ impl PivotCounts {
         self.dual += other.dual;
         self.bound_flips += other.bound_flips;
         self.harris_degenerate_saved += other.harris_degenerate_saved;
+        self.sparse_solves += other.sparse_solves;
+        self.dense_solves += other.dense_solves;
+        self.solve_nnz += other.solve_nnz;
+        self.solve_dim += other.solve_dim;
+        self.ft_updates += other.ft_updates;
+        self.pfi_updates += other.pfi_updates;
+        self.refactorizations += other.refactorizations;
     }
 }
 
@@ -225,6 +276,16 @@ pub struct SimplexOptions {
     pub ratio_test: RatioTest,
     /// Primal pricing rule (see [`PricingRule`]).
     pub pricing: PricingRule,
+    /// Basis update representation (see [`BasisUpdate`]). Under
+    /// Forrest–Tomlin the primal loop's `refactor_interval` pivot cap is
+    /// relaxed 2x — the fill-growth policy ([`Self::ft_fill_limit`]) is
+    /// the primary refactorisation trigger, the cap only bounds numerical
+    /// drift. (The dual loop keeps the tight cap: its incrementally
+    /// maintained reduced costs rely on the refactorisation refresh.)
+    pub basis_update: BasisUpdate,
+    /// Fill-growth ratio (current factor entries over freshly-factorised
+    /// entries) at which Forrest–Tomlin mode refactorises.
+    pub ft_fill_limit: f64,
 }
 
 impl Default for SimplexOptions {
@@ -240,7 +301,64 @@ impl Default for SimplexOptions {
             pricing_window: 0,
             ratio_test: RatioTest::LongStep,
             pricing: PricingRule::Devex,
+            basis_update: BasisUpdate::ForrestTomlin,
+            ft_fill_limit: 3.0,
         }
+    }
+}
+
+/// Reusable scratch buffers shared across solves.
+///
+/// A branch & bound tree solves hundreds of closely-related LPs; without a
+/// workspace every solver construction re-allocates a dozen
+/// `O(n + m)` vectors (and the dual loop two more per entry). Passing the
+/// same `LpWorkspace` to the `_ws` entry points
+/// ([`solve_with_bounds_from_ws`]) reuses those allocations; the plain
+/// entry points create a throwaway workspace internally.
+#[derive(Debug, Default)]
+pub struct LpWorkspace {
+    lb: Vec<f64>,
+    ub: Vec<f64>,
+    status: Vec<VarStatus>,
+    x: Vec<f64>,
+    work_obj: Vec<f64>,
+    y: IndexedVec,
+    w: IndexedVec,
+    rho: IndexedVec,
+    rhs: Vec<f64>,
+    banned: Vec<bool>,
+    devex: Vec<f64>,
+    alpha: Vec<f64>,
+    alpha_touched: Vec<usize>,
+    candidates: Vec<usize>,
+    /// Dual-loop buffers (hoisted from per-entry allocations).
+    dual_d: Vec<f64>,
+    dual_tau: Vec<f64>,
+    dual_flip_rhs: IndexedVec,
+    dual_cands: Vec<(usize, f64, f64)>,
+    dual_viol: Vec<usize>,
+    dual_in_viol: Vec<bool>,
+    /// Detached basis factorisation of the previous solve (see
+    /// [`FactorState`]) plus the caller's current matrix generation.
+    factor_cache: Option<FactorState>,
+    factor_token: u64,
+}
+
+impl LpWorkspace {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declares a new matrix generation for basis-factorisation reuse:
+    /// solves issued after this call may re-install the previous solve's
+    /// factors when their basic sets coincide (the branch & bound
+    /// child-node pattern). The caller asserts the constraint matrix stays
+    /// unchanged until the next `begin_factor_generation` call; passing a
+    /// fresh unique value per matrix (a tree-level counter) is what makes
+    /// stale reuse impossible. Generation 0 disables reuse.
+    pub fn begin_factor_generation(&mut self, token: u64) {
+        self.factor_token = token;
+        self.factor_cache = None;
     }
 }
 
@@ -268,7 +386,7 @@ pub fn solve_with_bounds(
     col_ub: &[f64],
     opts: &SimplexOptions,
 ) -> LpSolution {
-    Solver::new(problem, col_lb, col_ub, None, opts).run()
+    solve_with_bounds_from(problem, col_lb, col_ub, None, opts)
 }
 
 /// Warm-started solve: like [`solve`], but starts from `basis_hint`
@@ -293,7 +411,23 @@ pub fn solve_with_bounds_from(
     basis_hint: Option<&BasisState>,
     opts: &SimplexOptions,
 ) -> LpSolution {
-    Solver::new(problem, col_lb, col_ub, basis_hint, opts).run()
+    let mut ws = LpWorkspace::new();
+    solve_with_bounds_from_ws(problem, col_lb, col_ub, basis_hint, opts, &mut ws)
+}
+
+/// [`solve_with_bounds_from`] with caller-provided scratch buffers: the
+/// hot entry point for solvers (branch & bound, diving heuristics) that
+/// issue many related solves and want to amortise the per-solve
+/// allocations away.
+pub fn solve_with_bounds_from_ws(
+    problem: &Problem,
+    col_lb: &[f64],
+    col_ub: &[f64],
+    basis_hint: Option<&BasisState>,
+    opts: &SimplexOptions,
+    ws: &mut LpWorkspace,
+) -> LpSolution {
+    Solver::new(problem, col_lb, col_ub, basis_hint, opts, ws).run(ws)
 }
 
 pub(crate) struct Solver<'a> {
@@ -312,10 +446,12 @@ pub(crate) struct Solver<'a> {
     /// Current value of every variable.
     pub(crate) x: Vec<f64>,
     pub(crate) basis: Basis<'a>,
-    /// Workspaces.
-    pub(crate) cb: Vec<f64>,
-    pub(crate) y: Vec<f64>,
-    pub(crate) w: Vec<f64>,
+    /// Duals of the active basis/phase (row-indexed after BTRAN); built
+    /// sparsely from the basic cost pattern.
+    pub(crate) y: IndexedVec,
+    /// FTRAN image of the entering column (basis-position indexed, pattern
+    /// tracked — the hyper-sparse hot path).
+    pub(crate) w: IndexedVec,
     pub(crate) rhs: Vec<f64>,
     /// Columns excluded from pricing this round (failed pivots).
     pub(crate) banned: Vec<bool>,
@@ -342,13 +478,31 @@ pub(crate) struct Solver<'a> {
     /// Pivots applied since the last refactorisation (shared between the
     /// primal and dual loops so the refactor cadence is global).
     pub(crate) pivots_since_refactor: usize,
+    /// Effective pivot cap between refactorisations (mode-dependent; see
+    /// [`SimplexOptions::basis_update`]).
+    pub(crate) refactor_every: usize,
     /// Pivot-row workspaces shared by the full primal devex update and the
-    /// dual loop: BTRAN image of the leaving row (`rho`, row-indexed), its
-    /// scatter over all `n + m` columns (`alpha`), and the columns the
-    /// scatter touched.
-    pub(crate) rho: Vec<f64>,
+    /// dual loop: BTRAN image of the leaving row (`rho`, row-indexed,
+    /// pattern tracked), its scatter over all `n + m` columns (`alpha`),
+    /// and the columns the scatter touched.
+    pub(crate) rho: IndexedVec,
     pub(crate) alpha: Vec<f64>,
     pub(crate) alpha_touched: Vec<usize>,
+    /// Per-channel result-density estimates driving the sparse/dense
+    /// kernel dispatch (entering-column FTRANs, pivot-row BTRANs, dual
+    /// BTRANs and flip-batch FTRANs have very different profiles).
+    pub(crate) ewma_w: f64,
+    pub(crate) ewma_rho: f64,
+    pub(crate) ewma_duals: f64,
+    pub(crate) ewma_flip: f64,
+    /// Dual-loop scratch hoisted from per-entry allocations (see
+    /// [`LpWorkspace`]).
+    pub(crate) dual_d: Vec<f64>,
+    pub(crate) dual_tau: Vec<f64>,
+    pub(crate) dual_flip_rhs: IndexedVec,
+    pub(crate) dual_cands: Vec<(usize, f64, f64)>,
+    pub(crate) dual_viol: Vec<usize>,
+    pub(crate) dual_in_viol: Vec<bool>,
 }
 
 /// Outcome of one pricing step.
@@ -379,14 +533,17 @@ impl<'a> Solver<'a> {
         col_ub: &[f64],
         hint: Option<&BasisState>,
         opts: &'a SimplexOptions,
+        ws: &mut LpWorkspace,
     ) -> Self {
         let n = p.ncols();
         let m = p.nrows();
         assert_eq!(col_lb.len(), n);
         assert_eq!(col_ub.len(), n);
         let (row_lb, row_ub) = p.row_bounds();
-        let mut lb = Vec::with_capacity(n + m);
-        let mut ub = Vec::with_capacity(n + m);
+        let mut lb = std::mem::take(&mut ws.lb);
+        let mut ub = std::mem::take(&mut ws.ub);
+        lb.clear();
+        ub.clear();
         lb.extend_from_slice(col_lb);
         ub.extend_from_slice(col_ub);
         lb.extend_from_slice(row_lb);
@@ -395,8 +552,10 @@ impl<'a> Solver<'a> {
         // Nonbasic structural variables start at the finite bound closest to
         // zero; free variables park at zero. Slacks form the initial basis —
         // unless a basis hint overrides both below.
-        let mut status = Vec::with_capacity(n + m);
-        let mut x = Vec::with_capacity(n + m);
+        let mut status = std::mem::take(&mut ws.status);
+        let mut x = std::mem::take(&mut ws.x);
+        status.clear();
+        x.clear();
         for j in 0..n {
             let (s, v) = initial_nonbasic(lb[j], ub[j]);
             status.push(s);
@@ -410,11 +569,29 @@ impl<'a> Solver<'a> {
             Some(h) => adapt_hint(h, n, m, &lb, &ub, &mut status, &mut x),
             None => (n..n + m).collect(),
         };
-        let basis = Basis::new(p.matrix(), basic);
+        let cached = if ws.factor_token != 0
+            && ws
+                .factor_cache
+                .as_ref()
+                .is_some_and(|c| c.token == ws.factor_token)
+        {
+            ws.factor_cache.take()
+        } else {
+            None
+        };
+        let (basis, _factor_hit) = Basis::build(
+            p.matrix(),
+            basic,
+            opts.basis_update,
+            opts.ft_fill_limit,
+            cached,
+        );
         // Deterministic multiplicative cost perturbation: breaks the massive
         // dual degeneracy of big-M models without changing the optimal basis
         // meaningfully; removed before termination.
-        let mut work_obj = p.objective().to_vec();
+        let mut work_obj = std::mem::take(&mut ws.work_obj);
+        work_obj.clear();
+        work_obj.extend_from_slice(p.objective());
         let mut perturbed = false;
         if opts.perturb > 0.0 {
             let mut seed = 0x9E3779B97F4A7C15u64;
@@ -428,6 +605,35 @@ impl<'a> Solver<'a> {
                 perturbed = true;
             }
         }
+        let mut y = std::mem::take(&mut ws.y);
+        y.reset(m);
+        let mut w = std::mem::take(&mut ws.w);
+        w.reset(m);
+        let mut rho = std::mem::take(&mut ws.rho);
+        rho.reset(m);
+        let mut rhs = std::mem::take(&mut ws.rhs);
+        rhs.clear();
+        rhs.resize(m, 0.0);
+        let mut banned = std::mem::take(&mut ws.banned);
+        banned.clear();
+        banned.resize(n + m, false);
+        let mut devex = std::mem::take(&mut ws.devex);
+        devex.clear();
+        devex.resize(n + m, 1.0);
+        let mut alpha = std::mem::take(&mut ws.alpha);
+        alpha.clear();
+        alpha.resize(n + m, 0.0);
+        let mut alpha_touched = std::mem::take(&mut ws.alpha_touched);
+        alpha_touched.clear();
+        let mut candidates = std::mem::take(&mut ws.candidates);
+        candidates.clear();
+        // The pivot cap between refactorisations: Forrest–Tomlin keys on
+        // fill growth, so the cap is relaxed to a drift bound.
+        let refactor_every = match opts.basis_update {
+            BasisUpdate::ProductForm => opts.refactor_interval,
+            BasisUpdate::ForrestTomlin => opts.refactor_interval.saturating_mul(2),
+        };
+        let carried_updates = basis.updates_since_refactor();
         let mut s = Solver {
             p,
             opts,
@@ -440,23 +646,33 @@ impl<'a> Solver<'a> {
             status,
             x,
             basis,
-            cb: vec![0.0; m],
-            y: vec![0.0; m],
-            w: vec![0.0; m],
-            rhs: vec![0.0; m],
-            banned: vec![false; n + m],
+            y,
+            w,
+            rhs,
+            banned,
             iterations: 0,
             pivots: PivotCounts::default(),
             window: effective_window(opts.pricing_window, n + m),
             price_cursor: 0,
-            candidates: Vec::new(),
+            candidates,
             duals_valid: false,
-            devex: vec![1.0; n + m],
+            devex,
             hinted: hint.is_some(),
-            pivots_since_refactor: 0,
-            rho: vec![0.0; m],
-            alpha: vec![0.0; n + m],
-            alpha_touched: Vec::with_capacity(128),
+            pivots_since_refactor: carried_updates,
+            refactor_every,
+            rho,
+            alpha,
+            alpha_touched,
+            ewma_w: 0.0,
+            ewma_rho: 0.0,
+            ewma_duals: 0.0,
+            ewma_flip: 0.0,
+            dual_d: std::mem::take(&mut ws.dual_d),
+            dual_tau: std::mem::take(&mut ws.dual_tau),
+            dual_flip_rhs: std::mem::take(&mut ws.dual_flip_rhs),
+            dual_cands: std::mem::take(&mut ws.dual_cands),
+            dual_viol: std::mem::take(&mut ws.dual_viol),
+            dual_in_viol: std::mem::take(&mut ws.dual_in_viol),
         };
         // A hinted basis may have been repaired during factorisation
         // (slack substitution for singular/dropped columns); reconcile the
@@ -584,18 +800,23 @@ impl<'a> Solver<'a> {
     #[inline]
     pub(crate) fn reduced_cost(&self, j: usize, phase1: bool) -> f64 {
         let cy = if j < self.n {
-            self.p.matrix().dot_col(j, &self.y)
+            self.p.matrix().dot_col(j, self.y.as_slice())
         } else {
             -self.y[j - self.n]
         };
         self.phase_cost(j, phase1) - cy
     }
 
-    /// Computes duals for the active phase into `self.y`.
+    /// Computes duals for the active phase into `self.y`. The basic-cost
+    /// vector is assembled with its pattern tracked — phase-I costs near
+    /// feasibility and warm phase-II costs over slack-heavy bases are
+    /// sparse, which lets the BTRAN take the hyper-sparse kernels.
     pub(crate) fn compute_duals(&mut self, phase1: bool) {
+        let mut y = std::mem::take(&mut self.y);
+        y.clear();
         for pos in 0..self.m {
             let j = self.basis.basic_at(pos);
-            self.cb[pos] = if phase1 {
+            let c = if phase1 {
                 let v = self.x[j];
                 if v < self.lb[j] - self.opts.tol_feas {
                     -1.0
@@ -607,9 +828,12 @@ impl<'a> Solver<'a> {
             } else {
                 self.phase_cost(j, false)
             };
+            if c != 0.0 {
+                y.set(pos, c);
+            }
         }
-        self.y.copy_from_slice(&self.cb);
-        self.basis.btran(&mut self.y);
+        self.basis.btran_sp(&mut y, &mut self.ewma_duals);
+        self.y = y;
     }
 
     /// Prices one nonbasic column: `Some((dir, score))` when attractive.
@@ -798,13 +1022,31 @@ impl<'a> Solver<'a> {
 
     /// Textbook single-pass test: smallest ratio wins, ties by largest
     /// pivot magnitude (or smallest variable index under Bland's rule).
+    /// Only positions in the entering column's FTRAN support can block
+    /// (zero pivots never pass [`Self::ratio_limit`]), so a sparse `w`
+    /// scans its pattern instead of all `m` rows.
     fn ratio_test_classic(&self, j: usize, dir: f64, phase1: bool, bland: bool) -> Ratio {
+        if self.w.is_sparse() {
+            self.ratio_test_classic_at(self.w.indices().iter().copied(), j, dir, phase1, bland)
+        } else {
+            self.ratio_test_classic_at(0..self.m, j, dir, phase1, bland)
+        }
+    }
+
+    fn ratio_test_classic_at(
+        &self,
+        positions: impl Iterator<Item = usize>,
+        j: usize,
+        dir: f64,
+        phase1: bool,
+        bland: bool,
+    ) -> Ratio {
         // Entering variable's own travel range (bound flip distance).
         let own_range = self.ub[j] - self.lb[j];
         let mut t_best = own_range; // may be +inf
         let mut blocking: Option<(usize, bool)> = None; // (pos, leaves_at_upper)
 
-        for pos in 0..self.m {
+        for pos in positions {
             let Some((limit, at_upper)) = self.ratio_limit(pos, dir, phase1) else {
                 continue;
             };
@@ -861,6 +1103,27 @@ impl<'a> Solver<'a> {
     /// assignment models) stop forcing zero-step pivots on whatever tiny
     /// pivot happens to sort first.
     fn ratio_test_harris(&mut self, j: usize, dir: f64, phase1: bool) -> Ratio {
+        // Both passes scan only the entering column's FTRAN support when
+        // it is tracked (see `ratio_test_classic`).
+        let (ratio, saved) = if self.w.is_sparse() {
+            let it = self.w.indices().iter().copied();
+            self.ratio_test_harris_at(it, j, dir, phase1)
+        } else {
+            self.ratio_test_harris_at(0..self.m, j, dir, phase1)
+        };
+        if saved {
+            self.pivots.harris_degenerate_saved += 1;
+        }
+        ratio
+    }
+
+    fn ratio_test_harris_at(
+        &self,
+        positions: impl Iterator<Item = usize> + Clone,
+        j: usize,
+        dir: f64,
+        phase1: bool,
+    ) -> (Ratio, bool) {
         let own_range = self.ub[j] - self.lb[j]; // may be +inf
                                                  // The relaxation is a small *fraction* of the feasibility
                                                  // tolerance: the admitted per-variable violation gets multiplied
@@ -874,7 +1137,7 @@ impl<'a> Solver<'a> {
 
         // Pass 1: relaxed maximum step.
         let mut t_rel = f64::INFINITY;
-        for pos in 0..self.m {
+        for pos in positions.clone() {
             if let Some((limit, _)) = self.ratio_limit(pos, dir, phase1) {
                 let relaxed = limit + tol / (dir * self.w[pos]).abs();
                 t_rel = t_rel.min(relaxed);
@@ -884,16 +1147,16 @@ impl<'a> Solver<'a> {
             // The entering variable's opposite bound is the cheapest
             // blocker: a bound flip, no basis change.
             return if own_range.is_finite() {
-                Ratio::BoundFlip { t: own_range }
+                (Ratio::BoundFlip { t: own_range }, false)
             } else {
-                Ratio::Unbounded
+                (Ratio::Unbounded, false)
             };
         }
 
         // Pass 2: largest pivot among blockers within the relaxed step.
         let mut best: Option<(usize, f64, bool)> = None; // (pos, strict, at_upper)
         let mut t_min_strict = f64::INFINITY;
-        for pos in 0..self.m {
+        for pos in positions {
             if let Some((limit, at_upper)) = self.ratio_limit(pos, dir, phase1) {
                 t_min_strict = t_min_strict.min(limit);
                 if limit <= t_rel
@@ -905,19 +1168,17 @@ impl<'a> Solver<'a> {
         }
         let Some((pos, strict, to_upper)) = best else {
             // t_rel < own_range implies at least one finite limit exists.
-            return Ratio::Stuck;
+            return (Ratio::Stuck, false);
         };
         if self.w[pos].abs() <= self.opts.tol_pivot * 10.0 && strict > 0.0 {
-            return Ratio::Stuck;
+            return (Ratio::Stuck, false);
         }
         let t = strict.max(0.0);
-        if t > 1e-12 && t_min_strict <= 1e-12 {
-            self.pivots.harris_degenerate_saved += 1;
-        }
-        Ratio::Pivot { t, pos, to_upper }
+        let saved = t > 1e-12 && t_min_strict <= 1e-12;
+        (Ratio::Pivot { t, pos, to_upper }, saved)
     }
 
-    fn run(mut self) -> LpSolution {
+    fn run(mut self, ws: &mut LpWorkspace) -> LpSolution {
         let max_iters = if self.opts.max_iters == 0 {
             40 * (self.n + self.m) + 2000
         } else {
@@ -932,7 +1193,7 @@ impl<'a> Solver<'a> {
         // composite phase-I below takes over unchanged.
         if self.hinted {
             if let Some(early) = self.try_dual_entry(max_iters) {
-                return self.finish(early);
+                return self.finish(early, ws);
             }
         }
 
@@ -1004,10 +1265,16 @@ impl<'a> Solver<'a> {
                 Pricing::Enter { j, dir } => (j, dir),
             };
 
-            // FTRAN the entering column.
-            self.w.iter_mut().for_each(|v| *v = 0.0);
-            self.basis.scatter_column(j, &mut self.w);
-            self.basis.ftran(&mut self.w);
+            // FTRAN the entering column (hyper-sparse: the column's few
+            // entries seed the solve, only their reach is visited). The
+            // pattern is sorted so the ratio tests' tie-breaking scans it
+            // in the same ascending order a dense sweep would use.
+            self.w.clear();
+            self.basis.scatter_column_sp(j, &mut self.w);
+            let mut ewma_w = self.ewma_w;
+            self.basis.ftran_sp(&mut self.w, &mut ewma_w);
+            self.ewma_w = ewma_w;
+            self.w.sort_pattern();
 
             match self.ratio_test(j, dir, phase1, bland) {
                 Ratio::Unbounded => {
@@ -1053,7 +1320,7 @@ impl<'a> Solver<'a> {
                     self.duals_valid = false;
                     self.pivots_since_refactor += 1;
 
-                    if self.pivots_since_refactor >= self.opts.refactor_interval
+                    if self.pivots_since_refactor >= self.refactor_every
                         || self.basis.should_refactorize()
                     {
                         self.refactorize_and_repair();
@@ -1063,7 +1330,7 @@ impl<'a> Solver<'a> {
             }
         };
 
-        self.finish(status)
+        self.finish(status, ws)
     }
 
     /// Devex reference-weight update for a primal pivot (entering `j` at
@@ -1095,10 +1362,13 @@ impl<'a> Solver<'a> {
         let leaving = self.basis.basic_at(pos);
         let wq = self.devex[j];
         let inv = 1.0 / (alpha_q * alpha_q);
-        // rho = row `pos` of B^-1 (before the pivot is applied).
-        self.rho.iter_mut().for_each(|v| *v = 0.0);
-        self.rho[pos] = 1.0;
-        self.basis.btran(&mut self.rho);
+        // rho = row `pos` of B^-1 (before the pivot is applied) — a unit
+        // seed, the hyper-sparse BTRAN's best case.
+        self.rho.clear();
+        self.rho.set(pos, 1.0);
+        let mut ewma_rho = self.ewma_rho;
+        self.basis.btran_sp(&mut self.rho, &mut ewma_rho);
+        self.ewma_rho = ewma_rho;
         let mirror = self.p.row_major();
         mirror.scatter_pivot_row(
             &self.rho,
@@ -1127,17 +1397,16 @@ impl<'a> Solver<'a> {
         }
     }
 
-    /// Moves the entering variable by `t` along `dir`, updating basics.
+    /// Moves the entering variable by `t` along `dir`, updating basics
+    /// (only `w`'s support moves).
     fn apply_step(&mut self, j: usize, dir: f64, t: f64) {
         if t > 0.0 {
             self.x[j] += dir * t;
-            for pos in 0..self.m {
-                let wv = self.w[pos];
-                if wv != 0.0 {
-                    let bj = self.basis.basic_at(pos);
-                    self.x[bj] -= dir * t * wv;
-                }
-            }
+            let Solver { w, x, basis, .. } = self;
+            w.for_each_nonzero(|pos, wv| {
+                let bj = basis.basic_at(pos);
+                x[bj] -= dir * t * wv;
+            });
         }
     }
 
@@ -1151,23 +1420,57 @@ impl<'a> Solver<'a> {
         self.duals_valid = false;
     }
 
-    pub(crate) fn finish(mut self, status: LpStatus) -> LpSolution {
+    pub(crate) fn finish(mut self, status: LpStatus, ws: &mut LpWorkspace) -> LpSolution {
         // Final duals under the true objective.
         self.compute_duals(false);
         let x: Vec<f64> = self.x[..self.n].to_vec();
         let row_activity: Vec<f64> = (0..self.m).map(|i| self.x[self.n + i]).collect();
         let objective = self.p.objective_value(&x);
         let basis = self.capture_basis();
-        LpSolution {
+        // Fold the basis's solve-path counters into the pivot report.
+        let bstats = self.basis.stats();
+        self.pivots.sparse_solves += bstats.sparse_solves;
+        self.pivots.dense_solves += bstats.dense_solves;
+        self.pivots.solve_nnz += bstats.solve_nnz;
+        self.pivots.solve_dim += bstats.solve_dim;
+        self.pivots.ft_updates += bstats.ft_updates;
+        self.pivots.pfi_updates += bstats.pfi_updates;
+        self.pivots.refactorizations += self.basis.refactor_count();
+        let solution = LpSolution {
             status,
             objective,
             x,
-            duals: self.y.clone(),
+            duals: self.y.as_slice().to_vec(),
             row_activity,
             iterations: self.iterations,
             pivots: self.pivots,
             basis: Some(basis),
+        };
+        // Hand the scratch buffers back for the next solve.
+        ws.lb = self.lb;
+        ws.ub = self.ub;
+        ws.status = self.status;
+        ws.x = self.x;
+        ws.work_obj = self.work_obj;
+        ws.y = self.y;
+        ws.w = self.w;
+        ws.rho = self.rho;
+        ws.rhs = self.rhs;
+        ws.banned = self.banned;
+        ws.devex = self.devex;
+        ws.alpha = self.alpha;
+        ws.alpha_touched = self.alpha_touched;
+        ws.candidates = self.candidates;
+        ws.dual_d = self.dual_d;
+        ws.dual_tau = self.dual_tau;
+        ws.dual_flip_rhs = self.dual_flip_rhs;
+        ws.dual_cands = self.dual_cands;
+        ws.dual_viol = self.dual_viol;
+        ws.dual_in_viol = self.dual_in_viol;
+        if ws.factor_token != 0 {
+            ws.factor_cache = Some(self.basis.into_state(ws.factor_token));
         }
+        solution
     }
 }
 

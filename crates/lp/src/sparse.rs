@@ -224,6 +224,223 @@ impl CscMatrix {
     }
 }
 
+/// A dense-backed vector with an explicit nonzero index list — the working
+/// currency of the hyper-sparse solve path.
+///
+/// The value array is always dense (random-access reads cost O(1), exactly
+/// like a `Vec<f64>`), but as long as the vector is in *sparse mode* the
+/// `nz` list names every index that may hold a nonzero, so clearing,
+/// iterating and scattering cost O(nnz) instead of O(len). Membership of
+/// `nz` is tracked with epoch marks, making [`Self::clear`] O(nnz) and
+/// duplicate-free insertion O(1).
+///
+/// Sparse mode is advisory: [`Self::make_dense`] drops the index list (for
+/// inputs whose support is unknown or too dense to be worth tracking) and
+/// every consumer falls back to full scans. `nz` may name indices whose
+/// value cancelled to exactly zero — consumers must treat it as a pattern
+/// *superset*, never as a nonzero certificate.
+#[derive(Debug, Clone, Default)]
+pub struct IndexedVec {
+    vals: Vec<f64>,
+    nz: Vec<usize>,
+    mark: Vec<u64>,
+    epoch: u64,
+    sparse: bool,
+}
+
+impl IndexedVec {
+    /// An all-zero sparse-mode vector of length `n`.
+    pub fn zeros(n: usize) -> Self {
+        IndexedVec {
+            vals: vec![0.0; n],
+            nz: Vec::new(),
+            mark: vec![0; n],
+            epoch: 1,
+            sparse: true,
+        }
+    }
+
+    /// Resizes to length `n` (zero-filling) and clears to sparse mode.
+    pub fn reset(&mut self, n: usize) {
+        if self.vals.len() < n {
+            self.vals.resize(n, 0.0);
+            self.mark.resize(n, 0);
+        }
+        self.clear();
+        if self.vals.len() > n {
+            // Shrink logically: anything beyond n is already zero after
+            // `clear`, and consumers only index `0..n`.
+            self.vals.truncate(n);
+            self.mark.truncate(n);
+        }
+        self.sparse = true;
+    }
+
+    pub fn len(&self) -> usize {
+        self.vals.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.vals.is_empty()
+    }
+
+    /// Whether the nonzero list is valid (sparse mode).
+    #[inline]
+    pub fn is_sparse(&self) -> bool {
+        self.sparse
+    }
+
+    /// Number of tracked indices (meaningful only in sparse mode; an upper
+    /// bound on the true nonzero count).
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.nz.len()
+    }
+
+    /// The tracked index list (pattern superset; sparse mode only).
+    #[inline]
+    pub fn indices(&self) -> &[usize] {
+        &self.nz
+    }
+
+    /// Dense read-only view — valid in both modes.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.vals
+    }
+
+    /// Dense mutable view. Writing through this in sparse mode silently
+    /// invalidates the pattern — call [`Self::make_dense`] first unless
+    /// every touched index is already tracked.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.vals
+    }
+
+    #[inline]
+    pub fn get(&self, i: usize) -> f64 {
+        self.vals[i]
+    }
+
+    /// Zeroes the vector: O(nnz) in sparse mode, O(len) in dense mode.
+    /// Always restores sparse mode.
+    pub fn clear(&mut self) {
+        if self.sparse {
+            for &i in &self.nz {
+                self.vals[i] = 0.0;
+            }
+            self.nz.clear();
+        } else {
+            self.vals.iter_mut().for_each(|v| *v = 0.0);
+            self.nz.clear();
+        }
+        self.epoch += 1;
+        self.sparse = true;
+    }
+
+    /// Adds `v` to entry `i`, registering `i` in the pattern.
+    #[inline]
+    pub fn add(&mut self, i: usize, v: f64) {
+        if self.sparse && self.mark[i] != self.epoch {
+            self.mark[i] = self.epoch;
+            self.nz.push(i);
+        }
+        self.vals[i] += v;
+    }
+
+    /// Sets entry `i` to `v`, registering `i` in the pattern.
+    #[inline]
+    pub fn set(&mut self, i: usize, v: f64) {
+        if self.sparse && self.mark[i] != self.epoch {
+            self.mark[i] = self.epoch;
+            self.nz.push(i);
+        }
+        self.vals[i] = v;
+    }
+
+    /// Registers `i` in the pattern without touching the value.
+    #[inline]
+    pub fn touch(&mut self, i: usize) {
+        if self.sparse && self.mark[i] != self.epoch {
+            self.mark[i] = self.epoch;
+            self.nz.push(i);
+        }
+    }
+
+    /// Overwrites the value of an index already known to be tracked (or in
+    /// dense mode). Cheaper than [`Self::set`] inside kernels that walk the
+    /// pattern they already own.
+    #[inline]
+    pub fn set_tracked(&mut self, i: usize, v: f64) {
+        debug_assert!(!self.sparse || self.mark[i] == self.epoch);
+        self.vals[i] = v;
+    }
+
+    /// Sorts the tracked pattern ascending. Consumers whose tie-breaking
+    /// depends on scan order (the primal ratio tests) call this so a
+    /// pattern left in DFS order by the solve kernels behaves exactly
+    /// like a full ascending scan.
+    pub fn sort_pattern(&mut self) {
+        self.nz.sort_unstable();
+    }
+
+    /// Drops the index list: the vector is now treated as fully dense.
+    pub fn make_dense(&mut self) {
+        self.sparse = false;
+        self.nz.clear();
+    }
+
+    /// Replaces the pattern wholesale with `pattern` (the values must
+    /// already be consistent — used by solve kernels whose reachability
+    /// pass computed the result pattern externally).
+    pub fn adopt_pattern(&mut self, pattern: &[usize]) {
+        self.epoch += 1;
+        self.nz.clear();
+        for &i in pattern {
+            if self.mark[i] != self.epoch {
+                self.mark[i] = self.epoch;
+                self.nz.push(i);
+            }
+        }
+        self.sparse = true;
+    }
+
+    /// Calls `f(index, value)` for every (possibly) nonzero entry: the
+    /// tracked pattern in sparse mode, every nonzero in dense mode.
+    #[inline]
+    pub fn for_each_nonzero(&self, mut f: impl FnMut(usize, f64)) {
+        if self.sparse {
+            for &i in &self.nz {
+                let v = self.vals[i];
+                if v != 0.0 {
+                    f(i, v);
+                }
+            }
+        } else {
+            for (i, &v) in self.vals.iter().enumerate() {
+                if v != 0.0 {
+                    f(i, v);
+                }
+            }
+        }
+    }
+
+    /// True nonzero count (scans the pattern / the dense array).
+    pub fn count_nonzeros(&self) -> usize {
+        let mut c = 0;
+        self.for_each_nonzero(|_, _| c += 1);
+        c
+    }
+}
+
+impl std::ops::Index<usize> for IndexedVec {
+    type Output = f64;
+    #[inline]
+    fn index(&self, i: usize) -> &f64 {
+        &self.vals[i]
+    }
+}
+
 /// Row-major mirror of a [`CscMatrix`] (CSR), giving fast row access for
 /// algorithms the column-major layout cannot serve — the dual simplex's
 /// pivot-row computation. Built once per matrix and cached (see
@@ -295,9 +512,13 @@ impl RowMajor {
     /// dual simplex's infeasibility certificate) must fall back when this
     /// is set — a dropped entry means columns may be missing from
     /// `touched`.
+    ///
+    /// `rho` arrives as an [`IndexedVec`] so a hyper-sparse BTRAN image is
+    /// scattered in O(nnz(rho) * row nnz) — only dense-mode images pay the
+    /// full `m`-row scan.
     pub fn scatter_pivot_row(
         &self,
-        rho: &[f64],
+        rho: &IndexedVec,
         n_structurals: usize,
         drop_tol: f64,
         alpha: &mut [f64],
@@ -307,10 +528,10 @@ impl RowMajor {
             alpha[j] = 0.0;
         }
         let mut dropped = false;
-        for (i, &rv) in rho.iter().enumerate() {
+        rho.for_each_nonzero(|i, rv| {
             if rv.abs() <= drop_tol {
-                dropped |= rv != 0.0;
-                continue;
+                dropped = true;
+                return;
             }
             for (jcol, av) in self.row_iter(i) {
                 if alpha[jcol] == 0.0 {
@@ -323,7 +544,7 @@ impl RowMajor {
                 touched.push(n_structurals + i);
             }
             alpha[n_structurals + i] -= rv;
-        }
+        });
         // A column whose partial sums cancel to exactly 0.0 mid-scatter can
         // be pushed twice (the `== 0.0` membership test is fooled); dedup so
         // callers may fold over `touched` without double-counting. Sorting
@@ -351,6 +572,20 @@ impl ColumnStore {
             col_ptr: vec![0],
             row_idx: Vec::new(),
             values: Vec::new(),
+        }
+    }
+
+    /// Assembles a store from raw CSC arrays (`col_ptr.len() == ncols + 1`,
+    /// non-decreasing). Used by transpose builders that compute the layout
+    /// with counting sort.
+    pub fn from_parts(col_ptr: Vec<usize>, row_idx: Vec<usize>, values: Vec<f64>) -> Self {
+        debug_assert!(!col_ptr.is_empty());
+        debug_assert_eq!(*col_ptr.last().unwrap(), row_idx.len());
+        debug_assert_eq!(row_idx.len(), values.len());
+        ColumnStore {
+            col_ptr,
+            row_idx,
+            values,
         }
     }
 
@@ -393,6 +628,21 @@ impl ColumnStore {
             .iter()
             .copied()
             .zip(self.values[lo..hi].iter().copied())
+    }
+
+    /// Direct slice view of column `c` (indices, values) — the random
+    /// access the hyper-sparse DFS needs to resume a half-visited column.
+    #[inline]
+    pub fn col(&self, c: usize) -> (&[usize], &[f64]) {
+        let lo = self.col_ptr[c];
+        let hi = self.col_ptr[c + 1];
+        (&self.row_idx[lo..hi], &self.values[lo..hi])
+    }
+
+    /// Number of entries in column `c`.
+    #[inline]
+    pub fn col_nnz(&self, c: usize) -> usize {
+        self.col_ptr[c + 1] - self.col_ptr[c]
     }
 
     pub fn clear(&mut self) {
@@ -479,7 +729,9 @@ mod tests {
         // [0 3 0]
         let a = CscMatrix::from_triplets(2, 3, &[t(0, 0, 1.0), t(1, 1, 3.0), t(0, 2, 2.0)]);
         let mirror = RowMajor::build(&a);
-        let rho = [2.0, -1.0];
+        let mut rho = IndexedVec::zeros(2);
+        rho.set(0, 2.0);
+        rho.set(1, -1.0);
         let mut alpha = vec![0.0; 3 + 2];
         let mut touched = vec![0usize]; // stale entry from a "previous" call
         alpha[0] = 7.0; // must be re-zeroed via the drained touched list
@@ -500,9 +752,52 @@ mod tests {
         let mirror = RowMajor::build(&a);
         let mut alpha = vec![0.0; 2];
         let mut touched = Vec::new();
-        let dropped = mirror.scatter_pivot_row(&[1e-15], 1, 1e-12, &mut alpha, &mut touched);
+        let mut rho = IndexedVec::zeros(1);
+        rho.set(0, 1e-15);
+        let dropped = mirror.scatter_pivot_row(&rho, 1, 1e-12, &mut alpha, &mut touched);
         assert!(dropped);
         assert!(touched.is_empty());
+    }
+
+    #[test]
+    fn indexed_vec_tracks_pattern() {
+        let mut v = IndexedVec::zeros(5);
+        assert!(v.is_sparse());
+        v.add(3, 1.5);
+        v.add(1, -2.0);
+        v.add(3, 0.5); // duplicate index: pattern entry stays unique
+        assert_eq!(v.nnz(), 2);
+        assert_eq!(v[3], 2.0);
+        assert_eq!(v[1], -2.0);
+        let mut seen = Vec::new();
+        v.for_each_nonzero(|i, x| seen.push((i, x)));
+        seen.sort_by_key(|&(i, _)| i);
+        assert_eq!(seen, vec![(1, -2.0), (3, 2.0)]);
+        v.clear();
+        assert_eq!(v.nnz(), 0);
+        assert!(v.as_slice().iter().all(|&x| x == 0.0));
+        // Dense mode: values stay readable, iteration covers everything.
+        v.set(2, 4.0);
+        v.make_dense();
+        assert!(!v.is_sparse());
+        let mut seen = Vec::new();
+        v.for_each_nonzero(|i, x| seen.push((i, x)));
+        assert_eq!(seen, vec![(2, 4.0)]);
+        v.clear(); // O(len) in dense mode, restores sparse mode
+        assert!(v.is_sparse());
+        assert_eq!(v.count_nonzeros(), 0);
+    }
+
+    #[test]
+    fn indexed_vec_adopt_pattern_dedups() {
+        let mut v = IndexedVec::zeros(4);
+        v.make_dense();
+        v.set(0, 1.0);
+        v.set(2, 2.0);
+        v.adopt_pattern(&[0, 2, 2]);
+        assert!(v.is_sparse());
+        assert_eq!(v.nnz(), 2);
+        assert_eq!(v.count_nonzeros(), 2);
     }
 
     #[test]

@@ -286,3 +286,86 @@ fn dual_path_handles_infeasible_children() {
         );
     }
 }
+
+/// Forrest–Tomlin and product-form basis updates must agree on every warm
+/// bound-change re-solve: same feasibility verdict, same optimal
+/// objective, across chained re-solve sequences (the B&B dive pattern).
+/// The FT path must actually absorb updates (no silent PFI fallback), and
+/// the hyper-sparse kernels must carry a meaningful share of the suite's
+/// solves — warm re-solves are exactly where hyper-sparsity pays.
+#[test]
+fn basis_update_modes_agree_on_warm_resolves() {
+    use sqpr_lp::BasisUpdate;
+    let mut ft_updates = 0usize;
+    let mut sparse = 0usize;
+    let mut dense = 0usize;
+    for seed in 0..120u64 {
+        let mut rng = StdRng::seed_from_u64(0xFEED_F00D ^ (seed << 2));
+        let (p, lb0, ub0) = random_lp(&mut rng);
+        let base = solve(&p, &SimplexOptions::default());
+        if base.status != LpStatus::Optimal {
+            continue;
+        }
+        let mut lb = lb0.clone();
+        let mut ub = ub0.clone();
+        let mut basis_ft = base.basis.clone();
+        let mut basis_pfi = base.basis.clone();
+        for step in 0..4 {
+            mutate_bounds(&mut rng, &mut lb, &mut ub, &ub0);
+            let ft = solve_with_bounds_from(
+                &p,
+                &lb,
+                &ub,
+                basis_ft.as_ref(),
+                &SimplexOptions {
+                    basis_update: BasisUpdate::ForrestTomlin,
+                    ..SimplexOptions::default()
+                },
+            );
+            let pfi = solve_with_bounds_from(
+                &p,
+                &lb,
+                &ub,
+                basis_pfi.as_ref(),
+                &SimplexOptions {
+                    basis_update: BasisUpdate::ProductForm,
+                    ..SimplexOptions::default()
+                },
+            );
+            assert_eq!(
+                ft.status, pfi.status,
+                "seed {seed} step {step}: status diverged (FT {:?} vs PFI {:?})",
+                ft.status, pfi.status
+            );
+            if ft.status == LpStatus::Optimal {
+                assert!(
+                    (ft.objective - pfi.objective).abs() < 1e-6 * (1.0 + pfi.objective.abs()),
+                    "seed {seed} step {step}: FT {} vs PFI {}",
+                    ft.objective,
+                    pfi.objective
+                );
+                assert!(
+                    p.is_feasible(&ft.x, 1e-6),
+                    "seed {seed} step {step}: FT point infeasible"
+                );
+            }
+            assert_eq!(
+                pfi.pivots.ft_updates, 0,
+                "seed {seed} step {step}: PFI mode must not run FT updates"
+            );
+            ft_updates += ft.pivots.ft_updates;
+            sparse += ft.pivots.sparse_solves;
+            dense += ft.pivots.dense_solves;
+            basis_ft = ft.basis.clone();
+            basis_pfi = pfi.basis.clone();
+        }
+    }
+    assert!(
+        ft_updates > 0,
+        "Forrest–Tomlin under-exercised across the suite"
+    );
+    // These random LPs are small (m <= 5), below any useful density
+    // cutoff, so solves are *recorded* — the hit-rate itself is asserted
+    // on the planner-scale bench, not here.
+    assert!(sparse + dense > 0, "no solves recorded");
+}

@@ -213,3 +213,184 @@ fn bound_overrides_respected() {
         }
     }
 }
+
+/// Forrest–Tomlin and product-form basis updates must agree on status and
+/// optimal objective across randomized models — the update representation
+/// may only change the work per pivot, never the answer. Dispatch of the
+/// hyper-sparse kernels is input-density driven, so this also sweeps both
+/// solve paths.
+#[test]
+fn basis_update_modes_agree_on_random_models() {
+    use sqpr_lp::BasisUpdate;
+    for seed in 0..200u64 {
+        let mut rng = StdRng::seed_from_u64(0xF0_7031 ^ (seed << 3));
+        let p = if seed % 2 == 0 {
+            build(&random_lp(&mut rng))
+        } else {
+            random_degenerate_lp(&mut rng)
+        };
+        let reference = solve(
+            &p,
+            &SimplexOptions {
+                basis_update: BasisUpdate::ProductForm,
+                ..SimplexOptions::default()
+            },
+        );
+        let ft = solve(
+            &p,
+            &SimplexOptions {
+                basis_update: BasisUpdate::ForrestTomlin,
+                ..SimplexOptions::default()
+            },
+        );
+        assert_eq!(ft.status, reference.status, "seed {seed}: status diverged");
+        if ft.status == LpStatus::Optimal {
+            assert!(
+                (ft.objective - reference.objective).abs()
+                    < 1e-6 * (1.0 + reference.objective.abs()),
+                "seed {seed}: FT {} vs PFI {}",
+                ft.objective,
+                reference.objective
+            );
+            assert!(p.is_feasible(&ft.x, 1e-6), "seed {seed}: infeasible point");
+        }
+        assert_eq!(ft.pivots.pfi_updates, 0, "seed {seed}: FT fell back");
+    }
+}
+
+/// Kernel-level property: on randomized (repaired) bases undergoing random
+/// replacement sequences, the hyper-sparse FTRAN/BTRAN must agree with the
+/// dense kernels, and Forrest–Tomlin-updated solves must match both the
+/// product-form twin and a fresh refactorisation of the same basic set.
+#[test]
+fn sparse_dense_and_ft_solves_agree_on_random_bases() {
+    use sqpr_lp::basis::{Basis, BasisUpdate};
+    use sqpr_lp::{CscMatrix, IndexedVec, Triplet};
+    for seed in 0..120u64 {
+        let mut rng = StdRng::seed_from_u64(0x05AB_5EED ^ (seed << 1));
+        let m = rng.gen_index(20) + 5;
+        let n = rng.gen_index(2 * m) + m;
+        // Sparse random structural matrix with a nonzero on row j % m per
+        // column so most columns are usable pivots.
+        let mut trips = Vec::new();
+        for j in 0..n {
+            trips.push(Triplet {
+                row: j % m,
+                col: j,
+                value: rng.gen_range_i64(1, 5) as f64,
+            });
+            for _ in 0..rng.gen_index(3) {
+                let r = rng.gen_index(m);
+                let v = rng.gen_range_i64(-3, 4) as f64;
+                if v != 0.0 {
+                    trips.push(Triplet {
+                        row: r,
+                        col: j,
+                        value: v,
+                    });
+                }
+            }
+        }
+        let a = CscMatrix::from_triplets(m, n, &trips);
+        // Random initial basic set: slack or structural per row (repair
+        // fixes any singular picks).
+        let basic: Vec<usize> = (0..m)
+            .map(|i| {
+                if rng.gen_bool() {
+                    n + i
+                } else {
+                    rng.gen_index(n)
+                }
+            })
+            .collect();
+        let mut ft = Basis::new(&a, basic.clone(), BasisUpdate::ForrestTomlin);
+        // The repair may alter the basic set; seed the PFI twin with the
+        // repaired set so both track the same basis throughout.
+        let mut pfi = Basis::new(&a, ft.basic_columns().to_vec(), BasisUpdate::ProductForm);
+
+        for step in 0..10 {
+            // Agreement on a random sparse rhs, both directions, both
+            // modes, sparse vs dense kernels.
+            let mut rhs_pattern = vec![0.0; m];
+            for _ in 0..rng.gen_index(3) + 1 {
+                rhs_pattern[rng.gen_index(m)] = rng.gen_range_i64(-4, 5) as f64;
+            }
+            let mut sp = IndexedVec::zeros(m);
+            for (i, &v) in rhs_pattern.iter().enumerate() {
+                if v != 0.0 {
+                    sp.set(i, v);
+                }
+            }
+            let mut dense = rhs_pattern.clone();
+            ft.ftran_sp(&mut sp, &mut 0.0);
+            ft.ftran(&mut dense);
+            let mut pfi_dense = rhs_pattern.clone();
+            pfi.ftran(&mut pfi_dense);
+            for i in 0..m {
+                assert!(
+                    (sp[i] - dense[i]).abs() < 1e-8,
+                    "seed {seed} step {step}: sparse vs dense FTRAN"
+                );
+                assert!(
+                    (dense[i] - pfi_dense[i]).abs() < 1e-8,
+                    "seed {seed} step {step}: FT vs PFI FTRAN"
+                );
+            }
+            let mut c_sp = IndexedVec::zeros(m);
+            c_sp.set(rng.gen_index(m), 1.0);
+            let mut c_dense = c_sp.as_slice().to_vec();
+            ft.btran_sp(&mut c_sp, &mut 0.0);
+            ft.btran(&mut c_dense);
+            for i in 0..m {
+                assert!(
+                    (c_sp[i] - c_dense[i]).abs() < 1e-8,
+                    "seed {seed} step {step}: sparse vs dense BTRAN"
+                );
+            }
+
+            // Random replacement: pick a nonbasic column whose FTRAN image
+            // admits a usable pivot, apply it to both twins.
+            let mut done = false;
+            for _ in 0..6 {
+                let j = rng.gen_index(n + m);
+                if ft.basic_columns().contains(&j) {
+                    continue;
+                }
+                let mut w = IndexedVec::zeros(m);
+                ft.ftran_column_sp(j, &mut w);
+                let mut best = (usize::MAX, 0.0f64);
+                for p in 0..m {
+                    if w[p].abs() > best.1.abs() {
+                        best = (p, w[p]);
+                    }
+                }
+                if best.0 == usize::MAX || best.1.abs() < 1e-6 {
+                    continue;
+                }
+                let mut w_pfi = IndexedVec::zeros(m);
+                pfi.ftran_column_sp(j, &mut w_pfi);
+                ft.replace(best.0, j, &w);
+                pfi.replace(best.0, j, &w_pfi);
+                done = true;
+                break;
+            }
+            if !done {
+                break;
+            }
+        }
+
+        // FT-updated solves must match a fresh refactorisation.
+        let probe: Vec<f64> = (0..m).map(|i| (i as f64 * 0.37).sin()).collect();
+        let mut via_updates = probe.clone();
+        ft.ftran(&mut via_updates);
+        ft.refactorize();
+        let mut via_fresh = probe.clone();
+        ft.ftran(&mut via_fresh);
+        for i in 0..m {
+            assert!(
+                (via_updates[i] - via_fresh[i]).abs() < 1e-7 * (1.0 + via_fresh[i].abs()),
+                "seed {seed}: FT solve drifted from fresh refactorisation"
+            );
+        }
+    }
+}

@@ -5,8 +5,8 @@
 //! before accepting.
 
 use sqpr_lp::{
-    solve_with_bounds, solve_with_bounds_from, BasisState, LpStatus, PivotCounts, Problem,
-    SimplexOptions,
+    solve_with_bounds, solve_with_bounds_from_ws, BasisState, LpStatus, LpWorkspace, PivotCounts,
+    Problem, SimplexOptions,
 };
 
 /// Maximum number of fixing rounds in a dive (defensive; a dive fixes at
@@ -30,6 +30,7 @@ pub fn dive(
     int_tol: f64,
     lp_iterations: &mut usize,
     lp_pivots: &mut PivotCounts,
+    ws: &mut LpWorkspace,
 ) -> Option<(f64, Vec<f64>)> {
     let mut lb = lb.to_vec();
     let mut ub = ub.to_vec();
@@ -61,7 +62,7 @@ pub fn dive(
         let fixed = v.round().clamp(orig_lb, orig_ub);
         lb[j] = fixed;
         ub[j] = fixed;
-        let sol = solve_with_bounds_from(lp, &lb, &ub, cur_basis.as_ref(), lp_opts);
+        let sol = solve_with_bounds_from_ws(lp, &lb, &ub, cur_basis.as_ref(), lp_opts, ws);
         *lp_iterations += sol.iterations;
         lp_pivots.add(&sol.pivots);
         match sol.status {
@@ -82,7 +83,7 @@ pub fn dive(
                 }
                 lb[j] = alt;
                 ub[j] = alt;
-                let sol = solve_with_bounds_from(lp, &lb, &ub, cur_basis.as_ref(), lp_opts);
+                let sol = solve_with_bounds_from_ws(lp, &lb, &ub, cur_basis.as_ref(), lp_opts, ws);
                 *lp_iterations += sol.iterations;
                 lp_pivots.add(&sol.pivots);
                 if sol.status != LpStatus::Optimal {
@@ -156,6 +157,7 @@ mod tests {
             1e-6,
             &mut iters,
             &mut pivots,
+            &mut LpWorkspace::new(),
         );
         let (obj, x) = got.expect("dive should succeed");
         assert!(x.iter().all(|v| (v - v.round()).abs() < 1e-9));
@@ -205,6 +207,7 @@ mod tests {
             1e-6,
             &mut iters,
             &mut pivots,
+            &mut LpWorkspace::new(),
         );
         let (_, x) = got.expect("dive should recover");
         assert!((x[0] + x[1] - 1.0).abs() < 1e-9);

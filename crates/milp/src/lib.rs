@@ -39,4 +39,4 @@ pub use solver::{
     solve_warm_cached, solve_with_start, BasisEntity, MilpOptions, MilpResult, MilpStatus,
     MilpWarmStart, ModelBasis,
 };
-pub use sqpr_lp::{BasisState, PivotCounts, PricingRule, RatioTest};
+pub use sqpr_lp::{BasisState, BasisUpdate, LpWorkspace, PivotCounts, PricingRule, RatioTest};

@@ -8,11 +8,12 @@
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
 use std::time::{Duration, Instant};
 
 use sqpr_lp::{
-    solve_with_bounds_from, BasisState, LpStatus, PivotCounts, Problem, SimplexOptions,
-    VarBasisStatus,
+    solve_with_bounds_from_ws, BasisState, LpStatus, LpWorkspace, PivotCounts, Problem,
+    SimplexOptions, VarBasisStatus,
 };
 
 use crate::cache::LpCacheSlot;
@@ -441,6 +442,11 @@ pub fn solve_filtered_warm_cached(
     Bnb::new(model, opts, warm, Some(filter), Some(cache)).run()
 }
 
+/// Matrix-generation tokens for basis-factorisation reuse: each branch &
+/// bound instance claims a fresh one, scoping factor reuse to its own
+/// (immutable-for-the-tree) constraint matrix.
+static FACTOR_GENERATION: AtomicU64 = AtomicU64::new(1);
+
 struct Bnb<'a> {
     model: &'a Model,
     opts: &'a MilpOptions,
@@ -465,6 +471,9 @@ struct Bnb<'a> {
     deadline: Option<Instant>,
     /// External basis hint for the root relaxation (already projected).
     root_hint: Option<Rc<BasisState>>,
+    /// Reusable LP scratch buffers shared by every relaxation solved in
+    /// the tree (node re-solves and diving heuristics alike).
+    lp_ws: LpWorkspace,
     /// Basis of the solved root relaxation (exported in the result).
     root_basis_out: Option<ModelBasis>,
 }
@@ -554,6 +563,13 @@ impl<'a> Bnb<'a> {
             deadline: opts.time_limit.map(|d| Instant::now() + d),
             root_hint,
             root_basis_out: None,
+            lp_ws: {
+                let mut ws = LpWorkspace::new();
+                // The compressed LP is borrowed immutably for this tree's
+                // lifetime, so factors may hop between its node solves.
+                ws.begin_factor_generation(FACTOR_GENERATION.fetch_add(1, AtomicOrdering::Relaxed));
+                ws
+            },
         }
     }
 
@@ -741,8 +757,14 @@ impl<'a> Bnb<'a> {
             } else {
                 None
             };
-            let sol =
-                solve_with_bounds_from(self.lp.get(), &lp_lb, &lp_ub, node_hint, &self.opts.lp);
+            let sol = solve_with_bounds_from_ws(
+                self.lp.get(),
+                &lp_lb,
+                &lp_ub,
+                node_hint,
+                &self.opts.lp,
+                &mut self.lp_ws,
+            );
             self.lp_iterations += sol.iterations;
             self.lp_pivots.add(&sol.pivots);
             if node.depth == 0 && self.root_basis_out.is_none() {
@@ -799,6 +821,7 @@ impl<'a> Bnb<'a> {
                     self.opts.int_tol,
                     &mut self.lp_iterations,
                     &mut self.lp_pivots,
+                    &mut self.lp_ws,
                 ) {
                     let dived = self.expand_x(&x_lp, &lb);
                     self.offer_incumbent(obj + self.map.fixed_obj_min, dived);
