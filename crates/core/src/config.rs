@@ -180,6 +180,25 @@ pub struct PlannerConfig {
     /// factors, fill-growth-keyed refactorisation) by default,
     /// `ProductForm` etas as the ablation.
     pub lp_basis_update: BasisUpdate,
+    /// Reuse basis factorisations *across* branch & bound constructions
+    /// served from the compressed-LP cache: cut rounds and consecutive
+    /// submissions whose LP only had its bounds patched re-attach the
+    /// previous construction's root factorisation instead of
+    /// refactorising. Disabling scopes factor reuse to a single tree (the
+    /// pre-lift behaviour, kept as the ablation).
+    pub lp_cross_solve_factors: bool,
+    /// Keep the plan-space columns of *recently rejected* queries unfolded
+    /// in the compressed-LP cache: rejected queries are the re-planning
+    /// targets (admission retries, §IV-B adaptation), and exempting their
+    /// columns from the bound-fold means a near-term re-submission only
+    /// moves bounds the cache can patch — instead of freeing folded
+    /// columns, which forces a full relayout. The value is the recency
+    /// window, in submissions: rejected queries among the last this-many
+    /// planning rounds stay unfolded. Each exempt space costs compression
+    /// (its columns ride along bound-collapsed, and their rows stay in the
+    /// LP), so the window bounds that overhead; `0` disables the
+    /// exemptions entirely (maximal per-round compression, the ablation).
+    pub lp_keep_rejected_free_window: usize,
 }
 
 impl PlannerConfig {
@@ -200,6 +219,8 @@ impl PlannerConfig {
             lp_ratio_test: RatioTest::LongStep,
             lp_pricing: PricingRule::Devex,
             lp_basis_update: BasisUpdate::ForrestTomlin,
+            lp_cross_solve_factors: true,
+            lp_keep_rejected_free_window: 4,
         }
     }
 }

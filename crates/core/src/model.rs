@@ -628,6 +628,35 @@ impl PlanningModel {
         // (zero/objective-only cost) and any causal fixing admits them.
     }
 
+    /// Marks the decision variables of `spaces` fold-exempt (and everything
+    /// else fold-eligible): the compressed-LP cache then keeps those
+    /// columns in the LP even while a submission pins them, so a later
+    /// submission that re-frees them — re-planning a currently-unserved
+    /// query is the planner's case — patches the cached lowering instead
+    /// of paying a relayout. Purely a compression hint
+    /// ([`sqpr_milp::Model::set_fold_exempt`]): decisions and objectives
+    /// are unchanged, the LP just stays a little wider.
+    pub fn set_fold_exemptions<'a>(&mut self, spaces: impl IntoIterator<Item = &'a PlanSpace>) {
+        let mut streams: BTreeSet<StreamId> = BTreeSet::new();
+        let mut ops: BTreeSet<OperatorId> = BTreeSet::new();
+        for sp in spaces {
+            streams.extend(sp.streams.iter().copied());
+            ops.extend(sp.operators.iter().copied());
+        }
+        for (&(_, s), &v) in &self.y {
+            self.milp.set_fold_exempt(v, streams.contains(&s));
+        }
+        for (&(_, _, s), &v) in &self.x {
+            self.milp.set_fold_exempt(v, streams.contains(&s));
+        }
+        for (&(_, o), &v) in &self.z {
+            self.milp.set_fold_exempt(v, ops.contains(&o));
+        }
+        for (&(_, s), &v) in &self.d {
+            self.milp.set_fold_exempt(v, streams.contains(&s));
+        }
+    }
+
     /// Applies one demand-row transition (see [`DemandKind`]).
     fn set_demand_kind(&mut self, s: StreamId, kind: DemandKind) {
         let row = self.demand_rows[&s];

@@ -49,6 +49,13 @@ pub struct PlanningOutcome {
     /// The round reused the persistent solver context (extended skeleton
     /// plus root-basis warm start) instead of building from scratch.
     pub incremental: bool,
+    /// Compressed-LP cache activity of this round (counter deltas):
+    /// `patches` vs `rebuilds` says whether the round's B&B constructions
+    /// were served in place or paid a fresh lowering; `refix_patches`
+    /// counts the cross-submission hits where the bound-fixed set moved
+    /// within the cached layout's fixed class. Zero on cold rounds (no
+    /// cache) and short-circuited submissions.
+    pub lp_cache: CacheStats,
 }
 
 /// Config fingerprint the cached skeleton depends on; a mismatch forces a
@@ -254,6 +261,7 @@ impl SqprPlanner {
                 model_cons: 0,
                 proved_optimal: true,
                 incremental: false,
+                lp_cache: CacheStats::default(),
             };
             self.queries.push(spec);
             self.outcomes.push(outcome.clone());
@@ -327,6 +335,7 @@ impl SqprPlanner {
                 model_cons: 0,
                 proved_optimal: true,
                 incremental: false,
+                lp_cache: CacheStats::default(),
             });
             o.query = spec.id;
             o.admitted = admitted;
@@ -471,6 +480,10 @@ impl SqprPlanner {
         if !incremental || self.ctx.cache.as_ref().is_some_and(|c| c.sig != sig) {
             self.ctx = SolverContext::default();
         }
+        // Snapshot after the potential context reset: the outcome reports
+        // this round's deltas of the (monotone) compressed-LP cache
+        // counters. `LpCacheSlot::invalidate` (compaction) keeps them.
+        let cache_stats_before = self.ctx.lp_cache.stats();
         if incremental {
             self.maybe_compact_skeleton(space, new_streams);
         }
@@ -540,6 +553,23 @@ impl SqprPlanner {
                             .model
                             .apply_reduction(space, &self.state, &self.catalog);
                     }
+                }
+                // Compression hint for the LP cache: keep recently
+                // rejected queries' columns unfolded — they are the
+                // re-planning targets, and re-freeing a *folded* column is
+                // the one bound change the cache cannot patch. The recency
+                // window bounds the compression loss; admitted and
+                // current-round-pending logs resolve via the live
+                // deployment, so the exempt set shrinks as queries land.
+                let window = self.config.lp_keep_rejected_free_window;
+                if window > 0 {
+                    let cache = self.ctx.cache.as_mut().expect("cache just ensured");
+                    let start = cache.query_log.len().saturating_sub(window);
+                    let rejected = cache.query_log[start..]
+                        .iter()
+                        .filter(|(lq, _)| !self.state.admitted().contains_key(lq))
+                        .map(|(_, sp)| sp);
+                    cache.model.set_fold_exemptions(rejected);
                 }
                 &self.ctx.cache.as_ref().expect("cache just ensured").model
             } else {
@@ -665,6 +695,7 @@ impl SqprPlanner {
                 // `reuse_solver_context = false` is the full cold-start
                 // path (fresh model, every LP from the slack identity).
                 reuse_bases: self.config.reuse_solver_context,
+                cross_solve_factors: self.config.lp_cross_solve_factors,
                 lp: lp_opts,
             };
             let new_cuts: std::cell::RefCell<Vec<AvailabilityCut>> =
@@ -760,6 +791,7 @@ impl SqprPlanner {
                 model_cons: model.num_cons(),
                 proved_optimal: result.status == MilpStatus::Optimal,
                 incremental,
+                lp_cache: self.ctx.lp_cache.stats().since(&cache_stats_before),
             };
         }
     }
@@ -824,6 +856,7 @@ impl SqprPlanner {
                 model_cons: 0,
                 proved_optimal: true,
                 incremental: false,
+                lp_cache: CacheStats::default(),
             });
         }
         let outcome = self.plan_streams(q, &[spec2.result], &space);

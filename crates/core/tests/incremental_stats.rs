@@ -2,7 +2,7 @@
 //! fallback must be surfaced (not silent), and the skeleton column GC must
 //! compact dead (rejected) queries' columns while preserving behaviour.
 
-use sqpr_core::{PlannerConfig, RelayPolicy, SqprPlanner};
+use sqpr_core::{CacheStats, PlannerConfig, RelayPolicy, SqprPlanner};
 use sqpr_dsps::{Catalog, CostModel, HostId, HostSpec, StreamId};
 
 fn system(
@@ -72,6 +72,49 @@ fn producers_only_uses_the_incremental_path() {
     let stats2 = p2.solver_stats();
     assert_eq!(stats2.incremental_rounds, 0, "{stats2:?}");
     assert_eq!(stats2.config_fallback_rounds, 1, "{stats2:?}");
+}
+
+/// The compressed-LP cache's activity must be observable per round:
+/// `PlanningOutcome::lp_cache` carries the round's counter deltas, and
+/// they must sum to the slot's lifetime stats. Re-submitting a rejected
+/// query is the canonical cross-submission warm case — the skeleton
+/// already covers its plan space (no structural growth), only the
+/// deployment pins moved — so the re-submission's constructions must be
+/// served by patches, not rebuilds.
+#[test]
+fn cache_stats_surface_per_round_and_resubmissions_patch() {
+    // A system too tight to admit anything: every submission solves (no
+    // provider short-circuit) and is rejected.
+    let (c, b) = system(2, 3, 0.05, 2.0, 20.0);
+    let mut cfg = PlannerConfig::new(&c);
+    cfg.budget.max_nodes = 120;
+    let mut planner = SqprPlanner::new(c, cfg);
+
+    let o1 = planner.submit(&[b[0], b[1]]);
+    assert!(!o1.admitted && !o1.reused_existing);
+    assert!(
+        o1.lp_cache.rebuilds >= 1,
+        "first construction lowers fresh: {:?}",
+        o1.lp_cache
+    );
+
+    // Same bases again: the result stream exists but is unprovided, so the
+    // round solves — over an unchanged skeleton structure.
+    let o2 = planner.submit(&[b[0], b[1]]);
+    assert!(!o2.reused_existing, "rejected queries are not provided");
+    assert!(
+        o2.lp_cache.patches >= 1 && o2.lp_cache.rebuilds == 0,
+        "re-submission must patch the cached LP, not rebuild: {:?}",
+        o2.lp_cache
+    );
+
+    // Per-round deltas sum to the slot's lifetime counters.
+    let mut summed = CacheStats::default();
+    for o in planner.outcomes() {
+        summed.add(&o.lp_cache);
+    }
+    assert_eq!(summed, planner.lp_cache_stats());
+    assert!(planner.lp_cache_stats().patch_rate() > 0.0);
 }
 
 /// Rejected queries leave dead columns in the cached skeleton. With

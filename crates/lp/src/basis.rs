@@ -100,6 +100,15 @@ pub struct SolveStats {
 /// re-installs it when the requested basic set (and the caller's
 /// matrix-generation `token`) matches, skipping the refactorisation that
 /// otherwise dominates short warm re-solves.
+///
+/// The reuse scope is exactly the token's lifetime, which the caller
+/// controls: claiming a fresh token per branch & bound tree scopes reuse
+/// to that tree's node solves, while holding one token across consecutive
+/// trees over a byte-identical matrix
+/// ([`crate::simplex::LpWorkspace::resume_factor_generation`]) lets a
+/// later tree's root re-attach the previous tree's final factorisation —
+/// the cross-submission warm path of a caller whose compressed LP only
+/// had its bounds patched between solves.
 #[derive(Debug)]
 pub struct FactorState {
     /// Caller-assigned matrix generation; a state only re-attaches under
@@ -119,6 +128,13 @@ pub struct FactorState {
     perm_buf: Vec<f64>,
     work: IndexedVec,
     zbuf: IndexedVec,
+}
+
+impl FactorState {
+    /// The matrix generation this state was detached under.
+    pub fn token(&self) -> u64 {
+        self.token
+    }
 }
 
 /// Manages the basis matrix of the revised simplex method.

@@ -90,6 +90,10 @@ pub struct PivotCounts {
     pub pfi_updates: usize,
     /// Basis refactorisations performed.
     pub refactorizations: usize,
+    /// Solves that re-installed a cached [`crate::basis::FactorState`]
+    /// instead of refactorising (the workspace's factor cache hit: the
+    /// requested basic set, update mode and matrix generation all matched).
+    pub factor_reattaches: usize,
 }
 
 impl PivotCounts {
@@ -133,6 +137,7 @@ impl PivotCounts {
         self.ft_updates += other.ft_updates;
         self.pfi_updates += other.pfi_updates;
         self.refactorizations += other.refactorizations;
+        self.factor_reattaches += other.factor_reattaches;
     }
 }
 
@@ -360,6 +365,27 @@ impl LpWorkspace {
         self.factor_token = token;
         self.factor_cache = None;
     }
+
+    /// Like [`Self::begin_factor_generation`], but keeps the cached factors
+    /// when `token` matches the workspace's current generation: the caller
+    /// asserts the constraint matrix is *still the same one* the cached
+    /// factors were built for. This is the cross-solve entry point — a
+    /// caller that owns both the matrix and the workspace (e.g. a
+    /// compressed-LP cache slot whose matrix survived a refresh untouched)
+    /// can let consecutive branch & bound trees re-attach each other's
+    /// root factorisations instead of refactorising. A differing token
+    /// behaves exactly like [`Self::begin_factor_generation`].
+    pub fn resume_factor_generation(&mut self, token: u64) {
+        if self.factor_token != token {
+            self.factor_cache = None;
+        }
+        self.factor_token = token;
+    }
+
+    /// The workspace's current matrix-generation token (0 = reuse disabled).
+    pub fn factor_generation(&self) -> u64 {
+        self.factor_token
+    }
 }
 
 /// Variable status in the current basis.
@@ -579,7 +605,7 @@ impl<'a> Solver<'a> {
         } else {
             None
         };
-        let (basis, _factor_hit) = Basis::build(
+        let (basis, factor_hit) = Basis::build(
             p.matrix(),
             basic,
             opts.basis_update,
@@ -674,6 +700,7 @@ impl<'a> Solver<'a> {
             dual_viol: std::mem::take(&mut ws.dual_viol),
             dual_in_viol: std::mem::take(&mut ws.dual_in_viol),
         };
+        s.pivots.factor_reattaches = factor_hit as usize;
         // A hinted basis may have been repaired during factorisation
         // (slack substitution for singular/dropped columns); reconcile the
         // statuses with what the basis actually holds.

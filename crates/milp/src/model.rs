@@ -55,6 +55,10 @@ pub(crate) struct VarDef {
     pub lb: f64,
     pub ub: f64,
     pub obj: f64,
+    /// Exempt from compression: [`Model::lower_reduced`] keeps this
+    /// variable as an LP column (with collapsed bounds) even while it is
+    /// bound-fixed. See [`Model::set_fold_exempt`].
+    pub no_fold: bool,
 }
 
 #[derive(Debug, Clone)]
@@ -202,7 +206,13 @@ impl Model {
         assert!(!lb.is_nan() && !ub.is_nan(), "NaN bound");
         assert!(lb <= ub, "crossed bounds [{lb}, {ub}]");
         let id = VarId(self.vars.len());
-        self.vars.push(VarDef { ty, lb, ub, obj });
+        self.vars.push(VarDef {
+            ty,
+            lb,
+            ub,
+            obj,
+            no_fold: false,
+        });
         self.structure_version += 1;
         id
     }
@@ -274,6 +284,22 @@ impl Model {
         (d.lb, d.ub)
     }
 
+    /// Marks a variable exempt from (or re-eligible for) compression:
+    /// exempt variables keep their LP column in [`Self::lower_reduced`]
+    /// even while bound-fixed, so a later solve that re-frees them can be
+    /// served by patching the cached lowering's bounds instead of paying a
+    /// relayout. A caller that knows which fixed variables are *likely to
+    /// be re-freed soon* (e.g. a planner's currently-unserved queries)
+    /// trades a slightly wider LP for cross-submission cache hits.
+    ///
+    /// Exemptions are a compression *hint*, not model semantics: they do
+    /// not change the feasible set or the objective, and therefore do not
+    /// bump [`Self::structure_version`] — an existing cached layout keeps
+    /// its own folded class until its next rebuild.
+    pub fn set_fold_exempt(&mut self, v: VarId, exempt: bool) {
+        self.vars[v.0].no_fold = exempt;
+    }
+
     pub fn var_type(&self, v: VarId) -> VarType {
         self.vars[v.0].ty
     }
@@ -314,6 +340,17 @@ impl Model {
             def.terms.push((v, a));
         }
         self.structure_version += 1;
+    }
+
+    /// Test-only contract violation: swaps two constraints in place
+    /// *without* bumping `structure_version`. No public mutation can do
+    /// this — every API that edits existing terms bumps the version — but
+    /// the LP cache's same-length-swap detection needs a way to simulate a
+    /// future API forgetting the bump (see
+    /// [`crate::cache::LpCacheSlot::refresh`]'s debug verification).
+    #[cfg(test)]
+    pub(crate) fn swap_constraints_unversioned_for_test(&mut self, a: usize, b: usize) {
+        self.cons.swap(a, b);
     }
 
     /// Evaluates the objective in the model's own sense.
@@ -362,7 +399,31 @@ impl Model {
     /// bookkeeping an LP cache needs to patch the result in place later:
     /// the fixed-variable contributions of every kept row and the list of
     /// dropped (constant) rows. See [`crate::cache::LpCacheSlot`].
+    ///
+    /// Folds the variables that are bound-fixed *right now* and not
+    /// fold-exempt ([`Self::set_fold_exempt`]) — the widest class the
+    /// exemption hints allow.
     pub(crate) fn lower_reduced(&self) -> LoweredLp {
+        let folded: Vec<bool> = self
+            .vars
+            .iter()
+            .map(|v| v.lb == v.ub && !v.no_fold)
+            .collect();
+        self.lower_reduced_for_class(&folded)
+    }
+
+    /// [`Self::lower_reduced`] with an explicit folded class: only the
+    /// variables with `folded[j] == true` are compressed out (each must be
+    /// bound-fixed); fixed variables *outside* the class keep their LP
+    /// column with collapsed bounds. This is the layout contract of the
+    /// cross-submission LP cache ([`crate::cache::LpCacheSlot`]): the
+    /// cached layout folds the class captured at build time, and a later
+    /// submission that re-fixes a *different* superset of that class
+    /// patches bounds in place — the patched result must be bit-identical
+    /// to lowering fresh under the same class, which is exactly what the
+    /// cache's property tests assert through this entry point.
+    pub(crate) fn lower_reduced_for_class(&self, folded: &[bool]) -> LoweredLp {
+        debug_assert_eq!(folded.len(), self.vars.len());
         let flip = if self.sense == Sense::Maximize {
             -1.0
         } else {
@@ -375,7 +436,8 @@ impl Model {
         let mut fixed_obj_min = 0.0;
         let mut infeasible_fixed_row = false;
         for (j, v) in self.vars.iter().enumerate() {
-            if v.lb == v.ub {
+            if folded[j] {
+                debug_assert!(v.lb == v.ub, "folded class member {j} is not bound-fixed");
                 // A fixed integer variable must sit on an integer value,
                 // else the fixing is infeasible regardless of the rest.
                 if v.ty == VarType::Integer && (v.lb - v.lb.round()).abs() > 1e-9 {

@@ -8,7 +8,6 @@
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 use std::rc::Rc;
-use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
 use std::time::{Duration, Instant};
 
 use sqpr_lp::{
@@ -16,7 +15,7 @@ use sqpr_lp::{
     SimplexOptions, VarBasisStatus,
 };
 
-use crate::cache::LpCacheSlot;
+use crate::cache::{next_factor_token, LpCacheSlot};
 use crate::heuristics;
 use crate::model::{LpMap, Model, Sense};
 use crate::presolve::{presolve_bounds_active, Presolved};
@@ -36,6 +35,27 @@ impl LpStore<'_> {
         match self {
             LpStore::Owned(p) => p,
             LpStore::Cached(p) => p,
+        }
+    }
+}
+
+/// The tree's LP workspace: owned per tree on the cacheless path, borrowed
+/// from the caller's [`LpCacheSlot`] on the cached path — the slot's
+/// workspace (and the detached basis-factor cache inside it) then survives
+/// between the slot's consecutive constructions, which is what lets a root
+/// solve re-attach the previous tree's factorisation when the matrix
+/// generation is unchanged.
+enum WsStore<'a> {
+    Owned(Box<LpWorkspace>),
+    Cached(&'a mut LpWorkspace),
+}
+
+impl WsStore<'_> {
+    #[inline]
+    fn get_mut(&mut self) -> &mut LpWorkspace {
+        match self {
+            WsStore::Owned(ws) => ws,
+            WsStore::Cached(ws) => ws,
         }
     }
 }
@@ -238,6 +258,15 @@ pub struct MilpOptions {
     /// without it; improvements within the margin may be skipped, and the
     /// reported `best_bound` is then only valid to within the margin.
     pub cutoff_margin: f64,
+    /// Reuse basis factorisations *across* branch & bound constructions
+    /// served from the same [`LpCacheSlot`]: the slot holds the matrix
+    /// generation token, so cut rounds and consecutive submissions whose
+    /// compressed LP only had its bounds patched re-attach the previous
+    /// tree's final factorisation at the root instead of refactorising.
+    /// Disabling claims a fresh generation per tree (the per-tree scope of
+    /// the pre-lift behaviour, kept as the ablation); cacheless solves are
+    /// always per-tree regardless.
+    pub cross_solve_factors: bool,
     /// LP subproblem options.
     pub lp: SimplexOptions,
 }
@@ -253,6 +282,7 @@ impl Default for MilpOptions {
             presolve: true,
             reuse_bases: true,
             cutoff_margin: 0.0,
+            cross_solve_factors: true,
             lp: SimplexOptions::default(),
         }
     }
@@ -442,11 +472,6 @@ pub fn solve_filtered_warm_cached(
     Bnb::new(model, opts, warm, Some(filter), Some(cache)).run()
 }
 
-/// Matrix-generation tokens for basis-factorisation reuse: each branch &
-/// bound instance claims a fresh one, scoping factor reuse to its own
-/// (immutable-for-the-tree) constraint matrix.
-static FACTOR_GENERATION: AtomicU64 = AtomicU64::new(1);
-
 struct Bnb<'a> {
     model: &'a Model,
     opts: &'a MilpOptions,
@@ -472,8 +497,10 @@ struct Bnb<'a> {
     /// External basis hint for the root relaxation (already projected).
     root_hint: Option<Rc<BasisState>>,
     /// Reusable LP scratch buffers shared by every relaxation solved in
-    /// the tree (node re-solves and diving heuristics alike).
-    lp_ws: LpWorkspace,
+    /// the tree (node re-solves and diving heuristics alike); borrowed
+    /// from the [`LpCacheSlot`] on the cached path so basis factors can
+    /// survive between consecutive trees.
+    lp_ws: WsStore<'a>,
     /// Basis of the solved root relaxation (exported in the result).
     root_basis_out: Option<ModelBasis>,
 }
@@ -487,20 +514,36 @@ impl<'a> Bnb<'a> {
         cache: Option<&'a mut LpCacheSlot>,
     ) -> Self {
         let start = warm.start;
-        let (lp, lp_integers, map) = match cache {
+        let (lp, lp_integers, map, lp_ws) = match cache {
             Some(slot) => {
-                slot.refresh(model);
-                let slot: &'a LpCacheSlot = slot;
-                let lowered = slot.lowered().expect("refresh just populated the cache");
+                let (lowered, ws, factor_token) = slot.refresh_solver(model);
+                if opts.cross_solve_factors {
+                    // The slot's token outlives this tree while the matrix
+                    // survives refreshes untouched: consecutive trees may
+                    // re-attach each other's factors at the root.
+                    ws.resume_factor_generation(factor_token);
+                } else {
+                    ws.begin_factor_generation(next_factor_token());
+                }
                 (
                     LpStore::Cached(&lowered.lp),
                     lowered.lp_integers.clone(),
                     lowered.map.clone(),
+                    WsStore::Cached(ws),
                 )
             }
             None => {
                 let (lp, ints, map) = model.to_lp_reduced();
-                (LpStore::Owned(Box::new(lp)), ints, map)
+                let mut ws = LpWorkspace::new();
+                // A fresh lowering is this tree's private matrix: factor
+                // reuse is scoped to its own node solves.
+                ws.begin_factor_generation(next_factor_token());
+                (
+                    LpStore::Owned(Box::new(lp)),
+                    ints,
+                    map,
+                    WsStore::Owned(Box::new(ws)),
+                )
             }
         };
         let integers: Vec<usize> = (0..model.num_vars())
@@ -563,13 +606,7 @@ impl<'a> Bnb<'a> {
             deadline: opts.time_limit.map(|d| Instant::now() + d),
             root_hint,
             root_basis_out: None,
-            lp_ws: {
-                let mut ws = LpWorkspace::new();
-                // The compressed LP is borrowed immutably for this tree's
-                // lifetime, so factors may hop between its node solves.
-                ws.begin_factor_generation(FACTOR_GENERATION.fetch_add(1, AtomicOrdering::Relaxed));
-                ws
-            },
+            lp_ws,
         }
     }
 
@@ -763,7 +800,7 @@ impl<'a> Bnb<'a> {
                 &lp_ub,
                 node_hint,
                 &self.opts.lp,
-                &mut self.lp_ws,
+                self.lp_ws.get_mut(),
             );
             self.lp_iterations += sol.iterations;
             self.lp_pivots.add(&sol.pivots);
@@ -821,7 +858,7 @@ impl<'a> Bnb<'a> {
                     self.opts.int_tol,
                     &mut self.lp_iterations,
                     &mut self.lp_pivots,
-                    &mut self.lp_ws,
+                    self.lp_ws.get_mut(),
                 ) {
                     let dived = self.expand_x(&x_lp, &lb);
                     self.offer_incumbent(obj + self.map.fixed_obj_min, dived);
