@@ -199,6 +199,15 @@ pub struct PlannerConfig {
     /// LP), so the window bounds that overhead; `0` disables the
     /// exemptions entirely (maximal per-round compression, the ablation).
     pub lp_keep_rejected_free_window: usize,
+    /// Worker threads for parallel branch & bound node evaluation
+    /// ([`sqpr_milp::MilpOptions::threads`]): `0` resolves to the machine's
+    /// available parallelism, `1` forces the classic sequential loop.
+    /// Admission decisions, objectives, and node/iteration counts are
+    /// bit-identical at every value — speculative node LPs are replayed in
+    /// deterministic node-id order — so this is purely a wall-clock knob.
+    /// The default honours the `SQPR_LP_THREADS` environment variable when
+    /// set (used by CI to run the whole suite across a thread matrix).
+    pub lp_threads: usize,
 }
 
 impl PlannerConfig {
@@ -221,6 +230,10 @@ impl PlannerConfig {
             lp_basis_update: BasisUpdate::ForrestTomlin,
             lp_cross_solve_factors: true,
             lp_keep_rejected_free_window: 4,
+            lp_threads: std::env::var("SQPR_LP_THREADS")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(0),
         }
     }
 }

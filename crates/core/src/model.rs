@@ -38,7 +38,7 @@
 //! exactly "empty shell + one `extend`", so both construction paths
 //! generate identical structures.
 
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 
 use sqpr_milp::{ConsId, Model, Sense, VarId};
 
@@ -87,18 +87,26 @@ enum DemandKind {
 }
 
 /// A built planning model plus the variable maps needed to decode results.
+///
+/// Every map here is a `BTreeMap` on purpose: model construction and
+/// decoding iterate these maps (acausal-cut discovery, warm-start
+/// objective accumulation, link-residual sweeps), and hash-ordered
+/// iteration made row layout and float summation order vary run to run.
+/// Ordered maps pin both, so identical inputs build byte-identical
+/// models — the invariant the parallel branch & bound's determinism
+/// tests assert end to end.
 pub struct PlanningModel {
     pub milp: Model,
-    d: HashMap<(HostId, StreamId), VarId>,
-    x: HashMap<(HostId, HostId, StreamId), VarId>,
-    y: HashMap<(HostId, StreamId), VarId>,
-    z: HashMap<(HostId, OperatorId), VarId>,
-    p: HashMap<(HostId, StreamId), VarId>,
+    d: BTreeMap<(HostId, StreamId), VarId>,
+    x: BTreeMap<(HostId, HostId, StreamId), VarId>,
+    y: BTreeMap<(HostId, StreamId), VarId>,
+    z: BTreeMap<(HostId, OperatorId), VarId>,
+    p: BTreeMap<(HostId, StreamId), VarId>,
     free_streams: BTreeSet<StreamId>,
     free_ops: BTreeSet<OperatorId>,
     t: Option<VarId>,
     fixed_cpu: Vec<f64>,
-    gamma: HashMap<OperatorId, f64>,
+    gamma: BTreeMap<OperatorId, f64>,
     big_m: f64,
     n_hosts: usize,
     // --- incremental bookkeeping ---
@@ -106,14 +114,14 @@ pub struct PlanningModel {
     weights: ObjectiveWeights,
     relay_policy: RelayPolicy,
     acyclicity: AcyclicityMode,
-    avail_rows: HashMap<(HostId, StreamId), ConsId>,
+    avail_rows: BTreeMap<(HostId, StreamId), ConsId>,
     /// `ProducersOnly` relay rows keyed by `(sender, receiver, stream)`:
     /// later-added producers of `stream` append their `-z` terms here, so
     /// the ablation extends incrementally like everything else.
-    relay_rows: HashMap<(HostId, HostId, StreamId), ConsId>,
-    demand_rows: HashMap<StreamId, ConsId>,
-    demand_kind: HashMap<StreamId, DemandKind>,
-    link_rows: HashMap<(HostId, HostId), ConsId>,
+    relay_rows: BTreeMap<(HostId, HostId, StreamId), ConsId>,
+    demand_rows: BTreeMap<StreamId, ConsId>,
+    demand_kind: BTreeMap<StreamId, DemandKind>,
+    link_rows: BTreeMap<(HostId, HostId), ConsId>,
     in_rows: Vec<Option<ConsId>>,
     out_rows: Vec<Option<ConsId>>,
     cpu_rows: Vec<ConsId>,
@@ -144,7 +152,7 @@ impl PlanningModel {
         // Shared capacity rows are created once, empty; extensions append
         // the terms of every column that lands in them. Bounds are
         // refreshed from the residuals on every extension.
-        let mut link_rows = HashMap::new();
+        let mut link_rows = BTreeMap::new();
         for &h in &hosts {
             for &m in &hosts {
                 if h != m && catalog.topology().link(h, m).is_finite() {
@@ -196,26 +204,26 @@ impl PlanningModel {
 
         let mut model = PlanningModel {
             milp,
-            d: HashMap::new(),
-            x: HashMap::new(),
-            y: HashMap::new(),
-            z: HashMap::new(),
-            p: HashMap::new(),
+            d: BTreeMap::new(),
+            x: BTreeMap::new(),
+            y: BTreeMap::new(),
+            z: BTreeMap::new(),
+            p: BTreeMap::new(),
             free_streams: BTreeSet::new(),
             free_ops: BTreeSet::new(),
             t,
             fixed_cpu: vec![0.0; n],
-            gamma: HashMap::new(),
+            gamma: BTreeMap::new(),
             big_m,
             n_hosts: n,
             hosts,
             weights: w,
             relay_policy: inp.relay_policy,
             acyclicity: inp.acyclicity,
-            avail_rows: HashMap::new(),
-            relay_rows: HashMap::new(),
-            demand_rows: HashMap::new(),
-            demand_kind: HashMap::new(),
+            avail_rows: BTreeMap::new(),
+            relay_rows: BTreeMap::new(),
+            demand_rows: BTreeMap::new(),
+            demand_kind: BTreeMap::new(),
             link_rows,
             in_rows,
             out_rows,
@@ -795,7 +803,7 @@ impl PlanningModel {
         let mut mem_fixed = vec![0.0; n];
         let mut out_fixed = vec![0.0; n];
         let mut in_fixed = vec![0.0; n];
-        let mut link_fixed: HashMap<(HostId, HostId), f64> = HashMap::new();
+        let mut link_fixed: BTreeMap<(HostId, HostId), f64> = BTreeMap::new();
         for &(h, o) in state.placements() {
             if !self.free_ops.contains(&o) {
                 cpu_fixed[h.index()] += catalog.operator(o).cpu_cost;
@@ -1077,7 +1085,7 @@ impl PlanningModel {
         let mut cand = prev.clone();
         decoded.install(&mut cand);
         let derived = cand.derive_availability(catalog);
-        let mut dead: HashMap<StreamId, BTreeSet<HostId>> = HashMap::new();
+        let mut dead: BTreeMap<StreamId, BTreeSet<HostId>> = BTreeMap::new();
         for &(h, s) in cand.available() {
             if self.free_streams.contains(&s) && !derived.contains(&(h, s)) {
                 dead.entry(s).or_default().insert(h);

@@ -1,0 +1,106 @@
+//! End-to-end determinism across the `lp_threads` knob: a planner driven
+//! with parallel branch & bound must make the *same* decisions as the
+//! sequential one — not merely admit the same number of queries, but
+//! produce identical admit/reject sequences, search-tree sizes, simplex
+//! work counters, and bit-identical deployment objectives at every thread
+//! count. Parallelism is a wall-clock knob, never a decision knob.
+
+use sqpr_core::{PlannerConfig, SqprPlanner};
+use sqpr_dsps::{Catalog, CostModel, HostId, HostSpec, StreamId};
+
+fn system(
+    n_hosts: usize,
+    n_bases: usize,
+    cpu: f64,
+    bw: f64,
+    link: f64,
+) -> (Catalog, Vec<StreamId>) {
+    let mut c = Catalog::uniform(n_hosts, HostSpec::new(cpu, bw), link, CostModel::default());
+    let bases = (0..n_bases)
+        .map(|i| c.add_base_stream(HostId((i % n_hosts) as u32), 10.0, i as u64))
+        .collect();
+    (c, bases)
+}
+
+/// A moderately tight system (some admits, some rejects — both decision
+/// paths exercised) planned under thread counts 1/2/4/8: every observable
+/// of every round must match the single-threaded reference exactly.
+#[test]
+fn planner_decisions_are_invariant_in_lp_threads() {
+    let submissions: Vec<Vec<usize>> = vec![
+        vec![0, 1],
+        vec![1, 2, 3],
+        vec![2, 3],
+        vec![0, 2, 4],
+        vec![3, 4, 5],
+        vec![1, 3],
+        vec![0, 4],
+        vec![2, 4, 5],
+        vec![1, 4],
+        vec![0, 3, 5],
+        vec![5, 1],
+        vec![4, 0, 2],
+    ];
+
+    let run = |threads: usize| -> SqprPlanner {
+        let (c, b) = system(4, 6, 45.0, 40.0, 400.0);
+        let mut cfg = PlannerConfig::new(&c);
+        cfg.budget.max_nodes = 200;
+        cfg.lp_threads = threads;
+        let mut planner = SqprPlanner::new(c, cfg);
+        for q in &submissions {
+            let streams: Vec<_> = q.iter().map(|&i| b[i]).collect();
+            planner.submit(&streams);
+        }
+        planner
+    };
+
+    let base = run(1);
+    let admitted_base: Vec<bool> = base.outcomes().iter().map(|o| o.admitted).collect();
+    // The workload must exercise both decisions, otherwise the test is
+    // vacuous for one of the paths.
+    assert!(
+        admitted_base.iter().any(|&a| a),
+        "no admissions in workload"
+    );
+    assert!(
+        admitted_base.iter().any(|&a| !a),
+        "no rejections in workload"
+    );
+    // ... and at least one rejection proof must grow a tree deep enough to
+    // spawn the worker pool, so the parallel path is exercised end to end.
+    assert!(
+        base.outcomes().iter().any(|o| o.nodes > 16),
+        "no round outlived the pool spawn threshold"
+    );
+
+    for threads in [2usize, 4, 8] {
+        let p = run(threads);
+        assert_eq!(base.outcomes().len(), p.outcomes().len());
+        for (i, (a, b)) in base.outcomes().iter().zip(p.outcomes()).enumerate() {
+            assert_eq!(
+                a.admitted, b.admitted,
+                "round {i}: admit/reject diverged at lp_threads = {threads}"
+            );
+            assert_eq!(
+                a.nodes, b.nodes,
+                "round {i}: tree size diverged at lp_threads = {threads}"
+            );
+            assert_eq!(
+                a.lp_iterations, b.lp_iterations,
+                "round {i}: simplex work diverged at lp_threads = {threads}"
+            );
+            assert_eq!(
+                a.lp_pivots, b.lp_pivots,
+                "round {i}: pivot breakdown diverged at lp_threads = {threads}"
+            );
+        }
+        assert_eq!(base.num_admitted(), p.num_admitted());
+        assert_eq!(
+            base.deployment_objective().to_bits(),
+            p.deployment_objective().to_bits(),
+            "deployment objective bits diverged at lp_threads = {threads}"
+        );
+        assert!(p.state().is_valid(p.catalog()));
+    }
+}

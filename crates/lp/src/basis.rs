@@ -109,7 +109,7 @@ pub struct SolveStats {
 /// later tree's root re-attach the previous tree's final factorisation —
 /// the cross-submission warm path of a caller whose compressed LP only
 /// had its bounds patched between solves.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct FactorState {
     /// Caller-assigned matrix generation; a state only re-attaches under
     /// the same token (the caller guarantees the matrix is unchanged for

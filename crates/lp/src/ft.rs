@@ -72,7 +72,7 @@ const SEG_SLACK: usize = 2;
 /// into two shared arrays. Reading a segment is a contiguous slice;
 /// appending beyond a segment's capacity relocates just that segment to
 /// the arena tail (the hole is reclaimed at the next rebuild).
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 struct SegArena {
     start: Vec<usize>,
     len: Vec<usize>,
@@ -162,7 +162,7 @@ impl SegArena {
 /// Forrest–Tomlin row-eta file. All indices are *pivot positions* (the
 /// `k`-space of [`crate::lu::LuFactors`]); only the traversal order
 /// changes across updates.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct UFactors {
     m: usize,
     /// Off-diagonal column entries: segment `k` lists `(i, v)` with `i`

@@ -102,7 +102,7 @@ pub mod problem;
 pub mod simplex;
 pub mod sparse;
 
-pub use basis::{BasisUpdate, SolveStats};
+pub use basis::{BasisUpdate, FactorState, SolveStats};
 pub use problem::{LpSolution, LpStatus, Problem, ProblemBuilder, INF};
 pub use simplex::{
     solve, solve_from, solve_with_bounds, solve_with_bounds_from, solve_with_bounds_from_ws,

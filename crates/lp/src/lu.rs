@@ -44,7 +44,7 @@ pub struct LuFactors {
 
 /// Workspace reused across factorisations and triangular solves to avoid
 /// per-call allocation (the simplex refactorises frequently).
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct LuWorkspace {
     /// Dense numeric scatter space, original-row indexed.
     x: Vec<f64>,

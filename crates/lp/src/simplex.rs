@@ -61,7 +61,7 @@ use crate::sparse::IndexedVec;
 /// let mut total = PivotCounts::default();
 /// let node = PivotCounts { dual: 7, bound_flips: 12, sparse_solves: 30,
 ///                          dense_solves: 10, ..PivotCounts::default() };
-/// total.add(&node);
+/// total.merge(&node);
 /// assert_eq!(total.total(), 7); // side-counters don't count as iterations
 /// assert_eq!(total.bound_flips, 12);
 /// assert!((total.sparse_hit_rate() - 0.75).abs() < 1e-12);
@@ -123,8 +123,11 @@ impl PivotCounts {
         }
     }
 
-    /// Accumulates another counter set into this one.
-    pub fn add(&mut self, other: &PivotCounts) {
+    /// Accumulates another counter set into this one. Field-wise addition:
+    /// merging per-solve (or per-worker) counters in any order yields the
+    /// same totals, which is what lets a multi-threaded branch & bound
+    /// reconcile its workers' counts deterministically.
+    pub fn merge(&mut self, other: &PivotCounts) {
         self.phase1 += other.phase1;
         self.primal += other.primal;
         self.dual += other.dual;
@@ -138,6 +141,11 @@ impl PivotCounts {
         self.pfi_updates += other.pfi_updates;
         self.refactorizations += other.refactorizations;
         self.factor_reattaches += other.factor_reattaches;
+    }
+
+    /// Deprecated spelling of [`Self::merge`], kept for downstream callers.
+    pub fn add(&mut self, other: &PivotCounts) {
+        self.merge(other);
     }
 }
 
@@ -385,6 +393,27 @@ impl LpWorkspace {
     /// The workspace's current matrix-generation token (0 = reuse disabled).
     pub fn factor_generation(&self) -> u64 {
         self.factor_token
+    }
+
+    /// Detaches and returns the cached basis factorisation, leaving the
+    /// workspace without one (the generation token is untouched). Together
+    /// with [`Self::install_factor_state`] this lets a caller route factor
+    /// states explicitly — e.g. a parallel branch & bound that seeds every
+    /// node solve with its *parent's* final factorisation, so the numbers a
+    /// node produces no longer depend on which solve the workspace ran
+    /// last (or on which worker ran it).
+    pub fn take_factor_state(&mut self) -> Option<FactorState> {
+        self.factor_cache.take()
+    }
+
+    /// Installs `state` as the workspace's cached factorisation and sets
+    /// the matrix generation to `token`. A state detached under a
+    /// *different* generation is discarded rather than installed — the
+    /// token contract of [`Self::begin_factor_generation`] must hold, and
+    /// silently re-attaching foreign factors would break it.
+    pub fn install_factor_state(&mut self, token: u64, state: Option<FactorState>) {
+        self.factor_token = token;
+        self.factor_cache = state.filter(|s| s.token() == token);
     }
 }
 
@@ -1651,6 +1680,93 @@ mod tests {
 
     fn approx(a: f64, b: f64) {
         assert!((a - b).abs() < 1e-6, "{a} != {b}");
+    }
+
+    #[test]
+    fn pivot_counts_merge_accumulates_every_field() {
+        let a = PivotCounts {
+            phase1: 1,
+            primal: 2,
+            dual: 3,
+            bound_flips: 4,
+            harris_degenerate_saved: 5,
+            sparse_solves: 6,
+            dense_solves: 7,
+            solve_nnz: 8,
+            solve_dim: 9,
+            ft_updates: 10,
+            pfi_updates: 11,
+            refactorizations: 12,
+            factor_reattaches: 13,
+        };
+        let b = PivotCounts {
+            phase1: 100,
+            primal: 200,
+            dual: 300,
+            bound_flips: 400,
+            harris_degenerate_saved: 500,
+            sparse_solves: 600,
+            dense_solves: 700,
+            solve_nnz: 800,
+            solve_dim: 900,
+            ft_updates: 1000,
+            pfi_updates: 1100,
+            refactorizations: 1200,
+            factor_reattaches: 1300,
+        };
+        // Commutative: worker counters may be merged in any order.
+        let mut ab = a;
+        ab.merge(&b);
+        let mut ba = b;
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        let expect = PivotCounts {
+            phase1: 101,
+            primal: 202,
+            dual: 303,
+            bound_flips: 404,
+            harris_degenerate_saved: 505,
+            sparse_solves: 606,
+            dense_solves: 707,
+            solve_nnz: 808,
+            solve_dim: 909,
+            ft_updates: 1010,
+            pfi_updates: 1111,
+            refactorizations: 1212,
+            factor_reattaches: 1313,
+        };
+        assert_eq!(ab, expect);
+        assert_eq!(ab.total(), 101 + 202 + 303);
+    }
+
+    #[test]
+    fn workspace_factor_state_take_and_install() {
+        let mut ws = LpWorkspace::new();
+        ws.begin_factor_generation(7);
+        assert!(ws.take_factor_state().is_none());
+        // Run a solve so the workspace detaches a factor state.
+        let mut b = ProblemBuilder::new();
+        let x = b.add_col(-1.0, 0.0, 5.0);
+        let y = b.add_col(-1.0, 0.0, 5.0);
+        let r = b.add_row(-INF, 6.0);
+        b.set_coeff(r, x, 1.0);
+        b.set_coeff(r, y, 1.0);
+        let p = b.build();
+        let (lb, ub) = p.col_bounds();
+        let _ = solve_with_bounds_from_ws(&p, lb, ub, None, &SimplexOptions::default(), &mut ws);
+        let state = ws
+            .take_factor_state()
+            .expect("solve under a nonzero token detaches factors");
+        assert_eq!(state.token(), 7);
+        // Second take: the state is gone.
+        assert!(ws.take_factor_state().is_none());
+        // A mismatched token discards rather than installs.
+        ws.install_factor_state(8, Some(state.clone()));
+        assert!(ws.take_factor_state().is_none());
+        assert_eq!(ws.factor_generation(), 8);
+        // A matching token installs.
+        ws.install_factor_state(7, Some(state));
+        assert!(ws.take_factor_state().is_some());
     }
 
     #[test]

@@ -43,7 +43,7 @@
 //! *folded* column — or real structural growth — forces a rebuild, so over
 //! a run the folded class converges to the columns every submission pins.
 //! The patched LP is bit-identical to lowering fresh under the same class
-//! ([`Model::lower_reduced_for_class`]); the property tests assert that.
+//! (`Model::lower_reduced_for_class`); the property tests assert that.
 //!
 //! # Lifted factor generation
 //!
@@ -141,6 +141,13 @@ pub struct LpCacheSlot {
     /// LP scratch buffers (and the detached basis-factor cache) shared by
     /// every B&B construction served from this slot.
     ws: LpWorkspace,
+    /// Worker-pool workspaces: one per parallel LP evaluator of the last
+    /// construction, handed out with the slot and returned when its worker
+    /// scope winds down, so consecutive trees reuse the workers'
+    /// allocations just like the main workspace's. Kept separate from
+    /// `ws` — worker factor caches are lineage-seeded per node, never
+    /// carried across trees.
+    worker_ws: Vec<LpWorkspace>,
     /// Matrix generation of the cached LP: renewed whenever the matrix
     /// changes (rebuild, appended rows), held across pure bound patches so
     /// consecutive constructions may re-attach each other's factors.
@@ -200,13 +207,18 @@ impl LpCacheSlot {
     }
 
     /// [`Self::refresh`] for a solver construction: additionally hands out
-    /// the slot's shared workspace and the matrix-generation token under
-    /// which basis factors may be reused against the returned LP.
-    pub(crate) fn refresh_solver(&mut self, model: &Model) -> (&LoweredLp, &mut LpWorkspace, u64) {
+    /// the slot's shared workspace, the worker-pool workspaces, and the
+    /// matrix-generation token under which basis factors may be reused
+    /// against the returned LP.
+    pub(crate) fn refresh_solver(
+        &mut self,
+        model: &Model,
+    ) -> (&LoweredLp, &mut LpWorkspace, &mut Vec<LpWorkspace>, u64) {
         self.refresh_impl(model);
         (
             &self.inner.as_ref().expect("just ensured").lowered,
             &mut self.ws,
+            &mut self.worker_ws,
             self.factor_token,
         )
     }

@@ -64,7 +64,7 @@ pub fn dive(
         ub[j] = fixed;
         let sol = solve_with_bounds_from_ws(lp, &lb, &ub, cur_basis.as_ref(), lp_opts, ws);
         *lp_iterations += sol.iterations;
-        lp_pivots.add(&sol.pivots);
+        lp_pivots.merge(&sol.pivots);
         match sol.status {
             LpStatus::Optimal => {
                 x = sol.x;
@@ -85,7 +85,7 @@ pub fn dive(
                 ub[j] = alt;
                 let sol = solve_with_bounds_from_ws(lp, &lb, &ub, cur_basis.as_ref(), lp_opts, ws);
                 *lp_iterations += sol.iterations;
-                lp_pivots.add(&sol.pivots);
+                lp_pivots.merge(&sol.pivots);
                 if sol.status != LpStatus::Optimal {
                     return None;
                 }

@@ -285,7 +285,7 @@ impl Model {
     }
 
     /// Marks a variable exempt from (or re-eligible for) compression:
-    /// exempt variables keep their LP column in [`Self::lower_reduced`]
+    /// exempt variables keep their LP column in `lower_reduced`
     /// even while bound-fixed, so a later solve that re-frees them can be
     /// served by patching the cached lowering's bounds instead of paying a
     /// relayout. A caller that knows which fixed variables are *likely to

@@ -4,15 +4,33 @@
 //! tie-breaks, rounding and diving primal heuristics, and deterministic
 //! budgets (node counts) with optional wall-clock limits — mirroring how the
 //! paper drives CPLEX with a per-query timeout and takes the incumbent.
+//!
+//! # Parallel node evaluation
+//!
+//! With [`MilpOptions::threads`] != 1 the search spreads node-LP evaluation
+//! over a std-only worker pool while keeping the search *byte-identical*
+//! to the sequential run — see ARCHITECTURE.md §"Concurrency model". The
+//! short version: a node's LP relaxation is a pure function of the node
+//! (its materialised bounds, its parent's basis hint, and its parent's
+//! final factorisation, carried as the node's `seed`), so the pool merely
+//! *pre-computes* results for the top frontier nodes speculatively; the
+//! main thread still pops, prunes, branches and accepts incumbents one
+//! node at a time in exactly the sequential order, consuming memoized
+//! results where present and evaluating inline where not. Speculative
+//! results the replay never consumes are discarded — counters included —
+//! so trees, incumbents, objectives and `lp_iterations`/`lp_pivots` do
+//! not depend on the thread count.
 
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, HashMap};
 use std::rc::Rc;
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use sqpr_lp::{
-    solve_with_bounds_from_ws, BasisState, LpStatus, LpWorkspace, PivotCounts, Problem,
-    SimplexOptions, VarBasisStatus,
+    solve_with_bounds_from_ws, BasisState, FactorState, LpSolution, LpStatus, LpWorkspace,
+    PivotCounts, Problem, SimplexOptions, VarBasisStatus,
 };
 
 use crate::cache::{next_factor_token, LpCacheSlot};
@@ -20,48 +38,27 @@ use crate::heuristics;
 use crate::model::{LpMap, Model, Sense};
 use crate::presolve::{presolve_bounds_active, Presolved};
 
-/// The B&B's LP relaxation: owned when lowered fresh for this search,
-/// borrowed when served from a caller-held [`LpCacheSlot`]. (The owned
-/// variant is boxed: one allocation per cold construction, versus carrying
-/// the full `Problem` inline in every enum value.)
-enum LpStore<'a> {
-    Owned(Box<Problem>),
-    Cached(&'a Problem),
-}
-
-impl LpStore<'_> {
-    #[inline]
-    fn get(&self) -> &Problem {
-        match self {
-            LpStore::Owned(p) => p,
-            LpStore::Cached(p) => p,
-        }
-    }
-}
-
-/// The tree's LP workspace: owned per tree on the cacheless path, borrowed
-/// from the caller's [`LpCacheSlot`] on the cached path — the slot's
-/// workspace (and the detached basis-factor cache inside it) then survives
-/// between the slot's consecutive constructions, which is what lets a root
-/// solve re-attach the previous tree's factorisation when the matrix
-/// generation is unchanged.
-enum WsStore<'a> {
-    Owned(Box<LpWorkspace>),
-    Cached(&'a mut LpWorkspace),
-}
-
-impl WsStore<'_> {
-    #[inline]
-    fn get_mut(&mut self) -> &mut LpWorkspace {
-        match self {
-            WsStore::Owned(ws) => ws,
-            WsStore::Cached(ws) => ws,
-        }
-    }
+/// The tree's LP workspaces: the main workspace every replayed node solve
+/// and dive runs in, plus the worker-pool workspaces handed to parallel
+/// evaluators. Both are borrowed from the caller's [`LpCacheSlot`] on the
+/// cached path — the slot's main workspace (and the detached basis-factor
+/// cache inside it) survives between the slot's consecutive constructions,
+/// which is what lets a root solve re-attach the previous tree's
+/// factorisation when the matrix generation is unchanged — and from the
+/// entry point's stack frame on the cacheless path.
+struct WsStore<'a> {
+    main: &'a mut LpWorkspace,
+    workers: &'a mut Vec<LpWorkspace>,
 }
 
 /// Incumbent filter callback (lazy-constraint hook).
 type IncumbentFilter<'a> = &'a dyn Fn(&[f64]) -> bool;
+
+/// Nodes processed before the worker pool spawns: trees smaller than this
+/// never pay thread startup. Purely a wall-clock knob — whether (and when)
+/// the pool spawns is unobservable in the search's outputs, because
+/// speculative evaluation computes exactly what the replay would.
+const POOL_SPAWN_NODES: usize = 16;
 
 /// Bound-vs-incumbent pruning tolerance under the Harris ratio tests.
 /// Sized to dominate the LP's primal noise floor: the Harris test
@@ -267,6 +264,15 @@ pub struct MilpOptions {
     /// the pre-lift behaviour, kept as the ablation); cacheless solves are
     /// always per-tree regardless.
     pub cross_solve_factors: bool,
+    /// Worker threads for parallel node-LP evaluation: `0` resolves to
+    /// `std::thread::available_parallelism()`, `1` runs the classic
+    /// single-threaded loop with no pool. Every value produces
+    /// byte-identical trees, incumbents, objectives and iteration counts —
+    /// the pool only pre-computes node relaxations the sequential replay
+    /// would solve anyway (see the module docs) — so this is purely a
+    /// wall-clock knob and deliberately *not* part of any result-affecting
+    /// configuration signature.
+    pub threads: usize,
     /// LP subproblem options.
     pub lp: SimplexOptions,
 }
@@ -283,6 +289,7 @@ impl Default for MilpOptions {
             reuse_bases: true,
             cutoff_margin: 0.0,
             cross_solve_factors: true,
+            threads: 0,
             lp: SimplexOptions::default(),
         }
     }
@@ -339,14 +346,27 @@ struct BoundChange {
 }
 
 struct Node {
+    /// Creation-order identity: node 0 is the root, children take ids in
+    /// push order. The key under which speculative LP evaluations are
+    /// memoized, and the final heap tie-break — making the pop order a
+    /// *total* order, independent of `BinaryHeap` insertion history.
+    id: u64,
     /// Valid lower bound (minimisation space) inherited from the parent LP.
     est: f64,
     depth: usize,
     chain: Option<Rc<BoundChange>>,
     /// Optimal basis of the parent's LP relaxation: the child differs only
     /// in one variable's bounds, so re-solving from here takes a handful of
-    /// pivots instead of a cold phase-I.
-    basis: Option<Rc<BasisState>>,
+    /// pivots instead of a cold phase-I. Shared (`Arc`) so sibling jobs on
+    /// different workers read one copy concurrently.
+    basis: Option<Arc<BasisState>>,
+    /// The parent relaxation's final detached factorisation, installed
+    /// into the evaluating workspace before this node's solve. Seeding
+    /// every node from its *parent's* factors — rather than whatever the
+    /// workspace happened to solve last — is what makes node evaluation a
+    /// pure function of the node, and therefore safe to run speculatively
+    /// on any worker.
+    seed: Option<Arc<FactorState>>,
 }
 
 /// Max-heap wrapper turning `BinaryHeap` into best-first (smallest bound).
@@ -354,7 +374,7 @@ struct OrdNode(Node);
 
 impl PartialEq for OrdNode {
     fn eq(&self, other: &Self) -> bool {
-        self.0.est == other.0.est
+        self.cmp(other) == Ordering::Equal
     }
 }
 impl Eq for OrdNode {}
@@ -366,13 +386,17 @@ impl PartialOrd for OrdNode {
 impl Ord for OrdNode {
     fn cmp(&self, other: &Self) -> Ordering {
         // Reverse: smaller est = higher priority. Tie-break on depth
-        // (prefer deeper nodes: closer to integral).
+        // (prefer deeper nodes: closer to integral), then on smaller id
+        // (creation order) so the order is total: `BinaryHeap` is not
+        // stable, and the parallel replay needs pops to be a pure function
+        // of the heap's *contents*.
         other
             .0
             .est
             .partial_cmp(&self.0.est)
             .unwrap_or(Ordering::Equal)
             .then(self.0.depth.cmp(&other.0.depth))
+            .then(other.0.id.cmp(&self.0.id))
     }
 }
 
@@ -412,7 +436,7 @@ pub fn solve_with_start(model: &Model, opts: &MilpOptions, start: Option<&[f64]>
 /// Solves the model with the full warm-start context: incumbent seed plus
 /// root-LP basis reuse.
 pub fn solve_warm(model: &Model, opts: &MilpOptions, warm: MilpWarmStart<'_>) -> MilpResult {
-    Bnb::new(model, opts, warm, None, None).run()
+    run_bnb(model, opts, warm, None, None)
 }
 
 /// [`solve_warm`] with a caller-held compressed-LP cache: the relaxation is
@@ -425,7 +449,7 @@ pub fn solve_warm_cached(
     warm: MilpWarmStart<'_>,
     cache: &mut LpCacheSlot,
 ) -> MilpResult {
-    Bnb::new(model, opts, warm, None, Some(cache)).run()
+    run_bnb(model, opts, warm, None, Some(cache))
 }
 
 /// Like [`solve_with_start`], with an *incumbent filter*: integral solutions
@@ -457,7 +481,7 @@ pub fn solve_filtered_warm(
     warm: MilpWarmStart<'_>,
     filter: &dyn Fn(&[f64]) -> bool,
 ) -> MilpResult {
-    Bnb::new(model, opts, warm, Some(filter), None).run()
+    run_bnb(model, opts, warm, Some(filter), None)
 }
 
 /// [`solve_filtered_warm`] with a caller-held compressed-LP cache; see
@@ -469,15 +493,85 @@ pub fn solve_filtered_warm_cached(
     filter: &dyn Fn(&[f64]) -> bool,
     cache: &mut LpCacheSlot,
 ) -> MilpResult {
-    Bnb::new(model, opts, warm, Some(filter), Some(cache)).run()
+    run_bnb(model, opts, warm, Some(filter), Some(cache))
+}
+
+/// Backs every entry point: resolves the LP relaxation and workspaces
+/// (cached or fresh) on this stack frame, *outside* the search state — a
+/// worker scope inside [`Bnb::run`] borrows the LP and options while the
+/// driver mutates the rest of the search, which an LP owned *by* the
+/// search state would forbid.
+fn run_bnb(
+    model: &Model,
+    opts: &MilpOptions,
+    warm: MilpWarmStart<'_>,
+    filter: Option<IncumbentFilter<'_>>,
+    cache: Option<&mut LpCacheSlot>,
+) -> MilpResult {
+    match cache {
+        Some(slot) => {
+            let (lowered, ws, workers, factor_token) = slot.refresh_solver(model);
+            if opts.cross_solve_factors {
+                // The slot's token outlives this tree while the matrix
+                // survives refreshes untouched: consecutive trees may
+                // re-attach each other's factors at the root.
+                ws.resume_factor_generation(factor_token);
+            } else {
+                ws.begin_factor_generation(next_factor_token());
+            }
+            let token = ws.factor_generation();
+            let lp_integers = lowered.lp_integers.clone();
+            let map = lowered.map.clone();
+            let store = WsStore { main: ws, workers };
+            Bnb::new(
+                model,
+                opts,
+                warm,
+                filter,
+                &lowered.lp,
+                lp_integers,
+                map,
+                store,
+                token,
+            )
+            .run()
+        }
+        None => {
+            let (lp, lp_integers, map) = model.to_lp_reduced();
+            let mut ws = LpWorkspace::new();
+            // A fresh lowering is this tree's private matrix: factor
+            // reuse is scoped to its own node solves.
+            let token = next_factor_token();
+            ws.begin_factor_generation(token);
+            let mut workers = Vec::new();
+            let store = WsStore {
+                main: &mut ws,
+                workers: &mut workers,
+            };
+            Bnb::new(
+                model,
+                opts,
+                warm,
+                filter,
+                &lp,
+                lp_integers,
+                map,
+                store,
+                token,
+            )
+            .run()
+        }
+    }
 }
 
 struct Bnb<'a> {
     model: &'a Model,
     opts: &'a MilpOptions,
     filter: Option<IncumbentFilter<'a>>,
-    /// Compressed LP relaxation (bound-fixed variables folded out).
-    lp: LpStore<'a>,
+    /// Compressed LP relaxation (bound-fixed variables folded out). A
+    /// plain shared reference — worker threads borrow it concurrently
+    /// while the driver mutates the rest of the search state.
+    lp: &'a Problem,
     /// LP-to-model mapping for the compressed relaxation.
     map: LpMap,
     /// Integer variables in *model* space (branching, integrality).
@@ -495,57 +589,49 @@ struct Bnb<'a> {
     presolve_infeasible: bool,
     deadline: Option<Instant>,
     /// External basis hint for the root relaxation (already projected).
-    root_hint: Option<Rc<BasisState>>,
-    /// Reusable LP scratch buffers shared by every relaxation solved in
-    /// the tree (node re-solves and diving heuristics alike); borrowed
-    /// from the [`LpCacheSlot`] on the cached path so basis factors can
-    /// survive between consecutive trees.
-    lp_ws: WsStore<'a>,
+    root_hint: Option<Arc<BasisState>>,
+    /// Reusable LP scratch: the main workspace shared by every *replayed*
+    /// relaxation (node re-solves and diving heuristics alike) plus the
+    /// worker pool's private workspaces; borrowed from the [`LpCacheSlot`]
+    /// on the cached path so allocations and basis factors survive
+    /// between consecutive trees.
+    ws: WsStore<'a>,
+    /// Matrix generation every factor state in this tree is scoped to.
+    factor_token: u64,
+    /// Next node id to assign (the root took 0).
+    next_id: u64,
+    /// Speculative LP evaluations by node id, filled by the worker pool
+    /// and consumed — or discarded — by the sequential replay.
+    evals: HashMap<u64, NodeEval>,
     /// Basis of the solved root relaxation (exported in the result).
     root_basis_out: Option<ModelBasis>,
+    /// The root relaxation's final factorisation, re-installed into the
+    /// main workspace when the tree ends: the next tree served from the
+    /// same slot warm-starts its root from this root's basis, so this is
+    /// the state whose basic set the re-attach check can actually match.
+    root_factors: Option<Arc<FactorState>>,
+    /// Node-materialisation scratch: model-space bounds…
+    lb_buf: Vec<f64>,
+    ub_buf: Vec<f64>,
+    /// …and their LP-space projections.
+    lp_lb_buf: Vec<f64>,
+    lp_ub_buf: Vec<f64>,
 }
 
 impl<'a> Bnb<'a> {
+    #[allow(clippy::too_many_arguments)]
     fn new(
         model: &'a Model,
         opts: &'a MilpOptions,
         warm: MilpWarmStart<'_>,
         filter: Option<IncumbentFilter<'a>>,
-        cache: Option<&'a mut LpCacheSlot>,
+        lp: &'a Problem,
+        lp_integers: Vec<usize>,
+        map: LpMap,
+        ws: WsStore<'a>,
+        factor_token: u64,
     ) -> Self {
         let start = warm.start;
-        let (lp, lp_integers, map, lp_ws) = match cache {
-            Some(slot) => {
-                let (lowered, ws, factor_token) = slot.refresh_solver(model);
-                if opts.cross_solve_factors {
-                    // The slot's token outlives this tree while the matrix
-                    // survives refreshes untouched: consecutive trees may
-                    // re-attach each other's factors at the root.
-                    ws.resume_factor_generation(factor_token);
-                } else {
-                    ws.begin_factor_generation(next_factor_token());
-                }
-                (
-                    LpStore::Cached(&lowered.lp),
-                    lowered.lp_integers.clone(),
-                    lowered.map.clone(),
-                    WsStore::Cached(ws),
-                )
-            }
-            None => {
-                let (lp, ints, map) = model.to_lp_reduced();
-                let mut ws = LpWorkspace::new();
-                // A fresh lowering is this tree's private matrix: factor
-                // reuse is scoped to its own node solves.
-                ws.begin_factor_generation(next_factor_token());
-                (
-                    LpStore::Owned(Box::new(lp)),
-                    ints,
-                    map,
-                    WsStore::Owned(Box::new(ws)),
-                )
-            }
-        };
         let integers: Vec<usize> = (0..model.num_vars())
             .filter(|&j| {
                 model.var_type(crate::model::VarId::from_raw(j)) == crate::model::VarType::Integer
@@ -586,7 +672,9 @@ impl<'a> Bnb<'a> {
         });
         let root_hint = warm
             .root_basis
-            .map(|mb| Rc::new(mb.to_lp(&map, lp.get().nrows())));
+            .map(|mb| Arc::new(mb.to_lp(&map, lp.nrows())));
+        let n = model.num_vars();
+        let ncols = lp.ncols();
         Bnb {
             model,
             opts,
@@ -605,8 +693,16 @@ impl<'a> Bnb<'a> {
             presolve_infeasible,
             deadline: opts.time_limit.map(|d| Instant::now() + d),
             root_hint,
+            ws,
+            factor_token,
+            next_id: 0,
+            evals: HashMap::new(),
             root_basis_out: None,
-            lp_ws,
+            root_factors: None,
+            lb_buf: vec![0.0; n],
+            ub_buf: vec![0.0; n],
+            lp_lb_buf: vec![0.0; ncols],
+            lp_ub_buf: vec![0.0; ncols],
         }
     }
 
@@ -628,19 +724,44 @@ impl<'a> Bnb<'a> {
         }
     }
 
-    fn materialize(&self, chain: &Option<Rc<BoundChange>>, lb: &mut [f64], ub: &mut [f64]) {
-        lb.copy_from_slice(&self.root_lb);
-        ub.copy_from_slice(&self.root_ub);
+    /// Materialises a node's model- and LP-space bounds into the scratch
+    /// buffers (root bounds intersected with the node's bound-change
+    /// chain).
+    fn materialize_node(&mut self, chain: &Option<Rc<BoundChange>>) {
+        self.lb_buf.copy_from_slice(&self.root_lb);
+        self.ub_buf.copy_from_slice(&self.root_ub);
         let mut cur = chain.as_ref();
         while let Some(c) = cur {
             // Intersection keeps correctness regardless of chain order.
-            if c.lb > lb[c.var] {
-                lb[c.var] = c.lb;
+            if c.lb > self.lb_buf[c.var] {
+                self.lb_buf[c.var] = c.lb;
             }
-            if c.ub < ub[c.var] {
-                ub[c.var] = c.ub;
+            if c.ub < self.ub_buf[c.var] {
+                self.ub_buf[c.var] = c.ub;
             }
             cur = c.parent.as_ref();
+        }
+        for (col, &v) in self.map.var_of_col.iter().enumerate() {
+            self.lp_lb_buf[col] = self.lb_buf[v];
+            self.lp_ub_buf[col] = self.ub_buf[v];
+        }
+    }
+
+    /// Detaches everything a worker needs to evaluate `node`'s relaxation:
+    /// bounds are materialised eagerly (the `Rc` bound-change chain never
+    /// crosses threads), basis hint and factor seed are shared read-only.
+    fn make_job(&mut self, node: &Node) -> Job {
+        self.materialize_node(&node.chain);
+        Job {
+            id: node.id,
+            lp_lb: self.lp_lb_buf.clone(),
+            lp_ub: self.lp_ub_buf.clone(),
+            hint: if self.opts.reuse_bases {
+                node.basis.clone()
+            } else {
+                None
+            },
+            seed: node.seed.clone(),
         }
     }
 
@@ -732,20 +853,63 @@ impl<'a> Bnb<'a> {
                 return self.report(MilpStatus::Infeasible, f64::INFINITY);
             }
         }
-        let n = self.model.num_vars();
-        let mut lb = vec![0.0; n];
-        let mut ub = vec![0.0; n];
-        let mut lp_lb = vec![0.0; self.lp.get().ncols()];
-        let mut lp_ub = vec![0.0; self.lp.get().ncols()];
 
-        // Root node, warm-started from the previous solve's basis if given.
+        // Root node, warm-started from the previous solve's basis if
+        // given, seeded with the workspace's surviving factor state (the
+        // previous tree's root factorisation on the cross-solve cached
+        // path; `None` on fresh workspaces or after a token renewal).
+        let root_seed = self.ws.main.take_factor_state().map(Arc::new);
         self.heap.push(OrdNode(Node {
+            id: 0,
             est: f64::NEG_INFINITY,
             depth: 0,
             chain: None,
             basis: self.root_hint.clone(),
+            seed: root_seed,
         }));
+        self.next_id = 1;
 
+        let threads = effective_threads(self.opts.threads);
+        let (status, bound) = if threads > 1 {
+            // Copy the shared references out of `self` so the worker scope
+            // can hold them while `search` mutates the search state.
+            let lp = self.lp;
+            let opts = self.opts;
+            let token = self.factor_token;
+            let spare = std::mem::take(&mut *self.ws.workers);
+            let mut returned = Vec::new();
+            let out = std::thread::scope(|scope| {
+                let mut pool = WorkerPool::new(scope, threads, lp, &opts.lp, token, spare);
+                let out = self.search(Some(&mut pool));
+                returned = pool.shutdown();
+                out
+            });
+            *self.ws.workers = returned;
+            out
+        } else {
+            self.search(None)
+        };
+
+        // Leave the *root's* final factorisation in the main workspace:
+        // the next tree served from the same slot warm-starts its root
+        // from this root's exported basis, so this is the state whose
+        // basic set the re-attach check can match. (Under lineage seeding
+        // the workspace would otherwise end the tree empty — every node
+        // evaluation takes its state out.)
+        if let Some(f) = self.root_factors.take() {
+            let state = Arc::try_unwrap(f).unwrap_or_else(|a| (*a).clone());
+            self.ws
+                .main
+                .install_factor_state(self.factor_token, Some(state));
+        }
+        self.report(status, bound)
+    }
+
+    /// The sequential replay: pops, prunes, branches and accepts
+    /// incumbents one node at a time — the *entire* search semantics live
+    /// here, identical at every thread count. The pool (when present) only
+    /// pre-computes node evaluations into `self.evals`.
+    fn search(&mut self, mut pool: Option<&mut WorkerPool<'_, '_>>) -> (MilpStatus, f64) {
         let mut proven_infeasible_tree = true; // until a node survives
         let mut best_open_bound = f64::NEG_INFINITY;
         let mut budget_hit = false;
@@ -757,7 +921,13 @@ impl<'a> Bnb<'a> {
             PRUNE_EPS_HARRIS
         } + self.opts.cutoff_margin;
 
-        while let Some(OrdNode(node)) = self.heap.pop() {
+        loop {
+            if let Some(p) = pool.as_deref_mut() {
+                self.speculate(p, prune_slack);
+            }
+            let Some(OrdNode(node)) = self.heap.pop() else {
+                break;
+            };
             // Global pruning: with best-first search, once the best open
             // node cannot beat the incumbent, the incumbent is optimal.
             if let Some((inc, _)) = &self.incumbent {
@@ -766,6 +936,7 @@ impl<'a> Bnb<'a> {
                     best_open_bound = *inc;
                     // All other open nodes are at least as bad.
                     self.heap.clear();
+                    self.evals.clear();
                     break;
                 }
                 let gap = (inc - node.est).abs() / inc.abs().max(1.0);
@@ -773,6 +944,7 @@ impl<'a> Bnb<'a> {
                     proven_infeasible_tree = false;
                     best_open_bound = node.est;
                     self.heap.clear();
+                    self.evals.clear();
                     break;
                 }
             }
@@ -784,37 +956,52 @@ impl<'a> Bnb<'a> {
             }
             self.nodes_done += 1;
 
-            self.materialize(&node.chain, &mut lb, &mut ub);
-            for (col, &v) in self.map.var_of_col.iter().enumerate() {
-                lp_lb[col] = lb[v];
-                lp_ub[col] = ub[v];
-            }
-            let node_hint = if self.opts.reuse_bases {
-                node.basis.as_deref()
-            } else {
-                None
+            self.materialize_node(&node.chain);
+            // Consume the speculative evaluation if one landed, evaluate
+            // inline otherwise — the result is the same either way (node
+            // evaluation is pure), so thread count and pool timing leave
+            // no trace in anything downstream of here.
+            let NodeEval { sol, factors } = match self.evals.remove(&node.id) {
+                Some(eval) => eval,
+                None => {
+                    let hint = if self.opts.reuse_bases {
+                        node.basis.as_deref()
+                    } else {
+                        None
+                    };
+                    evaluate_node_lp(
+                        self.lp,
+                        &self.lp_lb_buf,
+                        &self.lp_ub_buf,
+                        hint,
+                        &self.opts.lp,
+                        self.factor_token,
+                        node.seed.as_deref(),
+                        &mut *self.ws.main,
+                    )
+                }
             };
-            let sol = solve_with_bounds_from_ws(
-                self.lp.get(),
-                &lp_lb,
-                &lp_ub,
-                node_hint,
-                &self.opts.lp,
-                self.lp_ws.get_mut(),
-            );
             self.lp_iterations += sol.iterations;
-            self.lp_pivots.add(&sol.pivots);
-            if node.depth == 0 && self.root_basis_out.is_none() {
-                self.root_basis_out = sol.basis.as_ref().map(|b| {
-                    ModelBasis::from_lp(b, &self.map, self.model.num_vars(), self.model.num_cons())
-                });
+            self.lp_pivots.merge(&sol.pivots);
+            if node.depth == 0 {
+                if self.root_basis_out.is_none() {
+                    self.root_basis_out = sol.basis.as_ref().map(|b| {
+                        ModelBasis::from_lp(
+                            b,
+                            &self.map,
+                            self.model.num_vars(),
+                            self.model.num_cons(),
+                        )
+                    });
+                }
+                self.root_factors = factors.clone();
             }
 
             match sol.status {
                 LpStatus::Infeasible => continue,
                 LpStatus::Unbounded => {
                     if node.depth == 0 {
-                        return self.report(MilpStatus::Unbounded, f64::NEG_INFINITY);
+                        return (MilpStatus::Unbounded, f64::NEG_INFINITY);
                     }
                     continue; // child unbounded implies root unbounded; defensive
                 }
@@ -837,7 +1024,7 @@ impl<'a> Bnb<'a> {
             }
 
             if sol.status == LpStatus::Optimal && self.is_integral(&sol.x) {
-                let x_full = self.expand_x(&sol.x, &lb);
+                let x_full = self.expand_x(&sol.x, &self.lb_buf);
                 self.offer_incumbent(node_bound, x_full);
                 continue;
             }
@@ -847,65 +1034,83 @@ impl<'a> Bnb<'a> {
                 || (self.opts.dive_every > 0
                     && self.nodes_done.is_multiple_of(self.opts.dive_every))
             {
+                // Chain the dive from this node's final factorisation —
+                // the same state at any thread count, wherever the node's
+                // LP was actually evaluated.
+                self.ws
+                    .main
+                    .install_factor_state(self.factor_token, factors.as_deref().cloned());
                 if let Some((obj, x_lp)) = heuristics::dive(
-                    self.lp.get(),
+                    self.lp,
                     &self.lp_integers,
-                    &lp_lb,
-                    &lp_ub,
+                    &self.lp_lb_buf,
+                    &self.lp_ub_buf,
                     &sol.x,
                     sol.basis.as_ref().filter(|_| self.opts.reuse_bases),
                     &self.opts.lp,
                     self.opts.int_tol,
                     &mut self.lp_iterations,
                     &mut self.lp_pivots,
-                    self.lp_ws.get_mut(),
+                    &mut *self.ws.main,
                 ) {
-                    let dived = self.expand_x(&x_lp, &lb);
+                    let dived = self.expand_x(&x_lp, &self.lb_buf);
                     self.offer_incumbent(obj + self.map.fixed_obj_min, dived);
                 }
             }
 
             // Branch.
-            let Some((var, value)) = self.pick_branching(&sol.x, &lb, &ub) else {
+            let Some((var, value)) = self.pick_branching(&sol.x, &self.lb_buf, &self.ub_buf) else {
                 // Numerically integral but is_integral said no (tolerance
                 // edge): offer as incumbent and move on.
                 if sol.status == LpStatus::Optimal {
-                    let x_full = self.expand_x(&sol.x, &lb);
+                    let x_full = self.expand_x(&sol.x, &self.lb_buf);
                     self.offer_incumbent(node_bound, x_full);
                 }
                 continue;
             };
-            // Both children start from this node's optimal basis: they
+            // Both children start from this node's optimal basis (they
             // differ from it by one bound, so the re-solve is a short
-            // feasibility walk instead of a cold start.
-            let child_basis = sol.basis.map(Rc::new);
+            // feasibility walk instead of a cold start) and inherit its
+            // final factorisation as their seed. Ids are assigned in push
+            // order: deterministic, since pushes happen only here on the
+            // replay thread.
+            let child_basis = sol.basis.map(Arc::new);
             let floor = value.floor();
+            let (node_lb, node_ub) = (self.lb_buf[var], self.ub_buf[var]);
             let down = Rc::new(BoundChange {
                 var,
-                lb: lb[var],
+                lb: node_lb,
                 ub: floor,
                 parent: node.chain.clone(),
             });
             let up = Rc::new(BoundChange {
                 var,
                 lb: floor + 1.0,
-                ub: ub[var],
+                ub: node_ub,
                 parent: node.chain.clone(),
             });
-            if floor >= lb[var] - 1e-9 {
+            if floor >= node_lb - 1e-9 {
+                let id = self.next_id;
+                self.next_id += 1;
                 self.heap.push(OrdNode(Node {
+                    id,
                     est: node_bound,
                     depth: node.depth + 1,
                     chain: Some(down),
                     basis: child_basis.clone(),
+                    seed: factors.clone(),
                 }));
             }
-            if floor + 1.0 <= ub[var] + 1e-9 {
+            if floor + 1.0 <= node_ub + 1e-9 {
+                let id = self.next_id;
+                self.next_id += 1;
                 self.heap.push(OrdNode(Node {
+                    id,
                     est: node_bound,
                     depth: node.depth + 1,
                     chain: Some(up),
                     basis: child_basis,
+                    seed: factors,
                 }));
             }
         }
@@ -930,7 +1135,74 @@ impl<'a> Bnb<'a> {
             // Best open bound seen when we stopped.
             best_open_bound
         };
-        self.report(status, bound)
+        (status, bound)
+    }
+
+    /// Pre-computes LP evaluations for the top of the frontier on the
+    /// worker pool. Pure speculation: every job is a node the replay may
+    /// pop next, and evaluation is a pure function of the node, so running
+    /// it early — or not at all — is unobservable in the search's outputs.
+    fn speculate(&mut self, pool: &mut WorkerPool<'_, '_>, prune_slack: f64) {
+        if self.heap.len() < 2 || self.out_of_budget() {
+            return;
+        }
+        // Don't pay thread startup for tiny trees.
+        if !pool.spawned && self.nodes_done < POOL_SPAWN_NODES {
+            return;
+        }
+        if let Some((inc, _)) = &self.incumbent {
+            if let Some(top) = self.heap.peek() {
+                // The replay ends (optimality proven) as soon as the best
+                // open node cannot beat the incumbent — nothing left to
+                // speculate on then.
+                if top.0.est >= inc - prune_slack
+                    || (inc - top.0.est).abs() / inc.abs().max(1.0) <= self.opts.gap_tol
+                {
+                    return;
+                }
+            }
+        }
+        // Nothing to wait for while the next pop is already memoized.
+        if self
+            .heap
+            .peek()
+            .is_some_and(|n| self.evals.contains_key(&n.0.id))
+        {
+            return;
+        }
+        // Pop the frontier's top `threads` nodes; evaluate the unevaluated
+        // survivors, then push everything straight back.
+        let mut popped = Vec::with_capacity(pool.threads);
+        let mut jobs = Vec::new();
+        while popped.len() < pool.threads {
+            let Some(OrdNode(node)) = self.heap.pop() else {
+                break;
+            };
+            let known = self.evals.contains_key(&node.id);
+            // A node the incumbent already prunes ends the replay when it
+            // pops; nodes behind it in the order never run.
+            let prunable = self
+                .incumbent
+                .as_ref()
+                .is_some_and(|(inc, _)| node.est >= inc - prune_slack);
+            if !known && !prunable {
+                jobs.push(self.make_job(&node));
+            }
+            popped.push(OrdNode(node));
+            if prunable {
+                break;
+            }
+        }
+        for n in popped {
+            self.heap.push(n);
+        }
+        if jobs.len() < 2 {
+            // A lone evaluation is cheaper inline than through the pool.
+            return;
+        }
+        for (id, eval) in pool.evaluate(jobs) {
+            self.evals.insert(id, eval);
+        }
     }
 
     fn report(self, status: MilpStatus, bound_min: f64) -> MilpResult {
@@ -955,6 +1227,172 @@ impl<'a> Bnb<'a> {
             gap,
             root_basis: self.root_basis_out,
         }
+    }
+}
+
+/// Resolves [`MilpOptions::threads`]: 0 = one worker per available core.
+fn effective_threads(threads: usize) -> usize {
+    if threads == 0 {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    } else {
+        threads
+    }
+}
+
+/// One unit of speculative work: everything a worker needs to evaluate a
+/// node's LP relaxation, detached from the search state (bounds are
+/// materialised up front, so the `Rc` bound-change chain never crosses a
+/// thread; the basis hint and factor seed are shared read-only).
+struct Job {
+    id: u64,
+    lp_lb: Vec<f64>,
+    lp_ub: Vec<f64>,
+    hint: Option<Arc<BasisState>>,
+    seed: Option<Arc<FactorState>>,
+}
+
+/// A node relaxation's outcome: the LP solution plus the evaluating
+/// workspace's final detached factorisation (the children's seed).
+struct NodeEval {
+    sol: LpSolution,
+    factors: Option<Arc<FactorState>>,
+}
+
+/// Evaluates one node LP in `ws`. Pure: the simplex entry point fully
+/// resets the workspace's numeric state per solve, and the only
+/// cross-solve carry-over — the detached factor cache — is explicitly
+/// installed from the node's seed first and detached into the result
+/// after, so the outcome depends only on the arguments, never on which
+/// solve (or which thread) the workspace served last.
+#[allow(clippy::too_many_arguments)]
+fn evaluate_node_lp(
+    lp: &Problem,
+    lp_lb: &[f64],
+    lp_ub: &[f64],
+    hint: Option<&BasisState>,
+    lp_opts: &SimplexOptions,
+    token: u64,
+    seed: Option<&FactorState>,
+    ws: &mut LpWorkspace,
+) -> NodeEval {
+    ws.install_factor_state(token, seed.cloned());
+    let sol = solve_with_bounds_from_ws(lp, lp_lb, lp_ub, hint, lp_opts, ws);
+    let factors = ws.take_factor_state().map(Arc::new);
+    NodeEval { sol, factors }
+}
+
+/// Scoped worker pool for speculative node evaluation. Spawned lazily on
+/// the first batch; workers pull [`Job`]s off one shared queue and push
+/// results back, each owning a private [`LpWorkspace`] for its lifetime
+/// (handed back through [`Self::shutdown`] so the allocations survive into
+/// the next tree via the [`WsStore`]).
+struct WorkerPool<'scope, 'env> {
+    scope: &'scope std::thread::Scope<'scope, 'env>,
+    threads: usize,
+    lp: &'env Problem,
+    lp_opts: &'env SimplexOptions,
+    token: u64,
+    /// Workspaces not yet handed to a worker.
+    spare: Vec<LpWorkspace>,
+    spawned: bool,
+    job_tx: Option<mpsc::Sender<Job>>,
+    res_rx: Option<mpsc::Receiver<(u64, NodeEval)>>,
+    ws_rx: Option<mpsc::Receiver<LpWorkspace>>,
+}
+
+impl<'scope, 'env> WorkerPool<'scope, 'env> {
+    fn new(
+        scope: &'scope std::thread::Scope<'scope, 'env>,
+        threads: usize,
+        lp: &'env Problem,
+        lp_opts: &'env SimplexOptions,
+        token: u64,
+        spare: Vec<LpWorkspace>,
+    ) -> Self {
+        WorkerPool {
+            scope,
+            threads,
+            lp,
+            lp_opts,
+            token,
+            spare,
+            spawned: false,
+            job_tx: None,
+            res_rx: None,
+            ws_rx: None,
+        }
+    }
+
+    fn spawn(&mut self) {
+        self.spawned = true;
+        let (job_tx, job_rx) = mpsc::channel::<Job>();
+        // One shared queue: `mpsc::Receiver` is not `Sync`, so workers
+        // serialise on a mutex around `recv`. Contention covers the
+        // dequeue only, never an LP solve.
+        let job_rx = Arc::new(Mutex::new(job_rx));
+        let (res_tx, res_rx) = mpsc::channel();
+        let (ws_tx, ws_rx) = mpsc::channel();
+        for _ in 0..self.threads {
+            let mut ws = self.spare.pop().unwrap_or_default();
+            let job_rx = Arc::clone(&job_rx);
+            let res_tx = res_tx.clone();
+            let ws_tx = ws_tx.clone();
+            let (lp, lp_opts, token) = (self.lp, self.lp_opts, self.token);
+            self.scope.spawn(move || {
+                loop {
+                    // The match scrutinee holds the lock for the dequeue
+                    // only; it is released before the solve starts.
+                    let job = match job_rx.lock() {
+                        Ok(rx) => rx.recv(),
+                        Err(_) => break,
+                    };
+                    let Ok(job) = job else { break };
+                    let eval = evaluate_node_lp(
+                        lp,
+                        &job.lp_lb,
+                        &job.lp_ub,
+                        job.hint.as_deref(),
+                        lp_opts,
+                        token,
+                        job.seed.as_deref(),
+                        &mut ws,
+                    );
+                    if res_tx.send((job.id, eval)).is_err() {
+                        break;
+                    }
+                }
+                let _ = ws_tx.send(ws);
+            });
+        }
+        self.job_tx = Some(job_tx);
+        self.res_rx = Some(res_rx);
+        self.ws_rx = Some(ws_rx);
+    }
+
+    /// Runs a batch to completion and returns every result (in arrival
+    /// order; the caller memoizes by node id, so order is irrelevant).
+    fn evaluate(&mut self, jobs: Vec<Job>) -> Vec<(u64, NodeEval)> {
+        if !self.spawned {
+            self.spawn();
+        }
+        let n = jobs.len();
+        let tx = self.job_tx.as_ref().expect("pool spawned");
+        for job in jobs {
+            tx.send(job).expect("worker pool hung up");
+        }
+        let rx = self.res_rx.as_ref().expect("pool spawned");
+        (0..n).map(|_| rx.recv().expect("worker died")).collect()
+    }
+
+    /// Closes the job queue (ending the worker loops; the enclosing
+    /// `thread::scope` joins them) and collects every workspace back.
+    fn shutdown(mut self) -> Vec<LpWorkspace> {
+        let mut out = std::mem::take(&mut self.spare);
+        self.job_tx.take();
+        if let Some(ws_rx) = self.ws_rx.take() {
+            out.extend(ws_rx.iter());
+        }
+        out
     }
 }
 
