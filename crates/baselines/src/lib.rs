@@ -73,7 +73,7 @@ impl Planner for SodaPlanner {
 
 impl Planner for sqpr_core::SqprPlanner {
     fn submit_query(&mut self, bases: &[StreamId]) -> bool {
-        self.submit(bases).admitted
+        self.submit(bases).map(|o| o.admitted).unwrap_or(false)
     }
     fn admitted(&self) -> usize {
         self.num_admitted()

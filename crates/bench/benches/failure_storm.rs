@@ -1,0 +1,248 @@
+//! Failure-storm recovery on the paper workload.
+//!
+//! Submits the 50-query §V-A workload, then fails 20% of the hosts from a
+//! seeded [`FaultPlan`] (override the seed with `SQPR_FAULT_SEED`; CI runs
+//! a 3-seed matrix) and drives the re-admission storm
+//! ([`recover_from_failures`]) under a node-only budget. Asserts the PR's
+//! robustness contract:
+//!
+//! - **zero silent drops** — every displaced query is re-admitted by the
+//!   solver or explicitly degraded (greedy baseline or best-effort pin);
+//!   `Dropped` never appears while hosts survive;
+//! - **warm storm** — at least 60% of the storm's solver rounds are served
+//!   as compressed-LP cache patches (no fresh lowering);
+//! - **determinism** — recovery modes, deployment placements/flows, node
+//!   spend and the deployment objective are bit-identical across
+//!   `lp_threads` 1 (sequential) and 0 (all cores), per seed.
+//!
+//! Emits `BENCH_failure_storm.json` (recovery latency, degraded fraction,
+//! patch rate) for cross-run tracking. Wall-clock numbers are informative
+//! only — determinism asserts never depend on them.
+
+use sqpr_bench::harness::{emit_json, ms, Json};
+use sqpr_core::{
+    recover_from_failures, PlannerConfig, RecoveryMode, SolveBudget, SqprPlanner, StormBudget,
+    StormReport,
+};
+use sqpr_workload::{generate, FaultPlan, FaultSpec, WorkloadSpec};
+
+const QUERIES: usize = 50;
+const SCALE: f64 = 0.07;
+const FAIL_FRACTION: f64 = 0.20;
+/// Storm-wide node budget: enough for most displaced queries to get a
+/// solver round on this workload, small enough that the budget-dry
+/// degradation path stays reachable on slow seeds.
+const STORM_NODES: usize = 2000;
+const MIN_STORM_PATCH_ROUND_RATE: f64 = 0.60;
+
+struct StormRun {
+    report: StormReport,
+    admitted_before: usize,
+    admitted_after: usize,
+    placements: Vec<(sqpr_dsps::HostId, sqpr_dsps::OperatorId)>,
+    flows: Vec<(sqpr_dsps::HostId, sqpr_dsps::HostId, sqpr_dsps::StreamId)>,
+    objective_bits: u64,
+}
+
+fn run(w: &sqpr_workload::Workload, plan: &FaultPlan, lp_threads: usize) -> StormRun {
+    let mut cfg = PlannerConfig::new(&w.catalog);
+    cfg.budget = SolveBudget::nodes(200);
+    cfg.lp_threads = lp_threads;
+    let mut planner = SqprPlanner::new(w.catalog.clone(), cfg);
+    for q in &w.queries {
+        planner.submit(q).expect("valid bases");
+    }
+    let admitted_before = planner.num_admitted();
+
+    for &h in &plan.failed_hosts {
+        assert!(planner.fail_host(h), "fault plan failed {h} twice");
+    }
+    for &(a, b, factor) in &plan.degraded_links {
+        let cap = planner.catalog().topology().nominal_link(a, b) * factor;
+        planner.degrade_link(a, b, cap);
+    }
+
+    let report = recover_from_failures(&mut planner, &StormBudget::nodes(STORM_NODES));
+    assert!(planner.state().is_valid(planner.catalog()));
+    StormRun {
+        admitted_before,
+        admitted_after: planner.num_admitted(),
+        placements: planner.state().placements().iter().copied().collect(),
+        flows: planner.state().flows().iter().copied().collect(),
+        objective_bits: planner.deployment_objective().to_bits(),
+        report,
+    }
+}
+
+fn main() {
+    let seed: u64 = std::env::var("SQPR_FAULT_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1);
+    let mut spec = WorkloadSpec::paper_sim(SCALE);
+    spec.queries = QUERIES;
+    let w = generate(&spec);
+    let plan = FaultPlan::generate(&FaultSpec::host_storm(
+        w.catalog.num_hosts(),
+        FAIL_FRACTION,
+        seed,
+    ));
+    println!(
+        "failure_storm: seed {seed}, failing {} of {} hosts: {:?}",
+        plan.failed_hosts.len(),
+        w.catalog.num_hosts(),
+        plan.failed_hosts
+    );
+
+    let seq = run(&w, &plan, 1);
+    let par = run(&w, &plan, 0);
+
+    // ---- determinism: sequential vs all-cores, bit for bit ----
+    let modes = |r: &StormRun| -> Vec<(u32, RecoveryMode)> {
+        r.report
+            .recoveries
+            .iter()
+            .map(|x| (x.query.0, x.mode))
+            .collect()
+    };
+    assert_eq!(modes(&seq), modes(&par), "recovery modes diverged");
+    assert_eq!(
+        seq.report.nodes_spent, par.report.nodes_spent,
+        "node spend diverged"
+    );
+    assert_eq!(seq.placements, par.placements, "placements diverged");
+    assert_eq!(seq.flows, par.flows, "flows diverged");
+    assert_eq!(
+        seq.objective_bits, par.objective_bits,
+        "objective not bit-identical"
+    );
+
+    // ---- zero silent drops ----
+    let r = &seq.report;
+    assert!(
+        !r.recoveries.is_empty(),
+        "the fault displaced no queries; the storm is vacuous"
+    );
+    assert_eq!(
+        r.dropped(),
+        0,
+        "survivors exist: every displaced query must be served"
+    );
+    assert_eq!(r.replanned() + r.degraded(), r.recoveries.len());
+
+    // ---- warm storm: solver rounds served as cache patches ----
+    let solver_rounds: Vec<_> = r
+        .recoveries
+        .iter()
+        .filter_map(|x| x.outcome.as_ref())
+        .filter(|o| !o.reused_existing)
+        .collect();
+    // A round is "warm" when it extended the surviving skeleton (no cold
+    // lowering) and its LP solves were served by patching the cached
+    // compressed LP in place. One rebuild per round is expected: each
+    // re-admission is a fresh fixed class, and the class's first
+    // compressed-LP build cannot be a hit (see the fixed-class keying in
+    // `sqpr_milp::cache`); everything after it must patch.
+    let patch_rounds = solver_rounds
+        .iter()
+        .filter(|o| o.incremental && o.lp_cache.patches > 0)
+        .count();
+    let cache_total = solver_rounds
+        .iter()
+        .fold(sqpr_core::CacheStats::default(), |mut acc, o| {
+            acc.add(&o.lp_cache);
+            acc
+        });
+    let patch_round_rate = if solver_rounds.is_empty() {
+        1.0
+    } else {
+        patch_rounds as f64 / solver_rounds.len() as f64
+    };
+    if std::env::var("SQPR_BENCH_DEBUG").is_ok() {
+        for x in &r.recoveries {
+            if let Some(o) = &x.outcome {
+                println!(
+                    "  {:?} {:?} reused={} inc={} rebuilds={} patches={} refix={} rows={} nodes={}",
+                    x.query,
+                    x.mode,
+                    o.reused_existing,
+                    o.incremental,
+                    o.lp_cache.rebuilds,
+                    o.lp_cache.patches,
+                    o.lp_cache.refix_patches,
+                    o.lp_cache.appended_rows,
+                    o.nodes
+                );
+            } else {
+                println!("  {:?} {:?} (no solver round)", x.query, x.mode);
+            }
+        }
+    }
+    let lenient = std::env::var("SQPR_BENCH_LENIENT").is_ok();
+    println!(
+        "storm: {} displaced -> {} replanned / {} degraded ({} pinned), \
+         {}/{} solver rounds patched ({:.0}%, cache patch rate {:.0}%), \
+         {} nodes, {:.2} ms",
+        r.recoveries.len(),
+        r.replanned(),
+        r.degraded(),
+        r.recoveries
+            .iter()
+            .filter(|x| x.degraded_host.is_some())
+            .count(),
+        patch_rounds,
+        solver_rounds.len(),
+        patch_round_rate * 100.0,
+        cache_total.patch_rate() * 100.0,
+        r.nodes_spent,
+        ms(r.elapsed)
+    );
+    if !lenient || patch_round_rate < MIN_STORM_PATCH_ROUND_RATE {
+        assert!(
+            patch_round_rate >= MIN_STORM_PATCH_ROUND_RATE,
+            "only {:.0}% of storm rounds were cache patches (need >= {:.0}%)",
+            patch_round_rate * 100.0,
+            MIN_STORM_PATCH_ROUND_RATE * 100.0
+        );
+    }
+
+    // ---- emit ----
+    let payload = Json::obj(vec![
+        ("bench", Json::Str("failure_storm".into())),
+        ("seed", Json::Num(seed as f64)),
+        ("hosts", Json::Num(w.catalog.num_hosts() as f64)),
+        ("failed_hosts", Json::Num(r.failed_hosts.len() as f64)),
+        ("queries", Json::Num(QUERIES as f64)),
+        ("admitted_before", Json::Num(seq.admitted_before as f64)),
+        ("admitted_after", Json::Num(seq.admitted_after as f64)),
+        ("displaced", Json::Num(r.recoveries.len() as f64)),
+        ("rehomed_feeds", Json::Num(r.rehomed.len() as f64)),
+        ("replanned", Json::Num(r.replanned() as f64)),
+        ("degraded", Json::Num(r.degraded() as f64)),
+        (
+            "pinned",
+            Json::Num(
+                r.recoveries
+                    .iter()
+                    .filter(|x| x.degraded_host.is_some())
+                    .count() as f64,
+            ),
+        ),
+        ("dropped", Json::Num(r.dropped() as f64)),
+        ("degraded_fraction", Json::Num(r.degraded_fraction())),
+        ("storm_nodes_budget", Json::Num(STORM_NODES as f64)),
+        ("nodes_spent", Json::Num(r.nodes_spent as f64)),
+        ("recovery_ms", Json::Num(ms(r.elapsed))),
+        ("solver_rounds", Json::Num(solver_rounds.len() as f64)),
+        ("patch_rounds", Json::Num(patch_rounds as f64)),
+        ("patch_round_rate", Json::Num(patch_round_rate)),
+        ("cache_patches", Json::Num(cache_total.patches as f64)),
+        ("cache_rebuilds", Json::Num(cache_total.rebuilds as f64)),
+        ("cache_patch_rate", Json::Num(cache_total.patch_rate())),
+        (
+            "deterministic_across_threads",
+            Json::Bool(seq.objective_bits == par.objective_bits),
+        ),
+    ]);
+    emit_json("failure_storm", &payload);
+}

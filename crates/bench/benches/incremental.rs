@@ -120,10 +120,10 @@ fn run(w: &sqpr_workload::Workload, reuse_solver_context: bool, lp_threads: usiz
     // per retry on the cold path.
     let mut pending_retry: Option<usize> = None;
     for (i, q) in w.queries.iter().enumerate() {
-        let adm = planner.submit(q).admitted;
+        let adm = planner.submit(q).expect("valid bases").admitted;
         first_admitted.push(adm);
         if let Some(r) = pending_retry.take() {
-            retry_admitted.push(planner.submit(&w.queries[r]).admitted);
+            retry_admitted.push(planner.submit(&w.queries[r]).expect("valid bases").admitted);
             retry_outcomes.push(planner.outcomes().len() - 1);
         }
         if !adm {
@@ -131,7 +131,7 @@ fn run(w: &sqpr_workload::Workload, reuse_solver_context: bool, lp_threads: usiz
         }
     }
     if let Some(r) = pending_retry.take() {
-        retry_admitted.push(planner.submit(&w.queries[r]).admitted);
+        retry_admitted.push(planner.submit(&w.queries[r]).expect("valid bases").admitted);
         retry_outcomes.push(planner.outcomes().len() - 1);
     }
     assert!(planner.state().is_valid(planner.catalog()));

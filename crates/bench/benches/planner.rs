@@ -39,7 +39,7 @@ fn main() {
         let mut cfg = PlannerConfig::new(&w.catalog);
         cfg.budget = SolveBudget::nodes(20);
         let mut planner = SqprPlanner::new(w.catalog.clone(), cfg);
-        planner.submit(&w.queries[0])
+        planner.submit(&w.queries[0]).expect("valid bases")
     });
 
     g.bench("submit_20_queries", || {
@@ -47,7 +47,7 @@ fn main() {
         cfg.budget = SolveBudget::nodes(20);
         let mut planner = SqprPlanner::new(w.catalog.clone(), cfg);
         for q in w.queries.iter().take(20) {
-            planner.submit(q);
+            planner.submit(q).expect("valid bases");
         }
         planner.num_admitted()
     });

@@ -22,7 +22,7 @@ fn run_with(
     let mut planner = SqprPlanner::new(w.catalog.clone(), cfg);
     let n = queries.unwrap_or(w.queries.len());
     for q in w.queries.iter().take(n) {
-        planner.submit(q);
+        planner.submit(q).expect("valid bases");
     }
     let cpu = planner.state().cpu_usage(planner.catalog());
     (planner.num_admitted(), jain_fairness(&cpu))
@@ -117,7 +117,7 @@ pub fn ablation_hierarchical(scale: f64) -> Vec<Series> {
     cfg.budget = budget_for_timeout(30);
     let mut flat = SqprPlanner::new(w.catalog.clone(), cfg);
     for q in &w.queries {
-        flat.submit(q);
+        flat.submit(q).expect("valid bases");
     }
     let t_flat = t0.elapsed();
 
@@ -135,7 +135,7 @@ pub fn ablation_hierarchical(scale: f64) -> Vec<Series> {
         cfg
     });
     for q in &w.queries {
-        hier.submit(q);
+        hier.submit(q).expect("valid bases");
     }
     let t_hier = t1.elapsed();
 

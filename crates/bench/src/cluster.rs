@@ -41,7 +41,7 @@ pub fn fig7a(scale: f64) -> Vec<Series> {
     let mut submitted = 0usize;
     for chunk in w.queries.chunks(wave) {
         for q in chunk {
-            sqpr.submit(q);
+            sqpr.submit(q).expect("valid bases");
             soda.submit(q);
         }
         submitted += chunk.len();
@@ -79,7 +79,7 @@ pub fn cluster_distributions(scale: f64, input_queries: usize) -> Vec<ClusterDis
 
     let mut sqpr = cluster_sqpr(&w);
     for q in &queries {
-        sqpr.submit(q);
+        sqpr.submit(q).expect("valid bases");
     }
     let report = run_engine(sqpr.catalog(), sqpr.state(), &engine_cfg);
     out.push(ClusterDistributions {

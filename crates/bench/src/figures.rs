@@ -87,7 +87,7 @@ pub fn fig4b(scale: f64) -> Vec<Series> {
         let mut s = Series::new(format!("{batch} query batches"));
         let mut submitted = 0usize;
         for chunk in w.queries.chunks(batch) {
-            planner.submit_batch(chunk);
+            planner.submit_batch(chunk).expect("valid bases");
             submitted += chunk.len();
             if submitted % every < batch || submitted == w.queries.len() {
                 s.push(submitted as f64, planner.num_admitted() as f64);
@@ -209,7 +209,7 @@ fn planning_time_at_load(spec: &WorkloadSpec, budget: SolveBudget) -> f64 {
         let used: f64 = planner.state().cpu_usage(planner.catalog()).iter().sum();
         let loaded = used / total_cpu >= 0.75;
         let t = Instant::now();
-        planner.submit(q);
+        planner.submit(q).expect("valid bases");
         if loaded {
             times.push(t.elapsed().as_secs_f64() * 1e3);
         }

@@ -63,7 +63,7 @@ pub fn adapt_to_observed_rates(
     for q in affected {
         report.replanned.push(q);
         match planner.replan_query(q) {
-            Some(outcome) if outcome.admitted => report.readmitted.push(q),
+            Ok(outcome) if outcome.admitted => report.readmitted.push(q),
             _ => report.dropped.push(q),
         }
     }
@@ -78,7 +78,7 @@ pub fn adapt_to_observed_rates(
             if !report.replanned.contains(&q) {
                 report.replanned.push(q);
                 match planner.replan_query(q) {
-                    Some(outcome) if outcome.admitted => report.readmitted.push(q),
+                    Ok(outcome) if outcome.admitted => report.readmitted.push(q),
                     _ => report.dropped.push(q),
                 }
             }

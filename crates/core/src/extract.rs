@@ -209,8 +209,8 @@ mod tests {
         let mut cfg = PlannerConfig::new(&c);
         cfg.budget.max_nodes = 50;
         let mut p = SqprPlanner::new(c, cfg);
-        assert!(p.submit(&[a, b]).admitted);
-        assert!(p.submit(&[a, b, d]).admitted);
+        assert!(p.submit(&[a, b]).expect("valid bases").admitted);
+        assert!(p.submit(&[a, b, d]).expect("valid bases").admitted);
         p
     }
 

@@ -16,7 +16,7 @@ use std::collections::HashMap;
 use sqpr_dsps::{Catalog, HostId, HostSpec, NetworkTopology, StreamId};
 
 use crate::config::PlannerConfig;
-use crate::planner::{PlanningOutcome, SqprPlanner};
+use crate::planner::{PlannerError, PlanningOutcome, SqprPlanner};
 
 /// One site's planner plus the id mappings back to the global system.
 struct Site {
@@ -146,7 +146,11 @@ impl HierarchicalPlanner {
     /// Submits a query (global base-stream ids): assigns a site, mirrors
     /// missing base streams at its gateway, plans within the site. Returns
     /// the chosen site and whether the query was admitted.
-    pub fn submit(&mut self, bases: &[StreamId]) -> (usize, bool) {
+    ///
+    /// # Errors
+    /// Propagates the site planner's [`PlannerError`] (fewer than two
+    /// distinct bases, unknown streams).
+    pub fn submit(&mut self, bases: &[StreamId]) -> Result<(usize, bool), PlannerError> {
         // Site scoring: native base count, tie-break by fewer admitted.
         let mut best = 0usize;
         let mut best_score = (usize::MIN, usize::MAX);
@@ -186,10 +190,10 @@ impl HierarchicalPlanner {
             local_bases.push(local);
         }
 
-        let outcome = site.planner.submit(&local_bases);
+        let outcome = site.planner.submit(&local_bases)?;
         let admitted = outcome.admitted;
         self.outcomes.push((best, outcome));
-        (best, admitted)
+        Ok((best, admitted))
     }
 }
 
@@ -228,8 +232,8 @@ mod tests {
     fn queries_go_to_their_native_site() {
         let (c, b) = global_catalog();
         let mut h = hp(&c);
-        let (site0, ok0) = h.submit(&[b[0], b[1]]); // both native to site 0
-        let (site1, ok1) = h.submit(&[b[2], b[3]]); // both native to site 1
+        let (site0, ok0) = h.submit(&[b[0], b[1]]).expect("valid bases"); // site 0
+        let (site1, ok1) = h.submit(&[b[2], b[3]]).expect("valid bases"); // site 1
         assert!(ok0 && ok1);
         assert_eq!(site0, 0);
         assert_eq!(site1, 1);
@@ -243,7 +247,7 @@ mod tests {
         let mut h = hp(&c);
         // b0, b1 native to site 0; b2 native to site 1 -> assigned to site
         // 0 (majority), b2 mirrored at the gateway.
-        let (site, ok) = h.submit(&[b[0], b[1], b[2]]);
+        let (site, ok) = h.submit(&[b[0], b[1], b[2]]).expect("valid bases");
         assert_eq!(site, 0);
         assert!(ok);
         assert_eq!(h.num_admitted(), 1);
@@ -253,9 +257,9 @@ mod tests {
     fn site_planners_stay_valid() {
         let (c, b) = global_catalog();
         let mut h = hp(&c);
-        h.submit(&[b[0], b[1]]);
-        h.submit(&[b[0], b[2]]);
-        h.submit(&[b[2], b[3]]);
+        h.submit(&[b[0], b[1]]).expect("valid bases");
+        h.submit(&[b[0], b[2]]).expect("valid bases");
+        h.submit(&[b[2], b[3]]).expect("valid bases");
         for site in &h.sites {
             assert!(site.planner.state().is_valid(site.planner.catalog()));
         }

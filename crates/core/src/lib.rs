@@ -10,6 +10,9 @@
 //! - [`planner`] implements Algorithm 1 (initial query planning) plus
 //!   batched submission and query removal with garbage collection;
 //! - [`adaptive`] implements §IV-B (re-planning on rate drift / shortage);
+//! - [`recovery`] drives failure-storm re-admission: displaced queries
+//!   re-enter admission through the warm solver path under a storm-wide
+//!   budget, degrading to greedy placement when the budget runs dry;
 //! - [`config`] exposes the λ-weights (with the paper's defaults), solve
 //!   budgets and the ablation knobs (reuse / reduction / relaying / IV.9).
 
@@ -21,6 +24,7 @@ pub mod hierarchical;
 pub mod model;
 pub mod planner;
 pub mod query;
+pub mod recovery;
 
 pub use adaptive::{adapt_to_observed_rates, AdaptReport};
 pub use config::{AcyclicityMode, ObjectiveWeights, PlannerConfig, RelayPolicy, SolveBudget};
@@ -28,7 +32,8 @@ pub use extract::extract_plan;
 pub use greedy::greedy_admit;
 pub use hierarchical::HierarchicalPlanner;
 pub use model::{DecodedAllocation, ModelInputs, PlanningModel};
-pub use planner::{garbage_collect, PlanningOutcome, SolverStats, SqprPlanner};
+pub use planner::{garbage_collect, PlannerError, PlanningOutcome, SolverStats, SqprPlanner};
 pub use query::{full_space, register_join_query, PlanSpace, QuerySpec};
+pub use recovery::{recover_from_failures, QueryRecovery, RecoveryMode, StormBudget, StormReport};
 pub use sqpr_lp::{BasisUpdate, PricingRule, RatioTest};
-pub use sqpr_milp::{CacheStats, PivotCounts};
+pub use sqpr_milp::{CacheStats, MilpStatus, PivotCounts};

@@ -636,6 +636,34 @@ impl PlanningModel {
         // (zero/objective-only cost) and any causal fixing admits them.
     }
 
+    /// Whether every decision column of `space` — its streams' `y`/`x`/`d`
+    /// and its operators' `z` — is currently bound-fixed (`lb == ub`),
+    /// i.e. the space lies entirely outside the active reduction. The
+    /// auxiliary columns ([`Self::apply_reduction`] never fixes potentials
+    /// or the O4 variable) are excluded. This is the safety condition for
+    /// keeping the solver context across a query removal: re-fixing a
+    /// fixed column at a new value is a bound patch the LP cache absorbs.
+    pub fn space_is_bound_fixed(&self, space: &PlanSpace) -> bool {
+        let in_streams: BTreeSet<StreamId> = space.streams.iter().copied().collect();
+        let in_ops: BTreeSet<OperatorId> = space.operators.iter().copied().collect();
+        let fixed = |v: VarId| {
+            let (lb, ub) = self.milp.var_bounds(v);
+            lb == ub
+        };
+        self.y
+            .iter()
+            .chain(self.d.iter())
+            .all(|(&(_, s), &v)| !in_streams.contains(&s) || fixed(v))
+            && self
+                .x
+                .iter()
+                .all(|(&(_, _, s), &v)| !in_streams.contains(&s) || fixed(v))
+            && self
+                .z
+                .iter()
+                .all(|(&(_, o), &v)| !in_ops.contains(&o) || fixed(v))
+    }
+
     /// Marks the decision variables of `spaces` fold-exempt (and everything
     /// else fold-eligible): the compressed-LP cache then keeps those
     /// columns in the LP even while a submission pins them, so a later
@@ -746,7 +774,7 @@ impl PlanningModel {
     fn refresh_avail_rhs(&mut self, catalog: &Catalog) {
         for (&(m, s), &row) in &self.avail_rows {
             let mut rhs = 0.0;
-            if catalog.is_base_at(s, m) {
+            if catalog.is_base_at(s, m) && !catalog.is_host_failed(m) {
                 rhs += 1.0;
             }
             if self.fixed_producer.contains(&(m, s)) {
@@ -764,7 +792,7 @@ impl PlanningModel {
     fn refresh_relay_rhs(&mut self, catalog: &Catalog) {
         for (&(h, _, s), &row) in &self.relay_rows {
             let mut rhs = 0.0;
-            if catalog.is_base_at(s, h) {
+            if catalog.is_base_at(s, h) && !catalog.is_host_failed(h) {
                 rhs += 1.0;
             }
             if self.fixed_producer.contains(&(h, s)) {
@@ -780,7 +808,7 @@ impl PlanningModel {
         for (cut, rows) in &self.cut_rows {
             let mut rhs = 0.0;
             for &m2 in &cut.dead_set {
-                if catalog.is_base_at(cut.stream, m2) {
+                if catalog.is_base_at(cut.stream, m2) && !catalog.is_host_failed(m2) {
                     rhs += 1.0;
                 }
                 if self.fixed_producer.contains(&(m2, cut.stream)) {

@@ -8,9 +8,10 @@
 //! install the best incumbent if it admits the query.
 
 use std::collections::BTreeSet;
+use std::fmt;
 use std::time::{Duration, Instant};
 
-use sqpr_dsps::{Catalog, DeploymentState, QueryId, StreamId};
+use sqpr_dsps::{Catalog, DeploymentState, FailureAudit, HostId, QueryId, StreamId};
 use sqpr_milp::{
     solve_filtered_warm, solve_filtered_warm_cached, solve_warm, solve_warm_cached, CacheStats,
     LpCacheSlot, MilpOptions, MilpStatus, MilpWarmStart, ModelBasis, PivotCounts,
@@ -20,6 +21,41 @@ use crate::config::{AcyclicityMode, ObjectiveWeights, PlannerConfig, RelayPolicy
 use crate::greedy::greedy_admit;
 use crate::model::{AvailabilityCut, ModelInputs, PlanningModel};
 use crate::query::{full_space, register_join_query, PlanSpace, QuerySpec};
+
+/// Typed rejection of a malformed planner request. Submission and
+/// re-planning used to panic on these (deep inside query registration);
+/// on the re-admission hot path of a failure storm a panic over one bad
+/// query would take the whole recovery down, so they are surfaced as
+/// values instead.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlannerError {
+    /// A join query needs at least 2 *distinct* base streams.
+    TooFewBases { distinct: usize },
+    /// The stream id is not registered in the catalog.
+    UnknownStream(StreamId),
+    /// The stream exists but is a composite, not a base stream.
+    NotABaseStream(StreamId),
+    /// The query id was never submitted to this planner.
+    UnknownQuery(QueryId),
+}
+
+impl fmt::Display for PlannerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlannerError::TooFewBases { distinct } => {
+                write!(
+                    f,
+                    "a join query needs >= 2 distinct base streams (got {distinct})"
+                )
+            }
+            PlannerError::UnknownStream(s) => write!(f, "unknown stream {s}"),
+            PlannerError::NotABaseStream(s) => write!(f, "stream {s} is not a base stream"),
+            PlannerError::UnknownQuery(q) => write!(f, "unknown query {q}"),
+        }
+    }
+}
+
+impl std::error::Error for PlannerError {}
 
 /// Result of one planning round.
 #[derive(Debug, Clone)]
@@ -46,6 +82,11 @@ pub struct PlanningOutcome {
     pub model_cons: usize,
     /// The solver proved optimality (vs. stopping on the budget).
     pub proved_optimal: bool,
+    /// Final solver status of the round (`Optimal` for short-circuited
+    /// submissions). Distinguishes budget-limited rounds (`Feasible` /
+    /// `Unknown`) from proven ones — the recovery storm reports it per
+    /// re-admitted query.
+    pub status: MilpStatus,
     /// The round reused the persistent solver context (extended skeleton
     /// plus root-basis warm start) instead of building from scratch.
     pub incremental: bool,
@@ -238,8 +279,30 @@ impl SqprPlanner {
         }
     }
 
+    /// Validates a submission's base streams before anything is registered
+    /// or mutated, so malformed input is a clean [`PlannerError`] instead
+    /// of a panic halfway through catalog interning.
+    fn validate_bases(&self, bases: &[StreamId]) -> Result<(), PlannerError> {
+        let distinct: BTreeSet<StreamId> = bases.iter().copied().collect();
+        if distinct.len() < 2 {
+            return Err(PlannerError::TooFewBases {
+                distinct: distinct.len(),
+            });
+        }
+        for &s in &distinct {
+            if s.index() >= self.catalog.num_streams() {
+                return Err(PlannerError::UnknownStream(s));
+            }
+            if self.catalog.source_host(s).is_none() {
+                return Err(PlannerError::NotABaseStream(s));
+            }
+        }
+        Ok(())
+    }
+
     /// Submits one k-way join query over the given base streams.
-    pub fn submit(&mut self, bases: &[StreamId]) -> PlanningOutcome {
+    pub fn submit(&mut self, bases: &[StreamId]) -> Result<PlanningOutcome, PlannerError> {
+        self.validate_bases(bases)?;
         let q = QueryId(self.next_query);
         self.next_query += 1;
         let tag = self.reuse_tag(q);
@@ -248,24 +311,10 @@ impl SqprPlanner {
         // Algorithm 1 line 3: the stream may already be provided.
         if self.state.provider_of(spec.result).is_some() {
             self.state.admit_query(q, spec.result);
-            let outcome = PlanningOutcome {
-                query: q,
-                admitted: true,
-                reused_existing: true,
-                nodes: 0,
-                lp_iterations: 0,
-                lp_pivots: PivotCounts::default(),
-                gap: 0.0,
-                solve_time: Duration::ZERO,
-                model_vars: 0,
-                model_cons: 0,
-                proved_optimal: true,
-                incremental: false,
-                lp_cache: CacheStats::default(),
-            };
+            let outcome = short_circuit_outcome(q);
             self.queries.push(spec);
             self.outcomes.push(outcome.clone());
-            return outcome;
+            return Ok(outcome);
         }
 
         let outcome = self.plan_streams(q, std::slice::from_ref(&spec.result), &space);
@@ -274,13 +323,21 @@ impl SqprPlanner {
         }
         self.queries.push(spec);
         self.outcomes.push(outcome.clone());
-        outcome
+        Ok(outcome)
     }
 
     /// Submits a batch of queries planned in a single optimisation (paper
     /// Fig. 4(b)): one model whose free space is the union of the batch's
     /// plan spaces, with the budget scaled by the batch size by the caller.
-    pub fn submit_batch(&mut self, batch: &[Vec<StreamId>]) -> Vec<PlanningOutcome> {
+    pub fn submit_batch(
+        &mut self,
+        batch: &[Vec<StreamId>],
+    ) -> Result<Vec<PlanningOutcome>, PlannerError> {
+        // Validate the whole batch before registering anything: a rejected
+        // batch leaves the planner untouched.
+        for bases in batch {
+            self.validate_bases(bases)?;
+        }
         let mut specs = Vec::new();
         let mut merged = PlanSpace::default();
         let mut new_streams = Vec::new();
@@ -322,21 +379,9 @@ impl SqprPlanner {
             if admitted {
                 self.state.admit_query(spec.id, spec.result);
             }
-            let mut o = shared.clone().unwrap_or(PlanningOutcome {
-                query: spec.id,
-                admitted,
-                reused_existing: true,
-                nodes: 0,
-                lp_iterations: 0,
-                lp_pivots: PivotCounts::default(),
-                gap: 0.0,
-                solve_time: Duration::ZERO,
-                model_vars: 0,
-                model_cons: 0,
-                proved_optimal: true,
-                incremental: false,
-                lp_cache: CacheStats::default(),
-            });
+            let mut o = shared
+                .clone()
+                .unwrap_or_else(|| short_circuit_outcome(spec.id));
             o.query = spec.id;
             o.admitted = admitted;
             o.reused_existing = was_provided;
@@ -344,7 +389,7 @@ impl SqprPlanner {
             self.outcomes.push(o.clone());
             outcomes.push(o);
         }
-        outcomes
+        Ok(outcomes)
     }
 
     /// Whether submissions may reuse the persistent solver context.
@@ -420,18 +465,10 @@ impl SqprPlanner {
             .filter(|c| live_space.contains_stream(c.stream))
             .cloned()
             .collect();
-        let model = PlanningModel::build(&ModelInputs {
-            catalog: &self.catalog,
-            state: &self.state,
-            space: &live_space,
-            new_streams,
-            weights: self.config.weights,
-            relay_policy: self.config.relay_policy,
-            acyclicity: self.config.acyclicity,
-            replan: self.config.replan,
-            cuts: &live_cuts,
-        });
-        let old = self.ctx.cache.take().expect("checked above");
+        let model = self.build_model(&live_space, new_streams, &live_cuts);
+        let Some(old) = self.ctx.cache.take() else {
+            return;
+        };
         self.ctx.root_basis = self
             .ctx
             .root_basis
@@ -448,6 +485,27 @@ impl SqprPlanner {
         });
         // The compressed-LP cache indexes the old skeleton's columns.
         self.ctx.lp_cache.invalidate();
+    }
+
+    /// Builds a planning model from scratch over the given space (the
+    /// cold path, and the incremental path's first round).
+    fn build_model(
+        &self,
+        space: &PlanSpace,
+        new_streams: &[StreamId],
+        cuts: &[AvailabilityCut],
+    ) -> PlanningModel {
+        PlanningModel::build(&ModelInputs {
+            catalog: &self.catalog,
+            state: &self.state,
+            space,
+            new_streams,
+            weights: self.config.weights,
+            relay_policy: self.config.relay_policy,
+            acyclicity: self.config.acyclicity,
+            replan: self.config.replan,
+            cuts,
+        })
     }
 
     /// Core planning round: build or extend, warm-start, solve, decode,
@@ -507,28 +565,18 @@ impl SqprPlanner {
             let last_round = round >= max_rounds;
             let fresh_model;
             let model: &PlanningModel = if incremental {
-                match &mut self.ctx.cache {
-                    None => {
-                        let model = PlanningModel::build(&ModelInputs {
-                            catalog: &self.catalog,
-                            state: &self.state,
-                            space,
-                            new_streams,
-                            weights: self.config.weights,
-                            relay_policy: self.config.relay_policy,
-                            acyclicity: self.config.acyclicity,
-                            replan: self.config.replan,
-                            cuts: &cuts,
-                        });
-                        self.ctx.cache = Some(ModelCache {
-                            model,
-                            space: space.clone(),
-                            cuts: cuts.clone(),
-                            sig: sig.clone(),
-                            query_log: log_entry(q, space),
-                        });
-                    }
-                    Some(cache) => {
+                // Build or extend on the *owned* cache (taken out of the
+                // context) so no panicking re-borrow is needed afterwards;
+                // `Option::insert` hands the final shared borrow back.
+                let mut cache = match self.ctx.cache.take() {
+                    None => ModelCache {
+                        model: self.build_model(space, new_streams, &cuts),
+                        space: space.clone(),
+                        cuts: cuts.clone(),
+                        sig: sig.clone(),
+                        query_log: log_entry(q, space),
+                    },
+                    Some(mut cache) => {
                         if round == 1 {
                             cache.query_log.extend(log_entry(q, space));
                         }
@@ -552,8 +600,9 @@ impl SqprPlanner {
                         cache
                             .model
                             .apply_reduction(space, &self.state, &self.catalog);
+                        cache
                     }
-                }
+                };
                 // Compression hint for the LP cache: keep recently
                 // rejected queries' columns unfolded — they are the
                 // re-planning targets, and re-freeing a *folded* column is
@@ -563,7 +612,6 @@ impl SqprPlanner {
                 // deployment, so the exempt set shrinks as queries land.
                 let window = self.config.lp_keep_rejected_free_window;
                 if window > 0 {
-                    let cache = self.ctx.cache.as_mut().expect("cache just ensured");
                     let start = cache.query_log.len().saturating_sub(window);
                     let rejected = cache.query_log[start..]
                         .iter()
@@ -571,19 +619,17 @@ impl SqprPlanner {
                         .map(|(_, sp)| sp);
                     cache.model.set_fold_exemptions(rejected);
                 }
-                &self.ctx.cache.as_ref().expect("cache just ensured").model
+                self.ctx.cache = Some(cache);
+                match self.ctx.cache.as_ref() {
+                    Some(c) => &c.model,
+                    // Just assigned; kept panic-free with a cold fallback.
+                    None => {
+                        fresh_model = self.build_model(space, new_streams, &cuts);
+                        &fresh_model
+                    }
+                }
             } else {
-                fresh_model = PlanningModel::build(&ModelInputs {
-                    catalog: &self.catalog,
-                    state: &self.state,
-                    space,
-                    new_streams,
-                    weights: self.config.weights,
-                    relay_policy: self.config.relay_policy,
-                    acyclicity: self.config.acyclicity,
-                    replan: self.config.replan,
-                    cuts: &cuts,
-                });
+                fresh_model = self.build_model(space, new_streams, &cuts);
                 &fresh_model
             };
 
@@ -791,6 +837,7 @@ impl SqprPlanner {
                 model_vars: model.num_vars(),
                 model_cons: model.num_cons(),
                 proved_optimal: result.status == MilpStatus::Optimal,
+                status: result.status,
                 incremental,
                 lp_cache: self.ctx.lp_cache.stats().since(&cache_stats_before),
             };
@@ -817,9 +864,19 @@ impl SqprPlanner {
     }
 
     /// Removes a query; garbage-collects allocation pieces that no longer
-    /// serve anything (used by adaptive re-planning, §IV-B). Shrinking the
-    /// deployment invalidates the solver context (the skeleton's demand
-    /// rows and residuals assume a monotonically growing system).
+    /// serve anything (used by adaptive re-planning, §IV-B).
+    ///
+    /// The solver context survives the removal when every model column the
+    /// query contributed is currently *bound-fixed* (outside the active
+    /// plan space): the next extension's demand-kind lifecycle relaxes the
+    /// stream's IV.9 equality, `apply_reduction` re-fixes the vacated
+    /// columns at their new (empty) deployment values, and the residual
+    /// refresh re-credits the freed capacity — all bound patches the
+    /// compressed-LP cache absorbs in place, so a failure storm's
+    /// remove/re-admit churn does not cold-start the cache. If any of the
+    /// query's columns are still free (it was planned in the latest round
+    /// and nothing re-fixed them yet), the context is invalidated as
+    /// before.
     pub fn remove_query(&mut self, q: QueryId) -> bool {
         let Some(stream) = self.state.remove_query(q) else {
             return false;
@@ -830,41 +887,158 @@ impl SqprPlanner {
             self.state.clear_provided(stream);
             garbage_collect(&mut self.state, &self.catalog);
         }
-        self.invalidate_solver_context();
+        if !self.context_survives_removal(q) {
+            self.invalidate_solver_context();
+        }
         true
+    }
+
+    /// Whether the cached skeleton can absorb the removal of `q` with
+    /// bound patches alone: every column of each of the query's logged
+    /// plan spaces must be bound-fixed. A query with no log entries (it
+    /// short-circuited onto an existing provider) contributed no columns
+    /// of its own, so the context trivially survives.
+    fn context_survives_removal(&self, q: QueryId) -> bool {
+        let Some(cache) = &self.ctx.cache else {
+            return false;
+        };
+        cache
+            .query_log
+            .iter()
+            .filter(|(lq, _)| *lq == q)
+            .all(|(_, sp)| cache.model.space_is_bound_fixed(sp))
+    }
+
+    // ----- fault model & recovery ---------------------------------------
+
+    /// Fails a host: its capacities and every link touching it drop to
+    /// zero. The solver context is *kept* — capacities live in row bounds
+    /// that every extension refreshes from the catalog, so the next round
+    /// patches the cached LP in place instead of rebuilding. Call
+    /// [`Self::absorb_failures`] afterwards to audit and shed the
+    /// displaced allocations. Returns false if the host was already down.
+    pub fn fail_host(&mut self, h: HostId) -> bool {
+        self.catalog.fail_host(h)
+    }
+
+    /// Restores a previously failed host to its configured capacities.
+    pub fn restore_host(&mut self, h: HostId) -> bool {
+        self.catalog.restore_host(h)
+    }
+
+    /// Degrades the directed link `h -> m` to the given effective capacity.
+    pub fn degrade_link(&mut self, h: HostId, m: HostId, capacity: f64) {
+        self.catalog.degrade_link(h, m, capacity);
+    }
+
+    /// Restores the directed link `h -> m` to its configured capacity.
+    pub fn restore_link(&mut self, h: HostId, m: HostId) {
+        self.catalog.restore_link(h, m);
+    }
+
+    /// Reconnects base streams orphaned by host failures to surviving
+    /// ingest hosts ([`Catalog::rehome_orphaned_sources`]). Availability
+    /// grants live in row bounds the next extension refreshes, so the
+    /// moves ride the warm patch path like the failures themselves.
+    pub fn rehome_orphaned_sources(&mut self) -> Vec<(StreamId, HostId, HostId)> {
+        self.catalog.rehome_orphaned_sources()
+    }
+
+    /// Audits the deployment against the current fault set, installs the
+    /// surviving allocation and garbage-collects orphaned pieces. The
+    /// returned audit lists the displaced queries (ascending id) — the
+    /// re-admission order of a recovery storm ([`crate::recovery`]).
+    ///
+    /// Like [`Self::remove_query`] on the bound-fixed path, this keeps the
+    /// solver context: the shrink is absorbed by the next extension's
+    /// demand/residual/pin refreshes and `apply_reduction`'s re-fixing, so
+    /// storm rounds stay on the warm patch path. Queries whose columns are
+    /// still free in the skeleton force an invalidation (same rule as
+    /// removal).
+    pub fn absorb_failures(&mut self) -> FailureAudit {
+        let audit = self.state.audit_failures(&self.catalog);
+        let survives = audit
+            .displaced
+            .iter()
+            .all(|&q| self.context_survives_removal(q));
+        self.state = audit.survivor.clone();
+        garbage_collect(&mut self.state, &self.catalog);
+        if !survives {
+            self.invalidate_solver_context();
+        }
+        audit
+    }
+
+    /// Constructive fallback admission for one already-registered query:
+    /// the greedy baseline placement (no solver). Used by the recovery
+    /// storm when its budget runs dry — a degraded-but-served placement
+    /// beats dropping the query. Returns the outcome, or an error if `q`
+    /// was never submitted.
+    pub fn admit_greedy(&mut self, q: QueryId) -> Result<bool, PlannerError> {
+        let spec = self
+            .queries
+            .iter()
+            .find(|s| s.id == q)
+            .ok_or(PlannerError::UnknownQuery(q))?;
+        let result = spec.result;
+        if self.state.provider_of(result).is_some() {
+            self.state.admit_query(q, result);
+            return Ok(true);
+        }
+        let tag = self.reuse_tag(q);
+        match greedy_admit(&self.catalog, &self.state, result, tag) {
+            Some(next) => {
+                self.state = next;
+                self.state.admit_query(q, result);
+                Ok(true)
+            }
+            None => Ok(false),
+        }
     }
 
     /// Re-registers and re-plans an existing query (remove + re-add).
     /// Returns the new outcome.
-    pub fn replan_query(&mut self, q: QueryId) -> Option<PlanningOutcome> {
-        let spec = self.queries.iter().find(|s| s.id == q)?.clone();
+    pub fn replan_query(&mut self, q: QueryId) -> Result<PlanningOutcome, PlannerError> {
+        let spec = self
+            .queries
+            .iter()
+            .find(|s| s.id == q)
+            .cloned()
+            .ok_or(PlannerError::UnknownQuery(q))?;
         self.remove_query(q);
         let bases: Vec<StreamId> = spec.bases.iter().copied().collect();
         let tag = self.reuse_tag(q);
         let (spec2, space) = register_join_query(&mut self.catalog, q, &bases, tag);
         if self.state.provider_of(spec2.result).is_some() {
             self.state.admit_query(q, spec2.result);
-            return Some(PlanningOutcome {
-                query: q,
-                admitted: true,
-                reused_existing: true,
-                nodes: 0,
-                lp_iterations: 0,
-                lp_pivots: PivotCounts::default(),
-                gap: 0.0,
-                solve_time: Duration::ZERO,
-                model_vars: 0,
-                model_cons: 0,
-                proved_optimal: true,
-                incremental: false,
-                lp_cache: CacheStats::default(),
-            });
+            return Ok(short_circuit_outcome(q));
         }
         let outcome = self.plan_streams(q, &[spec2.result], &space);
         if outcome.admitted {
             self.state.admit_query(q, spec2.result);
         }
-        Some(outcome)
+        Ok(outcome)
+    }
+}
+
+/// Outcome of a round that never reached the solver: the result stream was
+/// already provided (Algorithm 1, line 3) or an equivalent short-circuit.
+fn short_circuit_outcome(q: QueryId) -> PlanningOutcome {
+    PlanningOutcome {
+        query: q,
+        admitted: true,
+        reused_existing: true,
+        nodes: 0,
+        lp_iterations: 0,
+        lp_pivots: PivotCounts::default(),
+        gap: 0.0,
+        solve_time: Duration::ZERO,
+        model_vars: 0,
+        model_cons: 0,
+        proved_optimal: true,
+        status: MilpStatus::Optimal,
+        incremental: false,
+        lp_cache: CacheStats::default(),
     }
 }
 

@@ -1,0 +1,286 @@
+//! Failure-storm recovery: mass re-admission with graceful degradation.
+//!
+//! A federated DSPS loses hosts and links as a matter of course; every
+//! failure displaces the queries deployed on them and forces re-planning.
+//! This module drives the *re-admission storm* that follows: orphaned
+//! base-stream feeds reconnect to surviving ingest hosts
+//! ([`SqprPlanner::rehome_orphaned_sources`]), the planner audits the
+//! fault ([`SqprPlanner::absorb_failures`]), and
+//! [`recover_from_failures`] re-enters the displaced queries into
+//! admission in ascending query-id order — each round riding the warm
+//! [`SqprPlanner::replan_query`] path, where the surviving skeleton's
+//! capacity rows were already patched in place from the post-fault
+//! catalog.
+//!
+//! The storm runs under a storm-wide budget ([`StormBudget`]: cumulative
+//! branch & bound nodes and/or wall clock). **Graceful degradation** is a
+//! ladder: once the budget runs dry — or the solver rejects a query
+//! within budget (resource-tight post-fault systems) — the query first
+//! gets the greedy baseline placement ([`SqprPlanner::admit_greedy`],
+//! capacity-respecting, installed into the managed deployment); if even
+//! that cannot fit, it is *pinned best-effort* to the surviving host with
+//! the most remaining CPU (oversubscribing it — the query runs at reduced
+//! QoS outside the optimiser-managed deployment, which stays valid). Both
+//! rungs report [`RecoveryMode::Degraded`]; a pin also records its host
+//! in [`QueryRecovery::degraded_host`]. [`RecoveryMode::Dropped`] is
+//! reached only when no host survives to pin to; a [`StormReport`]
+//! accounts for every displaced query, so nothing is dropped silently.
+//!
+//! Determinism: with a node-only budget the storm is a pure function of
+//! the planner state and fault set — replaying it (any `SQPR_LP_THREADS`
+//! setting) reproduces decisions bit-for-bit. A wall-clock budget
+//! necessarily breaks that; benches asserting determinism use nodes only.
+
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+
+use sqpr_dsps::{HostId, QueryId, StreamId};
+use sqpr_milp::MilpStatus;
+
+use crate::planner::{PlanningOutcome, SqprPlanner};
+
+/// How one displaced query came back (or did not).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoveryMode {
+    /// Re-admitted by the solver through the warm re-planning path.
+    Replanned,
+    /// Served at reduced quality: the greedy baseline placement, or — when
+    /// no capacity-respecting placement exists — a best-effort pin to the
+    /// least-loaded surviving host ([`QueryRecovery::degraded_host`]).
+    Degraded,
+    /// Not served: no host survives to run it, even oversubscribed.
+    Dropped,
+}
+
+/// Storm-wide recovery budget. `None` fields are unlimited.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StormBudget {
+    /// Cumulative branch & bound nodes across the storm's solver rounds
+    /// (the deterministic budget).
+    pub max_nodes: Option<usize>,
+    /// Wall-clock limit for the whole storm (nondeterministic; benches
+    /// asserting bit-identical decisions leave this `None`).
+    pub wall_clock: Option<Duration>,
+}
+
+impl StormBudget {
+    /// Node-budgeted storm (deterministic).
+    pub fn nodes(max_nodes: usize) -> Self {
+        StormBudget {
+            max_nodes: Some(max_nodes),
+            wall_clock: None,
+        }
+    }
+
+    /// Unlimited storm: every displaced query gets a full solver round.
+    pub fn unlimited() -> Self {
+        StormBudget::default()
+    }
+}
+
+/// Per-query record of one storm round.
+#[derive(Debug, Clone)]
+pub struct QueryRecovery {
+    pub query: QueryId,
+    pub mode: RecoveryMode,
+    /// Solver status of the query's round: the planning outcome's status
+    /// when the solver ran, `Unknown` when the round was budget-skipped
+    /// straight to the fallback. Distinguishes budget-limited rounds from
+    /// proven ones.
+    pub status: MilpStatus,
+    /// The solver outcome, when a solver round ran.
+    pub outcome: Option<PlanningOutcome>,
+    /// Set when the query was pinned best-effort (mode `Degraded`, bottom
+    /// rung): the surviving host it runs on, oversubscribed, outside the
+    /// optimiser-managed deployment.
+    pub degraded_host: Option<HostId>,
+}
+
+/// Full account of one recovery storm: every displaced query appears in
+/// `recoveries` exactly once — there is no silent-drop path.
+#[derive(Debug, Clone)]
+pub struct StormReport {
+    /// Hosts down during the storm (ascending).
+    pub failed_hosts: Vec<HostId>,
+    /// Base-stream feeds reconnected to surviving ingest hosts before
+    /// re-admission, as `(stream, from, to)`.
+    pub rehomed: Vec<(StreamId, HostId, HostId)>,
+    /// Placements lost to the fault (pre-recovery).
+    pub lost_placements: usize,
+    /// Flows lost to the fault (pre-recovery).
+    pub lost_flows: usize,
+    /// One record per displaced query, in re-admission (ascending id)
+    /// order.
+    pub recoveries: Vec<QueryRecovery>,
+    /// Branch & bound nodes spent by the storm's solver rounds.
+    pub nodes_spent: usize,
+    /// Wall-clock time of the whole storm (audit + re-admission).
+    pub elapsed: Duration,
+}
+
+impl StormReport {
+    /// Queries re-admitted through the solver.
+    pub fn replanned(&self) -> usize {
+        self.count(RecoveryMode::Replanned)
+    }
+
+    /// Queries served by the greedy fallback.
+    pub fn degraded(&self) -> usize {
+        self.count(RecoveryMode::Degraded)
+    }
+
+    /// Queries that could not be served at all.
+    pub fn dropped(&self) -> usize {
+        self.count(RecoveryMode::Dropped)
+    }
+
+    /// Fraction of displaced queries that ended `Degraded` (0 when none
+    /// were displaced).
+    pub fn degraded_fraction(&self) -> f64 {
+        if self.recoveries.is_empty() {
+            0.0
+        } else {
+            self.degraded() as f64 / self.recoveries.len() as f64
+        }
+    }
+
+    fn count(&self, mode: RecoveryMode) -> usize {
+        self.recoveries.iter().filter(|r| r.mode == mode).count()
+    }
+}
+
+/// Audits the current fault set and re-admits every displaced query under
+/// the storm budget (see the module docs for the degradation order).
+pub fn recover_from_failures(planner: &mut SqprPlanner, budget: &StormBudget) -> StormReport {
+    let started = Instant::now();
+    // Reconnect orphaned feeds first: a query whose raw source died is
+    // unservable by solver and greedy alike until the feed has a living
+    // ingest host again.
+    let rehomed = planner.rehome_orphaned_sources();
+    let audit = planner.absorb_failures();
+    let mut report = StormReport {
+        failed_hosts: audit.failed_hosts.clone(),
+        rehomed,
+        lost_placements: audit.lost_placements,
+        lost_flows: audit.lost_flows,
+        recoveries: Vec::with_capacity(audit.displaced.len()),
+        nodes_spent: 0,
+        elapsed: Duration::ZERO,
+    };
+
+    let mut pins: BTreeMap<HostId, f64> = BTreeMap::new();
+    for &q in &audit.displaced {
+        let nodes_dry = budget.max_nodes.is_some_and(|n| report.nodes_spent >= n);
+        let clock_dry = budget.wall_clock.is_some_and(|w| started.elapsed() >= w);
+        let record = if nodes_dry || clock_dry {
+            // Budget dry: straight to the degradation ladder.
+            degrade(planner, &mut pins, q, MilpStatus::Unknown, None)
+        } else {
+            match planner.replan_query(q) {
+                Ok(outcome) => {
+                    report.nodes_spent += outcome.nodes;
+                    if outcome.admitted {
+                        QueryRecovery {
+                            query: q,
+                            mode: RecoveryMode::Replanned,
+                            status: outcome.status,
+                            outcome: Some(outcome),
+                            degraded_host: None,
+                        }
+                    } else {
+                        // Rejected within budget: degrade, keep the status.
+                        let status = outcome.status;
+                        degrade(planner, &mut pins, q, status, Some(outcome))
+                    }
+                }
+                // The query vanished from the registry (cannot happen for
+                // audited displacements; defensive) — record, don't panic.
+                Err(_) => QueryRecovery {
+                    query: q,
+                    mode: RecoveryMode::Dropped,
+                    status: MilpStatus::Unknown,
+                    outcome: None,
+                    degraded_host: None,
+                },
+            }
+        };
+        report.recoveries.push(record);
+    }
+    report.elapsed = started.elapsed();
+    report
+}
+
+/// The degradation ladder below the solver: greedy baseline placement
+/// first (capacity-respecting, installed into the deployment), then a
+/// best-effort pin to the least-loaded surviving host (oversubscribed,
+/// recorded in the report only), and `Dropped` solely when no host
+/// survives.
+fn degrade(
+    planner: &mut SqprPlanner,
+    pins: &mut BTreeMap<HostId, f64>,
+    q: QueryId,
+    status: MilpStatus,
+    outcome: Option<PlanningOutcome>,
+) -> QueryRecovery {
+    if planner.admit_greedy(q).unwrap_or(false) {
+        return QueryRecovery {
+            query: q,
+            mode: RecoveryMode::Degraded,
+            status,
+            outcome,
+            degraded_host: None,
+        };
+    }
+    match best_effort_host(planner, pins) {
+        Some(h) => {
+            *pins.entry(h).or_insert(0.0) += pin_weight(planner, q);
+            QueryRecovery {
+                query: q,
+                mode: RecoveryMode::Degraded,
+                status,
+                outcome,
+                degraded_host: Some(h),
+            }
+        }
+        None => QueryRecovery {
+            query: q,
+            mode: RecoveryMode::Dropped,
+            status,
+            outcome,
+            degraded_host: None,
+        },
+    }
+}
+
+/// The surviving host with the most remaining CPU, counting earlier pins
+/// at their queries' estimated load; ties break to the lowest host id
+/// (deterministic).
+fn best_effort_host(planner: &SqprPlanner, pins: &BTreeMap<HostId, f64>) -> Option<HostId> {
+    let catalog = planner.catalog();
+    let usage = planner.state().cpu_usage(catalog);
+    catalog
+        .hosts()
+        .filter(|&h| !catalog.is_host_failed(h))
+        .map(|h| {
+            let pinned = pins.get(&h).copied().unwrap_or(0.0);
+            (h, catalog.host(h).cpu_capacity - usage[h.index()] - pinned)
+        })
+        .max_by(|a, b| {
+            a.1.partial_cmp(&b.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| b.0.cmp(&a.0))
+        })
+        .map(|(h, _)| h)
+}
+
+/// Estimated load of a pinned query: its result stream's rate — a crude
+/// but deterministic proxy that keeps successive pins spreading across
+/// survivors instead of dogpiling one host.
+fn pin_weight(planner: &SqprPlanner, q: QueryId) -> f64 {
+    planner
+        .queries()
+        .iter()
+        .find(|spec| spec.id == q)
+        .map(|spec| planner.catalog().stream(spec.result).rate.max(1e-9))
+        .unwrap_or(1.0)
+}

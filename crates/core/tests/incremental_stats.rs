@@ -37,8 +37,8 @@ fn producers_only_uses_the_incremental_path() {
     let mut cold = SqprPlanner::new(c, cfg);
 
     for pair in [[b[0], b[1]], [b[1], b[2]], [b[0], b[2]], [b[2], b[1]]] {
-        let wo = warm.submit(&pair);
-        let co = cold.submit(&pair);
+        let wo = warm.submit(&pair).expect("valid bases");
+        let co = cold.submit(&pair).expect("valid bases");
         assert_eq!(
             wo.admitted, co.admitted,
             "incremental ProducersOnly diverged from the cold twin"
@@ -68,7 +68,7 @@ fn producers_only_uses_the_incremental_path() {
     cfg2.budget.max_nodes = 120;
     cfg2.replan = false;
     let mut p2 = SqprPlanner::new(c2, cfg2);
-    p2.submit(&[b2[0], b2[1]]);
+    p2.submit(&[b2[0], b2[1]]).expect("valid bases");
     let stats2 = p2.solver_stats();
     assert_eq!(stats2.incremental_rounds, 0, "{stats2:?}");
     assert_eq!(stats2.config_fallback_rounds, 1, "{stats2:?}");
@@ -90,7 +90,7 @@ fn cache_stats_surface_per_round_and_resubmissions_patch() {
     cfg.budget.max_nodes = 120;
     let mut planner = SqprPlanner::new(c, cfg);
 
-    let o1 = planner.submit(&[b[0], b[1]]);
+    let o1 = planner.submit(&[b[0], b[1]]).expect("valid bases");
     assert!(!o1.admitted && !o1.reused_existing);
     assert!(
         o1.lp_cache.rebuilds >= 1,
@@ -100,7 +100,7 @@ fn cache_stats_surface_per_round_and_resubmissions_patch() {
 
     // Same bases again: the result stream exists but is unprovided, so the
     // round solves — over an unchanged skeleton structure.
-    let o2 = planner.submit(&[b[0], b[1]]);
+    let o2 = planner.submit(&[b[0], b[1]]).expect("valid bases");
     assert!(!o2.reused_existing, "rejected queries are not provided");
     assert!(
         o2.lp_cache.patches >= 1 && o2.lp_cache.rebuilds == 0,
@@ -137,9 +137,9 @@ fn skeleton_gc_compacts_rejected_queries() {
 
     for i in 0..10 {
         let pair = [b[i % 4], b[(i + 1) % 4]];
-        let wo = warm.submit(&pair);
-        let go = no_gc.submit(&pair);
-        let co = cold.submit(&pair);
+        let wo = warm.submit(&pair).expect("valid bases");
+        let go = no_gc.submit(&pair).expect("valid bases");
+        let co = cold.submit(&pair).expect("valid bases");
         assert_eq!(
             wo.admitted, co.admitted,
             "step {i}: admit/reject diverged (warm {} vs cold {})",

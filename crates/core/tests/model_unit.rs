@@ -118,7 +118,7 @@ fn acyclicity_modes_agree_on_admissions() {
         cfg.acyclicity = mode;
         let mut p = SqprPlanner::new(c.clone(), cfg);
         for q in &queries {
-            p.submit(q);
+            p.submit(q).expect("valid bases");
         }
         assert!(p.state().is_valid(p.catalog()));
         counts.push(p.num_admitted());

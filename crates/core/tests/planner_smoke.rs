@@ -29,7 +29,7 @@ fn planner(c: Catalog) -> SqprPlanner {
 fn admits_single_two_way_join() {
     let (c, b) = system(2, 2, 100.0, 100.0, 1000.0);
     let mut p = planner(c);
-    let o = p.submit(&[b[0], b[1]]);
+    let o = p.submit(&[b[0], b[1]]).expect("valid bases");
     assert!(o.admitted, "{o:?}");
     assert!(!o.reused_existing);
     assert_eq!(p.num_admitted(), 1);
@@ -46,9 +46,9 @@ fn admits_single_two_way_join() {
 fn identical_query_short_circuits() {
     let (c, b) = system(2, 2, 100.0, 100.0, 1000.0);
     let mut p = planner(c);
-    let o1 = p.submit(&[b[0], b[1]]);
+    let o1 = p.submit(&[b[0], b[1]]).expect("valid bases");
     assert!(o1.admitted);
-    let o2 = p.submit(&[b[1], b[0]]);
+    let o2 = p.submit(&[b[1], b[0]]).expect("valid bases");
     assert!(o2.admitted);
     assert!(o2.reused_existing, "commuted join must reuse the provision");
     assert_eq!(o2.nodes, 0);
@@ -61,8 +61,8 @@ fn identical_query_short_circuits() {
 fn overlapping_queries_share_subjoins() {
     let (c, b) = system(3, 3, 1000.0, 1000.0, 10_000.0);
     let mut p = planner(c);
-    assert!(p.submit(&[b[0], b[1]]).admitted);
-    assert!(p.submit(&[b[0], b[1], b[2]]).admitted);
+    assert!(p.submit(&[b[0], b[1]]).expect("valid bases").admitted);
+    assert!(p.submit(&[b[0], b[1], b[2]]).expect("valid bases").admitted);
     assert!(p.state().is_valid(p.catalog()));
     // The three-way query should build on the existing two-way join: at
     // most 2 operators total (ab, ab⋈c) if reuse worked; without reuse it
@@ -90,9 +90,9 @@ fn rejects_when_cpu_exhausted_and_keeps_existing() {
     let b2 = c.add_base_stream(HostId(0), 60.0, 2);
     let b3 = c.add_base_stream(HostId(1), 60.0, 3);
     let mut p = planner(c);
-    assert!(p.submit(&[b0, b1]).admitted);
+    assert!(p.submit(&[b0, b1]).expect("valid bases").admitted);
     let before = p.num_admitted();
-    let o = p.submit(&[b2, b3]);
+    let o = p.submit(&[b2, b3]).expect("valid bases");
     assert!(!o.admitted, "{o:?}");
     assert_eq!(p.num_admitted(), before, "existing queries must survive");
     assert!(p.state().is_valid(p.catalog()));
@@ -102,7 +102,7 @@ fn rejects_when_cpu_exhausted_and_keeps_existing() {
 fn remove_query_garbage_collects() {
     let (c, b) = system(2, 2, 100.0, 100.0, 1000.0);
     let mut p = planner(c);
-    let o = p.submit(&[b[0], b[1]]);
+    let o = p.submit(&[b[0], b[1]]).expect("valid bases");
     assert!(o.admitted);
     let q = o.query;
     assert!(p.remove_query(q));
@@ -120,8 +120,8 @@ fn remove_query_garbage_collects() {
 fn shared_provision_survives_partial_removal() {
     let (c, b) = system(2, 2, 100.0, 100.0, 1000.0);
     let mut p = planner(c);
-    let o1 = p.submit(&[b[0], b[1]]);
-    let o2 = p.submit(&[b[0], b[1]]);
+    let o1 = p.submit(&[b[0], b[1]]).expect("valid bases");
+    let o2 = p.submit(&[b[0], b[1]]).expect("valid bases");
     assert!(o1.admitted && o2.admitted);
     assert!(p.remove_query(o1.query));
     // The second query still needs the stream: nothing may be collected.
@@ -134,7 +134,9 @@ fn shared_provision_survives_partial_removal() {
 fn batch_submission_admits_multiple() {
     let (c, b) = system(3, 4, 1000.0, 1000.0, 10_000.0);
     let mut p = planner(c);
-    let outcomes = p.submit_batch(&[vec![b[0], b[1]], vec![b[2], b[3]]]);
+    let outcomes = p
+        .submit_batch(&[vec![b[0], b[1]], vec![b[2], b[3]]])
+        .expect("valid bases");
     assert_eq!(outcomes.len(), 2);
     assert!(outcomes.iter().all(|o| o.admitted), "{outcomes:?}");
     assert_eq!(p.num_admitted(), 2);
@@ -145,7 +147,7 @@ fn batch_submission_admits_multiple() {
 fn adaptive_replans_on_drift() {
     let (c, b) = system(2, 2, 100.0, 100.0, 1000.0);
     let mut p = planner(c);
-    assert!(p.submit(&[b[0], b[1]]).admitted);
+    assert!(p.submit(&[b[0], b[1]]).expect("valid bases").admitted);
     // Rate of b0 triples: the join costs more CPU now (30+10 -> 40 <= 100,
     // still feasible) and must be re-planned.
     let report = adapt_to_observed_rates(&mut p, &[(b[0], 30.0)], 0.2);
@@ -162,7 +164,7 @@ fn adaptive_drops_infeasible_after_drift() {
     // Tight CPU: a rate increase makes the join infeasible everywhere.
     let (c, b) = system(2, 2, 25.0, 1000.0, 10_000.0);
     let mut p = planner(c);
-    assert!(p.submit(&[b[0], b[1]]).admitted); // cost 20 <= 25
+    assert!(p.submit(&[b[0], b[1]]).expect("valid bases").admitted); // cost 20 <= 25
     let report = adapt_to_observed_rates(&mut p, &[(b[0], 100.0)], 0.2);
     // cost now 110 > 25: the query must be dropped.
     assert_eq!(report.dropped.len(), 1);
@@ -176,7 +178,7 @@ fn three_way_join_with_scarce_network_uses_plan_flexibility() {
     // matters but generous CPU: the planner must find some placement.
     let (c, b) = system(3, 3, 1000.0, 60.0, 40.0);
     let mut p = planner(c);
-    let o = p.submit(&[b[0], b[1], b[2]]);
+    let o = p.submit(&[b[0], b[1], b[2]]).expect("valid bases");
     assert!(o.admitted, "{o:?}");
     assert!(p.state().is_valid(p.catalog()));
 }

@@ -40,8 +40,8 @@ fn relaying_admits_what_direct_sends_cannot() {
     // stream goes h0 -> h1 once, and h1 can forward it to h2.
     let (c, hot, l1, l2) = scenario();
     let mut p = planner(c, RelayPolicy::All);
-    let o1 = p.submit(&[hot, l1]);
-    let o2 = p.submit(&[hot, l2]);
+    let o1 = p.submit(&[hot, l1]).expect("valid bases");
+    let o2 = p.submit(&[hot, l2]).expect("valid bases");
     assert!(o1.admitted, "first consumer must fit: {o1:?}");
     assert!(
         o2.admitted,
@@ -62,9 +62,9 @@ fn relaying_admits_what_direct_sends_cannot() {
 fn producers_only_policy_cannot_rescue_the_second_consumer() {
     let (c, hot, l1, l2) = scenario();
     let mut p = planner(c, RelayPolicy::ProducersOnly);
-    let o1 = p.submit(&[hot, l1]);
+    let o1 = p.submit(&[hot, l1]).expect("valid bases");
     assert!(o1.admitted);
-    let o2 = p.submit(&[hot, l2]);
+    let o2 = p.submit(&[hot, l2]).expect("valid bases");
     // Without relays the hot stream can only leave its source host, whose
     // uplink is exhausted — unless the planner co-locates both joins at a
     // single receiving host. Co-location is possible here (h1 runs both

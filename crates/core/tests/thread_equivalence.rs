@@ -50,7 +50,7 @@ fn planner_decisions_are_invariant_in_lp_threads() {
         let mut planner = SqprPlanner::new(c, cfg);
         for q in &submissions {
             let streams: Vec<_> = q.iter().map(|&i| b[i]).collect();
-            planner.submit(&streams);
+            planner.submit(&streams).expect("valid bases");
         }
         planner
     };

@@ -20,6 +20,11 @@ use crate::topology::{HostSpec, NetworkTopology};
 #[derive(Debug, Clone)]
 pub struct Catalog {
     hosts: Vec<HostSpec>,
+    /// Configured (pre-fault) host specs; [`Self::restore_host`] copies
+    /// from here.
+    nominal_hosts: Vec<HostSpec>,
+    /// Hosts currently failed ([`Self::fail_host`]).
+    failed: BTreeSet<HostId>,
     topology: NetworkTopology,
     cost: CostModel,
     streams: Vec<StreamDef>,
@@ -45,7 +50,9 @@ impl Catalog {
         );
         let n = hosts.len();
         Catalog {
+            nominal_hosts: hosts.clone(),
             hosts,
+            failed: BTreeSet::new(),
             topology,
             cost,
             streams: Vec::new(),
@@ -81,6 +88,118 @@ impl Catalog {
 
     pub fn topology(&self) -> &NetworkTopology {
         &self.topology
+    }
+
+    // ----- fault model ----------------------------------------------------
+
+    /// Fails host `h`: its effective CPU, bandwidth and memory capacities
+    /// drop to zero and every link touching it goes dark
+    /// ([`NetworkTopology::fail_host`]). Idempotent; returns whether the
+    /// host was up. The configured capacities are kept for
+    /// [`Self::restore_host`].
+    ///
+    /// Base streams sourced at a failed host stop being available there —
+    /// [`crate::DeploymentState::derive_availability`] skips failed hosts'
+    /// base seeds — so every derivation rooted at the host collapses.
+    pub fn fail_host(&mut self, h: HostId) -> bool {
+        if !self.failed.insert(h) {
+            return false;
+        }
+        let nominal = &self.nominal_hosts[h.index()];
+        self.hosts[h.index()] = HostSpec {
+            cpu_capacity: 0.0,
+            bandwidth_out: 0.0,
+            bandwidth_in: 0.0,
+            // Keep an unbounded memory unbounded: the planner only builds
+            // memory rows for finitely-provisioned hosts, and a zero cap
+            // is indistinguishable from "no row" once CPU is zero anyway.
+            memory_capacity: if nominal.memory_capacity.is_finite() {
+                0.0
+            } else {
+                f64::INFINITY
+            },
+        };
+        self.topology.fail_host(h);
+        true
+    }
+
+    /// Restores host `h` to its configured capacities (and its links to the
+    /// nominal topology). Idempotent; returns whether the host was failed.
+    pub fn restore_host(&mut self, h: HostId) -> bool {
+        if !self.failed.remove(&h) {
+            return false;
+        }
+        self.hosts[h.index()] = self.nominal_hosts[h.index()].clone();
+        self.topology.restore_host(h);
+        true
+    }
+
+    /// Degrades the directed link `h -> m` to the given effective capacity.
+    pub fn degrade_link(&mut self, h: HostId, m: HostId, capacity: f64) {
+        self.topology.degrade_link(h, m, capacity);
+    }
+
+    /// Restores the directed link `h -> m` to its configured capacity.
+    pub fn restore_link(&mut self, h: HostId, m: HostId) {
+        self.topology.restore_link(h, m);
+    }
+
+    /// Re-homes base stream `s` to ingest host `to`: the external feed
+    /// reconnects to a different gateway (e.g. after its original ingest
+    /// host failed). Derived streams are unaffected — only where the raw
+    /// feed enters the system changes.
+    ///
+    /// # Panics
+    /// Panics if `s` is not a base stream or `to` is out of range.
+    pub fn rehome_base_stream(&mut self, s: StreamId, to: HostId) {
+        assert!(
+            self.streams[s.index()].is_base(),
+            "{s} is not a base stream"
+        );
+        assert!(to.index() < self.hosts.len(), "unknown host {to}");
+        let from = self.base_host[&s];
+        if from == to {
+            return;
+        }
+        self.base_at_host[from.index()].retain(|&x| x != s);
+        self.base_at_host[to.index()].push(s);
+        self.base_host.insert(s, to);
+    }
+
+    /// Reconnects every base stream whose ingest host is currently failed
+    /// to a surviving host, round-robin across the surviving hosts in
+    /// ascending order (deterministic). Returns the moves performed as
+    /// `(stream, from, to)`, ascending by stream id; empty when no host
+    /// survives (nowhere to reconnect) or nothing is orphaned.
+    pub fn rehome_orphaned_sources(&mut self) -> Vec<(StreamId, HostId, HostId)> {
+        let survivors: Vec<HostId> = self.hosts().filter(|&h| !self.is_host_failed(h)).collect();
+        if survivors.is_empty() {
+            return Vec::new();
+        }
+        let mut orphaned: Vec<(StreamId, HostId)> = self
+            .base_host
+            .iter()
+            .filter(|&(_, &h)| self.failed.contains(&h))
+            .map(|(&s, &h)| (s, h))
+            .collect();
+        orphaned.sort();
+        let mut moves = Vec::with_capacity(orphaned.len());
+        for (i, (s, from)) in orphaned.into_iter().enumerate() {
+            let to = survivors[i % survivors.len()];
+            self.rehome_base_stream(s, to);
+            moves.push((s, from, to));
+        }
+        moves
+    }
+
+    /// Whether host `h` is currently failed.
+    pub fn is_host_failed(&self, h: HostId) -> bool {
+        self.failed.contains(&h)
+    }
+
+    /// Currently failed hosts, ascending.
+    pub fn failed_hosts(&self) -> impl Iterator<Item = HostId> + '_ {
+        self.failed.iter().copied()
     }
 
     pub fn cost_model(&self) -> &CostModel {
@@ -544,6 +663,42 @@ mod tests {
         assert!((c.stream(out).rate - 30.0 * 20.0 * sel).abs() < 1e-9);
         assert!((c.stream(fs).rate - 30.0 * 20.0 * sel * 0.5).abs() < 1e-9);
         assert!((c.operator(op).cpu_cost - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rehoming_moves_the_ingest_point() {
+        let mut c = catalog2();
+        let a = c.add_base_stream(HostId(0), 10.0, 1);
+        c.rehome_base_stream(a, HostId(1));
+        assert_eq!(c.source_host(a), Some(HostId(1)));
+        assert!(c.base_streams_at(HostId(0)).is_empty());
+        assert_eq!(c.base_streams_at(HostId(1)), &[a]);
+        assert!(c.is_base_at(a, HostId(1)));
+        assert!(!c.is_base_at(a, HostId(0)));
+    }
+
+    #[test]
+    fn orphaned_sources_reconnect_round_robin_to_survivors() {
+        let mut c = Catalog::uniform(4, HostSpec::new(10.0, 100.0), 1000.0, CostModel::default());
+        let a = c.add_base_stream(HostId(0), 10.0, 1);
+        let b = c.add_base_stream(HostId(0), 10.0, 2);
+        let d = c.add_base_stream(HostId(1), 10.0, 3);
+        c.fail_host(HostId(0));
+        let moves = c.rehome_orphaned_sources();
+        // a -> survivor 1, b -> survivor 2 (round-robin over {1, 2, 3}).
+        assert_eq!(
+            moves,
+            vec![(a, HostId(0), HostId(1)), (b, HostId(0), HostId(2)),]
+        );
+        assert_eq!(c.source_host(d), Some(HostId(1)));
+        assert!(c.base_streams_at(HostId(0)).is_empty());
+        // Idempotent: nothing left to move.
+        assert!(c.rehome_orphaned_sources().is_empty());
+        // All hosts down: nowhere to reconnect.
+        for h in 1..4 {
+            c.fail_host(HostId(h));
+        }
+        assert!(c.rehome_orphaned_sources().is_empty());
     }
 
     #[test]

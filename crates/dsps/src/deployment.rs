@@ -244,6 +244,11 @@ impl DeploymentState {
     pub fn derive_availability(&self, catalog: &Catalog) -> BTreeSet<(HostId, StreamId)> {
         let mut derived: BTreeSet<(HostId, StreamId)> = BTreeSet::new();
         for h in catalog.hosts() {
+            // A failed host sources nothing: its base seeds are dark until
+            // restoration, so derivations rooted there collapse.
+            if catalog.is_host_failed(h) {
+                continue;
+            }
             for &s in catalog.base_streams_at(h) {
                 derived.insert((h, s));
             }
@@ -378,6 +383,105 @@ impl DeploymentState {
     pub fn is_valid(&self, catalog: &Catalog) -> bool {
         self.validate(catalog).is_empty()
     }
+
+    // ----- failure audit --------------------------------------------------
+
+    /// Maps the catalog's current failures onto this deployment: strips
+    /// every allocation piece the failures break and reports which admitted
+    /// queries lost their provision as a result.
+    ///
+    /// The sweep is deterministic: (1) placements and availability on
+    /// failed hosts go, as do flows touching them; (2) flows over links
+    /// whose surviving load exceeds the (possibly degraded) capacity are
+    /// dropped in key order until the link fits; (3) availability claims,
+    /// flows and provisions are restricted to the re-derived fixpoint; (4)
+    /// admitted queries whose demanded stream lost its provider are the
+    /// *displaced* set, removed from the survivor's admissions so they can
+    /// re-enter admission.
+    ///
+    /// The survivor state may still hold pieces that no longer serve
+    /// anything (e.g. a partial join tree upstream of a dead flow); callers
+    /// reclaim those with their usual garbage collection.
+    pub fn audit_failures(&self, catalog: &Catalog) -> FailureAudit {
+        const TOL: f64 = 1e-6;
+        let failed: BTreeSet<HostId> = catalog.failed_hosts().collect();
+        let mut s = self.clone();
+
+        // (1) Everything on or through a failed host is gone.
+        s.placements.retain(|(h, _)| !failed.contains(h));
+        s.available.retain(|(h, _)| !failed.contains(h));
+        s.flows
+            .retain(|(h, m, _)| !failed.contains(h) && !failed.contains(m));
+
+        // (2) Degraded links: shed flows (ascending key order) until the
+        // surviving load fits the effective capacity.
+        let mut load: BTreeMap<(HostId, HostId), f64> = BTreeMap::new();
+        for &(h, m, st) in &s.flows {
+            *load.entry((h, m)).or_default() += catalog.stream(st).rate;
+        }
+        let mut shed: Vec<(HostId, HostId, StreamId)> = Vec::new();
+        for (&(h, m), load) in &mut load {
+            let cap = catalog.topology().link(h, m);
+            for &(fh, fm, st) in &s.flows {
+                if *load <= cap * (1.0 + TOL) + TOL {
+                    break;
+                }
+                if fh == h && fm == m {
+                    shed.push((fh, fm, st));
+                    *load -= catalog.stream(st).rate;
+                }
+            }
+        }
+        for f in shed {
+            s.flows.remove(&f);
+        }
+
+        // (3) Fixpoint restriction: claims that no longer derive are bogus.
+        let derived = s.derive_availability(catalog);
+        s.available.retain(|k| derived.contains(k));
+        s.flows
+            .retain(|&(from, _, st)| derived.contains(&(from, st)));
+        s.provided.retain(|&st, &mut h| derived.contains(&(h, st)));
+
+        // (4) Displaced queries lost their provider.
+        let displaced: Vec<QueryId> = s
+            .admitted
+            .iter()
+            .filter(|(_, st)| !s.provided.contains_key(st))
+            .map(|(&q, _)| q)
+            .collect();
+        for q in &displaced {
+            s.admitted.remove(q);
+        }
+
+        FailureAudit {
+            failed_hosts: failed.into_iter().collect(),
+            lost_placements: self.placements.len() - s.placements.len(),
+            lost_flows: self.flows.len() - s.flows.len(),
+            displaced,
+            survivor: s,
+        }
+    }
+}
+
+/// Result of [`DeploymentState::audit_failures`]: what a failure broke and
+/// the deployment that survives it.
+#[derive(Debug, Clone)]
+pub struct FailureAudit {
+    /// Hosts failed in the catalog at audit time, ascending.
+    pub failed_hosts: Vec<HostId>,
+    /// Admitted queries whose demanded stream lost its provider, ascending
+    /// by id (the re-admission order of the recovery storm).
+    pub displaced: Vec<QueryId>,
+    /// Operator placements stripped by the audit.
+    pub lost_placements: usize,
+    /// Flows stripped (failed endpoints, shed on degraded links, or
+    /// underivable senders).
+    pub lost_flows: usize,
+    /// The deployment with every broken piece removed and displaced
+    /// queries un-admitted. Always [`DeploymentState::is_valid`] for a
+    /// previously valid input.
+    pub survivor: DeploymentState,
 }
 
 #[cfg(test)]
@@ -519,6 +623,73 @@ mod tests {
         let net = d.net_usage(&c);
         assert_eq!(net[0].0, 10.0);
         assert!(d.is_valid(&c));
+    }
+
+    #[test]
+    fn host_failure_displaces_served_query() {
+        let (mut c, _, b, op, ab) = setup();
+        let mut d = DeploymentState::new();
+        d.add_flow(HostId(1), HostId(0), b);
+        d.add_placement(HostId(0), op);
+        d.add_available(HostId(0), ab);
+        d.set_provided(ab, HostId(0));
+        d.admit_query(QueryId(7), ab);
+        assert!(d.is_valid(&c));
+
+        // Failing the join host breaks the placement and the provision.
+        assert!(c.fail_host(HostId(0)));
+        let audit = d.audit_failures(&c);
+        assert_eq!(audit.failed_hosts, vec![HostId(0)]);
+        assert_eq!(audit.displaced, vec![QueryId(7)]);
+        assert_eq!(audit.lost_placements, 1);
+        assert_eq!(audit.lost_flows, 1);
+        assert!(audit.survivor.placements().is_empty());
+        assert!(audit.survivor.provided().is_empty());
+        assert!(audit.survivor.admitted().is_empty());
+        assert!(audit.survivor.is_valid(&c), "survivor must validate");
+
+        // Restoration brings the substrate back; the old state validates
+        // again (recovery is the planner's job, the audit is read-only).
+        assert!(c.restore_host(HostId(0)));
+        assert!(d.is_valid(&c));
+    }
+
+    #[test]
+    fn source_failure_collapses_downstream_derivations() {
+        let (mut c, _, b, op, ab) = setup();
+        let mut d = DeploymentState::new();
+        d.add_flow(HostId(1), HostId(0), b);
+        d.add_placement(HostId(0), op);
+        d.set_provided(ab, HostId(0));
+        d.admit_query(QueryId(1), ab);
+        // Failing b's *source* (h1) kills the flow and thus the join.
+        c.fail_host(HostId(1));
+        let audit = d.audit_failures(&c);
+        assert_eq!(audit.displaced, vec![QueryId(1)]);
+        // The stranded placement at h0 survives the audit (it is not on a
+        // failed host) but has underivable inputs; GC reclaims it later.
+        assert!(audit.survivor.provided().is_empty());
+    }
+
+    #[test]
+    fn degraded_link_sheds_flows_deterministically() {
+        let mut c = Catalog::uniform(2, HostSpec::new(100.0, 100.0), 50.0, CostModel::default());
+        let a = c.add_base_stream(HostId(0), 10.0, 1);
+        let b = c.add_base_stream(HostId(0), 10.0, 2);
+        let mut d = DeploymentState::new();
+        d.add_flow(HostId(0), HostId(1), a);
+        d.add_flow(HostId(0), HostId(1), b);
+        assert!(d.is_valid(&c));
+        // Room for exactly one flow: the smallest key (stream a) is shed
+        // first, keeping the audit deterministic.
+        c.degrade_link(HostId(0), HostId(1), 12.0);
+        let audit = d.audit_failures(&c);
+        assert_eq!(audit.lost_flows, 1);
+        assert!(!audit.survivor.flows().contains(&(HostId(0), HostId(1), a)));
+        assert!(audit.survivor.flows().contains(&(HostId(0), HostId(1), b)));
+        assert!(audit.survivor.is_valid(&c));
+        c.restore_link(HostId(0), HostId(1));
+        assert_eq!(d.audit_failures(&c).lost_flows, 0);
     }
 
     #[test]

@@ -39,7 +39,7 @@ pub mod topology;
 
 pub use catalog::Catalog;
 pub use cost::CostModel;
-pub use deployment::{DeployError, DeploymentState, HostUsage};
+pub use deployment::{DeployError, DeploymentState, FailureAudit, HostUsage};
 pub use engine::{run as run_engine, EngineConfig, SimReport};
 pub use ids::{HostId, OperatorId, QueryId, StreamId};
 pub use metrics::Cdf;

@@ -106,6 +106,7 @@ pub use basis::{BasisUpdate, FactorState, SolveStats};
 pub use problem::{LpSolution, LpStatus, Problem, ProblemBuilder, INF};
 pub use simplex::{
     solve, solve_from, solve_with_bounds, solve_with_bounds_from, solve_with_bounds_from_ws,
-    BasisState, LpWorkspace, PivotCounts, PricingRule, RatioTest, SimplexOptions, VarBasisStatus,
+    solve_with_bounds_recovering_ws, BasisState, LpWorkspace, PivotCounts, PricingRule, RatioTest,
+    SimplexOptions, VarBasisStatus,
 };
 pub use sparse::{CscMatrix, IndexedVec, Triplet};

@@ -94,6 +94,18 @@ pub struct PivotCounts {
     /// instead of refactorising (the workspace's factor cache hit: the
     /// requested basic set, update mode and matrix generation all matched).
     pub factor_reattaches: usize,
+    /// Numerical-distress ladder, rung 1: solves retried warm from their
+    /// own final basis with the cached factors dropped (forced fresh
+    /// factorisation) after an iteration-limit exit. See
+    /// [`crate::solve_with_bounds_recovering_ws`].
+    pub distress_refactors: usize,
+    /// Distress ladder, rung 2: retries under escalated pivot/feasibility
+    /// tolerances and a raised stall limit.
+    pub distress_escalations: usize,
+    /// Distress ladder, rung 3: cold restarts from the slack basis with an
+    /// enlarged iteration budget — the last resort before surfacing
+    /// [`crate::LpStatus::IterationLimit`] to the caller.
+    pub distress_cold_restarts: usize,
 }
 
 impl PivotCounts {
@@ -141,6 +153,9 @@ impl PivotCounts {
         self.pfi_updates += other.pfi_updates;
         self.refactorizations += other.refactorizations;
         self.factor_reattaches += other.factor_reattaches;
+        self.distress_refactors += other.distress_refactors;
+        self.distress_escalations += other.distress_escalations;
+        self.distress_cold_restarts += other.distress_cold_restarts;
     }
 
     /// Deprecated spelling of [`Self::merge`], kept for downstream callers.
@@ -483,6 +498,99 @@ pub fn solve_with_bounds_from_ws(
     ws: &mut LpWorkspace,
 ) -> LpSolution {
     Solver::new(problem, col_lb, col_ub, basis_hint, opts, ws).run(ws)
+}
+
+/// [`solve_with_bounds_from_ws`] wrapped in the numerical-distress ladder:
+/// a solve that exits with [`LpStatus::IterationLimit`] (the umbrella
+/// status for stalls, tolerance-starved ratio tests and bases the
+/// singularity repair keeps patching) is retried through escalating
+/// recovery rungs instead of surfacing the limit to the caller.
+///
+/// 1. **Refactorise** — drop the workspace's cached factors (forcing a
+///    fresh factorisation, which discards any accumulated Forrest–Tomlin
+///    update drift) and re-solve warm from the failed solve's own final
+///    basis ([`PivotCounts::distress_refactors`]).
+/// 2. **Tolerance escalation** — same warm restart, but with the pivot
+///    tolerance relaxed `100x`, the feasibility/dual tolerances `10x`, and
+///    the stall limit `4x`: degenerate vertices that starve the Harris
+///    ratio test of acceptable pivots become traversable
+///    ([`PivotCounts::distress_escalations`]).
+/// 3. **Cold restart** — discard the (possibly poisoned) basis entirely
+///    and re-solve from the slack identity under the *original*
+///    tolerances with a `4x` iteration budget
+///    ([`PivotCounts::distress_cold_restarts`]).
+///
+/// The returned solution aggregates iterations and [`PivotCounts`] across
+/// every attempt, preserving the `pivots.total() == iterations` contract.
+/// The ladder is a pure function of its arguments (the workspace's factor
+/// cache only seeds rung 0, exactly as in the plain entry point), so
+/// callers that require replayed solves to be bit-identical to speculative
+/// ones — the parallel branch & bound — can adopt it without weakening
+/// their determinism invariant.
+pub fn solve_with_bounds_recovering_ws(
+    problem: &Problem,
+    col_lb: &[f64],
+    col_ub: &[f64],
+    basis_hint: Option<&BasisState>,
+    opts: &SimplexOptions,
+    ws: &mut LpWorkspace,
+) -> LpSolution {
+    let mut sol = solve_with_bounds_from_ws(problem, col_lb, col_ub, basis_hint, opts, ws);
+    if sol.status != LpStatus::IterationLimit {
+        return sol;
+    }
+    let token = ws.factor_generation();
+    let mut iterations = sol.iterations;
+    let mut pivots = sol.pivots;
+
+    // Rung 1: fresh factorisation, warm from the failed solve's last basis.
+    ws.install_factor_state(token, None);
+    let basis = sol.basis.clone();
+    let mut retry = solve_with_bounds_from_ws(problem, col_lb, col_ub, basis.as_ref(), opts, ws);
+    iterations += retry.iterations;
+    pivots.merge(&retry.pivots);
+    pivots.distress_refactors += 1;
+
+    if retry.status == LpStatus::IterationLimit {
+        // Rung 2: escalated tolerances, warm from the latest basis.
+        ws.install_factor_state(token, None);
+        let escalated = SimplexOptions {
+            tol_pivot: opts.tol_pivot * 1e2,
+            tol_feas: opts.tol_feas * 10.0,
+            tol_dual: opts.tol_dual * 10.0,
+            stall_limit: opts.stall_limit.saturating_mul(4),
+            ..opts.clone()
+        };
+        let basis = retry.basis.clone().or(basis);
+        retry = solve_with_bounds_from_ws(problem, col_lb, col_ub, basis.as_ref(), &escalated, ws);
+        iterations += retry.iterations;
+        pivots.merge(&retry.pivots);
+        pivots.distress_escalations += 1;
+    }
+
+    if retry.status == LpStatus::IterationLimit {
+        // Rung 3: cold restart from the slack basis, original tolerances,
+        // 4x iteration budget.
+        ws.install_factor_state(token, None);
+        let base_iters = if opts.max_iters == 0 {
+            40 * (problem.ncols() + problem.nrows()) + 2000
+        } else {
+            opts.max_iters
+        };
+        let cold = SimplexOptions {
+            max_iters: base_iters.saturating_mul(4),
+            ..opts.clone()
+        };
+        retry = solve_with_bounds_from_ws(problem, col_lb, col_ub, None, &cold, ws);
+        iterations += retry.iterations;
+        pivots.merge(&retry.pivots);
+        pivots.distress_cold_restarts += 1;
+    }
+
+    sol = retry;
+    sol.iterations = iterations;
+    sol.pivots = pivots;
+    sol
 }
 
 pub(crate) struct Solver<'a> {
@@ -1698,6 +1806,9 @@ mod tests {
             pfi_updates: 11,
             refactorizations: 12,
             factor_reattaches: 13,
+            distress_refactors: 14,
+            distress_escalations: 15,
+            distress_cold_restarts: 16,
         };
         let b = PivotCounts {
             phase1: 100,
@@ -1713,6 +1824,9 @@ mod tests {
             pfi_updates: 1100,
             refactorizations: 1200,
             factor_reattaches: 1300,
+            distress_refactors: 1400,
+            distress_escalations: 1500,
+            distress_cold_restarts: 1600,
         };
         // Commutative: worker counters may be merged in any order.
         let mut ab = a;
@@ -1734,6 +1848,9 @@ mod tests {
             pfi_updates: 1111,
             refactorizations: 1212,
             factor_reattaches: 1313,
+            distress_refactors: 1414,
+            distress_escalations: 1515,
+            distress_cold_restarts: 1616,
         };
         assert_eq!(ab, expect);
         assert_eq!(ab.total(), 101 + 202 + 303);
@@ -1767,6 +1884,77 @@ mod tests {
         // A matching token installs.
         ws.install_factor_state(7, Some(state));
         assert!(ws.take_factor_state().is_some());
+    }
+
+    #[test]
+    fn distress_ladder_recovers_from_iteration_limit() {
+        // Dantzig's example needs a handful of pivots; max_iters = 1 forces
+        // an IterationLimit exit, and the ladder's warm retries (1 iteration
+        // each) plus the 4x cold restart are enough to reach the optimum.
+        let mut b = ProblemBuilder::new();
+        let x = b.add_col(-3.0, 0.0, INF);
+        let y = b.add_col(-5.0, 0.0, INF);
+        let r0 = b.add_row(-INF, 4.0);
+        b.set_coeff(r0, x, 1.0);
+        let r1 = b.add_row(-INF, 12.0);
+        b.set_coeff(r1, y, 2.0);
+        let r2 = b.add_row(-INF, 18.0);
+        b.set_coeff(r2, x, 3.0);
+        b.set_coeff(r2, y, 2.0);
+        let p = b.build();
+        let (lb, ub) = p.col_bounds();
+        let opts = SimplexOptions {
+            max_iters: 1,
+            ..SimplexOptions::default()
+        };
+
+        let mut ws = LpWorkspace::new();
+        let limited = solve_with_bounds_from_ws(&p, lb, ub, None, &opts, &mut ws);
+        assert_eq!(limited.status, LpStatus::IterationLimit, "precondition");
+
+        let mut ws = LpWorkspace::new();
+        let s = solve_with_bounds_recovering_ws(&p, lb, ub, None, &opts, &mut ws);
+        assert_eq!(s.status, LpStatus::Optimal);
+        approx(s.objective, -36.0);
+        approx(s.x[0], 2.0);
+        approx(s.x[1], 6.0);
+        assert!(s.pivots.distress_refactors >= 1, "ladder engaged");
+        assert_eq!(s.pivots.total(), s.iterations, "counters aggregated");
+
+        // Determinism: a second run from a fresh workspace is bit-identical.
+        let mut ws2 = LpWorkspace::new();
+        let s2 = solve_with_bounds_recovering_ws(&p, lb, ub, None, &opts, &mut ws2);
+        assert_eq!(s2.status, s.status);
+        assert_eq!(s2.objective.to_bits(), s.objective.to_bits());
+        assert_eq!(s2.iterations, s.iterations);
+        assert_eq!(s2.pivots, s.pivots);
+    }
+
+    #[test]
+    fn distress_ladder_exhausts_and_reports_every_rung() {
+        // A longer pivot chain: even the cold restart's 4x budget (4
+        // iterations at max_iters = 1) cannot finish, so the ladder runs
+        // every rung and surfaces IterationLimit with the counters set.
+        let mut b = ProblemBuilder::new();
+        let n = 12;
+        let cols: Vec<_> = (0..n).map(|_| b.add_col(-1.0, 0.0, INF)).collect();
+        for (i, &c) in cols.iter().enumerate() {
+            let r = b.add_row(-INF, 1.0 + i as f64);
+            b.set_coeff(r, c, 1.0);
+        }
+        let p = b.build();
+        let (lb, ub) = p.col_bounds();
+        let opts = SimplexOptions {
+            max_iters: 1,
+            ..SimplexOptions::default()
+        };
+        let mut ws = LpWorkspace::new();
+        let s = solve_with_bounds_recovering_ws(&p, lb, ub, None, &opts, &mut ws);
+        assert_eq!(s.status, LpStatus::IterationLimit);
+        assert_eq!(s.pivots.distress_refactors, 1);
+        assert_eq!(s.pivots.distress_escalations, 1);
+        assert_eq!(s.pivots.distress_cold_restarts, 1);
+        assert_eq!(s.pivots.total(), s.iterations);
     }
 
     #[test]

@@ -103,13 +103,15 @@ pub struct CacheStats {
 
 impl CacheStats {
     /// Counter deltas accumulated since `earlier` (a snapshot of the same
-    /// monotone counters).
+    /// monotone counters). Saturating: if the slot was reset between the
+    /// snapshots (context invalidation replaces it with a fresh slot), the
+    /// delta clamps at zero instead of underflowing.
     pub fn since(&self, earlier: &CacheStats) -> CacheStats {
         CacheStats {
-            rebuilds: self.rebuilds - earlier.rebuilds,
-            patches: self.patches - earlier.patches,
-            refix_patches: self.refix_patches - earlier.refix_patches,
-            appended_rows: self.appended_rows - earlier.appended_rows,
+            rebuilds: self.rebuilds.saturating_sub(earlier.rebuilds),
+            patches: self.patches.saturating_sub(earlier.patches),
+            refix_patches: self.refix_patches.saturating_sub(earlier.refix_patches),
+            appended_rows: self.appended_rows.saturating_sub(earlier.appended_rows),
         }
     }
 

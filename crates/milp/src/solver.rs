@@ -29,7 +29,7 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use sqpr_lp::{
-    solve_with_bounds_from_ws, BasisState, FactorState, LpSolution, LpStatus, LpWorkspace,
+    solve_with_bounds_recovering_ws, BasisState, FactorState, LpSolution, LpStatus, LpWorkspace,
     PivotCounts, Problem, SimplexOptions, VarBasisStatus,
 };
 
@@ -1276,7 +1276,7 @@ fn evaluate_node_lp(
     ws: &mut LpWorkspace,
 ) -> NodeEval {
     ws.install_factor_state(token, seed.cloned());
-    let sol = solve_with_bounds_from_ws(lp, lp_lb, lp_ub, hint, lp_opts, ws);
+    let sol = solve_with_bounds_recovering_ws(lp, lp_lb, lp_ub, hint, lp_opts, ws);
     let factors = ws.take_factor_state().map(Arc::new);
     NodeEval { sol, factors }
 }

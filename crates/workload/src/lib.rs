@@ -3,12 +3,15 @@
 //! Workload generation for the SQPR evaluation: the Zipf sampler used for
 //! base-stream selection, the k-way join query generator with pairwise
 //! selectivities, and presets matching the paper's §V-A simulation and
-//! §V-B cluster setups (scalable for laptop runs).
+//! §V-B cluster setups (scalable for laptop runs). [`fault`] adds seeded
+//! fault-injection plans for the failure-storm experiments.
 
+pub mod fault;
 pub mod generator;
 pub mod rng;
 pub mod zipf;
 
+pub use fault::{FaultPlan, FaultSpec};
 pub use generator::{generate, Workload, WorkloadSpec};
 pub use rng::{Rng, StdRng};
 pub use zipf::Zipf;

@@ -40,7 +40,7 @@ fn run(weights_for: fn(&Catalog) -> ObjectiveWeights) -> RunStats {
     config.gap_tol = 0.0;
     let mut planner = SqprPlanner::new(catalog, config);
     for p in &probes {
-        planner.submit(&[hub, *p]);
+        planner.submit(&[hub, *p]).expect("valid bases");
     }
     let cpu = planner.state().cpu_usage(planner.catalog());
     let network: f64 = planner

@@ -39,7 +39,7 @@ fn main() {
     config.budget = SolveBudget::nodes(150);
     let mut sqpr = SqprPlanner::new(catalog, config);
     for q in &queries {
-        sqpr.submit(q);
+        sqpr.submit(q).expect("valid bases");
     }
 
     let (catalog2, _) = build_catalog();

@@ -27,7 +27,7 @@ fn main() {
         vec![probes[0], probes[1], probes[4]], // cross-rack scan detector
     ];
     for q in &queries {
-        let o = planner.submit(q);
+        let o = planner.submit(q).expect("valid bases");
         println!("query {:?}: admitted={}", o.query, o.admitted);
     }
     println!("admitted before surge: {}", planner.num_admitted());

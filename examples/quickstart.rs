@@ -31,7 +31,7 @@ fn main() {
             vec![trades, quotes, sentiment],
         ),
     ] {
-        let outcome = planner.submit(&bases);
+        let outcome = planner.submit(&bases).expect("valid bases");
         println!(
             "{name}: admitted={} reused_existing={} nodes={} time={:?}",
             outcome.admitted, outcome.reused_existing, outcome.nodes, outcome.solve_time

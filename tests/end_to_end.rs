@@ -23,7 +23,7 @@ fn planned_deployments_always_validate() {
     let w = small_workload();
     let mut planner = sqpr(&w);
     for q in &w.queries {
-        planner.submit(q);
+        planner.submit(q).expect("valid bases");
         assert!(
             planner.state().is_valid(planner.catalog()),
             "invalid state after a submission: {:?}",
@@ -78,8 +78,8 @@ fn reuse_increases_admissions_under_overlap() {
     cfg_off.reuse = false;
     let mut off = SqprPlanner::new(w.catalog.clone(), cfg_off);
     for q in &w.queries {
-        on.submit(q);
-        off.submit(q);
+        on.submit(q).expect("valid bases");
+        off.submit(q).expect("valid bases");
     }
     assert!(
         on.num_admitted() >= off.num_admitted(),
@@ -94,7 +94,7 @@ fn engine_measurements_match_planner_estimates() {
     let w = small_workload();
     let mut planner = sqpr(&w);
     for q in w.queries.iter().take(15) {
-        planner.submit(q);
+        planner.submit(q).expect("valid bases");
     }
     let report = run_engine(planner.catalog(), planner.state(), &EngineConfig::default());
     // Planned CPU per host (fraction of capacity) must match the engine's
@@ -121,8 +121,8 @@ fn identical_workloads_plan_deterministically() {
     let mut a = sqpr(&w);
     let mut b = sqpr(&w);
     for q in &w.queries {
-        let oa = a.submit(q);
-        let ob = b.submit(q);
+        let oa = a.submit(q).expect("valid bases");
+        let ob = b.submit(q).expect("valid bases");
         assert_eq!(oa.admitted, ob.admitted);
     }
     assert_eq!(a.num_admitted(), b.num_admitted());
@@ -137,10 +137,10 @@ fn batch_and_sequential_both_serve_admitted_queries() {
     let mut bat = sqpr(&w);
     let queries: Vec<_> = w.queries.iter().take(12).cloned().collect();
     for q in &queries {
-        seq.submit(q);
+        seq.submit(q).expect("valid bases");
     }
     for chunk in queries.chunks(3) {
-        bat.submit_batch(chunk);
+        bat.submit_batch(chunk).expect("valid bases");
     }
     for planner in [&seq, &bat] {
         assert!(planner.state().is_valid(planner.catalog()));

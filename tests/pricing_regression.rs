@@ -24,7 +24,7 @@ fn cold_lp_iterations(
     let mut planner = SqprPlanner::new(w.catalog.clone(), cfg);
     let mut admitted = Vec::new();
     for q in &w.queries {
-        admitted.push(planner.submit(q).admitted);
+        admitted.push(planner.submit(q).expect("valid bases").admitted);
     }
     let iters = planner.outcomes().iter().map(|o| o.lp_iterations).sum();
     (iters, admitted)

@@ -76,7 +76,7 @@ fn planner_state_always_valid() {
             if set.len() < 2 {
                 continue;
             }
-            planner.submit(&set);
+            planner.submit(&set).expect("valid bases");
             assert!(
                 planner.state().is_valid(planner.catalog()),
                 "seed {seed}: {:?}",
@@ -107,7 +107,7 @@ fn aggregate_bound_holds() {
             if set.len() < 2 {
                 continue;
             }
-            planner.submit(&set);
+            planner.submit(&set).expect("valid bases");
             bound.submit(&set);
             assert!(
                 bound.num_admitted() >= planner.num_admitted(),
@@ -136,7 +136,7 @@ fn removal_restores_capacity() {
             if set.len() < 2 {
                 continue;
             }
-            let o = planner.submit(&set);
+            let o = planner.submit(&set).expect("valid bases");
             if o.admitted {
                 admitted.push(o.query);
             }

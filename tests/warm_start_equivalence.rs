@@ -88,8 +88,8 @@ fn warm_and_cold_planners_agree_over_30_submissions() {
             if set.len() < 2 {
                 continue;
             }
-            let warm_outcome = planners[0].submit(&set);
-            let cold_outcome = planners[1].submit(&set);
+            let warm_outcome = planners[0].submit(&set).expect("valid bases");
+            let cold_outcome = planners[1].submit(&set).expect("valid bases");
             assert_eq!(
                 warm_outcome.admitted, cold_outcome.admitted,
                 "seed {seed} step {step}: admit/reject diverged (warm {} vs cold {})",
@@ -139,8 +139,8 @@ fn warm_context_survives_rate_updates_and_removals() {
             if set.len() < 2 {
                 continue;
             }
-            let wo = warm.submit(&set);
-            let co = cold.submit(&set);
+            let wo = warm.submit(&set).expect("valid bases");
+            let co = cold.submit(&set).expect("valid bases");
             assert_eq!(wo.admitted, co.admitted, "seed {seed} step {step}");
             if wo.admitted {
                 admitted_warm.push(wo.query);
