@@ -26,7 +26,7 @@ pub mod planner;
 pub mod query;
 pub mod recovery;
 
-pub use adaptive::{adapt_to_observed_rates, AdaptReport};
+pub use adaptive::{adapt_to_observed_rates, AdaptReport, DriftMonitor};
 pub use config::{AcyclicityMode, ObjectiveWeights, PlannerConfig, RelayPolicy, SolveBudget};
 pub use extract::extract_plan;
 pub use greedy::greedy_admit;

@@ -42,7 +42,7 @@ pub use cost::CostModel;
 pub use deployment::{DeployError, DeploymentState, FailureAudit, HostUsage};
 pub use engine::{run as run_engine, EngineConfig, SimReport};
 pub use ids::{HostId, OperatorId, QueryId, StreamId};
-pub use metrics::Cdf;
+pub use metrics::{Cdf, RateSketch};
 pub use operator::{OperatorDef, OperatorKind};
 pub use plan::{PlanError, PlanNode, PlanNodeKind, QueryPlan};
 pub use stream::{StreamDef, StreamSignature};

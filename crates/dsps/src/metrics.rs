@@ -1,5 +1,7 @@
-//! Measurement utilities: empirical CDFs and summary statistics, used to
-//! reproduce the distribution plots of the paper's Figures 7(b) and 7(c).
+//! Measurement utilities: empirical CDFs, summary statistics (used to
+//! reproduce the distribution plots of the paper's Figures 7(b) and 7(c)),
+//! and the bounded per-stream [`RateSketch`] that feeds observed rates
+//! back into adaptive re-planning (paper §IV-B).
 
 /// An empirical cumulative distribution over a finite sample.
 #[derive(Debug, Clone)]
@@ -62,6 +64,77 @@ impl Cdf {
             None
         } else {
             Some(self.sorted.iter().sum::<f64>() / self.sorted.len() as f64)
+        }
+    }
+}
+
+/// A bounded sliding-window sketch of one stream's observed rate.
+///
+/// The metrics layer samples rates continuously; the planner only wants a
+/// robust point estimate per adaptation round. The sketch keeps the last
+/// `window` valid samples (NaN and non-positive readings are dropped at
+/// ingest — a dead probe must not poison the estimate) and reports the
+/// window *median*, which ignores isolated outliers that would make a mean
+/// trigger spurious re-planning.
+#[derive(Debug, Clone)]
+pub struct RateSketch {
+    window: usize,
+    /// Ring buffer of the last `window` samples, in arrival order.
+    samples: Vec<f64>,
+    /// Next write position once the ring is full.
+    head: usize,
+    /// Total valid samples ever observed (can exceed `window`).
+    observed: usize,
+}
+
+impl RateSketch {
+    /// A sketch retaining the last `window` samples (`window >= 1`).
+    pub fn new(window: usize) -> Self {
+        assert!(window >= 1, "a sketch needs a positive window");
+        RateSketch {
+            window,
+            samples: Vec::new(),
+            head: 0,
+            observed: 0,
+        }
+    }
+
+    /// Ingests one rate sample. NaN and non-positive readings are dropped:
+    /// rates are strictly positive by definition and a failed probe
+    /// reports junk, not zero traffic.
+    pub fn observe(&mut self, rate: f64) {
+        if rate.is_nan() || rate <= 0.0 {
+            return;
+        }
+        if self.samples.len() < self.window {
+            self.samples.push(rate);
+        } else {
+            self.samples[self.head] = rate;
+            self.head = (self.head + 1) % self.window;
+        }
+        self.observed += 1;
+    }
+
+    /// Valid samples currently retained (at most the window size).
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Total valid samples ever ingested.
+    pub fn observed(&self) -> usize {
+        self.observed
+    }
+
+    /// The window median, or `None` before the first valid sample.
+    pub fn estimate(&self) -> Option<f64> {
+        if self.samples.is_empty() {
+            None
+        } else {
+            Some(Cdf::from_samples(self.samples.clone()).quantile(0.5))
         }
     }
 }
@@ -145,5 +218,50 @@ mod tests {
     fn cdf_drops_nans() {
         let c = Cdf::from_samples(vec![1.0, f64::NAN, 2.0]);
         assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn sketch_reports_window_median() {
+        let mut s = RateSketch::new(8);
+        assert_eq!(s.estimate(), None);
+        for v in [10.0, 12.0, 11.0] {
+            s.observe(v);
+        }
+        assert_eq!(s.estimate(), Some(11.0));
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.observed(), 3);
+    }
+
+    #[test]
+    fn sketch_window_slides() {
+        let mut s = RateSketch::new(3);
+        for v in [1.0, 2.0, 3.0, 100.0, 100.0] {
+            s.observe(v);
+        }
+        // Window holds {3, 100, 100}; the old low samples fell out.
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.estimate(), Some(100.0));
+        assert_eq!(s.observed(), 5);
+    }
+
+    #[test]
+    fn sketch_rejects_invalid_samples() {
+        let mut s = RateSketch::new(4);
+        s.observe(f64::NAN);
+        s.observe(0.0);
+        s.observe(-5.0);
+        assert!(s.is_empty());
+        assert_eq!(s.observed(), 0);
+        s.observe(7.0);
+        assert_eq!(s.estimate(), Some(7.0));
+    }
+
+    #[test]
+    fn sketch_median_is_outlier_robust() {
+        let mut s = RateSketch::new(5);
+        for v in [10.0, 10.5, 9.5, 10.2, 1000.0] {
+            s.observe(v);
+        }
+        assert_eq!(s.estimate(), Some(10.2), "one outlier must not swing it");
     }
 }

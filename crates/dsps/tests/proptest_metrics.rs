@@ -1,0 +1,158 @@
+//! Property tests for the metrics layer: `Cdf` and `RateSketch` on
+//! seeded random samples.
+//!
+//! Implemented as seeded random-case loops (the sanctioned dependency set
+//! has no `proptest`); every case prints its seed on failure so it can be
+//! replayed deterministically.
+
+use sqpr_dsps::{Cdf, RateSketch};
+use sqpr_workload::rng::{Rng, StdRng};
+
+/// A random sample mixing magnitudes, duplicates and (optionally) NaNs.
+fn random_samples(rng: &mut StdRng, with_nans: bool) -> Vec<f64> {
+    let n = rng.gen_index(40) + 1;
+    let mut xs = Vec::with_capacity(n);
+    for _ in 0..n {
+        let v = match rng.gen_index(4) {
+            0 => rng.gen_f64() * 10.0,
+            1 => rng.gen_f64() * 1e6,
+            // Deliberate duplicates: quantile/fraction round-trips must
+            // survive ties.
+            2 => (rng.gen_index(5) + 1) as f64,
+            _ => -rng.gen_f64() * 100.0,
+        };
+        xs.push(v);
+    }
+    if with_nans {
+        for _ in 0..rng.gen_index(5) {
+            let at = rng.gen_index(xs.len());
+            xs.insert(at, f64::NAN);
+        }
+    }
+    xs
+}
+
+#[test]
+fn fraction_at_is_monotone_in_x() {
+    for seed in 0..128u64 {
+        let mut rng = StdRng::seed_from_u64(0xCDF0 ^ seed);
+        let cdf = Cdf::from_samples(random_samples(&mut rng, false));
+        let mut probes: Vec<f64> = (0..32)
+            .map(|_| rng.gen_f64() * 2e6 - 1e6)
+            .chain([f64::NEG_INFINITY, f64::INFINITY])
+            .collect();
+        probes.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let fracs: Vec<f64> = probes.iter().map(|&x| cdf.fraction_at(x)).collect();
+        for w in fracs.windows(2) {
+            assert!(
+                w[0] <= w[1],
+                "seed {seed}: fraction_at not monotone: {fracs:?}"
+            );
+        }
+        assert!(fracs.iter().all(|f| (0.0..=1.0).contains(f)), "seed {seed}");
+        assert_eq!(cdf.fraction_at(f64::INFINITY), 1.0, "seed {seed}");
+    }
+}
+
+#[test]
+fn nan_samples_are_filtered_everywhere() {
+    for seed in 0..128u64 {
+        let mut rng = StdRng::seed_from_u64(0x7A17 ^ seed);
+        let raw = random_samples(&mut rng, true);
+        let clean: Vec<f64> = raw.iter().copied().filter(|v| !v.is_nan()).collect();
+        let cdf = Cdf::from_samples(raw.clone());
+        assert_eq!(cdf.len(), clean.len(), "seed {seed}: NaNs must drop");
+        if !clean.is_empty() {
+            // Quantiles over the NaN-polluted input equal quantiles over
+            // the clean input, and are always finite sample members.
+            let clean_cdf = Cdf::from_samples(clean);
+            for q in [0.0, 0.01, 0.25, 0.5, 0.9, 1.0] {
+                let v = cdf.quantile(q);
+                assert!(!v.is_nan(), "seed {seed}: quantile({q}) is NaN");
+                assert_eq!(v, clean_cdf.quantile(q), "seed {seed}");
+            }
+        }
+    }
+}
+
+#[test]
+fn quantile_of_fraction_round_trips_sample_members() {
+    for seed in 0..128u64 {
+        let mut rng = StdRng::seed_from_u64(0xF00D ^ seed);
+        let xs = random_samples(&mut rng, false);
+        let cdf = Cdf::from_samples(xs.clone());
+        for &x in &xs {
+            // Nearest-rank round trip, up to the one-ulp rank wobble of
+            // computing ceil((k/n)*n): the quantile at P[X <= x] lands
+            // back on x or on its immediate successor sample — it never
+            // skips over a sample value, and never moves below x.
+            let q = cdf.fraction_at(x);
+            let v = cdf.quantile(q);
+            assert!(
+                xs.contains(&v),
+                "seed {seed}: quantile({q}) = {v} is not a sample member"
+            );
+            assert!(v >= x, "seed {seed}: round trip moved below x={x}: {v}");
+            assert!(
+                !xs.iter().any(|&y| y > x && y < v),
+                "seed {seed}: round trip skipped a sample between {x} and {v}"
+            );
+        }
+    }
+}
+
+#[test]
+fn fraction_of_quantile_dominates_q() {
+    for seed in 0..128u64 {
+        let mut rng = StdRng::seed_from_u64(0xBEEF ^ seed);
+        let cdf = Cdf::from_samples(random_samples(&mut rng, false));
+        let mut prev = f64::NEG_INFINITY;
+        for i in 0..=20 {
+            let q = i as f64 / 20.0;
+            let v = cdf.quantile(q);
+            // P[X <= quantile(q)] covers at least q of the mass...
+            assert!(
+                cdf.fraction_at(v) + 1e-12 >= q,
+                "seed {seed}: fraction_at(quantile({q})) = {} < {q}",
+                cdf.fraction_at(v)
+            );
+            // ...and quantiles are monotone in q.
+            assert!(v >= prev, "seed {seed}: quantile not monotone at q={q}");
+            prev = v;
+        }
+    }
+}
+
+#[test]
+fn sketch_median_matches_naive_window_median() {
+    for seed in 0..128u64 {
+        let mut rng = StdRng::seed_from_u64(0x5EE7 ^ seed);
+        let window = rng.gen_index(7) + 1;
+        let mut sketch = RateSketch::new(window);
+        let mut valid: Vec<f64> = Vec::new();
+        for _ in 0..rng.gen_index(30) + 1 {
+            let v = match rng.gen_index(5) {
+                0 => f64::NAN,
+                1 => 0.0,
+                2 => -rng.gen_f64(),
+                _ => rng.gen_f64() * 100.0 + 1e-3,
+            };
+            sketch.observe(v);
+            if !v.is_nan() && v > 0.0 {
+                valid.push(v);
+            }
+        }
+        let start = valid.len().saturating_sub(window);
+        let tail = &valid[start..];
+        assert_eq!(sketch.len(), tail.len(), "seed {seed}");
+        assert_eq!(sketch.observed(), valid.len(), "seed {seed}");
+        match sketch.estimate() {
+            None => assert!(tail.is_empty(), "seed {seed}"),
+            Some(est) => {
+                let naive = Cdf::from_samples(tail.to_vec()).quantile(0.5);
+                assert_eq!(est, naive, "seed {seed}: window median mismatch");
+                assert!(tail.contains(&est), "seed {seed}: median not a sample");
+            }
+        }
+    }
+}

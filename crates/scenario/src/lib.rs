@@ -1,0 +1,43 @@
+//! # sqpr-scenario
+//!
+//! The declarative scenario corpus: data-driven event scripts with
+//! golden-file verdicts for the SQPR planner.
+//!
+//! Each scenario is a TOML-subset file (`tests/scenarios/*.toml` at the
+//! workspace root) describing a generated system, a timed event script —
+//! query arrivals, rate drift and bursts fed through §IV-B adaptation,
+//! host/link failures and restores driving recovery storms, removals,
+//! admission retries — and an expectations block. The runner executes
+//! every scenario three ways (warm planner at `lp_threads` 1 and 0, plus
+//! a cold twin), asserts thread-count bit-invariance and warm/cold
+//! agreement, diffs the canonical verdict transcript against a committed
+//! golden file (`SQPR_BLESS=1` re-blesses), and emits one committed
+//! `BENCH_scenario_<name>.json` per scenario.
+//!
+//! ```
+//! use sqpr_scenario::{run_scenario, ScenarioSpec};
+//!
+//! let spec = ScenarioSpec::parse(r#"
+//!     name = "doc"
+//!     [system]
+//!     kind = "paper_cluster"
+//!     scale = 0.2
+//!     queries = 3
+//!     max_nodes = 40
+//!     [[event]]
+//!     kind = "submit"
+//!     count = 3
+//! "#).unwrap();
+//! let run = run_scenario(&spec).unwrap();
+//! assert!(run.transcript.starts_with("scenario doc\n"));
+//! ```
+
+pub mod runner;
+pub mod spec;
+pub mod toml;
+pub mod verdict;
+
+pub use runner::{check_scenario_file, discover, run_scenario, ScenarioRun};
+pub use spec::{Event, Expectations, HostClass, ScenarioSpec, SpecError, SystemKind, SystemSpec};
+pub use toml::{parse as parse_toml, ParseError, Value};
+pub use verdict::{first_diff, fmt_f64_bits, JsonObject, Transcript};

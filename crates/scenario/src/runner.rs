@@ -1,0 +1,778 @@
+//! Scenario execution: the three-way drive and its cross-checks.
+//!
+//! Every scenario is executed three times from scratch:
+//!
+//! 1. **warm, `lp_threads = 1`** — the canonical run. Its transcript is
+//!    what golden files record and its counters feed the bench JSON.
+//! 2. **warm, `lp_threads = 0`** (all cores) — must reproduce the
+//!    canonical transcript *byte for byte*: admit/reject decisions,
+//!    placements/flow counts, node counts and objective bits are all in
+//!    the transcript, so equality is the full determinism claim of the
+//!    speculate-and-replay parallel branch & bound.
+//! 3. **cold, `lp_threads = 1`** — a twin with `reuse_solver_context`
+//!    off. Warm and cold solve different model sequences and may land on
+//!    alternate optima within the MIP gap, so the contract is weaker:
+//!    identical admit/reject sequence, identical final admitted count,
+//!    and final objectives within 2% relative tolerance.
+//!
+//! Scenario-level expectations (`[expect]`) and per-event patch-rate
+//! floors are checked on the canonical run only; adaptation/storm
+//! accounting identities (`replanned = readmitted + dropped`, no silent
+//! drops) are checked on every drive.
+
+use std::fs;
+use std::path::Path;
+
+use sqpr_core::{
+    adapt_to_observed_rates, recover_from_failures, AdaptReport, DriftMonitor, PlannerConfig,
+    SolveBudget, SqprPlanner, StormBudget,
+};
+use sqpr_dsps::{HostId, HostSpec, QueryId, StreamId};
+use sqpr_workload::{generate_with_hosts, Workload, WorkloadSpec};
+
+use crate::spec::{Event, ScenarioSpec, SystemKind, SystemSpec};
+use crate::verdict::{first_diff, fmt_f64_bits, JsonObject, Transcript};
+
+/// Relative tolerance for the warm-vs-cold final objective (alternate
+/// optima within the MIP gap; same bound as `tests/warm_start_equivalence`).
+const OBJ_TOL: f64 = 0.02;
+
+/// A completed scenario run: the canonical transcript and bench JSON.
+#[derive(Debug, Clone)]
+pub struct ScenarioRun {
+    pub name: String,
+    pub transcript: String,
+    pub bench_json: String,
+}
+
+/// Cumulative counters of one drive (the bench JSON's raw material).
+#[derive(Debug, Clone, Copy, Default)]
+struct Counters {
+    submitted: usize,
+    admits: usize,
+    rejects: usize,
+    reused: usize,
+    retries: usize,
+    retry_admits: usize,
+    adapt_rounds: usize,
+    drifted_streams: usize,
+    replanned: usize,
+    readmitted: usize,
+    adapt_dropped: usize,
+    storms: usize,
+    storm_replanned: usize,
+    storm_degraded: usize,
+    storm_dropped: usize,
+    rehomed: usize,
+    removed: usize,
+    nodes_total: usize,
+    lp_iterations: usize,
+    cache_patches: usize,
+    cache_rebuilds: usize,
+    cache_refix_patches: usize,
+}
+
+/// The outcome of driving one planner through the script.
+struct Drive {
+    transcript: Transcript,
+    counters: Counters,
+    /// Admit/reject per `submit`-event submission, arrival order.
+    admits: Vec<bool>,
+    final_admitted: usize,
+    final_objective: f64,
+    deployment_valid: bool,
+    /// Expectation/invariant violations found during the drive.
+    errors: Vec<String>,
+}
+
+fn build_workload(sys: &SystemSpec) -> Workload {
+    let mut spec = match sys.kind {
+        SystemKind::PaperSim => WorkloadSpec::paper_sim(sys.scale),
+        SystemKind::PaperCluster => WorkloadSpec::paper_cluster(sys.scale),
+    };
+    if let Some(seed) = sys.seed {
+        spec.seed = seed;
+    }
+    if let Some(q) = sys.queries {
+        spec.queries = q;
+    }
+    if let Some(z) = sys.zipf_theta {
+        spec.zipf_theta = z;
+    }
+    let hosts: Vec<HostSpec> = if sys.hosts.is_empty() {
+        vec![HostSpec::new(spec.cpu_capacity, spec.host_bandwidth); spec.hosts]
+    } else {
+        sys.hosts
+            .iter()
+            .flat_map(|c| std::iter::repeat_n(HostSpec::new(c.cpu, c.bandwidth), c.count))
+            .collect()
+    };
+    generate_with_hosts(&spec, &hosts)
+}
+
+/// Drives one fresh planner through the whole script.
+fn drive(spec: &ScenarioSpec, warm: bool, threads: usize) -> Drive {
+    let workload = build_workload(&spec.system);
+    let mut config = PlannerConfig::new(&workload.catalog);
+    // Node-only budgets keep every solve a pure function of the script.
+    config.budget = SolveBudget::nodes(spec.system.max_nodes);
+    config.lp_threads = threads;
+    config.reuse_solver_context = warm;
+    let nominal: Vec<(StreamId, f64)> = workload
+        .bases
+        .iter()
+        .map(|&s| (s, workload.catalog.stream(s).rate))
+        .collect();
+    let mut planner = SqprPlanner::new(workload.catalog.clone(), config);
+    let mut monitor = DriftMonitor::new(16, 1);
+    let mut d = Drive {
+        transcript: Transcript::default(),
+        counters: Counters::default(),
+        admits: Vec::new(),
+        final_admitted: 0,
+        final_objective: 0.0,
+        deployment_valid: false,
+        errors: Vec::new(),
+    };
+    d.transcript.push(format!("scenario {}", spec.name));
+    d.transcript.push(format!(
+        "system hosts={} bases={} queries={} budget={}",
+        planner.catalog().num_hosts(),
+        workload.bases.len(),
+        workload.queries.len(),
+        spec.system.max_nodes
+    ));
+
+    let mut cursor = 0usize;
+    // Queries removed by the script: retries must not resurrect them.
+    let mut removed: std::collections::BTreeSet<QueryId> = std::collections::BTreeSet::new();
+    for ev in &spec.events {
+        match ev {
+            Event::Submit {
+                count,
+                min_patch_rate,
+            } => {
+                let mut patches = 0usize;
+                let mut rebuilds = 0usize;
+                for _ in 0..*count {
+                    let Some(bases) = workload.queries.get(cursor) else {
+                        d.errors
+                            .push("script submits more queries than the workload has".into());
+                        break;
+                    };
+                    cursor += 1;
+                    let o = planner
+                        .submit(bases)
+                        .expect("generated queries are well-formed");
+                    d.admits.push(o.admitted);
+                    d.counters.submitted += 1;
+                    if o.admitted {
+                        d.counters.admits += 1;
+                    } else {
+                        d.counters.rejects += 1;
+                    }
+                    if o.reused_existing {
+                        d.counters.reused += 1;
+                    }
+                    account_outcome(&mut d.counters, &o);
+                    patches += o.lp_cache.patches;
+                    rebuilds += o.lp_cache.rebuilds;
+                    d.transcript.push(format!(
+                        "submit q{} {} reused={} nodes={}",
+                        o.query.0,
+                        verdict(o.admitted),
+                        o.reused_existing,
+                        o.nodes
+                    ));
+                }
+                check_patch_floor(&mut d, "submit", *min_patch_rate, patches, rebuilds, warm);
+            }
+            Event::Observe {
+                drift,
+                t,
+                samples,
+                tick,
+                streams,
+            } => {
+                let selected = select_streams(&nominal, streams, &mut d.errors);
+                for k in 0..*samples {
+                    let tk = t + (k as f64) * tick;
+                    monitor.observe_all(&drift.observed_rates(&selected, tk));
+                }
+                d.transcript.push(format!(
+                    "observe t={t} streams={} samples={samples}",
+                    selected.len()
+                ));
+            }
+            Event::Adapt { threshold } => {
+                match monitor.adapt_if_drifted(&mut planner, *threshold) {
+                    None => d
+                        .transcript
+                        .push(format!("adapt threshold={threshold} quiet")),
+                    Some(r) => {
+                        account_adapt(&mut d, &r, spec.expect.zero_dropped);
+                        d.transcript.push(format!(
+                        "adapt threshold={threshold} drifted={} replanned={} readmitted={} dropped={}",
+                        r.drifted_streams.len(),
+                        r.replanned.len(),
+                        r.readmitted.len(),
+                        r.dropped.len()
+                    ));
+                    }
+                }
+            }
+            Event::Drift {
+                drift,
+                t,
+                threshold,
+                streams,
+            } => {
+                let selected = select_streams(&nominal, streams, &mut d.errors);
+                let observed = drift.observed_rates(&selected, *t);
+                let r = adapt_to_observed_rates(&mut planner, &observed, *threshold);
+                account_adapt(&mut d, &r, spec.expect.zero_dropped);
+                d.transcript.push(format!(
+                    "drift t={t} threshold={threshold} drifted={} replanned={} readmitted={} dropped={}",
+                    r.drifted_streams.len(),
+                    r.replanned.len(),
+                    r.readmitted.len(),
+                    r.dropped.len()
+                ));
+            }
+            Event::FailHosts { hosts } => {
+                for &h in hosts {
+                    planner.fail_host(HostId(h as u32));
+                }
+                d.transcript.push(format!("fail hosts={hosts:?}"));
+            }
+            Event::RestoreHosts { hosts } => {
+                for &h in hosts {
+                    planner.restore_host(HostId(h as u32));
+                }
+                d.transcript.push(format!("restore hosts={hosts:?}"));
+            }
+            Event::DegradeLink { from, to, capacity } => {
+                planner.degrade_link(HostId(*from as u32), HostId(*to as u32), *capacity);
+                d.transcript
+                    .push(format!("degrade link={from}->{to} capacity={capacity}"));
+            }
+            Event::RestoreLink { from, to } => {
+                planner.restore_link(HostId(*from as u32), HostId(*to as u32));
+                d.transcript.push(format!("restore link={from}->{to}"));
+            }
+            Event::Recover { max_nodes } => {
+                let r = recover_from_failures(&mut planner, &StormBudget::nodes(*max_nodes));
+                d.counters.storms += 1;
+                d.counters.storm_replanned += r.replanned();
+                d.counters.storm_degraded += r.degraded();
+                d.counters.storm_dropped += r.dropped();
+                d.counters.rehomed += r.rehomed.len();
+                d.counters.nodes_total += r.nodes_spent;
+                if r.recoveries.len() != r.replanned() + r.degraded() + r.dropped() {
+                    d.errors.push(format!(
+                        "storm accounting leak: {} displaced vs {}+{}+{}",
+                        r.recoveries.len(),
+                        r.replanned(),
+                        r.degraded(),
+                        r.dropped()
+                    ));
+                }
+                if spec.expect.zero_dropped && r.dropped() > 0 {
+                    d.errors
+                        .push(format!("storm dropped {} queries", r.dropped()));
+                }
+                d.transcript.push(format!(
+                    "recover displaced={} replanned={} degraded={} dropped={} rehomed={} nodes={}",
+                    r.recoveries.len(),
+                    r.replanned(),
+                    r.degraded(),
+                    r.dropped(),
+                    r.rehomed.len(),
+                    r.nodes_spent
+                ));
+            }
+            Event::Remove { queries } => {
+                for &q in queries {
+                    let ok = planner.remove_query(QueryId(q));
+                    if ok {
+                        d.counters.removed += 1;
+                        removed.insert(QueryId(q));
+                    }
+                    d.transcript.push(format!("remove q{q} ok={ok}"));
+                }
+            }
+            Event::Retry {
+                max,
+                min_patch_rate,
+            } => {
+                let mut rejected: Vec<QueryId> = planner
+                    .queries()
+                    .iter()
+                    .map(|s| s.id)
+                    .filter(|id| {
+                        !planner.state().admitted().contains_key(id) && !removed.contains(id)
+                    })
+                    .collect();
+                rejected.sort();
+                if let Some(cap) = max {
+                    rejected.truncate(*cap);
+                }
+                let mut patches = 0usize;
+                let mut rebuilds = 0usize;
+                for q in rejected {
+                    let o = planner
+                        .replan_query(q)
+                        .expect("rejected queries stay registered");
+                    d.counters.retries += 1;
+                    if o.admitted {
+                        d.counters.retry_admits += 1;
+                    }
+                    account_outcome(&mut d.counters, &o);
+                    patches += o.lp_cache.patches;
+                    rebuilds += o.lp_cache.rebuilds;
+                    d.transcript.push(format!(
+                        "retry q{} {} nodes={}",
+                        q.0,
+                        verdict(o.admitted),
+                        o.nodes
+                    ));
+                }
+                check_patch_floor(&mut d, "retry", *min_patch_rate, patches, rebuilds, warm);
+            }
+        }
+        d.transcript.push(format!(
+            "  state admitted={} placements={} flows={} obj={}",
+            planner.num_admitted(),
+            planner.state().placements().len(),
+            planner.state().flows().len(),
+            fmt_f64_bits(planner.deployment_objective())
+        ));
+    }
+
+    d.final_admitted = planner.num_admitted();
+    d.final_objective = planner.deployment_objective();
+    d.deployment_valid = planner.state().is_valid(planner.catalog());
+    d.transcript.push(format!(
+        "final admitted={}/{} objective={} valid={}",
+        d.final_admitted,
+        d.counters.submitted,
+        fmt_f64_bits(d.final_objective),
+        d.deployment_valid
+    ));
+    if !d.deployment_valid {
+        d.errors.push("final deployment is invalid".into());
+    }
+    d
+}
+
+fn verdict(admitted: bool) -> &'static str {
+    if admitted {
+        "ADMIT"
+    } else {
+        "REJECT"
+    }
+}
+
+fn account_outcome(c: &mut Counters, o: &sqpr_core::PlanningOutcome) {
+    c.nodes_total += o.nodes;
+    c.lp_iterations += o.lp_iterations;
+    c.cache_patches += o.lp_cache.patches;
+    c.cache_rebuilds += o.lp_cache.rebuilds;
+    c.cache_refix_patches += o.lp_cache.refix_patches;
+}
+
+fn account_adapt(d: &mut Drive, r: &AdaptReport, zero_dropped: bool) {
+    d.counters.adapt_rounds += 1;
+    d.counters.drifted_streams += r.drifted_streams.len();
+    d.counters.replanned += r.replanned.len();
+    d.counters.readmitted += r.readmitted.len();
+    d.counters.adapt_dropped += r.dropped.len();
+    if r.replanned.len() != r.readmitted.len() + r.dropped.len() {
+        d.errors.push(format!(
+            "adapt accounting leak: {} replanned vs {} readmitted + {} dropped",
+            r.replanned.len(),
+            r.readmitted.len(),
+            r.dropped.len()
+        ));
+    }
+    if zero_dropped && !r.dropped.is_empty() {
+        d.errors
+            .push(format!("adaptation dropped queries {:?}", r.dropped));
+    }
+}
+
+fn select_streams(
+    nominal: &[(StreamId, f64)],
+    indices: &[usize],
+    errors: &mut Vec<String>,
+) -> Vec<(StreamId, f64)> {
+    if indices.is_empty() {
+        return nominal.to_vec();
+    }
+    let mut out = Vec::with_capacity(indices.len());
+    for &i in indices {
+        match nominal.get(i) {
+            Some(&pair) => out.push(pair),
+            None => errors.push(format!(
+                "stream index {i} out of range ({} bases)",
+                nominal.len()
+            )),
+        }
+    }
+    out
+}
+
+/// Per-event compressed-LP patch-rate floor (canonical warm drive only —
+/// the cold twin has no cache by construction).
+fn check_patch_floor(
+    d: &mut Drive,
+    what: &str,
+    floor: Option<f64>,
+    patches: usize,
+    rebuilds: usize,
+    warm: bool,
+) {
+    let Some(floor) = floor else {
+        return;
+    };
+    if !warm {
+        return;
+    }
+    let total = patches + rebuilds;
+    if total == 0 {
+        // All rounds short-circuited: no cache activity to floor.
+        return;
+    }
+    let rate = patches as f64 / total as f64;
+    if rate < floor {
+        d.errors.push(format!(
+            "{what} event patch rate {rate:.3} below floor {floor:.3} ({patches} patches / {rebuilds} rebuilds)"
+        ));
+    }
+}
+
+/// Executes the three-way drive for one scenario and applies every
+/// cross-check and expectation. Returns the canonical run on success, the
+/// full list of violations otherwise.
+pub fn run_scenario(spec: &ScenarioSpec) -> Result<ScenarioRun, Vec<String>> {
+    let warm1 = drive(spec, true, 1);
+    let warm0 = drive(spec, true, 0);
+    let cold1 = drive(spec, false, 1);
+    let mut errors = warm1.errors.clone();
+
+    // Thread-count bit-invariance: the whole transcript, bits included.
+    if let Some(diff) = first_diff(&warm1.transcript.render(), &warm0.transcript.render()) {
+        errors.push(format!("lp_threads=0 diverges from lp_threads=1 at {diff}"));
+    }
+
+    // Warm vs cold: same decisions, objective within tolerance.
+    if warm1.admits != cold1.admits {
+        errors.push(format!(
+            "warm/cold admit sequences differ: warm={} cold={}",
+            admit_string(&warm1.admits),
+            admit_string(&cold1.admits)
+        ));
+    }
+    if warm1.final_admitted != cold1.final_admitted {
+        errors.push(format!(
+            "warm/cold final admitted differ: {} vs {}",
+            warm1.final_admitted, cold1.final_admitted
+        ));
+    }
+    let denom = warm1.final_objective.abs().max(1e-9);
+    let rel = (warm1.final_objective - cold1.final_objective).abs() / denom;
+    if rel > OBJ_TOL {
+        errors.push(format!(
+            "warm/cold objectives differ by {:.4} (> {OBJ_TOL}): {} vs {}",
+            rel, warm1.final_objective, cold1.final_objective
+        ));
+    }
+    for e in &cold1.errors {
+        errors.push(format!("cold twin: {e}"));
+    }
+
+    // Scenario expectations, on the canonical drive.
+    let exp = &spec.expect;
+    if let Some(want) = &exp.admits {
+        let got = admit_string(&warm1.admits);
+        if &got != want {
+            errors.push(format!("admit sequence {got} != expected {want}"));
+        }
+    }
+    if let Some(min) = exp.min_admitted {
+        if warm1.final_admitted < min {
+            errors.push(format!(
+                "final admitted {} below floor {min}",
+                warm1.final_admitted
+            ));
+        }
+    }
+    if let Some(min) = exp.min_replanned {
+        if warm1.counters.replanned < min {
+            errors.push(format!(
+                "adaptation replanned {} queries, floor is {min}",
+                warm1.counters.replanned
+            ));
+        }
+    }
+    if let Some(min) = exp.min_admit_fraction {
+        let frac = if warm1.counters.submitted == 0 {
+            1.0
+        } else {
+            warm1.final_admitted as f64 / warm1.counters.submitted as f64
+        };
+        if frac < min {
+            errors.push(format!("admit fraction {frac:.3} below floor {min:.3}"));
+        }
+    }
+
+    if !errors.is_empty() {
+        return Err(errors);
+    }
+    Ok(ScenarioRun {
+        name: spec.name.clone(),
+        transcript: warm1.transcript.render(),
+        bench_json: bench_json(spec, &warm1),
+    })
+}
+
+fn admit_string(admits: &[bool]) -> String {
+    admits.iter().map(|&a| if a { 'A' } else { 'R' }).collect()
+}
+
+fn bench_json(spec: &ScenarioSpec, d: &Drive) -> String {
+    let c = &d.counters;
+    let cache_total = c.cache_patches + c.cache_rebuilds;
+    let patch_rate = if cache_total == 0 {
+        0.0
+    } else {
+        c.cache_patches as f64 / cache_total as f64
+    };
+    JsonObject::new()
+        .str("bench", &format!("scenario_{}", spec.name))
+        .str("scenario", &spec.name)
+        .uint("submitted", c.submitted)
+        .uint("admits", c.admits)
+        .uint("rejects", c.rejects)
+        .uint("reused_existing", c.reused)
+        .uint("retries", c.retries)
+        .uint("retry_admits", c.retry_admits)
+        .uint("adapt_rounds", c.adapt_rounds)
+        .uint("drifted_streams", c.drifted_streams)
+        .uint("replanned", c.replanned)
+        .uint("readmitted", c.readmitted)
+        .uint("adapt_dropped", c.adapt_dropped)
+        .uint("storms", c.storms)
+        .uint("storm_replanned", c.storm_replanned)
+        .uint("storm_degraded", c.storm_degraded)
+        .uint("storm_dropped", c.storm_dropped)
+        .uint("rehomed", c.rehomed)
+        .uint("removed", c.removed)
+        .uint("final_admitted", d.final_admitted)
+        .f64("final_objective", d.final_objective)
+        .bool("deployment_valid", d.deployment_valid)
+        .uint("nodes_total", c.nodes_total)
+        .uint("lp_iterations", c.lp_iterations)
+        .uint("cache_patches", c.cache_patches)
+        .uint("cache_rebuilds", c.cache_rebuilds)
+        .uint("cache_refix_patches", c.cache_refix_patches)
+        .f64("cache_patch_rate", patch_rate)
+        .uint_arr("threads_checked", &[1, 0])
+        .bool("warm_cold_agreement", true)
+        .render()
+}
+
+/// Runs one scenario *file* end to end against its golden transcript and
+/// committed bench JSON.
+///
+/// - The candidate transcript is always written to
+///   `out_dir/<name>.txt` (CI uploads this directory as the diff
+///   artifact on failure).
+/// - With `SQPR_BLESS=1` the golden transcript and the bench JSON are
+///   (re)written instead of compared.
+pub fn check_scenario_file(
+    path: &Path,
+    golden_dir: &Path,
+    bench_dir: &Path,
+    out_dir: &Path,
+) -> Result<String, Vec<String>> {
+    let src = fs::read_to_string(path)
+        .map_err(|e| vec![format!("{}: read failed: {e}", path.display())])?;
+    let spec = ScenarioSpec::parse(&src).map_err(|e| vec![format!("{}: {e}", path.display())])?;
+    let stem = path
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or_default();
+    if spec.name != stem {
+        return Err(vec![format!(
+            "{}: scenario name `{}` must match the file stem `{stem}`",
+            path.display(),
+            spec.name
+        )]);
+    }
+    let run = run_scenario(&spec).map_err(|errs| {
+        errs.into_iter()
+            .map(|e| format!("{}: {e}", spec.name))
+            .collect::<Vec<_>>()
+    })?;
+
+    let _ = fs::create_dir_all(out_dir);
+    let candidate = out_dir.join(format!("{}.txt", run.name));
+    let _ = fs::write(&candidate, &run.transcript);
+
+    let bless = std::env::var("SQPR_BLESS").is_ok_and(|v| v == "1");
+    let golden_path = golden_dir.join(format!("{}.txt", run.name));
+    let bench_path = bench_dir.join(format!("BENCH_scenario_{}.json", run.name));
+    let mut errors = Vec::new();
+    if bless {
+        let _ = fs::create_dir_all(golden_dir);
+        fs::write(&golden_path, &run.transcript)
+            .map_err(|e| vec![format!("{}: bless write failed: {e}", run.name)])?;
+        fs::write(&bench_path, &run.bench_json)
+            .map_err(|e| vec![format!("{}: bench write failed: {e}", run.name)])?;
+    } else {
+        match fs::read_to_string(&golden_path) {
+            Err(_) => errors.push(format!(
+                "{}: golden transcript {} missing (run with SQPR_BLESS=1 to create)",
+                run.name,
+                golden_path.display()
+            )),
+            Ok(golden) => {
+                if let Some(diff) = first_diff(&golden, &run.transcript) {
+                    errors.push(format!(
+                        "{}: transcript drifted from golden (candidate at {}) — {diff}",
+                        run.name,
+                        candidate.display()
+                    ));
+                }
+            }
+        }
+        match fs::read_to_string(&bench_path) {
+            Err(_) => errors.push(format!(
+                "{}: committed bench file {} missing (run with SQPR_BLESS=1 to create)",
+                run.name,
+                bench_path.display()
+            )),
+            Ok(committed) => {
+                if committed != run.bench_json {
+                    errors.push(format!(
+                        "{}: bench JSON drifted from committed {}",
+                        run.name,
+                        bench_path.display()
+                    ));
+                }
+            }
+        }
+    }
+    if errors.is_empty() {
+        Ok(run.name)
+    } else {
+        Err(errors)
+    }
+}
+
+/// Lists the corpus scenario files (`*.toml`, sorted by name).
+pub fn discover(dir: &Path) -> std::io::Result<Vec<std::path::PathBuf>> {
+    let mut files: Vec<_> = fs::read_dir(dir)?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "toml"))
+        .collect();
+    files.sort();
+    Ok(files)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A tiny but complete scenario exercising submit, drift, failure and
+    /// retry against the §V-B cluster preset. Kept deliberately small so
+    /// the three-way drive stays fast as a unit test.
+    const SMOKE: &str = r#"
+        name = "smoke"
+        [system]
+        kind = "paper_cluster"
+        scale = 0.2
+        queries = 6
+        max_nodes = 60
+        [[event]]
+        kind = "submit"
+        count = 4
+        [[event]]
+        kind = "drift"
+        profile = "step"
+        factor = 1.6
+        t = 1.0
+        threshold = 0.3
+        [[event]]
+        kind = "fail_hosts"
+        hosts = [1]
+        [[event]]
+        kind = "recover"
+        max_nodes = 120
+        [[event]]
+        kind = "restore_hosts"
+        hosts = [1]
+        [[event]]
+        kind = "submit"
+        count = 2
+        [[event]]
+        kind = "retry"
+        [expect]
+        min_admitted = 3
+    "#;
+
+    #[test]
+    fn three_way_drive_agrees_on_a_smoke_scenario() {
+        let spec = ScenarioSpec::parse(SMOKE).unwrap();
+        let run = run_scenario(&spec).unwrap_or_else(|e| panic!("{}", e.join("\n")));
+        assert!(run.transcript.starts_with("scenario smoke\n"));
+        assert!(run.transcript.contains("recover displaced="));
+        assert!(run.transcript.ends_with("\n"));
+        assert!(run.bench_json.contains("\"bench\": \"scenario_smoke\""));
+        assert!(run.bench_json.contains("\"storms\": 1"));
+    }
+
+    #[test]
+    fn drives_are_reproducible() {
+        let spec = ScenarioSpec::parse(SMOKE).unwrap();
+        let a = drive(&spec, true, 1);
+        let b = drive(&spec, true, 1);
+        assert_eq!(a.transcript.render(), b.transcript.render());
+        assert_eq!(a.final_objective.to_bits(), b.final_objective.to_bits());
+    }
+
+    #[test]
+    fn expectation_failures_are_reported_not_panicked() {
+        let mut spec = ScenarioSpec::parse(SMOKE).unwrap();
+        spec.expect.min_admitted = Some(1000);
+        spec.expect.admits = Some("R".repeat(6));
+        let errs = run_scenario(&spec).unwrap_err();
+        assert!(
+            errs.iter().any(|e| e.contains("below floor 1000")),
+            "{errs:?}"
+        );
+        assert!(
+            errs.iter().any(|e| e.contains("admit sequence")),
+            "{errs:?}"
+        );
+    }
+
+    #[test]
+    fn transcripts_embed_objective_bits() {
+        let spec = ScenarioSpec::parse(SMOKE).unwrap();
+        let d = drive(&spec, true, 1);
+        let final_line = d.transcript.lines().last().unwrap().clone();
+        let bits = final_line
+            .split("objective=")
+            .nth(1)
+            .and_then(|s| s.split('/').nth(1))
+            .and_then(|s| s.split(' ').next())
+            .unwrap();
+        assert_eq!(
+            u64::from_str_radix(bits, 16).unwrap(),
+            d.final_objective.to_bits()
+        );
+    }
+}

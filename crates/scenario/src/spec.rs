@@ -1,0 +1,572 @@
+//! Typed scenario specifications, decoded from the TOML-subset tree.
+//!
+//! A scenario file has three sections:
+//!
+//! - `[system]` — which generated system/workload to build (the paper's
+//!   §V-A simulation or §V-B cluster presets, scaled, optionally with an
+//!   explicit heterogeneous `[[system.host]]` list) and the deterministic
+//!   node budget every solve runs under;
+//! - `[[event]]` — the timed script: query arrivals, observed-rate drift
+//!   (through the metrics feedback loop or directly into §IV-B
+//!   adaptation), host/link failures and restores, recovery storms, query
+//!   removals and admission retries;
+//! - `[expect]` — scenario-level expectations checked on the canonical
+//!   run, over and above the golden transcript diff.
+
+use std::fmt;
+
+use sqpr_workload::{DriftSpec, RateProfile};
+
+use crate::toml::{self, Value};
+
+/// A scenario file failed to decode.
+#[derive(Debug, Clone)]
+pub struct SpecError(pub String);
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+fn bad(msg: impl Into<String>) -> SpecError {
+    SpecError(msg.into())
+}
+
+/// Which workload generator preset seeds the system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SystemKind {
+    /// `WorkloadSpec::paper_sim(scale)` — §V-A simulation defaults.
+    PaperSim,
+    /// `WorkloadSpec::paper_cluster(scale)` — §V-B cluster defaults.
+    PaperCluster,
+}
+
+/// An explicit host class for heterogeneous clusters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HostClass {
+    pub count: usize,
+    pub cpu: f64,
+    pub bandwidth: f64,
+}
+
+/// The `[system]` section.
+#[derive(Debug, Clone)]
+pub struct SystemSpec {
+    pub kind: SystemKind,
+    pub scale: f64,
+    /// Workload seed override (`None` keeps the preset's seed).
+    pub seed: Option<u64>,
+    /// Query-count override.
+    pub queries: Option<usize>,
+    /// Zipf skew override (duplicate-heavy scenarios raise it).
+    pub zipf_theta: Option<f64>,
+    /// Per-submission node budget (`SolveBudget::nodes`) — node-only, so
+    /// every run of the scenario is a pure function of the script.
+    pub max_nodes: usize,
+    /// Heterogeneous host classes; empty means the preset's uniform hosts.
+    pub hosts: Vec<HostClass>,
+}
+
+/// One scripted event, applied in file order.
+#[derive(Debug, Clone)]
+pub enum Event {
+    /// Submit the next `count` workload queries one at a time. An optional
+    /// `min_patch_rate` floors the compressed-LP cache patch rate
+    /// aggregated over this event's solver rounds.
+    Submit {
+        count: usize,
+        min_patch_rate: Option<f64>,
+    },
+    /// Feed measured rate samples into the drift monitor (the metrics
+    /// feedback path): `samples` draws at rounds `t, t + tick, …` for each
+    /// selected base stream (all bases when `streams` is empty).
+    Observe {
+        drift: DriftSpec,
+        t: f64,
+        samples: usize,
+        tick: f64,
+        streams: Vec<usize>,
+    },
+    /// Ask the monitor for an adaptation round at this drift threshold.
+    Adapt { threshold: f64 },
+    /// Bypass the monitor: evaluate the drift profile at round `t` and
+    /// push the observed rates straight through §IV-B adaptation.
+    Drift {
+        drift: DriftSpec,
+        t: f64,
+        threshold: f64,
+        streams: Vec<usize>,
+    },
+    /// Fail the listed hosts (indices into the generated host list).
+    FailHosts { hosts: Vec<usize> },
+    /// Restore the listed hosts to nominal capacity.
+    RestoreHosts { hosts: Vec<usize> },
+    /// Degrade the directed link `from -> to` to `capacity`.
+    DegradeLink {
+        from: usize,
+        to: usize,
+        capacity: f64,
+    },
+    /// Restore the directed link `from -> to` to its configured capacity.
+    RestoreLink { from: usize, to: usize },
+    /// Run a recovery storm over the current fault set under a node-only
+    /// storm budget.
+    Recover { max_nodes: usize },
+    /// Remove the listed queries (by submission index).
+    Remove { queries: Vec<u32> },
+    /// Retry admission (warm re-plan) for currently rejected queries, in
+    /// ascending id order, at most `max` of them (`None` = all).
+    Retry {
+        max: Option<usize>,
+        min_patch_rate: Option<f64>,
+    },
+}
+
+/// The `[expect]` section.
+#[derive(Debug, Clone)]
+pub struct Expectations {
+    /// Exact admit/reject sequence over `submit` events, one `A`/`R` per
+    /// submission in arrival order.
+    pub admits: Option<String>,
+    /// Floor on the final admitted-query count.
+    pub min_admitted: Option<usize>,
+    /// Every adaptation round and recovery storm must account for all its
+    /// queries with zero drops (default `true`).
+    pub zero_dropped: bool,
+    /// Floor on the total number of queries selected for re-planning
+    /// across all adaptation rounds.
+    pub min_replanned: Option<usize>,
+    /// Floor on the final admitted fraction of submitted queries.
+    pub min_admit_fraction: Option<f64>,
+}
+
+impl Default for Expectations {
+    fn default() -> Self {
+        Expectations {
+            admits: None,
+            min_admitted: None,
+            zero_dropped: true,
+            min_replanned: None,
+            min_admit_fraction: None,
+        }
+    }
+}
+
+/// A fully decoded scenario.
+#[derive(Debug, Clone)]
+pub struct ScenarioSpec {
+    pub name: String,
+    pub system: SystemSpec,
+    pub events: Vec<Event>,
+    pub expect: Expectations,
+}
+
+impl ScenarioSpec {
+    /// Decodes a scenario from TOML-subset source.
+    pub fn parse(src: &str) -> Result<ScenarioSpec, SpecError> {
+        let root = toml::parse(src).map_err(|e| bad(format!("toml: {e}")))?;
+        let name = req_str(&root, "name")?;
+        let system = parse_system(
+            root.get("system")
+                .and_then(Value::as_table)
+                .ok_or_else(|| bad("missing [system] table"))?,
+        )?;
+        let mut events = Vec::new();
+        for (i, ev) in root
+            .get("event")
+            .and_then(Value::as_table_arr)
+            .ok_or_else(|| bad("missing [[event]] list"))?
+            .iter()
+            .enumerate()
+        {
+            events.push(parse_event(ev).map_err(|e| bad(format!("event #{}: {}", i + 1, e.0)))?);
+        }
+        if events.is_empty() {
+            return Err(bad("scenario has no events"));
+        }
+        let expect = match root.get("expect") {
+            None => Expectations::default(),
+            Some(v) => parse_expect(
+                v.as_table()
+                    .ok_or_else(|| bad("[expect] must be a table"))?,
+            )?,
+        };
+        Ok(ScenarioSpec {
+            name,
+            system,
+            events,
+            expect,
+        })
+    }
+}
+
+type Table = std::collections::BTreeMap<String, Value>;
+
+fn req_str(t: &Table, key: &str) -> Result<String, SpecError> {
+    t.get(key)
+        .and_then(Value::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| bad(format!("missing string `{key}`")))
+}
+
+fn opt_f64(t: &Table, key: &str) -> Result<Option<f64>, SpecError> {
+    match t.get(key) {
+        None => Ok(None),
+        Some(v) => v
+            .as_f64()
+            .map(Some)
+            .ok_or_else(|| bad(format!("`{key}` must be a number"))),
+    }
+}
+
+fn f64_or(t: &Table, key: &str, default: f64) -> Result<f64, SpecError> {
+    Ok(opt_f64(t, key)?.unwrap_or(default))
+}
+
+fn req_f64(t: &Table, key: &str) -> Result<f64, SpecError> {
+    opt_f64(t, key)?.ok_or_else(|| bad(format!("missing number `{key}`")))
+}
+
+fn opt_usize(t: &Table, key: &str) -> Result<Option<usize>, SpecError> {
+    match t.get(key) {
+        None => Ok(None),
+        Some(v) => v
+            .as_usize()
+            .map(Some)
+            .ok_or_else(|| bad(format!("`{key}` must be a non-negative integer"))),
+    }
+}
+
+fn usize_or(t: &Table, key: &str, default: usize) -> Result<usize, SpecError> {
+    Ok(opt_usize(t, key)?.unwrap_or(default))
+}
+
+fn req_usize(t: &Table, key: &str) -> Result<usize, SpecError> {
+    opt_usize(t, key)?.ok_or_else(|| bad(format!("missing integer `{key}`")))
+}
+
+fn index_list(t: &Table, key: &str) -> Result<Vec<usize>, SpecError> {
+    match t.get(key) {
+        None => Ok(Vec::new()),
+        Some(v) => v
+            .as_arr()
+            .ok_or_else(|| bad(format!("`{key}` must be an array")))?
+            .iter()
+            .map(|x| {
+                x.as_usize()
+                    .ok_or_else(|| bad(format!("`{key}` entries must be non-negative integers")))
+            })
+            .collect(),
+    }
+}
+
+fn parse_system(t: &Table) -> Result<SystemSpec, SpecError> {
+    let kind = match req_str(t, "kind")?.as_str() {
+        "paper_sim" => SystemKind::PaperSim,
+        "paper_cluster" => SystemKind::PaperCluster,
+        other => return Err(bad(format!("unknown system kind `{other}`"))),
+    };
+    let scale = f64_or(t, "scale", 0.1)?;
+    if !(scale > 0.0 && scale <= 1.0) {
+        return Err(bad(format!("scale {scale} outside (0, 1]")));
+    }
+    let mut hosts = Vec::new();
+    if let Some(list) = t.get("host") {
+        for h in list
+            .as_table_arr()
+            .ok_or_else(|| bad("[[system.host]] must be an array of tables"))?
+        {
+            hosts.push(HostClass {
+                count: usize_or(h, "count", 1)?,
+                cpu: req_f64(h, "cpu")?,
+                bandwidth: req_f64(h, "bandwidth")?,
+            });
+        }
+        if hosts.iter().map(|h| h.count).sum::<usize>() == 0 {
+            return Err(bad("[[system.host]] classes sum to zero hosts"));
+        }
+    }
+    Ok(SystemSpec {
+        kind,
+        scale,
+        seed: t
+            .get("seed")
+            .map(|v| {
+                v.as_u64()
+                    .ok_or_else(|| bad("`seed` must be a non-negative integer"))
+            })
+            .transpose()?,
+        queries: opt_usize(t, "queries")?,
+        zipf_theta: opt_f64(t, "zipf_theta")?,
+        max_nodes: usize_or(t, "max_nodes", 200)?,
+        hosts,
+    })
+}
+
+fn parse_profile(t: &Table) -> Result<RateProfile, SpecError> {
+    match req_str(t, "profile")?.as_str() {
+        "diurnal" => Ok(RateProfile::Diurnal {
+            amplitude: req_f64(t, "amplitude")?,
+            period: req_f64(t, "period")?,
+            phase: f64_or(t, "phase", 0.0)?,
+        }),
+        "burst" => Ok(RateProfile::Burst {
+            factor: req_f64(t, "factor")?,
+        }),
+        "step" => Ok(RateProfile::Step {
+            factor: req_f64(t, "factor")?,
+        }),
+        other => Err(bad(format!("unknown profile `{other}`"))),
+    }
+}
+
+fn parse_drift(t: &Table) -> Result<DriftSpec, SpecError> {
+    Ok(DriftSpec {
+        profile: parse_profile(t)?,
+        jitter: f64_or(t, "jitter", 0.0)?,
+        seed: t
+            .get("seed")
+            .map(|v| {
+                v.as_u64()
+                    .ok_or_else(|| bad("`seed` must be a non-negative integer"))
+            })
+            .transpose()?
+            .unwrap_or(0),
+    })
+}
+
+fn parse_event(t: &Table) -> Result<Event, SpecError> {
+    let kind = req_str(t, "kind")?;
+    match kind.as_str() {
+        "submit" => Ok(Event::Submit {
+            count: req_usize(t, "count")?,
+            min_patch_rate: opt_f64(t, "min_patch_rate")?,
+        }),
+        "observe" => Ok(Event::Observe {
+            drift: parse_drift(t)?,
+            t: req_f64(t, "t")?,
+            samples: usize_or(t, "samples", 1)?,
+            tick: f64_or(t, "tick", 0.25)?,
+            streams: index_list(t, "streams")?,
+        }),
+        "adapt" => Ok(Event::Adapt {
+            threshold: req_f64(t, "threshold")?,
+        }),
+        "drift" => Ok(Event::Drift {
+            drift: parse_drift(t)?,
+            t: req_f64(t, "t")?,
+            threshold: req_f64(t, "threshold")?,
+            streams: index_list(t, "streams")?,
+        }),
+        "fail_hosts" => Ok(Event::FailHosts {
+            hosts: index_list(t, "hosts")?,
+        }),
+        "restore_hosts" => Ok(Event::RestoreHosts {
+            hosts: index_list(t, "hosts")?,
+        }),
+        "degrade_link" => Ok(Event::DegradeLink {
+            from: req_usize(t, "from")?,
+            to: req_usize(t, "to")?,
+            capacity: req_f64(t, "capacity")?,
+        }),
+        "restore_link" => Ok(Event::RestoreLink {
+            from: req_usize(t, "from")?,
+            to: req_usize(t, "to")?,
+        }),
+        "recover" => Ok(Event::Recover {
+            max_nodes: usize_or(t, "max_nodes", 400)?,
+        }),
+        "remove" => {
+            let queries = index_list(t, "queries")?;
+            if queries.is_empty() {
+                return Err(bad("`remove` needs a non-empty `queries` list"));
+            }
+            Ok(Event::Remove {
+                queries: queries.into_iter().map(|q| q as u32).collect(),
+            })
+        }
+        "retry" => Ok(Event::Retry {
+            max: opt_usize(t, "max")?,
+            min_patch_rate: opt_f64(t, "min_patch_rate")?,
+        }),
+        other => Err(bad(format!("unknown event kind `{other}`"))),
+    }
+}
+
+fn parse_expect(t: &Table) -> Result<Expectations, SpecError> {
+    let mut e = Expectations::default();
+    if let Some(v) = t.get("admits") {
+        let s = v
+            .as_str()
+            .ok_or_else(|| bad("`admits` must be a string of A/R"))?;
+        if !s.chars().all(|c| c == 'A' || c == 'R') {
+            return Err(bad(format!("`admits` may only contain A/R, got `{s}`")));
+        }
+        e.admits = Some(s.to_string());
+    }
+    e.min_admitted = opt_usize(t, "min_admitted")?;
+    if let Some(v) = t.get("zero_dropped") {
+        e.zero_dropped = v
+            .as_bool()
+            .ok_or_else(|| bad("`zero_dropped` must be a boolean"))?;
+    }
+    e.min_replanned = opt_usize(t, "min_replanned")?;
+    e.min_admit_fraction = opt_f64(t, "min_admit_fraction")?;
+    Ok(e)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"
+        name = "sample"
+
+        [system]
+        kind = "paper_cluster"
+        scale = 0.2
+        seed = 9
+        queries = 12
+        max_nodes = 150
+
+        [[system.host]]
+        count = 2
+        cpu = 1.2
+        bandwidth = 20.0
+
+        [[system.host]]
+        count = 3
+        cpu = 0.3
+        bandwidth = 5.0
+
+        [[event]]
+        kind = "submit"
+        count = 6
+
+        [[event]]
+        kind = "observe"
+        profile = "diurnal"
+        amplitude = 0.8
+        period = 8.0
+        t = 2.0
+        samples = 3
+        streams = [0, 1, 4]
+
+        [[event]]
+        kind = "adapt"
+        threshold = 0.25
+
+        [[event]]
+        kind = "fail_hosts"
+        hosts = [1]
+
+        [[event]]
+        kind = "recover"
+        max_nodes = 300
+
+        [[event]]
+        kind = "restore_hosts"
+        hosts = [1]
+
+        [[event]]
+        kind = "retry"
+
+        [expect]
+        admits = "AARARA"
+        min_admitted = 4
+        min_replanned = 1
+    "#;
+
+    #[test]
+    fn decodes_a_full_scenario() {
+        let spec = ScenarioSpec::parse(SAMPLE).unwrap();
+        assert_eq!(spec.name, "sample");
+        assert_eq!(spec.system.kind, SystemKind::PaperCluster);
+        assert_eq!(spec.system.queries, Some(12));
+        assert_eq!(spec.system.max_nodes, 150);
+        assert_eq!(spec.system.hosts.len(), 2);
+        assert_eq!(spec.system.hosts[1].count, 3);
+        assert_eq!(spec.events.len(), 7);
+        match &spec.events[1] {
+            Event::Observe {
+                samples, streams, ..
+            } => {
+                assert_eq!(*samples, 3);
+                assert_eq!(streams, &[0, 1, 4]);
+            }
+            other => panic!("expected observe, got {other:?}"),
+        }
+        assert_eq!(spec.expect.admits.as_deref(), Some("AARARA"));
+        assert!(spec.expect.zero_dropped, "defaults on");
+        assert_eq!(spec.expect.min_replanned, Some(1));
+    }
+
+    #[test]
+    fn rejects_bad_specs() {
+        for (src, needle) in [
+            ("[system]\nkind = \"paper_sim\"\n[[event]]\nkind = \"submit\"\ncount = 1", "missing string `name`"),
+            ("name = \"x\"\n[[event]]\nkind = \"submit\"\ncount = 1", "missing [system]"),
+            ("name = \"x\"\n[system]\nkind = \"nope\"\n[[event]]\nkind = \"submit\"\ncount = 1", "unknown system kind"),
+            ("name = \"x\"\n[system]\nkind = \"paper_sim\"\nscale = 1.5\n[[event]]\nkind = \"submit\"\ncount = 1", "outside (0, 1]"),
+            ("name = \"x\"\n[system]\nkind = \"paper_sim\"", "missing [[event]]"),
+            ("name = \"x\"\n[system]\nkind = \"paper_sim\"\n[[event]]\nkind = \"warp\"", "unknown event kind"),
+            ("name = \"x\"\n[system]\nkind = \"paper_sim\"\n[[event]]\nkind = \"submit\"\ncount = 1\n[expect]\nadmits = \"AXR\"", "may only contain A/R"),
+            ("name = \"x\"\n[system]\nkind = \"paper_sim\"\n[[event]]\nkind = \"remove\"\nqueries = []", "non-empty"),
+        ] {
+            let e = ScenarioSpec::parse(src).unwrap_err();
+            assert!(e.0.contains(needle), "`{src}` -> `{}`", e.0);
+        }
+    }
+
+    #[test]
+    fn event_defaults_apply() {
+        let src = r#"
+            name = "d"
+            [system]
+            kind = "paper_sim"
+            [[event]]
+            kind = "observe"
+            profile = "burst"
+            factor = 3.0
+            t = 1.0
+            [[event]]
+            kind = "recover"
+            [[event]]
+            kind = "retry"
+        "#;
+        let spec = ScenarioSpec::parse(src).unwrap();
+        assert_eq!(spec.system.max_nodes, 200);
+        assert!(spec.system.hosts.is_empty());
+        match &spec.events[0] {
+            Event::Observe {
+                samples,
+                tick,
+                streams,
+                drift,
+                ..
+            } => {
+                assert_eq!(*samples, 1);
+                assert_eq!(*tick, 0.25);
+                assert!(streams.is_empty());
+                assert_eq!(drift.jitter, 0.0);
+            }
+            other => panic!("{other:?}"),
+        }
+        match &spec.events[1] {
+            Event::Recover { max_nodes } => assert_eq!(*max_nodes, 400),
+            other => panic!("{other:?}"),
+        }
+        match &spec.events[2] {
+            Event::Retry {
+                max,
+                min_patch_rate,
+            } => {
+                assert!(max.is_none() && min_patch_rate.is_none());
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+}

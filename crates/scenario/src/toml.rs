@@ -1,0 +1,459 @@
+//! A minimal TOML-subset reader for scenario files.
+//!
+//! The sanctioned dependency set has no `toml` crate, so the corpus
+//! defines its own restricted grammar — exactly what scenario files need
+//! and nothing more:
+//!
+//! - `key = value` pairs with bare keys;
+//! - values: `"strings"` (with `\"`, `\\`, `\n`, `\t` escapes), booleans,
+//!   integers, floats, and flat arrays of those;
+//! - `[table.path]` headers and `[[array.of.tables]]` headers;
+//! - `#` comments and blank lines.
+//!
+//! Unsupported TOML (inline tables, multi-line strings, dotted keys,
+//! dates) is rejected with a line-numbered error instead of being
+//! misparsed — a scenario file that fails to parse must fail loudly, not
+//! run a different scenario than its author wrote.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A parsed TOML-subset value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Str(String),
+    Int(i64),
+    Float(f64),
+    Bool(bool),
+    Arr(Vec<Value>),
+    Table(BTreeMap<String, Value>),
+    /// An `[[array-of-tables]]` collection.
+    TableArr(Vec<BTreeMap<String, Value>>),
+}
+
+/// A parse failure, with the 1-based line it happened on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    pub line: usize,
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl Value {
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Numeric view: integers widen to `f64`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(v) => Some(*v as f64),
+            Value::Float(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Non-negative integer view (floats are rejected — a count of `2.5`
+    /// is a spec bug, not something to round).
+    pub fn as_usize(&self) -> Option<usize> {
+        match self {
+            Value::Int(v) if *v >= 0 => Some(*v as usize),
+            _ => None,
+        }
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Int(v) if *v >= 0 => Some(*v as u64),
+            _ => None,
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    pub fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    pub fn as_table(&self) -> Option<&BTreeMap<String, Value>> {
+        match self {
+            Value::Table(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    pub fn as_table_arr(&self) -> Option<&[BTreeMap<String, Value>]> {
+        match self {
+            Value::TableArr(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// Parses a document into its root table.
+pub fn parse(input: &str) -> Result<BTreeMap<String, Value>, ParseError> {
+    let mut root: BTreeMap<String, Value> = BTreeMap::new();
+    // Path of the table the next `key = value` lands in.
+    let mut current: Vec<String> = Vec::new();
+
+    for (i, raw) in input.lines().enumerate() {
+        let lineno = i + 1;
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(inner) = line
+            .strip_prefix("[[")
+            .and_then(|rest| rest.strip_suffix("]]"))
+        {
+            let path = split_path(inner, lineno)?;
+            push_table_element(&mut root, &path, lineno)?;
+            current = path;
+        } else if let Some(inner) = line
+            .strip_prefix('[')
+            .and_then(|rest| rest.strip_suffix(']'))
+        {
+            let path = split_path(inner, lineno)?;
+            ensure_table(&mut root, &path, lineno)?;
+            current = path;
+        } else if let Some(eq) = line.find('=') {
+            let key = line[..eq].trim();
+            if key.is_empty() || !is_bare_key(key) {
+                return Err(err(lineno, format!("invalid key `{key}`")));
+            }
+            let value = parse_value(line[eq + 1..].trim(), lineno)?;
+            let table = resolve_mut(&mut root, &current, lineno)?;
+            if table.insert(key.to_string(), value).is_some() {
+                return Err(err(lineno, format!("duplicate key `{key}`")));
+            }
+        } else {
+            return Err(err(lineno, format!("cannot parse `{line}`")));
+        }
+    }
+    Ok(root)
+}
+
+fn err(line: usize, message: String) -> ParseError {
+    ParseError { line, message }
+}
+
+/// Strips a `#` comment, respecting string literals.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    let mut escaped = false;
+    for (idx, c) in line.char_indices() {
+        match c {
+            '\\' if in_str && !escaped => {
+                escaped = true;
+                continue;
+            }
+            '"' if !escaped => in_str = !in_str,
+            '#' if !in_str => return &line[..idx],
+            _ => {}
+        }
+        escaped = false;
+    }
+    line
+}
+
+fn is_bare_key(key: &str) -> bool {
+    !key.is_empty()
+        && key
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+}
+
+fn split_path(inner: &str, lineno: usize) -> Result<Vec<String>, ParseError> {
+    let parts: Vec<String> = inner.split('.').map(|p| p.trim().to_string()).collect();
+    if parts.iter().any(|p| !is_bare_key(p)) {
+        return Err(err(lineno, format!("invalid table path `{inner}`")));
+    }
+    Ok(parts)
+}
+
+/// Walks/creates the table at `path` (for `[header]` lines).
+fn ensure_table(
+    root: &mut BTreeMap<String, Value>,
+    path: &[String],
+    lineno: usize,
+) -> Result<(), ParseError> {
+    let _ = resolve_mut(root, path, lineno)?;
+    Ok(())
+}
+
+/// Appends a fresh element to the `[[array-of-tables]]` at `path`.
+fn push_table_element(
+    root: &mut BTreeMap<String, Value>,
+    path: &[String],
+    lineno: usize,
+) -> Result<(), ParseError> {
+    let (last, parents) = path.split_last().expect("paths are non-empty");
+    let table = resolve_mut(root, parents, lineno)?;
+    match table
+        .entry(last.clone())
+        .or_insert_with(|| Value::TableArr(Vec::new()))
+    {
+        Value::TableArr(items) => {
+            items.push(BTreeMap::new());
+            Ok(())
+        }
+        _ => Err(err(lineno, format!("`{last}` is not an array of tables"))),
+    }
+}
+
+/// Resolves `path` to its innermost table, creating intermediate tables.
+/// A path segment naming an array of tables resolves to its *last*
+/// element (standard TOML semantics for keys under `[[x]]`).
+fn resolve_mut<'a>(
+    root: &'a mut BTreeMap<String, Value>,
+    path: &[String],
+    lineno: usize,
+) -> Result<&'a mut BTreeMap<String, Value>, ParseError> {
+    let mut table = root;
+    for part in path {
+        let next = table
+            .entry(part.clone())
+            .or_insert_with(|| Value::Table(BTreeMap::new()));
+        table = match next {
+            Value::Table(t) => t,
+            Value::TableArr(items) => items
+                .last_mut()
+                .ok_or_else(|| err(lineno, format!("empty table array `{part}`")))?,
+            _ => return Err(err(lineno, format!("`{part}` is not a table"))),
+        };
+    }
+    Ok(table)
+}
+
+fn parse_value(src: &str, lineno: usize) -> Result<Value, ParseError> {
+    let src = src.trim();
+    if src.is_empty() {
+        return Err(err(lineno, "missing value".into()));
+    }
+    if let Some(rest) = src.strip_prefix('"') {
+        return parse_string(rest, lineno);
+    }
+    if src.starts_with('[') {
+        return parse_array(src, lineno);
+    }
+    match src {
+        "true" => return Ok(Value::Bool(true)),
+        "false" => return Ok(Value::Bool(false)),
+        _ => {}
+    }
+    if let Ok(v) = src.parse::<i64>() {
+        return Ok(Value::Int(v));
+    }
+    if let Ok(v) = src.parse::<f64>() {
+        return Ok(Value::Float(v));
+    }
+    Err(err(lineno, format!("cannot parse value `{src}`")))
+}
+
+fn parse_string(rest: &str, lineno: usize) -> Result<Value, ParseError> {
+    let mut out = String::new();
+    let mut chars = rest.chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' => {
+                let trailing = chars.as_str().trim();
+                if !trailing.is_empty() {
+                    return Err(err(lineno, format!("trailing content `{trailing}`")));
+                }
+                return Ok(Value::Str(out));
+            }
+            '\\' => match chars.next() {
+                Some('"') => out.push('"'),
+                Some('\\') => out.push('\\'),
+                Some('n') => out.push('\n'),
+                Some('t') => out.push('\t'),
+                other => {
+                    return Err(err(lineno, format!("unsupported escape `\\{other:?}`")));
+                }
+            },
+            c => out.push(c),
+        }
+    }
+    Err(err(lineno, "unterminated string".into()))
+}
+
+fn parse_array(src: &str, lineno: usize) -> Result<Value, ParseError> {
+    let inner = src
+        .strip_prefix('[')
+        .and_then(|s| s.strip_suffix(']'))
+        .ok_or_else(|| err(lineno, "unterminated array".into()))?;
+    let mut items = Vec::new();
+    for part in split_array_items(inner) {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        let v = parse_value(part, lineno)?;
+        if matches!(v, Value::Arr(_)) {
+            return Err(err(lineno, "nested arrays are not supported".into()));
+        }
+        items.push(v);
+    }
+    Ok(Value::Arr(items))
+}
+
+/// Splits the inside of an array on commas that are not inside strings.
+fn split_array_items(inner: &str) -> Vec<&str> {
+    let mut items = Vec::new();
+    let mut start = 0;
+    let mut in_str = false;
+    let mut escaped = false;
+    for (idx, c) in inner.char_indices() {
+        match c {
+            '\\' if in_str && !escaped => {
+                escaped = true;
+                continue;
+            }
+            '"' if !escaped => in_str = !in_str,
+            ',' if !in_str => {
+                items.push(&inner[start..idx]);
+                start = idx + 1;
+            }
+            _ => {}
+        }
+        escaped = false;
+    }
+    items.push(&inner[start..]);
+    items
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars_and_tables() {
+        let doc = r#"
+            # a scenario
+            name = "diurnal"   # trailing comment
+            rounds = 4
+            scale = 0.07
+            strict = true
+
+            [system]
+            kind = "paper_sim"
+            seed = 7
+        "#;
+        let root = parse(doc).unwrap();
+        assert_eq!(root["name"].as_str(), Some("diurnal"));
+        assert_eq!(root["rounds"].as_usize(), Some(4));
+        assert_eq!(root["scale"].as_f64(), Some(0.07));
+        assert_eq!(root["strict"].as_bool(), Some(true));
+        let sys = root["system"].as_table().unwrap();
+        assert_eq!(sys["kind"].as_str(), Some("paper_sim"));
+        assert_eq!(sys["seed"].as_u64(), Some(7));
+    }
+
+    #[test]
+    fn parses_arrays_of_tables_in_order() {
+        let doc = r#"
+            [[event]]
+            kind = "submit"
+            count = 3
+
+            [[event]]
+            kind = "drift"
+            amplitude = 0.8
+
+            [[system.host]]
+            cpu = 200.0
+
+            [[system.host]]
+            cpu = 50.0
+        "#;
+        let root = parse(doc).unwrap();
+        let events = root["event"].as_table_arr().unwrap();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0]["kind"].as_str(), Some("submit"));
+        assert_eq!(events[1]["amplitude"].as_f64(), Some(0.8));
+        let hosts = root["system"].as_table().unwrap()["host"]
+            .as_table_arr()
+            .unwrap();
+        assert_eq!(hosts.len(), 2);
+        assert_eq!(hosts[0]["cpu"].as_f64(), Some(200.0));
+        assert_eq!(hosts[1]["cpu"].as_f64(), Some(50.0));
+    }
+
+    #[test]
+    fn parses_flat_arrays_and_strings_with_escapes() {
+        let doc = r#"
+            queries = [0, 2, 5]
+            weights = [1.0, 0.5]
+            admits = "AR\"A\n"
+            tags = ["a, b", "c"]
+        "#;
+        let root = parse(doc).unwrap();
+        assert_eq!(
+            root["queries"].as_arr().unwrap(),
+            &[Value::Int(0), Value::Int(2), Value::Int(5)]
+        );
+        assert_eq!(root["admits"].as_str(), Some("AR\"A\n"));
+        let tags = root["tags"].as_arr().unwrap();
+        assert_eq!(tags[0].as_str(), Some("a, b"), "comma inside a string");
+        assert_eq!(tags.len(), 2);
+    }
+
+    #[test]
+    fn hash_inside_string_is_not_a_comment() {
+        let root = parse("name = \"a # b\"").unwrap();
+        assert_eq!(root["name"].as_str(), Some("a # b"));
+    }
+
+    #[test]
+    fn rejects_malformed_lines_with_line_numbers() {
+        for (doc, needle) in [
+            ("key value", "cannot parse"),
+            ("k = ", "missing value"),
+            ("k = \"open", "unterminated string"),
+            ("k = [1, [2]]", "nested arrays"),
+            ("k = 2020-01-01", "cannot parse value"),
+            ("k.q = 1", "invalid key"),
+            ("k = 1\nk = 2", "duplicate key"),
+        ] {
+            let e = parse(doc).unwrap_err();
+            assert!(
+                e.message.contains(needle),
+                "`{doc}` -> `{}` (wanted `{needle}`)",
+                e.message
+            );
+        }
+        let e = parse("ok = 1\nbroken line").unwrap_err();
+        assert_eq!(e.line, 2);
+    }
+
+    #[test]
+    fn array_of_tables_conflicts_are_rejected() {
+        assert!(parse("[x]\nk = 1\n[[x]]\n").is_err());
+        assert!(parse("x = 1\n[x]\n").is_err());
+    }
+
+    #[test]
+    fn counts_must_be_integers() {
+        let root = parse("n = 2.5").unwrap();
+        assert_eq!(root["n"].as_usize(), None);
+        assert_eq!(root["n"].as_f64(), Some(2.5));
+    }
+}

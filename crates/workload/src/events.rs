@@ -1,0 +1,165 @@
+//! Deterministic rate-drift profiles for scenario event scripts.
+//!
+//! Production streams drift and burst; the scenario corpus replays those
+//! trajectories reproducibly. A [`DriftSpec`] turns a nominal per-stream
+//! rate into an *observed* rate at a scripted round `t` by applying a
+//! shape ([`RateProfile`]) plus seeded multiplicative jitter drawn from
+//! the workspace PRNG ([`crate::rng::StdRng`]) — equal `(spec, t)` pairs
+//! always yield byte-equal observations, so golden-file verdicts stay
+//! stable across machines and reruns.
+
+use crate::rng::{Rng, StdRng};
+
+use sqpr_dsps::StreamId;
+
+/// Multipliers never drop below this floor: the catalog rejects
+/// non-positive base rates ([`sqpr_dsps::Catalog::update_base_rate`]).
+const MIN_RATE_FACTOR: f64 = 0.05;
+
+/// The shape of a scripted rate trajectory, evaluated at round `t`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RateProfile {
+    /// Diurnal load curve: `1 + amplitude * sin(2π (t + phase) / period)`.
+    /// A day of traffic compressed into `period` scripted rounds.
+    Diurnal {
+        amplitude: f64,
+        period: f64,
+        phase: f64,
+    },
+    /// Flash burst: the rate multiplies by `factor` for the rounds the
+    /// event script applies it (the script decides when it ends).
+    Burst { factor: f64 },
+    /// Permanent level shift to `factor` times nominal.
+    Step { factor: f64 },
+}
+
+impl RateProfile {
+    /// The drift multiplier at scripted round `t` (clamped positive).
+    pub fn factor_at(&self, t: f64) -> f64 {
+        let raw = match *self {
+            RateProfile::Diurnal {
+                amplitude,
+                period,
+                phase,
+            } => {
+                let p = period.max(1e-9);
+                1.0 + amplitude * (std::f64::consts::TAU * (t + phase) / p).sin()
+            }
+            RateProfile::Burst { factor } | RateProfile::Step { factor } => factor,
+        };
+        raw.max(MIN_RATE_FACTOR)
+    }
+}
+
+/// A reproducible drift generator over a fixed set of base streams.
+#[derive(Debug, Clone)]
+pub struct DriftSpec {
+    pub profile: RateProfile,
+    /// Relative multiplicative jitter per observation: each observed rate
+    /// is scaled by `1 + jitter * u`, `u` uniform in `[-1, 1)`. Zero means
+    /// noise-free scripts.
+    pub jitter: f64,
+    /// PRNG seed; observations are a pure function of `(spec, t)`.
+    pub seed: u64,
+}
+
+impl DriftSpec {
+    /// Observed rates for `nominal = [(stream, nominal_rate)]` at round
+    /// `t`: profile factor times nominal, jittered. Deterministic — the
+    /// jitter stream is seeded from `(seed, t)`, not shared state, so
+    /// scripts may evaluate rounds in any order.
+    pub fn observed_rates(&self, nominal: &[(StreamId, f64)], t: f64) -> Vec<(StreamId, f64)> {
+        let factor = self.profile.factor_at(t);
+        let mut rng = StdRng::seed_from_u64(self.seed ^ t.to_bits().rotate_left(17));
+        nominal
+            .iter()
+            .map(|&(s, rate)| {
+                let noise = if self.jitter > 0.0 {
+                    1.0 + self.jitter * (2.0 * rng.gen_f64() - 1.0)
+                } else {
+                    1.0
+                };
+                (s, (rate * factor * noise).max(rate * MIN_RATE_FACTOR))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nominal() -> Vec<(StreamId, f64)> {
+        (0..4).map(|i| (StreamId(i), 10.0)).collect()
+    }
+
+    #[test]
+    fn diurnal_peaks_and_troughs() {
+        let p = RateProfile::Diurnal {
+            amplitude: 0.5,
+            period: 4.0,
+            phase: 0.0,
+        };
+        assert!((p.factor_at(0.0) - 1.0).abs() < 1e-12);
+        assert!(
+            (p.factor_at(1.0) - 1.5).abs() < 1e-12,
+            "quarter period peak"
+        );
+        assert!((p.factor_at(3.0) - 0.5).abs() < 1e-12, "trough");
+    }
+
+    #[test]
+    fn factors_stay_positive() {
+        let p = RateProfile::Diurnal {
+            amplitude: 5.0,
+            period: 2.0,
+            phase: 0.0,
+        };
+        for t in 0..20 {
+            assert!(p.factor_at(t as f64 / 3.0) >= MIN_RATE_FACTOR);
+        }
+        assert_eq!(
+            RateProfile::Step { factor: 0.0 }.factor_at(1.0),
+            MIN_RATE_FACTOR
+        );
+    }
+
+    #[test]
+    fn observations_deterministic_per_spec_and_round() {
+        let spec = DriftSpec {
+            profile: RateProfile::Burst { factor: 3.0 },
+            jitter: 0.1,
+            seed: 42,
+        };
+        let a = spec.observed_rates(&nominal(), 2.0);
+        let b = spec.observed_rates(&nominal(), 2.0);
+        assert_eq!(a, b, "same (spec, t) must reproduce exactly");
+        let c = spec.observed_rates(&nominal(), 3.0);
+        assert_ne!(a, c, "different rounds draw different jitter");
+        assert!(a.iter().all(|&(_, r)| (24.0..=36.0).contains(&r)));
+    }
+
+    #[test]
+    fn zero_jitter_is_exact() {
+        let spec = DriftSpec {
+            profile: RateProfile::Step { factor: 2.0 },
+            jitter: 0.0,
+            seed: 7,
+        };
+        for (_, r) in spec.observed_rates(&nominal(), 5.0) {
+            assert_eq!(r, 20.0);
+        }
+    }
+
+    #[test]
+    fn rates_never_collapse_to_zero() {
+        let spec = DriftSpec {
+            profile: RateProfile::Step { factor: 0.0 },
+            jitter: 0.9,
+            seed: 1,
+        };
+        for (_, r) in spec.observed_rates(&nominal(), 0.0) {
+            assert!(r > 0.0);
+        }
+    }
+}

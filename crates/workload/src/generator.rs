@@ -100,6 +100,21 @@ pub struct Workload {
 
 /// Generates a system and workload from the spec (deterministic per seed).
 pub fn generate(spec: &WorkloadSpec) -> Workload {
+    let host = HostSpec::new(spec.cpu_capacity, spec.host_bandwidth);
+    generate_with_hosts(spec, &vec![host; spec.hosts])
+}
+
+/// Like [`generate`], but with an explicit per-host spec list — the
+/// heterogeneous-cluster entry point (scenario corpus). `spec.hosts`,
+/// `spec.cpu_capacity` and `spec.host_bandwidth` are ignored in favour of
+/// `hosts`; stream placement, query sampling and selectivities follow the
+/// same seeded draws as the uniform path, so a uniform `hosts` list
+/// reproduces [`generate`] exactly.
+///
+/// # Panics
+/// Panics if `hosts` is empty.
+pub fn generate_with_hosts(spec: &WorkloadSpec, hosts: &[HostSpec]) -> Workload {
+    assert!(!hosts.is_empty(), "a workload needs at least one host");
     let mut rng = StdRng::seed_from_u64(spec.seed);
 
     // Selectivities are drawn per pair lazily below; build the cost model
@@ -107,13 +122,11 @@ pub fn generate(spec: &WorkloadSpec) -> Workload {
     let mid = (spec.selectivity.0 + spec.selectivity.1) / 2.0;
     let mut cost = CostModel::new(1.0, 0.25, mid);
 
-    // Hosts + uniform full mesh.
-    let host = HostSpec::new(spec.cpu_capacity, spec.host_bandwidth);
-    let topology = NetworkTopology::full_mesh(spec.hosts, spec.link_capacity);
+    let topology = NetworkTopology::full_mesh(hosts.len(), spec.link_capacity);
 
     // Base streams uniformly distributed over hosts (paper §V).
     let placements: Vec<HostId> = (0..spec.base_streams)
-        .map(|_| HostId(rng.gen_index(spec.hosts) as u32))
+        .map(|_| HostId(rng.gen_index(hosts.len()) as u32))
         .collect();
 
     // Pre-draw pairwise selectivities for pairs that co-occur in queries.
@@ -154,7 +167,7 @@ pub fn generate(spec: &WorkloadSpec) -> Workload {
             }
         }
     }
-    let mut catalog = Catalog::new(vec![host; spec.hosts], topology, cost);
+    let mut catalog = Catalog::new(hosts.to_vec(), topology, cost);
     for (i, &h) in placements.iter().enumerate() {
         let s = catalog.add_base_stream(h, spec.base_rate, i as u64);
         debug_assert_eq!(s, bases[i], "base ids must be dense and in order");
@@ -244,6 +257,37 @@ mod tests {
                     assert!((0.001..=0.005).contains(&s), "{s}");
                 }
             }
+        }
+    }
+
+    #[test]
+    fn uniform_hosts_reproduce_the_uniform_path() {
+        let spec = small_spec();
+        let a = generate(&spec);
+        let hosts = vec![HostSpec::new(spec.cpu_capacity, spec.host_bandwidth); spec.hosts];
+        let b = generate_with_hosts(&spec, &hosts);
+        assert_eq!(a.queries, b.queries);
+        assert_eq!(a.bases, b.bases);
+        for s in &a.bases {
+            assert_eq!(a.catalog.source_host(*s), b.catalog.source_host(*s));
+        }
+    }
+
+    #[test]
+    fn heterogeneous_hosts_are_honoured() {
+        let spec = small_spec();
+        let hosts = vec![
+            HostSpec::new(200.0, 500.0),
+            HostSpec::new(50.0, 100.0),
+            HostSpec::new(50.0, 100.0),
+        ];
+        let w = generate_with_hosts(&spec, &hosts);
+        assert_eq!(w.catalog.num_hosts(), 3);
+        assert_eq!(w.catalog.host(HostId(0)).cpu_capacity, 200.0);
+        assert_eq!(w.catalog.host(HostId(2)).bandwidth_out, 100.0);
+        // Placement draws index the real host count, not `spec.hosts`.
+        for s in &w.bases {
+            assert!(w.catalog.source_host(*s).unwrap().index() < 3);
         }
     }
 

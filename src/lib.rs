@@ -11,6 +11,7 @@
 //! - [`sqpr_dsps`] — the stream-processing substrate;
 //! - [`sqpr_baselines`] — heuristic / optimistic-bound / SODA planners;
 //! - [`sqpr_workload`] — workload generation;
+//! - [`sqpr_scenario`] — the declarative scenario corpus;
 //! - [`sqpr_milp`] / [`sqpr_lp`] — the optimisation stack.
 
 pub use sqpr_baselines as baselines;
@@ -18,4 +19,5 @@ pub use sqpr_core as core;
 pub use sqpr_dsps as dsps;
 pub use sqpr_lp as lp;
 pub use sqpr_milp as milp;
+pub use sqpr_scenario as scenario;
 pub use sqpr_workload as workload;
