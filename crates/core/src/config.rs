@@ -208,6 +208,44 @@ pub struct PlannerConfig {
     /// The default honours the `SQPR_LP_THREADS` environment variable when
     /// set (used by CI to run the whole suite across a thread matrix).
     pub lp_threads: usize,
+    /// Preemption quantum, in branch & bound nodes: every planning solve
+    /// runs as a sequence of at-most-this-many-node slices through
+    /// [`sqpr_milp::solve_preemptible`], with the search suspended into a
+    /// [`sqpr_milp::SearchState`] between slices. `0` disables slicing (the
+    /// classic uninterruptible solve). Slicing alone is *transparent*:
+    /// without a [`round_deadline`](Self::round_deadline) every slice
+    /// sequence runs to completion and admission decisions, objectives and
+    /// node/pivot counts are bit-identical to the unsliced run (CI fuzzes
+    /// this via the `SQPR_NODE_QUANTUM` environment variable, honoured by
+    /// the default the same way `SQPR_LP_THREADS` is).
+    pub node_quantum: usize,
+    /// Deadline per planning round, in branch & bound nodes (deterministic,
+    /// unlike a wall clock). When the deadline expires with the search still
+    /// open, the round returns an *anytime* verdict instead of burning the
+    /// full node budget: the incumbent is installed when it admits
+    /// ([`Admitted::IncumbentAtDeadline`](crate::Admitted)), otherwise the
+    /// suspended search is handed to the admission queue for bounded
+    /// retries ([`Rejected::DeadlineNoCertificate`](crate::Rejected)).
+    /// Requires `node_quantum > 0` to take effect (the quantum is the
+    /// granularity at which the deadline is observed). `None` disables the
+    /// deadline layer entirely.
+    ///
+    /// The deadline bounds *fresh single-query submissions* only: batch
+    /// rounds (whose members cannot be resumed individually) and internal
+    /// replans (adaptation, recovery, retries) run deadline-free under
+    /// their own budgets, so they never park a round behind the admission
+    /// queue's back.
+    pub round_deadline: Option<usize>,
+    /// Resume attempts a deadline-preempted submission gets from the
+    /// admission queue before the degradation ladder takes over (incumbent
+    /// handoff → greedy install → deferred full replan). Each attempt
+    /// grants another `round_deadline` nodes.
+    pub admission_max_retries: u32,
+    /// Backoff base, in logical queue ticks, between resume attempts of a
+    /// parked submission: attempt `k` waits `admission_backoff_base << (k-1)`
+    /// ticks. Logical (tick-counted) rather than wall-clock so replays are
+    /// deterministic.
+    pub admission_backoff_base: u64,
 }
 
 impl PlannerConfig {
@@ -234,6 +272,13 @@ impl PlannerConfig {
                 .ok()
                 .and_then(|v| v.parse().ok())
                 .unwrap_or(0),
+            node_quantum: std::env::var("SQPR_NODE_QUANTUM")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(0),
+            round_deadline: None,
+            admission_max_retries: 2,
+            admission_backoff_base: 1,
         }
     }
 }

@@ -13,10 +13,16 @@
 //! - [`recovery`] drives failure-storm re-admission: displaced queries
 //!   re-enter admission through the warm solver path under a storm-wide
 //!   budget, degrading to greedy placement when the budget runs dry;
+//! - [`admission`] bounds admission latency: planning rounds run as
+//!   preemptible node-quantum slices under a deterministic deadline, and
+//!   rounds still open at the deadline answer anytime — the admitting
+//!   incumbent installs, otherwise the suspended search parks in an
+//!   [`AdmissionQueue`] for bounded, backed-off retries;
 //! - [`config`] exposes the λ-weights (with the paper's defaults), solve
 //!   budgets and the ablation knobs (reuse / reduction / relaying / IV.9).
 
 pub mod adaptive;
+pub mod admission;
 pub mod config;
 pub mod extract;
 pub mod greedy;
@@ -27,12 +33,17 @@ pub mod query;
 pub mod recovery;
 
 pub use adaptive::{adapt_to_observed_rates, AdaptReport, DriftMonitor};
+pub use admission::{
+    AdmissionPath, AdmissionQueue, AdmissionRecord, Admitted, Rejected, RoundVerdict,
+};
 pub use config::{AcyclicityMode, ObjectiveWeights, PlannerConfig, RelayPolicy, SolveBudget};
 pub use extract::extract_plan;
 pub use greedy::greedy_admit;
 pub use hierarchical::HierarchicalPlanner;
 pub use model::{DecodedAllocation, ModelInputs, PlanningModel};
-pub use planner::{garbage_collect, PlannerError, PlanningOutcome, SolverStats, SqprPlanner};
+pub use planner::{
+    garbage_collect, PlannerError, PlanningOutcome, PreemptedRound, SolverStats, SqprPlanner,
+};
 pub use query::{full_space, register_join_query, PlanSpace, QuerySpec};
 pub use recovery::{recover_from_failures, QueryRecovery, RecoveryMode, StormBudget, StormReport};
 pub use sqpr_lp::{BasisUpdate, PricingRule, RatioTest};

@@ -95,6 +95,13 @@ enum DemandKind {
 /// Ordered maps pin both, so identical inputs build byte-identical
 /// models — the invariant the parallel branch & bound's determinism
 /// tests assert end to end.
+///
+/// `Clone` exists for the admission queue: a deadline-preempted round
+/// parks its suspended [`sqpr_milp::SearchState`] *together with* a clone
+/// of the model it was built from, because the search's `x` vector indexes
+/// this model's variables — the planner's live skeleton may have been
+/// extended by other submissions by the time the search resumes.
+#[derive(Clone)]
 pub struct PlanningModel {
     pub milp: Model,
     d: BTreeMap<(HostId, StreamId), VarId>,

@@ -13,10 +13,11 @@ use std::time::{Duration, Instant};
 
 use sqpr_dsps::{Catalog, DeploymentState, FailureAudit, HostId, QueryId, StreamId};
 use sqpr_milp::{
-    solve_filtered_warm, solve_filtered_warm_cached, solve_warm, solve_warm_cached, CacheStats,
-    LpCacheSlot, MilpOptions, MilpStatus, MilpWarmStart, ModelBasis, PivotCounts,
+    solve_preemptible, CacheStats, IncumbentFilter, LpCacheSlot, MilpOptions, MilpResult,
+    MilpStatus, MilpWarmStart, ModelBasis, PivotCounts, SearchState, SolveOutcome,
 };
 
+use crate::admission::{Admitted, Rejected, RoundVerdict};
 use crate::config::{AcyclicityMode, ObjectiveWeights, PlannerConfig, RelayPolicy};
 use crate::greedy::greedy_admit;
 use crate::model::{AvailabilityCut, ModelInputs, PlanningModel};
@@ -97,6 +98,13 @@ pub struct PlanningOutcome {
     /// within the cached layout's fixed class. Zero on cold rounds (no
     /// cache) and short-circuited submissions.
     pub lp_cache: CacheStats,
+    /// Anytime admission verdict of the round (see [`crate::admission`]):
+    /// whether the admit/reject decision carries an optimality/infeasibility
+    /// certificate or stopped on a budget/deadline. A
+    /// [`Rejected::DeadlineNoCertificate`] round may have parked a suspended
+    /// search for the admission queue to retry
+    /// ([`crate::AdmissionQueue`]) — the rejection is provisional.
+    pub verdict: RoundVerdict,
 }
 
 /// Config fingerprint the cached skeleton depends on; a mismatch forces a
@@ -176,6 +184,115 @@ pub struct SolverStats {
     pub compacted_columns: usize,
 }
 
+/// A planning round preempted at its node deadline with the search still
+/// open: the suspended branch & bound plus everything needed to resume and
+/// decode it later. The model is a *clone* of what the round solved — the
+/// planner's live skeleton may be extended by other submissions while this
+/// round is parked, and the suspended search's `x` vector indexes the
+/// model it was built from.
+pub struct PreemptedRound {
+    pub(crate) query: QueryId,
+    pub(crate) streams: Vec<StreamId>,
+    pub(crate) model: PlanningModel,
+    pub(crate) state: Box<SearchState>,
+}
+
+impl PreemptedRound {
+    pub fn query(&self) -> QueryId {
+        self.query
+    }
+
+    /// Branch & bound nodes the parked search has explored so far.
+    pub fn nodes_done(&self) -> usize {
+        self.state.nodes_done()
+    }
+}
+
+impl fmt::Debug for PreemptedRound {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PreemptedRound")
+            .field("query", &self.query)
+            .field("streams", &self.streams)
+            .field("state", &self.state)
+            .finish()
+    }
+}
+
+/// How one branch & bound construction of a planning round ended.
+// `Done` keeps `MilpResult` by value: it is the overwhelmingly common arm
+// and the suspended arm is already boxed.
+#[allow(clippy::large_enum_variant)]
+enum RoundSolve {
+    Done(MilpResult),
+    Preempted(Box<SearchState>, PreemptCause),
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum PreemptCause {
+    /// The round's deterministic node deadline expired
+    /// ([`PlannerConfig::round_deadline`]).
+    NodeDeadline,
+    /// A wall-clock deadline expired (recovery storms; best-effort — the
+    /// clock is only observed between quantum slices).
+    WallClock,
+}
+
+/// Resolution of one resume attempt on a parked round.
+// Both arms are transient — consumed immediately by the admission queue —
+// so the size skew never sits in a collection.
+#[allow(clippy::large_enum_variant)]
+pub(crate) enum ResumeOutcome {
+    /// The round reached a terminal verdict (proven, or the incumbent was
+    /// installed at the deadline).
+    Resolved(PlanningOutcome),
+    /// The deadline expired again with no admitting incumbent; the round is
+    /// handed back, still suspended.
+    StillOpen(PreemptedRound),
+}
+
+/// Drives one branch & bound construction in `quantum`-node slices through
+/// [`solve_preemptible`], suspending strictly between node evaluations.
+/// Returns [`RoundSolve::Preempted`] when the node budget (deterministic)
+/// or the wall deadline (best-effort) expires with the search still open.
+/// `quantum = 0` means unsliced; without a budget or deadline the sliced
+/// run completes with bit-identical results to the unsliced one (the
+/// `SQPR_NODE_QUANTUM` transparency invariant CI fuzzes).
+#[allow(clippy::too_many_arguments)]
+fn drive_preemptible(
+    milp: &sqpr_milp::Model,
+    opts: &MilpOptions,
+    warm: MilpWarmStart<'_>,
+    filter: Option<IncumbentFilter<'_>>,
+    cache: Option<&mut LpCacheSlot>,
+    quantum: usize,
+    node_budget: Option<usize>,
+    wall_deadline: Option<Instant>,
+) -> RoundSolve {
+    let quantum = if quantum == 0 { usize::MAX } else { quantum };
+    // A slice never runs past the node budget, so the deadline is observed
+    // exactly (a `Some(0)` budget suspends before the first evaluation).
+    let slice = |done: usize| match node_budget {
+        Some(b) => quantum.min(b.saturating_sub(done)),
+        None => quantum,
+    };
+    let mut outcome = solve_preemptible(milp, opts, warm, filter, cache, slice(0));
+    loop {
+        match outcome {
+            SolveOutcome::Done(r) => return RoundSolve::Done(r),
+            SolveOutcome::Suspended(state) => {
+                let done = state.nodes_done();
+                if node_budget.is_some_and(|b| done >= b) {
+                    return RoundSolve::Preempted(state, PreemptCause::NodeDeadline);
+                }
+                if wall_deadline.is_some_and(|d| Instant::now() >= d) {
+                    return RoundSolve::Preempted(state, PreemptCause::WallClock);
+                }
+                outcome = state.resume(filter, slice(done));
+            }
+        }
+    }
+}
+
 /// The SQPR query planner (paper §IV).
 pub struct SqprPlanner {
     catalog: Catalog,
@@ -186,6 +303,13 @@ pub struct SqprPlanner {
     queries: Vec<QuerySpec>,
     ctx: SolverContext,
     stats: SolverStats,
+    /// The round most recently preempted at its node deadline, awaiting
+    /// collection by the admission queue ([`Self::take_preempted_round`]).
+    preempt: Option<PreemptedRound>,
+    /// Wall-clock deadline the *next* planning rounds must observe between
+    /// quantum slices (set by the recovery storm around each replan so a
+    /// round cannot overshoot the storm budget by a whole tree).
+    wall_deadline: Option<Instant>,
 }
 
 impl SqprPlanner {
@@ -199,7 +323,29 @@ impl SqprPlanner {
             queries: Vec::new(),
             ctx: SolverContext::default(),
             stats: SolverStats::default(),
+            preempt: None,
+            wall_deadline: None,
         }
+    }
+
+    /// Takes the round the last submission parked at its node deadline (if
+    /// any). The caller — normally [`crate::AdmissionQueue`] — becomes
+    /// responsible for eventually resolving it; a round left here is
+    /// replaced by the next preemption, so collect it promptly.
+    pub fn take_preempted_round(&mut self) -> Option<PreemptedRound> {
+        self.preempt.take()
+    }
+
+    /// Arms (or clears) the wall-clock deadline planning rounds observe
+    /// *between quantum slices*: an expired deadline makes the round
+    /// finish with its anytime incumbent instead of burning the node
+    /// budget. Requires `node_quantum > 0` to have any effect mid-solve,
+    /// and is best-effort by nature (the clock is only read at slice
+    /// boundaries — determinism-sensitive callers use
+    /// [`PlannerConfig::round_deadline`] instead). The recovery storm arms
+    /// this around its re-admission rounds.
+    pub fn set_wall_deadline(&mut self, deadline: Option<Instant>) {
+        self.wall_deadline = deadline;
     }
 
     /// Lifetime counters of the incremental machinery (see [`SolverStats`]).
@@ -317,7 +463,7 @@ impl SqprPlanner {
             return Ok(outcome);
         }
 
-        let outcome = self.plan_streams(q, std::slice::from_ref(&spec.result), &space);
+        let outcome = self.plan_streams(q, std::slice::from_ref(&spec.result), &space, true);
         if outcome.admitted {
             self.state.admit_query(q, spec.result);
         }
@@ -361,7 +507,9 @@ impl SqprPlanner {
         let shared = if new_streams.is_empty() {
             None
         } else {
-            let outcome = self.plan_streams(QueryId(u32::MAX), &new_streams, &merged);
+            // Batch rounds are never parked (their members cannot be
+            // resumed individually), so they run deadline-free.
+            let outcome = self.plan_streams(QueryId(u32::MAX), &new_streams, &merged, false);
             // Batch rounds plan under a sentinel id; log the merged space
             // under each member so skeleton compaction sees them as live
             // while they stay admitted.
@@ -515,6 +663,7 @@ impl SqprPlanner {
         q: QueryId,
         new_streams: &[StreamId],
         space: &PlanSpace,
+        deadline_bounded: bool,
     ) -> PlanningOutcome {
         let started = Instant::now();
         let full;
@@ -560,6 +709,9 @@ impl SqprPlanner {
         let mut warm: Option<Vec<f64>> = None;
         let mut admitting_start = false;
         let mut warm_ready = false;
+        // Node deadline accounting across cut rounds: the deadline is per
+        // *planning round* (submission), not per construction.
+        let mut nodes_spent = 0usize;
         loop {
             round += 1;
             let last_round = round >= max_rounds;
@@ -757,8 +909,20 @@ impl SqprPlanner {
                     None
                 },
             };
-            let result = if self.config.acyclicity == AcyclicityMode::Lazy {
-                let filter = |xsol: &[f64]| {
+            // Every construction is driven through the preemptible solver
+            // (the classic entry points are wrappers over it): sliced by
+            // `node_quantum`, bounded by the round's remaining node
+            // deadline, and observing the recovery storm's wall deadline
+            // between slices.
+            let node_budget = if deadline_bounded && self.config.node_quantum > 0 {
+                self.config
+                    .round_deadline
+                    .map(|d| d.saturating_sub(nodes_spent))
+            } else {
+                None
+            };
+            let solved = {
+                let filter_fn = |xsol: &[f64]| {
                     let violated = model.find_acausal_cuts(xsol, &self.state, &self.catalog);
                     if violated.is_empty() {
                         true
@@ -767,26 +931,56 @@ impl SqprPlanner {
                         false
                     }
                 };
-                if incremental {
-                    // The compressed LP is served from the context's cache:
-                    // later cut rounds append their rows in place and later
-                    // submissions with an unchanged fixed layout patch only
-                    // bounds, removing the per-construction skeleton scan.
-                    solve_filtered_warm_cached(
-                        &model.milp,
-                        &opts,
-                        warm_ctx,
-                        &filter,
-                        &mut self.ctx.lp_cache,
-                    )
+                let filter: Option<IncumbentFilter<'_>> =
+                    if self.config.acyclicity == AcyclicityMode::Lazy {
+                        Some(&filter_fn)
+                    } else {
+                        None
+                    };
+                // The compressed LP is served from the context's cache when
+                // incremental: later cut rounds append their rows in place
+                // and later submissions with an unchanged fixed layout
+                // patch only bounds, removing the per-construction
+                // skeleton scan.
+                let cache = if incremental {
+                    Some(&mut self.ctx.lp_cache)
                 } else {
-                    solve_filtered_warm(&model.milp, &opts, warm_ctx, &filter)
-                }
-            } else if incremental {
-                solve_warm_cached(&model.milp, &opts, warm_ctx, &mut self.ctx.lp_cache)
-            } else {
-                solve_warm(&model.milp, &opts, warm_ctx)
+                    None
+                };
+                drive_preemptible(
+                    &model.milp,
+                    &opts,
+                    warm_ctx,
+                    filter,
+                    cache,
+                    self.config.node_quantum,
+                    node_budget,
+                    self.wall_deadline,
+                )
             };
+            let mut parked_state: Option<Box<SearchState>> = None;
+            let mut deadline_preempt = false;
+            let mut preempted = false;
+            let result = match solved {
+                RoundSolve::Done(r) => r,
+                RoundSolve::Preempted(state, cause) => {
+                    // The search is still open past its deadline: continue
+                    // with the anytime incumbent snapshot (always causal —
+                    // the filter gates incumbents). On a node deadline the
+                    // suspended search is kept so a non-admitting round can
+                    // be parked for the admission queue; a wall-clock
+                    // expiry (recovery storm) drops it — recovery has its
+                    // own degradation ladder.
+                    preempted = true;
+                    let snap = state.incumbent_result();
+                    if cause == PreemptCause::NodeDeadline {
+                        deadline_preempt = true;
+                        parked_state = Some(state);
+                    }
+                    snap
+                }
+            };
+            nodes_spent += result.nodes;
             // If acausal candidates were pruned, the claimed optimum may be
             // wrong: add their cuts and re-solve (unless out of rounds).
             let mut fresh = new_cuts.into_inner();
@@ -795,9 +989,15 @@ impl SqprPlanner {
                 _ => fresh.retain(|c| !cuts.contains(c)),
             }
             if incremental {
-                self.ctx.root_basis = result.root_basis.clone();
+                if result.root_basis.is_some() {
+                    self.ctx.root_basis = result.root_basis.clone();
+                } else if !preempted {
+                    // A preempted snapshot carries no root basis; keep the
+                    // previous one rather than cold-starting the next round.
+                    self.ctx.root_basis = None;
+                }
             }
-            if !fresh.is_empty() && !last_round {
+            if !fresh.is_empty() && !last_round && !preempted {
                 cuts.extend(fresh);
                 continue;
             }
@@ -825,6 +1025,34 @@ impl SqprPlanner {
                 }
             }
 
+            let verdict = if deadline_preempt {
+                if admitted {
+                    // Incumbent handoff: the submission is served at the
+                    // deadline; optimality is deliberately forfeited and
+                    // the suspended search dropped.
+                    RoundVerdict::Admitted(Admitted::IncumbentAtDeadline)
+                } else {
+                    // No admitting incumbent at the deadline: park the
+                    // suspended search (with the model its solution vector
+                    // indexes) for the admission queue's bounded retries.
+                    // The rejection is provisional, not a certificate.
+                    // Batch rounds (sentinel id) are never parked — their
+                    // members cannot be resumed individually.
+                    if q.0 != u32::MAX {
+                        if let Some(state) = parked_state.take() {
+                            self.preempt = Some(PreemptedRound {
+                                query: q,
+                                streams: new_streams.to_vec(),
+                                model: model.clone(),
+                                state,
+                            });
+                        }
+                    }
+                    RoundVerdict::Rejected(Rejected::DeadlineNoCertificate)
+                }
+            } else {
+                RoundVerdict::of_result(admitted, result.status)
+            };
             return PlanningOutcome {
                 query: q,
                 admitted,
@@ -840,8 +1068,138 @@ impl SqprPlanner {
                 status: result.status,
                 incremental,
                 lp_cache: self.ctx.lp_cache.stats().since(&cache_stats_before),
+                verdict,
             };
         }
+    }
+
+    /// Grants a parked round more search budget: `budget` further branch &
+    /// bound nodes (`None` = run to completion), sliced by `node_quantum`.
+    /// On completion the result is decoded against the *parked* model and
+    /// installed under the same defensive gates as a live round. At another
+    /// deadline expiry the admitting incumbent is installed if there is
+    /// one; otherwise the round is handed back still suspended.
+    ///
+    /// Availability cuts discovered while resuming are *dropped* — the
+    /// parked LP cannot take new rows — but the filter still rejects every
+    /// acausal incumbent, so admit/reject decisions stay sound; only
+    /// placement optimality can degrade (the documented anytime trade).
+    pub(crate) fn resume_parked(
+        &mut self,
+        round: PreemptedRound,
+        budget: Option<usize>,
+    ) -> ResumeOutcome {
+        let started = Instant::now();
+        let PreemptedRound {
+            query,
+            streams,
+            model,
+            state,
+        } = round;
+        let base = state.nodes_done();
+        let target = budget.map(|b| base.saturating_add(b));
+        let quantum = if self.config.node_quantum == 0 {
+            usize::MAX
+        } else {
+            self.config.node_quantum
+        };
+        let slice = |done: usize| match target {
+            Some(t) => quantum.min(t.saturating_sub(done)),
+            None => quantum,
+        };
+        let solved = {
+            let filter_fn = |xsol: &[f64]| {
+                model
+                    .find_acausal_cuts(xsol, &self.state, &self.catalog)
+                    .is_empty()
+            };
+            let filter: Option<IncumbentFilter<'_>> =
+                if self.config.acyclicity == AcyclicityMode::Lazy {
+                    Some(&filter_fn)
+                } else {
+                    None
+                };
+            let mut outcome = state.resume(filter, slice(base));
+            loop {
+                match outcome {
+                    SolveOutcome::Done(r) => break RoundSolve::Done(r),
+                    SolveOutcome::Suspended(state) => {
+                        let done = state.nodes_done();
+                        if target.is_some_and(|t| done >= t) {
+                            break RoundSolve::Preempted(state, PreemptCause::NodeDeadline);
+                        }
+                        if self.wall_deadline.is_some_and(|d| Instant::now() >= d) {
+                            break RoundSolve::Preempted(state, PreemptCause::WallClock);
+                        }
+                        outcome = state.resume(filter, slice(done));
+                    }
+                }
+            }
+        };
+        let mut parked_state: Option<Box<SearchState>> = None;
+        let mut deadline_preempt = false;
+        let result = match solved {
+            RoundSolve::Done(r) => r,
+            RoundSolve::Preempted(state, _) => {
+                deadline_preempt = true;
+                let snap = state.incumbent_result();
+                parked_state = Some(state);
+                snap
+            }
+        };
+
+        let mut admitted = false;
+        if let Some(x) = &result.x {
+            if streams.iter().any(|&s| model.admits(x, s)) {
+                let decoded = model.decode(x, &self.state);
+                let mut candidate = self.state.clone();
+                decoded.install(&mut candidate);
+                if candidate.is_valid(&self.catalog) && candidate_serves_admitted(&candidate) {
+                    self.state = candidate;
+                    admitted = streams.iter().all(|&s| self.state.provider_of(s).is_some());
+                }
+            }
+        }
+        if admitted {
+            for &s in &streams {
+                if self.state.provider_of(s).is_some() {
+                    self.state.admit_query(query, s);
+                }
+            }
+        } else if deadline_preempt {
+            if let Some(state) = parked_state.take() {
+                return ResumeOutcome::StillOpen(PreemptedRound {
+                    query,
+                    streams,
+                    model,
+                    state,
+                });
+            }
+        }
+
+        let verdict = if deadline_preempt {
+            debug_assert!(admitted, "non-admitting deadline expiry re-parks above");
+            RoundVerdict::Admitted(Admitted::IncumbentAtDeadline)
+        } else {
+            RoundVerdict::of_result(admitted, result.status)
+        };
+        ResumeOutcome::Resolved(PlanningOutcome {
+            query,
+            admitted,
+            reused_existing: false,
+            nodes: result.nodes,
+            lp_iterations: result.lp_iterations,
+            lp_pivots: result.lp_pivots,
+            gap: result.gap,
+            solve_time: started.elapsed(),
+            model_vars: model.num_vars(),
+            model_cons: model.num_cons(),
+            proved_optimal: result.status == MilpStatus::Optimal,
+            status: result.status,
+            incremental: false,
+            lp_cache: CacheStats::default(),
+            verdict,
+        })
     }
 
     /// Updates a base stream's observed rate (propagating to derived
@@ -1013,7 +1371,11 @@ impl SqprPlanner {
             self.state.admit_query(q, spec2.result);
             return Ok(short_circuit_outcome(q));
         }
-        let outcome = self.plan_streams(q, &[spec2.result], &space);
+        // Replans (adaptation, recovery, retries) run deadline-free: the
+        // admission SLO covers fresh submissions; internal re-planning has
+        // its own budgets (`StormBudget`, drift thresholds) and must never
+        // leave a parked round behind the admission queue's back.
+        let outcome = self.plan_streams(q, &[spec2.result], &space, false);
         if outcome.admitted {
             self.state.admit_query(q, spec2.result);
         }
@@ -1039,6 +1401,7 @@ fn short_circuit_outcome(q: QueryId) -> PlanningOutcome {
         status: MilpStatus::Optimal,
         incremental: false,
         lp_cache: CacheStats::default(),
+        verdict: RoundVerdict::Admitted(Admitted::Proven),
     }
 }
 

@@ -168,6 +168,14 @@ pub fn recover_from_failures(planner: &mut SqprPlanner, budget: &StormBudget) ->
         elapsed: Duration::ZERO,
     };
 
+    // Arm the wall clock on the planner itself, not just between rounds:
+    // each round's branch & bound observes the deadline *between quantum
+    // slices* ([`crate::PlannerConfig::node_quantum`]) and finishes with
+    // its anytime incumbent on expiry, so a single tree can no longer
+    // overshoot the whole storm budget. With `node_quantum = 0` rounds are
+    // uninterruptible and the check degrades to the old between-rounds
+    // behaviour.
+    planner.set_wall_deadline(budget.wall_clock.map(|w| started + w));
     let mut pins: BTreeMap<HostId, f64> = BTreeMap::new();
     for &q in &audit.displaced {
         let nodes_dry = budget.max_nodes.is_some_and(|n| report.nodes_spent >= n);
@@ -178,6 +186,11 @@ pub fn recover_from_failures(planner: &mut SqprPlanner, budget: &StormBudget) ->
         } else {
             match planner.replan_query(q) {
                 Ok(outcome) => {
+                    // A node-deadline config may have parked the round's
+                    // suspended search; the storm has its own degradation
+                    // ladder, so the parked state is discarded rather than
+                    // left for an admission queue that is not driving us.
+                    planner.take_preempted_round();
                     report.nodes_spent += outcome.nodes;
                     if outcome.admitted {
                         QueryRecovery {
@@ -206,6 +219,7 @@ pub fn recover_from_failures(planner: &mut SqprPlanner, budget: &StormBudget) ->
         };
         report.recoveries.push(record);
     }
+    planner.set_wall_deadline(None);
     report.elapsed = started.elapsed();
     report
 }

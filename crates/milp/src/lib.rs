@@ -35,8 +35,8 @@ pub mod solver;
 pub use cache::{CacheStats, LpCacheSlot};
 pub use model::{ConsId, Model, Sense, VarId, VarType};
 pub use solver::{
-    solve, solve_filtered, solve_filtered_warm, solve_filtered_warm_cached, solve_warm,
-    solve_warm_cached, solve_with_start, BasisEntity, MilpOptions, MilpResult, MilpStatus,
-    MilpWarmStart, ModelBasis,
+    solve, solve_filtered, solve_filtered_warm, solve_filtered_warm_cached, solve_preemptible,
+    solve_warm, solve_warm_cached, solve_with_start, BasisEntity, IncumbentFilter, MilpOptions,
+    MilpResult, MilpStatus, MilpWarmStart, ModelBasis, SearchState, SolveOutcome,
 };
 pub use sqpr_lp::{BasisState, BasisUpdate, LpWorkspace, PivotCounts, PricingRule, RatioTest};

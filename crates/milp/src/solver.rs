@@ -20,6 +20,20 @@
 //! results the replay never consumes are discarded — counters included —
 //! so trees, incumbents, objectives and `lp_iterations`/`lp_pivots` do
 //! not depend on the thread count.
+//!
+//! # Preemption
+//!
+//! [`solve_preemptible`] runs the same search in *slices* of a caller-set
+//! node quantum: when the quantum expires the search suspends at the next
+//! node boundary into an owning [`SearchState`] (frontier heap, incumbent,
+//! eval memo, node-id counter, factor token) that can be parked
+//! indefinitely and resumed with [`SearchState::resume`]. Because a cut
+//! happens strictly between node evaluations, node evaluation is pure,
+//! and the pop order is total, an uninterrupted run and any sequence of
+//! suspend/resume cuts produce bit-identical trees, pivot counts and
+//! objective bits — at every thread count. A suspend never invalidates the
+//! caller's [`LpCacheSlot`]: the slot keeps serving other submissions
+//! while the suspended search is parked.
 
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashMap};
@@ -51,8 +65,9 @@ struct WsStore<'a> {
     workers: &'a mut Vec<LpWorkspace>,
 }
 
-/// Incumbent filter callback (lazy-constraint hook).
-type IncumbentFilter<'a> = &'a dyn Fn(&[f64]) -> bool;
+/// Incumbent filter callback (lazy-constraint hook): integral candidates
+/// it rejects never become the incumbent.
+pub type IncumbentFilter<'a> = &'a dyn Fn(&[f64]) -> bool;
 
 /// Nodes processed before the worker pool spawns: trees smaller than this
 /// never pay thread startup. Purely a wall-clock knob — whether (and when)
@@ -496,11 +511,56 @@ pub fn solve_filtered_warm_cached(
     run_bnb(model, opts, warm, Some(filter), Some(cache))
 }
 
-/// Backs every entry point: resolves the LP relaxation and workspaces
-/// (cached or fresh) on this stack frame, *outside* the search state — a
-/// worker scope inside [`Bnb::run`] borrows the LP and options while the
-/// driver mutates the rest of the search, which an LP owned *by* the
-/// search state would forbid.
+/// Outcome of a preemptible solve slice: the search either ran to its
+/// natural end (optimality/infeasibility proof or budget) or was suspended
+/// at a node boundary into a resumable [`SearchState`].
+// The `Done` variant carries `MilpResult` by value like every other solve
+// entry point; suspension (already boxed) is the rare arm, so the size
+// skew buys the common path a heap allocation saved.
+#[allow(clippy::large_enum_variant)]
+pub enum SolveOutcome {
+    Done(MilpResult),
+    Suspended(Box<SearchState>),
+}
+
+impl SolveOutcome {
+    /// The finished result, if the slice completed the search.
+    pub fn done(self) -> Option<MilpResult> {
+        match self {
+            SolveOutcome::Done(r) => Some(r),
+            SolveOutcome::Suspended(_) => None,
+        }
+    }
+}
+
+/// Preemptible counterpart of the `solve_*` family: runs at most `quantum`
+/// nodes, then suspends the search at the next node boundary into a
+/// [`SearchState`] (resume with [`SearchState::resume`]). `quantum = 0`
+/// suspends before the first node (the root is pushed but unevaluated);
+/// `usize::MAX` never suspends. An uninterrupted run and *any* sequence of
+/// suspend/resume cuts produce bit-identical trees, pivot counts and
+/// objective bits at every [`MilpOptions::threads`] setting — see the
+/// module docs.
+///
+/// A suspend leaves the caller's [`LpCacheSlot`] fully valid: the slot's
+/// cached lowering, workspaces and factor token all survive, and later
+/// submissions may be served from it while the suspended state is parked.
+/// (The slot's detached factor cache is cleared — deterministically — so
+/// the next tree's root seed never depends on where mid-tree evaluation
+/// happened to run; that costs the next tree one root refactorisation,
+/// nothing else.)
+pub fn solve_preemptible(
+    model: &Model,
+    opts: &MilpOptions,
+    warm: MilpWarmStart<'_>,
+    filter: Option<IncumbentFilter<'_>>,
+    cache: Option<&mut LpCacheSlot>,
+    quantum: usize,
+) -> SolveOutcome {
+    run_preemptible(model, opts, warm, filter, cache, quantum)
+}
+
+/// Backs the classic (non-preemptible) entry points.
 fn run_bnb(
     model: &Model,
     opts: &MilpOptions,
@@ -508,6 +568,27 @@ fn run_bnb(
     filter: Option<IncumbentFilter<'_>>,
     cache: Option<&mut LpCacheSlot>,
 ) -> MilpResult {
+    match run_preemptible(model, opts, warm, filter, cache, usize::MAX) {
+        SolveOutcome::Done(r) => r,
+        SolveOutcome::Suspended(_) => unreachable!("usize::MAX quantum never suspends"),
+    }
+}
+
+/// Backs every entry point: resolves the LP relaxation and workspaces
+/// (cached or fresh) on this stack frame, *outside* the search state — a
+/// worker scope inside [`Bnb::drive`] borrows the LP and options while the
+/// driver mutates the rest of the search, which an LP owned *by* the
+/// search state would forbid. On suspension the relaxation geometry is
+/// cloned into the returned [`SearchState`] (suspends are rare — one per
+/// deadline-preempted round — so the clone is off the hot path).
+fn run_preemptible(
+    model: &Model,
+    opts: &MilpOptions,
+    warm: MilpWarmStart<'_>,
+    filter: Option<IncumbentFilter<'_>>,
+    cache: Option<&mut LpCacheSlot>,
+    quantum: usize,
+) -> SolveOutcome {
     match cache {
         Some(slot) => {
             let (lowered, ws, workers, factor_token) = slot.refresh_solver(model);
@@ -520,21 +601,22 @@ fn run_bnb(
                 ws.begin_factor_generation(next_factor_token());
             }
             let token = ws.factor_generation();
-            let lp_integers = lowered.lp_integers.clone();
-            let map = lowered.map.clone();
+            let geom = SearchGeom::new(model, lowered.map.clone(), lowered.lp_integers.clone());
+            let mut core = SearchCore::new(model, opts, warm, &lowered.lp, &geom);
             let store = WsStore { main: ws, workers };
-            Bnb::new(
+            let verdict = Bnb {
                 model,
                 opts,
-                warm,
                 filter,
-                &lowered.lp,
-                lp_integers,
-                map,
-                store,
-                token,
-            )
-            .run()
+                lp: &lowered.lp,
+                geom: &geom,
+                core: &mut core,
+                ws: store,
+                factor_token: token,
+                deadline: opts.time_limit.map(|d| Instant::now() + d),
+            }
+            .drive(quantum);
+            seal(verdict, model, opts, &lowered.lp, geom, core, token)
         }
         None => {
             let (lp, lp_integers, map) = model.to_lp_reduced();
@@ -544,41 +626,210 @@ fn run_bnb(
             let token = next_factor_token();
             ws.begin_factor_generation(token);
             let mut workers = Vec::new();
+            let geom = SearchGeom::new(model, map, lp_integers);
+            let mut core = SearchCore::new(model, opts, warm, &lp, &geom);
             let store = WsStore {
                 main: &mut ws,
                 workers: &mut workers,
             };
-            Bnb::new(
+            let verdict = Bnb {
                 model,
                 opts,
-                warm,
                 filter,
-                &lp,
-                lp_integers,
-                map,
-                store,
-                token,
-            )
-            .run()
+                lp: &lp,
+                geom: &geom,
+                core: &mut core,
+                ws: store,
+                factor_token: token,
+                deadline: opts.time_limit.map(|d| Instant::now() + d),
+            }
+            .drive(quantum);
+            seal(verdict, model, opts, &lp, geom, core, token)
         }
     }
 }
 
-struct Bnb<'a> {
-    model: &'a Model,
-    opts: &'a MilpOptions,
-    filter: Option<IncumbentFilter<'a>>,
-    /// Compressed LP relaxation (bound-fixed variables folded out). A
-    /// plain shared reference — worker threads borrow it concurrently
-    /// while the driver mutates the rest of the search state.
-    lp: &'a Problem,
+/// Converts a finished slice into its [`MilpResult`], or packs a suspended
+/// one into an owning [`SearchState`].
+fn seal(
+    verdict: SliceVerdict,
+    model: &Model,
+    opts: &MilpOptions,
+    lp: &Problem,
+    geom: SearchGeom,
+    core: SearchCore,
+    factor_token: u64,
+) -> SolveOutcome {
+    match verdict {
+        SliceVerdict::Finished(status, bound) => {
+            SolveOutcome::Done(core.result(model, status, bound))
+        }
+        SliceVerdict::Suspended => {
+            // The suspended search gets private workspaces under the same
+            // factor generation: every factorisation it still needs lives
+            // in its node seeds (`Arc`s inside the heap/memo), and node
+            // evaluation installs from the seed before each solve, so a
+            // fresh workspace is semantically identical to the one the
+            // slice ran in.
+            let mut ws_main = LpWorkspace::new();
+            ws_main.resume_factor_generation(factor_token);
+            SolveOutcome::Suspended(Box::new(SearchState {
+                model: model.clone(),
+                opts: opts.clone(),
+                lp: lp.clone(),
+                geom,
+                core,
+                factor_token,
+                ws_main,
+                ws_workers: Vec::new(),
+            }))
+        }
+    }
+}
+
+/// A branch & bound search suspended at a node boundary: the frontier
+/// heap, incumbent, speculative-eval memo, node-id counter, root bounds
+/// and factor-generation token, plus owned clones of the model, options
+/// and compressed LP being searched — so the state outlives the planning
+/// round (and the cache slot borrow) that spawned it. Resuming, in any
+/// number of further slices at any [`MilpOptions::threads`] setting,
+/// reproduces the uninterrupted run bit for bit: node evaluation is a
+/// pure function of the node, the pop order is a total order over the
+/// heap's contents, and both live entirely in this state.
+///
+/// Deliberately not `Send`: node bound-change chains are `Rc`-shared (the
+/// chains never cross into the worker pool; a suspended search resumes on
+/// whichever thread holds the state).
+pub struct SearchState {
+    model: Model,
+    opts: MilpOptions,
+    lp: Problem,
+    geom: SearchGeom,
+    core: SearchCore,
+    factor_token: u64,
+    ws_main: LpWorkspace,
+    ws_workers: Vec<LpWorkspace>,
+}
+
+impl std::fmt::Debug for SearchState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SearchState")
+            .field("nodes_done", &self.core.nodes_done)
+            .field("open_nodes", &self.core.heap.len())
+            .field("has_incumbent", &self.core.incumbent.is_some())
+            .finish_non_exhaustive()
+    }
+}
+
+impl SearchState {
+    /// Continues the search for at most `quantum` further nodes. The
+    /// filter is re-supplied per slice (it is a borrowed closure and
+    /// cannot be parked); callers must pass a filter with the same
+    /// accept/reject behaviour on every slice, or the resumed search may
+    /// legitimately diverge from the uninterrupted one.
+    pub fn resume(
+        mut self: Box<Self>,
+        filter: Option<IncumbentFilter<'_>>,
+        quantum: usize,
+    ) -> SolveOutcome {
+        let deadline = self.opts.time_limit.map(|d| Instant::now() + d);
+        let state = &mut *self;
+        let store = WsStore {
+            main: &mut state.ws_main,
+            workers: &mut state.ws_workers,
+        };
+        let verdict = Bnb {
+            model: &state.model,
+            opts: &state.opts,
+            filter,
+            lp: &state.lp,
+            geom: &state.geom,
+            core: &mut state.core,
+            ws: store,
+            factor_token: state.factor_token,
+            deadline,
+        }
+        .drive(quantum);
+        match verdict {
+            SliceVerdict::Finished(status, bound) => {
+                let core = std::mem::take(&mut self.core);
+                SolveOutcome::Done(core.result(&self.model, status, bound))
+            }
+            SliceVerdict::Suspended => SolveOutcome::Suspended(self),
+        }
+    }
+
+    /// Nodes processed so far, across every slice.
+    pub fn nodes_done(&self) -> usize {
+        self.core.nodes_done
+    }
+
+    /// Open nodes on the frontier.
+    pub fn open_nodes(&self) -> usize {
+        self.core.heap.len()
+    }
+
+    /// Whether the suspended search holds a feasible incumbent.
+    pub fn has_incumbent(&self) -> bool {
+        self.core.incumbent.is_some()
+    }
+
+    /// Anytime snapshot of the suspended search as a [`MilpResult`]:
+    /// status `Feasible` with the incumbent if one exists, `Unknown`
+    /// otherwise; `best_bound` is the best open node's bound. The state
+    /// itself is untouched — the search can still be resumed.
+    pub fn incumbent_result(&self) -> MilpResult {
+        let bound_min = self.core.heap.peek().map_or(f64::NEG_INFINITY, |n| n.0.est);
+        let status = if self.core.incumbent.is_some() {
+            MilpStatus::Feasible
+        } else {
+            MilpStatus::Unknown
+        };
+        self.core.result_ref(&self.model, status, bound_min)
+    }
+}
+
+/// One slice's verdict, internal to the driver: [`SliceVerdict::Finished`]
+/// carries the final status and best bound in minimisation space.
+enum SliceVerdict {
+    Finished(MilpStatus, f64),
+    Suspended,
+}
+
+/// Read-only lowering geometry shared by every slice of one search:
+/// the LP-to-model mapping plus the integer-variable index sets. Owned by
+/// the [`SearchState`] when suspended, borrowed by the driver while a
+/// slice runs.
+struct SearchGeom {
     /// LP-to-model mapping for the compressed relaxation.
     map: LpMap,
     /// Integer variables in *model* space (branching, integrality).
     integers: Vec<usize>,
     /// Integer columns in *LP* space (diving heuristic).
     lp_integers: Vec<usize>,
-    /// Incumbent in minimisation space.
+}
+
+impl SearchGeom {
+    fn new(model: &Model, map: LpMap, lp_integers: Vec<usize>) -> Self {
+        let integers: Vec<usize> = (0..model.num_vars())
+            .filter(|&j| {
+                model.var_type(crate::model::VarId::from_raw(j)) == crate::model::VarType::Integer
+            })
+            .collect();
+        SearchGeom {
+            map,
+            integers,
+            lp_integers,
+        }
+    }
+}
+
+/// The mutable search state proper — everything a suspend must carry for
+/// the resumed search to replay bit-identically. Owned by [`SearchState`]
+/// between slices, mutated through the [`Bnb`] driver during one.
+#[derive(Default)]
+struct SearchCore {
+    /// Incumbent in minimisation space (model-space vector).
     incumbent: Option<(f64, Vec<f64>)>,
     nodes_done: usize,
     lp_iterations: usize,
@@ -587,21 +838,14 @@ struct Bnb<'a> {
     root_lb: Vec<f64>,
     root_ub: Vec<f64>,
     presolve_infeasible: bool,
-    deadline: Option<Instant>,
     /// External basis hint for the root relaxation (already projected).
     root_hint: Option<Arc<BasisState>>,
-    /// Reusable LP scratch: the main workspace shared by every *replayed*
-    /// relaxation (node re-solves and diving heuristics alike) plus the
-    /// worker pool's private workspaces; borrowed from the [`LpCacheSlot`]
-    /// on the cached path so allocations and basis factors survive
-    /// between consecutive trees.
-    ws: WsStore<'a>,
-    /// Matrix generation every factor state in this tree is scoped to.
-    factor_token: u64,
     /// Next node id to assign (the root took 0).
     next_id: u64,
     /// Speculative LP evaluations by node id, filled by the worker pool
-    /// and consumed — or discarded — by the sequential replay.
+    /// and consumed — or discarded — by the sequential replay. Carried
+    /// across a suspend: evaluation is pure, so consuming a parked memo
+    /// entry after resume equals evaluating inline.
     evals: HashMap<u64, NodeEval>,
     /// Basis of the solved root relaxation (exported in the result).
     root_basis_out: Option<ModelBasis>,
@@ -616,27 +860,52 @@ struct Bnb<'a> {
     /// …and their LP-space projections.
     lp_lb_buf: Vec<f64>,
     lp_ub_buf: Vec<f64>,
+    /// Root pushed (the first slice ran its prologue).
+    started: bool,
+    /// Loop-carried search verdicts (must survive a suspend: a node that
+    /// survived pruning in an earlier slice keeps the tree non-infeasible).
+    proven_infeasible_tree: bool,
+    best_open_bound: f64,
 }
 
-impl<'a> Bnb<'a> {
-    #[allow(clippy::too_many_arguments)]
+/// The per-slice driver: borrows the invariants (model, options, LP,
+/// geometry, workspaces) and mutates the [`SearchCore`]. Short-lived — one
+/// `Bnb` exists per slice and is dropped at the slice boundary.
+struct Bnb<'a> {
+    model: &'a Model,
+    opts: &'a MilpOptions,
+    filter: Option<IncumbentFilter<'a>>,
+    /// Compressed LP relaxation (bound-fixed variables folded out). A
+    /// plain shared reference — worker threads borrow it concurrently
+    /// while the driver mutates the rest of the search state.
+    lp: &'a Problem,
+    geom: &'a SearchGeom,
+    core: &'a mut SearchCore,
+    /// Reusable LP scratch: the main workspace shared by every *replayed*
+    /// relaxation (node re-solves and diving heuristics alike) plus the
+    /// worker pool's private workspaces; borrowed from the [`LpCacheSlot`]
+    /// on the cached path so allocations and basis factors survive
+    /// between consecutive trees, and from the suspended [`SearchState`]
+    /// on the resume path.
+    ws: WsStore<'a>,
+    /// Matrix generation every factor state in this tree is scoped to.
+    factor_token: u64,
+    /// Wall-clock cutoff, re-armed per slice from `opts.time_limit` (the
+    /// deterministic budgets are `max_nodes` and the quantum; the clock
+    /// limit is best-effort per slice by design).
+    deadline: Option<Instant>,
+}
+
+impl SearchCore {
     fn new(
-        model: &'a Model,
-        opts: &'a MilpOptions,
+        model: &Model,
+        opts: &MilpOptions,
         warm: MilpWarmStart<'_>,
-        filter: Option<IncumbentFilter<'a>>,
-        lp: &'a Problem,
-        lp_integers: Vec<usize>,
-        map: LpMap,
-        ws: WsStore<'a>,
-        factor_token: u64,
+        lp: &Problem,
+        geom: &SearchGeom,
     ) -> Self {
         let start = warm.start;
-        let integers: Vec<usize> = (0..model.num_vars())
-            .filter(|&j| {
-                model.var_type(crate::model::VarId::from_raw(j)) == crate::model::VarType::Integer
-            })
-            .collect();
+        let map = &geom.map;
         let mut root_lb = Vec::with_capacity(model.num_vars());
         let mut root_ub = Vec::with_capacity(model.num_vars());
         for j in 0..model.num_vars() {
@@ -672,17 +941,10 @@ impl<'a> Bnb<'a> {
         });
         let root_hint = warm
             .root_basis
-            .map(|mb| Arc::new(mb.to_lp(&map, lp.nrows())));
+            .map(|mb| Arc::new(mb.to_lp(map, lp.nrows())));
         let n = model.num_vars();
         let ncols = lp.ncols();
-        Bnb {
-            model,
-            opts,
-            filter,
-            lp,
-            map,
-            integers,
-            lp_integers,
+        SearchCore {
             incumbent,
             nodes_done: 0,
             lp_iterations: 0,
@@ -691,10 +953,7 @@ impl<'a> Bnb<'a> {
             root_lb,
             root_ub,
             presolve_infeasible,
-            deadline: opts.time_limit.map(|d| Instant::now() + d),
             root_hint,
-            ws,
-            factor_token,
             next_id: 0,
             evals: HashMap::new(),
             root_basis_out: None,
@@ -703,14 +962,79 @@ impl<'a> Bnb<'a> {
             ub_buf: vec![0.0; n],
             lp_lb_buf: vec![0.0; ncols],
             lp_ub_buf: vec![0.0; ncols],
+            started: false,
+            proven_infeasible_tree: true, // until a node survives
+            best_open_bound: f64::NEG_INFINITY,
         }
     }
 
+    /// Builds the final [`MilpResult`] from a finished search (consuming —
+    /// the incumbent vector and exported root basis move out).
+    fn result(mut self, model: &Model, status: MilpStatus, bound_min: f64) -> MilpResult {
+        let flip = if model.sense == Sense::Maximize {
+            -1.0
+        } else {
+            1.0
+        };
+        let (objective, x) = match self.incumbent.take() {
+            Some((obj, x)) => (flip * obj, Some(x)),
+            None => (f64::NAN, None),
+        };
+        let gap = match &x {
+            Some(_) if bound_min.is_finite() => {
+                (flip * objective - bound_min).abs() / objective.abs().max(1.0)
+            }
+            _ => f64::INFINITY,
+        };
+        MilpResult {
+            status,
+            objective,
+            best_bound: flip * bound_min,
+            x,
+            nodes: self.nodes_done,
+            lp_iterations: self.lp_iterations,
+            lp_pivots: self.lp_pivots,
+            gap,
+            root_basis: self.root_basis_out.take(),
+        }
+    }
+
+    /// Non-consuming [`Self::result`] (anytime snapshots of a suspended
+    /// search clone the incumbent and root basis).
+    fn result_ref(&self, model: &Model, status: MilpStatus, bound_min: f64) -> MilpResult {
+        let flip = if model.sense == Sense::Maximize {
+            -1.0
+        } else {
+            1.0
+        };
+        let (objective, x) = match &self.incumbent {
+            Some((obj, x)) => (flip * obj, Some(x.clone())),
+            None => (f64::NAN, None),
+        };
+        let gap = match &self.incumbent {
+            Some((obj, _)) if bound_min.is_finite() => (obj - bound_min).abs() / obj.abs().max(1.0),
+            _ => f64::INFINITY,
+        };
+        MilpResult {
+            status,
+            objective,
+            best_bound: flip * bound_min,
+            x,
+            nodes: self.nodes_done,
+            lp_iterations: self.lp_iterations,
+            lp_pivots: self.lp_pivots,
+            gap,
+            root_basis: self.root_basis_out.clone(),
+        }
+    }
+}
+
+impl<'a> Bnb<'a> {
     /// Expands a compressed-LP solution vector into model space, filling
     /// fixed variables from the materialised node bounds.
-    fn expand_x(&self, x_lp: &[f64], lb: &[f64]) -> Vec<f64> {
-        let mut full = lb.to_vec();
-        for (col, &v) in self.map.var_of_col.iter().enumerate() {
+    fn expand_x(&self, x_lp: &[f64]) -> Vec<f64> {
+        let mut full = self.core.lb_buf.clone();
+        for (col, &v) in self.geom.map.var_of_col.iter().enumerate() {
             full[v] = x_lp[col];
         }
         full
@@ -728,22 +1052,23 @@ impl<'a> Bnb<'a> {
     /// buffers (root bounds intersected with the node's bound-change
     /// chain).
     fn materialize_node(&mut self, chain: &Option<Rc<BoundChange>>) {
-        self.lb_buf.copy_from_slice(&self.root_lb);
-        self.ub_buf.copy_from_slice(&self.root_ub);
+        let core = &mut *self.core;
+        core.lb_buf.copy_from_slice(&core.root_lb);
+        core.ub_buf.copy_from_slice(&core.root_ub);
         let mut cur = chain.as_ref();
         while let Some(c) = cur {
             // Intersection keeps correctness regardless of chain order.
-            if c.lb > self.lb_buf[c.var] {
-                self.lb_buf[c.var] = c.lb;
+            if c.lb > core.lb_buf[c.var] {
+                core.lb_buf[c.var] = c.lb;
             }
-            if c.ub < self.ub_buf[c.var] {
-                self.ub_buf[c.var] = c.ub;
+            if c.ub < core.ub_buf[c.var] {
+                core.ub_buf[c.var] = c.ub;
             }
             cur = c.parent.as_ref();
         }
-        for (col, &v) in self.map.var_of_col.iter().enumerate() {
-            self.lp_lb_buf[col] = self.lb_buf[v];
-            self.lp_ub_buf[col] = self.ub_buf[v];
+        for (col, &v) in self.geom.map.var_of_col.iter().enumerate() {
+            core.lp_lb_buf[col] = core.lb_buf[v];
+            core.lp_ub_buf[col] = core.ub_buf[v];
         }
     }
 
@@ -754,8 +1079,8 @@ impl<'a> Bnb<'a> {
         self.materialize_node(&node.chain);
         Job {
             id: node.id,
-            lp_lb: self.lp_lb_buf.clone(),
-            lp_ub: self.lp_ub_buf.clone(),
+            lp_lb: self.core.lp_lb_buf.clone(),
+            lp_ub: self.core.lp_ub_buf.clone(),
             hint: if self.opts.reuse_bases {
                 node.basis.clone()
             } else {
@@ -770,10 +1095,11 @@ impl<'a> Bnb<'a> {
     /// space (model-fixed integers cannot branch; `to_lp_reduced` already
     /// rejected fractional fixings), returning the *model* variable index
     /// for the bound-change chain.
-    fn pick_branching(&self, x_lp: &[f64], lb: &[f64], ub: &[f64]) -> Option<(usize, f64)> {
+    fn pick_branching(&self, x_lp: &[f64]) -> Option<(usize, f64)> {
+        let (lb, ub) = (&self.core.lb_buf, &self.core.ub_buf);
         let mut best: Option<(usize, f64, f64)> = None;
-        for &col in &self.lp_integers {
-            let j = self.map.var_of_col[col];
+        for &col in &self.geom.lp_integers {
+            let j = self.geom.map.var_of_col[col];
             if lb[j] >= ub[j] {
                 continue; // fixed at this node
             }
@@ -795,7 +1121,8 @@ impl<'a> Bnb<'a> {
     /// Integrality of an LP-space point (model-fixed integers are integral
     /// by the `to_lp_reduced` contract).
     fn is_integral(&self, x_lp: &[f64]) -> bool {
-        self.lp_integers
+        self.geom
+            .lp_integers
             .iter()
             .all(|&col| (x_lp[col] - x_lp[col].round()).abs() <= self.opts.int_tol)
     }
@@ -804,7 +1131,7 @@ impl<'a> Bnb<'a> {
     fn offer_incumbent(&mut self, obj: f64, x: Vec<f64>) {
         // Snap integers exactly before validating against the model.
         let mut snapped = x;
-        for &j in &self.integers {
+        for &j in &self.geom.integers {
             snapped[j] = snapped[j].round();
         }
         let model_x_ok = self.model.is_feasible(&snapped, 1e-5);
@@ -818,12 +1145,13 @@ impl<'a> Bnb<'a> {
         }
         let true_obj = self.flip() * self.model.objective_value(&snapped);
         if self
+            .core
             .incumbent
             .as_ref()
             .is_none_or(|(best, _)| true_obj < *best - 1e-12)
         {
             let _ = obj;
-            self.incumbent = Some((true_obj, snapped));
+            self.core.incumbent = Some((true_obj, snapped));
         }
     }
 
@@ -833,7 +1161,7 @@ impl<'a> Bnb<'a> {
         } else {
             self.opts.max_nodes
         };
-        if self.nodes_done >= max_nodes {
+        if self.core.nodes_done >= max_nodes {
             return true;
         }
         if let Some(d) = self.deadline {
@@ -844,33 +1172,42 @@ impl<'a> Bnb<'a> {
         false
     }
 
-    fn run(mut self) -> MilpResult {
-        if self.presolve_infeasible {
-            // A warm start contradicting presolve would indicate a bug in
-            // propagation; the model validator already vetted it, so treat
-            // presolve as authoritative only when no start exists.
-            if self.incumbent.is_none() {
-                return self.report(MilpStatus::Infeasible, f64::INFINITY);
+    /// Runs one slice of at most `quantum` nodes (`usize::MAX` = to
+    /// completion). The first slice runs the prologue (presolve verdict,
+    /// root push); every slice spins up — and winds down — its own worker
+    /// scope, which is unobservable in the search's outputs because the
+    /// pool only pre-computes results the replay would compute anyway.
+    fn drive(mut self, quantum: usize) -> SliceVerdict {
+        if !self.core.started {
+            self.core.started = true;
+            if self.core.presolve_infeasible && self.core.incumbent.is_none() {
+                // A warm start contradicting presolve would indicate a bug
+                // in propagation; the model validator already vetted it, so
+                // treat presolve as authoritative only when no start
+                // exists.
+                return SliceVerdict::Finished(MilpStatus::Infeasible, f64::INFINITY);
             }
+
+            // Root node, warm-started from the previous solve's basis if
+            // given, seeded with the workspace's surviving factor state
+            // (the previous tree's root factorisation on the cross-solve
+            // cached path; `None` on fresh workspaces or after a token
+            // renewal).
+            let root_seed = self.ws.main.take_factor_state().map(Arc::new);
+            let root_hint = self.core.root_hint.clone();
+            self.core.heap.push(OrdNode(Node {
+                id: 0,
+                est: f64::NEG_INFINITY,
+                depth: 0,
+                chain: None,
+                basis: root_hint,
+                seed: root_seed,
+            }));
+            self.core.next_id = 1;
         }
 
-        // Root node, warm-started from the previous solve's basis if
-        // given, seeded with the workspace's surviving factor state (the
-        // previous tree's root factorisation on the cross-solve cached
-        // path; `None` on fresh workspaces or after a token renewal).
-        let root_seed = self.ws.main.take_factor_state().map(Arc::new);
-        self.heap.push(OrdNode(Node {
-            id: 0,
-            est: f64::NEG_INFINITY,
-            depth: 0,
-            chain: None,
-            basis: self.root_hint.clone(),
-            seed: root_seed,
-        }));
-        self.next_id = 1;
-
         let threads = effective_threads(self.opts.threads);
-        let (status, bound) = if threads > 1 {
+        let verdict = if threads > 1 {
             // Copy the shared references out of `self` so the worker scope
             // can hold them while `search` mutates the search state.
             let lp = self.lp;
@@ -880,39 +1217,59 @@ impl<'a> Bnb<'a> {
             let mut returned = Vec::new();
             let out = std::thread::scope(|scope| {
                 let mut pool = WorkerPool::new(scope, threads, lp, &opts.lp, token, spare);
-                let out = self.search(Some(&mut pool));
+                let out = self.search(Some(&mut pool), quantum);
                 returned = pool.shutdown();
                 out
             });
             *self.ws.workers = returned;
             out
         } else {
-            self.search(None)
+            self.search(None, quantum)
         };
 
-        // Leave the *root's* final factorisation in the main workspace:
-        // the next tree served from the same slot warm-starts its root
-        // from this root's exported basis, so this is the state whose
-        // basic set the re-attach check can match. (Under lineage seeding
-        // the workspace would otherwise end the tree empty — every node
-        // evaluation takes its state out.)
-        if let Some(f) = self.root_factors.take() {
-            let state = Arc::try_unwrap(f).unwrap_or_else(|a| (*a).clone());
-            self.ws
-                .main
-                .install_factor_state(self.factor_token, Some(state));
+        match verdict {
+            SliceVerdict::Finished(..) => {
+                // Leave the *root's* final factorisation in the main
+                // workspace: the next tree served from the same slot
+                // warm-starts its root from this root's exported basis, so
+                // this is the state whose basic set the re-attach check can
+                // match. (Under lineage seeding the workspace would
+                // otherwise end the tree empty — every node evaluation
+                // takes its state out.)
+                if let Some(f) = self.core.root_factors.take() {
+                    let state = Arc::try_unwrap(f).unwrap_or_else(|a| (*a).clone());
+                    self.ws
+                        .main
+                        .install_factor_state(self.factor_token, Some(state));
+                }
+            }
+            SliceVerdict::Suspended => {
+                // Mid-tree the workspace's detached cache holds whatever
+                // the last inline evaluation (or dive) left behind — which
+                // *does* depend on the thread count, since memoized nodes
+                // never touch the main workspace. Clear it so the state the
+                // slice leaves behind (in the cache slot or the suspended
+                // search) is deterministic; node evaluation re-installs
+                // from each node's seed anyway.
+                self.ws.main.take_factor_state();
+            }
         }
-        self.report(status, bound)
+        verdict
     }
 
     /// The sequential replay: pops, prunes, branches and accepts
     /// incumbents one node at a time — the *entire* search semantics live
     /// here, identical at every thread count. The pool (when present) only
-    /// pre-computes node evaluations into `self.evals`.
-    fn search(&mut self, mut pool: Option<&mut WorkerPool<'_, '_>>) -> (MilpStatus, f64) {
-        let mut proven_infeasible_tree = true; // until a node survives
-        let mut best_open_bound = f64::NEG_INFINITY;
+    /// pre-computes node evaluations into the core's memo. Suspension
+    /// happens strictly *between* nodes (before a pop), so a cut changes
+    /// no intermediate value the replay would compute.
+    fn search(
+        &mut self,
+        mut pool: Option<&mut WorkerPool<'_, '_>>,
+        quantum: usize,
+    ) -> SliceVerdict {
         let mut budget_hit = false;
+        let mut slice_done = 0usize;
         // Effective bound-vs-incumbent slack: the noise-floor epsilon for
         // the active ratio test, widened by the caller's cutoff margin.
         let prune_slack = if self.opts.lp.ratio_test == sqpr_lp::RatioTest::Classic {
@@ -922,46 +1279,54 @@ impl<'a> Bnb<'a> {
         } + self.opts.cutoff_margin;
 
         loop {
+            // Preemption point: the quantum counts nodes *evaluated this
+            // slice*; everything else (global budgets, pruning, the status
+            // computation below) runs on resume exactly as it would have
+            // uninterrupted.
+            if slice_done >= quantum && !self.core.heap.is_empty() {
+                return SliceVerdict::Suspended;
+            }
             if let Some(p) = pool.as_deref_mut() {
                 self.speculate(p, prune_slack);
             }
-            let Some(OrdNode(node)) = self.heap.pop() else {
+            let Some(OrdNode(node)) = self.core.heap.pop() else {
                 break;
             };
             // Global pruning: with best-first search, once the best open
             // node cannot beat the incumbent, the incumbent is optimal.
-            if let Some((inc, _)) = &self.incumbent {
+            if let Some((inc, _)) = &self.core.incumbent {
                 if node.est >= inc - prune_slack {
-                    proven_infeasible_tree = false;
-                    best_open_bound = *inc;
+                    self.core.proven_infeasible_tree = false;
+                    self.core.best_open_bound = *inc;
                     // All other open nodes are at least as bad.
-                    self.heap.clear();
-                    self.evals.clear();
+                    self.core.heap.clear();
+                    self.core.evals.clear();
                     break;
                 }
                 let gap = (inc - node.est).abs() / inc.abs().max(1.0);
                 if gap <= self.opts.gap_tol {
-                    proven_infeasible_tree = false;
-                    best_open_bound = node.est;
-                    self.heap.clear();
-                    self.evals.clear();
+                    self.core.proven_infeasible_tree = false;
+                    self.core.best_open_bound = node.est;
+                    self.core.heap.clear();
+                    self.core.evals.clear();
                     break;
                 }
             }
             if self.out_of_budget() {
                 budget_hit = true;
-                best_open_bound = node.est;
-                proven_infeasible_tree = false;
+                self.core.best_open_bound = node.est;
+                self.core.proven_infeasible_tree = false;
                 break;
             }
-            self.nodes_done += 1;
+            self.core.nodes_done += 1;
+            slice_done += 1;
 
             self.materialize_node(&node.chain);
             // Consume the speculative evaluation if one landed, evaluate
             // inline otherwise — the result is the same either way (node
             // evaluation is pure), so thread count and pool timing leave
             // no trace in anything downstream of here.
-            let NodeEval { sol, factors } = match self.evals.remove(&node.id) {
+            let NodeEval { sol, factors } = match self.core.evals.remove(&node.id) {
                 Some(eval) => eval,
                 None => {
                     let hint = if self.opts.reuse_bases {
@@ -971,8 +1336,8 @@ impl<'a> Bnb<'a> {
                     };
                     evaluate_node_lp(
                         self.lp,
-                        &self.lp_lb_buf,
-                        &self.lp_ub_buf,
+                        &self.core.lp_lb_buf,
+                        &self.core.lp_ub_buf,
                         hint,
                         &self.opts.lp,
                         self.factor_token,
@@ -981,58 +1346,58 @@ impl<'a> Bnb<'a> {
                     )
                 }
             };
-            self.lp_iterations += sol.iterations;
-            self.lp_pivots.merge(&sol.pivots);
+            self.core.lp_iterations += sol.iterations;
+            self.core.lp_pivots.merge(&sol.pivots);
             if node.depth == 0 {
-                if self.root_basis_out.is_none() {
-                    self.root_basis_out = sol.basis.as_ref().map(|b| {
+                if self.core.root_basis_out.is_none() {
+                    self.core.root_basis_out = sol.basis.as_ref().map(|b| {
                         ModelBasis::from_lp(
                             b,
-                            &self.map,
+                            &self.geom.map,
                             self.model.num_vars(),
                             self.model.num_cons(),
                         )
                     });
                 }
-                self.root_factors = factors.clone();
+                self.core.root_factors = factors.clone();
             }
 
             match sol.status {
                 LpStatus::Infeasible => continue,
                 LpStatus::Unbounded => {
                     if node.depth == 0 {
-                        return (MilpStatus::Unbounded, f64::NEG_INFINITY);
+                        return SliceVerdict::Finished(MilpStatus::Unbounded, f64::NEG_INFINITY);
                     }
                     continue; // child unbounded implies root unbounded; defensive
                 }
                 LpStatus::Optimal | LpStatus::IterationLimit => {}
             }
-            proven_infeasible_tree = false;
+            self.core.proven_infeasible_tree = false;
 
             // A non-optimal LP termination gives no trustworthy bound;
             // inherit the parent's. Add back the folded fixed-variable
             // objective to recover model-space bounds.
             let node_bound = if sol.status == LpStatus::Optimal {
-                sol.objective + self.map.fixed_obj_min
+                sol.objective + self.geom.map.fixed_obj_min
             } else {
                 node.est
             };
-            if let Some((inc, _)) = &self.incumbent {
+            if let Some((inc, _)) = &self.core.incumbent {
                 if node_bound >= inc - prune_slack {
                     continue;
                 }
             }
 
             if sol.status == LpStatus::Optimal && self.is_integral(&sol.x) {
-                let x_full = self.expand_x(&sol.x, &self.lb_buf);
+                let x_full = self.expand_x(&sol.x);
                 self.offer_incumbent(node_bound, x_full);
                 continue;
             }
 
             // Primal heuristics from this relaxation point.
-            if self.nodes_done == 1
+            if self.core.nodes_done == 1
                 || (self.opts.dive_every > 0
-                    && self.nodes_done.is_multiple_of(self.opts.dive_every))
+                    && self.core.nodes_done.is_multiple_of(self.opts.dive_every))
             {
                 // Chain the dive from this node's final factorisation —
                 // the same state at any thread count, wherever the node's
@@ -1042,28 +1407,28 @@ impl<'a> Bnb<'a> {
                     .install_factor_state(self.factor_token, factors.as_deref().cloned());
                 if let Some((obj, x_lp)) = heuristics::dive(
                     self.lp,
-                    &self.lp_integers,
-                    &self.lp_lb_buf,
-                    &self.lp_ub_buf,
+                    &self.geom.lp_integers,
+                    &self.core.lp_lb_buf,
+                    &self.core.lp_ub_buf,
                     &sol.x,
                     sol.basis.as_ref().filter(|_| self.opts.reuse_bases),
                     &self.opts.lp,
                     self.opts.int_tol,
-                    &mut self.lp_iterations,
-                    &mut self.lp_pivots,
+                    &mut self.core.lp_iterations,
+                    &mut self.core.lp_pivots,
                     &mut *self.ws.main,
                 ) {
-                    let dived = self.expand_x(&x_lp, &self.lb_buf);
-                    self.offer_incumbent(obj + self.map.fixed_obj_min, dived);
+                    let dived = self.expand_x(&x_lp);
+                    self.offer_incumbent(obj + self.geom.map.fixed_obj_min, dived);
                 }
             }
 
             // Branch.
-            let Some((var, value)) = self.pick_branching(&sol.x, &self.lb_buf, &self.ub_buf) else {
+            let Some((var, value)) = self.pick_branching(&sol.x) else {
                 // Numerically integral but is_integral said no (tolerance
                 // edge): offer as incumbent and move on.
                 if sol.status == LpStatus::Optimal {
-                    let x_full = self.expand_x(&sol.x, &self.lb_buf);
+                    let x_full = self.expand_x(&sol.x);
                     self.offer_incumbent(node_bound, x_full);
                 }
                 continue;
@@ -1076,7 +1441,7 @@ impl<'a> Bnb<'a> {
             // replay thread.
             let child_basis = sol.basis.map(Arc::new);
             let floor = value.floor();
-            let (node_lb, node_ub) = (self.lb_buf[var], self.ub_buf[var]);
+            let (node_lb, node_ub) = (self.core.lb_buf[var], self.core.ub_buf[var]);
             let down = Rc::new(BoundChange {
                 var,
                 lb: node_lb,
@@ -1090,9 +1455,9 @@ impl<'a> Bnb<'a> {
                 parent: node.chain.clone(),
             });
             if floor >= node_lb - 1e-9 {
-                let id = self.next_id;
-                self.next_id += 1;
-                self.heap.push(OrdNode(Node {
+                let id = self.core.next_id;
+                self.core.next_id += 1;
+                self.core.heap.push(OrdNode(Node {
                     id,
                     est: node_bound,
                     depth: node.depth + 1,
@@ -1102,9 +1467,9 @@ impl<'a> Bnb<'a> {
                 }));
             }
             if floor + 1.0 <= node_ub + 1e-9 {
-                let id = self.next_id;
-                self.next_id += 1;
-                self.heap.push(OrdNode(Node {
+                let id = self.core.next_id;
+                self.core.next_id += 1;
+                self.core.heap.push(OrdNode(Node {
                     id,
                     est: node_bound,
                     depth: node.depth + 1,
@@ -1117,25 +1482,25 @@ impl<'a> Bnb<'a> {
 
         // Determine final status.
         let status = if budget_hit {
-            if self.incumbent.is_some() {
+            if self.core.incumbent.is_some() {
                 MilpStatus::Feasible
             } else {
                 MilpStatus::Unknown
             }
-        } else if self.incumbent.is_some() {
+        } else if self.core.incumbent.is_some() {
             MilpStatus::Optimal
-        } else if proven_infeasible_tree || self.heap.is_empty() {
+        } else if self.core.proven_infeasible_tree || self.core.heap.is_empty() {
             MilpStatus::Infeasible
         } else {
             MilpStatus::Unknown
         };
         let bound = if status == MilpStatus::Optimal {
-            self.incumbent.as_ref().map(|(o, _)| *o).unwrap_or(0.0)
+            self.core.incumbent.as_ref().map(|(o, _)| *o).unwrap_or(0.0)
         } else {
             // Best open bound seen when we stopped.
-            best_open_bound
+            self.core.best_open_bound
         };
-        (status, bound)
+        SliceVerdict::Finished(status, bound)
     }
 
     /// Pre-computes LP evaluations for the top of the frontier on the
@@ -1143,15 +1508,15 @@ impl<'a> Bnb<'a> {
     /// pop next, and evaluation is a pure function of the node, so running
     /// it early — or not at all — is unobservable in the search's outputs.
     fn speculate(&mut self, pool: &mut WorkerPool<'_, '_>, prune_slack: f64) {
-        if self.heap.len() < 2 || self.out_of_budget() {
+        if self.core.heap.len() < 2 || self.out_of_budget() {
             return;
         }
         // Don't pay thread startup for tiny trees.
-        if !pool.spawned && self.nodes_done < POOL_SPAWN_NODES {
+        if !pool.spawned && self.core.nodes_done < POOL_SPAWN_NODES {
             return;
         }
-        if let Some((inc, _)) = &self.incumbent {
-            if let Some(top) = self.heap.peek() {
+        if let Some((inc, _)) = &self.core.incumbent {
+            if let Some(top) = self.core.heap.peek() {
                 // The replay ends (optimality proven) as soon as the best
                 // open node cannot beat the incumbent — nothing left to
                 // speculate on then.
@@ -1164,9 +1529,10 @@ impl<'a> Bnb<'a> {
         }
         // Nothing to wait for while the next pop is already memoized.
         if self
+            .core
             .heap
             .peek()
-            .is_some_and(|n| self.evals.contains_key(&n.0.id))
+            .is_some_and(|n| self.core.evals.contains_key(&n.0.id))
         {
             return;
         }
@@ -1175,13 +1541,14 @@ impl<'a> Bnb<'a> {
         let mut popped = Vec::with_capacity(pool.threads);
         let mut jobs = Vec::new();
         while popped.len() < pool.threads {
-            let Some(OrdNode(node)) = self.heap.pop() else {
+            let Some(OrdNode(node)) = self.core.heap.pop() else {
                 break;
             };
-            let known = self.evals.contains_key(&node.id);
+            let known = self.core.evals.contains_key(&node.id);
             // A node the incumbent already prunes ends the replay when it
             // pops; nodes behind it in the order never run.
             let prunable = self
+                .core
                 .incumbent
                 .as_ref()
                 .is_some_and(|(inc, _)| node.est >= inc - prune_slack);
@@ -1194,38 +1561,14 @@ impl<'a> Bnb<'a> {
             }
         }
         for n in popped {
-            self.heap.push(n);
+            self.core.heap.push(n);
         }
         if jobs.len() < 2 {
             // A lone evaluation is cheaper inline than through the pool.
             return;
         }
         for (id, eval) in pool.evaluate(jobs) {
-            self.evals.insert(id, eval);
-        }
-    }
-
-    fn report(self, status: MilpStatus, bound_min: f64) -> MilpResult {
-        let flip = self.flip();
-        let (objective, x) = match &self.incumbent {
-            Some((obj, x)) => (flip * obj, Some(x.clone())),
-            None => (f64::NAN, None),
-        };
-        let best_bound = flip * bound_min;
-        let gap = match &self.incumbent {
-            Some((obj, _)) if bound_min.is_finite() => (obj - bound_min).abs() / obj.abs().max(1.0),
-            _ => f64::INFINITY,
-        };
-        MilpResult {
-            status,
-            objective,
-            best_bound,
-            x,
-            nodes: self.nodes_done,
-            lp_iterations: self.lp_iterations,
-            lp_pivots: self.lp_pivots,
-            gap,
-            root_basis: self.root_basis_out,
+            self.core.evals.insert(id, eval);
         }
     }
 }

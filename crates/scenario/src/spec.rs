@@ -66,6 +66,20 @@ pub struct SystemSpec {
     /// Per-submission node budget (`SolveBudget::nodes`) — node-only, so
     /// every run of the scenario is a pure function of the script.
     pub max_nodes: usize,
+    /// Preemption quantum override (`PlannerConfig::node_quantum`).
+    /// `None` keeps the planner default (which honours the
+    /// `SQPR_NODE_QUANTUM` environment variable — the CI fuzz matrix);
+    /// deadline scenarios pin it explicitly so their goldens are stable
+    /// under that matrix.
+    pub node_quantum: Option<usize>,
+    /// Node-count deadline per submission round
+    /// (`PlannerConfig::round_deadline`). Setting it puts the scenario in
+    /// *deadline mode*: submissions route through the [`AdmissionQueue`]
+    /// and preempted rounds park until `pump`/`drain` events resolve them.
+    /// Requires an explicit `node_quantum >= 1`.
+    ///
+    /// [`AdmissionQueue`]: sqpr_core::AdmissionQueue
+    pub round_deadline: Option<usize>,
     /// Heterogeneous host classes; empty means the preset's uniform hosts.
     pub hosts: Vec<HostClass>,
 }
@@ -123,6 +137,15 @@ pub enum Event {
         max: Option<usize>,
         min_patch_rate: Option<f64>,
     },
+    /// Advance the admission queue by `ticks` logical ticks: each tick
+    /// resumes every eligible parked round in park order under another
+    /// `round_deadline` node grant (deadline mode only; a no-op when
+    /// nothing is parked).
+    Pump { ticks: usize },
+    /// Quiet period: force every parked round to a terminal verdict via
+    /// one unbounded resume each. After `drain` the queue is empty — the
+    /// zero-silent-drops guarantee.
+    Drain,
 }
 
 /// The `[expect]` section.
@@ -289,6 +312,18 @@ fn parse_system(t: &Table) -> Result<SystemSpec, SpecError> {
             return Err(bad("[[system.host]] classes sum to zero hosts"));
         }
     }
+    let node_quantum = opt_usize(t, "node_quantum")?;
+    let round_deadline = opt_usize(t, "round_deadline")?;
+    if let Some(d) = round_deadline {
+        if d == 0 {
+            return Err(bad("`round_deadline` must be at least 1"));
+        }
+        if node_quantum.is_none_or(|q| q < 1) {
+            return Err(bad(
+                "`round_deadline` requires an explicit `node_quantum` >= 1",
+            ));
+        }
+    }
     Ok(SystemSpec {
         kind,
         scale,
@@ -302,6 +337,8 @@ fn parse_system(t: &Table) -> Result<SystemSpec, SpecError> {
         queries: opt_usize(t, "queries")?,
         zipf_theta: opt_f64(t, "zipf_theta")?,
         max_nodes: usize_or(t, "max_nodes", 200)?,
+        node_quantum,
+        round_deadline,
         hosts,
     })
 }
@@ -392,6 +429,14 @@ fn parse_event(t: &Table) -> Result<Event, SpecError> {
             max: opt_usize(t, "max")?,
             min_patch_rate: opt_f64(t, "min_patch_rate")?,
         }),
+        "pump" => {
+            let ticks = usize_or(t, "ticks", 1)?;
+            if ticks == 0 {
+                return Err(bad("`pump` needs `ticks` >= 1"));
+            }
+            Ok(Event::Pump { ticks })
+        }
+        "drain" => Ok(Event::Drain),
         other => Err(bad(format!("unknown event kind `{other}`"))),
     }
 }
@@ -515,10 +560,42 @@ mod tests {
             ("name = \"x\"\n[system]\nkind = \"paper_sim\"\n[[event]]\nkind = \"warp\"", "unknown event kind"),
             ("name = \"x\"\n[system]\nkind = \"paper_sim\"\n[[event]]\nkind = \"submit\"\ncount = 1\n[expect]\nadmits = \"AXR\"", "may only contain A/R"),
             ("name = \"x\"\n[system]\nkind = \"paper_sim\"\n[[event]]\nkind = \"remove\"\nqueries = []", "non-empty"),
+            ("name = \"x\"\n[system]\nkind = \"paper_sim\"\nround_deadline = 2\n[[event]]\nkind = \"submit\"\ncount = 1", "requires an explicit `node_quantum`"),
+            ("name = \"x\"\n[system]\nkind = \"paper_sim\"\nnode_quantum = 1\nround_deadline = 0\n[[event]]\nkind = \"submit\"\ncount = 1", "must be at least 1"),
+            ("name = \"x\"\n[system]\nkind = \"paper_sim\"\n[[event]]\nkind = \"pump\"\nticks = 0", "`ticks` >= 1"),
         ] {
             let e = ScenarioSpec::parse(src).unwrap_err();
             assert!(e.0.contains(needle), "`{src}` -> `{}`", e.0);
         }
+    }
+
+    #[test]
+    fn decodes_deadline_mode() {
+        let src = r#"
+            name = "dl"
+            [system]
+            kind = "paper_cluster"
+            scale = 0.2
+            node_quantum = 1
+            round_deadline = 2
+            [[event]]
+            kind = "submit"
+            count = 3
+            [[event]]
+            kind = "pump"
+            ticks = 4
+            [[event]]
+            kind = "drain"
+        "#;
+        let spec = ScenarioSpec::parse(src).unwrap();
+        assert_eq!(spec.system.node_quantum, Some(1));
+        assert_eq!(spec.system.round_deadline, Some(2));
+        assert!(matches!(spec.events[1], Event::Pump { ticks: 4 }));
+        assert!(matches!(spec.events[2], Event::Drain));
+        // `pump` defaults to one tick.
+        let one = src.replace("ticks = 4", "");
+        let spec = ScenarioSpec::parse(&one).unwrap();
+        assert!(matches!(spec.events[1], Event::Pump { ticks: 1 }));
     }
 
     #[test]

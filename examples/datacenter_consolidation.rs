@@ -10,7 +10,7 @@
 //!
 //! Run with: `cargo run --release --example datacenter_consolidation`
 
-use sqpr_suite::core::{ObjectiveWeights, PlannerConfig, SolveBudget, SqprPlanner};
+use sqpr_suite::core::{ObjectiveWeights, PlannerConfig, PlannerError, SolveBudget, SqprPlanner};
 use sqpr_suite::dsps::metrics::jain_fairness;
 use sqpr_suite::dsps::{Catalog, CostModel, HostId, HostSpec};
 
@@ -22,7 +22,7 @@ struct RunStats {
     fairness: f64,
 }
 
-fn run(weights_for: fn(&Catalog) -> ObjectiveWeights) -> RunStats {
+fn run(weights_for: fn(&Catalog) -> ObjectiveWeights) -> Result<RunStats, PlannerError> {
     // Host 0 sources the hot hub stream (20 Mbps); hosts 1..6 source one
     // cheap probe stream each (2 Mbps).
     let mut catalog =
@@ -40,7 +40,7 @@ fn run(weights_for: fn(&Catalog) -> ObjectiveWeights) -> RunStats {
     config.gap_tol = 0.0;
     let mut planner = SqprPlanner::new(catalog, config);
     for p in &probes {
-        planner.submit(&[hub, *p]).expect("valid bases");
+        planner.submit(&[hub, *p])?;
     }
     let cpu = planner.state().cpu_usage(planner.catalog());
     let network: f64 = planner
@@ -49,17 +49,24 @@ fn run(weights_for: fn(&Catalog) -> ObjectiveWeights) -> RunStats {
         .iter()
         .map(|&(_, _, s)| planner.catalog().stream(s).rate)
         .sum();
-    RunStats {
+    Ok(RunStats {
         admitted: planner.num_admitted(),
         busy_hosts: cpu.iter().filter(|&&c| c > 1e-9).count(),
         max_cpu: cpu.iter().copied().fold(0.0, f64::max),
         network,
         fairness: jain_fairness(&cpu),
-    }
+    })
 }
 
 fn main() {
-    let s = run(ObjectiveWeights::min_resources);
+    if let Err(e) = consolidate() {
+        eprintln!("consolidation example failed: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn consolidate() -> Result<(), PlannerError> {
+    let s = run(ObjectiveWeights::min_resources)?;
     println!("min-resources preset ((λ3, λ4) = (1, 0)):");
     println!(
         "  {} admitted | {}/7 hosts busy | max cpu {:.0} | network {:.0} Mbps | fairness {:.2}",
@@ -70,11 +77,12 @@ fn main() {
         7 - s.busy_hosts
     );
 
-    let s = run(ObjectiveWeights::load_balance);
+    let s = run(ObjectiveWeights::load_balance)?;
     println!("load-balance preset ((λ3, λ4) = (0, 1)):");
     println!(
         "  {} admitted | {}/7 hosts busy | max cpu {:.0} | network {:.0} Mbps | fairness {:.2}",
         s.admitted, s.busy_hosts, s.max_cpu, s.network, s.fairness
     );
     println!("  -> joins spread across hosts at the price of shipping the hub stream");
+    Ok(())
 }

@@ -7,10 +7,17 @@
 //! Run with: `cargo run --release --example financial_monitoring`
 
 use sqpr_suite::baselines::SodaPlanner;
-use sqpr_suite::core::{PlannerConfig, SolveBudget, SqprPlanner};
+use sqpr_suite::core::{PlannerConfig, PlannerError, SolveBudget, SqprPlanner};
 use sqpr_suite::dsps::{run_engine, Catalog, CostModel, EngineConfig, HostId, HostSpec};
 
 fn main() {
+    if let Err(e) = run() {
+        eprintln!("financial monitoring example failed: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn run() -> Result<(), PlannerError> {
     // 6 hosts; 8 market feeds; the first two feeds (a consolidated tape and
     // an options feed) appear in most queries.
     let build_catalog = || {
@@ -39,7 +46,7 @@ fn main() {
     config.budget = SolveBudget::nodes(150);
     let mut sqpr = SqprPlanner::new(catalog, config);
     for q in &queries {
-        sqpr.submit(q).expect("valid bases");
+        sqpr.submit(q)?;
     }
 
     let (catalog2, _) = build_catalog();
@@ -74,4 +81,5 @@ fn main() {
         "result volume delivered to clients: {:.1}",
         report.delivered
     );
+    Ok(())
 }

@@ -6,10 +6,19 @@
 //!
 //! Run with: `cargo run --release --example network_monitoring`
 
-use sqpr_suite::core::{adapt_to_observed_rates, PlannerConfig, SolveBudget, SqprPlanner};
+use sqpr_suite::core::{
+    adapt_to_observed_rates, PlannerConfig, PlannerError, SolveBudget, SqprPlanner,
+};
 use sqpr_suite::dsps::{Catalog, CostModel, HostId, HostSpec};
 
 fn main() {
+    if let Err(e) = run() {
+        eprintln!("network monitoring example failed: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn run() -> Result<(), PlannerError> {
     // 5 monitoring hosts, one probe stream each.
     let mut catalog = Catalog::uniform(5, HostSpec::new(80.0, 100.0), 500.0, CostModel::default());
     let probes: Vec<_> = (0..5)
@@ -27,7 +36,7 @@ fn main() {
         vec![probes[0], probes[1], probes[4]], // cross-rack scan detector
     ];
     for q in &queries {
-        let o = planner.submit(q).expect("valid bases");
+        let o = planner.submit(q)?;
         println!("query {:?}: admitted={}", o.query, o.admitted);
     }
     println!("admitted before surge: {}", planner.num_admitted());
@@ -42,4 +51,5 @@ fn main() {
     println!("admitted after surge: {}", planner.num_admitted());
     assert!(planner.state().is_valid(planner.catalog()));
     println!("deployment remains valid after adaptation");
+    Ok(())
 }

@@ -3,10 +3,17 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use sqpr_suite::core::{PlannerConfig, SolveBudget, SqprPlanner};
+use sqpr_suite::core::{PlannerConfig, PlannerError, SolveBudget, SqprPlanner};
 use sqpr_suite::dsps::{Catalog, CostModel, HostId, HostSpec};
 
 fn main() {
+    if let Err(e) = run() {
+        eprintln!("quickstart failed: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn run() -> Result<(), PlannerError> {
     // A 4-host data centre: 100 CPU units and 100 Mbps per host, 1 Gbps
     // links, full mesh.
     let mut catalog =
@@ -31,7 +38,7 @@ fn main() {
             vec![trades, quotes, sentiment],
         ),
     ] {
-        let outcome = planner.submit(&bases).expect("valid bases");
+        let outcome = planner.submit(&bases)?;
         println!(
             "{name}: admitted={} reused_existing={} nodes={} time={:?}",
             outcome.admitted, outcome.reused_existing, outcome.nodes, outcome.solve_time
@@ -57,4 +64,5 @@ fn main() {
     }
     assert!(planner.state().is_valid(planner.catalog()));
     println!("\nDeployment validates: every stream is causal and within resources.");
+    Ok(())
 }
