@@ -1,0 +1,414 @@
+//! Rule engine: scans lexed files, applies rules, matches waivers.
+//!
+//! ## Scope
+//!
+//! The audit covers *shipped* code: every `.rs` file under a `src/` tree of
+//! the workspace. Directories named `tests`, `benches`, `examples`,
+//! `fixtures`, `target` and `.git` are skipped, and `#[cfg(test)]` modules
+//! and `#[test]` functions inside scanned files are masked out — test code
+//! is where bit-exactness is *asserted*, and asserting means panicking on
+//! mismatch, so the no-panic and float-eq rules must not see it.
+//!
+//! ## Waiver grammar
+//!
+//! ```text
+//! // sqpr::allow(<rule-name>): <reason>
+//! ```
+//!
+//! A waiver is a *plain* comment (doc comments are exempt, so docs can
+//! describe the grammar without enacting it) that either shares the line
+//! with the violating code or sits on its own line directly above it
+//! (several own-line waivers may stack). The reason is mandatory — a waiver
+//! without one is itself an audit error, as is a waiver naming an unknown
+//! rule or a waiver that matches no violation (unused waivers rot into
+//! false documentation and are treated as errors, so deleting the violation
+//! forces deleting its excuse).
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::lexer::{lex, TokKind, Token};
+use crate::rules::{registry, Rule};
+
+/// One rule violation at a source location.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    pub rule: &'static str,
+    pub file: String,
+    pub line: usize,
+    pub message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// A parsed `sqpr::allow` waiver.
+#[derive(Debug, Clone)]
+pub struct Waiver {
+    pub rule: String,
+    pub reason: String,
+    /// Line the comment sits on.
+    pub line: usize,
+    /// Line of code the waiver covers.
+    pub target_line: usize,
+}
+
+/// Result of auditing one file or a whole tree.
+#[derive(Debug, Default)]
+pub struct AuditReport {
+    /// Unwaived violations. Empty on a clean pass.
+    pub violations: Vec<Violation>,
+    /// Waiver-grammar errors: missing reason, unknown rule, unused waiver.
+    pub errors: Vec<String>,
+    /// Violations that were covered by a waiver (for reporting).
+    pub waived: Vec<(Violation, String)>,
+    pub files_scanned: usize,
+}
+
+impl AuditReport {
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty() && self.errors.is_empty()
+    }
+
+    fn merge(&mut self, other: AuditReport) {
+        let AuditReport {
+            mut violations,
+            mut errors,
+            mut waived,
+            files_scanned,
+        } = other;
+        self.violations.append(&mut violations);
+        self.errors.append(&mut errors);
+        self.waived.append(&mut waived);
+        self.files_scanned += files_scanned;
+    }
+}
+
+/// A lexed source file plus the derived views rules consume.
+pub struct SourceFile {
+    /// Repo-relative path label (rules scope on it).
+    pub path: String,
+    /// All tokens, comments included.
+    pub tokens: Vec<Token>,
+    /// Indices into `tokens` of non-comment tokens (what rules scan).
+    pub code: Vec<usize>,
+    /// Inclusive line ranges of `#[cfg(test)]` modules and `#[test]` fns.
+    pub test_spans: Vec<(usize, usize)>,
+}
+
+impl SourceFile {
+    pub fn new(path: &str, src: &str) -> Self {
+        let tokens = lex(src);
+        let code: Vec<usize> = tokens
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| !matches!(t.kind, TokKind::LineComment | TokKind::BlockComment))
+            .map(|(i, _)| i)
+            .collect();
+        let test_spans = find_test_spans(&tokens, &code);
+        SourceFile {
+            path: path.to_string(),
+            tokens,
+            code,
+            test_spans,
+        }
+    }
+
+    /// Whether a line is inside test-only code.
+    pub fn in_test_code(&self, line: usize) -> bool {
+        self.test_spans.iter().any(|&(a, b)| a <= line && line <= b)
+    }
+
+    /// The code token at code-index `ci`, if any.
+    pub fn ct(&self, ci: usize) -> Option<&Token> {
+        self.code.get(ci).map(|&i| &self.tokens[i])
+    }
+
+    /// Text of the code token at code-index `ci` ("" past the end).
+    pub fn ctext(&self, ci: usize) -> &str {
+        self.ct(ci).map_or("", |t| t.text.as_str())
+    }
+}
+
+/// Finds `#[cfg(test)] mod ... { }` and `#[test] fn ... { }` line spans.
+/// Operates on code-token indices so comments between the attribute and the
+/// item cannot break the match.
+fn find_test_spans(tokens: &[Token], code: &[usize]) -> Vec<(usize, usize)> {
+    let text = |ci: usize| -> &str { code.get(ci).map_or("", |&i| tokens[i].text.as_str()) };
+    let mut spans = Vec::new();
+    let mut ci = 0usize;
+    while ci < code.len() {
+        // `#` `[` ...
+        if text(ci) == "#" && text(ci + 1) == "[" {
+            let is_cfg_test =
+                text(ci + 2) == "cfg" && text(ci + 3) == "(" && text(ci + 4) == "test";
+            let is_test_attr = text(ci + 2) == "test" && text(ci + 3) == "]";
+            if is_cfg_test || is_test_attr {
+                // Scan forward past any further attributes to the item's
+                // opening brace, then to its matching close.
+                let mut j = ci;
+                while j < code.len() && text(j) != "{" {
+                    j += 1;
+                }
+                let open = j;
+                let mut depth = 0usize;
+                while j < code.len() {
+                    match text(j) {
+                        "{" => depth += 1,
+                        "}" => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                if open < code.len() && j < code.len() {
+                    spans.push((tokens[code[ci]].line, tokens[code[j]].line));
+                    ci = j + 1;
+                    continue;
+                }
+            }
+        }
+        ci += 1;
+    }
+    spans
+}
+
+/// Parses every waiver comment in the file. Grammar errors are returned as
+/// strings; well-formed waivers get a target line (see module docs).
+fn collect_waivers(file: &SourceFile, known_rules: &[&'static str]) -> (Vec<Waiver>, Vec<String>) {
+    let mut waivers = Vec::new();
+    let mut errors = Vec::new();
+    for (idx, tok) in file.tokens.iter().enumerate() {
+        if !matches!(tok.kind, TokKind::LineComment | TokKind::BlockComment) {
+            continue;
+        }
+        // Doc comments (`///`, `//!`, `/**`, `/*!`) describe the waiver
+        // grammar without *being* waivers — only plain comments count.
+        if tok.text.starts_with("///")
+            || tok.text.starts_with("//!")
+            || tok.text.starts_with("/**")
+            || tok.text.starts_with("/*!")
+        {
+            continue;
+        }
+        let Some(pos) = tok.text.find("sqpr::allow") else {
+            continue;
+        };
+        let at = format!("{}:{}", file.path, tok.line);
+        let rest = &tok.text[pos + "sqpr::allow".len()..];
+        let Some(rest) = rest.strip_prefix('(') else {
+            errors.push(format!(
+                "{at}: malformed waiver: expected `sqpr::allow(<rule>): <reason>`"
+            ));
+            continue;
+        };
+        let Some(close) = rest.find(')') else {
+            errors.push(format!("{at}: malformed waiver: missing `)`"));
+            continue;
+        };
+        let rule = rest[..close].trim().to_string();
+        if !known_rules.contains(&rule.as_str()) {
+            errors.push(format!("{at}: waiver names unknown rule `{rule}`"));
+            continue;
+        }
+        let after = rest[close + 1..].trim_start();
+        let Some(reason) = after.strip_prefix(':') else {
+            errors.push(format!("{at}: waiver for `{rule}` missing `: <reason>`"));
+            continue;
+        };
+        let reason = reason.trim().trim_end_matches("*/").trim().to_string();
+        if reason.is_empty() {
+            errors.push(format!(
+                "{at}: waiver for `{rule}` has an empty reason — the reason is mandatory"
+            ));
+            continue;
+        }
+        // Target: the comment's own line when it shares it with code,
+        // otherwise the next line that carries code (own-line waivers may
+        // stack above the violating line).
+        let own_line_code = file
+            .code
+            .iter()
+            .any(|&i| i != idx && file.tokens[i].line == tok.line);
+        let target_line = if own_line_code {
+            tok.line
+        } else {
+            file.code
+                .iter()
+                .map(|&i| file.tokens[i].line)
+                .find(|&l| l > tok.line)
+                .unwrap_or(tok.line)
+        };
+        waivers.push(Waiver {
+            rule,
+            reason,
+            line: tok.line,
+            target_line,
+        });
+    }
+    (waivers, errors)
+}
+
+/// Audits one source text under a path label, with the default rule set.
+pub fn audit_source(path: &str, src: &str) -> AuditReport {
+    audit_source_with(path, src, &registry())
+}
+
+/// Audits one source text with an explicit rule set (fixture tests use
+/// this to isolate a single rule).
+pub fn audit_source_with(path: &str, src: &str, rules: &[Box<dyn Rule>]) -> AuditReport {
+    let file = SourceFile::new(path, src);
+    let known: Vec<&'static str> = registry().iter().map(|r| r.name()).collect();
+    let (mut waivers, mut errors) = collect_waivers(&file, &known);
+
+    let mut raw: Vec<Violation> = Vec::new();
+    for rule in rules {
+        if !rule.applies_to(path) {
+            continue;
+        }
+        let mut vs = rule.check(&file);
+        vs.retain(|v| !file.in_test_code(v.line));
+        raw.append(&mut vs);
+    }
+    raw.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+
+    let mut used = vec![false; waivers.len()];
+    let mut violations = Vec::new();
+    let mut waived = Vec::new();
+    for v in raw {
+        let w = waivers
+            .iter()
+            .position(|w| w.rule == v.rule && w.target_line == v.line);
+        match w {
+            Some(i) => {
+                used[i] = true;
+                waived.push((v, waivers[i].reason.clone()));
+            }
+            None => violations.push(v),
+        }
+    }
+    for (i, w) in waivers.iter_mut().enumerate() {
+        if !used[i] {
+            errors.push(format!(
+                "{}:{}: unused waiver for `{}` — no matching violation on line {}; delete it",
+                file.path, w.line, w.rule, w.target_line
+            ));
+        }
+    }
+
+    AuditReport {
+        violations,
+        errors,
+        waived,
+        files_scanned: 1,
+    }
+}
+
+/// Directories never descended into: generated output, test-only trees.
+const SKIP_DIRS: &[&str] = &["target", "tests", "benches", "examples", "fixtures", ".git"];
+
+/// Recursively collects `.rs` files under `root`, skipping [`SKIP_DIRS`].
+fn collect_rs_files(root: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(root)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if SKIP_DIRS.contains(&name) {
+                continue;
+            }
+            collect_rs_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Audits a workspace tree rooted at `root` with the full rule registry.
+/// Path labels in the report are relative to `root`.
+pub fn audit_workspace(root: &Path) -> io::Result<AuditReport> {
+    let rules = registry();
+    let mut files = Vec::new();
+    collect_rs_files(root, &mut files)?;
+    let mut report = AuditReport::default();
+    for path in files {
+        let src = fs::read_to_string(&path)?;
+        let label = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        report.merge(audit_source_with(&label, &src, &rules));
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_spans_mask_cfg_test_modules_and_test_fns() {
+        let src = "fn live() { x.unwrap(); }\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n    fn helper() { y.unwrap(); }\n}\n\
+                   #[test]\nfn t() { z.unwrap(); }\n";
+        let f = SourceFile::new("crates/core/src/x.rs", src);
+        assert!(!f.in_test_code(1));
+        assert!(f.in_test_code(4));
+        assert!(f.in_test_code(7));
+    }
+
+    #[test]
+    fn waiver_requires_reason_and_known_rule() {
+        let src = "// sqpr::allow(hash-iter)\nlet x = 1;\n\
+                   // sqpr::allow(no-such-rule): whatever\nlet y = 2;\n";
+        let r = audit_source("crates/core/src/x.rs", src);
+        assert_eq!(r.errors.len(), 2, "{:?}", r.errors);
+        assert!(r.errors[0].contains("missing `: <reason>`"));
+        assert!(r.errors[1].contains("unknown rule"));
+    }
+
+    #[test]
+    fn unused_waiver_is_an_error() {
+        let src = "// sqpr::allow(float-eq): stale excuse\nlet x = 1;\n";
+        let r = audit_source("crates/core/src/x.rs", src);
+        assert_eq!(r.errors.len(), 1);
+        assert!(r.errors[0].contains("unused waiver"));
+    }
+
+    #[test]
+    fn stacked_own_line_waivers_cover_the_next_code_line() {
+        let src = "\
+// sqpr::allow(hot-path-panic): demo reason one
+// sqpr::allow(ambient-nondeterminism): demo reason two
+let t = Instant::now().elapsed().as_secs_f64();\nx.unwrap();\n";
+        // Both waivers target line 3 (the first code line below them); the
+        // unwrap on line 4 is NOT covered.
+        let r = audit_source("crates/core/src/x.rs", src);
+        assert!(
+            r.errors.iter().any(|e| e.contains("unused waiver")),
+            "unwrap waiver targets line 3, not 4: {:?}",
+            r.errors
+        );
+        assert_eq!(r.violations.len(), 1, "{:?}", r.violations);
+        assert_eq!(r.violations[0].rule, "hot-path-panic");
+        assert_eq!(r.violations[0].line, 4);
+    }
+}

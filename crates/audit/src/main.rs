@@ -1,0 +1,85 @@
+//! CLI for the audit: `sqpr-audit --check <root> [--verbose]`.
+//!
+//! Exit codes: 0 clean, 1 violations or waiver errors, 2 usage / IO error.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut root: Option<String> = None;
+    let mut verbose = false;
+    let mut list_rules = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--check" => {
+                i += 1;
+                root = args.get(i).cloned();
+                if root.is_none() {
+                    eprintln!("error: --check requires a path");
+                    return ExitCode::from(2);
+                }
+            }
+            "--verbose" | "-v" => verbose = true,
+            "--list-rules" => list_rules = true,
+            "--help" | "-h" => {
+                print_usage();
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("error: unknown argument `{other}`");
+                print_usage();
+                return ExitCode::from(2);
+            }
+        }
+        i += 1;
+    }
+
+    if list_rules {
+        for rule in sqpr_audit::registry() {
+            println!("{:<24} {}", rule.name(), rule.description());
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let Some(root) = root else {
+        print_usage();
+        return ExitCode::from(2);
+    };
+
+    let report = match sqpr_audit::audit_workspace(std::path::Path::new(&root)) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: failed to scan `{root}`: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    for err in &report.errors {
+        println!("{err}");
+    }
+    for v in &report.violations {
+        println!("{v}");
+    }
+    if verbose {
+        for (v, reason) in &report.waived {
+            println!("waived: {v} ({reason})");
+        }
+    }
+    println!(
+        "sqpr-audit: {} files, {} violation(s), {} waived, {} waiver error(s)",
+        report.files_scanned,
+        report.violations.len(),
+        report.waived.len(),
+        report.errors.len()
+    );
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn print_usage() {
+    eprintln!("usage: sqpr-audit --check <root> [--verbose] | --list-rules");
+}

@@ -1,0 +1,102 @@
+//! Meta-tests over the fixture corpus in `tests/fixtures/<rule>/`.
+//!
+//! Every registered rule must (a) fire on its `positive.rs` fixture,
+//! (b) stay silent on its `negative.rs` near-misses, and (c) come out
+//! clean-but-recorded on its `waived.rs` fixture. The loop runs over
+//! [`sqpr_audit::registry`], so adding a rule without fixtures fails here —
+//! the corpus can't fall behind the rule set.
+
+use std::fs;
+use std::path::PathBuf;
+
+use sqpr_audit::{audit_source, registry};
+
+/// A path every rule's `applies_to` accepts (the planner stack is the
+/// narrowest scope in the registry).
+const LABEL: &str = "crates/core/src/fixture.rs";
+
+fn fixture(rule: &str, kind: &str) -> String {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(rule)
+        .join(format!("{kind}.rs"));
+    fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+#[test]
+fn every_rule_fires_on_its_positive_fixture() {
+    for rule in registry() {
+        let report = audit_source(LABEL, &fixture(rule.name(), "positive"));
+        assert!(
+            report.violations.iter().any(|v| v.rule == rule.name()),
+            "rule `{}` did not fire on its positive fixture; got: {:?}",
+            rule.name(),
+            report.violations
+        );
+        assert!(
+            report.violations.iter().all(|v| v.rule == rule.name()),
+            "positive fixture for `{}` trips other rules: {:?}",
+            rule.name(),
+            report.violations
+        );
+        assert!(report.errors.is_empty(), "{:?}", report.errors);
+    }
+}
+
+#[test]
+fn every_rule_is_silent_on_its_negative_fixture() {
+    for rule in registry() {
+        let report = audit_source(LABEL, &fixture(rule.name(), "negative"));
+        assert!(
+            report.violations.is_empty() && report.errors.is_empty(),
+            "negative fixture for `{}` is not clean: {:?} {:?}",
+            rule.name(),
+            report.violations,
+            report.errors
+        );
+    }
+}
+
+#[test]
+fn every_rule_is_cleanly_waived_in_its_waived_fixture() {
+    for rule in registry() {
+        let report = audit_source(LABEL, &fixture(rule.name(), "waived"));
+        assert!(
+            report.is_clean(),
+            "waived fixture for `{}` is not clean: {:?} {:?}",
+            rule.name(),
+            report.violations,
+            report.errors
+        );
+        assert!(
+            report.waived.iter().any(|(v, _)| v.rule == rule.name()),
+            "waived fixture for `{}` recorded no waived violation of it: {:?}",
+            rule.name(),
+            report.waived
+        );
+        assert!(
+            report.waived.iter().all(|(_, reason)| !reason.is_empty()),
+            "a waiver without a reason slipped through"
+        );
+    }
+}
+
+#[test]
+fn positive_violations_survive_an_unrelated_waiver() {
+    // A waiver for rule A must not silence rule B on the same line.
+    let src = "use std::collections::HashMap;\n\
+         pub fn f(m: &HashMap<u32, f64>) -> f64 {\n\
+             let mut s = 0.0;\n\
+             // sqpr::allow(float-eq): wrong rule on purpose\n\
+             for (_, v) in m { s += v; }\n\
+             s\n\
+         }\n";
+    let report = audit_source(LABEL, src);
+    assert!(report.violations.iter().any(|v| v.rule == "hash-iter"));
+    // ... and the unrelated waiver is flagged as unused.
+    assert!(
+        report.errors.iter().any(|e| e.contains("unused waiver")),
+        "{:?}",
+        report.errors
+    );
+}

@@ -1,0 +1,23 @@
+// Fixture: deadlines and budgets passed in by the caller (must stay
+// silent) — the planner is a pure function of its inputs; test modules may
+// read clocks freely.
+use std::time::{Duration, Instant};
+
+pub fn expired(deadline: Option<Instant>, now: Instant) -> bool {
+    deadline.is_some_and(|d| now >= d)
+}
+
+pub fn remaining(budget: Duration, used: Duration) -> Duration {
+    budget.saturating_sub(used)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expiry() {
+        let now = Instant::now();
+        assert!(expired(Some(now), now));
+    }
+}

@@ -1,0 +1,19 @@
+// Fixture: ambient inputs outside the sanctioned modules (must fire).
+use std::collections::hash_map::RandomState;
+use std::time::{Instant, SystemTime};
+
+pub fn stamp() -> Instant {
+    Instant::now()
+}
+
+pub fn wall() -> SystemTime {
+    SystemTime::now()
+}
+
+pub fn hasher() -> RandomState {
+    RandomState::new()
+}
+
+pub fn tuning() -> Option<String> {
+    std::env::var("SQPR_SECRET_TUNING").ok()
+}

@@ -1,0 +1,8 @@
+// Fixture: an SLO wall-clock read carrying a waiver (must be clean, with
+// the violation recorded as waived).
+use std::time::Instant;
+
+pub fn deadline_from_slo(slo_millis: u64) -> Instant {
+    // sqpr::allow(ambient-nondeterminism): caller-facing SLO deadline; timing affects only when we stop, never what we compute
+    Instant::now() + std::time::Duration::from_millis(slo_millis)
+}

@@ -1,0 +1,28 @@
+// Fixture: exhaustive destructure and pure delegation (must stay silent).
+pub struct Counters {
+    pub hits: usize,
+    pub misses: usize,
+}
+
+impl Counters {
+    pub fn merge(&mut self, other: &Counters) {
+        let Counters { hits, misses } = *other;
+        self.hits += hits;
+        self.misses += misses;
+    }
+
+    pub fn add(&mut self, other: &Counters) {
+        self.merge(other);
+    }
+}
+
+// Non-accumulator shapes the rule must not match: `&self` deltas and
+// value-returning combiners construct a fresh struct exhaustively anyway.
+impl Counters {
+    pub fn since(&self, earlier: &Counters) -> Counters {
+        Counters {
+            hits: self.hits - earlier.hits,
+            misses: self.misses - earlier.misses,
+        }
+    }
+}

@@ -1,0 +1,25 @@
+// Fixture: field-wise accumulator merges without a destructure (must fire
+// on both; a newly added counter would be silently dropped).
+pub struct Counters {
+    pub hits: usize,
+    pub misses: usize,
+}
+
+impl Counters {
+    pub fn merge(&mut self, other: &Counters) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+    }
+}
+
+pub struct Totals {
+    pub rows: usize,
+}
+
+impl Totals {
+    pub fn add(&mut self, other: &Totals) {
+        // A rest pattern defeats the point: new fields no longer error.
+        let Totals { rows, .. } = *other;
+        self.rows += rows;
+    }
+}

@@ -1,0 +1,14 @@
+// Fixture: a field-wise merge carrying a waiver (must be clean, with the
+// violation recorded as waived).
+pub struct Window {
+    pub lo: f64,
+    pub hi: f64,
+}
+
+impl Window {
+    // sqpr::allow(exhaustive-merge): interval hull, not an accumulator; a new field here changes the type's meaning and is caught by construction sites
+    pub fn merge(&mut self, other: &Window) {
+        self.lo = self.lo.min(other.lo);
+        self.hi = self.hi.max(other.hi);
+    }
+}

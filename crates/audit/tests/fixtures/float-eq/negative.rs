@@ -1,0 +1,23 @@
+// Fixture: exact-zero structure tests and tolerance comparisons (must stay
+// silent) — `!= 0.0` on exactly-represented values is the LP kernels'
+// sparsity test, and tolerances are the sanctioned way to compare
+// computed floats.
+pub fn is_structural_zero(x: f64) -> bool {
+    x == 0.0
+}
+
+pub fn nonzero_entry(x: f64) -> bool {
+    x != 0.0
+}
+
+pub fn close(a: f64, b: f64, tol: f64) -> bool {
+    (a - b).abs() <= tol
+}
+
+pub fn same_bits(a: f64, b: f64) -> bool {
+    a.to_bits() == b.to_bits()
+}
+
+pub fn int_compare(n: usize) -> bool {
+    n == 10
+}

@@ -1,0 +1,16 @@
+// Fixture: equality against nonzero float constants (must fire).
+pub fn is_unit(x: f64) -> bool {
+    x == 1.0
+}
+
+pub fn not_half(x: f64) -> bool {
+    x != 0.5
+}
+
+pub fn is_negative_one(x: f64) -> bool {
+    x == -1.0
+}
+
+pub fn unbounded(ub: f64) -> bool {
+    ub == f64::INFINITY
+}

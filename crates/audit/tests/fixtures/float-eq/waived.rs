@@ -1,0 +1,6 @@
+// Fixture: an exactly-represented sentinel comparison carrying a waiver
+// (must be clean, with the violation recorded as waived).
+pub fn is_unset(slot: f64) -> bool {
+    // sqpr::allow(float-eq): -1.0 is an exactly-represented sentinel written verbatim, never computed; bit-exact equality is intended
+    slot == -1.0
+}

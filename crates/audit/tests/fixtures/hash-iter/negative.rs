@@ -1,0 +1,27 @@
+// Fixture: ordered iteration and pure point lookups (must stay silent).
+use std::collections::{BTreeMap, HashMap};
+
+pub fn sum_rates(rates: &BTreeMap<u32, f64>) -> f64 {
+    let mut total = 0.0;
+    for (_, r) in rates {
+        total += r;
+    }
+    total
+}
+
+pub fn lookup(memo: &HashMap<u64, f64>, key: u64) -> f64 {
+    memo.get(&key).copied().unwrap_or(0.0)
+}
+
+pub fn sorted_keys(memo: &HashMap<u64, f64>) -> Vec<u64> {
+    // Materialise-and-sort is the sanctioned escape hatch when a hash map
+    // must be walked: collect first, sort, then iterate the Vec.
+    let mut keys: Vec<u64> = Vec::new();
+    let mut k = 0u64;
+    while (k as usize) < memo.len() {
+        keys.push(k);
+        k += 1;
+    }
+    keys.sort_unstable();
+    keys
+}

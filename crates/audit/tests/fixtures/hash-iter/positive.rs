@@ -1,0 +1,24 @@
+// Fixture: order-observing iteration over hash containers (must fire).
+use std::collections::{HashMap, HashSet};
+
+pub fn sum_rates(rates: &HashMap<u32, f64>) -> f64 {
+    let mut total = 0.0;
+    for (_, r) in rates {
+        total += r;
+    }
+    total
+}
+
+pub struct Index {
+    seen: HashSet<u64>,
+}
+
+impl Index {
+    pub fn first_key(&self) -> Option<u64> {
+        self.seen.iter().next().copied()
+    }
+
+    pub fn drop_even(&mut self) {
+        self.seen.retain(|k| k % 2 == 1);
+    }
+}

@@ -1,0 +1,12 @@
+// Fixture: the same iteration, carrying a written waiver (must be clean,
+// with the violation recorded as waived).
+use std::collections::HashMap;
+
+pub fn count_entries(rates: &HashMap<u32, f64>) -> usize {
+    let mut n = 0;
+    // sqpr::allow(hash-iter): order-insensitive count; no float accumulation or layout depends on visit order
+    for (_, _r) in rates {
+        n += 1;
+    }
+    n
+}

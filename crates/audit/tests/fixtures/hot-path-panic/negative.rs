@@ -1,0 +1,31 @@
+// Fixture: typed errors and defaulting combinators (must stay silent);
+// asserts state caller contracts and are deliberately out of scope, and
+// test modules may panic freely.
+#[derive(Debug)]
+pub enum PlanError {
+    Empty,
+    OutOfRange(usize),
+}
+
+pub fn pick(v: &[f64]) -> Result<f64, PlanError> {
+    v.first().copied().ok_or(PlanError::Empty)
+}
+
+pub fn lookup(table: &[u32], i: usize) -> Result<u32, PlanError> {
+    assert!(!table.is_empty(), "caller contract: non-empty table");
+    table.get(i).copied().ok_or(PlanError::OutOfRange(i))
+}
+
+pub fn rate_or_zero(r: Option<f64>) -> f64 {
+    r.unwrap_or(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pick_first() {
+        assert_eq!(pick(&[2.0]).unwrap(), 2.0);
+    }
+}

@@ -1,0 +1,19 @@
+// Fixture: panics on the planner stack (must fire on every form).
+pub fn pick(v: &[f64]) -> f64 {
+    if v.is_empty() {
+        panic!("empty");
+    }
+    v.first().copied().unwrap()
+}
+
+pub fn route(kind: u8) -> &'static str {
+    match kind {
+        0 => "greedy",
+        1 => "solver",
+        _ => unreachable!("unknown planner kind"),
+    }
+}
+
+pub fn lookup(table: &[u32], i: usize) -> u32 {
+    *table.get(i).expect("index in range")
+}

@@ -1,0 +1,7 @@
+// Fixture: a by-construction-impossible branch carrying a waiver (must be
+// clean, with the violation recorded as waived).
+pub fn halve(n: u32) -> u32 {
+    let doubled = n.checked_mul(2);
+    // sqpr::allow(hot-path-panic): checked_mul(2) on a u32 halved below cannot overflow here; no caller to surface the impossible case to
+    doubled.expect("no overflow") / 4
+}

@@ -6,7 +6,7 @@
 //! operator nodes `⟨h, o⟩`, relay nodes `⟨h, µ⟩`, and base-stream source
 //! arcs — suitable for display and validatable against conditions C1–C4.
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 
 use sqpr_dsps::{Catalog, DeploymentState, HostId, PlanNode, PlanNodeKind, QueryPlan, StreamId};
 
@@ -32,8 +32,8 @@ pub fn extract_plan(
 fn derivation_rounds(
     catalog: &Catalog,
     state: &DeploymentState,
-) -> HashMap<(HostId, StreamId), usize> {
-    let mut round: HashMap<(HostId, StreamId), usize> = HashMap::new();
+) -> BTreeMap<(HostId, StreamId), usize> {
+    let mut round: BTreeMap<(HostId, StreamId), usize> = BTreeMap::new();
     for h in catalog.hosts() {
         for &s in catalog.base_streams_at(h) {
             round.insert((h, s), 0);
@@ -76,7 +76,7 @@ fn derivation_rounds(
 fn build_node(
     catalog: &Catalog,
     state: &DeploymentState,
-    rounds: &HashMap<(HostId, StreamId), usize>,
+    rounds: &BTreeMap<(HostId, StreamId), usize>,
     host: HostId,
     stream: StreamId,
     nodes: &mut Vec<PlanNode>,
@@ -153,7 +153,7 @@ fn build_node(
 fn origin_node(
     catalog: &Catalog,
     state: &DeploymentState,
-    rounds: &HashMap<(HostId, StreamId), usize>,
+    rounds: &BTreeMap<(HostId, StreamId), usize>,
     host: HostId,
     stream: StreamId,
     nodes: &mut Vec<PlanNode>,
@@ -176,7 +176,7 @@ fn origin_node(
 /// than the receiver's).
 fn best_sender(
     state: &DeploymentState,
-    rounds: &HashMap<(HostId, StreamId), usize>,
+    rounds: &BTreeMap<(HostId, StreamId), usize>,
     host: HostId,
     stream: StreamId,
     before: usize,

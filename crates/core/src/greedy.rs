@@ -262,7 +262,7 @@ fn build(
     hosts.sort_by(|&x, &y| {
         let sx = catalog.host(x).cpu_capacity - cpu[x.index()];
         let sy = catalog.host(y).cpu_capacity - cpu[y.index()];
-        sx.partial_cmp(&sy).unwrap()
+        sx.total_cmp(&sy)
     });
     // Prefer hosts that already hold an input (zero-transfer), then fall
     // back to the spare-CPU order. A forced host restricts the choice.
@@ -314,7 +314,7 @@ fn build(
                 .max_by(|&a, &b| {
                     let sa = catalog.host(a).bandwidth_out - net[a.index()].0;
                     let sb = catalog.host(b).bandwidth_out - net[b.index()].0;
-                    sa.partial_cmp(&sb).unwrap()
+                    sa.total_cmp(&sb)
                 });
             let Some(g) = sender else { continue 'host };
             trial.add_flow(g, h, inp);

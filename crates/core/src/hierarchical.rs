@@ -11,7 +11,7 @@
 //! per-site model sizes, attacking exactly the host-count sensitivity the
 //! paper measures in Fig. 6(a).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use sqpr_dsps::{Catalog, HostId, HostSpec, NetworkTopology, StreamId};
 
@@ -24,7 +24,7 @@ struct Site {
     /// Global host ids of this site (index = local host id).
     hosts: Vec<HostId>,
     /// Global base stream -> site-local stream id (native or mirrored).
-    local_stream: HashMap<StreamId, StreamId>,
+    local_stream: BTreeMap<StreamId, StreamId>,
     /// Local gateway host receiving mirrored streams.
     gateway: HostId,
 }
@@ -33,9 +33,9 @@ struct Site {
 pub struct HierarchicalPlanner {
     sites: Vec<Site>,
     /// Global base stream -> site natively sourcing it.
-    native_site: HashMap<StreamId, usize>,
+    native_site: BTreeMap<StreamId, usize>,
     /// Global rate per base stream (for mirroring).
-    rates: HashMap<StreamId, f64>,
+    rates: BTreeMap<StreamId, f64>,
     outcomes: Vec<(usize, PlanningOutcome)>,
 }
 
@@ -66,8 +66,8 @@ impl HierarchicalPlanner {
             }
         }
 
-        let mut native_site = HashMap::new();
-        let mut rates = HashMap::new();
+        let mut native_site = BTreeMap::new();
+        let mut rates = BTreeMap::new();
         let mut sites = Vec::with_capacity(partition.len());
         for (si, hosts) in partition.into_iter().enumerate() {
             // Conservative uniform intra-site link capacity.
@@ -88,7 +88,7 @@ impl HierarchicalPlanner {
                 NetworkTopology::full_mesh(hosts.len(), link_cap),
                 catalog.cost_model().clone(),
             );
-            let mut local_stream = HashMap::new();
+            let mut local_stream = BTreeMap::new();
             for (li, &gh) in hosts.iter().enumerate() {
                 for &s in catalog.base_streams_at(gh) {
                     let local = site_catalog.add_base_stream(
@@ -175,11 +175,10 @@ impl HierarchicalPlanner {
             let local = match site.local_stream.get(&s) {
                 Some(&l) => l,
                 None => {
-                    let rate = self
-                        .rates
-                        .get(&s)
-                        .copied()
-                        .unwrap_or_else(|| panic!("unknown base stream {s}"));
+                    let rate = match self.rates.get(&s) {
+                        Some(&r) => r,
+                        None => return Err(PlannerError::UnknownStream(s)),
+                    };
                     let l = site
                         .planner
                         .register_mirrored_base(site.gateway, rate, stream_tag(s));

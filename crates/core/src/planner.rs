@@ -284,6 +284,7 @@ fn drive_preemptible(
                 if node_budget.is_some_and(|b| done >= b) {
                     return RoundSolve::Preempted(state, PreemptCause::NodeDeadline);
                 }
+                // sqpr::allow(ambient-nondeterminism): wall-clock admission deadline is part of the SLO surface; timing affects only *when* we preempt, and preempted==uninterrupted results are pinned by the resume suites
                 if wall_deadline.is_some_and(|d| Instant::now() >= d) {
                     return RoundSolve::Preempted(state, PreemptCause::WallClock);
                 }
@@ -665,6 +666,7 @@ impl SqprPlanner {
         space: &PlanSpace,
         deadline_bounded: bool,
     ) -> PlanningOutcome {
+        // sqpr::allow(ambient-nondeterminism): planning-latency measurement reported in the outcome; never feeds a decision
         let started = Instant::now();
         let full;
         let space = if self.config.reduction {
@@ -1089,6 +1091,7 @@ impl SqprPlanner {
         round: PreemptedRound,
         budget: Option<usize>,
     ) -> ResumeOutcome {
+        // sqpr::allow(ambient-nondeterminism): planning-latency measurement reported in the outcome; never feeds a decision
         let started = Instant::now();
         let PreemptedRound {
             query,
@@ -1128,6 +1131,7 @@ impl SqprPlanner {
                         if target.is_some_and(|t| done >= t) {
                             break RoundSolve::Preempted(state, PreemptCause::NodeDeadline);
                         }
+                        // sqpr::allow(ambient-nondeterminism): wall-clock admission deadline is part of the SLO surface; timing affects only *when* we preempt, and preempted==uninterrupted results are pinned by the resume suites
                         if self.wall_deadline.is_some_and(|d| Instant::now() >= d) {
                             break RoundSolve::Preempted(state, PreemptCause::WallClock);
                         }

@@ -42,13 +42,16 @@ impl PlanSpace {
     }
 
     /// Merges another plan space in (used for batched submission, Fig 4b).
+    /// Exhaustively destructured so a newly added plan-space component is a
+    /// compile error here, not a silently unmerged field.
     pub fn merge(&mut self, other: &PlanSpace) {
-        for &s in &other.streams {
+        let PlanSpace { streams, operators } = other;
+        for &s in streams {
             if !self.streams.contains(&s) {
                 self.streams.push(s);
             }
         }
-        for &o in &other.operators {
+        for &o in operators {
             if !self.operators.contains(&o) {
                 self.operators.push(o);
             }

@@ -8,7 +8,7 @@
 //! the planner sees the overlap for free (paper §II-C: equivalence discovery
 //! "by traversing their query plans").
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 use crate::cost::CostModel;
 use crate::ids::{HostId, OperatorId, StreamId};
@@ -33,8 +33,11 @@ pub struct Catalog {
     op_dedup: HashMap<(OperatorKind, Vec<StreamId>), OperatorId>,
     /// `S0_h`: base streams available at each host.
     base_at_host: Vec<Vec<StreamId>>,
-    /// Source host of each base stream.
-    base_host: HashMap<StreamId, HostId>,
+    /// Source host of each base stream. Ordered because
+    /// [`Self::rehome_orphaned_sources`] iterates it to pick migration
+    /// targets; `by_signature`/`op_dedup`/`producers` stay hashed — they are
+    /// point-lookup only and never iterated.
+    base_host: BTreeMap<StreamId, HostId>,
     /// Operators producing each stream (multiple join trees may produce the
     /// same interned stream).
     producers: HashMap<StreamId, Vec<OperatorId>>,
@@ -60,7 +63,7 @@ impl Catalog {
             operators: Vec::new(),
             op_dedup: HashMap::new(),
             base_at_host: vec![Vec::new(); n],
-            base_host: HashMap::new(),
+            base_host: BTreeMap::new(),
             producers: HashMap::new(),
         }
     }

@@ -18,8 +18,7 @@
 //! `cpu_per_rate · (sum of input rates)`.
 
 use crate::ids::StreamId;
-use std::collections::BTreeSet;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Cost model parameters and the pairwise selectivity table.
 #[derive(Debug, Clone)]
@@ -34,7 +33,7 @@ pub struct CostModel {
     pub memory_per_rate_join: f64,
     /// Selectivity used when a pair has no explicit entry.
     pub default_selectivity: f64,
-    selectivities: HashMap<(StreamId, StreamId), f64>,
+    selectivities: BTreeMap<(StreamId, StreamId), f64>,
 }
 
 impl Default for CostModel {
@@ -44,7 +43,7 @@ impl Default for CostModel {
             cpu_per_rate_stateless: 0.25,
             memory_per_rate_join: 0.5,
             default_selectivity: 0.003, // middle of the paper's 0.1%–0.5%
-            selectivities: HashMap::new(),
+            selectivities: BTreeMap::new(),
         }
     }
 }
@@ -56,7 +55,7 @@ impl CostModel {
             cpu_per_rate_stateless,
             memory_per_rate_join: 0.5,
             default_selectivity: default_sel,
-            selectivities: HashMap::new(),
+            selectivities: BTreeMap::new(),
         }
     }
 

@@ -10,7 +10,7 @@
 //! causality — a self-sustaining flow cycle is underivable, mirroring the
 //! role of the paper's acyclicity constraints (III.7).
 
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 
 use crate::catalog::Catalog;
 use crate::ids::{HostId, OperatorId, QueryId, StreamId};
@@ -211,8 +211,8 @@ impl DeploymentState {
     }
 
     /// Per-link usage keyed by `(from, to)`.
-    pub fn link_usage(&self, catalog: &Catalog) -> HashMap<(HostId, HostId), f64> {
-        let mut links: HashMap<(HostId, HostId), f64> = HashMap::new();
+    pub fn link_usage(&self, catalog: &Catalog) -> BTreeMap<(HostId, HostId), f64> {
+        let mut links: BTreeMap<(HostId, HostId), f64> = BTreeMap::new();
         for &(from, to, s) in &self.flows {
             *links.entry((from, to)).or_default() += catalog.stream(s).rate;
         }

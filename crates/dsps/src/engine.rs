@@ -14,7 +14,7 @@
 //! CPU utilisation and network usage, plus backlog diagnostics that expose
 //! overload (growing queues) when a planner has oversubscribed a host.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::catalog::Catalog;
 use crate::deployment::DeploymentState;
@@ -100,8 +100,10 @@ impl XorShift {
     }
 }
 
-/// Consumer identity for offset bookkeeping.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+/// Consumer identity for offset bookkeeping. `Ord` because consumers key a
+/// `BTreeMap`: `total_backlog` sums floats in iteration order, and that sum
+/// must not depend on hash state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 enum Consumer {
     /// Operator instance input: (host, operator, input stream).
     OpInput(HostId, OperatorId, StreamId),
@@ -118,9 +120,9 @@ pub fn run(catalog: &Catalog, deployment: &DeploymentState, cfg: &EngineConfig) 
     let mut rng = XorShift::new(cfg.seed);
 
     // Cumulative arrived volume per (host, stream).
-    let mut arrived: HashMap<(HostId, StreamId), f64> = HashMap::new();
+    let mut arrived: BTreeMap<(HostId, StreamId), f64> = BTreeMap::new();
     // Private offsets per consumer.
-    let mut consumed: HashMap<Consumer, f64> = HashMap::new();
+    let mut consumed: BTreeMap<Consumer, f64> = BTreeMap::new();
 
     // Operators per host, ordered by stream derivation depth so upstream
     // operators run first within a tick.
@@ -207,7 +209,7 @@ pub fn run(catalog: &Catalog, deployment: &DeploymentState, cfg: &EngineConfig) 
             .hosts()
             .map(|h| catalog.host(h).bandwidth_in * tick)
             .collect();
-        let mut link_budget: HashMap<(HostId, HostId), f64> = HashMap::new();
+        let mut link_budget: BTreeMap<(HostId, HostId), f64> = BTreeMap::new();
         for &(from, to, s) in &flows {
             let backlog = arrived.get(&(from, s)).copied().unwrap_or(0.0)
                 - consumed
@@ -298,10 +300,11 @@ pub fn run(catalog: &Catalog, deployment: &DeploymentState, cfg: &EngineConfig) 
     }
 }
 
-/// Sum over consumers of unconsumed arrived volume.
+/// Sum over consumers of unconsumed arrived volume. The maps are ordered so
+/// this float sum is a pure function of the deployment, not of hash state.
 fn total_backlog(
-    arrived: &HashMap<(HostId, StreamId), f64>,
-    consumed: &HashMap<Consumer, f64>,
+    arrived: &BTreeMap<(HostId, StreamId), f64>,
+    consumed: &BTreeMap<Consumer, f64>,
 ) -> f64 {
     let mut backlog = 0.0;
     for (c, done) in consumed {

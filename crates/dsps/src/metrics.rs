@@ -12,7 +12,7 @@ pub struct Cdf {
 impl Cdf {
     pub fn from_samples(mut samples: Vec<f64>) -> Self {
         samples.retain(|v| !v.is_nan());
-        samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs remain"));
+        samples.sort_by(|a, b| a.total_cmp(b));
         Cdf { sorted: samples }
     }
 

@@ -398,13 +398,14 @@ impl<'a> Basis<'a> {
             }
             // Repair: assign each singular position the slack of a row that
             // ended up unpivoted, then refactorise again.
-            let mut unpivoted: Vec<usize> = (0..self.m)
+            let unpivoted: Vec<usize> = (0..self.m)
                 .filter(|&r| factors.pinv()[r] == usize::MAX)
                 .collect();
             assert!(unpivoted.len() >= singular.len());
-            for k in singular {
+            // Pair each singular position with an unpivoted row from the
+            // back (same assignment as repeated pop), panic-free.
+            for (k, row) in singular.into_iter().zip(unpivoted.into_iter().rev()) {
                 let p = order[k];
-                let row = unpivoted.pop().expect("row available for repair");
                 self.basic[p] = self.n + row;
                 repaired.push(p);
             }

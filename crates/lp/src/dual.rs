@@ -372,7 +372,12 @@ impl Solver<'_> {
                         best = Some((j, ratio, a));
                     }
                 }
-                let chosen = best.expect("rest is non-empty");
+                // `rest` is non-empty (the flip walk stops before the last
+                // candidate), but selection coming up empty must degrade to
+                // the composite phase-I rung, never panic mid-solve.
+                let Some(chosen) = best else {
+                    return DualOutcome::FallBack;
+                };
                 if nflips == 0 && chosen.1 > 1e-12 && rest[0].1 <= 1e-12 {
                     self.pivots.harris_degenerate_saved += 1;
                 }

@@ -139,23 +139,43 @@ impl PivotCounts {
     /// merging per-solve (or per-worker) counters in any order yields the
     /// same totals, which is what lets a multi-threaded branch & bound
     /// reconcile its workers' counts deterministically.
+    /// Exhaustively destructured so a newly added counter is a compile
+    /// error here, not a silently dropped stat.
     pub fn merge(&mut self, other: &PivotCounts) {
-        self.phase1 += other.phase1;
-        self.primal += other.primal;
-        self.dual += other.dual;
-        self.bound_flips += other.bound_flips;
-        self.harris_degenerate_saved += other.harris_degenerate_saved;
-        self.sparse_solves += other.sparse_solves;
-        self.dense_solves += other.dense_solves;
-        self.solve_nnz += other.solve_nnz;
-        self.solve_dim += other.solve_dim;
-        self.ft_updates += other.ft_updates;
-        self.pfi_updates += other.pfi_updates;
-        self.refactorizations += other.refactorizations;
-        self.factor_reattaches += other.factor_reattaches;
-        self.distress_refactors += other.distress_refactors;
-        self.distress_escalations += other.distress_escalations;
-        self.distress_cold_restarts += other.distress_cold_restarts;
+        let PivotCounts {
+            phase1,
+            primal,
+            dual,
+            bound_flips,
+            harris_degenerate_saved,
+            sparse_solves,
+            dense_solves,
+            solve_nnz,
+            solve_dim,
+            ft_updates,
+            pfi_updates,
+            refactorizations,
+            factor_reattaches,
+            distress_refactors,
+            distress_escalations,
+            distress_cold_restarts,
+        } = *other;
+        self.phase1 += phase1;
+        self.primal += primal;
+        self.dual += dual;
+        self.bound_flips += bound_flips;
+        self.harris_degenerate_saved += harris_degenerate_saved;
+        self.sparse_solves += sparse_solves;
+        self.dense_solves += dense_solves;
+        self.solve_nnz += solve_nnz;
+        self.solve_dim += solve_dim;
+        self.ft_updates += ft_updates;
+        self.pfi_updates += pfi_updates;
+        self.refactorizations += refactorizations;
+        self.factor_reattaches += factor_reattaches;
+        self.distress_refactors += distress_refactors;
+        self.distress_escalations += distress_escalations;
+        self.distress_cold_restarts += distress_cold_restarts;
     }
 
     /// Deprecated spelling of [`Self::merge`], kept for downstream callers.

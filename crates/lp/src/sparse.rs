@@ -580,7 +580,7 @@ impl ColumnStore {
     /// with counting sort.
     pub fn from_parts(col_ptr: Vec<usize>, row_idx: Vec<usize>, values: Vec<f64>) -> Self {
         debug_assert!(!col_ptr.is_empty());
-        debug_assert_eq!(*col_ptr.last().unwrap(), row_idx.len());
+        debug_assert_eq!(col_ptr.last().copied(), Some(row_idx.len()));
         debug_assert_eq!(row_idx.len(), values.len());
         ColumnStore {
             col_ptr,

@@ -115,12 +115,20 @@ impl CacheStats {
         }
     }
 
-    /// Accumulates another counter set into this one.
+    /// Accumulates another counter set into this one. Exhaustively
+    /// destructured so a newly added counter is a compile error here, not a
+    /// silently dropped stat.
     pub fn add(&mut self, other: &CacheStats) {
-        self.rebuilds += other.rebuilds;
-        self.patches += other.patches;
-        self.refix_patches += other.refix_patches;
-        self.appended_rows += other.appended_rows;
+        let CacheStats {
+            rebuilds,
+            patches,
+            refix_patches,
+            appended_rows,
+        } = *other;
+        self.rebuilds += rebuilds;
+        self.patches += patches;
+        self.refix_patches += refix_patches;
+        self.appended_rows += appended_rows;
     }
 
     /// Fraction of constructions served by an in-place patch (0 when no
@@ -204,8 +212,13 @@ impl LpCacheSlot {
     /// [`Self::refresh_solver`], which also hands out the workspace.)
     #[cfg_attr(not(test), allow(dead_code))]
     pub(crate) fn refresh(&mut self, model: &Model) -> &LoweredLp {
-        self.refresh_impl(model);
-        &self.inner.as_ref().expect("just ensured").lowered
+        let cache = Self::refresh_fields(
+            &mut self.inner,
+            &mut self.stats,
+            &mut self.factor_token,
+            model,
+        );
+        &cache.lowered
     }
 
     /// [`Self::refresh`] for a solver construction: additionally hands out
@@ -216,17 +229,32 @@ impl LpCacheSlot {
         &mut self,
         model: &Model,
     ) -> (&LoweredLp, &mut LpWorkspace, &mut Vec<LpWorkspace>, u64) {
-        self.refresh_impl(model);
+        let cache = Self::refresh_fields(
+            &mut self.inner,
+            &mut self.stats,
+            &mut self.factor_token,
+            model,
+        );
         (
-            &self.inner.as_ref().expect("just ensured").lowered,
+            &cache.lowered,
             &mut self.ws,
             &mut self.worker_ws,
             self.factor_token,
         )
     }
 
-    fn refresh_impl(&mut self, model: &Model) {
-        let reusable = self.inner.as_ref().is_some_and(|c| {
+    /// Field-split worker behind [`Self::refresh`]/[`Self::refresh_solver`]:
+    /// takes the slot's fields separately so the returned cache borrows only
+    /// `inner`, leaving the workspace fields free for the solver tuple — and
+    /// so a populated slot is guaranteed structurally (`Option::insert`
+    /// returns the reference) rather than re-asserted with `expect`.
+    fn refresh_fields<'a>(
+        inner: &'a mut Option<LpCache>,
+        stats: &mut CacheStats,
+        factor_token: &mut u64,
+        model: &Model,
+    ) -> &'a mut LpCache {
+        let reusable = inner.as_ref().is_some_and(|c| {
             c.structure_version == model.structure_version()
                 && c.nvars == model.num_vars()
                 && model.num_cons() >= c.ncons_lowered
@@ -234,41 +262,45 @@ impl LpCacheSlot {
                     .iter()
                     .all(|&j| model.vars[j].lb == model.vars[j].ub)
         });
-        if reusable {
-            let cache = self.inner.as_mut().expect("checked above");
-            #[cfg(debug_assertions)]
-            cache.verify_rows_unchanged(model);
-            let kept_fixed = cache.patch(model);
-            let appended = cache.append_new_rows(model);
-            self.stats.appended_rows += appended;
-            self.stats.patches += 1;
-            if kept_fixed > 0 {
-                self.stats.refix_patches += 1;
+        let cache = match if reusable { inner.take() } else { None } {
+            Some(mut cache) => {
+                #[cfg(debug_assertions)]
+                cache.verify_rows_unchanged(model);
+                let kept_fixed = cache.patch(model);
+                let appended = cache.append_new_rows(model);
+                stats.appended_rows += appended;
+                stats.patches += 1;
+                if kept_fixed > 0 {
+                    stats.refix_patches += 1;
+                }
+                if appended > 0 {
+                    // Appended rows change the matrix: factors built against
+                    // the previous shape must not re-attach.
+                    *factor_token = next_factor_token();
+                }
+                cache
             }
-            if appended > 0 {
-                // Appended rows change the matrix: factors built against
-                // the previous shape must not re-attach.
-                self.factor_token = next_factor_token();
+            None => {
+                let lowered = model.lower_reduced();
+                let folded = lowered
+                    .map
+                    .col_of_var
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(j, c)| c.is_none().then_some(j))
+                    .collect();
+                stats.rebuilds += 1;
+                *factor_token = next_factor_token();
+                LpCache {
+                    lowered,
+                    structure_version: model.structure_version(),
+                    nvars: model.num_vars(),
+                    ncons_lowered: model.num_cons(),
+                    folded,
+                }
             }
-        } else {
-            let lowered = model.lower_reduced();
-            let folded = lowered
-                .map
-                .col_of_var
-                .iter()
-                .enumerate()
-                .filter_map(|(j, c)| c.is_none().then_some(j))
-                .collect();
-            self.inner = Some(LpCache {
-                lowered,
-                structure_version: model.structure_version(),
-                nvars: model.num_vars(),
-                ncons_lowered: model.num_cons(),
-                folded,
-            });
-            self.stats.rebuilds += 1;
-            self.factor_token = next_factor_token();
-        }
+        };
+        inner.insert(cache)
     }
 }
 

@@ -570,6 +570,7 @@ fn run_bnb(
 ) -> MilpResult {
     match run_preemptible(model, opts, warm, filter, cache, usize::MAX) {
         SolveOutcome::Done(r) => r,
+        // sqpr::allow(hot-path-panic): a usize::MAX quantum cannot exhaust, so Suspended is impossible by construction; there is no caller to surface it to
         SolveOutcome::Suspended(_) => unreachable!("usize::MAX quantum never suspends"),
     }
 }
@@ -613,6 +614,7 @@ fn run_preemptible(
                 core: &mut core,
                 ws: store,
                 factor_token: token,
+                // sqpr::allow(ambient-nondeterminism): opts.time_limit is an explicit caller SLO; expiry surfaces as a TimeLimit verdict, never a silently different plan
                 deadline: opts.time_limit.map(|d| Instant::now() + d),
             }
             .drive(quantum);
@@ -641,6 +643,7 @@ fn run_preemptible(
                 core: &mut core,
                 ws: store,
                 factor_token: token,
+                // sqpr::allow(ambient-nondeterminism): opts.time_limit is an explicit caller SLO; expiry surfaces as a TimeLimit verdict, never a silently different plan
                 deadline: opts.time_limit.map(|d| Instant::now() + d),
             }
             .drive(quantum);
@@ -732,6 +735,7 @@ impl SearchState {
         filter: Option<IncumbentFilter<'_>>,
         quantum: usize,
     ) -> SolveOutcome {
+        // sqpr::allow(ambient-nondeterminism): opts.time_limit is an explicit caller SLO; expiry surfaces as a TimeLimit verdict, never a silently different plan
         let deadline = self.opts.time_limit.map(|d| Instant::now() + d);
         let state = &mut *self;
         let store = WsStore {
@@ -1165,6 +1169,7 @@ impl<'a> Bnb<'a> {
             return true;
         }
         if let Some(d) = self.deadline {
+            // sqpr::allow(ambient-nondeterminism): time-limit check on the B&B driver; expiry stops the search with a TimeLimit verdict, it never reorders it
             if Instant::now() >= d {
                 return true;
             }
@@ -1719,11 +1724,15 @@ impl<'scope, 'env> WorkerPool<'scope, 'env> {
             self.spawn();
         }
         let n = jobs.len();
+        // sqpr::allow(hot-path-panic): channel endpoints exist right after spawn(); a disconnect means a worker thread already panicked, which has no recoverable planning answer
         let tx = self.job_tx.as_ref().expect("pool spawned");
         for job in jobs {
+            // sqpr::allow(hot-path-panic): send fails only after a worker panic; propagating that panic is strictly better than deadlocking on lost results
             tx.send(job).expect("worker pool hung up");
         }
+        // sqpr::allow(hot-path-panic): channel endpoints exist right after spawn(); a disconnect means a worker thread already panicked, which has no recoverable planning answer
         let rx = self.res_rx.as_ref().expect("pool spawned");
+        // sqpr::allow(hot-path-panic): recv fails only after a worker panic; propagating that panic is strictly better than deadlocking on lost results
         (0..n).map(|_| rx.recv().expect("worker died")).collect()
     }
 

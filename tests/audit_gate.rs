@@ -1,0 +1,76 @@
+//! Tier-1 gate for the invariant audit: `cargo test` fails whenever the
+//! workspace carries an unwaived violation of any registered rule (or a
+//! malformed / unused waiver). The same pass is runnable standalone via
+//! `cargo run -p sqpr-audit -- --check .`; see ARCHITECTURE.md §12 for the
+//! rule table and waiver grammar.
+
+use std::path::Path;
+
+use sqpr_audit::{audit_source, audit_workspace, registry};
+
+#[test]
+fn workspace_is_audit_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let report = audit_workspace(root).expect("scan workspace sources");
+    // Guard against the scan silently missing the tree (e.g. a moved root):
+    // the workspace has far more than 50 Rust sources.
+    assert!(
+        report.files_scanned > 50,
+        "suspiciously few files scanned: {}",
+        report.files_scanned
+    );
+    let mut msg = String::new();
+    for e in &report.errors {
+        msg.push_str(e);
+        msg.push('\n');
+    }
+    for v in &report.violations {
+        msg.push_str(&v.to_string());
+        msg.push('\n');
+    }
+    assert!(
+        report.is_clean(),
+        "the invariant audit found problems — fix them or add a reasoned \
+         `// sqpr::allow(<rule>): <reason>` waiver:\n{msg}"
+    );
+}
+
+/// Each rule still detects its violation class through the same entry point
+/// the workspace gate uses — i.e. injecting such code into a scanned crate
+/// WOULD fail `workspace_is_audit_clean`. One canonical injection per rule.
+#[test]
+fn gate_catches_an_injected_violation_of_each_rule() {
+    let injections: &[(&str, &str)] = &[
+        (
+            "hash-iter",
+            "use std::collections::HashMap;\n\
+             pub fn f(m: &HashMap<u32, f64>) -> f64 { m.values().sum() }\n",
+        ),
+        (
+            "hot-path-panic",
+            "pub fn f(x: Option<u32>) -> u32 { x.unwrap() }\n",
+        ),
+        (
+            "ambient-nondeterminism",
+            "pub fn f() -> std::time::Instant { std::time::Instant::now() }\n",
+        ),
+        ("float-eq", "pub fn f(x: f64) -> bool { x == 0.25 }\n"),
+        (
+            "exhaustive-merge",
+            "pub struct C { n: usize }\n\
+             impl C { pub fn merge(&mut self, o: &C) { self.n += o.n; } }\n",
+        ),
+    ];
+    assert_eq!(
+        injections.len(),
+        registry().len(),
+        "a registered rule has no injection probe here"
+    );
+    for (rule, src) in injections {
+        let report = audit_source("crates/core/src/injected.rs", src);
+        assert!(
+            report.violations.iter().any(|v| v.rule == *rule),
+            "injected violation of `{rule}` was not detected"
+        );
+    }
+}
